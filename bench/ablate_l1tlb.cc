@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Ablation: multi-level L1 TLB geometry.
+ *
+ * Sweeps the upper-level TLB from 2 to 32 entries under both LRU and
+ * random replacement, reporting shielding rate (the fraction of
+ * requests the L1 absorbs — the paper's f_shielded) and run-time
+ * weighted relative IPC. Section 3.3 argues the small L1 can afford
+ * true LRU; this quantifies how much that choice matters.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+#include "tlb/multilevel.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+/**
+ * A multi-level engine whose L1 uses *random* replacement — not a
+ * Table 2 design (the paper's L1 TLBs are LRU), implemented here so
+ * the ablation can quantify how much the replacement policy of the
+ * tiny upper level matters. Timing rules match MultiLevelTlb.
+ */
+class RandomL1MultiLevel : public tlb::TranslationEngine
+{
+  public:
+    RandomL1MultiLevel(vm::PageTable &pt, unsigned l1_entries,
+                       uint64_t seed)
+        : TranslationEngine(pt),
+          l1(l1_entries, tlb::Replacement::Random, seed),
+          l2(128, tlb::Replacement::Random, seed + 17)
+    {}
+
+    void beginCycle(Cycle now) override
+    {
+        (void)now;
+        l1Used = 0;
+    }
+
+    tlb::Outcome
+    request(const tlb::XlateRequest &req, Cycle now) override
+    {
+        ++stats_.requests;
+        if (l1Used >= 4) {
+            ++stats_.noPort;
+            return tlb::Outcome::noPort();
+        }
+        ++l1Used;
+        if (l1.lookup(req.vpn, now)) {
+            ++stats_.translations;
+            ++stats_.shielded;
+            const vm::RefResult rr = referencePage(req.vpn, req.write);
+            if (rr.statusChanged) {
+                l2NextFree = std::max(l2NextFree, now) + 1;
+                ++stats_.statusWrites;
+            }
+            return tlb::Outcome::hit(now, rr.ppn, true);
+        }
+        const Cycle grant = std::max(now + 1, l2NextFree);
+        l2NextFree = grant + 1;
+        ++stats_.baseAccesses;
+        if (l2.lookup(req.vpn, grant)) {
+            ++stats_.baseHits;
+            ++stats_.translations;
+            l1.insert(req.vpn, now);
+            const vm::RefResult rr = referencePage(req.vpn, req.write);
+            return tlb::Outcome::hit(grant + 1, rr.ppn, false);
+        }
+        ++stats_.misses;
+        return tlb::Outcome::miss(grant);
+    }
+
+    void
+    fill(Vpn vpn, Cycle now) override
+    {
+        if (auto evicted = l2.insert(vpn, now))
+            l1.invalidate(*evicted);
+        l1.insert(vpn, now);
+    }
+
+  private:
+    tlb::TlbArray l1;
+    tlb::TlbArray l2;
+    unsigned l1Used = 0;
+    Cycle l2NextFree = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ExperimentConfig defaults;
+    defaults.scale = 0.15;    // ablations sweep many configs
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+
+    std::vector<std::string> programs;
+    if (cfg.programs.empty()) {
+        for (const workloads::Workload &w : workloads::all())
+            programs.push_back(w.name);
+    } else {
+        programs = cfg.programs;
+    }
+
+    const unsigned sizes[] = {2, 4, 8, 16, 32};
+
+    TextTable table;
+    {
+        std::vector<std::string> head{"L1 config", "rel-IPC",
+                                      "f_shielded"};
+        table.header(std::move(head));
+    }
+
+    for (const bool lru : {true, false}) {
+        for (unsigned size : sizes) {
+            double ipcSum = 0, baseSum = 0;
+            uint64_t shielded = 0, requests = 0;
+            for (const std::string &name : programs) {
+                std::fprintf(stderr, "  [%s l1=%u %s]\n", name.c_str(),
+                             size, lru ? "lru" : "rand");
+                const kasm::Program prog =
+                    workloads::build(name, cfg.budget, cfg.scale);
+                sim::SimConfig sc;
+                sc.pageBytes = cfg.pageBytes;
+                sc.seed = cfg.seed;
+                sc.design = tlb::Design::T4;
+                const double t4 = sim::simulate(prog, sc).ipc();
+
+                const sim::SimResult r = sim::simulateWithEngine(
+                    prog, sc,
+                    [&](vm::PageTable &pt)
+                        -> std::unique_ptr<tlb::TranslationEngine> {
+                        if (lru) {
+                            return std::make_unique<tlb::MultiLevelTlb>(
+                                pt, size, 4, 128, cfg.seed);
+                        }
+                        return std::make_unique<RandomL1MultiLevel>(
+                            pt, size, cfg.seed);
+                    },
+                    "M" + std::to_string(size));
+                ipcSum += ratio(r.ipc(), t4);
+                baseSum += 1.0;
+                shielded += r.pipe.xlate.shielded;
+                requests += r.pipe.xlate.requests;
+            }
+            table.row({
+                "M" + std::to_string(size) +
+                    (lru ? " (LRU)" : " (random)"),
+                fixed(ipcSum / baseSum, 3),
+                percent(ratio(shielded, requests), 1),
+            });
+        }
+    }
+
+    std::printf("Ablation: L1-TLB size and replacement policy "
+                "(scale %.2f)\n\n%s\n",
+                cfg.scale, table.render().c_str());
+    return 0;
+}

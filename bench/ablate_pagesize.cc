@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: page-size sweep from 1 KB to 16 KB.
+ *
+ * Extends the paper's 4 KB-vs-8 KB comparison (Section 4.5) across a
+ * wider range for a representative design subset. Larger pages expand
+ * L1-TLB reach and pretranslation lifetimes and widen the piggyback
+ * window; smaller pages stress everything.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.scale = 0.2;
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+
+    const std::vector<tlb::Design> designs = {
+        tlb::Design::T4, tlb::Design::T1, tlb::Design::M8,
+        tlb::Design::P8, tlb::Design::PB1, tlb::Design::I4,
+    };
+
+    TextTable table;
+    {
+        std::vector<std::string> head{"page size"};
+        for (tlb::Design d : designs)
+            head.push_back(tlb::designName(d));
+        table.header(std::move(head));
+    }
+
+    for (unsigned pages : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+        bench::ExperimentConfig pc = cfg;
+        pc.pageBytes = pages;
+        std::fprintf(stderr, " == %u-byte pages ==\n", pages);
+        const bench::Sweep sweep = bench::runDesignSweep(pc, designs);
+
+        std::vector<std::string> row{std::to_string(pages / 1024) +
+                                     " KB"};
+        for (size_t d = 0; d < designs.size(); ++d) {
+            std::vector<double> vals, weights;
+            for (size_t p = 0; p < sweep.programs.size(); ++p) {
+                vals.push_back(ratio(sweep.cell(p, d).result.ipc(),
+                                     sweep.cell(p, 0).result.ipc()));
+                weights.push_back(
+                    double(sweep.cell(p, 0).result.cycles()));
+            }
+            row.push_back(fixed(weightedAverage(vals, weights), 3));
+        }
+        table.row(std::move(row));
+    }
+
+    std::printf("Ablation: page-size sweep (IPC relative to T4 at the "
+                "same page size; scale %.2f)\n\n%s\n",
+                cfg.scale, table.render().c_str());
+    return 0;
+}

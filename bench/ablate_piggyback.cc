@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablation: how much do piggyback ports buy at each real-port count?
+ *
+ * Sweeps 1/2/4 real ports x 0..3 piggyback ports over the full suite
+ * and reports run-time weighted relative IPC (normalized to T4),
+ * isolating the contribution of request combining (Section 3.4) from
+ * raw port bandwidth. The paper's PB1/PB2 are the (1,3) and (2,2)
+ * cells; an ideal unlimited-bandwidth TLB bounds the column.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+#include "tlb/ideal.hh"
+#include "tlb/multiported.hh"
+#include "workloads/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.scale = 0.2;    // ablations sweep many configs
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+
+    std::vector<std::string> programs;
+    if (cfg.programs.empty()) {
+        for (const workloads::Workload &w : workloads::all())
+            programs.push_back(w.name);
+    } else {
+        programs = cfg.programs;
+    }
+
+    struct Variant
+    {
+        std::string name;
+        unsigned ports;
+        unsigned piggy;
+    };
+    std::vector<Variant> variants;
+    for (unsigned ports : {1u, 2u, 4u})
+        for (unsigned piggy : {0u, 1u, 2u, 3u})
+            variants.push_back({"T" + std::to_string(ports) + "+pb" +
+                                    std::to_string(piggy),
+                                ports, piggy});
+
+    TextTable table;
+    {
+        std::vector<std::string> head{"program", "ideal"};
+        for (const Variant &v : variants)
+            head.push_back(v.name);
+        table.header(std::move(head));
+    }
+
+    std::vector<double> weights;
+    std::vector<std::vector<double>> rel(programs.size());
+
+    for (size_t p = 0; p < programs.size(); ++p) {
+        std::fprintf(stderr, "  [%s]\n", programs[p].c_str());
+        const kasm::Program prog =
+            workloads::build(programs[p], cfg.budget, cfg.scale);
+
+        sim::SimConfig sc;
+        sc.pageBytes = cfg.pageBytes;
+        sc.seed = cfg.seed;
+
+        // Reference: T4 (as in the paper's figures).
+        sc.design = tlb::Design::T4;
+        const double t4 = sim::simulate(prog, sc).ipc();
+        weights.push_back(t4 > 0 ? 1.0 : 0.0);
+
+        std::vector<std::string> row{programs[p]};
+        const double ideal =
+            sim::simulateWithEngine(
+                prog, sc,
+                [](vm::PageTable &pt) {
+                    return std::make_unique<tlb::IdealTlb>(pt);
+                },
+                "ideal")
+                .ipc();
+        rel[p].push_back(ratio(ideal, t4));
+        row.push_back(fixed(ratio(ideal, t4), 3));
+
+        for (const Variant &v : variants) {
+            const double ipc =
+                sim::simulateWithEngine(
+                    prog, sc,
+                    [&](vm::PageTable &pt) {
+                        return std::make_unique<tlb::MultiPortedTlb>(
+                            pt, v.ports, v.piggy, 128, cfg.seed);
+                    },
+                    v.name)
+                    .ipc();
+            rel[p].push_back(ratio(ipc, t4));
+            row.push_back(fixed(ratio(ipc, t4), 3));
+        }
+        table.row(std::move(row));
+    }
+
+    std::vector<std::string> avg{"avg"};
+    for (size_t c = 0; c < rel[0].size(); ++c) {
+        std::vector<double> vals;
+        for (size_t p = 0; p < programs.size(); ++p)
+            vals.push_back(rel[p][c]);
+        avg.push_back(fixed(weightedAverage(vals, weights), 3));
+    }
+    table.row(std::move(avg));
+
+    std::printf("Ablation: piggyback ports vs real ports (IPC relative "
+                "to T4, scale %.2f)\n\n%s\n",
+                cfg.scale, table.render().c_str());
+    return 0;
+}

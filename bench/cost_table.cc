@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cost/performance table: the first-order area/latency estimates of
+ * every Table 2 design (src/tlb/cost_model.hh) next to its simulated
+ * relative IPC on a compact subset of the suite. This tabulates the
+ * paper's core argument: several designs match T4's performance at a
+ * fraction of its (quadratically growing) multi-port cost.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+#include "tlb/cost_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.scale = 0.25;
+    defaults.programs = {"xlisp", "tomcatv", "compress", "perl"};
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+
+    const bench::Sweep sweep =
+        bench::runDesignSweep(cfg, tlb::allDesigns());
+
+    TextTable table;
+    table.header({"design", "rel-IPC", "area(rbe)", "rel-area",
+                  "port-latency", "miss-path"});
+
+    const double t4Area =
+        tlb::designCost(tlb::Design::T4).areaRbe;
+    for (size_t d = 0; d < sweep.designs.size(); ++d) {
+        std::vector<double> vals, weights;
+        for (size_t p = 0; p < sweep.programs.size(); ++p) {
+            vals.push_back(ratio(sweep.cell(p, d).result.ipc(),
+                                 sweep.cell(p, 0).result.ipc()));
+            weights.push_back(
+                double(sweep.cell(p, 0).result.cycles()));
+        }
+        const tlb::CostEstimate cost =
+            tlb::designCost(sweep.designs[d]);
+        table.row({
+            tlb::designName(sweep.designs[d]),
+            fixed(weightedAverage(vals, weights), 3),
+            fixed(cost.areaRbe, 0),
+            fixed(cost.areaRbe / t4Area, 2),
+            fixed(cost.accessLatency, 2),
+            fixed(cost.missPathLatency, 2),
+        });
+    }
+
+    std::printf("Cost vs. performance across Table 2 designs "
+                "(area/latency are first-order relative units; "
+                "scale %.2f)\n\n%s\n",
+                cfg.scale, table.render().c_str());
+    return 0;
+}

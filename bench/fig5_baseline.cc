@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 5: relative performance of all Table 2 translation designs
+ * on the baseline machine — 8-way out-of-order issue, 4 KB pages,
+ * 32 int / 32 fp architected registers. IPCs are normalized to the
+ * four-ported TLB (T4); the summary row is the run-time weighted
+ * average, weighted by T4 cycles.
+ */
+
+#include "bench/harness.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, bench::ExperimentConfig{});
+
+    const bench::Sweep sweep =
+        bench::runDesignSweep(cfg, tlb::allDesigns());
+    bench::printSweep(
+        "Figure 5: relative performance on the baseline simulator "
+        "(normalized IPC)",
+        sweep);
+    return 0;
+}

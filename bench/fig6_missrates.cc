@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Figure 6: TLB miss rates for fully-associative TLBs of 4 to 128
+ * entries. As in the paper, the 4/8/16-entry configurations use LRU
+ * replacement (they model L1 TLBs) and the 32/64/128-entry
+ * configurations use random replacement (they model base TLBs). All
+ * six TLBs observe each program's full data-reference stream in one
+ * functional pass; the summary row is the run-time weighted average,
+ * weighted by each program's cycles under the T4 design.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+#include "cpu/func_core.hh"
+#include "tlb/tlb_array.hh"
+#include "vm/address_space.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+struct TlbSpec
+{
+    unsigned entries;
+    tlb::Replacement repl;
+};
+
+const std::vector<TlbSpec> kSpecs = {
+    {4, tlb::Replacement::Lru},    {8, tlb::Replacement::Lru},
+    {16, tlb::Replacement::Lru},   {32, tlb::Replacement::Random},
+    {64, tlb::Replacement::Random}, {128, tlb::Replacement::Random},
+};
+
+/** Miss rate of each spec'd TLB over one program's reference stream. */
+std::vector<double>
+missRates(const kasm::Program &prog, const vm::PageParams &pages,
+          uint64_t seed)
+{
+    std::vector<tlb::TlbArray> tlbs;
+    for (const TlbSpec &spec : kSpecs)
+        tlbs.emplace_back(spec.entries, spec.repl, seed);
+
+    vm::AddressSpace space{pages};
+    space.load(prog);
+    cpu::FuncCore core(space, prog);
+
+    std::vector<uint64_t> misses(kSpecs.size(), 0);
+    uint64_t refs = 0;
+    Cycle tick = 0;
+    while (!core.halted()) {
+        const cpu::DynInst dyn = core.step();
+        if (!dyn.isMem())
+            continue;
+        ++refs;
+        ++tick;
+        const Vpn vpn = pages.vpn(dyn.effAddr);
+        for (size_t t = 0; t < tlbs.size(); ++t) {
+            if (!tlbs[t].lookup(vpn, tick)) {
+                ++misses[t];
+                tlbs[t].insert(vpn, tick);
+            }
+        }
+    }
+
+    std::vector<double> rates;
+    for (uint64_t m : misses)
+        rates.push_back(ratio(m, refs));
+    return rates;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, bench::ExperimentConfig{});
+    const vm::PageParams pages(cfg.pageBytes);
+
+    TextTable table;
+    {
+        std::vector<std::string> head{"program"};
+        for (const TlbSpec &spec : kSpecs) {
+            head.push_back(
+                std::to_string(spec.entries) +
+                (spec.repl == tlb::Replacement::Lru ? " (LRU)"
+                                                    : " (rand)"));
+        }
+        table.header(std::move(head));
+    }
+
+    std::vector<std::vector<double>> all;
+    std::vector<double> weights;
+    std::vector<std::string> programs;
+    if (cfg.programs.empty()) {
+        for (const workloads::Workload &w : workloads::all())
+            programs.push_back(w.name);
+    } else {
+        programs = cfg.programs;
+    }
+
+    for (const std::string &name : programs) {
+        std::fprintf(stderr, "  [%s]\n", name.c_str());
+        const kasm::Program prog =
+            workloads::build(name, cfg.budget, cfg.scale);
+
+        // Weight: run time in cycles under the reference design.
+        sim::SimConfig sc;
+        sc.design = tlb::Design::T4;
+        sc.pageBytes = cfg.pageBytes;
+        sc.seed = cfg.seed;
+        const sim::SimResult timed = sim::simulate(prog, sc);
+        weights.push_back(double(timed.cycles()));
+
+        const std::vector<double> rates =
+            missRates(prog, pages, cfg.seed);
+        all.push_back(rates);
+
+        std::vector<std::string> row{name};
+        for (double r : rates)
+            row.push_back(percent(r, 3));
+        table.row(std::move(row));
+    }
+
+    std::vector<std::string> avg{"RTW-avg"};
+    for (size_t t = 0; t < kSpecs.size(); ++t) {
+        std::vector<double> vals;
+        for (const auto &rates : all)
+            vals.push_back(rates[t]);
+        avg.push_back(percent(weightedAverage(vals, weights), 3));
+    }
+    table.row(std::move(avg));
+
+    std::printf("Figure 6: TLB miss rates (fully-associative, %u-byte "
+                "pages, scale %.2f)\n\n",
+                cfg.pageBytes, cfg.scale);
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

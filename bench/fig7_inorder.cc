@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 7: relative performance with the 8-way *in-order* issue
+ * model. The reduced bandwidth demand narrows every design's gap to
+ * T4 (Section 4.4): the single-ported T1 loses only a few percent,
+ * and the interleaved designs roughly halve their degradation.
+ */
+
+#include "bench/harness.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.inOrder = true;
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+
+    const bench::Sweep sweep =
+        bench::runDesignSweep(cfg, tlb::allDesigns());
+    bench::printSweep(
+        "Figure 7: relative performance with in-order issue "
+        "(normalized IPC)",
+        sweep);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 9: relative performance with few architected registers —
+ * every workload is re-linked for 8 int / 8 fp registers
+ * (Section 4.6). Spill/reload code sharply raises loads and stores;
+ * the multi-level designs hold up (the extra stack traffic is
+ * local), pretranslation suffers (spilled pointers lose their
+ * attachments), and the interleaved designs drop further.
+ */
+
+#include "bench/harness.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.budget = kasm::RegBudget{8, 8};
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+
+    const bench::Sweep sweep =
+        bench::runDesignSweep(cfg, tlb::allDesigns());
+    bench::printSweep(
+        "Figure 9: relative performance with 8 int / 8 fp registers "
+        "(normalized IPC)",
+        sweep);
+    return 0;
+}

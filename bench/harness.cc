@@ -1,0 +1,145 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::bench
+{
+
+const Cell &
+Sweep::cell(size_t prog, size_t design) const
+{
+    return cells[prog * designs.size() + design];
+}
+
+ExperimentConfig
+parseArgs(int argc, char **argv, ExperimentConfig defaults)
+{
+    ExperimentConfig cfg = defaults;
+    if (const char *env = std::getenv("HBAT_SCALE"))
+        cfg.scale = std::atof(env);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            cfg.scale = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--program") == 0 &&
+                   i + 1 < argc) {
+            cfg.programs.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            cfg.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else {
+            hbat_fatal("unknown argument '", argv[i],
+                       "' (supported: --scale f, --program name, "
+                       "--seed n)");
+        }
+    }
+    hbat_assert(cfg.scale > 0.0, "scale must be positive");
+    return cfg;
+}
+
+Sweep
+runDesignSweep(const ExperimentConfig &config,
+               const std::vector<tlb::Design> &designs)
+{
+    Sweep sweep;
+    sweep.config = config;
+    sweep.designs = designs;
+
+    if (config.programs.empty()) {
+        for (const workloads::Workload &w : workloads::all())
+            sweep.programs.push_back(w.name);
+    } else {
+        sweep.programs = config.programs;
+    }
+
+    for (const std::string &name : sweep.programs) {
+        // One link per program serves every design.
+        const kasm::Program prog =
+            workloads::build(name, config.budget, config.scale);
+        for (tlb::Design d : designs) {
+            std::fprintf(stderr, "  [%s / %s]\n", name.c_str(),
+                         tlb::designName(d).c_str());
+            sim::SimConfig sc;
+            sc.design = d;
+            sc.pageBytes = config.pageBytes;
+            sc.inOrder = config.inOrder;
+            sc.budget = config.budget;
+            sc.seed = config.seed;
+            Cell cell;
+            cell.program = name;
+            cell.design = d;
+            cell.result = sim::simulate(prog, sc);
+            sweep.cells.push_back(std::move(cell));
+        }
+    }
+    return sweep;
+}
+
+namespace
+{
+
+void
+printTable(const std::string &title, const Sweep &sweep,
+           bool normalized)
+{
+    TextTable table;
+    std::vector<std::string> head{"program"};
+    for (tlb::Design d : sweep.designs)
+        head.push_back(tlb::designName(d));
+    table.header(std::move(head));
+
+    for (size_t p = 0; p < sweep.programs.size(); ++p) {
+        std::vector<std::string> row{sweep.programs[p]};
+        const double base = sweep.cell(p, 0).result.ipc();
+        for (size_t d = 0; d < sweep.designs.size(); ++d) {
+            const double ipc = sweep.cell(p, d).result.ipc();
+            row.push_back(normalized ? fixed(ratio(ipc, base), 3)
+                                     : fixed(ipc, 3));
+        }
+        table.row(std::move(row));
+    }
+
+    // Run-time weighted average (weights: cycles under the first
+    // design, which the experiments keep as T4 per the paper).
+    std::vector<std::string> avg{"RTW-avg"};
+    for (size_t d = 0; d < sweep.designs.size(); ++d) {
+        std::vector<double> vals, weights;
+        for (size_t p = 0; p < sweep.programs.size(); ++p) {
+            const double base = sweep.cell(p, 0).result.ipc();
+            const double ipc = sweep.cell(p, d).result.ipc();
+            vals.push_back(normalized ? ratio(ipc, base) : ipc);
+            weights.push_back(double(sweep.cell(p, 0).result.cycles()));
+        }
+        avg.push_back(fixed(weightedAverage(vals, weights), 3));
+    }
+    table.row(std::move(avg));
+
+    std::printf("%s\n", title.c_str());
+    std::printf("(scale %.2f, %s issue, %u-byte pages, %d int/%d fp "
+                "registers)\n\n",
+                sweep.config.scale,
+                sweep.config.inOrder ? "in-order" : "out-of-order",
+                sweep.config.pageBytes, sweep.config.budget.intRegs,
+                sweep.config.budget.fpRegs);
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+void
+printSweep(const std::string &title, const Sweep &sweep)
+{
+    printTable(title, sweep, true);
+}
+
+void
+printSweepAbsolute(const std::string &title, const Sweep &sweep)
+{
+    printTable(title, sweep, false);
+}
+
+} // namespace hbat::bench

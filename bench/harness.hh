@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared experiment harness for the figure-regeneration binaries.
+ *
+ * Each bench binary configures one of the paper's experiments
+ * (Figures 5, 7, 8, 9 plus Table 3 and the ablations) and calls
+ * runDesignSweep()/printSweep(), which reproduce the paper's
+ * methodology: every program runs under every design, per-program
+ * IPCs are normalized to the four-ported reference (T4), and the
+ * summary row is the run-time weighted average, weighted by each
+ * program's T4 run time in cycles (Section 4.3).
+ *
+ * Scale: workloads default to their evaluation size (~1-6M dynamic
+ * instructions). Pass --scale <f> or set HBAT_SCALE to shrink runs
+ * for quick iteration.
+ */
+
+#ifndef HBAT_BENCH_HARNESS_HH
+#define HBAT_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace hbat::bench
+{
+
+/** One experiment's machine configuration (independent of design). */
+struct ExperimentConfig
+{
+    unsigned pageBytes = 4096;
+    bool inOrder = false;
+    kasm::RegBudget budget{32, 32};
+    double scale = 1.0;
+    uint64_t seed = 12345;
+    /** Subset of workloads to run (empty = all). */
+    std::vector<std::string> programs;
+};
+
+/** Results of one (program, design) cell. */
+struct Cell
+{
+    std::string program;
+    tlb::Design design;
+    sim::SimResult result;
+};
+
+/** A full sweep: every selected program under every design. */
+struct Sweep
+{
+    ExperimentConfig config;
+    std::vector<tlb::Design> designs;
+    std::vector<std::string> programs;
+    std::vector<Cell> cells;    ///< programs x designs, program-major
+
+    const Cell &cell(size_t prog, size_t design) const;
+};
+
+/** Parse --scale/--programs/--designs flags and HBAT_SCALE. */
+ExperimentConfig parseArgs(int argc, char **argv,
+                           ExperimentConfig defaults);
+
+/** Run the sweep (prints progress to stderr). */
+Sweep runDesignSweep(const ExperimentConfig &config,
+                     const std::vector<tlb::Design> &designs);
+
+/**
+ * Print the paper-style table: one row per program of IPCs normalized
+ * to the first design in the sweep (T4 by convention), then the
+ * run-time weighted average row.
+ */
+void printSweep(const std::string &title, const Sweep &sweep);
+
+/** Print absolute IPCs instead of normalized values. */
+void printSweepAbsolute(const std::string &title, const Sweep &sweep);
+
+} // namespace hbat::bench
+
+#endif // HBAT_BENCH_HARNESS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the translation engines'
+ * simulation throughput: the per-cycle request path of each Table 2
+ * design, plus the TlbArray primitives. These measure *simulator*
+ * performance (host ns/op), useful when sizing larger experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "tlb/design.hh"
+#include "tlb/tlb_array.hh"
+#include "vm/page_table.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+void
+BM_TlbArrayLookup(benchmark::State &state)
+{
+    tlb::TlbArray array(unsigned(state.range(0)),
+                        tlb::Replacement::Random, 1);
+    Rng rng(2);
+    Cycle clock = 0;
+    for (unsigned i = 0; i < state.range(0); ++i)
+        array.insert(i, clock++);
+    for (auto _ : state) {
+        const Vpn v = rng.below(uint64_t(state.range(0)) * 2);
+        benchmark::DoNotOptimize(array.lookup(v, ++clock));
+    }
+}
+BENCHMARK(BM_TlbArrayLookup)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_TlbArrayInsertEvict(benchmark::State &state)
+{
+    tlb::TlbArray array(128, tlb::Replacement::Random, 1);
+    Rng rng(3);
+    Cycle clock = 0;
+    for (auto _ : state)
+        array.insert(rng.next(), ++clock);
+}
+BENCHMARK(BM_TlbArrayInsertEvict);
+
+void
+runEngine(benchmark::State &state, tlb::Design design, double locality)
+{
+    vm::PageTable pt;
+    auto engine = tlb::makeEngine(design, pt, 7);
+    Rng rng(4);
+    Cycle clock = 0;
+    Vpn page = 0;
+    for (auto _ : state) {
+        engine->beginCycle(++clock);
+        for (int r = 0; r < 4; ++r) {
+            if (!rng.chance(locality))
+                page = rng.below(4096);
+            tlb::XlateRequest req;
+            req.vpn = page;
+            req.seq = clock * 4 + r;
+            req.baseReg = RegIndex(r + 4);
+            req.isLoad = true;
+            const tlb::Outcome out = engine->request(req, clock);
+            if (out.kind == tlb::Outcome::Kind::Miss)
+                engine->fill(page, clock);
+            benchmark::DoNotOptimize(out);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void
+BM_EngineCycle(benchmark::State &state)
+{
+    const auto designs = tlb::allDesigns();
+    runEngine(state, designs[size_t(state.range(0))], 0.8);
+}
+BENCHMARK(BM_EngineCycle)
+    ->DenseRange(0, int(tlb::Design::NumDesigns) - 1)
+    ->ArgName("design");
+
+void
+BM_EngineCycleLowLocality(benchmark::State &state)
+{
+    const auto designs = tlb::allDesigns();
+    runEngine(state, designs[size_t(state.range(0))], 0.1);
+}
+BENCHMARK(BM_EngineCycleLowLocality)
+    ->Arg(0)    // T4
+    ->Arg(7)    // M8
+    ->Arg(9)    // P8
+    ->ArgName("design");
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 3: program execution performance on the baseline 8-way
+ * out-of-order simulator (design T4): instruction/load/store counts,
+ * issued and committed operations per cycle, and the conditional
+ * branch prediction rate.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+#include "workloads/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, bench::ExperimentConfig{});
+
+    TextTable table;
+    table.header({"program", "insts(K)", "loads(K)", "stores(K)",
+                  "inst/cyc", "(ld+st)/cyc", "br-pred", "data-KB"});
+
+    std::vector<std::string> programs;
+    if (cfg.programs.empty()) {
+        for (const workloads::Workload &w : workloads::all())
+            programs.push_back(w.name);
+    } else {
+        programs = cfg.programs;
+    }
+
+    for (const std::string &name : programs) {
+        std::fprintf(stderr, "  [%s]\n", name.c_str());
+        const kasm::Program prog =
+            workloads::build(name, cfg.budget, cfg.scale);
+        sim::SimConfig sc;
+        sc.design = tlb::Design::T4;
+        sc.pageBytes = cfg.pageBytes;
+        sc.inOrder = cfg.inOrder;
+        sc.seed = cfg.seed;
+        const sim::SimResult r = sim::simulate(prog, sc);
+
+        table.row({
+            name,
+            fixed(double(r.pipe.committed) / 1000.0, 0),
+            fixed(double(r.pipe.committedLoads) / 1000.0, 0),
+            fixed(double(r.pipe.committedStores) / 1000.0, 0),
+            fixed(r.ipc(), 2),
+            fixed(double(r.pipe.committedLoads +
+                         r.pipe.committedStores) /
+                      double(r.pipe.cycles),
+                  2),
+            percent(r.pipe.predictor.rate(), 1),
+            fixed(double(r.touchedPages) * cfg.pageBytes / 1024.0, 0),
+        });
+    }
+
+    std::printf("Table 3: program execution performance (baseline "
+                "out-of-order model, design T4, scale %.2f)\n\n",
+                cfg.scale);
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Writing a custom workload: a blocked 48x48 integer matrix multiply
+ * built with the kasm API, then linked for both the baseline (32/32)
+ * and the constrained (8/8) register files — the same mechanism the
+ * Figure 9 experiment uses — and evaluated across three translation
+ * designs.
+ *
+ *   $ ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hh"
+#include "kasm/program_builder.hh"
+#include "sim/simulator.hh"
+#include "tlb/design.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+constexpr uint32_t kN = 48;
+
+/** C = A * B over row-major int32 matrices, inner loop unrolled x4. */
+void
+buildMatmul(kasm::ProgramBuilder &pb)
+{
+    auto &b = pb.code();
+    Rng rng(99);
+
+    std::vector<uint32_t> init(kN * kN);
+    for (auto &v : init)
+        v = uint32_t(rng.below(100));
+    const VAddr ma = pb.words(init);
+    for (auto &v : init)
+        v = uint32_t(rng.below(100));
+    const VAddr mb = pb.words(init);
+    const VAddr mc = pb.space(uint64_t(kN) * kN * 4, 8);
+
+    kasm::VReg i = b.vint(), j = b.vint(), k = b.vint();
+    kasm::VReg pa = b.vint(), pbp = b.vint(), acc = b.vint();
+    kasm::VReg n = b.vint(), t = b.vint(), u = b.vint();
+
+    b.li(n, kN);
+    b.li(i, 0);
+    kasm::VLabel iLoop = b.label(), iDone = b.label();
+    kasm::VLabel jLoop = b.label(), jDone = b.label();
+    kasm::VLabel kLoop = b.label(), kDone = b.label();
+
+    b.bind(iLoop);
+    b.bge(i, n, iDone);
+    b.li(j, 0);
+    b.bind(jLoop);
+    b.bge(j, n, jDone);
+
+    // acc = sum_k A[i][k] * B[k][j]
+    b.li(acc, 0);
+    // pa = &A[i][0]
+    b.li(pa, uint32_t(ma));
+    b.mul(t, i, n);
+    b.slli(t, t, 2);
+    b.add(pa, pa, t);
+    // pb = &B[0][j]
+    b.li(pbp, uint32_t(mb));
+    b.slli(t, j, 2);
+    b.add(pbp, pbp, t);
+
+    b.li(k, 0);
+    b.bind(kLoop);
+    b.bge(k, n, kDone);
+    for (int un = 0; un < 4; ++un) {
+        b.lwpi(t, pa, 4);                   // A[i][k], post-increment
+        b.lw(u, pbp, 0);                    // B[k][j]
+        b.mul(t, t, u);
+        b.add(acc, acc, t);
+        b.addk(pbp, pbp, int64_t(kN) * 4);  // next row of B
+    }
+    b.addi(k, k, 4);
+    b.jmp(kLoop);
+    b.bind(kDone);
+
+    // C[i][j] = acc
+    b.li(t, uint32_t(mc));
+    b.mul(u, i, n);
+    b.add(u, u, j);
+    b.slli(u, u, 2);
+    b.add(t, t, u);
+    b.sw(acc, t, 0);
+
+    b.addi(j, j, 1);
+    b.jmp(jLoop);
+    b.bind(jDone);
+    b.addi(i, i, 1);
+    b.jmp(iLoop);
+    b.bind(iDone);
+    b.halt();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%-8s %-6s %10s %8s %10s %10s\n", "regs", "design",
+                "insts", "IPC", "loads", "stores");
+
+    for (const int regs : {32, 8}) {
+        kasm::ProgramBuilder pb("matmul");
+        buildMatmul(pb);
+        const kasm::Program prog =
+            pb.link(kasm::RegBudget{regs, regs});
+
+        for (tlb::Design d :
+             {tlb::Design::T4, tlb::Design::T1, tlb::Design::M8}) {
+            sim::SimConfig cfg;
+            cfg.design = d;
+            const sim::SimResult r = sim::simulate(prog, cfg);
+            std::printf("%-8d %-6s %10llu %8.2f %10llu %10llu\n",
+                        regs, tlb::designName(d).c_str(),
+                        (unsigned long long)r.pipe.committed, r.ipc(),
+                        (unsigned long long)r.pipe.committedLoads,
+                        (unsigned long long)r.pipe.committedStores);
+        }
+    }
+    std::printf("\nNote how the 8-register link multiplies loads and "
+                "stores (spill code),\nand how designs differ more "
+                "when bandwidth demand is higher.\n");
+    return 0;
+}

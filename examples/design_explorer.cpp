@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Design explorer: a command-line driver over the full simulator.
+ *
+ *   $ ./build/examples/design_explorer [workload] [design]
+ *         [--scale f] [--pages n] [--inorder] [--regs n]
+ *
+ * With no arguments it runs xlisp under M8 and prints a detailed
+ * report: pipeline, branch, cache, and translation statistics —
+ * everything a design-space exploration around the paper's Table 2
+ * needs from one run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/simulator.hh"
+#include "tlb/design.hh"
+#include "workloads/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+
+    std::string workload = "xlisp";
+    std::string design = "M8";
+    double scale = 0.3;
+    unsigned pages = 4096;
+    bool in_order = false;
+    int regs = 32;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--pages") == 0 &&
+                   i + 1 < argc) {
+            pages = unsigned(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--regs") == 0 &&
+                   i + 1 < argc) {
+            regs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--inorder") == 0) {
+            in_order = true;
+        } else if (positional == 0) {
+            workload = argv[i];
+            ++positional;
+        } else {
+            design = argv[i];
+            ++positional;
+        }
+    }
+
+    const workloads::Workload &w = workloads::find(workload);
+    std::printf("workload : %s  (%s)\n", w.name, w.paperAnalogue);
+    std::printf("           %s\n", w.behaviour);
+
+    const tlb::Design d = tlb::parseDesign(design);
+    std::printf("design   : %s — %s\n", tlb::designName(d).c_str(),
+                tlb::designDescription(d).c_str());
+    std::printf("machine  : 8-way %s, %u-byte pages, %d int/%d fp "
+                "regs, scale %.2f\n\n",
+                in_order ? "in-order" : "out-of-order", pages, regs,
+                regs, scale);
+
+    const kasm::Program prog =
+        workloads::build(workload, kasm::RegBudget{regs, regs}, scale);
+    sim::SimConfig cfg;
+    cfg.design = d;
+    cfg.pageBytes = pages;
+    cfg.inOrder = in_order;
+    const sim::SimResult r = sim::simulate(prog, cfg);
+
+    const auto &p = r.pipe;
+    const auto &x = p.xlate;
+    std::printf("-- pipeline ------------------------------------\n");
+    std::printf("cycles           %12llu\n",
+                (unsigned long long)p.cycles);
+    std::printf("committed        %12llu   IPC %.3f\n",
+                (unsigned long long)p.committed, p.ipc());
+    std::printf("loads/stores     %12llu / %llu   (%.2f refs/cycle)\n",
+                (unsigned long long)p.committedLoads,
+                (unsigned long long)p.committedStores,
+                double(p.committedLoads + p.committedStores) /
+                    double(p.cycles));
+    std::printf("branch pred      %12s   mispredicts %llu\n",
+                percent(p.predictor.rate(), 1).c_str(),
+                (unsigned long long)p.mispredicts);
+    std::printf("rob-full stalls  %12llu   lsq-full %llu\n",
+                (unsigned long long)p.robFullStalls,
+                (unsigned long long)p.lsqFullStalls);
+
+    std::printf("-- translation (%s) ----------------------------\n",
+                tlb::designName(d).c_str());
+    std::printf("requests         %12llu\n",
+                (unsigned long long)x.requests);
+    std::printf("shielded         %12llu   (%s of translations)\n",
+                (unsigned long long)x.shielded,
+                percent(ratio(x.shielded, x.translations), 1).c_str());
+    std::printf("port conflicts   %12llu\n",
+                (unsigned long long)x.noPort);
+    std::printf("piggybacks       %12llu\n",
+                (unsigned long long)x.piggybacks);
+    std::printf("base accesses    %12llu   hits %llu\n",
+                (unsigned long long)x.baseAccesses,
+                (unsigned long long)x.baseHits);
+    std::printf("misses (walks)   %12llu   (30 cycles each)\n",
+                (unsigned long long)p.tlbWalks);
+    std::printf("status writes    %12llu\n",
+                (unsigned long long)x.statusWrites);
+
+    std::printf("-- memory --------------------------------------\n");
+    std::printf("D-cache          %12llu accesses, %s miss rate\n",
+                (unsigned long long)p.dcache.accesses,
+                percent(ratio(p.dcache.misses, p.dcache.accesses), 2)
+                    .c_str());
+    std::printf("I-cache          %12llu accesses, %s miss rate\n",
+                (unsigned long long)p.icache.accesses,
+                percent(ratio(p.icache.misses, p.icache.accesses), 2)
+                    .c_str());
+    std::printf("data footprint   %12llu pages (%.1f KB)\n",
+                (unsigned long long)r.touchedPages,
+                double(r.touchedPages) * pages / 1024.0);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Disassembler walk-through: builds a workload at both register
+ * budgets and prints the first instructions of each binary, showing
+ * the binary encoding round-trip and what spill code looks like.
+ *
+ *   $ ./build/examples/disassemble [workload] [count]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "isa/isa.hh"
+#include "workloads/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+
+    const char *name = argc > 1 ? argv[1] : "compress";
+    const size_t count = argc > 2 ? size_t(std::atoi(argv[2])) : 24;
+
+    for (const int regs : {32, 8}) {
+        const kasm::Program prog = workloads::build(
+            name, kasm::RegBudget{regs, regs}, 0.01);
+        std::printf("== %s linked for %d int / %d fp registers "
+                    "(%zu instructions) ==\n",
+                    name, regs, regs, prog.text.size());
+        const size_t n = std::min(count, prog.text.size());
+        for (size_t i = 0; i < n; ++i) {
+            const VAddr pc = prog.textBase + i * 4;
+            const isa::Inst inst = isa::decode(prog.text[i]);
+            std::printf("  %08llx:  %08x  %s\n",
+                        (unsigned long long)pc, prog.text[i],
+                        isa::disassemble(inst, pc).c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

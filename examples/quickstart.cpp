@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a small program with the kasm builder, run it on
+ * the cycle-level simulator under two translation designs, and read
+ * the statistics.
+ *
+ *   $ ./build/examples/quickstart
+ *
+ * The program strides through an array summing elements — four
+ * independent loads per iteration, so the single-ported TLB (T1)
+ * visibly throttles it while the multi-level M8 does not.
+ */
+
+#include <cstdio>
+
+#include "kasm/program_builder.hh"
+#include "sim/simulator.hh"
+#include "tlb/design.hh"
+
+int
+main()
+{
+    using namespace hbat;
+
+    // 1. Write a program against virtual registers.
+    kasm::ProgramBuilder pb("quickstart");
+    auto &b = pb.code();
+
+    const VAddr array = pb.space(64 * 1024, 64);    // 64 KB of data
+    kasm::VReg abase = b.vint(), base = b.vint(), off = b.vint();
+    kasm::VReg i = b.vint(), sum = b.vint();
+    kasm::VReg v0 = b.vint(), v1 = b.vint(), v2 = b.vint(),
+               v3 = b.vint();
+
+    b.li(abase, uint32_t(array));
+    b.li(off, 0);
+    b.li(sum, 0);
+    b.forLoop(i, 2000, [&] {
+        b.add(base, abase, off);
+        b.lw(v0, base, 0);
+        b.lw(v1, base, 4096);       // four pages touched per pass
+        b.lw(v2, base, 8192);
+        b.lw(v3, base, 12288);
+        b.add(sum, sum, v0);
+        b.add(sum, sum, v1);
+        b.add(sum, sum, v2);
+        b.add(sum, sum, v3);
+        b.addi(off, off, 4);
+        b.andi(off, off, 0x0ffc);   // wrap within the first page
+    });
+    b.halt();
+
+    // 2. Link for the baseline 32/32 architected registers.
+    const kasm::Program prog = pb.link(kasm::RegBudget{32, 32});
+    std::printf("linked %zu instructions\n\n", prog.text.size());
+
+    // 3. Run under any Table 2 design.
+    for (tlb::Design d : {tlb::Design::T4, tlb::Design::T1,
+                          tlb::Design::M8, tlb::Design::PB2}) {
+        sim::SimConfig cfg;
+        cfg.design = d;
+        const sim::SimResult r = sim::simulate(prog, cfg);
+        std::printf(
+            "%-5s  cycles=%8llu  IPC=%.2f  port-conflicts=%llu  "
+            "shielded=%llu  walks=%llu\n",
+            tlb::designName(d).c_str(),
+            (unsigned long long)r.cycles(), r.ipc(),
+            (unsigned long long)r.pipe.xlate.noPort,
+            (unsigned long long)r.pipe.xlate.shielded,
+            (unsigned long long)r.pipe.tlbWalks);
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "branch/gap_predictor.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace hbat::branch
+{
+
+GapPredictor::GapPredictor(unsigned history_bits, unsigned pht_entries)
+    : historyBits(history_bits),
+      historyMask(unsigned(mask(history_bits))),
+      pht(pht_entries, 1)   // weakly not-taken
+{
+    hbat_assert(isPowerOfTwo(pht_entries), "PHT size not 2^k");
+    hbat_assert(pht_entries >= (1u << history_bits),
+                "PHT smaller than the history space");
+}
+
+unsigned
+GapPredictor::index(VAddr pc) const
+{
+    // History forms the low index bits; the remaining bits come from
+    // the branch address (word-aligned), giving the per-address "p"
+    // in GAp.
+    const unsigned pc_bits =
+        unsigned(pht.size()) / (1u << historyBits) - 1;
+    const unsigned pc_sel = unsigned(pc >> 2) & pc_bits;
+    return (pc_sel << historyBits) | history;
+}
+
+bool
+GapPredictor::predict(VAddr pc) const
+{
+    return pht[index(pc)] >= 2;
+}
+
+void
+GapPredictor::update(VAddr pc, bool taken, bool predicted)
+{
+    ++stats_.lookups;
+    if (taken == predicted)
+        ++stats_.correct;
+
+    uint8_t &ctr = pht[index(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+
+    history = ((history << 1) | unsigned(taken)) & historyMask;
+}
+
+} // namespace hbat::branch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GAp two-level branch predictor (Table 1; [YP93]).
+ *
+ * An 8-bit global branch-history register is concatenated with low PC
+ * bits to index a 4096-entry pattern history table of 2-bit saturating
+ * counters. The fetch stage consults it for every conditional branch;
+ * a wrong prediction costs the 3-cycle misprediction penalty (charged
+ * by the pipeline). History and counters update with the resolved
+ * outcome.
+ */
+
+#ifndef HBAT_BRANCH_GAP_PREDICTOR_HH
+#define HBAT_BRANCH_GAP_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hbat::branch
+{
+
+/** Predictor event counters. */
+struct PredictorStats
+{
+    uint64_t lookups = 0;
+    uint64_t correct = 0;
+
+    double
+    rate() const
+    {
+        return lookups == 0 ? 0.0 : double(correct) / double(lookups);
+    }
+};
+
+/** GAp: global history + per-address PHT selection bits. */
+class GapPredictor
+{
+  public:
+    /**
+     * @param history_bits global history length (8 in the paper)
+     * @param pht_entries pattern-history-table size (4096)
+     */
+    GapPredictor(unsigned history_bits = 8, unsigned pht_entries = 4096);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(VAddr pc) const;
+
+    /**
+     * Record the resolved outcome: updates the counter, the global
+     * history, and the accuracy statistics against @p predicted.
+     */
+    void update(VAddr pc, bool taken, bool predicted);
+
+    const PredictorStats &stats() const { return stats_; }
+
+  private:
+    unsigned index(VAddr pc) const;
+
+    unsigned historyBits;
+    unsigned historyMask;
+    uint32_t history = 0;
+    std::vector<uint8_t> pht;   ///< 2-bit saturating counters
+    PredictorStats stats_;
+};
+
+} // namespace hbat::branch
+
+#endif // HBAT_BRANCH_GAP_PREDICTOR_HH

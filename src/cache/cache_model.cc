@@ -1,0 +1,106 @@
+#include "cache/cache_model.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace hbat::cache
+{
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : config_(config)
+{
+    hbat_assert(isPowerOfTwo(config.blockBytes), "block size not 2^k");
+    hbat_assert(config.sizeBytes % (config.blockBytes * config.assoc) ==
+                    0,
+                "cache size not divisible by way size");
+    numSets = config.sizeBytes / (config.blockBytes * config.assoc);
+    hbat_assert(isPowerOfTwo(numSets), "set count not 2^k");
+    lines.resize(size_t(numSets) * config.assoc);
+}
+
+uint64_t
+CacheModel::blockAddr(PAddr pa) const
+{
+    return pa / config_.blockBytes;
+}
+
+uint64_t
+CacheModel::setIndex(uint64_t block) const
+{
+    return block & (numSets - 1);
+}
+
+CacheAccess
+CacheModel::access(PAddr pa, bool write, Cycle now)
+{
+    ++stats_.accesses;
+    const uint64_t block = blockAddr(pa);
+    const uint64_t set = setIndex(block);
+    Line *const base = &lines[set * config_.assoc];
+
+    // Hit?
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == block) {
+            line.lastUse = now;
+            line.dirty |= write;
+            // A block still being filled is usable only when the fill
+            // completes (an MSHR merge).
+            auto it = pendingFills.find(block);
+            if (it != pendingFills.end() && it->second > now) {
+                ++stats_.mshrMerges;
+                return CacheAccess{false, it->second};
+            }
+            ++stats_.hits;
+            return CacheAccess{true, now};
+        }
+    }
+
+    // Miss: allocate (write-allocate for both reads and writes).
+    ++stats_.misses;
+    Line *victim = base;
+    for (uint32_t w = 1; w < config_.assoc; ++w)
+        if (!base[w].valid || (victim->valid &&
+                               base[w].lastUse < victim->lastUse))
+            victim = &base[w];
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    if (victim->valid)
+        pendingFills.erase(victim->tag);
+
+    *victim = Line{block, true, write, now};
+    const Cycle ready = now + config_.missLatency;
+    pendingFills[block] = ready;
+
+    // Opportunistic cleanup: drop completed fills to bound the map.
+    if (pendingFills.size() > 4096) {
+        for (auto it = pendingFills.begin(); it != pendingFills.end();) {
+            if (it->second <= now)
+                it = pendingFills.erase(it);
+            else
+                ++it;
+        }
+    }
+    return CacheAccess{false, ready};
+}
+
+bool
+CacheModel::contains(PAddr pa) const
+{
+    const uint64_t block = blockAddr(pa);
+    const Line *const base = &lines[setIndex(block) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w)
+        if (base[w].valid && base[w].tag == block)
+            return true;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (Line &line : lines)
+        line = Line{};
+    pendingFills.clear();
+}
+
+} // namespace hbat::cache

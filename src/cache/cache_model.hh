@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Set-associative cache timing model.
+ *
+ * Models Table 1's caches: 32 KB, 2-way set-associative, 32-byte
+ * blocks, write-back/write-allocate, 6-cycle miss latency, with a
+ * non-blocking interface. Port arbitration (the D-cache's four ports)
+ * is the pipeline's job; this class tracks tags, replacement, and
+ * per-access readiness. Outstanding misses are unlimited (the paper
+ * allows one per physical register, far more than ever in flight
+ * here); accesses to a block already being filled merge with the
+ * in-flight fill instead of starting a new one.
+ */
+
+#ifndef HBAT_CACHE_CACHE_MODEL_HH
+#define HBAT_CACHE_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hbat::cache
+{
+
+/** Geometry and timing of one cache. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 2;
+    uint32_t blockBytes = 32;
+    Cycle missLatency = 6;
+};
+
+/** Cache event counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t mshrMerges = 0;    ///< misses merged with in-flight fills
+    uint64_t writebacks = 0;    ///< dirty blocks evicted
+};
+
+/** One access's outcome. */
+struct CacheAccess
+{
+    bool hit = false;
+    /** Cycle the data is available (now for hits, fill time for
+     *  misses); the pipeline adds the functional-unit latency. */
+    Cycle ready = 0;
+};
+
+/** LRU set-associative write-back cache. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config);
+
+    /**
+     * Access physical address @p pa at cycle @p now.
+     * Misses allocate (write-allocate) and schedule the fill.
+     */
+    CacheAccess access(PAddr pa, bool write, Cycle now);
+
+    /** Probe tags without updating any state. */
+    bool contains(PAddr pa) const;
+
+    /** Invalidate everything (used between benchmark runs). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        Cycle lastUse = 0;
+    };
+
+    uint64_t blockAddr(PAddr pa) const;
+    uint64_t setIndex(uint64_t block) const;
+
+    CacheConfig config_;
+    uint32_t numSets;
+    std::vector<Line> lines;    ///< numSets x assoc, row-major
+    /** Blocks currently being filled -> fill-complete cycle. */
+    std::unordered_map<uint64_t, Cycle> pendingFills;
+    CacheStats stats_;
+};
+
+} // namespace hbat::cache
+
+#endif // HBAT_CACHE_CACHE_MODEL_HH

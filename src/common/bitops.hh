@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the TLB bank-selection
+ * functions, cache indexing, and the instruction encoder.
+ */
+
+#ifndef HBAT_COMMON_BITOPS_HH
+#define HBAT_COMMON_BITOPS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace hbat
+{
+
+/** Return true when @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    assert(v != 0);
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Exact log2 of a power of two. */
+constexpr unsigned
+exactLog2(uint64_t v)
+{
+    assert(isPowerOfTwo(v));
+    return floorLog2(v);
+}
+
+/** A mask with the low @p n bits set. */
+constexpr uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~uint64_t(0) : ((uint64_t(1) << n) - 1);
+}
+
+/** Extract bits [first, first+count) of @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned first, unsigned count)
+{
+    return (v >> first) & mask(count);
+}
+
+/** Insert the low @p count bits of @p field at bit @p first of @p v. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned first, unsigned count, uint64_t field)
+{
+    const uint64_t m = mask(count) << first;
+    return (v & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p width bits of @p v to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t v, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    const uint64_t sign = uint64_t(1) << (width - 1);
+    const uint64_t low = v & mask(width);
+    return int64_t((low ^ sign) - sign);
+}
+
+/**
+ * XOR-fold @p v down to @p width bits by repeatedly XORing
+ * @p width-bit groups together (the bank-randomizing hash of
+ * [KJLH89] that design X4 uses).
+ */
+constexpr uint64_t
+xorFold(uint64_t v, unsigned width)
+{
+    assert(width > 0 && width < 64);
+    uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask(width);
+        v >>= width;
+    }
+    return r;
+}
+
+} // namespace hbat
+
+#endif // HBAT_COMMON_BITOPS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal/panic distinction:
+ * fatal() is for user error (bad configuration), panic() for simulator
+ * bugs (impossible states).
+ */
+
+#ifndef HBAT_COMMON_LOG_HH
+#define HBAT_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace hbat
+{
+
+/** Terminate with exit(1): the *user* asked for something invalid. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with abort(): the *simulator* reached an impossible state. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace hbat
+
+#define hbat_fatal(...) \
+    ::hbat::fatalImpl(__FILE__, __LINE__, ::hbat::detail::concat(__VA_ARGS__))
+
+#define hbat_panic(...) \
+    ::hbat::panicImpl(__FILE__, __LINE__, ::hbat::detail::concat(__VA_ARGS__))
+
+#define hbat_warn(...) \
+    ::hbat::warnImpl(__FILE__, __LINE__, ::hbat::detail::concat(__VA_ARGS__))
+
+/** Panic unless @p cond holds; used for internal invariants. */
+#define hbat_assert(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::hbat::panicImpl(__FILE__, __LINE__,                         \
+                ::hbat::detail::concat("assertion '" #cond "' failed: ",  \
+                                       ##__VA_ARGS__));                   \
+        }                                                                 \
+    } while (0)
+
+#endif // HBAT_COMMON_LOG_HH

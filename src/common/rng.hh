@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Every source of randomness in the simulator (random TLB/cache
+ * replacement, synthetic workload data) draws from a seeded instance of
+ * this generator so experiments are exactly reproducible run-to-run and
+ * host-to-host. The generator is xorshift64*, which is tiny, fast, and
+ * has no global state.
+ */
+
+#ifndef HBAT_COMMON_RNG_HH
+#define HBAT_COMMON_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace hbat
+{
+
+/** Seedable xorshift64* pseudo-random number generator. */
+class Rng
+{
+  public:
+    /** Construct with a non-zero seed (zero is remapped internally). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        assert(bound != 0);
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace hbat
+
+#endif // HBAT_COMMON_RNG_HH

@@ -1,0 +1,106 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hbat
+{
+
+double
+ratio(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0 : double(num) / double(den);
+}
+
+double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+double
+weightedAverage(const std::vector<double> &values,
+                const std::vector<double> &weights)
+{
+    hbat_assert(values.size() == weights.size(),
+                "values/weights size mismatch");
+    double sum = 0.0, wsum = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        hbat_assert(weights[i] >= 0.0, "negative weight");
+        sum += values[i] * weights[i];
+        wsum += weights[i];
+    }
+    return wsum == 0.0 ? 0.0 : sum / wsum;
+}
+
+std::string
+percent(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+    return buf;
+}
+
+std::string
+fixed(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    hbat_assert(rows_.empty(), "header must be set before rows");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    hbat_assert(!rows_.empty(), "set a header first");
+    hbat_assert(cells.size() == rows_.front().size(),
+                "row width mismatch: ", cells.size(), " vs ",
+                rows_.front().size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    if (rows_.empty())
+        return "";
+
+    std::vector<size_t> width(rows_.front().size(), 0);
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        for (size_t c = 0; c < rows_[r].size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-justify the first column (names), right-justify data.
+            const auto &cell = rows_[r][c];
+            if (c == 0) {
+                os << cell << std::string(width[c] - cell.size(), ' ');
+            } else {
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            }
+        }
+        os << '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < width.size(); ++c)
+                total += width[c] + (c == 0 ? 0 : 2);
+            os << std::string(total, '-') << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace hbat

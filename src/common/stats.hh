@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight statistics utilities.
+ *
+ * Simulator components expose plain uint64_t counters; this header
+ * provides the aggregation helpers the paper's evaluation methodology
+ * needs — in particular the *run-time weighted average* (Section 4:
+ * "all the results presented ... are run-time weighted averages across
+ * all the benchmarks", weighted by the T4 run time in cycles) — plus a
+ * small fixed-width table printer used by the bench harnesses.
+ */
+
+#ifndef HBAT_COMMON_STATS_HH
+#define HBAT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbat
+{
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+double ratio(uint64_t num, uint64_t den);
+
+/** Safe ratio of doubles: returns 0 when the denominator is 0. */
+double ratio(double num, double den);
+
+/**
+ * Weighted average of @p values with non-negative @p weights.
+ * Used for the paper's run-time weighted averages, where the weight of
+ * each benchmark is its run time in cycles under the reference (T4)
+ * design. Returns 0 when all weights are zero.
+ */
+double weightedAverage(const std::vector<double> &values,
+                       const std::vector<double> &weights);
+
+/** Format @p v as a percentage string with @p prec decimals. */
+std::string percent(double v, int prec = 2);
+
+/** Format a double with @p prec decimals. */
+std::string fixed(double v, int prec = 3);
+
+/**
+ * Minimal fixed-width text table used by the bench binaries to print
+ * paper-style rows ("design | IPC | relative ...").
+ */
+class TextTable
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hbat
+
+#endif // HBAT_COMMON_STATS_HH

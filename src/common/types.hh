@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every hbat subsystem.
+ *
+ * The simulated machine is a 32-bit MIPS-like architecture (the paper's
+ * "extended virtual MIPS"); virtual and physical addresses are 32 bits
+ * wide, but we carry them in 64-bit integers so intermediate arithmetic
+ * (e.g. address + offset) never wraps in host code.
+ */
+
+#ifndef HBAT_COMMON_TYPES_HH
+#define HBAT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hbat
+{
+
+/** A virtual address in the simulated address space. */
+using VAddr = uint64_t;
+
+/** A physical address in the simulated machine. */
+using PAddr = uint64_t;
+
+/** A virtual page number (virtual address >> page shift). */
+using Vpn = uint64_t;
+
+/** A physical page number (physical address >> page shift). */
+using Ppn = uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = uint64_t;
+
+/** A dynamic instruction sequence number (program order). */
+using InstSeq = uint64_t;
+
+/** Register value on the simulated machine (32-bit integer registers). */
+using RegVal = uint32_t;
+
+/** Floating-point register value (64-bit, as the paper's FP pipeline). */
+using FpRegVal = double;
+
+/** An architected register index (integer or FP, each file has 32). */
+using RegIndex = uint8_t;
+
+/** Number of architected integer registers. */
+inline constexpr int kNumIntRegs = 32;
+
+/** Number of architected floating-point registers. */
+inline constexpr int kNumFpRegs = 32;
+
+/** Sentinel for "no register". */
+inline constexpr RegIndex kNoReg = 0xff;
+
+/** A cycle value meaning "never" / "not yet scheduled". */
+inline constexpr Cycle kCycleNever = ~Cycle(0);
+
+} // namespace hbat
+
+#endif // HBAT_COMMON_TYPES_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The dynamic-instruction record handed from the functional core to
+ * the timing models.
+ *
+ * Registers are carried as *unified* operand identifiers: integer
+ * registers occupy ids 0..31 and floating-point registers 32..63, so
+ * dependence tracking needs a single namespace. The record keeps the
+ * architected base-register id and load-displacement bits because the
+ * pretranslation design (Section 3.5) tags its cache with them.
+ */
+
+#ifndef HBAT_CPU_DYN_INST_HH
+#define HBAT_CPU_DYN_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace hbat::cpu
+{
+
+/** Unified operand id for integer register @p r. */
+inline constexpr uint8_t
+unifiedInt(RegIndex r)
+{
+    return r;
+}
+
+/** Unified operand id for FP register @p r. */
+inline constexpr uint8_t
+unifiedFp(RegIndex r)
+{
+    return uint8_t(32 + r);
+}
+
+/** Sentinel "no operand". */
+inline constexpr uint8_t kNoOperand = 0xff;
+
+/** One executed (correct-path) instruction. */
+struct DynInst
+{
+    InstSeq seq = 0;
+    VAddr pc = 0;
+    isa::Opcode op = isa::Opcode::Nop;
+
+    uint8_t srcs[3] = {kNoOperand, kNoOperand, kNoOperand};
+    uint8_t dsts[2] = {kNoOperand, kNoOperand};
+    uint8_t nSrcs = 0;
+    uint8_t nDsts = 0;
+
+    /**
+     * Index into srcs of a store's data operand, or -1. Store address
+     * generation does not wait for the data (the paper's out-of-order
+     * model lets loads go as soon as prior store *addresses* are
+     * known, so stores must produce their addresses early).
+     */
+    int8_t dataSrc = -1;
+
+    /// @name Memory access fields (valid when isLoad/isStore)
+    /// @{
+    VAddr effAddr = 0;
+    uint8_t memSize = 0;
+    bool isLoad = false;
+    bool isStore = false;
+    RegIndex baseReg = kNoReg;  ///< architected integer base register
+    uint8_t offsetHigh = 0;     ///< upper 4 bits of a load displacement
+    /// @}
+
+    /// @name Control-flow fields
+    /// @{
+    bool isBranch = false;      ///< conditional branch
+    bool isJump = false;        ///< unconditional transfer
+    bool isIndirect = false;    ///< JR/JALR (target unknown at fetch)
+    bool taken = false;
+    VAddr nextPc = 0;
+    /// @}
+
+    /**
+     * True when integer destinations carry pointer arithmetic:
+     * pretranslation propagates source attachments to the result.
+     */
+    bool propagatesPointer = false;
+
+    bool isMem() const { return isLoad || isStore; }
+};
+
+} // namespace hbat::cpu
+
+#endif // HBAT_CPU_DYN_INST_HH

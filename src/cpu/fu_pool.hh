@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Functional-unit pool (Table 1).
+ *
+ * 8 integer ALUs, 4 load/store units, 4 FP adders, one shared integer
+ * MULT/DIV unit, and one shared FP MULT/DIV unit. Each operation
+ * occupies its unit for its issue latency and delivers its result
+ * after its total latency; divides are unpipelined (issue latency =
+ * total latency = 12).
+ */
+
+#ifndef HBAT_CPU_FU_POOL_HH
+#define HBAT_CPU_FU_POOL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace hbat::cpu
+{
+
+/** Functional-unit counts. */
+struct FuPoolConfig
+{
+    unsigned intAlu = 8;
+    unsigned intMultDiv = 1;    ///< shared between IntMult and IntDiv
+    unsigned memPorts = 4;      ///< load/store units
+    unsigned fpAdd = 4;
+    unsigned fpMultDiv = 1;     ///< shared between FpMult and FpDiv
+};
+
+/** Tracks per-unit busy time. */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolConfig &config);
+
+    /**
+     * Try to claim a unit of the class serving @p cls at cycle @p now.
+     * On success the unit is busy for the class's issue latency.
+     */
+    bool acquire(isa::FuClass cls, Cycle now);
+
+    /** Result latency (Table 1 "total"). */
+    static Cycle totalLatency(isa::FuClass cls);
+
+    /** Unit-occupancy latency (Table 1 "issue"). */
+    static Cycle issueLatency(isa::FuClass cls);
+
+  private:
+    std::vector<Cycle> &group(isa::FuClass cls);
+
+    std::vector<Cycle> intAlu;
+    std::vector<Cycle> intMultDiv;
+    std::vector<Cycle> mem;
+    std::vector<Cycle> fpAdd;
+    std::vector<Cycle> fpMultDiv;
+};
+
+} // namespace hbat::cpu
+
+#endif // HBAT_CPU_FU_POOL_HH

@@ -1,0 +1,295 @@
+#include "cpu/func_core.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace hbat::cpu
+{
+
+using isa::Inst;
+using isa::Opcode;
+using isa::RC;
+
+FuncCore::FuncCore(vm::AddressSpace &mem, const kasm::Program &prog)
+    : mem(mem), textBase(prog.textBase), pc_(prog.entry)
+{
+    decoded.reserve(prog.text.size());
+    for (uint32_t word : prog.text)
+        decoded.push_back(isa::decode(word));
+    regs[isa::reg::sp] = RegVal(prog.stackTop);
+}
+
+const Inst &
+FuncCore::fetch(VAddr pc) const
+{
+    hbat_assert(pc >= textBase && pc % 4 == 0, "bad pc ", pc);
+    const size_t idx = (pc - textBase) / 4;
+    hbat_assert(idx < decoded.size(), "pc past end of text: ", pc);
+    return decoded[idx];
+}
+
+void
+FuncCore::setInt(RegIndex r, RegVal v)
+{
+    if (r != isa::reg::zero)
+        regs[r] = v;
+}
+
+DynInst
+FuncCore::step()
+{
+    hbat_assert(!isHalted, "step() after halt");
+
+    const Inst &si = fetch(pc_);
+    const isa::OpInfo &info = isa::opInfo(si.op);
+
+    DynInst dyn;
+    dyn.seq = nextSeq++;
+    dyn.pc = pc_;
+    dyn.op = si.op;
+    dyn.nextPc = pc_ + 4;
+    dyn.propagatesPointer = info.propagatesPointer;
+
+    // Operand lists (unified ids; the hardwired zero register is
+    // omitted since it is always ready and never written).
+    auto addSrc = [&](RegIndex r, RC rc) {
+        if (rc == RC::Int && r == isa::reg::zero)
+            return;
+        dyn.srcs[dyn.nSrcs++] =
+            rc == RC::Fp ? unifiedFp(r) : unifiedInt(r);
+    };
+    auto addDst = [&](RegIndex r, RC rc) {
+        if (rc == RC::Int && r == isa::reg::zero)
+            return;
+        dyn.dsts[dyn.nDsts++] =
+            rc == RC::Fp ? unifiedFp(r) : unifiedInt(r);
+    };
+
+    if (info.rs1Class != RC::None)
+        addSrc(si.rs1, info.rs1Class);
+    if (info.rs2Class != RC::None)
+        addSrc(si.rs2, info.rs2Class);
+    if (info.rdClass != RC::None && info.rdIsSource) {
+        const bool real = !(info.rdClass == RC::Int &&
+                            si.rd == isa::reg::zero);
+        if (real)
+            dyn.dataSrc = int8_t(dyn.nSrcs);
+        addSrc(si.rd, info.rdClass);
+    }
+    if (info.rdClass != RC::None && !info.rdIsSource)
+        addDst(si.rd, info.rdClass);
+    if (info.writesBase)
+        addDst(si.rs1, RC::Int);
+    if (si.op == Opcode::Jal)
+        addDst(isa::reg::ra, RC::Int);
+
+    const RegVal a = regs[si.rs1];
+    const RegVal b = regs[si.rs2];
+    const int32_t sa = int32_t(a);
+    const int32_t sb = int32_t(b);
+    const int32_t imm = si.imm;
+
+    auto branchTo = [&](bool cond) {
+        dyn.isBranch = true;
+        dyn.taken = cond;
+        ++stats_.branches;
+        if (cond) {
+            ++stats_.takenBranches;
+            dyn.nextPc = pc_ + 4 + VAddr(int64_t(imm) * 4);
+        }
+    };
+
+    switch (si.op) {
+      // Integer ALU, register-register.
+      case Opcode::Add: setInt(si.rd, a + b); break;
+      case Opcode::Sub: setInt(si.rd, a - b); break;
+      case Opcode::Mul: setInt(si.rd, a * b); break;
+      case Opcode::Div:
+        setInt(si.rd, b == 0 ? 0
+                             : RegVal(sa == INT32_MIN && sb == -1
+                                          ? INT32_MIN
+                                          : sa / sb));
+        break;
+      case Opcode::Divu: setInt(si.rd, b == 0 ? 0 : a / b); break;
+      case Opcode::Rem:
+        setInt(si.rd, b == 0 ? 0
+                             : RegVal(sa == INT32_MIN && sb == -1
+                                          ? 0
+                                          : sa % sb));
+        break;
+      case Opcode::Remu: setInt(si.rd, b == 0 ? 0 : a % b); break;
+      case Opcode::And: setInt(si.rd, a & b); break;
+      case Opcode::Or: setInt(si.rd, a | b); break;
+      case Opcode::Xor: setInt(si.rd, a ^ b); break;
+      case Opcode::Nor: setInt(si.rd, ~(a | b)); break;
+      case Opcode::Sll: setInt(si.rd, a << (b & 31)); break;
+      case Opcode::Srl: setInt(si.rd, a >> (b & 31)); break;
+      case Opcode::Sra: setInt(si.rd, RegVal(sa >> (b & 31))); break;
+      case Opcode::Slt: setInt(si.rd, sa < sb ? 1 : 0); break;
+      case Opcode::Sltu: setInt(si.rd, a < b ? 1 : 0); break;
+
+      // Integer ALU, immediate.
+      case Opcode::Addi: setInt(si.rd, a + RegVal(imm)); break;
+      case Opcode::Andi: setInt(si.rd, a & RegVal(imm)); break;
+      case Opcode::Ori: setInt(si.rd, a | RegVal(imm)); break;
+      case Opcode::Xori: setInt(si.rd, a ^ RegVal(imm)); break;
+      case Opcode::Slli: setInt(si.rd, a << imm); break;
+      case Opcode::Srli: setInt(si.rd, a >> imm); break;
+      case Opcode::Srai: setInt(si.rd, RegVal(sa >> imm)); break;
+      case Opcode::Slti: setInt(si.rd, sa < imm ? 1 : 0); break;
+      case Opcode::Sltiu: setInt(si.rd, a < RegVal(imm) ? 1 : 0); break;
+      case Opcode::Lui: setInt(si.rd, RegVal(imm) << 16); break;
+
+      // Branches.
+      case Opcode::Beq: branchTo(a == b); break;
+      case Opcode::Bne: branchTo(a != b); break;
+      case Opcode::Blt: branchTo(sa < sb); break;
+      case Opcode::Bge: branchTo(sa >= sb); break;
+      case Opcode::Bltu: branchTo(a < b); break;
+      case Opcode::Bgeu: branchTo(a >= b); break;
+
+      // Jumps.
+      case Opcode::J:
+        dyn.isJump = true;
+        dyn.taken = true;
+        dyn.nextPc = pc_ + 4 + VAddr(int64_t(imm) * 4);
+        break;
+      case Opcode::Jal:
+        dyn.isJump = true;
+        dyn.taken = true;
+        setInt(isa::reg::ra, RegVal(pc_ + 4));
+        dyn.nextPc = pc_ + 4 + VAddr(int64_t(imm) * 4);
+        break;
+      case Opcode::Jr:
+        dyn.isJump = true;
+        dyn.isIndirect = true;
+        dyn.taken = true;
+        dyn.nextPc = a;
+        break;
+      case Opcode::Jalr:
+        dyn.isJump = true;
+        dyn.isIndirect = true;
+        dyn.taken = true;
+        setInt(si.rd, RegVal(pc_ + 4));
+        dyn.nextPc = a;
+        break;
+
+      // Floating point.
+      case Opcode::Fadd:
+        fregs[si.rd] = fregs[si.rs1] + fregs[si.rs2];
+        break;
+      case Opcode::Fsub:
+        fregs[si.rd] = fregs[si.rs1] - fregs[si.rs2];
+        break;
+      case Opcode::Fmul:
+        fregs[si.rd] = fregs[si.rs1] * fregs[si.rs2];
+        break;
+      case Opcode::Fdiv:
+        fregs[si.rd] = fregs[si.rs1] / fregs[si.rs2];
+        break;
+      case Opcode::Fmov: fregs[si.rd] = fregs[si.rs1]; break;
+      case Opcode::Fneg: fregs[si.rd] = -fregs[si.rs1]; break;
+      case Opcode::Fabs: fregs[si.rd] = std::fabs(fregs[si.rs1]); break;
+      case Opcode::Fcvtif: fregs[si.rd] = double(sa); break;
+      case Opcode::Fcvtfi: {
+        const double v = fregs[si.rs1];
+        int32_t r = 0;
+        if (std::isnan(v))
+            r = 0;
+        else if (v >= 2147483647.0)
+            r = INT32_MAX;
+        else if (v <= -2147483648.0)
+            r = INT32_MIN;
+        else
+            r = int32_t(v);
+        setInt(si.rd, RegVal(r));
+        break;
+      }
+      case Opcode::Fclt:
+        setInt(si.rd, fregs[si.rs1] < fregs[si.rs2] ? 1 : 0);
+        break;
+      case Opcode::Fcle:
+        setInt(si.rd, fregs[si.rs1] <= fregs[si.rs2] ? 1 : 0);
+        break;
+      case Opcode::Fceq:
+        setInt(si.rd, fregs[si.rs1] == fregs[si.rs2] ? 1 : 0);
+        break;
+
+      // Memory.
+      default:
+        if (isa::isMem(si.op)) {
+            dyn.isLoad = info.isLoad;
+            dyn.isStore = info.isStore;
+            dyn.memSize = info.memSize;
+            dyn.baseReg = si.rs1;
+
+            VAddr ea;
+            if (info.rs2Class == RC::Int && !info.isBranch) {
+                ea = RegVal(a + b);             // register+register
+            } else if (info.writesBase) {
+                ea = a;                         // post-increment
+            } else {
+                ea = RegVal(a + RegVal(imm));   // base+displacement
+                if (info.isLoad)
+                    dyn.offsetHigh = (uint16_t(imm) >> 12) & 0xf;
+            }
+            dyn.effAddr = ea;
+
+            if (info.isLoad) {
+                ++stats_.loads;
+                const uint64_t v = mem.read(ea, info.memSize);
+                switch (si.op) {
+                  case Opcode::Lb:
+                    setInt(si.rd, RegVal(int32_t(int8_t(v))));
+                    break;
+                  case Opcode::Lh:
+                    setInt(si.rd, RegVal(int32_t(int16_t(v))));
+                    break;
+                  case Opcode::Ldf:
+                  case Opcode::Ldfx:
+                  case Opcode::Ldfpi: {
+                    double d;
+                    __builtin_memcpy(&d, &v, 8);
+                    fregs[si.rd] = d;
+                    break;
+                  }
+                  default:
+                    setInt(si.rd, RegVal(v));
+                    break;
+                }
+            } else {
+                ++stats_.stores;
+                uint64_t v;
+                if (info.rdClass == RC::Fp) {
+                    __builtin_memcpy(&v, &fregs[si.rd], 8);
+                } else {
+                    v = regs[si.rd];
+                }
+                mem.write(ea, v, info.memSize);
+            }
+
+            if (info.writesBase)
+                setInt(si.rs1, a + RegVal(imm));
+        } else if (si.op == Opcode::Halt) {
+            isHalted = true;
+        } else if (si.op == Opcode::Nop) {
+            // nothing
+        } else {
+            hbat_panic("unhandled opcode ", isa::opName(si.op));
+        }
+        break;
+    }
+
+    if (isa::opInfo(si.op).fu == isa::FuClass::FpAdd ||
+        isa::opInfo(si.op).fu == isa::FuClass::FpMult ||
+        isa::opInfo(si.op).fu == isa::FuClass::FpDiv) {
+        ++stats_.fpOps;
+    }
+
+    ++stats_.instructions;
+    pc_ = dyn.nextPc;
+    return dyn;
+}
+
+} // namespace hbat::cpu

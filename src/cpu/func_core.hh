@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The functional core: architecturally executes a loaded program and
+ * produces the dynamic instruction stream the timing models consume.
+ *
+ * Execution is correct-path only; the timing pipelines charge branch
+ * misprediction and TLB/cache latencies on top of this stream (see
+ * DESIGN.md for the wrong-path substitution note). The core predecodes
+ * the text segment once so stepping is cheap.
+ */
+
+#ifndef HBAT_CPU_FUNC_CORE_HH
+#define HBAT_CPU_FUNC_CORE_HH
+
+#include <vector>
+
+#include "cpu/dyn_inst.hh"
+#include "kasm/program.hh"
+#include "vm/address_space.hh"
+
+namespace hbat::cpu
+{
+
+/** Architectural execution counts. */
+struct FuncStats
+{
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t takenBranches = 0;
+    uint64_t fpOps = 0;
+};
+
+/** Executes the HBAT ISA over an AddressSpace. */
+class FuncCore
+{
+  public:
+    /** @param mem address space the program was loaded into */
+    FuncCore(vm::AddressSpace &mem, const kasm::Program &prog);
+
+    /** True once a HALT has executed. */
+    bool halted() const { return isHalted; }
+
+    /**
+     * Execute one instruction and return its record.
+     * Must not be called after halted().
+     */
+    DynInst step();
+
+    /** Architected integer register value (for tests). */
+    RegVal intReg(RegIndex r) const { return regs[r]; }
+
+    /** Architected FP register value (for tests). */
+    FpRegVal fpReg(RegIndex r) const { return fregs[r]; }
+
+    VAddr pc() const { return pc_; }
+
+    const FuncStats &stats() const { return stats_; }
+
+  private:
+    const isa::Inst &fetch(VAddr pc) const;
+    void setInt(RegIndex r, RegVal v);
+
+    vm::AddressSpace &mem;
+    VAddr textBase;
+    std::vector<isa::Inst> decoded;
+
+    RegVal regs[kNumIntRegs] = {};
+    FpRegVal fregs[kNumFpRegs] = {};
+    VAddr pc_;
+    bool isHalted = false;
+    InstSeq nextSeq = 0;
+    FuncStats stats_;
+};
+
+} // namespace hbat::cpu
+
+#endif // HBAT_CPU_FUNC_CORE_HH

@@ -1,0 +1,547 @@
+#include "cpu/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hbat::cpu
+{
+
+using isa::FuClass;
+using isa::Opcode;
+
+Pipeline::Pipeline(const PipeConfig &config, FuncCore &core,
+                   tlb::TranslationEngine &engine,
+                   const vm::PageParams &pages)
+    : cfg(config), core(core), engine(engine), pages(pages),
+      fus(config.fus), predictor(), icache(config.icache),
+      dcache(config.dcache), rob(config.robSize)
+{}
+
+bool
+Pipeline::producerDone(int slot, InstSeq seq) const
+{
+    if (slot < 0)
+        return true;
+    const Entry &e = rob[slot];
+    if (!e.valid || e.dyn.seq != seq)
+        return true;    // producer already retired
+    return e.resultCycle <= now;
+}
+
+bool
+Pipeline::srcsReady(const Entry &e) const
+{
+    for (int s = 0; s < e.dyn.nSrcs; ++s) {
+        // Out-of-order stores issue on their *address* operands; the
+        // data may arrive later (the paper's model computes store
+        // addresses early so younger loads can proceed). The in-order
+        // model stalls on any register hazard instead.
+        if (!cfg.inOrder && e.dyn.isStore && s == e.dyn.dataSrc)
+            continue;
+        if (!producerDone(e.srcSlot[s], e.srcSeq[s]))
+            return false;
+    }
+    return true;
+}
+
+bool
+Pipeline::storeDataReady(const Entry &e) const
+{
+    if (e.dyn.dataSrc < 0)
+        return true;
+    return producerDone(e.srcSlot[e.dyn.dataSrc],
+                        e.srcSeq[e.dyn.dataSrc]);
+}
+
+bool
+Pipeline::olderAllComplete(size_t rob_pos) const
+{
+    for (size_t p = 0; p < rob_pos; ++p) {
+        const Entry &e = at(p);
+        if (e.resultCycle == kCycleNever || e.resultCycle > now)
+            return false;
+    }
+    return true;
+}
+
+bool
+Pipeline::olderStoresIssued(const Entry &load) const
+{
+    for (int slot : lsq) {
+        const Entry &e = rob[slot];
+        if (e.dyn.seq >= load.dyn.seq)
+            break;
+        if (e.dyn.isStore && !e.issued)
+            return false;
+    }
+    return true;
+}
+
+void
+Pipeline::commitStage()
+{
+    for (unsigned n = 0; n < cfg.width && robCount > 0; ++n) {
+        Entry &e = at(0);
+        if (e.resultCycle == kCycleNever || e.resultCycle > now)
+            break;
+
+        if (e.dyn.isStore) {
+            // The store value is written into the data cache at
+            // commit (Table 1) and needs a cache port.
+            if (cachePortsUsed >= cfg.cachePorts)
+                break;
+            ++cachePortsUsed;
+            dcache.access(e.paddr, true, now);
+            lastCommittedStore = e.dyn.seq + 1;
+            ++stats_.committedStores;
+        }
+        if (e.dyn.isLoad)
+            ++stats_.committedLoads;
+
+        // Feed register writes to designs that attach translations to
+        // register values (pretranslation).
+        const isa::OpInfo &info = isa::opInfo(e.dyn.op);
+        for (int d = 0; d < e.dyn.nDsts; ++d) {
+            const uint8_t dst = e.dyn.dsts[d];
+            if (dst >= 32)
+                continue;   // FP registers never carry pointers
+            RegIndex intSrcs[3];
+            int nIntSrcs = 0;
+            bool propagates;
+            if (info.writesBase && dst == e.dyn.baseReg) {
+                // Post-increment base update: pointer arithmetic on
+                // the base register itself.
+                propagates = true;
+                intSrcs[nIntSrcs++] = e.dyn.baseReg;
+            } else {
+                propagates = e.dyn.propagatesPointer;
+                for (int s = 0; s < e.dyn.nSrcs; ++s)
+                    if (e.dyn.srcs[s] < 32)
+                        intSrcs[nIntSrcs++] = RegIndex(e.dyn.srcs[s]);
+            }
+            engine.noteRegWrite(RegIndex(dst), intSrcs, nIntSrcs,
+                                propagates);
+        }
+
+        if (e.dyn.isMem()) {
+            hbat_assert(!lsq.empty() &&
+                            lsq.front() == int(robHead),
+                        "LSQ out of sync with ROB");
+            lsq.pop_front();
+        }
+        if (e.dyn.op == Opcode::Halt)
+            haltCommitted = true;
+
+        e.valid = false;
+        robHead = (robHead + 1) % rob.size();
+        --robCount;
+        ++stats_.committed;
+    }
+}
+
+void
+Pipeline::walkStage()
+{
+    if (walkActive) {
+        if (now < walkDone)
+            return;
+        engine.fill(walkVpn, now);
+        walkActive = false;
+        for (int slot : lsq) {
+            Entry &e = rob[slot];
+            if (e.phase == MemPhase::TlbMiss && e.missVpn == walkVpn) {
+                e.phase = MemPhase::WaitXlate;
+                e.xlateFrom = now;
+            }
+        }
+        // Fall through: another miss may start its walk this cycle.
+    }
+
+    // Start the walk for the oldest outstanding miss once every older
+    // instruction has completed ("30 cycle fixed TLB miss latency
+    // after earlier-issued instructions complete", Table 1).
+    for (int slot : lsq) {
+        Entry &e = rob[slot];
+        if (e.phase != MemPhase::TlbMiss)
+            continue;
+        // Find its ROB position to check the older entries.
+        const size_t pos =
+            (size_t(slot) + rob.size() - robHead) % rob.size();
+        if (olderAllComplete(pos)) {
+            walkActive = true;
+            walkVpn = e.missVpn;
+            walkDone = now + cfg.tlbMissLatency;
+            ++stats_.tlbWalks;
+        }
+        break;  // only the oldest miss is considered
+    }
+}
+
+void
+Pipeline::attemptXlate(Entry &e)
+{
+    tlb::XlateRequest req;
+    req.vpn = pages.vpn(e.dyn.effAddr);
+    req.write = e.dyn.isStore;
+    req.seq = e.dyn.seq;
+    req.isLoad = e.dyn.isLoad;
+    req.baseReg = e.dyn.baseReg;
+    req.offsetHigh = e.dyn.offsetHigh;
+
+    const tlb::Outcome out = engine.request(req, now);
+    switch (out.kind) {
+      case tlb::Outcome::Kind::NoPort:
+        return;   // retry next cycle
+      case tlb::Outcome::Kind::Miss:
+        e.phase = MemPhase::TlbMiss;
+        e.missVpn = req.vpn;
+        return;
+      case tlb::Outcome::Kind::Hit:
+        e.xlateReady = out.ready;
+        e.paddr = pages.physAddr(out.ppn, e.dyn.effAddr);
+        if (e.dyn.isStore) {
+            // The address is known; the store completes once its data
+            // arrives (the cache write happens at commit).
+            e.phase = MemPhase::WaitData;
+        } else if (e.forwarded) {
+            // Data comes from the matching store-queue entry; no
+            // cache access, but the translation and the store's data
+            // still gate it.
+            e.phase = MemPhase::WaitFwd;
+        } else if (e.blockStoreSeq > lastCommittedStore) {
+            e.phase = MemPhase::WaitStore;
+        } else {
+            e.phase = MemPhase::WaitPort;
+        }
+        return;
+    }
+}
+
+void
+Pipeline::memStage()
+{
+    for (int slot : lsq) {
+        Entry &e = rob[slot];
+        if (!e.issued)
+            continue;
+        // An entry may advance through several phases in one cycle
+        // (translate, unblock, and access the cache), matching the
+        // overlapped TLB/cache timing of Section 4.1.
+        if (e.phase == MemPhase::WaitXlate && now >= e.xlateFrom)
+            attemptXlate(e);
+        if (e.phase == MemPhase::WaitData && storeDataReady(e)) {
+            e.resultCycle = std::max(e.xlateReady, now) + 1;
+            e.phase = MemPhase::Done;
+        }
+        if (e.phase == MemPhase::WaitFwd) {
+            // Complete when the forwarding store has its data (or has
+            // already retired).
+            const Entry &s = rob[e.fwdSlot];
+            const bool gone =
+                !s.valid || s.dyn.seq != e.fwdSeq;
+            if (gone || (s.phase == MemPhase::Done &&
+                         s.resultCycle <= now + 1)) {
+                e.resultCycle = std::max(e.xlateReady, now) + 1;
+                e.phase = MemPhase::Done;
+            }
+        }
+        if (e.phase == MemPhase::WaitStore &&
+            e.blockStoreSeq <= lastCommittedStore) {
+            e.phase = MemPhase::WaitPort;
+        }
+        if (e.phase == MemPhase::WaitPort && now >= e.xlateReady &&
+            cachePortsUsed < cfg.cachePorts) {
+            ++cachePortsUsed;
+            const cache::CacheAccess acc =
+                dcache.access(e.paddr, false, now);
+            e.resultCycle = acc.ready + 1;
+            e.phase = MemPhase::Done;
+        }
+    }
+}
+
+void
+Pipeline::issueMem(Entry &e)
+{
+    e.phase = MemPhase::WaitXlate;
+    e.xlateFrom = now + 1;
+    if (!e.dyn.isLoad)
+        return;
+
+    // Find the youngest older overlapping store in the LSQ.
+    const VAddr lo = e.dyn.effAddr;
+    const VAddr hi = lo + e.dyn.memSize;
+    const Entry *match = nullptr;
+    for (int slot : lsq) {
+        const Entry &s = rob[slot];
+        if (s.dyn.seq >= e.dyn.seq)
+            break;
+        if (!s.dyn.isStore)
+            continue;
+        const VAddr slo = s.dyn.effAddr;
+        const VAddr shi = slo + s.dyn.memSize;
+        if (lo < shi && slo < hi)
+            match = &s;
+    }
+    if (match) {
+        if (match->dyn.effAddr == e.dyn.effAddr &&
+            match->dyn.memSize == e.dyn.memSize) {
+            e.forwarded = true;     // store-to-load forwarding
+            e.fwdSlot = int(match - rob.data());
+            e.fwdSeq = match->dyn.seq;
+        } else {
+            // Partial overlap: wait until the store has written the
+            // cache at commit.
+            e.blockStoreSeq = match->dyn.seq + 1;
+        }
+    }
+}
+
+void
+Pipeline::issueStage()
+{
+    if (walkActive) {
+        ++stats_.idleWalk;
+        return;     // the software miss handler occupies the pipeline
+    }
+
+    unsigned issued = 0;
+    bool sawUnissued = false;
+    uint64_t *reason = nullptr;
+    auto blame = [&](uint64_t &ctr) {
+        if (!reason)
+            reason = &ctr;
+    };
+
+    for (size_t pos = 0; pos < robCount && issued < cfg.width; ++pos) {
+        Entry &e = at(pos);
+        if (e.issued) {
+            continue;
+        }
+        sawUnissued = true;
+        bool canIssue = now > e.dispatchCycle;
+        if (canIssue && !srcsReady(e)) {
+            canIssue = false;
+            blame(stats_.idleSrcWait);
+        }
+
+        if (canIssue && cfg.inOrder) {
+            // No renaming: the previous writer of each destination
+            // must have completed (WAW hazard).
+            for (int d = 0; d < 2 && canIssue; ++d)
+                canIssue = producerDone(e.dstPrevSlot[d],
+                                        e.dstPrevSeq[d]);
+            if (!canIssue)
+                blame(stats_.idleSrcWait);
+        }
+
+        // Loads may execute only when all prior store addresses are
+        // known (i.e. the stores have issued).
+        if (canIssue && e.dyn.isLoad && !olderStoresIssued(e)) {
+            canIssue = false;
+            blame(stats_.idleLoadOrder);
+        }
+
+        const FuClass fu = isa::opInfo(e.dyn.op).fu;
+        if (canIssue && !fus.acquire(fu, now)) {
+            canIssue = false;
+            blame(stats_.idleFuBusy);
+        }
+
+        if (!canIssue) {
+            if (cfg.inOrder)
+                break;  // strict program-order issue
+            continue;
+        }
+
+        e.issued = true;
+        ++issued;
+        ++stats_.issuedOps;
+
+        if (e.dyn.isMem()) {
+            issueMem(e);
+        } else {
+            e.resultCycle = now + FuPool::totalLatency(fu);
+            if (e.mispredicted) {
+                // Branch resolution: release the front end after the
+                // misprediction penalty.
+                frontEndBlockedUntil =
+                    e.resultCycle + cfg.mispredictPenalty;
+                blockedOnBranch = false;
+            }
+        }
+    }
+
+    if (issued == 0) {
+        if (!sawUnissued)
+            ++stats_.idleEmpty;
+        else if (reason)
+            ++*reason;
+        else
+            ++stats_.idleOther;
+    }
+}
+
+void
+Pipeline::dispatchStage()
+{
+    if (walkActive)
+        return;
+
+    for (unsigned n = 0; n < cfg.width; ++n) {
+        if (fetchQueue.empty() || fetchQueue.front().availAt > now)
+            return;
+        if (robCount >= rob.size()) {
+            ++stats_.robFullStalls;
+            return;
+        }
+        const DynInst &dyn = fetchQueue.front().dyn;
+        if (dyn.isMem() && lsq.size() >= cfg.lsqSize) {
+            ++stats_.lsqFullStalls;
+            return;
+        }
+
+        const int slot = int((robHead + robCount) % rob.size());
+        Entry &e = rob[slot];
+        e = Entry{};
+        e.dyn = dyn;
+        e.valid = true;
+        e.dispatchCycle = now;
+        e.mispredicted = fetchQueue.front().mispredicted;
+
+        for (int s = 0; s < e.dyn.nSrcs; ++s) {
+            const Writer &w = regMap[e.dyn.srcs[s]];
+            e.srcSlot[s] = w.slot;
+            e.srcSeq[s] = w.seq;
+        }
+        for (int d = 0; d < e.dyn.nDsts; ++d) {
+            Writer &w = regMap[e.dyn.dsts[d]];
+            e.dstPrevSlot[d] = w.slot;
+            e.dstPrevSeq[d] = w.seq;
+            w.slot = slot;
+            w.seq = e.dyn.seq;
+        }
+
+        if (e.dyn.isMem())
+            lsq.push_back(slot);
+        ++robCount;
+        fetchQueue.pop_front();
+    }
+}
+
+void
+Pipeline::refillLookahead()
+{
+    while (lookahead.size() < 2 * cfg.width && !core.halted())
+        lookahead.push_back(core.step());
+}
+
+void
+Pipeline::fetchStage()
+{
+    if (blockedOnBranch || frontEndBlockedUntil > now)
+        return;
+    refillLookahead();
+    if (lookahead.empty())
+        return;
+
+    const uint64_t blockBytes = cfg.icache.blockBytes;
+    const uint64_t block = lookahead.front().pc / blockBytes;
+
+    // One I-cache access covers the whole fetch group. Instruction
+    // addresses index the cache directly (a perfect single-ported
+    // instruction TLB, per the paper's scope).
+    const cache::CacheAccess iacc =
+        icache.access(lookahead.front().pc, false, now);
+    const Cycle availAt = iacc.ready + 1;
+    if (!iacc.hit)
+        frontEndBlockedUntil = iacc.ready;
+
+    unsigned controls = 0;
+    for (unsigned n = 0; n < cfg.width; ++n) {
+        if (lookahead.empty())
+            break;
+        const DynInst &d = lookahead.front();
+        if (d.pc / blockBytes != block)
+            break;
+        if (fetchQueue.size() >= cfg.fetchQueueSize)
+            break;
+
+        bool mispred = false;
+        const bool isCtrl = d.isBranch || d.isJump;
+        if (d.isBranch) {
+            const bool pred = predictor.predict(d.pc);
+            predictor.update(d.pc, d.taken, pred);
+            mispred = pred != d.taken;
+            if (mispred)
+                ++stats_.mispredicts;
+        } else if (d.isIndirect) {
+            // No branch-target buffer models indirect targets; the
+            // front end redirects when the jump resolves.
+            mispred = true;
+            ++stats_.indirectRedirects;
+        }
+        if (isCtrl)
+            ++controls;
+
+        fetchQueue.push_back(Fetched{d, availAt, mispred});
+        lookahead.pop_front();
+
+        if (mispred) {
+            blockedOnBranch = true;
+            break;
+        }
+        // The collapsing buffer supports two predictions per cycle
+        // within one cache block.
+        if (isCtrl && controls >= 2)
+            break;
+    }
+}
+
+bool
+Pipeline::done() const
+{
+    return haltCommitted;
+}
+
+PipeStats
+Pipeline::run(uint64_t max_insts)
+{
+    regMap.assign(64, Writer{});
+    lastCommittedStore = 0;
+    haltCommitted = false;
+
+    Cycle lastCommitCycle = 0;
+    uint64_t lastCommitted = 0;
+
+    while (!done() && stats_.committed < max_insts) {
+        engine.beginCycle(now);
+        cachePortsUsed = 0;
+
+        commitStage();
+        walkStage();
+        memStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+
+        if (stats_.committed != lastCommitted) {
+            lastCommitted = stats_.committed;
+            lastCommitCycle = now;
+        }
+        hbat_assert(now - lastCommitCycle < 200000,
+                    "pipeline deadlock at cycle ", now, " (committed ",
+                    stats_.committed, ")");
+        ++now;
+    }
+
+    stats_.cycles = now;
+    stats_.predictor = predictor.stats();
+    stats_.xlate = engine.stats();
+    stats_.icache = icache.stats();
+    stats_.dcache = dcache.stats();
+    return stats_;
+}
+
+} // namespace hbat::cpu

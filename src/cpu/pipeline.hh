@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The 8-way superscalar timing model (Table 1).
+ *
+ * One class implements both issue disciplines:
+ *
+ *  - out-of-order: 64-entry re-order buffer with implicit renaming,
+ *    32-entry load/store queue, loads execute once all prior store
+ *    addresses are known, store-to-load forwarding, 8-wide in-order
+ *    commit;
+ *  - in-order: issue strictly in program order with no renaming
+ *    (stall on any register hazard), out-of-order completion.
+ *
+ * Memory timing: a load/store unit performs address generation in its
+ * issue cycle; translation is requested from the configured
+ * TranslationEngine the following cycle (fully overlapped with the
+ * data-cache access on a same-cycle hit, per Section 4.1). Translation
+ * port conflicts retry cycle by cycle, oldest first. A base-TLB miss
+ * waits until all older instructions complete, then runs the fixed
+ * 30-cycle handler (which serializes the pipeline) and retries.
+ *
+ * The front end fetches up to 8 instructions per cycle from one
+ * 32-byte I-cache block, crossing at most two control-flow
+ * instructions (the two-predictions-per-cycle collapsing buffer of
+ * Section 4.1). Mispredicted conditional branches and indirect jumps
+ * block fetch until they resolve plus the 3-cycle penalty.
+ */
+
+#ifndef HBAT_CPU_PIPELINE_HH
+#define HBAT_CPU_PIPELINE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "branch/gap_predictor.hh"
+#include "cache/cache_model.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/func_core.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::cpu
+{
+
+/** Pipeline configuration (defaults = Table 1). */
+struct PipeConfig
+{
+    bool inOrder = false;
+    unsigned width = 8;             ///< fetch/issue/commit width
+    unsigned robSize = 64;
+    unsigned lsqSize = 32;
+    unsigned fetchQueueSize = 16;
+    unsigned cachePorts = 4;        ///< D-cache ports per cycle
+    Cycle mispredictPenalty = 3;
+    Cycle tlbMissLatency = 30;
+    FuPoolConfig fus;
+    cache::CacheConfig icache;
+    cache::CacheConfig dcache;
+};
+
+/** End-of-run results. */
+struct PipeStats
+{
+    Cycle cycles = 0;
+    uint64_t committed = 0;
+    uint64_t committedLoads = 0;
+    uint64_t committedStores = 0;
+    uint64_t issuedOps = 0;
+    uint64_t mispredicts = 0;
+    uint64_t indirectRedirects = 0;
+    uint64_t tlbWalks = 0;
+    uint64_t robFullStalls = 0;
+    uint64_t lsqFullStalls = 0;
+
+    /// @name Zero-issue cycle classification (diagnostics)
+    /// @{
+    uint64_t idleEmpty = 0;         ///< nothing in the window
+    uint64_t idleSrcWait = 0;       ///< oldest unissued waits on operands
+    uint64_t idleFuBusy = 0;        ///< oldest unissued waits on an FU
+    uint64_t idleLoadOrder = 0;     ///< load waits for older store addrs
+    uint64_t idleWalk = 0;          ///< TLB miss handler running
+    uint64_t idleOther = 0;
+    /// @}
+
+    branch::PredictorStats predictor;
+    tlb::XlateStats xlate;
+    cache::CacheStats icache;
+    cache::CacheStats dcache;
+
+    double ipc() const { return cycles ? double(committed) / double(cycles) : 0.0; }
+    double issueIpc() const { return cycles ? double(issuedOps) / double(cycles) : 0.0; }
+};
+
+/** The cycle-stepped timing model. */
+class Pipeline
+{
+  public:
+    /**
+     * @param core functional core supplying the instruction stream
+     * @param engine the address-translation design under test
+     */
+    Pipeline(const PipeConfig &config, FuncCore &core,
+             tlb::TranslationEngine &engine,
+             const vm::PageParams &pages);
+
+    /**
+     * Run until the program halts or @p max_insts commit.
+     * @return final statistics.
+     */
+    PipeStats run(uint64_t max_insts = ~uint64_t(0));
+
+  private:
+    /// Memory-access progress of an in-flight load/store.
+    enum class MemPhase : uint8_t
+    {
+        None,           ///< not a memory op / not yet issued
+        WaitXlate,      ///< requesting translation each cycle
+        TlbMiss,        ///< waiting for the miss handler
+        WaitPort,       ///< translated load waiting for a cache port
+        WaitStore,      ///< load blocked on an overlapping store
+        WaitData,       ///< translated store waiting for its data
+        WaitFwd,        ///< forwarded load waiting for the store data
+        Done
+    };
+
+    struct Entry
+    {
+        DynInst dyn;
+        bool valid = false;
+        bool issued = false;
+        Cycle dispatchCycle = 0;
+        Cycle resultCycle = kCycleNever;
+
+        // Producers of each source (ROB slot + seq for liveness).
+        int srcSlot[3] = {-1, -1, -1};
+        InstSeq srcSeq[3] = {0, 0, 0};
+        // Previous writers of each destination (in-order WAW check).
+        int dstPrevSlot[2] = {-1, -1};
+        InstSeq dstPrevSeq[2] = {0, 0};
+
+        // Memory state.
+        MemPhase phase = MemPhase::None;
+        Cycle xlateFrom = 0;    ///< earliest translation request cycle
+        Cycle xlateReady = 0;   ///< translation available (cache may go)
+        PAddr paddr = 0;
+        Vpn missVpn = 0;
+        bool forwarded = false;
+        int fwdSlot = -1;           ///< forwarding store's ROB slot
+        InstSeq fwdSeq = 0;
+        /** WaitStore: (seq + 1) of the store to wait out; 0 = none. */
+        InstSeq blockStoreSeq = 0;
+
+        // Control state.
+        bool mispredicted = false;
+    };
+
+    /// @name Per-cycle stages
+    /// @{
+    void commitStage();
+    void walkStage();
+    void memStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    /// @}
+
+    bool srcsReady(const Entry &e) const;
+    bool storeDataReady(const Entry &e) const;
+    bool producerDone(int slot, InstSeq seq) const;
+    bool olderAllComplete(size_t rob_pos) const;
+    bool olderStoresIssued(const Entry &load) const;
+    void attemptXlate(Entry &e);
+    void issueMem(Entry &e);
+    bool done() const;
+    void refillLookahead();
+
+    Entry &at(size_t pos) { return rob[(robHead + pos) % rob.size()]; }
+    const Entry &
+    at(size_t pos) const
+    {
+        return rob[(robHead + pos) % rob.size()];
+    }
+
+    PipeConfig cfg;
+    FuncCore &core;
+    tlb::TranslationEngine &engine;
+    vm::PageParams pages;
+
+    FuPool fus;
+    branch::GapPredictor predictor;
+    cache::CacheModel icache;
+    cache::CacheModel dcache;
+
+    // Re-order buffer (circular).
+    std::vector<Entry> rob;
+    size_t robHead = 0;
+    size_t robCount = 0;
+
+    // Load/store queue: ROB slots of in-flight memory ops, in order.
+    std::deque<int> lsq;
+
+    // Fetch.
+    struct Fetched
+    {
+        DynInst dyn;
+        Cycle availAt;
+        bool mispredicted;
+    };
+    std::deque<DynInst> lookahead;
+    std::deque<Fetched> fetchQueue;
+    Cycle frontEndBlockedUntil = 0;
+    bool blockedOnBranch = false;   ///< waiting for a branch to resolve
+
+    // TLB miss handler (one walk at a time; serializes the machine).
+    bool walkActive = false;
+    Vpn walkVpn = 0;
+    Cycle walkDone = 0;
+
+    Cycle now = 0;
+    unsigned cachePortsUsed = 0;
+
+    /// Rename map: last dispatched writer of each unified register.
+    struct Writer
+    {
+        int slot = -1;
+        InstSeq seq = 0;
+    };
+    std::vector<Writer> regMap;
+
+    /** (seq + 1) of the youngest committed store; 0 = none yet. */
+    InstSeq lastCommittedStore = 0;
+    bool haltCommitted = false;
+
+    PipeStats stats_;
+};
+
+} // namespace hbat::cpu
+
+#endif // HBAT_CPU_PIPELINE_HH

@@ -1,0 +1,517 @@
+#include "isa/isa.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace hbat::isa
+{
+
+namespace
+{
+
+/** Binary encoding formats. */
+enum class Fmt : uint8_t { I, R, J };
+
+/** Immediate interpretation used for range checking and decode. */
+enum class ImmKind : uint8_t
+{
+    None,       ///< no immediate (R-format)
+    Signed16,   ///< sign-extended 16-bit
+    Unsigned16, ///< zero-extended 16-bit (logical immediates, LUI)
+    Shift5,     ///< 0..31
+    Word26      ///< signed 26-bit word offset (J-format)
+};
+
+/** Per-opcode encoding recipe. */
+struct EncInfo
+{
+    Fmt fmt;
+    uint8_t major;  ///< major opcode field
+    uint8_t func;   ///< R-format function code
+    ImmKind imm;
+};
+
+/// Major opcode assignments. OpR carries every R-format instruction.
+enum Major : uint8_t
+{
+    MajR = 0,
+    MajAddi, MajAndi, MajOri, MajXori, MajSlli, MajSrli, MajSrai,
+    MajSlti, MajSltiu, MajLui,
+    MajLb, MajLbu, MajLh, MajLhu, MajLw, MajSb, MajSh, MajSw,
+    MajLdf, MajSdf,
+    MajLwpi, MajSwpi, MajLdfpi, MajSdfpi,
+    MajBeq, MajBne, MajBlt, MajBge, MajBltu, MajBgeu,
+    MajJ, MajJal,
+    NumMajors
+};
+
+static_assert(NumMajors <= 64, "major opcode field is 6 bits");
+
+struct OpTables
+{
+    std::array<OpInfo, kNumOpcodes> info;
+    std::array<EncInfo, kNumOpcodes> enc;
+    // Reverse maps for decode.
+    std::array<int16_t, 64> majorToOp;      ///< I/J majors -> flat op
+    std::array<int16_t, 256> funcToOp;      ///< R funcs -> flat op
+};
+
+const OpTables &
+tables()
+{
+    static const OpTables t = [] {
+        OpTables t{};
+        t.majorToOp.fill(-1);
+        t.funcToOp.fill(-1);
+
+        uint8_t nextFunc = 0;
+
+        auto def = [&](Opcode op, OpInfo info, Fmt fmt, uint8_t major,
+                       ImmKind imm) {
+            const int i = int(op);
+            t.info[i] = info;
+            uint8_t func = 0;
+            if (fmt == Fmt::R) {
+                func = nextFunc++;
+                t.funcToOp[func] = int16_t(i);
+            } else {
+                hbat_assert(t.majorToOp[major] == -1,
+                            "major opcode reused");
+                t.majorToOp[major] = int16_t(i);
+            }
+            t.enc[i] = EncInfo{fmt, major, func, imm};
+        };
+
+        using enum Opcode;
+        const auto I = RC::Int, F = RC::Fp, N = RC::None;
+
+        // Integer R-type ALU: rd <- rs1 op rs2.
+        auto alu3 = [&](Opcode op, const char *name, FuClass fu,
+                        bool prop) {
+            def(op,
+                OpInfo{name, fu, I, I, I, false, false, false, false,
+                       false, false, 0, prop},
+                Fmt::R, MajR, ImmKind::None);
+        };
+        alu3(Add, "add", FuClass::IntAlu, true);
+        alu3(Sub, "sub", FuClass::IntAlu, true);
+        alu3(Mul, "mul", FuClass::IntMult, false);
+        alu3(Div, "div", FuClass::IntDiv, false);
+        alu3(Divu, "divu", FuClass::IntDiv, false);
+        alu3(Rem, "rem", FuClass::IntDiv, false);
+        alu3(Remu, "remu", FuClass::IntDiv, false);
+        alu3(And, "and", FuClass::IntAlu, true);
+        alu3(Or, "or", FuClass::IntAlu, true);
+        alu3(Xor, "xor", FuClass::IntAlu, false);
+        alu3(Nor, "nor", FuClass::IntAlu, false);
+        alu3(Sll, "sll", FuClass::IntAlu, false);
+        alu3(Srl, "srl", FuClass::IntAlu, false);
+        alu3(Sra, "sra", FuClass::IntAlu, false);
+        alu3(Slt, "slt", FuClass::IntAlu, false);
+        alu3(Sltu, "sltu", FuClass::IntAlu, false);
+
+        // Integer I-type ALU: rd <- rs1 op imm.
+        auto alui = [&](Opcode op, const char *name, uint8_t major,
+                        ImmKind ik, bool prop) {
+            def(op,
+                OpInfo{name, FuClass::IntAlu, I, I, N, false, false,
+                       false, false, false, false, 0, prop},
+                Fmt::I, major, ik);
+        };
+        alui(Addi, "addi", MajAddi, ImmKind::Signed16, true);
+        alui(Andi, "andi", MajAndi, ImmKind::Unsigned16, true);
+        alui(Ori, "ori", MajOri, ImmKind::Unsigned16, true);
+        alui(Xori, "xori", MajXori, ImmKind::Unsigned16, false);
+        alui(Slli, "slli", MajSlli, ImmKind::Shift5, false);
+        alui(Srli, "srli", MajSrli, ImmKind::Shift5, false);
+        alui(Srai, "srai", MajSrai, ImmKind::Shift5, false);
+        alui(Slti, "slti", MajSlti, ImmKind::Signed16, false);
+        alui(Sltiu, "sltiu", MajSltiu, ImmKind::Signed16, false);
+        // LUI has no register source.
+        def(Lui,
+            OpInfo{"lui", FuClass::IntAlu, I, N, N, false, false, false,
+                   false, false, false, 0, false},
+            Fmt::I, MajLui, ImmKind::Unsigned16);
+
+        // Loads, base+displacement: rd <- M[rs1 + imm].
+        auto load = [&](Opcode op, const char *name, uint8_t major,
+                        RC dst, uint8_t size) {
+            def(op,
+                OpInfo{name, FuClass::MemPort, dst, I, N, false, true,
+                       false, false, false, false, size, false},
+                Fmt::I, major, ImmKind::Signed16);
+        };
+        load(Lb, "lb", MajLb, I, 1);
+        load(Lbu, "lbu", MajLbu, I, 1);
+        load(Lh, "lh", MajLh, I, 2);
+        load(Lhu, "lhu", MajLhu, I, 2);
+        load(Lw, "lw", MajLw, I, 4);
+        load(Ldf, "ldf", MajLdf, F, 8);
+
+        // Stores, base+displacement: M[rs1 + imm] <- rd.
+        auto store = [&](Opcode op, const char *name, uint8_t major,
+                         RC src, uint8_t size) {
+            def(op,
+                OpInfo{name, FuClass::MemPort, src, I, N, true, false,
+                       true, false, false, false, size, false},
+                Fmt::I, major, ImmKind::Signed16);
+        };
+        store(Sb, "sb", MajSb, I, 1);
+        store(Sh, "sh", MajSh, I, 2);
+        store(Sw, "sw", MajSw, I, 4);
+        store(Sdf, "sdf", MajSdf, F, 8);
+
+        // Post-increment loads/stores: access M[rs1], then rs1 += imm.
+        def(Lwpi,
+            OpInfo{"lwpi", FuClass::MemPort, I, I, N, false, true, false,
+                   false, false, true, 4, false},
+            Fmt::I, MajLwpi, ImmKind::Signed16);
+        def(Swpi,
+            OpInfo{"swpi", FuClass::MemPort, I, I, N, true, false, true,
+                   false, false, true, 4, false},
+            Fmt::I, MajSwpi, ImmKind::Signed16);
+        def(Ldfpi,
+            OpInfo{"ldfpi", FuClass::MemPort, F, I, N, false, true,
+                   false, false, false, true, 8, false},
+            Fmt::I, MajLdfpi, ImmKind::Signed16);
+        def(Sdfpi,
+            OpInfo{"sdfpi", FuClass::MemPort, F, I, N, true, false, true,
+                   false, false, true, 8, false},
+            Fmt::I, MajSdfpi, ImmKind::Signed16);
+
+        // Register+register loads/stores: access M[rs1 + rs2].
+        def(Lwx,
+            OpInfo{"lwx", FuClass::MemPort, I, I, I, false, true, false,
+                   false, false, false, 4, false},
+            Fmt::R, MajR, ImmKind::None);
+        def(Swx,
+            OpInfo{"swx", FuClass::MemPort, I, I, I, true, false, true,
+                   false, false, false, 4, false},
+            Fmt::R, MajR, ImmKind::None);
+        def(Ldfx,
+            OpInfo{"ldfx", FuClass::MemPort, F, I, I, false, true, false,
+                   false, false, false, 8, false},
+            Fmt::R, MajR, ImmKind::None);
+        def(Sdfx,
+            OpInfo{"sdfx", FuClass::MemPort, F, I, I, true, false, true,
+                   false, false, false, 8, false},
+            Fmt::R, MajR, ImmKind::None);
+
+        // Conditional branches compare rs1, rs2; pc-relative word offset.
+        auto branch = [&](Opcode op, const char *name, uint8_t major) {
+            def(op,
+                OpInfo{name, FuClass::IntAlu, N, I, I, false, false,
+                       false, true, false, false, 0, false},
+                Fmt::I, major, ImmKind::Signed16);
+        };
+        branch(Beq, "beq", MajBeq);
+        branch(Bne, "bne", MajBne);
+        branch(Blt, "blt", MajBlt);
+        branch(Bge, "bge", MajBge);
+        branch(Bltu, "bltu", MajBltu);
+        branch(Bgeu, "bgeu", MajBgeu);
+
+        // Jumps. JAL implicitly writes r31 (handled by the executor).
+        def(J,
+            OpInfo{"j", FuClass::IntAlu, N, N, N, false, false, false,
+                   false, true, false, 0, false},
+            Fmt::J, MajJ, ImmKind::Word26);
+        def(Jal,
+            OpInfo{"jal", FuClass::IntAlu, N, N, N, false, false, false,
+                   false, true, false, 0, false},
+            Fmt::J, MajJal, ImmKind::Word26);
+        def(Jr,
+            OpInfo{"jr", FuClass::IntAlu, N, I, N, false, false, false,
+                   false, true, false, 0, false},
+            Fmt::R, MajR, ImmKind::None);
+        def(Jalr,
+            OpInfo{"jalr", FuClass::IntAlu, I, I, N, false, false, false,
+                   false, true, false, 0, false},
+            Fmt::R, MajR, ImmKind::None);
+
+        // Floating point.
+        auto fp3 = [&](Opcode op, const char *name, FuClass fu) {
+            def(op,
+                OpInfo{name, fu, F, F, F, false, false, false, false,
+                       false, false, 0, false},
+                Fmt::R, MajR, ImmKind::None);
+        };
+        fp3(Fadd, "fadd", FuClass::FpAdd);
+        fp3(Fsub, "fsub", FuClass::FpAdd);
+        fp3(Fmul, "fmul", FuClass::FpMult);
+        fp3(Fdiv, "fdiv", FuClass::FpDiv);
+
+        auto fp2 = [&](Opcode op, const char *name, FuClass fu, RC dst,
+                       RC src) {
+            def(op,
+                OpInfo{name, fu, dst, src, N, false, false, false, false,
+                       false, false, 0, false},
+                Fmt::R, MajR, ImmKind::None);
+        };
+        fp2(Fmov, "fmov", FuClass::FpAdd, F, F);
+        fp2(Fneg, "fneg", FuClass::FpAdd, F, F);
+        fp2(Fabs, "fabs", FuClass::FpAdd, F, F);
+        fp2(Fcvtif, "fcvtif", FuClass::FpAdd, F, I);
+        fp2(Fcvtfi, "fcvtfi", FuClass::FpAdd, I, F);
+
+        auto fcmp = [&](Opcode op, const char *name) {
+            def(op,
+                OpInfo{name, FuClass::FpAdd, I, F, F, false, false,
+                       false, false, false, false, 0, false},
+                Fmt::R, MajR, ImmKind::None);
+        };
+        fcmp(Fclt, "fclt");
+        fcmp(Fcle, "fcle");
+        fcmp(Fceq, "fceq");
+
+        // Miscellaneous.
+        def(Nop,
+            OpInfo{"nop", FuClass::None, N, N, N, false, false, false,
+                   false, false, false, 0, false},
+            Fmt::R, MajR, ImmKind::None);
+        def(Halt,
+            OpInfo{"halt", FuClass::None, N, N, N, false, false, false,
+                   false, false, false, 0, false},
+            Fmt::R, MajR, ImmKind::None);
+
+        // Every opcode must have been defined (names are non-null).
+        for (int i = 0; i < kNumOpcodes; ++i)
+            hbat_assert(t.info[i].name != nullptr,
+                        "opcode ", i, " left undefined");
+        return t;
+    }();
+    return t;
+}
+
+void
+checkImmRange(const Inst &inst, ImmKind kind)
+{
+    const int64_t v = inst.imm;
+    switch (kind) {
+      case ImmKind::None:
+        hbat_assert(v == 0, opName(inst.op), ": unexpected immediate");
+        break;
+      case ImmKind::Signed16:
+        hbat_assert(v >= -32768 && v <= 32767,
+                    opName(inst.op), ": imm ", v, " out of signed16");
+        break;
+      case ImmKind::Unsigned16:
+        hbat_assert(v >= 0 && v <= 65535,
+                    opName(inst.op), ": imm ", v, " out of unsigned16");
+        break;
+      case ImmKind::Shift5:
+        hbat_assert(v >= 0 && v <= 31,
+                    opName(inst.op), ": shift ", v, " out of range");
+        break;
+      case ImmKind::Word26:
+        hbat_assert(v >= -(1 << 25) && v < (1 << 25),
+                    opName(inst.op), ": target ", v, " out of word26");
+        break;
+    }
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    hbat_assert(int(op) < kNumOpcodes, "bad opcode ", int(op));
+    return tables().info[int(op)];
+}
+
+uint32_t
+encode(const Inst &inst)
+{
+    const EncInfo &e = tables().enc[int(inst.op)];
+    checkImmRange(inst, e.imm);
+    hbat_assert(inst.rd < 32 && inst.rs1 < 32 && inst.rs2 < 32,
+                opName(inst.op), ": register index out of range");
+
+    uint64_t w = uint64_t(e.major) << 26;
+    switch (e.fmt) {
+      case Fmt::I:
+        // Branches carry two sources (rs1, rs2) and no rd; they use
+        // the rd field slot for rs1 and the rs1 slot for rs2.
+        if (opInfo(inst.op).isBranch) {
+            w = insertBits(w, 21, 5, inst.rs1);
+            w = insertBits(w, 16, 5, inst.rs2);
+        } else {
+            w = insertBits(w, 21, 5, inst.rd);
+            w = insertBits(w, 16, 5, inst.rs1);
+        }
+        w = insertBits(w, 0, 16, uint64_t(uint32_t(inst.imm)));
+        break;
+      case Fmt::R:
+        w = insertBits(w, 21, 5, inst.rd);
+        w = insertBits(w, 16, 5, inst.rs1);
+        w = insertBits(w, 11, 5, inst.rs2);
+        w = insertBits(w, 0, 8, e.func);
+        break;
+      case Fmt::J:
+        w = insertBits(w, 0, 26, uint64_t(uint32_t(inst.imm)));
+        break;
+    }
+    return uint32_t(w);
+}
+
+Inst
+decode(uint32_t word)
+{
+    const OpTables &t = tables();
+    const unsigned major = unsigned(bits(word, 26, 6));
+
+    int flat;
+    if (major == MajR) {
+        const unsigned func = unsigned(bits(word, 0, 8));
+        flat = t.funcToOp[func];
+        hbat_assert(flat >= 0, "illegal R-format func ", func);
+    } else {
+        flat = t.majorToOp[major];
+        hbat_assert(flat >= 0, "illegal major opcode ", major);
+    }
+
+    const Opcode op = Opcode(flat);
+    const EncInfo &e = t.enc[flat];
+
+    Inst inst;
+    inst.op = op;
+    switch (e.fmt) {
+      case Fmt::I:
+        if (t.info[flat].isBranch) {
+            inst.rs1 = RegIndex(bits(word, 21, 5));
+            inst.rs2 = RegIndex(bits(word, 16, 5));
+        } else {
+            inst.rd = RegIndex(bits(word, 21, 5));
+            inst.rs1 = RegIndex(bits(word, 16, 5));
+        }
+        switch (e.imm) {
+          case ImmKind::Signed16:
+            inst.imm = int32_t(signExtend(bits(word, 0, 16), 16));
+            break;
+          default:
+            inst.imm = int32_t(bits(word, 0, 16));
+            break;
+        }
+        break;
+      case Fmt::R:
+        inst.rd = RegIndex(bits(word, 21, 5));
+        inst.rs1 = RegIndex(bits(word, 16, 5));
+        inst.rs2 = RegIndex(bits(word, 11, 5));
+        break;
+      case Fmt::J:
+        inst.imm = int32_t(signExtend(bits(word, 0, 26), 26));
+        break;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const Inst &inst, VAddr pc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    const char *rdn = info.rdClass == RC::Fp ? fpRegName(inst.rd)
+                                             : intRegName(inst.rd);
+    char buf[96];
+
+    if (isMem(inst.op)) {
+        if (info.writesBase) {
+            std::snprintf(buf, sizeof(buf), "%-6s %s, (%s)+=%d",
+                          info.name, rdn, intRegName(inst.rs1), inst.imm);
+        } else if (info.rs2Class != RC::None) {
+            std::snprintf(buf, sizeof(buf), "%-6s %s, (%s+%s)",
+                          info.name, rdn, intRegName(inst.rs1),
+                          intRegName(inst.rs2));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-6s %s, %d(%s)",
+                          info.name, rdn, inst.imm,
+                          intRegName(inst.rs1));
+        }
+        return buf;
+    }
+
+    if (info.isBranch) {
+        std::snprintf(buf, sizeof(buf), "%-6s %s, %s, 0x%llx",
+                      info.name, intRegName(inst.rs1),
+                      intRegName(inst.rs2),
+                      (unsigned long long)(pc + 4 + int64_t(inst.imm) * 4));
+        return buf;
+    }
+
+    switch (inst.op) {
+      case Opcode::J:
+      case Opcode::Jal:
+        std::snprintf(buf, sizeof(buf), "%-6s 0x%llx", info.name,
+                      (unsigned long long)(pc + 4 + int64_t(inst.imm) * 4));
+        return buf;
+      case Opcode::Jr:
+        std::snprintf(buf, sizeof(buf), "%-6s %s", info.name,
+                      intRegName(inst.rs1));
+        return buf;
+      case Opcode::Jalr:
+        std::snprintf(buf, sizeof(buf), "%-6s %s, %s", info.name,
+                      intRegName(inst.rd), intRegName(inst.rs1));
+        return buf;
+      case Opcode::Lui:
+        std::snprintf(buf, sizeof(buf), "%-6s %s, 0x%x", info.name,
+                      intRegName(inst.rd), uint32_t(inst.imm));
+        return buf;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return info.name;
+      default:
+        break;
+    }
+
+    const char *rs1n = info.rs1Class == RC::Fp ? fpRegName(inst.rs1)
+                                               : intRegName(inst.rs1);
+    const char *rs2n = info.rs2Class == RC::Fp ? fpRegName(inst.rs2)
+                                               : intRegName(inst.rs2);
+
+    if (info.rs2Class != RC::None) {
+        std::snprintf(buf, sizeof(buf), "%-6s %s, %s, %s", info.name,
+                      rdn, rs1n, rs2n);
+    } else if (info.rs1Class != RC::None) {
+        if (tables().enc[int(inst.op)].fmt == Fmt::I) {
+            std::snprintf(buf, sizeof(buf), "%-6s %s, %s, %d", info.name,
+                          rdn, rs1n, inst.imm);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-6s %s, %s", info.name,
+                          rdn, rs1n);
+        }
+    } else {
+        std::snprintf(buf, sizeof(buf), "%-6s %s, %d", info.name, rdn,
+                      inst.imm);
+    }
+    return buf;
+}
+
+const char *
+intRegName(RegIndex r)
+{
+    static const char *names[32] = {
+        "zero", "at", "rv", "r3", "a0", "a1", "a2", "a3",
+        "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+        "r16", "r17", "r18", "r19", "r20", "r21", "r22", "r23",
+        "r24", "r25", "r26", "r27", "r28", "sp", "at2", "ra",
+    };
+    hbat_assert(r < 32, "bad int register ", int(r));
+    return names[r];
+}
+
+const char *
+fpRegName(RegIndex r)
+{
+    static const char *names[32] = {
+        "f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+        "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15",
+        "f16", "f17", "f18", "f19", "f20", "f21", "f22", "f23",
+        "f24", "f25", "f26", "f27", "f28", "f29", "f30", "f31",
+    };
+    hbat_assert(r < 32, "bad fp register ", int(r));
+    return names[r];
+}
+
+} // namespace hbat::isa

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The HBAT instruction set.
+ *
+ * A 32-bit MIPS-I-like RISC ISA matching the paper's "extended virtual
+ * MIPS" (Section 4.1):
+ *
+ *  - 32 integer + 32 floating-point architected registers;
+ *  - extended addressing modes: register+register (LWX/SWX/LDFX/SDFX)
+ *    and post-increment/decrement (LWPI/SWPI/LDFPI/SDFPI, the
+ *    post-decrement case being a negative increment);
+ *  - no architected delay slots.
+ *
+ * Instructions are 4 bytes. Three encodings exist:
+ *
+ *  - I-format: major(6) rd(5) rs1(5) imm(16)      — ALU-imm, mem, branch
+ *  - R-format: major(6)=OpR rd(5) rs1(5) rs2(5) pad(3) func(8)
+ *  - J-format: major(6) target(26)                — J / JAL
+ *
+ * The decoded, flat representation (`Inst`) is what the assembler,
+ * functional core, and timing models operate on; the binary encoding
+ * exists so programs occupy realistic instruction memory (8 per 32-byte
+ * I-cache block, as Table 1's fetch interface requires).
+ */
+
+#ifndef HBAT_ISA_ISA_HH
+#define HBAT_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace hbat::isa
+{
+
+/** Flat (decoded) opcodes. */
+enum class Opcode : uint8_t
+{
+    // Integer register-register ALU.
+    Add, Sub, Mul, Div, Divu, Rem, Remu,
+    And, Or, Xor, Nor,
+    Sll, Srl, Sra,
+    Slt, Sltu,
+
+    // Integer register-immediate ALU.
+    Addi, Andi, Ori, Xori,
+    Slli, Srli, Srai,
+    Slti, Sltiu, Lui,
+
+    // Loads/stores, base+displacement.
+    Lb, Lbu, Lh, Lhu, Lw,
+    Sb, Sh, Sw,
+    Ldf, Sdf,
+
+    // Loads/stores, post-increment (post-decrement = negative imm).
+    Lwpi, Swpi, Ldfpi, Sdfpi,
+
+    // Loads/stores, register+register.
+    Lwx, Swx, Ldfx, Sdfx,
+
+    // Conditional branches (pc-relative).
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+
+    // Jumps.
+    J, Jal, Jr, Jalr,
+
+    // Floating point (operands in the FP register file).
+    Fadd, Fsub, Fmul, Fdiv,
+    Fmov, Fneg, Fabs,
+    Fcvtif,     ///< int reg -> fp reg
+    Fcvtfi,     ///< fp reg -> int reg (truncate)
+    Fclt, Fcle, Fceq,   ///< fp compare -> int reg (0/1)
+
+    // Miscellaneous.
+    Nop, Halt,
+
+    NumOpcodes
+};
+
+/** Number of flat opcodes. */
+inline constexpr int kNumOpcodes = int(Opcode::NumOpcodes);
+
+/** Functional-unit classes (Table 1). */
+enum class FuClass : uint8_t
+{
+    IntAlu,     ///< 8 units, latency 1, issue 1
+    IntMult,    ///< 1 unit (shared mult/div), latency 3, issue 1
+    IntDiv,     ///< same unit as IntMult, latency 12, issue 12
+    MemPort,    ///< 4 load/store units, latency 2, issue 1
+    FpAdd,      ///< 4 units, latency 2, issue 1
+    FpMult,     ///< 1 unit (shared with div), latency 4, issue 1
+    FpDiv,      ///< latency 12, issue 12
+    None        ///< control / nop
+};
+
+/** Register class of an instruction field. */
+enum class RC : uint8_t
+{
+    None,   ///< field unused
+    Int,    ///< integer register file
+    Fp      ///< floating-point register file
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *name;       ///< mnemonic
+    FuClass fu;             ///< functional unit class
+    RC rdClass;             ///< class of the rd field
+    RC rs1Class;            ///< class of the rs1 field
+    RC rs2Class;            ///< class of the rs2 field
+    bool rdIsSource;        ///< stores: rd holds the store data (a source)
+    bool isLoad;
+    bool isStore;
+    bool isBranch;          ///< conditional branch
+    bool isJump;            ///< unconditional control transfer
+    bool writesBase;        ///< post-increment base register update
+    uint8_t memSize;        ///< access size in bytes (0 = not memory)
+    /**
+     * True when the op is integer arithmetic that can carry a pointer:
+     * pretranslation (Section 3.5) propagates the translation attached
+     * to any source operand to the destination of such instructions.
+     */
+    bool propagatesPointer;
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic of @p op. */
+inline const char *opName(Opcode op) { return opInfo(op).name; }
+
+/** A decoded instruction. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = 0;    ///< destination (or store-data source)
+    RegIndex rs1 = 0;   ///< first source / base register
+    RegIndex rs2 = 0;   ///< second source / index register
+    int32_t imm = 0;    ///< immediate / displacement / branch offset
+
+    bool operator==(const Inst &) const = default;
+};
+
+/** True when @p op reads memory. */
+inline bool isLoad(Opcode op) { return opInfo(op).isLoad; }
+/** True when @p op writes memory. */
+inline bool isStore(Opcode op) { return opInfo(op).isStore; }
+/** True when @p op accesses memory. */
+inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }
+/** True when @p op is a conditional branch. */
+inline bool isBranch(Opcode op) { return opInfo(op).isBranch; }
+/** True when @p op is an unconditional control transfer. */
+inline bool isJump(Opcode op) { return opInfo(op).isJump; }
+/** True when @p op transfers control at all. */
+inline bool isControl(Opcode op) { return isBranch(op) || isJump(op); }
+
+/**
+ * Encode @p inst to its 32-bit binary form.
+ * Immediates out of range for the field are a caller error (the
+ * assembler range-checks before encoding) and trigger a panic.
+ */
+uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit word; panics on an illegal encoding. */
+Inst decode(uint32_t word);
+
+/** Human-readable disassembly of @p inst at address @p pc. */
+std::string disassemble(const Inst &inst, VAddr pc = 0);
+
+/** Conventional integer register names (r0=zero, r29=sp, r31=ra...). */
+const char *intRegName(RegIndex r);
+
+/** Floating-point register names (f0..f31). */
+const char *fpRegName(RegIndex r);
+
+/// Conventional register assignments used by kasm and the runtime.
+namespace reg
+{
+inline constexpr RegIndex zero = 0;   ///< hardwired zero
+inline constexpr RegIndex at = 1;     ///< assembler scratch
+inline constexpr RegIndex rv = 2;     ///< return value
+inline constexpr RegIndex a0 = 4;     ///< first argument
+inline constexpr RegIndex a1 = 5;
+inline constexpr RegIndex a2 = 6;
+inline constexpr RegIndex a3 = 7;
+inline constexpr RegIndex at2 = 30;   ///< second assembler scratch
+inline constexpr RegIndex sp = 29;    ///< stack pointer
+inline constexpr RegIndex ra = 31;    ///< return address
+} // namespace reg
+
+} // namespace hbat::isa
+
+#endif // HBAT_ISA_ISA_HH

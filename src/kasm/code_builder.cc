@@ -1,0 +1,252 @@
+#include "kasm/code_builder.hh"
+
+#include "common/log.hh"
+#include "kasm/program_builder.hh"
+
+namespace hbat::kasm
+{
+
+using isa::Opcode;
+using isa::RC;
+
+CodeBuilder::CodeBuilder(ProgramBuilder *owner)
+    : owner(owner)
+{}
+
+VReg
+CodeBuilder::fresh(VRClass cls)
+{
+    code.vregClass.push_back(cls);
+    return VReg{int(code.vregClass.size()) - 1};
+}
+
+VReg
+CodeBuilder::vint()
+{
+    return fresh(VRClass::Int);
+}
+
+VReg
+CodeBuilder::vfp()
+{
+    return fresh(VRClass::Fp);
+}
+
+VLabel
+CodeBuilder::label()
+{
+    return VLabel{code.numLabels++};
+}
+
+void
+CodeBuilder::bind(VLabel l)
+{
+    hbat_assert(l.valid(), "binding invalid label");
+    VItem item;
+    item.kind = VItem::Kind::Bind;
+    item.label = l.id;
+    push(item);
+}
+
+void
+CodeBuilder::checkReg(VReg r, VRClass expect) const
+{
+    hbat_assert(r.valid(), "invalid virtual register");
+    if (r.id == kVZero.id) {
+        hbat_assert(expect == VRClass::Int, "zero register used as FP");
+        return;
+    }
+    hbat_assert(size_t(r.id) < code.vregClass.size(),
+                "unknown virtual register ", r.id);
+    hbat_assert(code.vregClass[r.id] == expect,
+                "virtual register class mismatch for v", r.id);
+}
+
+void
+CodeBuilder::push(VItem item)
+{
+    hbat_assert(!taken, "CodeBuilder already finalized");
+    if (item.kind == VItem::Kind::Inst) {
+        const isa::OpInfo &info = isa::opInfo(item.op);
+        auto check = [&](int vreg, RC rc) {
+            if (rc == RC::None) {
+                hbat_assert(vreg == -1, isa::opName(item.op),
+                            ": unexpected operand");
+            } else {
+                checkReg(VReg{vreg},
+                         rc == RC::Fp ? VRClass::Fp : VRClass::Int);
+            }
+        };
+        check(item.d, info.rdClass);
+        check(item.s1, info.rs1Class);
+        check(item.s2, info.rs2Class);
+        // A post-increment access must not load into its own base:
+        // the base writeback would be lost.
+        if (info.writesBase && info.isLoad)
+            hbat_assert(item.d != item.s1,
+                        isa::opName(item.op), ": rd must differ from base");
+        // The zero register cannot be a destination.
+        if (info.rdClass != RC::None && !info.rdIsSource)
+            hbat_assert(item.d != kVZero.id,
+                        isa::opName(item.op), ": cannot write zero reg");
+        if (info.writesBase)
+            hbat_assert(item.s1 != kVZero.id,
+                        isa::opName(item.op), ": cannot post-inc zero reg");
+    }
+    code.items.push_back(item);
+}
+
+void
+CodeBuilder::r3(Opcode op, VReg d, VReg a, VReg b)
+{
+    VItem item;
+    item.op = op;
+    item.d = d.id;
+    item.s1 = a.id;
+    item.s2 = b.id;
+    push(item);
+}
+
+void
+CodeBuilder::r2(Opcode op, VReg d, VReg a)
+{
+    VItem item;
+    item.op = op;
+    item.d = d.id;
+    item.s1 = a.id;
+    push(item);
+}
+
+void
+CodeBuilder::ri(Opcode op, VReg d, VReg a, int32_t imm)
+{
+    VItem item;
+    item.op = op;
+    item.d = d.id;
+    item.s1 = a.id;
+    item.imm = imm;
+    push(item);
+}
+
+void
+CodeBuilder::mem(Opcode op, VReg data_reg, VReg base, int32_t imm)
+{
+    VItem item;
+    item.op = op;
+    item.d = data_reg.id;
+    item.s1 = base.id;
+    item.imm = imm;
+    push(item);
+}
+
+void
+CodeBuilder::br(Opcode op, VReg a, VReg b, VLabel t)
+{
+    hbat_assert(t.valid(), "branch to invalid label");
+    checkReg(a, VRClass::Int);
+    checkReg(b, VRClass::Int);
+    VItem item;
+    item.kind = VItem::Kind::Branch;
+    item.op = op;
+    item.s1 = a.id;
+    item.s2 = b.id;
+    item.label = t.id;
+    push(item);
+}
+
+void
+CodeBuilder::jmp(VLabel t)
+{
+    hbat_assert(t.valid(), "jump to invalid label");
+    VItem item;
+    item.kind = VItem::Kind::Jump;
+    item.label = t.id;
+    push(item);
+}
+
+void
+CodeBuilder::jr(VReg target)
+{
+    checkReg(target, VRClass::Int);
+    VItem item;
+    item.op = Opcode::Jr;
+    item.s1 = target.id;
+    push(item);
+}
+
+void
+CodeBuilder::halt()
+{
+    VItem item;
+    item.op = Opcode::Halt;
+    push(item);
+}
+
+void
+CodeBuilder::li(VReg d, uint32_t value)
+{
+    checkReg(d, VRClass::Int);
+    hbat_assert(d.id != kVZero.id, "li into zero register");
+    VItem item;
+    item.kind = VItem::Kind::Li;
+    item.d = d.id;
+    item.uimm = value;
+    push(item);
+}
+
+void
+CodeBuilder::mov(VReg d, VReg s)
+{
+    addi(d, s, 0);
+}
+
+void
+CodeBuilder::addk(VReg d, VReg a, int64_t k)
+{
+    if (k >= -32768 && k <= 32767) {
+        addi(d, a, int32_t(k));
+        return;
+    }
+    VReg tmp = vint();
+    li(tmp, uint32_t(int32_t(k)));
+    add(d, a, tmp);
+}
+
+void
+CodeBuilder::fconst(VReg fd, double value)
+{
+    hbat_assert(owner != nullptr,
+                "fconst requires a ProgramBuilder-owned CodeBuilder");
+    const VAddr addr = owner->doubleConst(value);
+    VReg tmp = vint();
+    li(tmp, uint32_t(addr));
+    ldf(fd, tmp, 0);
+}
+
+void
+CodeBuilder::forLoop(VReg counter, uint32_t count,
+                     const std::function<void()> &body)
+{
+    checkReg(counter, VRClass::Int);
+    VReg limit = vint();
+    li(counter, 0);
+    li(limit, count);
+    VLabel head = label();
+    VLabel done = label();
+    bind(head);
+    bge(counter, limit, done);
+    body();
+    addi(counter, counter, 1);
+    jmp(head);
+    bind(done);
+}
+
+VCode
+CodeBuilder::take()
+{
+    hbat_assert(!taken, "CodeBuilder::take called twice");
+    taken = true;
+    return std::move(code);
+}
+
+} // namespace hbat::kasm

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The workload-facing assembly builder.
+ *
+ * CodeBuilder exposes one method per ISA operation (plus a few pseudos
+ * such as li/mov/fconst) over virtual registers. Workloads construct
+ * their code through this interface and never see physical registers;
+ * ProgramBuilder::link() runs the register allocator to produce the
+ * final Program.
+ */
+
+#ifndef HBAT_KASM_CODE_BUILDER_HH
+#define HBAT_KASM_CODE_BUILDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kasm/vcode.hh"
+
+namespace hbat::kasm
+{
+
+class ProgramBuilder;
+
+/** Emits virtual-register code into a VCode unit. */
+class CodeBuilder
+{
+  public:
+    explicit CodeBuilder(ProgramBuilder *owner = nullptr);
+
+    /// @name Virtual registers and labels
+    /// @{
+    VReg vint();                ///< fresh integer virtual register
+    VReg vfp();                 ///< fresh floating-point virtual register
+    VReg zero() const { return kVZero; }
+    VLabel label();             ///< fresh unbound label
+    void bind(VLabel l);        ///< bind @p l here
+    /// @}
+
+    /// @name Integer ALU, register-register
+    /// @{
+    void add(VReg d, VReg a, VReg b) { r3(isa::Opcode::Add, d, a, b); }
+    void sub(VReg d, VReg a, VReg b) { r3(isa::Opcode::Sub, d, a, b); }
+    void mul(VReg d, VReg a, VReg b) { r3(isa::Opcode::Mul, d, a, b); }
+    void div_(VReg d, VReg a, VReg b) { r3(isa::Opcode::Div, d, a, b); }
+    void divu(VReg d, VReg a, VReg b) { r3(isa::Opcode::Divu, d, a, b); }
+    void rem(VReg d, VReg a, VReg b) { r3(isa::Opcode::Rem, d, a, b); }
+    void remu(VReg d, VReg a, VReg b) { r3(isa::Opcode::Remu, d, a, b); }
+    void and_(VReg d, VReg a, VReg b) { r3(isa::Opcode::And, d, a, b); }
+    void or_(VReg d, VReg a, VReg b) { r3(isa::Opcode::Or, d, a, b); }
+    void xor_(VReg d, VReg a, VReg b) { r3(isa::Opcode::Xor, d, a, b); }
+    void nor(VReg d, VReg a, VReg b) { r3(isa::Opcode::Nor, d, a, b); }
+    void sll(VReg d, VReg a, VReg b) { r3(isa::Opcode::Sll, d, a, b); }
+    void srl(VReg d, VReg a, VReg b) { r3(isa::Opcode::Srl, d, a, b); }
+    void sra(VReg d, VReg a, VReg b) { r3(isa::Opcode::Sra, d, a, b); }
+    void slt(VReg d, VReg a, VReg b) { r3(isa::Opcode::Slt, d, a, b); }
+    void sltu(VReg d, VReg a, VReg b) { r3(isa::Opcode::Sltu, d, a, b); }
+    /// @}
+
+    /// @name Integer ALU, register-immediate
+    /// @{
+    void addi(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Addi, d, a, i); }
+    void andi(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Andi, d, a, i); }
+    void ori(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Ori, d, a, i); }
+    void xori(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Xori, d, a, i); }
+    void slli(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Slli, d, a, i); }
+    void srli(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Srli, d, a, i); }
+    void srai(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Srai, d, a, i); }
+    void slti(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Slti, d, a, i); }
+    void sltiu(VReg d, VReg a, int32_t i) { ri(isa::Opcode::Sltiu, d, a, i); }
+    /// @}
+
+    /// @name Pseudo-ops
+    /// @{
+    void li(VReg d, uint32_t value);            ///< load 32-bit constant
+    void mov(VReg d, VReg s);                   ///< register copy
+    void fconst(VReg fd, double value);         ///< load FP constant
+    /** d = a + k for any 32-bit k (expands past the imm16 range). */
+    void addk(VReg d, VReg a, int64_t k);
+    /// @}
+
+    /// @name Memory, base+displacement
+    /// @{
+    void lb(VReg d, VReg base, int32_t off) { mem(isa::Opcode::Lb, d, base, off); }
+    void lbu(VReg d, VReg base, int32_t off) { mem(isa::Opcode::Lbu, d, base, off); }
+    void lh(VReg d, VReg base, int32_t off) { mem(isa::Opcode::Lh, d, base, off); }
+    void lhu(VReg d, VReg base, int32_t off) { mem(isa::Opcode::Lhu, d, base, off); }
+    void lw(VReg d, VReg base, int32_t off) { mem(isa::Opcode::Lw, d, base, off); }
+    void ldf(VReg fd, VReg base, int32_t off) { mem(isa::Opcode::Ldf, fd, base, off); }
+    void sb(VReg s, VReg base, int32_t off) { mem(isa::Opcode::Sb, s, base, off); }
+    void sh(VReg s, VReg base, int32_t off) { mem(isa::Opcode::Sh, s, base, off); }
+    void sw(VReg s, VReg base, int32_t off) { mem(isa::Opcode::Sw, s, base, off); }
+    void sdf(VReg fs, VReg base, int32_t off) { mem(isa::Opcode::Sdf, fs, base, off); }
+    /// @}
+
+    /// @name Memory, post-increment (negative @p inc = post-decrement)
+    /// @{
+    void lwpi(VReg d, VReg base, int32_t inc) { mem(isa::Opcode::Lwpi, d, base, inc); }
+    void swpi(VReg s, VReg base, int32_t inc) { mem(isa::Opcode::Swpi, s, base, inc); }
+    void ldfpi(VReg fd, VReg base, int32_t inc) { mem(isa::Opcode::Ldfpi, fd, base, inc); }
+    void sdfpi(VReg fs, VReg base, int32_t inc) { mem(isa::Opcode::Sdfpi, fs, base, inc); }
+    /// @}
+
+    /// @name Memory, register+register
+    /// @{
+    void lwx(VReg d, VReg base, VReg idx) { r3(isa::Opcode::Lwx, d, base, idx); }
+    void swx(VReg s, VReg base, VReg idx) { r3(isa::Opcode::Swx, s, base, idx); }
+    void ldfx(VReg fd, VReg base, VReg idx) { r3(isa::Opcode::Ldfx, fd, base, idx); }
+    void sdfx(VReg fs, VReg base, VReg idx) { r3(isa::Opcode::Sdfx, fs, base, idx); }
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    void beq(VReg a, VReg b, VLabel t) { br(isa::Opcode::Beq, a, b, t); }
+    void bne(VReg a, VReg b, VLabel t) { br(isa::Opcode::Bne, a, b, t); }
+    void blt(VReg a, VReg b, VLabel t) { br(isa::Opcode::Blt, a, b, t); }
+    void bge(VReg a, VReg b, VLabel t) { br(isa::Opcode::Bge, a, b, t); }
+    void bltu(VReg a, VReg b, VLabel t) { br(isa::Opcode::Bltu, a, b, t); }
+    void bgeu(VReg a, VReg b, VLabel t) { br(isa::Opcode::Bgeu, a, b, t); }
+    void ble(VReg a, VReg b, VLabel t) { br(isa::Opcode::Bge, b, a, t); }
+    void bgt(VReg a, VReg b, VLabel t) { br(isa::Opcode::Blt, b, a, t); }
+    void beqz(VReg a, VLabel t) { br(isa::Opcode::Beq, a, kVZero, t); }
+    void bnez(VReg a, VLabel t) { br(isa::Opcode::Bne, a, kVZero, t); }
+    void jmp(VLabel t);
+    void jr(VReg target);   ///< indirect jump (through a code table)
+    void halt();
+    /// @}
+
+    /// @name Floating point
+    /// @{
+    void fadd(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fadd, d, a, b); }
+    void fsub(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fsub, d, a, b); }
+    void fmul(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fmul, d, a, b); }
+    void fdiv(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fdiv, d, a, b); }
+    void fmov(VReg d, VReg a) { r2(isa::Opcode::Fmov, d, a); }
+    void fneg(VReg d, VReg a) { r2(isa::Opcode::Fneg, d, a); }
+    void fabs_(VReg d, VReg a) { r2(isa::Opcode::Fabs, d, a); }
+    void fcvtif(VReg fd, VReg si) { r2(isa::Opcode::Fcvtif, fd, si); }
+    void fcvtfi(VReg d, VReg fs) { r2(isa::Opcode::Fcvtfi, d, fs); }
+    void fclt(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fclt, d, a, b); }
+    void fcle(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fcle, d, a, b); }
+    void fceq(VReg d, VReg a, VReg b) { r3(isa::Opcode::Fceq, d, a, b); }
+    /// @}
+
+    /// @name Structured-control helpers
+    /// @{
+    /**
+     * Emit a counted loop running @p body `count` times.
+     * @p counter counts up from 0; the loop body may read it.
+     */
+    void forLoop(VReg counter, uint32_t count,
+                 const std::function<void()> &body);
+    /// @}
+
+    /** Finish building and take the VCode unit. */
+    VCode take();
+
+    /** Number of items emitted so far. */
+    size_t size() const { return code.items.size(); }
+
+  private:
+    friend class ProgramBuilder;
+
+    VReg fresh(VRClass cls);
+    void push(VItem item);
+    void r3(isa::Opcode op, VReg d, VReg a, VReg b);
+    void r2(isa::Opcode op, VReg d, VReg a);
+    void ri(isa::Opcode op, VReg d, VReg a, int32_t imm);
+    void mem(isa::Opcode op, VReg dataReg, VReg base, int32_t imm);
+    void br(isa::Opcode op, VReg a, VReg b, VLabel t);
+    void checkReg(VReg r, VRClass expect) const;
+
+    ProgramBuilder *owner;
+    VCode code;
+    bool taken = false;
+};
+
+} // namespace hbat::kasm
+
+#endif // HBAT_KASM_CODE_BUILDER_HH

@@ -1,0 +1,129 @@
+#include "kasm/emitter.hh"
+
+#include "common/log.hh"
+
+namespace hbat::kasm
+{
+
+using isa::Inst;
+using isa::Opcode;
+
+Emitter::Emitter(VAddr text_base)
+    : textBase(text_base)
+{}
+
+Label
+Emitter::newLabel()
+{
+    labelPos.push_back(-1);
+    return Label{int(labelPos.size()) - 1};
+}
+
+void
+Emitter::bind(Label label)
+{
+    hbat_assert(label.valid() && size_t(label.id) < labelPos.size(),
+                "bad label");
+    hbat_assert(labelPos[label.id] == -1, "label bound twice");
+    labelPos[label.id] = int64_t(text.size());
+}
+
+bool
+Emitter::bound(Label label) const
+{
+    hbat_assert(label.valid() && size_t(label.id) < labelPos.size(),
+                "bad label");
+    return labelPos[label.id] >= 0;
+}
+
+void
+Emitter::emit(Inst inst)
+{
+    text.push_back(inst);
+}
+
+void
+Emitter::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2, Label target)
+{
+    hbat_assert(isa::isBranch(op), "emitBranch on non-branch ",
+                isa::opName(op));
+    hbat_assert(target.valid(), "branch to invalid label");
+    fixups.push_back(Fixup{text.size(), target.id, FixKind::Branch16});
+    Inst inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    text.push_back(inst);
+}
+
+void
+Emitter::emitJump(Opcode op, Label target)
+{
+    hbat_assert(op == Opcode::J || op == Opcode::Jal,
+                "emitJump on non-jump ", isa::opName(op));
+    hbat_assert(target.valid(), "jump to invalid label");
+    fixups.push_back(Fixup{text.size(), target.id, FixKind::Jump26});
+    Inst inst;
+    inst.op = op;
+    text.push_back(inst);
+}
+
+void
+Emitter::li(RegIndex rd, uint32_t value)
+{
+    const int32_t sv = int32_t(value);
+    if (sv >= -32768 && sv <= 32767) {
+        emit(Inst{Opcode::Addi, rd, isa::reg::zero, 0, sv});
+        return;
+    }
+    emit(Inst{Opcode::Lui, rd, 0, 0, int32_t(value >> 16)});
+    if ((value & 0xffff) != 0)
+        emit(Inst{Opcode::Ori, rd, rd, 0, int32_t(value & 0xffff)});
+}
+
+VAddr
+Emitter::here() const
+{
+    return textBase + text.size() * 4;
+}
+
+VAddr
+Emitter::labelAddr(Label label) const
+{
+    hbat_assert(label.valid() && size_t(label.id) < labelPos.size(),
+                "bad label");
+    hbat_assert(labelPos[label.id] >= 0, "label ", label.id, " unbound");
+    return textBase + VAddr(labelPos[label.id]) * 4;
+}
+
+std::vector<uint32_t>
+Emitter::finalize()
+{
+    for (const Fixup &fix : fixups) {
+        hbat_assert(labelPos[fix.label] >= 0,
+                    "unresolved label ", fix.label);
+        // Branch/jump offsets are in words relative to pc + 4.
+        const int64_t delta =
+            labelPos[fix.label] - (int64_t(fix.index) + 1);
+        switch (fix.kind) {
+          case FixKind::Branch16:
+            hbat_assert(delta >= -32768 && delta <= 32767,
+                        "branch offset ", delta, " out of range");
+            break;
+          case FixKind::Jump26:
+            hbat_assert(delta >= -(1 << 25) && delta < (1 << 25),
+                        "jump offset ", delta, " out of range");
+            break;
+        }
+        text[fix.index].imm = int32_t(delta);
+    }
+    fixups.clear();
+
+    std::vector<uint32_t> words;
+    words.reserve(text.size());
+    for (const Inst &inst : text)
+        words.push_back(isa::encode(inst));
+    return words;
+}
+
+} // namespace hbat::kasm

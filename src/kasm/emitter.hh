@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Physical-register instruction emitter with label fixups.
+ *
+ * The Emitter is the lowest assembler layer: it appends decoded
+ * instructions to a text image, tracks labels, and patches pc-relative
+ * branch/jump offsets at finalize time. The register-allocating
+ * CodeBuilder lowers onto this layer; tests and micro-examples may also
+ * use it directly when they want full control of register assignment.
+ */
+
+#ifndef HBAT_KASM_EMITTER_HH
+#define HBAT_KASM_EMITTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace hbat::kasm
+{
+
+/** An opaque label handle. */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** Low-level assembler over physical registers. */
+class Emitter
+{
+  public:
+    explicit Emitter(VAddr text_base);
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current emission point. */
+    void bind(Label label);
+
+    /** True when @p label has been bound. */
+    bool bound(Label label) const;
+
+    /** Append a non-control instruction. */
+    void emit(isa::Inst inst);
+
+    /** Append a conditional branch to @p target. */
+    void emitBranch(isa::Opcode op, RegIndex rs1, RegIndex rs2,
+                    Label target);
+
+    /** Append an unconditional jump (J or JAL) to @p target. */
+    void emitJump(isa::Opcode op, Label target);
+
+    /**
+     * Load a 32-bit constant into @p rd.
+     * Expands to one or two instructions (ADDI / LUI+ORI).
+     */
+    void li(RegIndex rd, uint32_t value);
+
+    /** Address of the next instruction to be emitted. */
+    VAddr here() const;
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return text.size(); }
+
+    /** Virtual address of a bound label; panics if unbound. */
+    VAddr labelAddr(Label label) const;
+
+    /**
+     * Resolve all fixups and return the encoded text.
+     * Panics if any referenced label is unbound.
+     */
+    std::vector<uint32_t> finalize();
+
+  private:
+    enum class FixKind { Branch16, Jump26 };
+
+    struct Fixup
+    {
+        size_t index;   ///< text index of the instruction to patch
+        int label;
+        FixKind kind;
+    };
+
+    VAddr textBase;
+    std::vector<isa::Inst> text;
+    std::vector<int64_t> labelPos;  ///< -1 while unbound
+    std::vector<Fixup> fixups;
+};
+
+} // namespace hbat::kasm
+
+#endif // HBAT_KASM_EMITTER_HH

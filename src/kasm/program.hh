@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The linked program image produced by the kasm assembler.
+ *
+ * A Program is the unit the simulator loads: encoded text, initialized
+ * data segments, the entry point, and the initial stack pointer. The
+ * memory layout follows MIPS conventions: text at 0x0040_0000, static
+ * data at 0x1000_0000, stack just below 0x8000_0000 growing down.
+ * Uninitialized ("bss"-style) ranges need no segment: the simulated
+ * address space allocates pages on first touch.
+ */
+
+#ifndef HBAT_KASM_PROGRAM_HH
+#define HBAT_KASM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hbat::kasm
+{
+
+/** Conventional base of the text segment. */
+inline constexpr VAddr kTextBase = 0x0040'0000;
+
+/** Conventional base of the static data segment. */
+inline constexpr VAddr kDataBase = 0x1000'0000;
+
+/** Initial stack pointer (stack grows down from here). */
+inline constexpr VAddr kStackTop = 0x7fff'f000;
+
+/** One initialized data region. */
+struct DataSegment
+{
+    VAddr base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** A linked, loadable program. */
+struct Program
+{
+    /** Program name (for reports). */
+    std::string name;
+
+    /** Encoded instructions, 4 bytes each, starting at textBase. */
+    std::vector<uint32_t> text;
+
+    /** Base virtual address of the text segment. */
+    VAddr textBase = kTextBase;
+
+    /** Initialized data. */
+    std::vector<DataSegment> data;
+
+    /** Entry point. */
+    VAddr entry = kTextBase;
+
+    /** Initial stack pointer value. */
+    VAddr stackTop = kStackTop;
+
+    /** End of the text segment (exclusive). */
+    VAddr textEnd() const { return textBase + text.size() * 4; }
+};
+
+} // namespace hbat::kasm
+
+#endif // HBAT_KASM_PROGRAM_HH

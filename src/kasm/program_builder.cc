@@ -1,0 +1,127 @@
+#include "kasm/program_builder.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "kasm/regalloc.hh"
+
+namespace hbat::kasm
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : name(std::move(name)), cb(this)
+{}
+
+VAddr
+ProgramBuilder::align(unsigned a)
+{
+    hbat_assert(a != 0 && (a & (a - 1)) == 0, "alignment must be 2^k");
+    while (data.size() % a != 0)
+        data.push_back(0);
+    return kDataBase + data.size();
+}
+
+VAddr
+ProgramBuilder::bytes(std::span<const uint8_t> src, unsigned alignment)
+{
+    const VAddr addr = align(alignment);
+    data.insert(data.end(), src.begin(), src.end());
+    return addr;
+}
+
+VAddr
+ProgramBuilder::words(std::span<const uint32_t> src)
+{
+    const VAddr addr = align(4);
+    const size_t at = data.size();
+    data.resize(at + src.size() * 4);
+    std::memcpy(data.data() + at, src.data(), src.size() * 4);
+    return addr;
+}
+
+VAddr
+ProgramBuilder::doubles(std::span<const double> src)
+{
+    const VAddr addr = align(8);
+    const size_t at = data.size();
+    data.resize(at + src.size() * 8);
+    std::memcpy(data.data() + at, src.data(), src.size() * 8);
+    return addr;
+}
+
+VAddr
+ProgramBuilder::space(uint64_t size, unsigned alignment)
+{
+    hbat_assert(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                "alignment must be 2^k");
+    bssCursor = (bssCursor + alignment - 1) & ~VAddr(alignment - 1);
+    const VAddr addr = bssCursor;
+    bssCursor += size;
+    hbat_assert(bssCursor < kStackTop - 0x100'0000,
+                "bss region ran into the stack");
+    return addr;
+}
+
+VAddr
+ProgramBuilder::doubleConst(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, 8);
+    auto it = doublePool.find(bits);
+    if (it != doublePool.end())
+        return it->second;
+    const VAddr addr = doubles(std::span<const double>(&value, 1));
+    doublePool.emplace(bits, addr);
+    return addr;
+}
+
+VAddr
+ProgramBuilder::codeTable(const std::vector<VLabel> &targets)
+{
+    const VAddr addr = align(4);
+    TableFix fix;
+    fix.dataOffset = data.size();
+    for (VLabel l : targets) {
+        hbat_assert(l.valid(), "invalid label in code table");
+        fix.labels.push_back(l.id);
+        cb.code.indirectTargets.push_back(l.id);
+    }
+    data.resize(data.size() + targets.size() * 4);
+    tableFixes.push_back(std::move(fix));
+    return addr;
+}
+
+Program
+ProgramBuilder::link(const RegBudget &budget)
+{
+    if (!codeTaken) {
+        linkedCode = cb.take();
+        codeTaken = true;
+    }
+
+    Emitter em(kTextBase);
+    const LowerResult lr = lower(linkedCode, budget, em);
+
+    // Patch code tables with the final label addresses.
+    std::vector<uint8_t> patched = data;
+    for (const TableFix &fix : tableFixes) {
+        for (size_t i = 0; i < fix.labels.size(); ++i) {
+            const uint32_t addr =
+                uint32_t(em.labelAddr(lr.labels[fix.labels[i]]));
+            std::memcpy(patched.data() + fix.dataOffset + i * 4, &addr,
+                        4);
+        }
+    }
+
+    Program prog;
+    prog.name = name;
+    prog.text = em.finalize();
+    prog.textBase = kTextBase;
+    if (!patched.empty())
+        prog.data.push_back(DataSegment{kDataBase, std::move(patched)});
+    prog.entry = kTextBase;
+    prog.stackTop = kStackTop;
+    return prog;
+}
+
+} // namespace hbat::kasm

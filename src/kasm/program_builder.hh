@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Top-level program construction: data segments + code + link.
+ *
+ * A ProgramBuilder owns one CodeBuilder and the static data image.
+ * Initialized data is placed from kDataBase upward; uninitialized
+ * ("bss") ranges are handed out from a separate region (pages come
+ * into existence on first touch in the simulated address space, so no
+ * zero bytes are materialized). link() runs the register allocator
+ * under the requested budget and produces a loadable Program.
+ */
+
+#ifndef HBAT_KASM_PROGRAM_BUILDER_HH
+#define HBAT_KASM_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kasm/code_builder.hh"
+#include "kasm/program.hh"
+
+namespace hbat::kasm
+{
+
+/** Base of the uninitialized-data (bss) region. */
+inline constexpr VAddr kBssBase = 0x2000'0000;
+
+/** Builds a complete Program: data, code, and the final link step. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** The code builder for this program. */
+    CodeBuilder &code() { return cb; }
+
+    /// @name Static data
+    /// @{
+    /** Append raw bytes; returns their virtual address. */
+    VAddr bytes(std::span<const uint8_t> data, unsigned align = 4);
+
+    /** Append 32-bit words; returns their virtual address. */
+    VAddr words(std::span<const uint32_t> data);
+
+    /** Append doubles; returns their virtual address. */
+    VAddr doubles(std::span<const double> data);
+
+    /** Reserve @p size zeroed bytes in the bss region. */
+    VAddr space(uint64_t size, unsigned align = 8);
+
+    /** Pooled FP constant (used by CodeBuilder::fconst). */
+    VAddr doubleConst(double value);
+
+    /**
+     * Append a table of code addresses (one 32-bit word per target),
+     * patched at link time. Registers every target as a possible
+     * destination of indirect jumps (CodeBuilder::jr).
+     */
+    VAddr codeTable(const std::vector<VLabel> &targets);
+    /// @}
+
+    /**
+     * Run register allocation under @p budget and produce the program.
+     * May be called repeatedly (e.g. once with 32/32 and once with 8/8
+     * registers); each call re-lowers the same virtual code.
+     */
+    Program link(const RegBudget &budget = RegBudget{});
+
+  private:
+    VAddr align(unsigned a);
+
+    std::string name;
+    CodeBuilder cb;
+    std::vector<uint8_t> data;
+    VAddr bssCursor = kBssBase;
+    std::map<uint64_t, VAddr> doublePool;
+
+    struct TableFix
+    {
+        size_t dataOffset;
+        std::vector<int> labels;
+    };
+    std::vector<TableFix> tableFixes;
+
+    VCode linkedCode;       ///< cached after the first link()
+    bool codeTaken = false;
+};
+
+} // namespace hbat::kasm
+
+#endif // HBAT_KASM_PROGRAM_BUILDER_HH

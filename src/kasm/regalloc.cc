@@ -1,0 +1,599 @@
+#include "kasm/regalloc.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace hbat::kasm
+{
+
+using isa::Inst;
+using isa::Opcode;
+using isa::RC;
+namespace reg = isa::reg;
+
+namespace
+{
+
+/// Scratch registers reserved for spill reloads.
+constexpr RegIndex kIntScratch0 = reg::at;    // r1
+constexpr RegIndex kIntScratch1 = reg::at2;   // r30
+constexpr RegIndex kFpScratch0 = 30;
+constexpr RegIndex kFpScratch1 = 31;
+
+/** Up to 3 uses / 2 defs per item. */
+struct UseDef
+{
+    std::array<int, 3> uses{-1, -1, -1};
+    std::array<int, 2> defs{-1, -1};
+    int nUses = 0;
+    int nDefs = 0;
+
+    void
+    use(int v)
+    {
+        if (v >= 0)
+            uses[nUses++] = v;
+    }
+
+    void
+    def(int v)
+    {
+        if (v >= 0)
+            defs[nDefs++] = v;
+    }
+};
+
+UseDef
+useDef(const VItem &item)
+{
+    UseDef ud;
+    switch (item.kind) {
+      case VItem::Kind::Inst: {
+        const isa::OpInfo &info = isa::opInfo(item.op);
+        if (info.rs1Class != RC::None)
+            ud.use(item.s1);
+        if (info.rs2Class != RC::None)
+            ud.use(item.s2);
+        if (info.rdClass != RC::None && info.rdIsSource)
+            ud.use(item.d);
+        if (info.rdClass != RC::None && !info.rdIsSource)
+            ud.def(item.d);
+        if (info.writesBase)
+            ud.def(item.s1);
+        break;
+      }
+      case VItem::Kind::Li:
+        ud.def(item.d);
+        break;
+      case VItem::Kind::Branch:
+        ud.use(item.s1);
+        ud.use(item.s2);
+        break;
+      case VItem::Kind::Jump:
+      case VItem::Kind::Bind:
+        break;
+    }
+    return ud;
+}
+
+/** Dense bitset over virtual registers. */
+class Bits
+{
+  public:
+    explicit Bits(size_t n) : words((n + 63) / 64, 0) {}
+
+    bool
+    get(int i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void set(int i) { words[i >> 6] |= uint64_t(1) << (i & 63); }
+    void clear(int i) { words[i >> 6] &= ~(uint64_t(1) << (i & 63)); }
+
+    /** this |= other; returns true when this changed. */
+    bool
+    merge(const Bits &other)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < words.size(); ++w) {
+            const uint64_t nv = words[w] | other.words[w];
+            changed |= nv != words[w];
+            words[w] = nv;
+        }
+        return changed;
+    }
+
+    /** Call @p fn for every set bit. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (size_t w = 0; w < words.size(); ++w) {
+            uint64_t v = words[w];
+            while (v) {
+                const int b = __builtin_ctzll(v);
+                fn(int(w) * 64 + b);
+                v &= v - 1;
+            }
+        }
+    }
+
+  private:
+    std::vector<uint64_t> words;
+};
+
+/** One live interval: [start, end) in item positions. */
+struct Interval
+{
+    int vreg = -1;
+    int start = 0;
+    int end = 0;
+};
+
+/** Assignment of one virtual register. */
+struct Assign
+{
+    bool spilled = false;
+    RegIndex phys = kNoReg;
+    int slot = -1;  ///< sp-relative byte offset when spilled
+};
+
+class Allocator
+{
+  public:
+    Allocator(const VCode &code, const RegBudget &budget, Emitter &em)
+        : code(code), budget(budget), em(em),
+          assign(code.vregClass.size())
+    {}
+
+    LowerResult
+    run()
+    {
+        hbat_assert(budget.intRegs >= 5 && budget.intRegs <= 32,
+                    "integer register budget must be in [5,32]");
+        hbat_assert(budget.fpRegs >= 3 && budget.fpRegs <= 32,
+                    "fp register budget must be in [3,32]");
+
+        findLabels();
+        computeLiveness();
+        buildIntervals();
+        allocateClass(VRClass::Int);
+        allocateClass(VRClass::Fp);
+        emit();
+
+        LowerResult res;
+        res.labels = emLabels;
+        res.frameBytes = frameBytes;
+        for (size_t v = 0; v < assign.size(); ++v) {
+            if (!assign[v].spilled)
+                continue;
+            if (code.vregClass[v] == VRClass::Int)
+                ++res.spilledInt;
+            else
+                ++res.spilledFp;
+        }
+        return res;
+    }
+
+  private:
+    const VCode &code;
+    const RegBudget &budget;
+    Emitter &em;
+
+    std::vector<int> labelPos;          ///< label id -> item index
+    std::vector<int> indirectPos;       ///< item positions of jr targets
+    std::vector<Bits> liveIn;
+    std::vector<Interval> intervals;    ///< one per vreg (or empty)
+    std::vector<Assign> assign;
+    std::vector<Label> emLabels;
+    int frameBytes = 0;
+
+    void
+    findLabels()
+    {
+        labelPos.assign(code.numLabels, -1);
+        for (size_t i = 0; i < code.items.size(); ++i) {
+            const VItem &item = code.items[i];
+            if (item.kind == VItem::Kind::Bind) {
+                hbat_assert(labelPos[item.label] == -1,
+                            "label ", item.label, " bound twice");
+                labelPos[item.label] = int(i);
+            }
+        }
+        for (int l : code.indirectTargets) {
+            hbat_assert(l >= 0 && l < code.numLabels && labelPos[l] >= 0,
+                        "indirect target label unbound");
+            indirectPos.push_back(labelPos[l]);
+        }
+    }
+
+    /** Successor item positions of item @p i. */
+    void
+    successors(size_t i, std::vector<int> &out) const
+    {
+        out.clear();
+        const VItem &item = code.items[i];
+        const int next = int(i) + 1;
+        const bool haveNext = size_t(next) < code.items.size();
+
+        switch (item.kind) {
+          case VItem::Kind::Jump:
+            out.push_back(labelPos[item.label]);
+            return;
+          case VItem::Kind::Branch:
+            out.push_back(labelPos[item.label]);
+            if (haveNext)
+                out.push_back(next);
+            return;
+          case VItem::Kind::Inst:
+            if (item.op == Opcode::Halt)
+                return;
+            if (item.op == Opcode::Jr) {
+                out = indirectPos;
+                return;
+            }
+            break;
+          default:
+            break;
+        }
+        if (haveNext)
+            out.push_back(next);
+    }
+
+    void
+    computeLiveness()
+    {
+        const size_t n = code.items.size();
+        const size_t nv = code.vregClass.size();
+        liveIn.assign(n, Bits(nv));
+
+        // Backward iteration to a fixpoint. Iterating the items in
+        // reverse order converges in a few passes for reducible code.
+        std::vector<int> succ;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t ri = n; ri-- > 0;) {
+                Bits out(nv);
+                successors(ri, succ);
+                for (int s : succ)
+                    out.merge(liveIn[s]);
+
+                const UseDef ud = useDef(code.items[ri]);
+                for (int d = 0; d < ud.nDefs; ++d)
+                    out.clear(ud.defs[d]);
+                for (int u = 0; u < ud.nUses; ++u)
+                    out.set(ud.uses[u]);
+                changed |= liveIn[ri].merge(out);
+            }
+        }
+    }
+
+    void
+    buildIntervals()
+    {
+        const size_t nv = code.vregClass.size();
+        intervals.assign(nv, Interval{});
+        for (size_t v = 0; v < nv; ++v)
+            intervals[v] = Interval{int(v), -1, -1};
+
+        auto extend = [&](int v, int pos) {
+            Interval &iv = intervals[v];
+            if (iv.start < 0) {
+                iv.start = pos;
+                iv.end = pos + 1;
+            } else {
+                iv.start = std::min(iv.start, pos);
+                iv.end = std::max(iv.end, pos + 1);
+            }
+        };
+
+        for (size_t i = 0; i < code.items.size(); ++i) {
+            liveIn[i].forEach([&](int v) { extend(v, int(i)); });
+            const UseDef ud = useDef(code.items[i]);
+            for (int d = 0; d < ud.nDefs; ++d)
+                extend(ud.defs[d], int(i));
+            for (int u = 0; u < ud.nUses; ++u)
+                extend(ud.uses[u], int(i));
+        }
+    }
+
+    std::vector<RegIndex>
+    pool(VRClass cls) const
+    {
+        std::vector<RegIndex> p;
+        if (cls == VRClass::Int) {
+            // r0, r1, r29, r30, r31 are reserved.
+            const int avail = std::min(budget.intRegs - 4, 27);
+            for (int r = 2; int(p.size()) < avail; ++r)
+                p.push_back(RegIndex(r));
+        } else {
+            // f30, f31 are reserved.
+            const int avail = std::min(budget.fpRegs - 2, 30);
+            for (int r = 0; int(p.size()) < avail; ++r)
+                p.push_back(RegIndex(r));
+        }
+        return p;
+    }
+
+    int
+    newSlot(VRClass cls)
+    {
+        if (cls == VRClass::Fp)
+            frameBytes = (frameBytes + 7) & ~7;
+        const int off = frameBytes;
+        frameBytes += cls == VRClass::Fp ? 8 : 4;
+        return off;
+    }
+
+    void
+    allocateClass(VRClass cls)
+    {
+        // Collect this class's intervals in start order.
+        std::vector<const Interval *> order;
+        for (const Interval &iv : intervals) {
+            if (iv.start < 0 || code.vregClass[iv.vreg] != cls)
+                continue;
+            order.push_back(&iv);
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const Interval *a, const Interval *b) {
+                      return a->start != b->start ? a->start < b->start
+                                                  : a->vreg < b->vreg;
+                  });
+
+        std::vector<RegIndex> freeRegs = pool(cls);
+        // Keep the free list in ascending order; take from the front.
+        std::vector<const Interval *> active;   // sorted by end asc
+
+        auto insertActive = [&](const Interval *iv) {
+            auto it = std::lower_bound(
+                active.begin(), active.end(), iv,
+                [](const Interval *a, const Interval *b) {
+                    return a->end < b->end;
+                });
+            active.insert(it, iv);
+        };
+
+        for (const Interval *cur : order) {
+            // Expire finished intervals.
+            while (!active.empty() && active.front()->end <= cur->start) {
+                freeRegs.insert(
+                    std::lower_bound(freeRegs.begin(), freeRegs.end(),
+                                     assign[active.front()->vreg].phys),
+                    assign[active.front()->vreg].phys);
+                active.erase(active.begin());
+            }
+
+            if (!freeRegs.empty()) {
+                assign[cur->vreg].phys = freeRegs.front();
+                freeRegs.erase(freeRegs.begin());
+                insertActive(cur);
+                continue;
+            }
+
+            // Spill the interval that ends furthest away.
+            const Interval *victim =
+                active.empty() ? cur : active.back();
+            if (victim != cur && victim->end > cur->end) {
+                assign[cur->vreg].phys = assign[victim->vreg].phys;
+                assign[victim->vreg].spilled = true;
+                assign[victim->vreg].phys = kNoReg;
+                assign[victim->vreg].slot = newSlot(cls);
+                active.pop_back();
+                insertActive(cur);
+            } else {
+                assign[cur->vreg].spilled = true;
+                assign[cur->vreg].slot = newSlot(cls);
+            }
+        }
+    }
+
+    /// @name Emission helpers
+    /// @{
+
+    bool
+    isSpilled(int v) const
+    {
+        return v >= 0 && assign[v].spilled;
+    }
+
+    /** Physical register of a non-spilled vreg (or r0 for kVZero). */
+    RegIndex
+    phys(int v) const
+    {
+        if (v == kVZero.id)
+            return reg::zero;
+        hbat_assert(v >= 0, "operand missing");
+        hbat_assert(!assign[v].spilled, "phys() on spilled vreg");
+        hbat_assert(assign[v].phys != kNoReg,
+                    "vreg v", v, " was never allocated");
+        return assign[v].phys;
+    }
+
+    /** Reload a source: returns its register, loading into @p scratch
+     *  first when the vreg lives in a stack slot. */
+    RegIndex
+    src(int v, RegIndex scratch)
+    {
+        if (!isSpilled(v))
+            return phys(v);
+        const Assign &a = assign[v];
+        const bool fp = code.vregClass[v] == VRClass::Fp;
+        em.emit(Inst{fp ? Opcode::Ldf : Opcode::Lw, scratch, reg::sp, 0,
+                     a.slot});
+        return scratch;
+    }
+
+    /** Store a spilled vreg's value from @p r back to its slot. */
+    void
+    writeBack(int v, RegIndex r)
+    {
+        const Assign &a = assign[v];
+        const bool fp = code.vregClass[v] == VRClass::Fp;
+        em.emit(Inst{fp ? Opcode::Sdf : Opcode::Sw, r, reg::sp, 0,
+                     a.slot});
+    }
+
+    /// @}
+
+    void
+    emitInst(const VItem &item)
+    {
+        const isa::OpInfo &info = isa::opInfo(item.op);
+
+        if (item.op == Opcode::Halt || item.op == Opcode::Nop) {
+            em.emit(Inst{item.op, 0, 0, 0, 0});
+            return;
+        }
+        if (item.op == Opcode::Jr) {
+            em.emit(Inst{Opcode::Jr, 0, src(item.s1, kIntScratch0), 0, 0});
+            return;
+        }
+
+        if (info.isStore) {
+            emitStore(item, info);
+            return;
+        }
+
+        // Loads and ALU/FP operations.
+        const bool xForm = info.rs2Class != RC::None;
+        RegIndex ps1 = kNoReg, ps2 = kNoReg;
+        if (info.rs1Class != RC::None) {
+            ps1 = src(item.s1, info.rs1Class == RC::Fp ? kFpScratch0
+                                                       : kIntScratch0);
+        }
+        if (xForm) {
+            ps2 = src(item.s2, info.rs2Class == RC::Fp ? kFpScratch1
+                                                       : kIntScratch1);
+        }
+
+        RegIndex pd = kNoReg;
+        if (info.rdClass != RC::None) {
+            if (isSpilled(item.d)) {
+                if (info.rdClass == RC::Fp) {
+                    pd = kFpScratch0;
+                } else {
+                    // A post-increment load updates its base in place;
+                    // keep the destination scratch distinct from it.
+                    pd = (info.writesBase && ps1 == kIntScratch0)
+                             ? kIntScratch1
+                             : kIntScratch0;
+                }
+            } else {
+                pd = phys(item.d);
+            }
+        }
+
+        em.emit(Inst{item.op, pd == kNoReg ? RegIndex(0) : pd,
+                     ps1 == kNoReg ? RegIndex(0) : ps1,
+                     ps2 == kNoReg ? RegIndex(0) : ps2, item.imm});
+
+        if (info.rdClass != RC::None && isSpilled(item.d))
+            writeBack(item.d, pd);
+        if (info.writesBase && isSpilled(item.s1))
+            writeBack(item.s1, ps1);
+    }
+
+    void
+    emitStore(const VItem &item, const isa::OpInfo &info)
+    {
+        const bool xForm = info.rs2Class != RC::None;
+        const bool fpData = info.rdClass == RC::Fp;
+
+        RegIndex ps1 = src(item.s1, kIntScratch0);
+        RegIndex ps2 = kNoReg;
+        Opcode op = item.op;
+        int32_t imm = item.imm;
+
+        if (xForm) {
+            ps2 = src(item.s2, kIntScratch1);
+            if (!fpData && isSpilled(item.d) && ps1 == kIntScratch0 &&
+                ps2 == kIntScratch1) {
+                // All three operands are spilled and the data is an
+                // integer: fold the address so a scratch frees up.
+                em.emit(Inst{Opcode::Add, kIntScratch0, ps1, ps2, 0});
+                ps1 = kIntScratch0;
+                ps2 = kNoReg;
+                op = op == Opcode::Swx ? Opcode::Sw : Opcode::Sdf;
+                imm = 0;
+            }
+        }
+
+        RegIndex pdata;
+        if (fpData) {
+            pdata = src(item.d, kFpScratch0);
+        } else {
+            // kIntScratch0 may hold the base; use the other scratch.
+            pdata = src(item.d, ps1 == kIntScratch0 ? kIntScratch1
+                                                    : kIntScratch0);
+        }
+
+        em.emit(Inst{op, pdata, ps1, ps2 == kNoReg ? RegIndex(0) : ps2,
+                     imm});
+
+        if (info.writesBase && isSpilled(item.s1))
+            writeBack(item.s1, ps1);
+    }
+
+    void
+    emit()
+    {
+        emLabels.clear();
+        for (int l = 0; l < code.numLabels; ++l) {
+            (void)l;
+            emLabels.push_back(em.newLabel());
+        }
+
+        // Spill-area prologue.
+        frameBytes = (frameBytes + 15) & ~15;
+        hbat_assert(frameBytes <= 32767, "spill frame too large");
+        if (frameBytes > 0) {
+            em.emit(Inst{Opcode::Addi, reg::sp, reg::sp, 0,
+                         -int32_t(frameBytes)});
+        }
+
+        for (const VItem &item : code.items) {
+            switch (item.kind) {
+              case VItem::Kind::Bind:
+                em.bind(emLabels[item.label]);
+                break;
+              case VItem::Kind::Jump:
+                em.emitJump(Opcode::J, emLabels[item.label]);
+                break;
+              case VItem::Kind::Branch: {
+                const RegIndex a = src(item.s1, kIntScratch0);
+                const RegIndex b = src(item.s2, kIntScratch1);
+                em.emitBranch(item.op, a, b, emLabels[item.label]);
+                break;
+              }
+              case VItem::Kind::Li:
+                if (isSpilled(item.d)) {
+                    em.li(kIntScratch0, item.uimm);
+                    writeBack(item.d, kIntScratch0);
+                } else {
+                    em.li(phys(item.d), item.uimm);
+                }
+                break;
+              case VItem::Kind::Inst:
+                emitInst(item);
+                break;
+            }
+        }
+    }
+};
+
+} // namespace
+
+LowerResult
+lower(const VCode &code, const RegBudget &budget, Emitter &em)
+{
+    Allocator alloc(code, budget, em);
+    return alloc.run();
+}
+
+} // namespace hbat::kasm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Register allocation: virtual code -> physical instructions.
+ *
+ * The allocator runs item-level backward liveness over the VCode unit,
+ * derives hole-free live intervals, and applies linear-scan allocation
+ * (Poletto & Sarkar) per register class. Virtual registers that do not
+ * fit the architected budget are assigned stack-frame slots; every use
+ * reloads through a reserved scratch register and every definition
+ * stores back, which is what makes the paper's few-register experiment
+ * (Section 4.6) generate its extra loads and stores.
+ *
+ * Reserved integer registers: r0 (zero), r1/r30 (spill scratch),
+ * r29 (sp), r31 (ra); reserved FP registers: f30/f31 (spill scratch).
+ * A budget of N integer registers therefore leaves N-4 allocatable
+ * (ra is reserved by convention but not counted against the budget
+ * since generated code never uses it).
+ */
+
+#ifndef HBAT_KASM_REGALLOC_HH
+#define HBAT_KASM_REGALLOC_HH
+
+#include <vector>
+
+#include "kasm/emitter.hh"
+#include "kasm/vcode.hh"
+
+namespace hbat::kasm
+{
+
+/** Result of lowering one VCode unit. */
+struct LowerResult
+{
+    /** Emitter labels corresponding to each VLabel id. */
+    std::vector<Label> labels;
+
+    /** Number of virtual registers that received stack slots. */
+    int spilledInt = 0;
+    int spilledFp = 0;
+
+    /** Stack frame size in bytes (spill area). */
+    int frameBytes = 0;
+};
+
+/**
+ * Allocate registers for @p code under @p budget and emit physical
+ * instructions into @p em (prologue first, then the lowered body).
+ */
+LowerResult lower(const VCode &code, const RegBudget &budget, Emitter &em);
+
+} // namespace hbat::kasm
+
+#endif // HBAT_KASM_REGALLOC_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The virtual-register intermediate representation.
+ *
+ * Workloads are written against an unlimited supply of virtual
+ * registers; the register allocator (regalloc.hh) later maps them onto
+ * a configurable number of architected registers, inserting stack
+ * spill/reload code where the budget is exceeded. This is the
+ * mechanism behind the paper's Section 4.6 experiment ("recompiled to
+ * use only 8 integer and 8 floating point registers"): the same
+ * workload source yields both the 32/32 and the 8/8 binaries.
+ */
+
+#ifndef HBAT_KASM_VCODE_HH
+#define HBAT_KASM_VCODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace hbat::kasm
+{
+
+/** Register classes for virtual registers. */
+enum class VRClass : uint8_t { Int, Fp };
+
+/** A virtual register handle. */
+struct VReg
+{
+    int id = -1;
+    bool valid() const { return id != -1; }
+};
+
+/** The always-zero integer register (maps to architected r0). */
+inline constexpr VReg kVZero{-2};
+
+/** A control-flow label in virtual code. */
+struct VLabel
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/**
+ * Architected register budget for the register allocator.
+ * The paper's baseline is 32/32; Section 4.6 re-runs everything at 8/8.
+ */
+struct RegBudget
+{
+    int intRegs = 32;
+    int fpRegs = 32;
+};
+
+/** One virtual-code item. */
+struct VItem
+{
+    enum class Kind : uint8_t
+    {
+        Inst,   ///< a regular instruction over virtual registers
+        Li,     ///< load 32-bit constant `uimm` into `d`
+        Branch, ///< conditional branch (op, s1, s2) to `label`
+        Jump,   ///< unconditional jump to `label`
+        Bind    ///< binds `label` at this position
+    };
+
+    Kind kind = Kind::Inst;
+    isa::Opcode op = isa::Opcode::Nop;
+    int d = -1;     ///< dest vreg (store data source for stores)
+    int s1 = -1;    ///< first source / base vreg
+    int s2 = -1;    ///< second source / index vreg
+    int32_t imm = 0;
+    uint32_t uimm = 0;  ///< Li constant
+    int label = -1;     ///< Branch/Jump/Bind label id
+};
+
+/** A complete virtual-code unit ready for register allocation. */
+struct VCode
+{
+    std::vector<VItem> items;
+    std::vector<VRClass> vregClass;     ///< class of each vreg id
+    int numLabels = 0;
+    /**
+     * Labels that indirect jumps (JR through a code table) may reach;
+     * liveness treats every JR as possibly branching to any of these.
+     */
+    std::vector<int> indirectTargets;
+};
+
+} // namespace hbat::kasm
+
+#endif // HBAT_KASM_VCODE_HH

@@ -1,0 +1,75 @@
+#include "sim/at_model.hh"
+
+#include <algorithm>
+
+#include "common/stats.hh"
+
+namespace hbat::sim
+{
+
+double
+tAt(const AtModelParams &p)
+{
+    return (1.0 - p.fShielded) *
+           (p.tStalled + p.tTlbHit + p.mTlb * p.tTlbMiss);
+}
+
+double
+tpiAt(const AtModelParams &p, double f_tol)
+{
+    return p.fMem * (1.0 - f_tol) * tAt(p);
+}
+
+AtModelParams
+extractModel(const SimResult &result)
+{
+    const cpu::PipeStats &pipe = result.pipe;
+    const tlb::XlateStats &x = pipe.xlate;
+
+    AtModelParams p;
+    const uint64_t mem =
+        pipe.committedLoads + pipe.committedStores;
+    p.fMem = ratio(mem, pipe.committed);
+    p.fShielded = ratio(x.shielded, x.translations + x.misses);
+
+    // Mean queueing latency per unshielded request: cycles spent
+    // refused a port (NoPort retries and internal queue waits).
+    const uint64_t unshielded = x.baseAccesses;
+    p.tStalled = ratio(x.queueCycles, std::max<uint64_t>(unshielded, 1));
+
+    // Visible hit latency: multi-level and pretranslation designs pay
+    // their upper-level miss penalty; single-level designs overlap
+    // fully. Approximate as 2 cycles per base access for shielding
+    // designs (the L1-miss minimum), 0 otherwise.
+    p.tTlbHit = x.shielded > 0 && x.baseAccesses > 0 ? 2.0 : 0.0;
+
+    p.mTlb = ratio(x.misses, std::max<uint64_t>(x.baseAccesses, 1));
+    p.tTlbMiss = 30.0;
+    return p;
+}
+
+double
+measuredTpiAt(const SimResult &result, const SimResult &ideal)
+{
+    const double cpi =
+        ratio(double(result.pipe.cycles),
+              double(result.pipe.committed));
+    const double cpiIdeal =
+        ratio(double(ideal.pipe.cycles),
+              double(ideal.pipe.committed));
+    return std::max(0.0, cpi - cpiIdeal);
+}
+
+double
+impliedFtol(const SimResult &result, const SimResult &ideal)
+{
+    const AtModelParams p = extractModel(result);
+    const double exposed = p.fMem * tAt(p);
+    if (exposed <= 0.0)
+        return 1.0;
+    const double f =
+        1.0 - measuredTpiAt(result, ideal) / exposed;
+    return std::clamp(f, 0.0, 1.0);
+}
+
+} // namespace hbat::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's Section 2 analytical model of address-translation
+ * performance.
+ *
+ * The model expresses the average translation latency seen by the
+ * core as
+ *
+ *   t_AT = (1 - f_shielded) * (t_stalled + t_TLBhit
+ *                              + M_TLB * t_TLBmiss)
+ *
+ * and its system impact, time-per-instruction due to address
+ * translation, as
+ *
+ *   TPI_AT = f_MEM * (1 - f_TOL) * t_AT .
+ *
+ * The paper uses this strictly qualitatively; we additionally provide
+ * extractModel(), which derives the model's inputs from a measured
+ * simulation so the bench `model_check` can compare the analytical
+ * TPI_AT against the measured per-instruction cycle cost relative to
+ * an ideal translation device (the residual being the latency the
+ * core tolerated, f_TOL).
+ */
+
+#ifndef HBAT_SIM_AT_MODEL_HH
+#define HBAT_SIM_AT_MODEL_HH
+
+#include "sim/simulator.hh"
+
+namespace hbat::sim
+{
+
+/** Inputs of the Section 2 model. */
+struct AtModelParams
+{
+    double fMem = 0.0;          ///< fraction of instructions accessing memory
+    double fShielded = 0.0;     ///< requests satisfied by the shield
+    double tStalled = 0.0;      ///< mean port-queueing latency (cycles)
+    double tTlbHit = 0.0;       ///< visible base-TLB hit latency
+    double mTlb = 0.0;          ///< base-TLB miss rate
+    double tTlbMiss = 30.0;     ///< miss-handler latency
+};
+
+/** Average translation latency t_AT (Section 2). */
+double tAt(const AtModelParams &p);
+
+/**
+ * Time-per-instruction impact TPI_AT given the fraction of latency
+ * the core tolerates (f_TOL).
+ */
+double tpiAt(const AtModelParams &p, double f_tol);
+
+/**
+ * Derive model parameters from a measured run. The visible hit
+ * latency and queueing latency come from the engine's counters; the
+ * miss latency is the configured 30-cycle handler.
+ */
+AtModelParams extractModel(const SimResult &result);
+
+/**
+ * Measured TPI_AT: the extra cycles per instruction the run spent
+ * relative to @p ideal (same program under an ideal translation
+ * device). By the model's definition this equals
+ * f_MEM * (1 - f_TOL) * t_AT, so the implied tolerance factor is
+ * f_TOL = 1 - measured / (f_MEM * t_AT).
+ */
+double measuredTpiAt(const SimResult &result, const SimResult &ideal);
+
+/** The tolerance fraction implied by a measured pair (clamped). */
+double impliedFtol(const SimResult &result, const SimResult &ideal);
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_AT_MODEL_HH

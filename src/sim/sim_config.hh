@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Top-level simulation configuration.
+ *
+ * Defaults reproduce Table 1's baseline machine: 8-way out-of-order
+ * issue, 4 KB pages, 32 integer + 32 FP architected registers, and the
+ * T4 reference translation design. The evaluation sections vary one
+ * axis at a time: issue model (Figure 7), page size (Figure 8), and
+ * register budget (Figure 9).
+ */
+
+#ifndef HBAT_SIM_SIM_CONFIG_HH
+#define HBAT_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "kasm/vcode.hh"
+#include "tlb/design.hh"
+
+namespace hbat::sim
+{
+
+/** One simulation run's configuration. */
+struct SimConfig
+{
+    /** Translation design under test (Table 2). */
+    tlb::Design design = tlb::Design::T4;
+
+    /** Virtual memory page size in bytes (4096 or 8192). */
+    unsigned pageBytes = 4096;
+
+    /** In-order issue instead of out-of-order. */
+    bool inOrder = false;
+
+    /** Architected register budget the workload is compiled for. */
+    kasm::RegBudget budget{32, 32};
+
+    /** Seed for all randomized structures (replacement policies). */
+    uint64_t seed = 12345;
+
+    /** Commit limit (safety valve; workloads normally halt first). */
+    uint64_t maxInsts = ~uint64_t(0);
+};
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_SIM_CONFIG_HH

@@ -1,0 +1,45 @@
+#include "sim/simulator.hh"
+
+#include "tlb/design.hh"
+#include "vm/address_space.hh"
+
+namespace hbat::sim
+{
+
+SimResult
+simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
+                   const EngineFactory &make_engine,
+                   const std::string &design_label)
+{
+    vm::AddressSpace space{vm::PageParams(cfg.pageBytes)};
+    space.load(prog);
+
+    cpu::FuncCore core(space, prog);
+    auto engine = make_engine(space.pageTable());
+
+    cpu::PipeConfig pipe_cfg;
+    pipe_cfg.inOrder = cfg.inOrder;
+
+    cpu::Pipeline pipe(pipe_cfg, core, *engine, space.params());
+
+    SimResult res;
+    res.program = prog.name;
+    res.design = design_label;
+    res.pipe = pipe.run(cfg.maxInsts);
+    res.func = core.stats();
+    res.touchedPages = space.touchedPages();
+    return res;
+}
+
+SimResult
+simulate(const kasm::Program &prog, const SimConfig &cfg)
+{
+    return simulateWithEngine(
+        prog, cfg,
+        [&](vm::PageTable &pt) {
+            return tlb::makeEngine(cfg.design, pt, cfg.seed);
+        },
+        tlb::designName(cfg.design));
+}
+
+} // namespace hbat::sim

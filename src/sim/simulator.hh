@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One-call simulation driver: program + configuration -> results.
+ */
+
+#ifndef HBAT_SIM_SIMULATOR_HH
+#define HBAT_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cpu/pipeline.hh"
+#include "kasm/program.hh"
+#include "sim/sim_config.hh"
+
+namespace hbat::sim
+{
+
+/** Results of a timed run. */
+struct SimResult
+{
+    std::string program;        ///< workload name
+    std::string design;         ///< translation design mnemonic
+    cpu::PipeStats pipe;        ///< timing statistics
+    cpu::FuncStats func;        ///< architectural counts
+    uint64_t touchedPages = 0;  ///< data footprint in pages
+
+    double ipc() const { return pipe.ipc(); }
+    Cycle cycles() const { return pipe.cycles; }
+};
+
+/**
+ * Load @p prog into a fresh address space and run it to completion on
+ * the configured machine.
+ */
+SimResult simulate(const kasm::Program &prog, const SimConfig &cfg);
+
+/** Factory for custom translation engines (ablation studies). */
+using EngineFactory =
+    std::function<std::unique_ptr<tlb::TranslationEngine>(
+        vm::PageTable &)>;
+
+/**
+ * As simulate(), but with a caller-supplied translation engine; the
+ * cfg.design field is ignored and @p design_label is reported instead.
+ */
+SimResult simulateWithEngine(const kasm::Program &prog,
+                             const SimConfig &cfg,
+                             const EngineFactory &make_engine,
+                             const std::string &design_label);
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_SIMULATOR_HH

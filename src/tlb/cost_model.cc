@@ -1,0 +1,132 @@
+#include "tlb/cost_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace hbat::tlb
+{
+
+namespace
+{
+
+/// Area multiplier of a storage bit with @p ports access ports,
+/// normalized to a single-ported bit (quadratic in ports [Jol91]).
+double
+portAreaFactor(unsigned ports)
+{
+    const double p = double(ports);
+    return (0.5 + p / 2.0) * (0.5 + p / 2.0);
+}
+
+/// Fixed per-port interconnect cost of an n-way crossbar (area grows
+/// with the product of requesters and banks).
+double
+crossbarArea(unsigned requesters, unsigned banks)
+{
+    return 16.0 * double(requesters) * double(banks);
+}
+
+/// Comparator area for one piggyback port (one VPN comparator).
+constexpr double kComparatorArea = 24.0;
+
+/// Latency adders.
+constexpr double kCrossbarLatency = 1.0;
+constexpr double kHitGateLatency = 0.25;
+
+} // namespace
+
+CostEstimate
+arrayCost(unsigned entries, unsigned ports, unsigned bits_per_entry)
+{
+    hbat_assert(entries > 0 && ports > 0, "bad array shape");
+    CostEstimate c;
+    c.areaRbe =
+        double(entries) * bits_per_entry * portAreaFactor(ports);
+    // CAM match across `entries` tags; each extra port loads the
+    // match/read paths.
+    c.accessLatency =
+        std::log2(double(entries)) + 0.5 * double(ports - 1);
+    c.missPathLatency = c.accessLatency;
+    return c;
+}
+
+CostEstimate
+designCost(Design d)
+{
+    constexpr unsigned kBase = 128;
+    switch (d) {
+      case Design::T4: return arrayCost(kBase, 4);
+      case Design::T2: return arrayCost(kBase, 2);
+      case Design::T1: return arrayCost(kBase, 1);
+
+      case Design::I8:
+      case Design::I4:
+      case Design::X4: {
+        const unsigned banks = d == Design::I8 ? 8 : 4;
+        const CostEstimate bank = arrayCost(kBase / banks, 1);
+        CostEstimate c;
+        c.areaRbe = bank.areaRbe * banks + crossbarArea(4, banks);
+        c.accessLatency = bank.accessLatency + kCrossbarLatency;
+        c.missPathLatency = c.accessLatency;
+        return c;
+      }
+
+      case Design::M16:
+      case Design::M8:
+      case Design::M4: {
+        const unsigned l1 =
+            d == Design::M16 ? 16 : (d == Design::M8 ? 8 : 4);
+        const CostEstimate upper = arrayCost(l1, 4);
+        const CostEstimate base = arrayCost(kBase, 1);
+        CostEstimate c;
+        c.areaRbe = upper.areaRbe + base.areaRbe;
+        // The port-side critical path is the small L1 TLB.
+        c.accessLatency = upper.accessLatency;
+        c.missPathLatency = upper.accessLatency + base.accessLatency;
+        return c;
+      }
+
+      case Design::P8: {
+        // 8-entry pretranslation cache, 4-ported (read at decode),
+        // over a single-ported base TLB. The pretranslation result is
+        // available by the end of decode — effectively off the
+        // memory-access critical path, which we model as a very small
+        // port-side latency.
+        const CostEstimate cache = arrayCost(8, 4, 48);
+        const CostEstimate base = arrayCost(kBase, 1);
+        CostEstimate c;
+        c.areaRbe = cache.areaRbe + base.areaRbe;
+        c.accessLatency = kHitGateLatency;
+        c.missPathLatency = 1.0 + base.accessLatency;
+        return c;
+      }
+
+      case Design::PB2:
+      case Design::PB1: {
+        const unsigned ports = d == Design::PB2 ? 2 : 1;
+        const unsigned piggy = d == Design::PB2 ? 2 : 3;
+        CostEstimate c = arrayCost(kBase, ports);
+        c.areaRbe += kComparatorArea * piggy;
+        c.accessLatency += kHitGateLatency;
+        c.missPathLatency = c.accessLatency;
+        return c;
+      }
+
+      case Design::I4PB: {
+        const CostEstimate bank = arrayCost(kBase / 4, 1);
+        CostEstimate c;
+        c.areaRbe = bank.areaRbe * 4 + crossbarArea(4, 4) +
+                    kComparatorArea * 4;
+        c.accessLatency =
+            bank.accessLatency + kCrossbarLatency + kHitGateLatency;
+        c.missPathLatency = c.accessLatency;
+        return c;
+      }
+
+      default:
+        hbat_panic("bad design");
+    }
+}
+
+} // namespace hbat::tlb

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * First-order area/latency cost model for the Table 2 designs.
+ *
+ * The paper's motivation is that a multi-ported TLB's "latency and
+ * area increase sharply as the number of ports or entries is
+ * increased": in CMOS the area of a multi-ported storage cell grows
+ * with the square of the port count [Jol91], and each added port
+ * loads every access path [WE88]. The alternatives win because their
+ * *storage* stays few-ported, paying instead with small fixed
+ * structures (comparators, a crossbar, a tiny upper-level array).
+ *
+ * This model turns those qualitative statements into first-order
+ * numbers so the cost/performance trade-off can be tabulated next to
+ * the simulated IPC (bench `cost_table`). Units are relative:
+ *
+ *  - area is measured in register-bit equivalents (rbe): one
+ *    single-ported stored bit = 1, a bit with p ports = (p/2 + 1/2)^2
+ *    approximating the quadratic port growth normalized to 1 port;
+ *  - latency is in equivalent logic-delay units: a fully-associative
+ *    lookup costs log2(entries) + 0.5 * (ports - 1), a crossbar or
+ *    hit-signal gate adds fixed increments.
+ *
+ * The absolute numbers are not calibrated to any process; only the
+ * *orderings and scaling trends* are meaningful, which is exactly how
+ * the paper uses the argument.
+ */
+
+#ifndef HBAT_TLB_COST_MODEL_HH
+#define HBAT_TLB_COST_MODEL_HH
+
+#include "tlb/design.hh"
+
+namespace hbat::tlb
+{
+
+/** First-order cost estimate for one design. */
+struct CostEstimate
+{
+    double areaRbe = 0.0;       ///< storage+interconnect area (rbe)
+    double accessLatency = 0.0; ///< critical-path units (port side)
+    double missPathLatency = 0.0; ///< latency to reach the base array
+};
+
+/** Cost of a fully-associative array of @p entries with @p ports. */
+CostEstimate arrayCost(unsigned entries, unsigned ports,
+                       unsigned bits_per_entry = 64);
+
+/** Cost estimate for a Table 2 design (paper parameters). */
+CostEstimate designCost(Design d);
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_COST_MODEL_HH

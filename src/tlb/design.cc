@@ -1,0 +1,154 @@
+#include "tlb/design.hh"
+
+#include "common/log.hh"
+#include "tlb/interleaved.hh"
+#include "tlb/multilevel.hh"
+#include "tlb/multiported.hh"
+#include "tlb/pretranslation.hh"
+
+namespace hbat::tlb
+{
+
+namespace
+{
+
+/// Base TLB capacity shared by every Table 2 design.
+constexpr unsigned kBaseEntries = 128;
+
+/// L1 TLB / pretranslation-cache access ports.
+constexpr unsigned kUpperPorts = 4;
+
+} // namespace
+
+std::vector<Design>
+allDesigns()
+{
+    using enum Design;
+    return {T4, T2, T1, I8, I4, X4, M16, M8, M4, P8, PB2, PB1, I4PB};
+}
+
+std::string
+designName(Design d)
+{
+    switch (d) {
+      case Design::T4: return "T4";
+      case Design::T2: return "T2";
+      case Design::T1: return "T1";
+      case Design::I8: return "I8";
+      case Design::I4: return "I4";
+      case Design::X4: return "X4";
+      case Design::M16: return "M16";
+      case Design::M8: return "M8";
+      case Design::M4: return "M4";
+      case Design::P8: return "P8";
+      case Design::PB2: return "PB2";
+      case Design::PB1: return "PB1";
+      case Design::I4PB: return "I4/PB";
+      default: hbat_panic("bad design");
+    }
+}
+
+std::string
+designDescription(Design d)
+{
+    switch (d) {
+      case Design::T4:
+        return "4-ported TLB, 128 entries, fully-associative, random";
+      case Design::T2:
+        return "2-ported TLB, 128 entries, fully-associative, random";
+      case Design::T1:
+        return "1-ported TLB, 128 entries, fully-associative, random";
+      case Design::I8:
+        return "8-way bit-select interleaved TLB, 128 entries "
+               "(16-entry banks)";
+      case Design::I4:
+        return "4-way bit-select interleaved TLB, 128 entries "
+               "(32-entry banks)";
+      case Design::X4:
+        return "4-way XOR-select interleaved TLB, 128 entries "
+               "(32-entry banks)";
+      case Design::M16:
+        return "4-ported 16-entry L1 TLB (LRU) over 128-entry L2";
+      case Design::M8:
+        return "4-ported 8-entry L1 TLB (LRU) over 128-entry L2";
+      case Design::M4:
+        return "4-ported 4-entry L1 TLB (LRU) over 128-entry L2";
+      case Design::P8:
+        return "4-ported 8-entry pretranslation cache (LRU) over "
+               "1-ported 128-entry base TLB";
+      case Design::PB2:
+        return "2-ported TLB with 2 piggyback ports, 128 entries";
+      case Design::PB1:
+        return "1-ported TLB with 3 piggyback ports, 128 entries";
+      case Design::I4PB:
+        return "4-way bit-select interleaved TLB with piggybacked "
+               "banks, 128 entries";
+      default: hbat_panic("bad design");
+    }
+}
+
+Design
+parseDesign(const std::string &name)
+{
+    for (Design d : allDesigns())
+        if (designName(d) == name)
+            return d;
+    hbat_fatal("unknown design '", name, "'");
+}
+
+std::unique_ptr<TranslationEngine>
+makeEngine(Design d, vm::PageTable &page_table, uint64_t seed)
+{
+    switch (d) {
+      case Design::T4:
+        return std::make_unique<MultiPortedTlb>(page_table, 4, 0,
+                                                kBaseEntries, seed);
+      case Design::T2:
+        return std::make_unique<MultiPortedTlb>(page_table, 2, 0,
+                                                kBaseEntries, seed);
+      case Design::T1:
+        return std::make_unique<MultiPortedTlb>(page_table, 1, 0,
+                                                kBaseEntries, seed);
+      case Design::I8:
+        return std::make_unique<InterleavedTlb>(
+            page_table, 8, BankSelect::BitSelect, kBaseEntries, false,
+            seed);
+      case Design::I4:
+        return std::make_unique<InterleavedTlb>(
+            page_table, 4, BankSelect::BitSelect, kBaseEntries, false,
+            seed);
+      case Design::X4:
+        return std::make_unique<InterleavedTlb>(
+            page_table, 4, BankSelect::XorFold, kBaseEntries, false,
+            seed);
+      case Design::M16:
+        return std::make_unique<MultiLevelTlb>(page_table, 16,
+                                               kUpperPorts,
+                                               kBaseEntries, seed);
+      case Design::M8:
+        return std::make_unique<MultiLevelTlb>(page_table, 8,
+                                               kUpperPorts,
+                                               kBaseEntries, seed);
+      case Design::M4:
+        return std::make_unique<MultiLevelTlb>(page_table, 4,
+                                               kUpperPorts,
+                                               kBaseEntries, seed);
+      case Design::P8:
+        return std::make_unique<PretranslationTlb>(page_table, 8,
+                                                   kBaseEntries, seed);
+      case Design::PB2:
+        return std::make_unique<MultiPortedTlb>(page_table, 2, 2,
+                                                kBaseEntries, seed);
+      case Design::PB1:
+        return std::make_unique<MultiPortedTlb>(page_table, 1, 3,
+                                                kBaseEntries, seed);
+      case Design::I4PB:
+        return std::make_unique<InterleavedTlb>(
+            page_table, 4, BankSelect::BitSelect, kBaseEntries, true,
+            seed);
+      default:
+        hbat_panic("bad design");
+    }
+}
+
+} // namespace hbat::tlb

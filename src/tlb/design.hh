@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The catalogue of analyzed address-translation designs (Table 2).
+ *
+ * Each enumerator matches one mnemonic row of the paper's Table 2;
+ * makeEngine() constructs the corresponding TranslationEngine with the
+ * paper's parameters (128-entry fully-associative base structures,
+ * 4 L1/pretranslation ports, etc.).
+ */
+
+#ifndef HBAT_TLB_DESIGN_HH
+#define HBAT_TLB_DESIGN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** Table 2 design mnemonics. */
+enum class Design : uint8_t
+{
+    T4,     ///< 4-ported TLB, 128 entries
+    T2,     ///< 2-ported TLB, 128 entries
+    T1,     ///< 1-ported TLB, 128 entries
+    I8,     ///< 8-way bit-select interleaved, 16-entry banks
+    I4,     ///< 4-way bit-select interleaved, 32-entry banks
+    X4,     ///< 4-way XOR-select interleaved, 32-entry banks
+    M16,    ///< 4-ported 16-entry L1 TLB over 128-entry L2
+    M8,     ///< 4-ported 8-entry L1 TLB over 128-entry L2
+    M4,     ///< 4-ported 4-entry L1 TLB over 128-entry L2
+    P8,     ///< 8-entry pretranslation cache over 1-ported base TLB
+    PB2,    ///< 2-ported TLB with 2 piggyback ports
+    PB1,    ///< 1-ported TLB with 3 piggyback ports
+    I4PB,   ///< 4-way bit-select interleaved with piggybacked banks
+    NumDesigns
+};
+
+/** All Table 2 designs, in the paper's presentation order. */
+std::vector<Design> allDesigns();
+
+/** The paper's mnemonic ("T4", "I4/PB", ...). */
+std::string designName(Design d);
+
+/** One-line description (Table 2's right column). */
+std::string designDescription(Design d);
+
+/** Parse a mnemonic; fatal on unknown names. */
+Design parseDesign(const std::string &name);
+
+/** Construct the engine for @p d with the paper's parameters. */
+std::unique_ptr<TranslationEngine>
+makeEngine(Design d, vm::PageTable &page_table, uint64_t seed = 12345);
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_DESIGN_HH

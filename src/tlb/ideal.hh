@@ -1,0 +1,48 @@
+/**
+ * @file
+ * An idealized translation engine: unlimited bandwidth and a perfect
+ * hit rate. Not one of Table 2's designs — it bounds how much
+ * performance *any* translation mechanism could recover, which the
+ * ablation studies use to separate bandwidth effects from miss
+ * effects.
+ */
+
+#ifndef HBAT_TLB_IDEAL_HH
+#define HBAT_TLB_IDEAL_HH
+
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** Infinite ports, no misses, zero latency. */
+class IdealTlb : public TranslationEngine
+{
+  public:
+    explicit IdealTlb(vm::PageTable &page_table)
+        : TranslationEngine(page_table)
+    {}
+
+    void beginCycle(Cycle now) override { (void)now; }
+
+    Outcome
+    request(const XlateRequest &req, Cycle now) override
+    {
+        ++stats_.requests;
+        ++stats_.translations;
+        ++stats_.shielded;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        return Outcome::hit(now, rr.ppn, true);
+    }
+
+    void
+    fill(Vpn vpn, Cycle now) override
+    {
+        (void)vpn;
+        (void)now;
+    }
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_IDEAL_HH

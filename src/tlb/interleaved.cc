@@ -1,0 +1,104 @@
+#include "tlb/interleaved.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace hbat::tlb
+{
+
+InterleavedTlb::InterleavedTlb(vm::PageTable &page_table, unsigned nbanks,
+                               BankSelect select, unsigned total_entries,
+                               bool piggyback, uint64_t seed)
+    : TranslationEngine(page_table), bankBits(exactLog2(nbanks)),
+      select(select), piggyback(piggyback)
+{
+    hbat_assert(isPowerOfTwo(nbanks), "bank count must be a power of 2");
+    hbat_assert(total_entries % nbanks == 0,
+                "entries must divide evenly across banks");
+    banks.reserve(nbanks);
+    for (unsigned b = 0; b < nbanks; ++b) {
+        banks.emplace_back(total_entries / nbanks, Replacement::Random,
+                           seed + b);
+    }
+    state.resize(nbanks);
+}
+
+unsigned
+InterleavedTlb::bankOf(Vpn vpn) const
+{
+    switch (select) {
+      case BankSelect::BitSelect:
+        return unsigned(vpn & mask(bankBits));
+      case BankSelect::XorFold:
+        // XOR the three least-significant groups of bankBits bits
+        // (Section 4.1 describes exactly three groups for X4).
+        return unsigned((vpn ^ (vpn >> bankBits) ^ (vpn >> 2 * bankBits))
+                        & mask(bankBits));
+    }
+    hbat_panic("bad bank select");
+}
+
+void
+InterleavedTlb::beginCycle(Cycle now)
+{
+    (void)now;
+    for (BankState &s : state)
+        s.busy = false;
+}
+
+Outcome
+InterleavedTlb::request(const XlateRequest &req, Cycle now)
+{
+    ++stats_.requests;
+    const unsigned bank = bankOf(req.vpn);
+    BankState &s = state[bank];
+
+    if (!s.busy) {
+        s.busy = true;
+        s.vpn = req.vpn;
+        ++stats_.baseAccesses;
+        if (banks[bank].lookup(req.vpn, now)) {
+            ++stats_.baseHits;
+            ++stats_.translations;
+            const vm::RefResult rr = referencePage(req.vpn, req.write);
+            s.hit = true;
+            s.ppn = rr.ppn;
+            return Outcome::hit(now, rr.ppn, false);
+        }
+        ++stats_.misses;
+        s.hit = false;
+        return Outcome::miss(now);
+    }
+
+    if (piggyback && s.vpn == req.vpn) {
+        ++stats_.piggybacks;
+        if (s.hit) {
+            ++stats_.translations;
+            ++stats_.shielded;
+            const vm::RefResult rr = referencePage(req.vpn, req.write);
+            return Outcome::hit(now, rr.ppn, true);
+        }
+        return Outcome::miss(now);
+    }
+
+    // Bank conflict: serialize.
+    ++stats_.noPort;
+    ++stats_.queueCycles;
+    return Outcome::noPort();
+}
+
+void
+InterleavedTlb::fill(Vpn vpn, Cycle now)
+{
+    banks[bankOf(vpn)].insert(vpn, now);
+}
+
+void
+InterleavedTlb::invalidate(Vpn vpn, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations;
+    banks[bankOf(vpn)].invalidate(vpn);
+}
+
+} // namespace hbat::tlb

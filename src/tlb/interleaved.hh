@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Interleaved (banked) TLB.
+ *
+ * Covers Table 2's I8, I4, X4 and (with per-bank piggybacking) I4/PB.
+ * The bank-selection function maps a virtual page number to one of N
+ * single-ported fully-associative banks: bit selection uses the VPN
+ * bits immediately above the page offset (Section 4.1), XOR folding
+ * randomizes the assignment by XOR-ing groups of those bits [KJLH89].
+ * Simultaneous accesses to the same bank conflict and serialize unless
+ * piggybacking is enabled and their page numbers match (Section 3.4's
+ * I4/PB hybrid).
+ */
+
+#ifndef HBAT_TLB_INTERLEAVED_HH
+#define HBAT_TLB_INTERLEAVED_HH
+
+#include <vector>
+
+#include "tlb/tlb_array.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** Bank selection functions. */
+enum class BankSelect : uint8_t
+{
+    BitSelect,  ///< low log2(banks) bits of the VPN
+    XorFold     ///< XOR of the three lowest groups of those bits
+};
+
+/** I8/I4/X4/I4PB: N single-ported banks behind an interconnect. */
+class InterleavedTlb : public TranslationEngine
+{
+  public:
+    /**
+     * @param banks number of banks (power of two)
+     * @param total_entries capacity summed over all banks
+     * @param piggyback enable per-bank piggyback ports
+     */
+    InterleavedTlb(vm::PageTable &page_table, unsigned banks,
+                   BankSelect select, unsigned total_entries,
+                   bool piggyback, uint64_t seed);
+
+    void beginCycle(Cycle now) override;
+    Outcome request(const XlateRequest &req, Cycle now) override;
+    void fill(Vpn vpn, Cycle now) override;
+    void invalidate(Vpn vpn, Cycle now) override;
+
+    /** The bank @p vpn maps to (exposed for tests and ablations). */
+    unsigned bankOf(Vpn vpn) const;
+
+  private:
+    struct BankState
+    {
+        bool busy = false;
+        Vpn vpn = 0;
+        bool hit = false;
+        Ppn ppn = 0;
+    };
+
+    const unsigned bankBits;
+    const BankSelect select;
+    const bool piggyback;
+    std::vector<TlbArray> banks;
+    std::vector<BankState> state;
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_INTERLEAVED_HH

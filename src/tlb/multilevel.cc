@@ -1,0 +1,95 @@
+#include "tlb/multilevel.hh"
+
+namespace hbat::tlb
+{
+
+MultiLevelTlb::MultiLevelTlb(vm::PageTable &page_table,
+                             unsigned l1_entries, unsigned l1_ports,
+                             unsigned l2_entries, uint64_t seed)
+    : TranslationEngine(page_table), l1Ports(l1_ports),
+      l1(l1_entries, Replacement::Lru, seed),
+      l2(l2_entries, Replacement::Random, seed + 0x9e37)
+{}
+
+void
+MultiLevelTlb::beginCycle(Cycle now)
+{
+    (void)now;
+    l1Used = 0;
+}
+
+Cycle
+MultiLevelTlb::grantL2(Cycle earliest)
+{
+    const Cycle grant = std::max(earliest, l2NextFree);
+    l2NextFree = grant + 1;
+    return grant;
+}
+
+Outcome
+MultiLevelTlb::request(const XlateRequest &req, Cycle now)
+{
+    ++stats_.requests;
+
+    if (l1Used >= l1Ports) {
+        ++stats_.noPort;
+        ++stats_.queueCycles;
+        return Outcome::noPort();
+    }
+    ++l1Used;
+
+    if (l1.lookup(req.vpn, now)) {
+        ++stats_.translations;
+        ++stats_.shielded;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        if (rr.statusChanged) {
+            // Write the status change through to the base TLB; the
+            // write occupies an L2 port slot (Section 4.1).
+            grantL2(now);
+            ++stats_.statusWrites;
+        }
+        return Outcome::hit(now, rr.ppn, true);
+    }
+
+    // L1 miss: the request goes to the L2 in the next cycle and may
+    // queue there; minimum total penalty is 2 cycles.
+    const Cycle grant = grantL2(now + 1);
+    stats_.queueCycles += grant - (now + 1);
+    ++stats_.baseAccesses;
+
+    if (l2.lookup(req.vpn, grant)) {
+        ++stats_.baseHits;
+        ++stats_.translations;
+        l1.insert(req.vpn, now);
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        return Outcome::hit(grant + 1, rr.ppn, false);
+    }
+
+    ++stats_.misses;
+    return Outcome::miss(grant);
+}
+
+void
+MultiLevelTlb::invalidate(Vpn vpn, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations;
+    // Inclusion pays off here: the L1 TLB needs a probe only when
+    // the L2 actually held the entry (Section 3.3).
+    if (l2.invalidate(vpn)) {
+        ++stats_.upperProbes;
+        l1.invalidate(vpn);
+    }
+}
+
+void
+MultiLevelTlb::fill(Vpn vpn, Cycle now)
+{
+    // Load both levels; maintain inclusion by invalidating the L1
+    // entry whose L2 copy was evicted.
+    if (auto evicted = l2.insert(vpn, now))
+        l1.invalidate(*evicted);
+    l1.insert(vpn, now);
+}
+
+} // namespace hbat::tlb

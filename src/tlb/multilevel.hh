@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multi-level TLB (Section 3.3; designs M16/M8/M4).
+ *
+ * A small multi-ported L1 TLB with LRU replacement shields a large
+ * single-ported L2 TLB with random replacement. L1 hits cost nothing
+ * visible; L1 misses are sent to the L2 in the following cycle, where
+ * they may queue behind other L2 work, so the minimum L1-miss penalty
+ * is two cycles (Section 4.1). Multi-level inclusion is enforced: L2
+ * fills also load the L1, and an entry evicted from the L2 is
+ * invalidated in the L1. Page-status changes detected on L1 hits are
+ * written through to the L2, consuming an L2 port slot.
+ */
+
+#ifndef HBAT_TLB_MULTILEVEL_HH
+#define HBAT_TLB_MULTILEVEL_HH
+
+#include "tlb/tlb_array.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** M16/M8/M4: L1 TLB (LRU) over a single-ported L2 TLB (random). */
+class MultiLevelTlb : public TranslationEngine
+{
+  public:
+    /**
+     * @param l1_entries upper-level capacity (4/8/16 in the paper)
+     * @param l1_ports simultaneous L1 hits per cycle (4 in the paper)
+     * @param l2_entries base capacity (128 in the paper)
+     */
+    MultiLevelTlb(vm::PageTable &page_table, unsigned l1_entries,
+                  unsigned l1_ports, unsigned l2_entries, uint64_t seed);
+
+    void beginCycle(Cycle now) override;
+    Outcome request(const XlateRequest &req, Cycle now) override;
+    void fill(Vpn vpn, Cycle now) override;
+    void invalidate(Vpn vpn, Cycle now) override;
+
+  private:
+    /** Allocate the next L2 port slot at or after @p earliest. */
+    Cycle grantL2(Cycle earliest);
+
+    const unsigned l1Ports;
+    TlbArray l1;
+    TlbArray l2;
+    unsigned l1Used = 0;
+    Cycle l2NextFree = 0;
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_MULTILEVEL_HH

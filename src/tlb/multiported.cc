@@ -1,0 +1,86 @@
+#include "tlb/multiported.hh"
+
+#include "common/log.hh"
+
+namespace hbat::tlb
+{
+
+MultiPortedTlb::MultiPortedTlb(vm::PageTable &page_table, unsigned ports,
+                               unsigned piggy_ports, unsigned entries,
+                               uint64_t seed)
+    : TranslationEngine(page_table), ports(ports),
+      piggyPorts(piggy_ports),
+      array(entries, Replacement::Random, seed)
+{
+    hbat_assert(ports >= 1, "need at least one real port");
+}
+
+void
+MultiPortedTlb::beginCycle(Cycle now)
+{
+    (void)now;
+    portsUsed = 0;
+    piggyUsed = 0;
+    inFlight.clear();
+}
+
+Outcome
+MultiPortedTlb::request(const XlateRequest &req, Cycle now)
+{
+    ++stats_.requests;
+
+    if (portsUsed < ports) {
+        ++portsUsed;
+        ++stats_.baseAccesses;
+        const bool hit = array.lookup(req.vpn, now);
+        if (hit) {
+            ++stats_.baseHits;
+            ++stats_.translations;
+            const vm::RefResult rr = referencePage(req.vpn, req.write);
+            inFlight.push_back(InFlight{req.vpn, true, rr.ppn});
+            return Outcome::hit(now, rr.ppn, false);
+        }
+        ++stats_.misses;
+        inFlight.push_back(InFlight{req.vpn, false, 0});
+        return Outcome::miss(now);
+    }
+
+    // No real port: try to combine with a translation in progress.
+    if (piggyUsed < piggyPorts) {
+        for (const InFlight &f : inFlight) {
+            if (f.vpn != req.vpn)
+                continue;
+            ++piggyUsed;
+            ++stats_.piggybacks;
+            if (f.hit) {
+                ++stats_.translations;
+                ++stats_.shielded;
+                const vm::RefResult rr =
+                    referencePage(req.vpn, req.write);
+                return Outcome::hit(now, rr.ppn, true);
+            }
+            // Ride the same miss; the pipeline merges the walks.
+            return Outcome::miss(now);
+        }
+    }
+
+    ++stats_.noPort;
+    ++stats_.queueCycles;
+    return Outcome::noPort();
+}
+
+void
+MultiPortedTlb::fill(Vpn vpn, Cycle now)
+{
+    array.insert(vpn, now);
+}
+
+void
+MultiPortedTlb::invalidate(Vpn vpn, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations;
+    array.invalidate(vpn);
+}
+
+} // namespace hbat::tlb

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-ported TLB, optionally with piggyback ports.
+ *
+ * Covers Table 2's designs T4/T2/T1 (piggyPorts = 0) and PB2/PB1
+ * (2 + 2 and 1 + 3 ports). Section 3.1: every real port reaches every
+ * entry, so the per-port hit rate equals the hit rate of the whole
+ * array. Section 3.4: a request that does not receive a real port may
+ * combine with any translation performed in the same cycle whose
+ * virtual page number matches, at the cost of one comparator per
+ * piggyback port and a gate on the hit signal.
+ */
+
+#ifndef HBAT_TLB_MULTIPORTED_HH
+#define HBAT_TLB_MULTIPORTED_HH
+
+#include <vector>
+
+#include "tlb/tlb_array.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** T4/T2/T1/PB2/PB1: N real ports plus P piggyback ports. */
+class MultiPortedTlb : public TranslationEngine
+{
+  public:
+    /**
+     * @param ports real TLB access ports
+     * @param piggy_ports piggyback (combining) ports
+     * @param entries base TLB capacity (random replacement)
+     */
+    MultiPortedTlb(vm::PageTable &page_table, unsigned ports,
+                   unsigned piggy_ports, unsigned entries,
+                   uint64_t seed);
+
+    void beginCycle(Cycle now) override;
+    Outcome request(const XlateRequest &req, Cycle now) override;
+    void fill(Vpn vpn, Cycle now) override;
+    void invalidate(Vpn vpn, Cycle now) override;
+
+  private:
+    struct InFlight
+    {
+        Vpn vpn;
+        bool hit;
+        Ppn ppn;
+    };
+
+    const unsigned ports;
+    const unsigned piggyPorts;
+    TlbArray array;
+    unsigned portsUsed = 0;
+    unsigned piggyUsed = 0;
+    std::vector<InFlight> inFlight;     ///< translations begun this cycle
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_MULTIPORTED_HH

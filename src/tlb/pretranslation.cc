@@ -1,0 +1,181 @@
+#include "tlb/pretranslation.hh"
+
+#include <algorithm>
+
+namespace hbat::tlb
+{
+
+PretranslationTlb::PretranslationTlb(vm::PageTable &page_table,
+                                     unsigned pt_entries,
+                                     unsigned base_entries, uint64_t seed)
+    : TranslationEngine(page_table), cache(pt_entries),
+      base(base_entries, Replacement::Random, seed)
+{}
+
+void
+PretranslationTlb::beginCycle(Cycle now)
+{
+    lastSeen = now;
+}
+
+PretranslationTlb::PtEntry *
+PretranslationTlb::find(uint16_t tag)
+{
+    for (PtEntry &e : cache)
+        if (e.valid && e.tag == tag)
+            return &e;
+    return nullptr;
+}
+
+void
+PretranslationTlb::insertEntry(uint16_t tag, Vpn vpn, Cycle now)
+{
+    if (PtEntry *e = find(tag)) {
+        e->vpn = vpn;
+        e->lastUse = now;
+        return;
+    }
+    PtEntry *victim = &cache[0];
+    for (PtEntry &e : cache) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = PtEntry{tag, vpn, true, now};
+}
+
+Cycle
+PretranslationTlb::grantBase(Cycle earliest)
+{
+    const Cycle grant = std::max(earliest, baseNextFree);
+    baseNextFree = grant + 1;
+    return grant;
+}
+
+Outcome
+PretranslationTlb::request(const XlateRequest &req, Cycle now)
+{
+    ++stats_.requests;
+
+    const uint16_t tag =
+        tagOf(req.baseReg, req.isLoad ? req.offsetHigh : 0);
+
+    if (PtEntry *e = find(tag); e && e->vpn == req.vpn) {
+        // Attached translation matches the accessed page: no base-TLB
+        // traffic and no visible latency.
+        e->lastUse = now;
+        ++stats_.translations;
+        ++stats_.shielded;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        if (rr.statusChanged) {
+            // Status changes write through to the base TLB.
+            grantBase(now);
+            ++stats_.statusWrites;
+        }
+        return Outcome::hit(now, rr.ppn, true);
+    }
+
+    // Miss: detected the cycle after address generation; then a
+    // (possibly queued) access to the single-ported base TLB.
+    const Cycle grant = grantBase(now + 1);
+    stats_.queueCycles += grant - (now + 1);
+    ++stats_.baseAccesses;
+
+    if (base.lookup(req.vpn, grant)) {
+        ++stats_.baseHits;
+        ++stats_.translations;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        // Attach the translation to the base register value. The
+        // base access overlaps the (restarted) cache access, so the
+        // cost is "at least one more cycle" (Section 4.1), i.e. the
+        // access may proceed in the grant cycle itself.
+        insertEntry(tag, req.vpn, now);
+        return Outcome::hit(grant, rr.ppn, false);
+    }
+
+    ++stats_.misses;
+    return Outcome::miss(grant);
+}
+
+void
+PretranslationTlb::fill(Vpn vpn, Cycle now)
+{
+    if (base.insert(vpn, now)) {
+        // A base-TLB entry was replaced: flush the pretranslation
+        // cache to keep it coherent (Section 4.1).
+        for (PtEntry &e : cache)
+            e.valid = false;
+    }
+}
+
+void
+PretranslationTlb::invalidate(Vpn vpn, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations;
+    base.invalidate(vpn);
+    // Any attachment may alias the changed mapping: flush, exactly
+    // as on replacement (the cache is not searchable by VPN).
+    for (PtEntry &e : cache) {
+        if (e.valid) {
+            ++stats_.upperProbes;
+            if (e.vpn == vpn)
+                e.valid = false;
+        }
+    }
+}
+
+void
+PretranslationTlb::noteRegWrite(RegIndex dest, const RegIndex *srcs,
+                                int nsrcs, bool propagates)
+{
+    // Gather attachments to propagate before killing the destination,
+    // so self-updates (addi r5, r5, 8) survive as an LRU refresh.
+    struct Copy
+    {
+        uint8_t offsetHigh;
+        Vpn vpn;
+    };
+    Copy copies[8];
+    int ncopies = 0;
+
+    if (propagates) {
+        for (const PtEntry &e : cache) {
+            if (!e.valid)
+                continue;
+            const RegIndex reg = RegIndex(e.tag >> 4);
+            for (int s = 0; s < nsrcs; ++s) {
+                if (srcs[s] == reg &&
+                    ncopies < int(sizeof(copies) / sizeof(copies[0]))) {
+                    copies[ncopies++] =
+                        Copy{uint8_t(e.tag & 0xf), e.vpn};
+                    break;
+                }
+            }
+        }
+    }
+
+    // The destination holds a new value: drop its old attachments.
+    for (PtEntry &e : cache)
+        if (e.valid && RegIndex(e.tag >> 4) == dest)
+            e.valid = false;
+
+    for (int i = 0; i < ncopies; ++i) {
+        insertEntry(tagOf(dest, copies[i].offsetHigh), copies[i].vpn,
+                    lastSeen);
+    }
+}
+
+unsigned
+PretranslationTlb::cachedEntries() const
+{
+    unsigned n = 0;
+    for (const PtEntry &e : cache)
+        n += e.valid;
+    return n;
+}
+
+} // namespace hbat::tlb

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pretranslation (Section 3.5; design P8).
+ *
+ * A translation is attached to a base-register *value* at its first
+ * dereference and reused on later dereferences whose virtual page
+ * matches. Pointer arithmetic propagates the attachment to the result
+ * register; any other write to a register drops its attachments. The
+ * attachments live in a small LRU pretranslation cache tagged by the
+ * 5-bit base-register identifier concatenated with the upper 4 bits of
+ * a load's displacement (zero for other instructions), exactly as
+ * Section 4.1 specifies.
+ *
+ * A pretranslation hit costs nothing visible. A miss is detected the
+ * cycle after address generation and then takes a (possibly queued)
+ * trip to the single-ported base TLB. Coherence: the pretranslation
+ * cache is flushed whenever a base-TLB entry is replaced.
+ */
+
+#ifndef HBAT_TLB_PRETRANSLATION_HH
+#define HBAT_TLB_PRETRANSLATION_HH
+
+#include <vector>
+
+#include "tlb/tlb_array.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** P8: pretranslation cache over a single-ported base TLB. */
+class PretranslationTlb : public TranslationEngine
+{
+  public:
+    /**
+     * @param pt_entries pretranslation cache capacity (8 in the paper)
+     * @param base_entries base TLB capacity (128 in the paper)
+     */
+    PretranslationTlb(vm::PageTable &page_table, unsigned pt_entries,
+                      unsigned base_entries, uint64_t seed);
+
+    void beginCycle(Cycle now) override;
+    Outcome request(const XlateRequest &req, Cycle now) override;
+    void fill(Vpn vpn, Cycle now) override;
+    void invalidate(Vpn vpn, Cycle now) override;
+    void noteRegWrite(RegIndex dest, const RegIndex *srcs, int nsrcs,
+                      bool propagates) override;
+
+    /** Pretranslation-cache occupancy (for tests). */
+    unsigned cachedEntries() const;
+
+  private:
+    struct PtEntry
+    {
+        uint16_t tag = 0;       ///< (baseReg << 4) | offsetHigh
+        Vpn vpn = 0;
+        bool valid = false;
+        Cycle lastUse = 0;
+    };
+
+    static uint16_t
+    tagOf(RegIndex base_reg, uint8_t offset_high)
+    {
+        return uint16_t(base_reg) << 4 | offset_high;
+    }
+
+    PtEntry *find(uint16_t tag);
+    void insertEntry(uint16_t tag, Vpn vpn, Cycle now);
+    Cycle grantBase(Cycle earliest);
+
+    std::vector<PtEntry> cache;
+    TlbArray base;
+    Cycle baseNextFree = 0;
+    Cycle lastSeen = 0;     ///< most recent cycle (LRU tie-break)
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_PRETRANSLATION_HH

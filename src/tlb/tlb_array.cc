@@ -1,0 +1,92 @@
+#include "tlb/tlb_array.hh"
+
+#include "common/log.hh"
+
+namespace hbat::tlb
+{
+
+TlbArray::TlbArray(unsigned num_entries, Replacement repl, uint64_t seed)
+    : entries(num_entries), repl(repl), rng(seed)
+{
+    hbat_assert(num_entries > 0, "TLB must have at least one entry");
+}
+
+bool
+TlbArray::lookup(Vpn vpn, Cycle now)
+{
+    auto it = index.find(vpn);
+    if (it == index.end())
+        return false;
+    entries[it->second].lastUse = now;
+    return true;
+}
+
+bool
+TlbArray::contains(Vpn vpn) const
+{
+    return index.find(vpn) != index.end();
+}
+
+int
+TlbArray::victim(Cycle now)
+{
+    // Prefer an invalid slot.
+    for (size_t i = 0; i < entries.size(); ++i)
+        if (!entries[i].valid)
+            return int(i);
+
+    if (repl == Replacement::Random)
+        return int(rng.below(entries.size()));
+
+    // True LRU.
+    int lru = 0;
+    Cycle best = now + 1;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].lastUse < best) {
+            best = entries[i].lastUse;
+            lru = int(i);
+        }
+    }
+    return lru;
+}
+
+std::optional<Vpn>
+TlbArray::insert(Vpn vpn, Cycle now)
+{
+    auto it = index.find(vpn);
+    if (it != index.end()) {
+        entries[it->second].lastUse = now;
+        return std::nullopt;
+    }
+
+    const int slot = victim(now);
+    std::optional<Vpn> evicted;
+    if (entries[slot].valid) {
+        evicted = entries[slot].vpn;
+        index.erase(entries[slot].vpn);
+    }
+    entries[slot] = Entry{vpn, true, now};
+    index.emplace(vpn, slot);
+    return evicted;
+}
+
+bool
+TlbArray::invalidate(Vpn vpn)
+{
+    auto it = index.find(vpn);
+    if (it == index.end())
+        return false;
+    entries[it->second].valid = false;
+    index.erase(it);
+    return true;
+}
+
+void
+TlbArray::flush()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+    index.clear();
+}
+
+} // namespace hbat::tlb

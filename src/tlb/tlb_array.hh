@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A fully-associative translation array with pluggable replacement.
+ *
+ * This is the storage building block every design shares: the 128-entry
+ * base TLBs and interleaved banks use random replacement, the small L1
+ * TLBs use true LRU (Section 3.3 notes the small upper level can afford
+ * the better policy).
+ */
+
+#ifndef HBAT_TLB_TLB_ARRAY_HH
+#define HBAT_TLB_TLB_ARRAY_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hbat::tlb
+{
+
+/** Replacement policies for TlbArray. */
+enum class Replacement : uint8_t { Random, Lru };
+
+/** Fully-associative array of virtual page numbers. */
+class TlbArray
+{
+  public:
+    /**
+     * @param entries capacity
+     * @param repl replacement policy
+     * @param seed RNG seed for random replacement
+     */
+    TlbArray(unsigned entries, Replacement repl, uint64_t seed = 1);
+
+    /** Probe for @p vpn; updates LRU state on hit. */
+    bool lookup(Vpn vpn, Cycle now);
+
+    /** Probe without touching replacement state. */
+    bool contains(Vpn vpn) const;
+
+    /**
+     * Insert @p vpn (no-op when present, refreshing LRU).
+     * @return the evicted VPN, if the insert displaced one.
+     */
+    std::optional<Vpn> insert(Vpn vpn, Cycle now);
+
+    /** Remove @p vpn if present. @return true when removed. */
+    bool invalidate(Vpn vpn);
+
+    /** Drop every entry. */
+    void flush();
+
+    unsigned capacity() const { return unsigned(entries.size()); }
+    unsigned occupancy() const { return unsigned(index.size()); }
+
+  private:
+    struct Entry
+    {
+        Vpn vpn = 0;
+        bool valid = false;
+        Cycle lastUse = 0;
+    };
+
+    int victim(Cycle now);
+
+    std::vector<Entry> entries;
+    std::unordered_map<Vpn, int> index;
+    Replacement repl;
+    Rng rng;
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_TLB_ARRAY_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The translation-engine interface shared by all the paper's designs.
+ *
+ * Timing contract (Section 4.1 of the paper): TLB access is fully
+ * overlapped with data-cache access, so a translation that is serviced
+ * in the cycle it is requested adds no visible latency. Latency
+ * appears only when
+ *
+ *   1. no port (or bank) is available this cycle — the engine answers
+ *      NoPort and the pipeline retries next cycle (out-of-order cores
+ *      hold the request in the load/store queue; in-order cores stall);
+ *   2. the access misses in an upper-level structure and must take a
+ *      queued trip to the base TLB (the engine answers Hit with a
+ *      `ready` cycle in the future); or
+ *   3. the access misses the base TLB entirely — the engine answers
+ *      Miss, and the pipeline runs the fixed 30-cycle handler once all
+ *      earlier-issued instructions have completed, then calls fill()
+ *      and retries.
+ *
+ * Port arbitration is oldest-first: the pipeline must call request()
+ * in instruction age order within a cycle, after beginCycle().
+ */
+
+#ifndef HBAT_TLB_XLATE_HH
+#define HBAT_TLB_XLATE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "vm/page_table.hh"
+
+namespace hbat::tlb
+{
+
+/** A data-translation request presented by the pipeline. */
+struct XlateRequest
+{
+    Vpn vpn = 0;
+    bool write = false;
+    InstSeq seq = 0;        ///< program-order age (oldest-first ports)
+    bool isLoad = false;
+
+    /** Architected integer base register (pretranslation tag). */
+    RegIndex baseReg = kNoReg;
+
+    /** Upper 4 bits of a load's 16-bit displacement; 0 otherwise. */
+    uint8_t offsetHigh = 0;
+};
+
+/** The engine's answer for one request. */
+struct Outcome
+{
+    enum class Kind : uint8_t
+    {
+        Hit,    ///< translated; PPN usable at `ready`
+        NoPort, ///< no port/bank available this cycle; retry next cycle
+        Miss    ///< missed the base TLB; run the miss handler
+    };
+
+    Kind kind = Kind::NoPort;
+    Cycle ready = 0;        ///< Hit: cycle the cache access may begin
+    bool shielded = false;  ///< no base-TLB port was consumed
+    Ppn ppn = 0;            ///< Hit: the translation
+    Cycle missAt = 0;       ///< Miss: cycle the miss was detected
+
+    static Outcome
+    hit(Cycle ready, Ppn ppn, bool shielded)
+    {
+        return Outcome{Kind::Hit, ready, shielded, ppn, 0};
+    }
+
+    static Outcome noPort() { return Outcome{}; }
+
+    static Outcome
+    miss(Cycle at)
+    {
+        return Outcome{Kind::Miss, 0, false, 0, at};
+    }
+};
+
+/** Event counters maintained by every engine. */
+struct XlateStats
+{
+    uint64_t requests = 0;      ///< request() calls, including retries
+    uint64_t translations = 0;  ///< requests answered Hit
+    uint64_t noPort = 0;        ///< NoPort answers (port/bank conflicts)
+    uint64_t shielded = 0;      ///< hits that consumed no base-TLB port
+    uint64_t baseAccesses = 0;  ///< base-TLB port grants
+    uint64_t baseHits = 0;      ///< base-TLB hits
+    uint64_t misses = 0;        ///< base-TLB misses (page walks)
+    uint64_t piggybacks = 0;    ///< requests satisfied by piggybacking
+    uint64_t statusWrites = 0;  ///< page-status write-throughs
+    uint64_t queueCycles = 0;   ///< cycles requests waited for a port
+    uint64_t invalidations = 0; ///< consistency invalidations received
+    /**
+     * Upper-level (L1 TLB / pretranslation cache) probes performed by
+     * consistency operations. Multi-level inclusion exists precisely
+     * to keep this number low: the L1 need only be probed when the
+     * invalidated entry was present in the L2 (Section 3.3).
+     */
+    uint64_t upperProbes = 0;
+};
+
+/** Abstract base for all of Table 2's translation designs. */
+class TranslationEngine
+{
+  public:
+    explicit TranslationEngine(vm::PageTable &page_table)
+        : pt(page_table)
+    {}
+
+    virtual ~TranslationEngine() = default;
+
+    /** Reset per-cycle port/bank state. Call once per cycle. */
+    virtual void beginCycle(Cycle now) = 0;
+
+    /** Attempt a translation during cycle @p now (oldest first). */
+    virtual Outcome request(const XlateRequest &req, Cycle now) = 0;
+
+    /**
+     * The 30-cycle miss handler completed for @p vpn: install the
+     * translation (and maintain inclusion/coherence as the design
+     * requires).
+     */
+    virtual void fill(Vpn vpn, Cycle now) = 0;
+
+    /**
+     * Hardware TLB-consistency operation [BRG+89]: remove any
+     * translation of @p vpn from every level of the design (an OS on
+     * another processor changed the mapping). Designs enforcing
+     * multi-level inclusion probe their upper level only when the
+     * base level actually held the entry.
+     */
+    virtual void
+    invalidate(Vpn vpn, Cycle now)
+    {
+        (void)vpn;
+        (void)now;
+        ++stats_.invalidations;
+    }
+
+    /**
+     * Observe a committed instruction that writes integer register
+     * @p dest. When @p propagates (pointer arithmetic), designs that
+     * attach translations to register values copy any translation
+     * attached to the @p srcs; otherwise they drop translations
+     * attached to @p dest. Only pretranslation overrides this.
+     */
+    virtual void
+    noteRegWrite(RegIndex dest, const RegIndex *srcs, int nsrcs,
+                 bool propagates)
+    {
+        (void)dest;
+        (void)srcs;
+        (void)nsrcs;
+        (void)propagates;
+    }
+
+    const XlateStats &stats() const { return stats_; }
+
+  protected:
+    /**
+     * Architectural page reference: fetch the PPN and flip the
+     * referenced/dirty bits. Returns the page-table result so callers
+     * can account status write-through traffic.
+     */
+    vm::RefResult
+    referencePage(Vpn vpn, bool write)
+    {
+        return pt.reference(vpn, write);
+    }
+
+    vm::PageTable &pt;
+    XlateStats stats_;
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_XLATE_HH

@@ -1,0 +1,107 @@
+#include "vm/address_space.hh"
+
+#include <cstring>
+
+namespace hbat::vm
+{
+
+AddressSpace::AddressSpace(PageParams params)
+    : pt(params)
+{}
+
+uint8_t *
+AddressSpace::pagePtr(Vpn vpn)
+{
+    auto it = pages.find(vpn);
+    if (it == pages.end()) {
+        auto page = std::make_unique<uint8_t[]>(pt.params().bytes());
+        std::memset(page.get(), 0, pt.params().bytes());
+        it = pages.emplace(vpn, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+void
+AddressSpace::load(const kasm::Program &prog)
+{
+    for (size_t i = 0; i < prog.text.size(); ++i)
+        write32(prog.textBase + i * 4, prog.text[i]);
+    for (const kasm::DataSegment &seg : prog.data) {
+        for (size_t i = 0; i < seg.bytes.size(); ++i)
+            write8(seg.base + i, seg.bytes[i]);
+    }
+}
+
+uint8_t
+AddressSpace::read8(VAddr va)
+{
+    return readT<uint8_t>(va);
+}
+
+uint16_t
+AddressSpace::read16(VAddr va)
+{
+    return readT<uint16_t>(va);
+}
+
+uint32_t
+AddressSpace::read32(VAddr va)
+{
+    return readT<uint32_t>(va);
+}
+
+uint64_t
+AddressSpace::read64(VAddr va)
+{
+    return readT<uint64_t>(va);
+}
+
+void
+AddressSpace::write8(VAddr va, uint8_t v)
+{
+    writeT(va, v);
+}
+
+void
+AddressSpace::write16(VAddr va, uint16_t v)
+{
+    writeT(va, v);
+}
+
+void
+AddressSpace::write32(VAddr va, uint32_t v)
+{
+    writeT(va, v);
+}
+
+void
+AddressSpace::write64(VAddr va, uint64_t v)
+{
+    writeT(va, v);
+}
+
+uint64_t
+AddressSpace::read(VAddr va, unsigned size)
+{
+    switch (size) {
+      case 1: return read8(va);
+      case 2: return read16(va);
+      case 4: return read32(va);
+      case 8: return read64(va);
+      default: hbat_panic("bad access size ", size);
+    }
+}
+
+void
+AddressSpace::write(VAddr va, uint64_t v, unsigned size)
+{
+    switch (size) {
+      case 1: write8(va, uint8_t(v)); return;
+      case 2: write16(va, uint16_t(v)); return;
+      case 4: write32(va, uint32_t(v)); return;
+      case 8: write64(va, v); return;
+      default: hbat_panic("bad access size ", size);
+    }
+}
+
+} // namespace hbat::vm

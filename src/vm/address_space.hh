@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The simulated process address space: byte storage plus page table.
+ *
+ * Storage is kept per virtual page and allocated on first touch, so
+ * multi-megabyte uninitialized regions (e.g. the TFFT workload's
+ * arrays) cost nothing until used. All functional loads and stores in
+ * the simulator go through this class; the timing models separately
+ * charge TLB/cache latency using the page table's translations.
+ */
+
+#ifndef HBAT_VM_ADDRESS_SPACE_HH
+#define HBAT_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "kasm/program.hh"
+#include "vm/page_table.hh"
+
+namespace hbat::vm
+{
+
+/** A loaded process image. */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(PageParams params = PageParams{});
+
+    /** Copy a program's text and data into memory. */
+    void load(const kasm::Program &prog);
+
+    const PageParams &params() const { return pt.params(); }
+    PageTable &pageTable() { return pt; }
+    const PageTable &pageTable() const { return pt; }
+
+    /// @name Aligned typed access
+    /// @{
+    uint8_t read8(VAddr va);
+    uint16_t read16(VAddr va);
+    uint32_t read32(VAddr va);
+    uint64_t read64(VAddr va);
+    void write8(VAddr va, uint8_t v);
+    void write16(VAddr va, uint16_t v);
+    void write32(VAddr va, uint32_t v);
+    void write64(VAddr va, uint64_t v);
+    /// @}
+
+    /** Read @p size bytes (1/2/4/8), zero-extended. */
+    uint64_t read(VAddr va, unsigned size);
+
+    /** Write the low @p size bytes of @p v. */
+    void write(VAddr va, uint64_t v, unsigned size);
+
+    /** Number of data pages materialized so far. */
+    uint64_t touchedPages() const { return pages.size(); }
+
+  private:
+    uint8_t *pagePtr(Vpn vpn);
+
+    template <typename T>
+    T
+    readT(VAddr va)
+    {
+        hbat_assert(va % sizeof(T) == 0,
+                    "misaligned ", sizeof(T), "-byte read at ", va);
+        const uint8_t *p =
+            pagePtr(pt.params().vpn(va)) + pt.params().offset(va);
+        T v;
+        __builtin_memcpy(&v, p, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(VAddr va, T v)
+    {
+        hbat_assert(va % sizeof(T) == 0,
+                    "misaligned ", sizeof(T), "-byte write at ", va);
+        uint8_t *p =
+            pagePtr(pt.params().vpn(va)) + pt.params().offset(va);
+        __builtin_memcpy(p, &v, sizeof(T));
+    }
+
+    PageTable pt;
+    std::unordered_map<Vpn, std::unique_ptr<uint8_t[]>> pages;
+};
+
+} // namespace hbat::vm
+
+#endif // HBAT_VM_ADDRESS_SPACE_HH

@@ -1,0 +1,66 @@
+#include "vm/page_table.hh"
+
+namespace hbat::vm
+{
+
+PageTable::PageTable(PageParams params)
+    : params_(params)
+{
+    hbat_assert(params_.vpnBits() > kL1Bits, "page size too large");
+    l2Bits = params_.vpnBits() - kL1Bits;
+    dir.resize(size_t(1) << kL1Bits);
+}
+
+Pte &
+PageTable::lookup(Vpn vpn)
+{
+    hbat_assert(vpn < (Vpn(1) << params_.vpnBits()),
+                "vpn out of range: ", vpn);
+    const size_t l1 = size_t(vpn >> l2Bits);
+    const size_t l2 = size_t(vpn & mask(l2Bits));
+
+    if (!dir[l1]) {
+        dir[l1] = std::make_unique<Leaf>();
+        dir[l1]->ptes.resize(size_t(1) << l2Bits);
+    }
+    Pte &pte = dir[l1]->ptes[l2];
+    if (!pte.valid) {
+        pte.valid = true;
+        pte.ppn = nextPpn++;
+        pte.perms = kPermAll;
+        ++mapped;
+    }
+    return pte;
+}
+
+const Pte *
+PageTable::find(Vpn vpn) const
+{
+    if (vpn >= (Vpn(1) << params_.vpnBits()))
+        return nullptr;
+    const size_t l1 = size_t(vpn >> l2Bits);
+    const size_t l2 = size_t(vpn & mask(l2Bits));
+    if (!dir[l1])
+        return nullptr;
+    const Pte &pte = dir[l1]->ptes[l2];
+    return pte.valid ? &pte : nullptr;
+}
+
+RefResult
+PageTable::reference(Vpn vpn, bool write)
+{
+    Pte &pte = lookup(vpn);
+    RefResult res;
+    res.ppn = pte.ppn;
+    if (!pte.referenced) {
+        pte.referenced = true;
+        res.statusChanged = true;
+    }
+    if (write && !pte.dirty) {
+        pte.dirty = true;
+        res.statusChanged = true;
+    }
+    return res;
+}
+
+} // namespace hbat::vm

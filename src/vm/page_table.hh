@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A two-level radix page table with on-demand frame allocation.
+ *
+ * The simulator runs user-level code only (as the paper's does), so the
+ * page table plays the OS role: any page the program touches is given a
+ * physical frame on first access. The TLB-miss *timing* (the fixed
+ * 30-cycle handler of Table 1) is modeled by the translation engines;
+ * this class provides the architectural state they load, including the
+ * referenced/dirty status bits whose write-through traffic Section 4.1
+ * describes.
+ */
+
+#ifndef HBAT_VM_PAGE_TABLE_HH
+#define HBAT_VM_PAGE_TABLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "vm/paging.hh"
+
+namespace hbat::vm
+{
+
+/** Result of referencing a page for an access. */
+struct RefResult
+{
+    Ppn ppn = 0;
+    /**
+     * True when this access changed the page's status bits (first
+     * reference, or first write to a referenced page). Upper-level
+     * translation structures write such changes through to the base
+     * TLB (Section 4.1).
+     */
+    bool statusChanged = false;
+};
+
+/** Two-level radix page table. */
+class PageTable
+{
+  public:
+    explicit PageTable(PageParams params = PageParams{});
+
+    const PageParams &params() const { return params_; }
+
+    /**
+     * Look up the PTE for @p vpn, allocating a frame on first touch.
+     * Never fails: this simulator has no demand paging to disk.
+     */
+    Pte &lookup(Vpn vpn);
+
+    /** Look up without allocating; nullptr when not present. */
+    const Pte *find(Vpn vpn) const;
+
+    /**
+     * Perform the architectural side of an access to @p vpn: allocate
+     * if needed, set referenced (and dirty when @p write), and report
+     * whether the status bits changed.
+     */
+    RefResult reference(Vpn vpn, bool write);
+
+    /** Number of mapped pages. */
+    uint64_t mappedPages() const { return mapped; }
+
+  private:
+    /// First-level directory fan-out (upper VPN bits).
+    static constexpr unsigned kL1Bits = 10;
+
+    struct Leaf
+    {
+        std::vector<Pte> ptes;
+    };
+
+    PageParams params_;
+    unsigned l2Bits;
+    std::vector<std::unique_ptr<Leaf>> dir;
+    Ppn nextPpn = 1;    ///< frame 0 is kept invalid as a guard
+    uint64_t mapped = 0;
+};
+
+} // namespace hbat::vm
+
+#endif // HBAT_VM_PAGE_TABLE_HH

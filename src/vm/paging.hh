@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Page geometry.
+ *
+ * The paper's baseline uses 4 KB pages (Table 1); Section 4.5 re-runs
+ * the evaluation with 8 KB pages. All page-size-dependent computations
+ * go through PageParams so both configurations share every code path.
+ */
+
+#ifndef HBAT_VM_PAGING_HH
+#define HBAT_VM_PAGING_HH
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace hbat::vm
+{
+
+/** Width of a simulated virtual/physical address in bits. */
+inline constexpr unsigned kAddrBits = 32;
+
+/** Page-size configuration. */
+class PageParams
+{
+  public:
+    /** @param page_bytes page size; must be a power of two >= 1 KB. */
+    explicit PageParams(unsigned page_bytes = 4096)
+        : bytes_(page_bytes), shift_(exactLog2(page_bytes))
+    {
+        hbat_assert(page_bytes >= 1024, "page size too small");
+    }
+
+    unsigned bytes() const { return bytes_; }
+    unsigned shift() const { return shift_; }
+
+    /** Number of VPN bits for 32-bit virtual addresses. */
+    unsigned vpnBits() const { return kAddrBits - shift_; }
+
+    Vpn vpn(VAddr va) const { return va >> shift_; }
+    uint64_t offset(VAddr va) const { return va & mask(shift_); }
+
+    PAddr
+    physAddr(Ppn ppn, VAddr va) const
+    {
+        return (PAddr(ppn) << shift_) | offset(va);
+    }
+
+    VAddr pageBase(VAddr va) const { return va & ~VAddr(mask(shift_)); }
+
+    bool operator==(const PageParams &) const = default;
+
+  private:
+    unsigned bytes_;
+    unsigned shift_;
+};
+
+/** Page protection bits. */
+enum PagePerms : uint8_t
+{
+    kPermRead = 1,
+    kPermWrite = 2,
+    kPermExec = 4,
+    kPermAll = kPermRead | kPermWrite | kPermExec
+};
+
+/** One page-table entry. */
+struct Pte
+{
+    Ppn ppn = 0;
+    uint8_t perms = kPermAll;
+    bool valid = false;
+    bool referenced = false;    ///< set on first access
+    bool dirty = false;         ///< set on first write
+};
+
+} // namespace hbat::vm
+
+#endif // HBAT_VM_PAGING_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Compress analogue: an LZW-flavoured adaptive compressor.
+ *
+ * Reads a byte stream with short repeated runs (mildly compressible),
+ * hashes (prefix, byte) pairs into a 512 KB open-addressing dictionary,
+ * and emits codes. The dictionary probes scatter across ~128 pages
+ * with almost no short-term reuse — the paper singles Compress out as
+ * one of the programs where "small data caches and TLBs perform very
+ * poorly".
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildCompress(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0xc0432e55);
+
+    const uint32_t input_len = uint32_t(48.0 * 1024 * scale);
+    std::vector<uint8_t> input(input_len);
+    uint8_t prev = 'a';
+    for (auto &byte : input) {
+        // Runs of repeated symbols with occasional fresh symbols give
+        // the dictionary a realistic mix of hits and inserts.
+        byte = rng.chance(0.7) ? prev : uint8_t(rng.below(64) + 32);
+        prev = byte;
+    }
+
+    const VAddr in_addr = pb.bytes(input);
+    // Entry layout: +0 key+1 (0 = empty), +4 code, +8 use count.
+    const uint32_t table_entries = 1u << 16;
+    const VAddr table_addr = pb.space(uint64_t(table_entries) * 16, 8);
+    const VAddr out_addr = pb.space(uint64_t(input_len) * 4 + 64, 8);
+
+    VReg pin = b.vint(), pend = b.vint(), ptab = b.vint();
+    VReg pout = b.vint(), prefix = b.vint(), ch = b.vint();
+    VReg key = b.vint(), keymark = b.vint(), h = b.vint();
+    VReg next_code = b.vint(), slot = b.vint(), stored = b.vint();
+    VReg tmp = b.vint(), crc = b.vint();
+    b.li(crc, 0xffff);
+
+    b.li(pin, uint32_t(in_addr));
+    b.li(pend, uint32_t(in_addr + input_len));
+    b.li(ptab, uint32_t(table_addr));
+    b.li(pout, uint32_t(out_addr));
+    b.li(next_code, 256);
+
+    b.lbu(prefix, pin, 0);
+    b.addi(pin, pin, 1);
+
+    VLabel loop = b.label(), probe = b.label(), miss = b.label();
+    VLabel advance = b.label(), done = b.label();
+
+    b.bind(loop);
+    b.bge(pin, pend, done);
+
+    b.lbu(ch, pin, 0);
+    b.addi(pin, pin, 1);
+
+    // Running CRC-style checksum over the input (independent of the
+    // dictionary probe chain, so it overlaps with the table walk).
+    b.slli(tmp, crc, 5);
+    b.xor_(crc, crc, tmp);
+    b.add(crc, crc, ch);
+    b.srli(tmp, crc, 17);
+    b.xor_(crc, crc, tmp);
+
+    // key = (prefix << 8) | ch; keymark = key + 1 (0 marks empty).
+    b.slli(key, prefix, 8);
+    b.or_(key, key, ch);
+    b.addi(keymark, key, 1);
+
+    // h = ((key * 31) ^ (key >> 5)) & 0xffff
+    b.slli(h, key, 5);
+    b.sub(h, h, key);           // key * 31
+    b.srli(tmp, key, 5);
+    b.xor_(h, h, tmp);
+    b.andi(h, h, 0xffff);
+
+    b.bind(probe);
+    // slot = &table[h]
+    b.slli(slot, h, 4);
+    b.add(slot, slot, ptab);
+    b.lw(stored, slot, 0);
+    b.beq(stored, keymark, advance);    // dictionary hit
+    b.beqz(stored, miss);
+    // Collision: linear probe.
+    b.addi(h, h, 1);
+    b.andi(h, h, 0xffff);
+    b.jmp(probe);
+
+    b.bind(miss);
+    // Insert (key -> next_code), emit the prefix code, restart.
+    b.sw(keymark, slot, 0);
+    b.sw(next_code, slot, 4);
+    b.addi(next_code, next_code, 1);
+    b.swpi(prefix, pout, 4);            // post-increment output
+    b.mov(prefix, ch);
+    b.jmp(loop);
+
+    b.bind(advance);
+    // Hit: extend the phrase with the stored code and bump the
+    // entry's use count (compress tracks dictionary pressure).
+    b.lw(prefix, slot, 4);
+    b.lw(tmp, slot, 8);
+    b.addi(tmp, tmp, 1);
+    b.sw(tmp, slot, 8);
+    b.jmp(loop);
+
+    b.bind(done);
+    // Emit the final phrase.
+    b.swpi(prefix, pout, 4);
+    b.halt();
+}
+
+} // namespace hbat::workloads

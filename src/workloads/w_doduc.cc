@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Doduc analogue: a floating-point Monte-Carlo-style kernel.
+ *
+ * Dense FP arithmetic over two small, cache-resident arrays (~16 KB)
+ * with few memory references per cycle — matching Doduc's profile in
+ * Table 3 (FP-heavy, modest data set, low (Ld+St)/cycle, excellent TLB
+ * behaviour). Four independent accumulator chains keep the FP units
+ * busy; one long-latency divide per block models the occasional
+ * normalization step.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildDoduc(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0xd0d0c);
+
+    constexpr uint32_t n = 1024;
+    const uint32_t iters = uint32_t(56 * scale) + 1;
+
+    std::vector<double> init(n);
+    for (auto &v : init)
+        v = rng.real() + 0.25;
+    const VAddr aa = pb.doubles(init);
+    for (auto &v : init)
+        v = rng.real() + 0.5;
+    const VAddr ab = pb.doubles(init);
+
+    VReg it = b.vint(), itlim = b.vint();
+    VReg pa = b.vint(), pEnd = b.vint(), pB = b.vint();
+    VReg pc_ = b.vint(), pr = b.vint();
+    const VAddr coeff_addr = [&] {
+        std::vector<double> coeff(n / 2);
+        for (auto &v : coeff)
+            v = rng.real() * 0.01;
+        return pb.doubles(coeff);
+    }();
+    const VAddr result_addr = pb.space(uint64_t(n / 2) * 8, 8);
+
+    // Four independent accumulator chains (s0..s3) plus running
+    // products; the out-of-order core can overlap them freely.
+    VReg s0 = b.vfp(), s1 = b.vfp(), s2 = b.vfp(), s3 = b.vfp();
+    VReg t0 = b.vfp(), t1 = b.vfp();
+    VReg x0 = b.vfp(), y0 = b.vfp(), x1 = b.vfp(), y1 = b.vfp();
+    VReg w0 = b.vfp(), w1 = b.vfp(), decay = b.vfp(), bias = b.vfp();
+    VReg inflate = b.vfp();
+
+    b.fconst(decay, 0.99930);
+    b.fconst(bias, 0.00125);
+    b.fconst(inflate, 0.99982);
+    b.fconst(s0, 0.0);
+    b.fconst(s1, 0.0);
+    b.fconst(s2, 0.0);
+    b.fconst(s3, 0.0);
+    b.fconst(t0, 1.0);
+    b.fconst(t1, 1.0);
+
+    VLabel outer = b.label(), outer_done = b.label();
+    VLabel inner = b.label(), inner_done = b.label();
+
+    b.li(it, 0);
+    b.li(itlim, iters);
+    b.bind(outer);
+    b.bge(it, itlim, outer_done);
+
+    b.li(pa, uint32_t(aa));
+    b.li(pB, uint32_t(ab));
+    b.li(pEnd, uint32_t(aa + n * 8));
+    b.li(pc_, uint32_t(coeff_addr));
+    b.li(pr, uint32_t(result_addr));
+
+    b.bind(inner);
+    b.bge(pa, pEnd, inner_done);
+
+    // Two element pairs per iteration feeding disjoint chains, plus
+    // a coefficient load and a streaming result store.
+    b.ldf(x0, pa, 0);
+    b.ldf(y0, pB, 0);
+    b.ldf(x1, pa, 8);
+    b.ldf(y1, pB, 8);
+    b.ldf(w1, pc_, 0);
+    b.fadd(s3, s3, w1);
+    b.ldf(w0, pc_, 8);
+    b.fadd(s2, s2, w0);
+    b.sdf(s0, pr, 0);
+    b.sdf(s1, pr, 8);
+    b.addi(pc_, pc_, 8);
+    b.addi(pr, pr, 16);
+
+    b.fmul(w0, x0, y0);
+    b.fadd(s0, s0, w0);
+    b.fmul(w1, x1, y1);
+    b.fadd(s1, s1, w1);
+
+    b.fsub(w0, x0, y0);
+    b.fmul(w0, w0, w0);
+    b.fadd(s2, s2, w0);
+    b.fadd(w1, x1, y1);
+    b.fmul(w1, w1, decay);
+    b.fadd(s3, s3, w1);
+
+    // The kernel's recurrence: a two-multiply smoothing filter whose
+    // value feeds the next iteration (doduc's per-step state update).
+    b.fmul(t0, t0, decay);
+    b.fadd(t0, t0, bias);
+    b.fmul(t0, t0, inflate);
+    b.fadd(t0, t0, bias);
+    b.fmul(t1, t1, decay);
+    b.fadd(t1, t1, t0);
+
+    b.addi(pa, pa, 16);
+    b.addi(pB, pB, 16);
+    b.jmp(inner);
+    b.bind(inner_done);
+
+    // One normalization divide per sweep (long-latency FPU use).
+    b.fadd(w0, s0, s1);
+    b.fadd(w1, s2, s3);
+    b.fadd(w1, w1, bias);
+    b.fdiv(w0, w0, w1);
+    b.fadd(s0, s0, w0);
+    b.sdf(s0, pa, -8);
+
+    b.addi(it, it, 1);
+    b.jmp(outer);
+    b.bind(outer_done);
+    b.halt();
+}
+
+} // namespace hbat::workloads

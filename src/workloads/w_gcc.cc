@@ -1,0 +1,253 @@
+/**
+ * @file
+ * GCC analogue: IR-graph walking with kind dispatch.
+ *
+ * A 256 KB arena of 16-byte "tree nodes" (kind, value, left, right) is
+ * wired into neighbourhood-local DAGs with occasional far edges at
+ * program start. Walks start in a hot region that drifts every 64
+ * walks (compilation moves from function to function), dispatch on
+ * the node kind through an inlined common-case test plus a JR jump
+ * table (the unpredictable branches that give GCC the worst
+ * prediction rate in Table 3), follow child pointers, and rewrite
+ * node values — pointer-dominated references with moderate locality.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildGcc(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0x6cc6cc);
+
+    constexpr uint32_t num_nodes = 16384;       // 256 KB arena
+    constexpr uint32_t node_bytes = 16;
+    const uint32_t walks = uint32_t(9000 * scale) + 1;
+    constexpr uint32_t walk_len = 24;
+
+    // Node layout: +0 kind (0..7), +4 value, +8 left ptr, +12 right.
+    // Kinds and values are initialized data; the child pointers are
+    // linked by a short init loop at program start (multiplicative
+    // hashes of the node index), which keeps the image free of
+    // absolute addresses.
+    std::vector<uint32_t> image(num_nodes * 4);
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+        image[i * 4 + 0] = uint32_t(rng.below(8));
+        image[i * 4 + 1] = uint32_t(rng.next());
+        image[i * 4 + 2] = 0;
+        image[i * 4 + 3] = 0;
+    }
+    const VAddr nodes = pb.words(image);
+    VReg pnode = b.vint(), pend = b.vint(), idx = b.vint();
+    VReg t = b.vint(), u = b.vint(), base = b.vint(), nmask = b.vint();
+
+    b.li(base, uint32_t(nodes));
+    b.li(pnode, uint32_t(nodes));
+    b.li(pend, uint32_t(nodes + uint64_t(num_nodes) * node_bytes));
+    b.li(idx, 0);
+    b.li(nmask, num_nodes - 1);
+
+    // Child pointers mostly stay within a 1024-node neighbourhood
+    // (IR trees are built from nearby allocations), with every 16th
+    // right pointer escaping to a far node (cross-function
+    // references). This gives gcc's moderate locality.
+    VLabel init_loop = b.label(), init_done = b.label();
+    b.bind(init_loop);
+    b.bge(pnode, pend, init_done);
+    // left = neighbourhood(idx*13 + 7)
+    {
+        VReg k = b.vint(), hood = b.vint();
+        b.li(k, ~uint32_t(1023));
+        b.and_(hood, idx, k);
+        b.li(k, 13);
+        b.mul(t, idx, k);
+        b.addi(t, t, 7);
+        b.andi(t, t, 1023);
+        b.or_(t, t, hood);
+        b.slli(t, t, 4);
+        b.add(t, t, base);
+        b.sw(t, pnode, 8);
+    }
+    // right: near (idx*29 + 3) except every 16th node jumps far.
+    {
+        VLabel far = b.label(), store = b.label();
+        VReg k = b.vint(), hood = b.vint(), low = b.vint();
+        b.andi(low, idx, 15);
+        b.beqz(low, far);
+        b.li(k, ~uint32_t(1023));
+        b.and_(hood, idx, k);
+        b.li(k, 29);
+        b.mul(u, idx, k);
+        b.addi(u, u, 3);
+        b.andi(u, u, 1023);
+        b.or_(u, u, hood);
+        b.jmp(store);
+        b.bind(far);
+        b.li(k, 24571);
+        b.mul(u, idx, k);
+        b.addi(u, u, 3);
+        b.and_(u, u, nmask);
+        b.bind(store);
+        b.slli(u, u, 4);
+        b.add(u, u, base);
+        b.sw(u, pnode, 12);
+    }
+    b.addi(idx, idx, 1);
+    b.addi(pnode, pnode, node_bytes);
+    b.jmp(init_loop);
+    b.bind(init_done);
+
+    // Kind handlers (jump table targets).
+    VLabel handlers[8];
+    for (auto &h : handlers)
+        h = b.label();
+    VLabel step_done = b.label();
+    const VAddr table = pb.codeTable(
+        std::vector<VLabel>(handlers, handlers + 8));
+
+    VReg wcount = b.vint(), wlim = b.vint(), depth = b.vint();
+    VReg node = b.vint(), kind = b.vint(), val = b.vint();
+    VReg sum = b.vint(), seed = b.vint(), ptab = b.vint();
+    VReg dlim = b.vint(), pprof = b.vint();
+
+    b.li(wcount, 0);
+    b.li(wlim, walks);
+    b.li(sum, 0);
+    b.li(seed, 0x1234567);
+    b.li(ptab, uint32_t(table));
+    b.li(dlim, walk_len);
+    b.li(pprof, uint32_t(pb.space(64, 8)));
+
+    VLabel walk_loop = b.label(), walk_done = b.label();
+    VLabel step_loop = b.label(), step_exit = b.label();
+
+    b.bind(walk_loop);
+    b.bge(wcount, wlim, walk_done);
+
+    // Pick a pseudo-random root inside the current hot region; the
+    // region drifts every 64 walks (compilation moves from function
+    // to function, but stays within one for a while).
+    {
+        VReg k = b.vint(), region = b.vint();
+        b.li(k, 1103515245u);
+        b.mul(seed, seed, k);
+        b.addi(seed, seed, 12345);
+        b.srli(region, wcount, 6);
+        b.li(k, 7);
+        b.mul(region, region, k);
+        b.andi(region, region, int32_t(num_nodes / 1024 - 1));
+        b.slli(region, region, 10);
+        b.srli(node, seed, 8);
+        b.andi(node, node, 1023);
+        b.or_(node, node, region);
+        b.slli(node, node, 4);
+        b.add(node, node, base);
+    }
+    b.li(depth, 0);
+
+    b.bind(step_loop);
+    b.bge(depth, dlim, step_exit);
+
+    b.lw(kind, node, 0);
+    // Common-kind fast path: the compiler inlines the two most
+    // frequent node kinds behind a (data-dependent) test and only
+    // falls back to the jump table for the rest — gcc's mix of
+    // unpredictable conditional branches and multiway dispatch.
+    {
+        VLabel slow = b.label();
+        VReg two = b.vint();
+        b.li(two, 2);
+        b.bge(kind, two, slow);
+        // Inline handler: accumulate, mark the node visited, bump a
+        // hot profile counter, follow the left child.
+        b.lw(val, node, 4);
+        b.add(sum, sum, val);
+        b.sw(sum, node, 4);
+        {
+            VReg cnt = b.vint();
+            b.lw(cnt, pprof, 0);
+            b.addi(cnt, cnt, 1);
+            b.sw(cnt, pprof, 0);
+            b.srli(val, val, 3);
+            b.xor_(sum, sum, val);
+        }
+        b.lw(node, node, 8);
+        b.jmp(step_done);
+        b.bind(slow);
+    }
+    // Dispatch through the jump table.
+    {
+        VReg target = b.vint(), off = b.vint();
+        b.slli(off, kind, 2);
+        b.add(off, off, ptab);
+        b.lw(target, off, 0);
+        b.jr(target);
+    }
+
+    // kind 0/1: follow left, accumulate.
+    for (int k = 0; k < 2; ++k) {
+        b.bind(handlers[k]);
+        b.lw(val, node, 4);
+        b.add(sum, sum, val);
+        b.lw(node, node, 8);
+        b.jmp(step_done);
+    }
+    // kind 2/3: follow right, xor.
+    for (int k = 2; k < 4; ++k) {
+        b.bind(handlers[k]);
+        b.lw(val, node, 4);
+        b.xor_(sum, sum, val);
+        b.lw(node, node, 12);
+        b.jmp(step_done);
+    }
+    // kind 4/5: rewrite the value (constant folding), follow left.
+    for (int k = 4; k < 6; ++k) {
+        b.bind(handlers[k]);
+        b.lw(val, node, 4);
+        b.addi(val, val, 0x11);
+        b.sw(val, node, 4);
+        b.lw(node, node, 8);
+        b.jmp(step_done);
+    }
+    // kind 6: swap children (tree rotation).
+    b.bind(handlers[6]);
+    {
+        VReg l = b.vint(), r = b.vint();
+        b.lw(l, node, 8);
+        b.lw(r, node, 12);
+        b.sw(r, node, 8);
+        b.sw(l, node, 12);
+        b.mov(node, l);
+    }
+    b.jmp(step_done);
+    // kind 7: terminate this walk early.
+    b.bind(handlers[7]);
+    b.jmp(step_exit);
+
+    b.bind(step_done);
+    b.addi(depth, depth, 1);
+    b.jmp(step_loop);
+
+    b.bind(step_exit);
+    b.addi(wcount, wcount, 1);
+    b.jmp(walk_loop);
+
+    b.bind(walk_done);
+    {
+        VReg out = b.vint();
+        b.li(out, uint32_t(nodes));
+        b.sw(sum, out, 4);
+    }
+    b.halt();
+}
+
+} // namespace hbat::workloads

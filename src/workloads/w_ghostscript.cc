@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ghostscript analogue: span rasterization into a large framebuffer.
+ *
+ * Pseudo-random filled rectangles are painted into an 8 MB framebuffer
+ * (1 KB row pitch, so a 32-row fill sweeps eight 4 KB pages). Spans
+ * blend with the existing pixels: a batch of independent word loads,
+ * raster-op arithmetic, then the stores — the load/compute/store
+ * structure a rasterizer's inner loop compiles to. The footprint far
+ * exceeds TLB reach, giving the large-data-set behaviour the paper
+ * reports for Ghostscript (~10 MB).
+ */
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildGhostscript(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+
+    constexpr uint32_t pitch = 1024;            // bytes per row
+    constexpr uint32_t rows = 8192;             // 8 MB framebuffer
+    const uint32_t num_rects = uint32_t(120 * scale) + 1;
+    constexpr uint32_t span_words = 32;         // 128-byte spans
+    constexpr uint32_t rect_rows = 32;
+
+    const VAddr fb = pb.space(uint64_t(pitch) * rows, 64);
+
+    VReg rect = b.vint(), rlim = b.vint(), seed = b.vint();
+    VReg row = b.vint(), rowcnt = b.vint(), rowlim = b.vint();
+    VReg p = b.vint(), color = b.vint(), fbbase = b.vint();
+    VReg dither = b.vint(), ptex = b.vint();
+    b.li(dither, 0x55);
+    {
+        // 256-byte halftone tile (hot in cache).
+        Rng texrng(0x7e87e8);
+        std::vector<uint8_t> tex(256);
+        for (auto &t : tex)
+            t = uint8_t(texrng.below(64));
+        b.li(ptex, uint32_t(pb.bytes(tex)));
+    }
+
+    b.li(rect, 0);
+    b.li(rlim, num_rects);
+    b.li(seed, 0x95c21771u);
+    b.li(fbbase, uint32_t(fb));
+    b.li(rowlim, rect_rows);
+
+    VLabel rect_loop = b.label(), rect_done = b.label();
+    VLabel row_loop = b.label(), row_done = b.label();
+
+    b.bind(rect_loop);
+    b.bge(rect, rlim, rect_done);
+
+    // Pseudo-random rectangle origin and color.
+    {
+        VReg k = b.vint(), x = b.vint();
+        b.li(k, 1103515245u);
+        b.mul(seed, seed, k);
+        b.addi(seed, seed, 12345);
+        b.srli(row, seed, 10);
+        {
+            VReg m = b.vint();
+            b.li(m, rows - rect_rows - 1);
+            b.remu(row, row, m);
+        }
+        b.srli(x, seed, 3);
+        b.andi(x, x, 0x1fc);            // word-aligned x within the row
+        // p = fb + row*pitch + x
+        b.slli(p, row, 10);
+        b.add(p, p, fbbase);
+        b.add(p, p, x);
+        b.srli(color, seed, 16);
+    }
+
+    b.li(rowcnt, 0);
+    b.bind(row_loop);
+    b.bge(rowcnt, rowlim, row_done);
+
+    // Paint one span: batches of 8 words are loaded, blended with two
+    // raster ops each, and stored — the loads are independent, so
+    // the misses of a fresh row overlap.
+    for (uint32_t base = 0; base < span_words; base += 8) {
+        VReg px[8];
+        for (int u = 0; u < 8; ++u) {
+            px[u] = b.vint();
+            b.lw(px[u], p, int32_t((base + u) * 4));
+        }
+        for (int u = 0; u < 8; ++u) {
+            // Raster op: fetch the halftone texture word, blend, and
+            // mix the running dither state into each word (the
+            // dither chain is serial across pixels, like error
+            // diffusion).
+            VReg t = b.vint(), tex = b.vint();
+            b.andi(t, px[u], 0xfc);
+            b.add(t, t, ptex);
+            b.lw(tex, t, 0);
+            b.srli(t, px[u], 1);
+            b.xor_(px[u], px[u], t);
+            b.add(px[u], px[u], tex);
+            b.add(px[u], px[u], color);
+            b.srli(t, px[u], 3);
+            b.add(dither, dither, t);
+            b.srli(t, dither, 2);
+            b.xor_(dither, dither, t);
+            b.andi(dither, dither, 0x0f0f);
+            b.add(px[u], px[u], dither);
+        }
+        for (int u = 0; u < 8; ++u)
+            b.sw(px[u], p, int32_t((base + u) * 4));
+    }
+
+    b.addi(p, p, pitch);
+    b.addi(rowcnt, rowcnt, 1);
+    b.jmp(row_loop);
+    b.bind(row_done);
+
+    b.addi(rect, rect, 1);
+    b.jmp(rect_loop);
+    b.bind(rect_done);
+    b.halt();
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * MPEG_play analogue: block IDCT decode into a streamed frame buffer.
+ *
+ * Coefficients stream sequentially out of a compressed-data buffer;
+ * each 8x8 block gets an integer butterfly transform (adds, shifts,
+ * saturation) and is written to its block position in a 1.5 MB frame,
+ * row stride 768 bytes. Frames are touched once and never revisited —
+ * the low-reuse streaming that makes MPEG_play one of the paper's
+ * worst TLB citizens.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildMpegPlay(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0x9e6a11);
+
+    constexpr uint32_t frame_w = 768;           // bytes per pixel row
+    constexpr uint32_t frame_h = 576;
+    constexpr uint32_t frame_bytes = frame_w * frame_h;  // ~432 KB
+    constexpr uint32_t blocks_x = frame_w / 8;
+    constexpr uint32_t blocks_y = frame_h / 8;
+    const uint32_t frames = uint32_t(3 * scale) + 1;
+
+    // Coefficient stream: 8 i16-packed words per block.
+    const uint32_t blocks = blocks_x * blocks_y;
+    std::vector<uint32_t> stream(size_t(blocks) * 8);
+    for (auto &w : stream)
+        w = uint32_t(rng.next()) & 0x0fff0fff;
+    const VAddr coeffs = pb.words(stream);
+    const VAddr frame0 = pb.space(uint64_t(frame_bytes) * 2, 64);
+
+    VReg f = b.vint(), flim = b.vint();
+    VReg blk = b.vint(), blim = b.vint();
+    VReg pcoef = b.vint(), pdst = b.vint(), fbase = b.vint();
+
+    b.li(f, 0);
+    b.li(flim, frames);
+
+    VLabel frame_loop = b.label(), frame_done = b.label();
+    VLabel blk_loop = b.label(), blk_done = b.label();
+
+    b.bind(frame_loop);
+    b.bge(f, flim, frame_done);
+
+    // Alternate between the two frame buffers.
+    {
+        VReg odd = b.vint(), off = b.vint();
+        b.andi(odd, f, 1);
+        b.slli(off, odd, 19);       // 512 KB apart (covers 432 KB)
+        b.li(fbase, uint32_t(frame0));
+        b.add(fbase, fbase, off);
+    }
+    b.li(pcoef, uint32_t(coeffs));
+    b.li(blk, 0);
+    b.li(blim, blocks);
+
+    b.bind(blk_loop);
+    b.bge(blk, blim, blk_done);
+
+    // Destination: block (bx, by) -> fbase + by*8*frame_w + bx*8.
+    {
+        VReg bx = b.vint(), by = b.vint(), t = b.vint(), w = b.vint();
+        b.li(w, blocks_x);
+        b.remu(bx, blk, w);
+        b.divu(by, blk, w);
+        b.slli(t, by, 3);
+        {
+            VReg pitch = b.vint();
+            b.li(pitch, frame_w);
+            b.mul(t, t, pitch);
+        }
+        b.slli(bx, bx, 3);
+        b.add(t, t, bx);
+        b.add(pdst, t, fbase);
+    }
+
+    // Load 8 packed words, butterfly them, and write 8 rows of the
+    // 8x8 block (two words per row).
+    {
+        VReg c[8];
+        for (int i = 0; i < 8; ++i) {
+            c[i] = b.vint();
+            b.lwpi(c[i], pcoef, 4);         // post-increment stream
+        }
+        // Integer butterflies (shift-add structure of an IDCT pass).
+        VReg t = b.vint(), u = b.vint();
+        for (int stage = 0; stage < 2; ++stage) {
+            for (int i = 0; i < 4; ++i) {
+                b.add(t, c[i], c[i + 4]);
+                b.sub(u, c[i], c[i + 4]);
+                b.srli(t, t, 1);
+                b.srai(u, u, 1);
+                b.mov(c[i], t);
+                b.mov(c[i + 4], u);
+            }
+        }
+        // Motion compensation: blend with the reference block from
+        // the other frame buffer, then saturate and store two words
+        // per row, 8 rows.
+        VReg mask = b.vint(), pref = b.vint(), refw = b.vint();
+        b.li(mask, 0x7f7f7f7fu);
+        {
+            VReg other = b.vint();
+            b.li(other, uint32_t(frame_bytes) + 0x10000);
+            b.xor_(pref, pdst, other);   // cheap "other frame" addr
+            b.li(other, ~uint32_t(3));
+            b.and_(pref, pref, other);
+        }
+        for (int row = 0; row < 8; ++row) {
+            b.lw(refw, pref, int32_t(row * frame_w));
+            b.srli(refw, refw, 1);
+            b.add(t, c[row], refw);
+            b.and_(t, t, mask);
+            b.sw(t, pdst, int32_t(row * frame_w));
+            b.xor_(u, c[(row + 3) & 7], c[row]);
+            b.and_(u, u, mask);
+            b.sw(u, pdst, int32_t(row * frame_w + 4));
+        }
+    }
+
+    b.addi(blk, blk, 1);
+    b.jmp(blk_loop);
+    b.bind(blk_done);
+
+    b.addi(f, f, 1);
+    b.jmp(frame_loop);
+    b.bind(frame_done);
+    b.halt();
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Perl analogue: a stack bytecode interpreter.
+ *
+ * A synthetic bytecode program (pushes, arithmetic, variable
+ * loads/stores, associative-array ops, conditional jumps) runs under a
+ * dispatch loop that jumps through a JR handler table. The operand
+ * stack lives in memory and is driven with post-increment/decrement
+ * pushes and pops; scalar variables and the hash region add scattered
+ * heap traffic. Interpreter dispatch plus data-dependent branches give
+ * the low prediction rate and high memory intensity of the paper's
+ * Perl run.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+namespace
+{
+
+enum PerlOp : uint32_t
+{
+    kPushConst,     ///< push operand
+    kLoadVar,       ///< push vars[operand]
+    kStoreVar,      ///< vars[operand] = pop
+    kAdd,           ///< push(pop + pop)
+    kXorOp,         ///< push(pop ^ pop)
+    kHashGet,       ///< push hash[h(pop)]
+    kHashPut,       ///< hash[h(v)] = v, v = pop
+    kJumpNz,        ///< pop; branch to operand when non-zero
+    kNumPerlOps
+};
+
+} // namespace
+
+void
+buildPerl(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0x9e21);
+
+    constexpr uint32_t code_len = 8192;
+    constexpr uint32_t num_vars = 8192;          // 32 KB scalars
+    constexpr uint32_t hash_words = 1u << 16;    // 256 KB hash region
+    const uint32_t budget_ops = uint32_t(120000 * scale) + 64;
+
+    // Generate bytecode: op in +0, operand in +4. Stack depth is kept
+    // positive by construction (pushes outnumber pops in every
+    // prefix); jumps go backward at most 24 ops to form small loops.
+    std::vector<uint32_t> code(code_len * 2);
+    int depth = 4;
+    for (uint32_t i = 0; i < code_len; ++i) {
+        uint32_t op;
+        for (;;) {
+            op = uint32_t(rng.below(kNumPerlOps));
+            const int need = (op == kAdd || op == kXorOp) ? 2 : 1;
+            if (op == kPushConst || op == kLoadVar || depth >= need)
+                break;
+        }
+        uint32_t operand = 0;
+        switch (op) {
+          case kPushConst:
+            operand = uint32_t(rng.next());
+            ++depth;
+            break;
+          case kLoadVar:
+            operand = uint32_t(rng.below(num_vars));
+            ++depth;
+            break;
+          case kStoreVar:
+            operand = uint32_t(rng.below(num_vars));
+            --depth;
+            break;
+          case kAdd:
+          case kXorOp:
+            --depth;
+            break;
+          case kHashGet:
+            break;        // pop + push
+          case kHashPut:
+            --depth;
+            break;
+          case kJumpNz:
+            operand = i > 24 ? uint32_t(i - rng.below(24) - 1)
+                             : uint32_t(i + 1);
+            --depth;
+            break;
+        }
+        if (depth < 2)
+            depth = 2;  // generator invariant; the VM re-pushes anyway
+        code[i * 2] = op;
+        code[i * 2 + 1] = operand;
+    }
+    const VAddr code_addr = pb.words(code);
+    const VAddr vars = pb.space(uint64_t(num_vars) * 4, 8);
+    const VAddr prof = pb.space(256, 8);
+    const VAddr hash = pb.space(uint64_t(hash_words) * 4, 8);
+    const VAddr stack = pb.space(256 * 1024, 8);
+
+    VLabel handlers[kNumPerlOps];
+    for (auto &h : handlers)
+        h = b.label();
+    const VAddr table = pb.codeTable(
+        std::vector<VLabel>(handlers, handlers + kNumPerlOps));
+
+    VReg vpc = b.vint(), vsp = b.vint(), fuel = b.vint();
+    VReg op = b.vint(), operand = b.vint(), a = b.vint(), c = b.vint();
+    VReg ptab = b.vint(), pvars = b.vint(), phash = b.vint();
+    VReg code_base = b.vint(), code_end = b.vint();
+    VReg stack_base = b.vint(), stack_end = b.vint();
+
+    b.li(vpc, uint32_t(code_addr));
+    b.li(code_base, uint32_t(code_addr));
+    b.li(code_end, uint32_t(code_addr + uint64_t(code_len) * 8));
+    b.li(vsp, uint32_t(stack + 1024));
+    b.li(stack_base, uint32_t(stack + 64));
+    b.li(stack_end, uint32_t(stack + 256 * 1024 - 64));
+    b.li(fuel, budget_ops);
+    b.li(ptab, uint32_t(table));
+    b.li(pvars, uint32_t(vars));
+    b.li(phash, uint32_t(hash));
+
+    // Seed the operand stack.
+    {
+        VReg v = b.vint();
+        b.li(v, 0x5eed);
+        for (int i = 0; i < 8; ++i)
+            b.swpi(v, vsp, 4);
+    }
+
+    VLabel dispatch = b.label(), vm_done = b.label();
+    VLabel refill = b.label(), wrap = b.label();
+    VLabel resetsp = b.label();
+
+    b.bind(dispatch);
+    b.beqz(fuel, vm_done);
+    b.addi(fuel, fuel, -1);
+    // Interpreter stack check: drifting out of the stack window
+    // re-centres the operand stack pointer.
+    b.blt(vsp, stack_base, resetsp);
+    b.bge(vsp, stack_end, resetsp);
+    b.bge(vpc, code_end, wrap);
+    b.bind(refill);
+
+    // Fetch op and operand; advance the virtual pc.
+    b.lwpi(op, vpc, 4);
+    b.lwpi(operand, vpc, 4);
+    {
+        VReg target = b.vint(), toff = b.vint();
+        b.slli(toff, op, 2);
+        // Per-op profiling counter and last-operand slot (the
+        // interpreter's bookkeeping; cache-hot and independent of
+        // the dispatch chain).
+        {
+            VReg pprof = b.vint(), cnt = b.vint();
+            b.li(pprof, uint32_t(prof));
+            b.add(pprof, pprof, toff);
+            b.lw(cnt, pprof, 0);
+            b.addi(cnt, cnt, 1);
+            b.sw(cnt, pprof, 0);
+            b.sw(operand, pprof, 64);
+        }
+        b.add(toff, toff, ptab);
+        b.lw(target, toff, 0);
+        b.jr(target);
+    }
+
+    b.bind(wrap);
+    b.mov(vpc, code_base);
+    b.jmp(refill);
+
+    b.bind(resetsp);
+    b.addi(vsp, stack_base, 1024);
+    {
+        VReg v = b.vint();
+        b.li(v, 0x5eed);
+        for (int i = 0; i < 8; ++i)
+            b.swpi(v, vsp, 4);
+    }
+    b.jmp(dispatch);
+
+    // -- handlers ---------------------------------------------------
+    b.bind(handlers[kPushConst]);
+    b.swpi(operand, vsp, 4);
+    b.jmp(dispatch);
+
+    b.bind(handlers[kLoadVar]);
+    {
+        VReg addr = b.vint();
+        b.slli(addr, operand, 2);
+        b.add(addr, addr, pvars);
+        b.lw(a, addr, 0);
+        b.swpi(a, vsp, 4);
+    }
+    b.jmp(dispatch);
+
+    b.bind(handlers[kStoreVar]);
+    {
+        VReg addr = b.vint();
+        b.addi(vsp, vsp, -4);       // pop
+        b.lw(a, vsp, 0);
+        b.slli(addr, operand, 2);
+        b.add(addr, addr, pvars);
+        b.sw(a, addr, 0);
+    }
+    b.jmp(dispatch);
+
+    b.bind(handlers[kAdd]);
+    b.addi(vsp, vsp, -4);
+    b.lw(a, vsp, 0);
+    b.addi(vsp, vsp, -4);
+    b.lw(c, vsp, 0);
+    b.add(a, a, c);
+    b.swpi(a, vsp, 4);
+    b.jmp(dispatch);
+
+    b.bind(handlers[kXorOp]);
+    b.addi(vsp, vsp, -4);
+    b.lw(a, vsp, 0);
+    b.addi(vsp, vsp, -4);
+    b.lw(c, vsp, 0);
+    b.xor_(a, a, c);
+    b.swpi(a, vsp, 4);
+    b.jmp(dispatch);
+
+    b.bind(handlers[kHashGet]);
+    {
+        VReg h = b.vint();
+        b.addi(vsp, vsp, -4);
+        b.lw(a, vsp, 0);
+        // h = (a * 2654435761) >> 16, masked to the table.
+        b.li(h, 2654435761u);
+        b.mul(h, a, h);
+        b.srli(h, h, 14);
+        b.andi(h, h, int32_t((hash_words - 1) & 0xffff));
+        b.slli(h, h, 2);
+        b.add(h, h, phash);
+        b.lw(a, h, 0);
+        b.swpi(a, vsp, 4);
+    }
+    b.jmp(dispatch);
+
+    b.bind(handlers[kHashPut]);
+    {
+        VReg h = b.vint();
+        b.addi(vsp, vsp, -4);
+        b.lw(a, vsp, 0);
+        b.li(h, 2654435761u);
+        b.mul(h, a, h);
+        b.srli(h, h, 14);
+        b.andi(h, h, int32_t((hash_words - 1) & 0xffff));
+        b.slli(h, h, 2);
+        b.add(h, h, phash);
+        b.sw(a, h, 0);
+    }
+    b.jmp(dispatch);
+
+    b.bind(handlers[kJumpNz]);
+    {
+        VLabel fall = b.label();
+        b.addi(vsp, vsp, -4);
+        b.lw(a, vsp, 0);
+        b.beqz(a, fall);
+        b.slli(a, operand, 3);
+        b.add(vpc, code_base, a);
+        b.bind(fall);
+    }
+    b.jmp(dispatch);
+    // ----------------------------------------------------------------
+
+
+    b.bind(vm_done);
+    b.halt();
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * TFFT analogue: radix-2 FFT passes over a large complex array.
+ *
+ * A 512 KB array of complex doubles gets a table-driven bit-reversal
+ * permutation (scattered swaps) followed by butterfly stages chosen to
+ * cover both ends of the stride spectrum (len = 2, 4, and N). With the
+ * twiddle and reversal tables the footprint approaches 1 MB — well
+ * past the 512 KB reach of a 128-entry TLB with 4 KB pages, giving the
+ * poor TLB behaviour the paper reports for TFFT.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildTfft(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0x7ff7);
+
+    const uint32_t log_n = scale >= 0.5 ? 16 : 11;
+    const uint32_t n = 1u << log_n;
+
+    // Complex input data (interleaved re/im).
+    std::vector<double> data(size_t(n) * 2);
+    for (auto &v : data)
+        v = rng.real() * 2.0 - 1.0;
+    const VAddr a = pb.doubles(data);
+
+    // Bit-reversal table.
+    std::vector<uint32_t> rev(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t r = 0;
+        for (uint32_t bit = 0; bit < log_n; ++bit)
+            r |= ((i >> bit) & 1) << (log_n - 1 - bit);
+        rev[i] = r;
+    }
+    const VAddr rev_addr = pb.words(rev);
+
+    // Twiddle factors w^k = exp(-2*pi*i*k/n), k in [0, n/2).
+    std::vector<double> tw(n, 0.0);     // n/2 complex values
+    for (uint32_t k = 0; k < n / 2; ++k) {
+        tw[size_t(k) * 2] = std::cos(-2.0 * M_PI * k / n);
+        tw[size_t(k) * 2 + 1] = std::sin(-2.0 * M_PI * k / n);
+    }
+    const VAddr tw_addr = pb.doubles(tw);
+
+    // ---- Bit-reversal permutation -------------------------------
+    VReg i = b.vint(), j = b.vint(), prev = b.vint();
+    VReg pi = b.vint(), pj = b.vint(), abase = b.vint(), nv = b.vint();
+    VReg xr = b.vfp(), xi = b.vfp(), yr = b.vfp(), yi = b.vfp();
+
+    b.li(abase, uint32_t(a));
+    b.li(prev, uint32_t(rev_addr));
+    b.li(nv, n);
+    b.li(i, 0);
+
+    VLabel rev_loop = b.label(), rev_done = b.label(), no_swap =
+        b.label();
+    b.bind(rev_loop);
+    b.bge(i, nv, rev_done);
+    b.lwpi(j, prev, 4);             // j = rev[i]
+    b.ble(j, i, no_swap);
+    // Swap complex a[i] <-> a[j].
+    b.slli(pi, i, 4);
+    b.add(pi, pi, abase);
+    b.slli(pj, j, 4);
+    b.add(pj, pj, abase);
+    b.ldf(xr, pi, 0);
+    b.ldf(xi, pi, 8);
+    b.ldf(yr, pj, 0);
+    b.ldf(yi, pj, 8);
+    b.sdf(yr, pi, 0);
+    b.sdf(yi, pi, 8);
+    b.sdf(xr, pj, 0);
+    b.sdf(xi, pj, 8);
+    b.bind(no_swap);
+    b.addi(i, i, 1);
+    b.jmp(rev_loop);
+    b.bind(rev_done);
+
+    // ---- Butterfly stages ----------------------------------------
+    // Stage lengths cover unit strides (len 2, 4) and the worst-case
+    // n/2-apart stride (len n); the remaining stages are omitted to
+    // keep the run in the ~1M-instruction budget (DESIGN.md).
+    const uint32_t lens[] = {2, n};
+    for (uint32_t len : lens) {
+        const uint32_t half = len / 2;
+        const uint32_t step = n / len;
+
+        VReg blk = b.vint(), k = b.vint(), hv = b.vint();
+        VReg pu = b.vint(), pv = b.vint(), pw = b.vint();
+        VReg blk_end = b.vint();
+        VReg ur = b.vfp(), ui = b.vfp(), vr = b.vfp(), vi = b.vfp();
+        VReg wr = b.vfp(), wi = b.vfp(), tr = b.vfp(), ti = b.vfp();
+
+        b.li(blk, uint32_t(a));
+        b.li(blk_end, uint32_t(a + uint64_t(n) * 16));
+        b.li(hv, half);
+
+        VLabel blk_loop = b.label(), blk_done = b.label();
+        VLabel k_loop = b.label(), k_done = b.label();
+
+        b.bind(blk_loop);
+        b.bge(blk, blk_end, blk_done);
+
+        b.mov(pu, blk);
+        b.addk(pv, blk, int64_t(half) * 16);
+        b.li(pw, uint32_t(tw_addr));
+        b.li(k, 0);
+
+        b.bind(k_loop);
+        b.bge(k, hv, k_done);
+
+        b.ldf(ur, pu, 0);
+        b.ldf(ui, pu, 8);
+        b.ldf(vr, pv, 0);
+        b.ldf(vi, pv, 8);
+        b.ldf(wr, pw, 0);
+        b.ldf(wi, pw, 8);
+
+        // t = v * w
+        b.fmul(tr, vr, wr);
+        b.fmul(ti, vi, wi);
+        b.fsub(tr, tr, ti);
+        b.fmul(ti, vr, wi);
+        {
+            VReg t2 = b.vfp();
+            b.fmul(t2, vi, wr);
+            b.fadd(ti, ti, t2);
+        }
+        // a[u] = u + t; a[v] = u - t
+        {
+            VReg sr = b.vfp(), si = b.vfp();
+            b.fadd(sr, ur, tr);
+            b.fadd(si, ui, ti);
+            b.sdf(sr, pu, 0);
+            b.sdf(si, pu, 8);
+            b.fsub(sr, ur, tr);
+            b.fsub(si, ui, ti);
+            b.sdf(sr, pv, 0);
+            b.sdf(si, pv, 8);
+        }
+
+        b.addi(pu, pu, 16);
+        b.addi(pv, pv, 16);
+        b.addk(pw, pw, int64_t(step) * 16);
+        b.addi(k, k, 1);
+        b.jmp(k_loop);
+        b.bind(k_done);
+
+        b.addk(blk, blk, int64_t(len == n ? n : len) * 16);
+        b.jmp(blk_loop);
+        b.bind(blk_done);
+    }
+
+    b.halt();
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tomcatv analogue: a vectorized 2-D mesh stencil.
+ *
+ * Seven 129x129 double-precision arrays (~0.9 MB total) are swept
+ * row-major with neighbour loads and FP arithmetic, the inner loop
+ * unrolled twice as -funroll-loops would. Row sweeps give high
+ * spatial locality and many simultaneous same-page accesses — the
+ * behaviour that makes piggybacking and small L1 TLBs effective.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildTomcatv(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+    Rng rng(0x70c47a11);
+
+    constexpr uint32_t n = 129;
+    const uint32_t iters = uint32_t(2 * scale) + 1;
+    const uint32_t row_bytes = n * 8;
+
+    // X, Y: coordinates; RX, RY: residuals; AA, DD: coefficients;
+    // D: workspace. Initialized with a smooth-ish random field.
+    std::vector<double> init(n * n);
+    for (auto &v : init)
+        v = rng.real() * 2.0 - 1.0;
+
+    const VAddr ax = pb.doubles(init);
+    for (auto &v : init)
+        v = rng.real() * 2.0 - 1.0;
+    const VAddr ay = pb.doubles(init);
+    const VAddr arx = pb.space(uint64_t(n) * n * 8, 8);
+    const VAddr ary = pb.space(uint64_t(n) * n * 8, 8);
+    const VAddr aaa = pb.space(uint64_t(n) * n * 8, 8);
+    const VAddr add = pb.space(uint64_t(n) * n * 8, 8);
+
+    VReg it = b.vint(), j = b.vint(), i = b.vint(), nlim = b.vint();
+    VReg px = b.vint(), py = b.vint(), prx = b.vint(), pry = b.vint();
+    VReg paa = b.vint(), pdd = b.vint(), rowend = b.vint();
+
+    VReg xc = b.vfp(), xn = b.vfp(), xs = b.vfp(), xe = b.vfp();
+    VReg xw = b.vfp(), yc = b.vfp(), ye = b.vfp(), yw = b.vfp();
+    VReg xxx = b.vfp(), yyy = b.vfp(), aj = b.vfp(), dj = b.vfp();
+    VReg half = b.vfp(), quarter = b.vfp();
+
+    b.fconst(half, 0.5);
+    b.fconst(quarter, 0.25);
+    b.li(nlim, n - 1);
+
+    VLabel it_loop = b.label(), it_done = b.label();
+    VLabel j_loop = b.label(), j_done = b.label();
+    VLabel i_loop = b.label(), i_done = b.label();
+
+    b.li(it, 0);
+    b.bind(it_loop);
+    {
+        VReg itlim = b.vint();
+        b.li(itlim, iters);
+        b.bge(it, itlim, it_done);
+    }
+
+    b.li(j, 1);
+    b.bind(j_loop);
+    b.bge(j, nlim, j_done);
+
+    // Row base pointers: base + (j*n + 1) * 8.
+    {
+        VReg off = b.vint(), t = b.vint();
+        b.li(t, n);
+        b.mul(off, j, t);
+        b.addi(off, off, 1);
+        b.slli(off, off, 3);
+        b.li(px, uint32_t(ax));
+        b.add(px, px, off);
+        b.li(py, uint32_t(ay));
+        b.add(py, py, off);
+        b.li(prx, uint32_t(arx));
+        b.add(prx, prx, off);
+        b.li(pry, uint32_t(ary));
+        b.add(pry, pry, off);
+        b.li(paa, uint32_t(aaa));
+        b.add(paa, paa, off);
+        b.li(pdd, uint32_t(add));
+        b.add(pdd, pdd, off);
+        b.addi(rowend, px, int32_t((n - 2) * 8));
+    }
+
+    b.li(i, 1);
+    b.bind(i_loop);
+    b.bge(px, rowend, i_done);
+
+    // Two stencil points per iteration (unrolled x2).
+    for (int u = 0; u < 2; ++u) {
+        const int32_t o = u * 8;
+        b.ldf(xc, px, o);
+        b.ldf(xe, px, o + 8);
+        b.ldf(xw, px, o - 8);
+        b.ldf(xn, px, o - int32_t(row_bytes));
+        b.ldf(xs, px, o + int32_t(row_bytes));
+        b.ldf(yc, py, o);
+        b.ldf(ye, py, o + 8);
+        b.ldf(yw, py, o - 8);
+
+        // xxx = 0.5*(xe - xw); yyy = 0.5*(ye - yw)
+        b.fsub(xxx, xe, xw);
+        b.fmul(xxx, xxx, half);
+        b.fsub(yyy, ye, yw);
+        b.fmul(yyy, yyy, half);
+
+        // aj = xxx*xxx + yyy*yyy; dj = 0.25*(xn + xs) - xc
+        b.fmul(aj, xxx, xxx);
+        b.fmul(dj, yyy, yyy);
+        b.fadd(aj, aj, dj);
+        b.fadd(dj, xn, xs);
+        b.fmul(dj, dj, quarter);
+        b.fsub(dj, dj, xc);
+
+        b.sdf(aj, paa, o);
+        b.sdf(dj, pdd, o);
+        // Residuals: rx = dj - aj*yc; ry = aj + dj*yc
+        b.fmul(xxx, aj, yc);
+        b.fsub(xxx, dj, xxx);
+        b.sdf(xxx, prx, o);
+        b.fmul(yyy, dj, yc);
+        b.fadd(yyy, aj, yyy);
+        b.sdf(yyy, pry, o);
+    }
+
+    b.addi(px, px, 16);
+    b.addi(py, py, 16);
+    b.addi(prx, prx, 16);
+    b.addi(pry, pry, 16);
+    b.addi(paa, paa, 16);
+    b.addi(pdd, pdd, 16);
+    b.addi(i, i, 2);
+    b.jmp(i_loop);
+    b.bind(i_done);
+
+    b.addi(j, j, 1);
+    b.jmp(j_loop);
+    b.bind(j_done);
+
+    b.addi(it, it, 1);
+    b.jmp(it_loop);
+    b.bind(it_done);
+    b.halt();
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Xlisp analogue: cons-cell lists with interpretation and GC sweeps.
+ *
+ * A 512 KB cons heap is carved into lists whose cells are deliberately
+ * scattered (multiplicative allocation stride, like a fragmented Lisp
+ * heap after collections). Three phases mirror an interpreter's life:
+ * building lists (allocation stores), evaluating them (serial cdr
+ * pointer chasing with car loads and occasional rewrites), and a
+ * mark/sweep pass (chase-and-mark followed by a linear heap sweep).
+ * This gives the highest loads+stores per cycle of the suite, as
+ * Table 3 reports for Xlisp.
+ */
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace hbat::workloads
+{
+
+using kasm::VLabel;
+using kasm::VReg;
+
+void
+buildXlisp(kasm::ProgramBuilder &pb, double scale)
+{
+    auto &b = pb.code();
+
+    constexpr uint32_t num_cells = 1u << 16;    // 512 KB heap
+    constexpr uint32_t num_roots = 512;
+    constexpr uint32_t list_len = num_cells / num_roots;
+    const uint32_t eval_iters = uint32_t(1400 * scale) + 8;
+    const uint32_t gc_rounds = uint32_t(2 * scale) + 1;
+
+    // Cell layout: +0 car (value; bit 0 = GC mark), +4 cdr (pointer).
+    const VAddr heap = pb.space(uint64_t(num_cells) * 8, 16);
+    const VAddr roots = pb.space(uint64_t(num_roots) * 4, 8);
+
+    VReg hbase = b.vint(), rbase = b.vint();
+    b.li(hbase, uint32_t(heap));
+    b.li(rbase, uint32_t(roots));
+
+    // ---- Phase A: cons up the lists ------------------------------
+    // Allocation order scatters *chunks* of four cells: consecutive
+    // cells in a list share a cache line (allocation locality), while
+    // chunk placement is scattered across the heap's pages like a
+    // fragmented Lisp heap after collections.
+    {
+        VReg l = b.vint(), llim = b.vint(), c = b.vint(), clim =
+            b.vint();
+        VReg idx = b.vint(), cell = b.vint(), prevc = b.vint();
+        VReg val = b.vint(), stride = b.vint(), mask = b.vint();
+        VReg count = b.vint(), proot = b.vint();
+
+        b.li(l, 0);
+        b.li(llim, num_roots);
+        b.li(stride, 40503);
+        b.li(mask, num_cells / 4 - 1);
+        b.li(count, 0);
+        b.li(val, 0x11117);
+        b.mov(proot, rbase);
+
+        VLabel l_loop = b.label(), l_done = b.label();
+        VLabel c_loop = b.label(), c_done = b.label();
+
+        b.bind(l_loop);
+        b.bge(l, llim, l_done);
+        b.li(prevc, 0);                 // nil terminator
+        b.li(c, 0);
+        b.li(clim, list_len);
+
+        b.bind(c_loop);
+        b.bge(c, clim, c_done);
+        // chunk = (count/4 * stride) & chunkmask; cell = chunk*4 +
+        // count%4, i.e. runs of four line-sharing cells.
+        b.srli(idx, count, 2);
+        b.mul(idx, idx, stride);
+        b.and_(idx, idx, mask);
+        b.slli(cell, idx, 5);
+        {
+            VReg sub = b.vint();
+            b.andi(sub, count, 3);
+            b.slli(sub, sub, 3);
+            b.add(cell, cell, sub);
+        }
+        b.add(cell, cell, hbase);
+        // car = val (even), cdr = prev
+        b.slli(val, val, 1);
+        b.srli(val, val, 1);            // keep it positive
+        b.sw(val, cell, 0);
+        b.sw(prevc, cell, 4);
+        b.addi(val, val, 0x2e);
+        b.mov(prevc, cell);
+        b.addi(count, count, 1);
+        b.addi(c, c, 1);
+        b.jmp(c_loop);
+        b.bind(c_done);
+
+        b.swpi(prevc, proot, 4);        // roots[l] = list head
+        b.addi(l, l, 1);
+        b.jmp(l_loop);
+        b.bind(l_done);
+    }
+
+    // ---- Phase B: evaluate (pointer-chasing walks) ----------------
+    {
+        VReg it = b.vint(), itlim = b.vint(), seed = b.vint();
+        VReg node = b.vint(), sum = b.vint(), car = b.vint();
+        VReg rmask = b.vint();
+
+        b.li(it, 0);
+        b.li(itlim, eval_iters);
+        b.li(seed, 0x115921);
+        b.li(sum, 0);
+        b.li(rmask, num_roots - 1);
+
+        VLabel it_loop = b.label(), it_done = b.label();
+        VLabel chase = b.label(), chase_done = b.label(), no_set =
+            b.label();
+
+        b.bind(it_loop);
+        b.bge(it, itlim, it_done);
+
+        // node = roots[(seed >> 6) & rmask]
+        {
+            VReg k = b.vint(), addr = b.vint();
+            b.li(k, 1103515245u);
+            b.mul(seed, seed, k);
+            b.addi(seed, seed, 12345);
+            b.srli(addr, seed, 6);
+            b.and_(addr, addr, rmask);
+            b.slli(addr, addr, 2);
+            b.add(addr, addr, rbase);
+            b.lw(node, addr, 0);
+        }
+
+        // The evaluator keeps a small activation record: every cell
+        // visit updates interpreter state on the (cache-hot) eval
+        // stack, like xlisp's C-level locals and type dispatch.
+        VReg evstk = b.vint(), tag = b.vint(), acc2 = b.vint();
+        {
+            const VAddr frame = pb.space(256, 8);
+            b.li(evstk, uint32_t(frame));
+            b.li(acc2, 1);
+        }
+
+        b.bind(chase);
+        b.beqz(node, chase_done);
+        b.lw(car, node, 0);
+        b.add(sum, sum, car);
+        // Type-dispatch bookkeeping on the eval stack (hits).
+        b.andi(tag, car, 7);
+        b.slli(tag, tag, 2);
+        b.add(tag, tag, evstk);
+        b.lw(acc2, tag, 0);
+        b.addi(acc2, acc2, 1);
+        b.sw(acc2, tag, 0);
+        b.sw(sum, evstk, 32);
+        // Rewrite every 8th car (setcar during eval).
+        {
+            VReg low = b.vint();
+            b.andi(low, sum, 14);
+            b.bnez(low, no_set);
+            b.sw(sum, node, 0);
+            b.bind(no_set);
+        }
+        b.lw(node, node, 4);            // cdr chase
+        b.jmp(chase);
+        b.bind(chase_done);
+
+        b.addi(it, it, 1);
+        b.jmp(it_loop);
+        b.bind(it_done);
+    }
+
+    // ---- Phase C: mark and sweep ----------------------------------
+    for (uint32_t round = 0; round < gc_rounds; ++round) {
+        VReg l = b.vint(), llim = b.vint(), node = b.vint();
+        VReg car = b.vint(), proot = b.vint();
+
+        b.li(l, 0);
+        b.li(llim, num_roots);
+        b.mov(proot, rbase);
+
+        VLabel mark_root = b.label(), mark_done = b.label();
+        VLabel mark_chase = b.label(), mark_next = b.label();
+
+        // Mark: chase every list setting car bit 0.
+        b.bind(mark_root);
+        b.bge(l, llim, mark_done);
+        b.lwpi(node, proot, 4);
+        b.bind(mark_chase);
+        b.beqz(node, mark_next);
+        b.lw(car, node, 0);
+        b.ori(car, car, 1);
+        b.sw(car, node, 0);
+        b.lw(node, node, 4);
+        b.jmp(mark_chase);
+        b.bind(mark_next);
+        b.addi(l, l, 1);
+        b.jmp(mark_root);
+        b.bind(mark_done);
+
+        // Sweep: linear pass clearing marks (unrolled x4 cells).
+        VReg p = b.vint(), pend = b.vint(), w = b.vint(), m = b.vint();
+        b.mov(p, hbase);
+        b.li(pend, uint32_t(heap + uint64_t(num_cells) * 8));
+        b.li(m, ~uint32_t(1));
+
+        VLabel sweep = b.label(), sweep_done = b.label();
+        b.bind(sweep);
+        b.bge(p, pend, sweep_done);
+        for (int u = 0; u < 4; ++u) {
+            b.lw(w, p, u * 8);
+            b.and_(w, w, m);
+            b.sw(w, p, u * 8);
+        }
+        b.addi(p, p, 32);
+        b.jmp(sweep);
+        b.bind(sweep_done);
+    }
+
+    b.halt();
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,65 @@
+#include "workloads/workloads.hh"
+
+#include "common/log.hh"
+
+namespace hbat::workloads
+{
+
+const std::vector<Workload> &
+all()
+{
+    static const std::vector<Workload> list = {
+        {"compress", "Compress (SPEC'92)",
+         "adaptive compressor; scattered hash table, poor locality",
+         buildCompress},
+        {"doduc", "Doduc (SPEC'92)",
+         "FP Monte-Carlo kernel; small data, low refs/cycle",
+         buildDoduc},
+        {"espresso", "Espresso (SPEC'92)",
+         "boolean-cover bit matrices; small hot data, high ILP",
+         buildEspresso},
+        {"gcc", "GCC (SPEC'92)",
+         "IR graph walking; pointer loads, unpredictable dispatch",
+         buildGcc},
+        {"ghostscript", "Ghostscript",
+         "rasterizer over a ~8 MB framebuffer; page-per-row strides",
+         buildGhostscript},
+        {"mpeg_play", "MPEG_play",
+         "block IDCT into a streamed frame buffer; little reuse",
+         buildMpegPlay},
+        {"perl", "Perl",
+         "bytecode interpreter; operand stack + scattered heap",
+         buildPerl},
+        {"tfft", "TFFT",
+         "radix-2 FFT over a multi-MB array; strided, poor locality",
+         buildTfft},
+        {"tomcatv", "Tomcatv (SPEC'92)",
+         "2-D vectorized mesh stencil; unrolled FP row sweeps",
+         buildTomcatv},
+        {"xlisp", "Xlisp (SPEC'92)",
+         "cons-cell lists, pointer chasing, GC sweeps; most refs/cycle",
+         buildXlisp},
+    };
+    return list;
+}
+
+const Workload &
+find(const std::string &name)
+{
+    for (const Workload &w : all())
+        if (name == w.name)
+            return w;
+    hbat_fatal("unknown workload '", name, "'");
+}
+
+kasm::Program
+build(const std::string &name, const kasm::RegBudget &budget,
+      double scale)
+{
+    const Workload &w = find(name);
+    kasm::ProgramBuilder pb(w.name);
+    w.build(pb, scale);
+    return pb.link(budget);
+}
+
+} // namespace hbat::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The benchmark-analogue registry (Table 3).
+ *
+ * Each entry builds one program whose *memory behaviour class* matches
+ * a program from the paper's suite: data-set size relative to TLB
+ * reach, reference locality, pointer- vs. array-dominance, and FP mix
+ * (see DESIGN.md, "Workload analogues"). Workloads are written against
+ * virtual registers, so one source builds both the 32/32- and
+ * 8/8-register binaries that Section 4.6 compares.
+ *
+ * The @p scale argument multiplies the work done (iteration counts /
+ * input sizes): 1.0 is the evaluation size (~1M dynamic instructions),
+ * tests use much smaller values.
+ */
+
+#ifndef HBAT_WORKLOADS_WORKLOADS_HH
+#define HBAT_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "kasm/program.hh"
+#include "kasm/program_builder.hh"
+
+namespace hbat::workloads
+{
+
+/** One registered workload. */
+struct Workload
+{
+    const char *name;
+    const char *paperAnalogue;      ///< Table 3 program it models
+    const char *behaviour;          ///< memory-behaviour class
+    void (*build)(kasm::ProgramBuilder &pb, double scale);
+};
+
+/** All workloads, in Table 3 order. */
+const std::vector<Workload> &all();
+
+/** Look up a workload by name; fatal when unknown. */
+const Workload &find(const std::string &name);
+
+/** Build and link @p name under @p budget at @p scale. */
+kasm::Program build(const std::string &name,
+                    const kasm::RegBudget &budget, double scale = 1.0);
+
+/// @name Individual builders (exposed for tests)
+/// @{
+void buildCompress(kasm::ProgramBuilder &pb, double scale);
+void buildDoduc(kasm::ProgramBuilder &pb, double scale);
+void buildEspresso(kasm::ProgramBuilder &pb, double scale);
+void buildGcc(kasm::ProgramBuilder &pb, double scale);
+void buildGhostscript(kasm::ProgramBuilder &pb, double scale);
+void buildMpegPlay(kasm::ProgramBuilder &pb, double scale);
+void buildPerl(kasm::ProgramBuilder &pb, double scale);
+void buildTfft(kasm::ProgramBuilder &pb, double scale);
+void buildTomcatv(kasm::ProgramBuilder &pb, double scale);
+void buildXlisp(kasm::ProgramBuilder &pb, double scale);
+/// @}
+
+} // namespace hbat::workloads
+
+#endif // HBAT_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the Section 2 analytical model: the closed-form equations
+ * and the parameter extraction from measured runs, including the
+ * paper's qualitative predictions (shielding designs reduce t_AT; the
+ * out-of-order core tolerates more exposed latency than the in-order
+ * core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kasm/program_builder.hh"
+#include "sim/at_model.hh"
+#include "tlb/ideal.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+TEST(AtModel, ClosedForm)
+{
+    sim::AtModelParams p;
+    p.fMem = 0.4;
+    p.fShielded = 0.5;
+    p.tStalled = 1.0;
+    p.tTlbHit = 0.0;
+    p.mTlb = 0.01;
+    p.tTlbMiss = 30.0;
+    // t_AT = 0.5 * (1 + 0 + 0.3) = 0.65
+    EXPECT_NEAR(sim::tAt(p), 0.65, 1e-12);
+    // TPI_AT = 0.4 * (1 - 0.75) * 0.65
+    EXPECT_NEAR(sim::tpiAt(p, 0.75), 0.4 * 0.25 * 0.65, 1e-12);
+}
+
+TEST(AtModel, FullShieldingZeroesLatency)
+{
+    sim::AtModelParams p;
+    p.fShielded = 1.0;
+    p.tStalled = 10.0;
+    p.mTlb = 0.5;
+    EXPECT_DOUBLE_EQ(sim::tAt(p), 0.0);
+}
+
+TEST(AtModel, FullToleranceZeroesImpact)
+{
+    sim::AtModelParams p;
+    p.fMem = 0.5;
+    p.tStalled = 4.0;
+    EXPECT_DOUBLE_EQ(sim::tpiAt(p, 1.0), 0.0);
+}
+
+class AtModelMeasured : public ::testing::Test
+{
+  protected:
+    static sim::SimResult
+    runDesign(const kasm::Program &prog, tlb::Design d, bool in_order)
+    {
+        sim::SimConfig cfg;
+        cfg.design = d;
+        cfg.inOrder = in_order;
+        return sim::simulate(prog, cfg);
+    }
+
+    static sim::SimResult
+    runIdeal(const kasm::Program &prog, bool in_order)
+    {
+        sim::SimConfig cfg;
+        cfg.inOrder = in_order;
+        return sim::simulateWithEngine(
+            prog, cfg,
+            [](vm::PageTable &pt) {
+                return std::make_unique<tlb::IdealTlb>(pt);
+            },
+            "ideal");
+    }
+};
+
+TEST_F(AtModelMeasured, ExtractedParametersAreSane)
+{
+    const kasm::Program prog =
+        workloads::build("xlisp", kasm::RegBudget{32, 32}, 0.05);
+    const sim::SimResult r = runDesign(prog, tlb::Design::T1, false);
+    const sim::AtModelParams p = sim::extractModel(r);
+    EXPECT_GT(p.fMem, 0.1);
+    EXPECT_LT(p.fMem, 1.0);
+    EXPECT_GE(p.fShielded, 0.0);
+    EXPECT_LE(p.fShielded, 1.0);
+    EXPECT_GE(p.tStalled, 0.0);
+    EXPECT_GE(p.mTlb, 0.0);
+    EXPECT_LE(p.mTlb, 1.0);
+}
+
+TEST_F(AtModelMeasured, ShieldingDesignReducesTat)
+{
+    const kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 0.1);
+    const auto t1 = sim::extractModel(runDesign(prog, tlb::Design::T1,
+                                                false));
+    const auto m8 = sim::extractModel(runDesign(prog, tlb::Design::M8,
+                                                false));
+    EXPECT_GT(m8.fShielded, 0.8) << "the L1 TLB must shield";
+    EXPECT_LT(sim::tAt(m8), sim::tAt(t1));
+}
+
+TEST_F(AtModelMeasured, OutOfOrderToleratesMoreThanInOrder)
+{
+    const kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 0.1);
+    const sim::SimResult oooT1 = runDesign(prog, tlb::Design::T1,
+                                           false);
+    const sim::SimResult oooIdeal = runIdeal(prog, false);
+    const sim::SimResult inoT1 = runDesign(prog, tlb::Design::T1,
+                                           true);
+    const sim::SimResult inoIdeal = runIdeal(prog, true);
+
+    const double fOoo = sim::impliedFtol(oooT1, oooIdeal);
+    const double fIno = sim::impliedFtol(inoT1, inoIdeal);
+    EXPECT_GT(fOoo, fIno)
+        << "Section 2: latency-tolerating execution raises f_TOL";
+}
+
+TEST_F(AtModelMeasured, MeasuredTpiNonNegativeAndBounded)
+{
+    const kasm::Program prog =
+        workloads::build("compress", kasm::RegBudget{32, 32}, 0.05);
+    const sim::SimResult r = runDesign(prog, tlb::Design::T1, false);
+    const sim::SimResult ideal = runIdeal(prog, false);
+    const double tpi = sim::measuredTpiAt(r, ideal);
+    EXPECT_GE(tpi, 0.0);
+    // TPI_AT cannot exceed the run's whole CPI.
+    EXPECT_LT(tpi, double(r.pipe.cycles) / double(r.pipe.committed));
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit and property tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+TEST(BitOps, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(uint64_t(1) << 63));
+    EXPECT_FALSE(isPowerOfTwo((uint64_t(1) << 63) + 1));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(uint64_t(1) << 63), 63u);
+}
+
+TEST(BitOps, ExactLog2MatchesShift)
+{
+    for (unsigned s = 0; s < 64; ++s)
+        EXPECT_EQ(exactLog2(uint64_t(1) << s), s);
+}
+
+TEST(BitOps, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(64), ~uint64_t(0));
+    EXPECT_EQ(mask(65), ~uint64_t(0));
+}
+
+TEST(BitOps, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xffffffffffffffffULL, 0, 64), ~uint64_t(0));
+}
+
+TEST(BitOps, InsertBitsRoundTrip)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t v = rng.next();
+        const unsigned first = unsigned(rng.below(56));
+        const unsigned count = unsigned(rng.range(1, 63 - first));
+        const uint64_t field = rng.next() & mask(count);
+        const uint64_t w = insertBits(v, first, count, field);
+        EXPECT_EQ(bits(w, first, count), field);
+        // Bits outside the field are untouched.
+        EXPECT_EQ(w & ~(mask(count) << first),
+                  v & ~(mask(count) << first));
+    }
+}
+
+TEST(BitOps, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x7fff, 16), 0x7fff);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x1ff, 9), -1);
+    EXPECT_EQ(signExtend(0xff, 9), 255);
+    EXPECT_EQ(signExtend(uint64_t(-5), 64), -5);
+}
+
+TEST(BitOps, XorFoldWidth)
+{
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t v = rng.next();
+        for (unsigned w = 1; w <= 8; ++w)
+            EXPECT_LT(xorFold(v, w), uint64_t(1) << w);
+    }
+}
+
+TEST(BitOps, XorFoldKnown)
+{
+    // 0b01_10_11 folded to 2 bits: 01 ^ 10 ^ 11 = 00.
+    EXPECT_EQ(xorFold(0b011011, 2), 0u);
+    // 0b01_00_11 -> 01 ^ 00 ^ 11 = 10.
+    EXPECT_EQ(xorFold(0b010011, 2), 0b10u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), c(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), c(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == c.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(4);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 4000.0, 0.5, 0.05);
+}
+
+TEST(Rng, ZeroSeedRemapped)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cache timing-model tests: hit/miss classification, LRU within a
+ * set, write-allocate/write-back behaviour, MSHR-style fill merging,
+ * and geometry checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hh"
+
+namespace
+{
+
+using namespace hbat;
+using cache::CacheAccess;
+using cache::CacheConfig;
+using cache::CacheModel;
+
+CacheConfig
+smallCache()
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;   // 16 sets x 2 ways x 32 B
+    cfg.assoc = 2;
+    cfg.blockBytes = 32;
+    cfg.missLatency = 6;
+    return cfg;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel c(smallCache());
+    const CacheAccess miss = c.access(0x1000, false, 10);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.ready, 16u);
+
+    const CacheAccess hit = c.access(0x1010, false, 20);
+    EXPECT_TRUE(hit.hit) << "same block";
+    EXPECT_EQ(hit.ready, 20u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, MshrMergeWhileFillInFlight)
+{
+    CacheModel c(smallCache());
+    const CacheAccess miss = c.access(0x1000, false, 10);
+    EXPECT_EQ(miss.ready, 16u);
+    // Another access to the same block before the fill completes
+    // merges with the outstanding fill.
+    const CacheAccess merge = c.access(0x1004, false, 12);
+    EXPECT_FALSE(merge.hit);
+    EXPECT_EQ(merge.ready, 16u);
+    EXPECT_EQ(c.stats().mshrMerges, 1u);
+    // After the fill, it's a plain hit.
+    EXPECT_TRUE(c.access(0x1008, false, 16).hit);
+}
+
+TEST(Cache, LruWithinSet)
+{
+    CacheModel c(smallCache());
+    // Three blocks mapping to the same set (stride = 16 sets x 32 B).
+    const PAddr a = 0x0000, b2 = 0x0200, d = 0x0400;
+    c.access(a, false, 1);
+    c.access(b2, false, 2);
+    c.access(a, false, 3);      // refresh a; b2 becomes LRU
+    c.access(d, false, 4);      // evicts b2
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_TRUE(c.contains(d));
+    EXPECT_FALSE(c.contains(b2));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    CacheModel c(smallCache());
+    c.access(0x0000, true, 1);      // dirty
+    c.access(0x0200, false, 2);     // clean, same set
+    c.access(0x0400, false, 10);    // evicts dirty 0x0000
+    c.access(0x0600, false, 11);    // evicts clean 0x0200
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteAllocates)
+{
+    CacheModel c(smallCache());
+    const CacheAccess w = c.access(0x3000, true, 5);
+    EXPECT_FALSE(w.hit);
+    EXPECT_TRUE(c.contains(0x3000));
+    // A later read hits the allocated (and filled) block.
+    EXPECT_TRUE(c.access(0x3000, false, 20).hit);
+}
+
+TEST(Cache, FlushEmptiesEverything)
+{
+    CacheModel c(smallCache());
+    c.access(0x1000, false, 1);
+    c.access(0x2000, true, 2);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_FALSE(c.access(0x1000, false, 30).hit);
+}
+
+TEST(Cache, Table1Geometry)
+{
+    // The baseline 32 KB 2-way 32 B cache has 512 sets.
+    CacheConfig cfg;
+    CacheModel c(cfg);
+    // Fill one set with two blocks; a third evicts.
+    const PAddr stride = 512 * 32;
+    c.access(0, false, 1);
+    c.access(stride, false, 2);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(stride));
+    c.access(2 * stride, false, 3);
+    EXPECT_FALSE(c.contains(0)) << "LRU eviction in the set";
+}
+
+class CacheSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheSweep, SequentialStreamMissRate)
+{
+    // A pure sequential byte stream misses exactly once per block.
+    CacheConfig cfg;
+    cfg.blockBytes = GetParam();
+    CacheModel c(cfg);
+    const unsigned accesses = 4096;
+    for (unsigned i = 0; i < accesses; ++i)
+        c.access(PAddr(i) * 4, false, i);
+    const uint64_t expected = accesses * 4 / cfg.blockBytes;
+    EXPECT_EQ(c.stats().misses, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, CacheSweep,
+                         ::testing::Values(16u, 32u, 64u));
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * TLB-consistency (shootdown) tests: invalidations reach every level
+ * of every design, and multi-level inclusion keeps upper-level probe
+ * traffic to the minimum Section 3.3 promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/design.hh"
+#include "tlb/multilevel.hh"
+#include "tlb/pretranslation.hh"
+#include "vm/page_table.hh"
+
+namespace
+{
+
+using namespace hbat;
+using tlb::Outcome;
+
+tlb::XlateRequest
+req(Vpn vpn, RegIndex base_reg = 5)
+{
+    tlb::XlateRequest r;
+    r.vpn = vpn;
+    r.isLoad = true;
+    r.baseReg = base_reg;
+    return r;
+}
+
+void
+warm(tlb::TranslationEngine &eng, Vpn vpn, Cycle &clock)
+{
+    for (;;) {
+        eng.beginCycle(clock);
+        const Outcome out = eng.request(req(vpn), clock);
+        if (out.kind == Outcome::Kind::Hit)
+            return;
+        if (out.kind == Outcome::Kind::Miss)
+            eng.fill(vpn, clock);
+        ++clock;
+    }
+}
+
+class InvalidateSweep : public ::testing::TestWithParam<tlb::Design>
+{
+};
+
+TEST_P(InvalidateSweep, NextAccessMissesAfterShootdown)
+{
+    vm::PageTable pt;
+    auto eng = tlb::makeEngine(GetParam(), pt, 5);
+    Cycle clock = 0;
+    warm(*eng, 77, clock);
+    warm(*eng, 78, clock);     // a survivor entry
+
+    eng->invalidate(77, clock);
+    EXPECT_EQ(eng->stats().invalidations, 1u);
+
+    // Keep requesting page 77 until the engine answers definitively:
+    // it must be a Miss (the mapping is gone everywhere). Shielded
+    // structures must not serve stale copies either.
+    clock += 4;
+    for (;;) {
+        eng->beginCycle(clock);
+        const Outcome out = eng->request(req(77), clock);
+        if (out.kind == Outcome::Kind::NoPort) {
+            ++clock;
+            continue;
+        }
+        EXPECT_EQ(out.kind, Outcome::Kind::Miss)
+            << tlb::designName(GetParam());
+        break;
+    }
+}
+
+TEST_P(InvalidateSweep, OtherEntriesSurvive)
+{
+    vm::PageTable pt;
+    auto eng = tlb::makeEngine(GetParam(), pt, 5);
+    Cycle clock = 0;
+    warm(*eng, 77, clock);
+    warm(*eng, 78, clock);
+    eng->invalidate(77, clock);
+
+    clock += 4;
+    // Page 78 must still translate without a walk (pretranslation may
+    // first take its base-TLB path; either way, not a Miss).
+    for (;;) {
+        eng->beginCycle(clock);
+        const Outcome out = eng->request(req(78), clock);
+        if (out.kind == Outcome::Kind::NoPort) {
+            ++clock;
+            continue;
+        }
+        EXPECT_EQ(out.kind, Outcome::Kind::Hit)
+            << tlb::designName(GetParam());
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, InvalidateSweep,
+    ::testing::ValuesIn(tlb::allDesigns()),
+    [](const ::testing::TestParamInfo<tlb::Design> &info) {
+        std::string name = tlb::designName(info.param);
+        for (char &c : name)
+            if (!isalnum(c))
+                c = '_';
+        return name;
+    });
+
+TEST(Consistency, InclusionAvoidsL1Probes)
+{
+    // Section 3.3: with inclusion, consistency operations need not
+    // probe the L1 unless the entry is actually present in the L2.
+    vm::PageTable pt;
+    tlb::MultiLevelTlb eng(pt, 8, 4, 128, 3);
+    Cycle clock = 0;
+    warm(eng, 10, clock);
+
+    // Invalidating unknown pages must not touch the L1 at all.
+    for (Vpn v = 100; v < 140; ++v)
+        eng.invalidate(v, clock);
+    EXPECT_EQ(eng.stats().upperProbes, 0u);
+
+    // Invalidating the resident page probes the L1 exactly once.
+    eng.invalidate(10, clock);
+    EXPECT_EQ(eng.stats().upperProbes, 1u);
+    EXPECT_EQ(eng.stats().invalidations, 41u);
+}
+
+TEST(Consistency, PretranslationDropsAffectedAttachment)
+{
+    vm::PageTable pt;
+    tlb::PretranslationTlb eng(pt, 8, 128, 3);
+    Cycle clock = 0;
+    warm(eng, 9, clock);                   // attaches page 9 to r5
+    ASSERT_GE(eng.cachedEntries(), 1u);
+
+    eng.invalidate(9, clock);
+    EXPECT_EQ(eng.cachedEntries(), 0u)
+        << "the attachment aliases the changed mapping";
+}
+
+TEST(Consistency, PretranslationKeepsUnrelatedAttachment)
+{
+    vm::PageTable pt;
+    tlb::PretranslationTlb eng(pt, 8, 128, 3);
+    Cycle clock = 0;
+    warm(eng, 9, clock);
+    clock += 2;
+    // Attach a second page through another register.
+    eng.beginCycle(clock);
+    eng.request(req(9, 6), clock);         // r6 -> page 9 too
+    warm(eng, 20, clock);                  // r5 -> page 20 (re-attach)
+
+    const unsigned before = eng.cachedEntries();
+    eng.invalidate(9, clock);
+    // Only page-9 attachments die; the page-20 one survives.
+    EXPECT_LT(eng.cachedEntries(), before);
+    EXPECT_GE(eng.cachedEntries(), 1u);
+}
+
+} // namespace

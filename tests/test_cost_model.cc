@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cost-model tests: the qualitative orderings the paper's motivation
+ * asserts must hold in the first-order area/latency estimates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/cost_model.hh"
+
+namespace
+{
+
+using namespace hbat;
+using tlb::CostEstimate;
+using tlb::Design;
+using tlb::designCost;
+
+TEST(CostModel, MultiPortAreaGrowsSuperlinearly)
+{
+    const double a1 = designCost(Design::T1).areaRbe;
+    const double a2 = designCost(Design::T2).areaRbe;
+    const double a4 = designCost(Design::T4).areaRbe;
+    EXPECT_LT(a1, a2);
+    EXPECT_LT(a2, a4);
+    // Quadratic port growth: T4 costs more than 4x T1.
+    EXPECT_GT(a4, 4.0 * a1);
+    // ...and the growth accelerates.
+    EXPECT_GT(a4 / a2, a2 / a1);
+}
+
+TEST(CostModel, MultiPortLatencyGrowsWithPorts)
+{
+    EXPECT_LT(designCost(Design::T1).accessLatency,
+              designCost(Design::T2).accessLatency);
+    EXPECT_LT(designCost(Design::T2).accessLatency,
+              designCost(Design::T4).accessLatency);
+}
+
+TEST(CostModel, AlternativesBeatT4Area)
+{
+    const double t4 = designCost(Design::T4).areaRbe;
+    for (Design d : {Design::I4, Design::I8, Design::X4, Design::M16,
+                     Design::M8, Design::M4, Design::P8, Design::PB2,
+                     Design::PB1, Design::I4PB}) {
+        EXPECT_LT(designCost(d).areaRbe, t4)
+            << tlb::designName(d)
+            << " must be cheaper than the 4-ported TLB";
+    }
+}
+
+TEST(CostModel, PiggybackIsNearlyFree)
+{
+    // PB2 adds only comparators and a gate over T2.
+    const CostEstimate t2 = designCost(Design::T2);
+    const CostEstimate pb2 = designCost(Design::PB2);
+    EXPECT_LT(pb2.areaRbe, t2.areaRbe * 1.02);
+    EXPECT_LT(pb2.accessLatency, t2.accessLatency + 0.5);
+}
+
+TEST(CostModel, MultiLevelPortSideIsSmall)
+{
+    // The L1 TLB is the port-side critical path and is much faster
+    // than a 128-entry 4-ported structure; the miss path is longer.
+    const CostEstimate m8 = designCost(Design::M8);
+    const CostEstimate t4 = designCost(Design::T4);
+    EXPECT_LT(m8.accessLatency, t4.accessLatency);
+    EXPECT_GT(m8.missPathLatency, m8.accessLatency);
+}
+
+TEST(CostModel, PretranslationOffCriticalPath)
+{
+    // Section 3.5/5: pretranslation provides the physical page by the
+    // end of decode — the smallest port-side latency of all designs.
+    const double p8 = designCost(Design::P8).accessLatency;
+    for (tlb::Design d : tlb::allDesigns()) {
+        if (d == Design::P8)
+            continue;
+        EXPECT_LT(p8, designCost(d).accessLatency)
+            << tlb::designName(d);
+    }
+}
+
+TEST(CostModel, LargerL1CostsMore)
+{
+    EXPECT_LT(designCost(Design::M4).areaRbe,
+              designCost(Design::M8).areaRbe);
+    EXPECT_LT(designCost(Design::M8).areaRbe,
+              designCost(Design::M16).areaRbe);
+}
+
+TEST(CostModel, ArrayCostMonotonicity)
+{
+    // Property: area grows in every argument; latency in entries/ports.
+    for (unsigned entries : {8u, 32u, 128u}) {
+        for (unsigned ports : {1u, 2u, 4u}) {
+            const CostEstimate c = tlb::arrayCost(entries, ports);
+            EXPECT_LT(c.areaRbe,
+                      tlb::arrayCost(entries * 2, ports).areaRbe);
+            EXPECT_LT(c.areaRbe,
+                      tlb::arrayCost(entries, ports + 1).areaRbe);
+            EXPECT_LE(c.accessLatency,
+                      tlb::arrayCost(entries * 2, ports).accessLatency);
+            EXPECT_LT(c.accessLatency,
+                      tlb::arrayCost(entries, ports + 1).accessLatency);
+        }
+    }
+}
+
+TEST(CostModel, AllDesignsHavePositiveCosts)
+{
+    for (tlb::Design d : tlb::allDesigns()) {
+        const CostEstimate c = designCost(d);
+        EXPECT_GT(c.areaRbe, 0.0) << tlb::designName(d);
+        EXPECT_GT(c.accessLatency, 0.0) << tlb::designName(d);
+        EXPECT_GE(c.missPathLatency, c.accessLatency)
+            << tlb::designName(d);
+    }
+}
+
+} // namespace

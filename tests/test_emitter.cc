@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the low-level Emitter: label binding, branch/jump fixups,
+ * and li constant expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kasm/emitter.hh"
+
+namespace
+{
+
+using namespace hbat;
+using isa::Inst;
+using isa::Opcode;
+using kasm::Emitter;
+using kasm::Label;
+
+TEST(Emitter, HereAdvances)
+{
+    Emitter em(0x1000);
+    EXPECT_EQ(em.here(), 0x1000u);
+    em.emit(Inst{Opcode::Nop, 0, 0, 0, 0});
+    EXPECT_EQ(em.here(), 0x1004u);
+    EXPECT_EQ(em.size(), 1u);
+}
+
+TEST(Emitter, ForwardBranchFixup)
+{
+    Emitter em(0);
+    Label l = em.newLabel();
+    em.emitBranch(Opcode::Beq, 1, 2, l);   // index 0
+    em.emit(Inst{Opcode::Nop, 0, 0, 0, 0});
+    em.bind(l);                            // index 2
+    const auto words = em.finalize();
+    const Inst b = isa::decode(words[0]);
+    // offset = target(2) - (0 + 1) = 1 word.
+    EXPECT_EQ(b.imm, 1);
+}
+
+TEST(Emitter, BackwardJumpFixup)
+{
+    Emitter em(0);
+    Label l = em.newLabel();
+    em.bind(l);                            // index 0
+    em.emit(Inst{Opcode::Nop, 0, 0, 0, 0});
+    em.emitJump(Opcode::J, l);             // index 1
+    const auto words = em.finalize();
+    const Inst j = isa::decode(words[1]);
+    // offset = 0 - (1 + 1) = -2 words.
+    EXPECT_EQ(j.imm, -2);
+}
+
+TEST(Emitter, LabelAddr)
+{
+    Emitter em(0x400000);
+    Label l = em.newLabel();
+    em.emit(Inst{Opcode::Nop, 0, 0, 0, 0});
+    em.bind(l);
+    EXPECT_TRUE(em.bound(l));
+    EXPECT_EQ(em.labelAddr(l), 0x400004u);
+}
+
+TEST(EmitterDeath, UnboundLabelAtFinalize)
+{
+    Emitter em(0);
+    Label l = em.newLabel();
+    em.emitJump(Opcode::J, l);
+    EXPECT_DEATH(em.finalize(), "unresolved label");
+}
+
+TEST(EmitterDeath, DoubleBind)
+{
+    Emitter em(0);
+    Label l = em.newLabel();
+    em.bind(l);
+    EXPECT_DEATH(em.bind(l), "bound twice");
+}
+
+struct LiCase
+{
+    uint32_t value;
+    size_t instructions;
+};
+
+class LiExpansion : public ::testing::TestWithParam<LiCase>
+{
+};
+
+TEST_P(LiExpansion, SizeAndRoundTrip)
+{
+    const LiCase c = GetParam();
+    Emitter em(0);
+    em.li(5, c.value);
+    const auto words = em.finalize();
+    ASSERT_EQ(words.size(), c.instructions);
+
+    // Interpret the expansion manually.
+    uint32_t r5 = 0;
+    for (uint32_t w : words) {
+        const Inst inst = isa::decode(w);
+        switch (inst.op) {
+          case Opcode::Addi:
+            r5 = uint32_t(inst.imm);
+            break;
+          case Opcode::Lui:
+            r5 = uint32_t(inst.imm) << 16;
+            break;
+          case Opcode::Ori:
+            r5 |= uint32_t(inst.imm);
+            break;
+          default:
+            FAIL() << "unexpected op in li expansion";
+        }
+    }
+    EXPECT_EQ(r5, c.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LiExpansion,
+    ::testing::Values(LiCase{0, 1}, LiCase{1, 1}, LiCase{32767, 1},
+                      LiCase{uint32_t(-32768), 1}, LiCase{32768, 2},
+                      LiCase{0x10000, 1},   // LUI only (low half 0)
+                      LiCase{0xdead0000, 1}, LiCase{0xdeadbeef, 2},
+                      LiCase{0xffffffff, 1},    // fits addi -1
+                      LiCase{0x00408000, 2}));
+
+} // namespace

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Functional-core semantics: a parameterized sweep of small
+ * hand-encoded programs checking every instruction class, including
+ * arithmetic edge cases, sign extension, the extended addressing
+ * modes, control flow, and FP conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/func_core.hh"
+#include "kasm/emitter.hh"
+#include "vm/address_space.hh"
+
+namespace
+{
+
+using namespace hbat;
+using isa::Inst;
+using isa::Opcode;
+
+/** Build a program from raw instructions and run it to halt. */
+class Machine
+{
+  public:
+    explicit Machine(std::vector<Inst> insts)
+    {
+        insts.push_back(Inst{Opcode::Halt, 0, 0, 0, 0});
+        kasm::Program prog;
+        prog.name = "test";
+        for (const Inst &inst : insts)
+            prog.text.push_back(isa::encode(inst));
+        space.load(prog);
+        core = std::make_unique<cpu::FuncCore>(space, prog);
+        while (!core->halted())
+            trace.push_back(core->step());
+    }
+
+    RegVal r(RegIndex i) const { return core->intReg(i); }
+    double f(RegIndex i) const { return core->fpReg(i); }
+
+    vm::AddressSpace space;
+    std::unique_ptr<cpu::FuncCore> core;
+    std::vector<cpu::DynInst> trace;
+};
+
+/** li expansion helper for test programs. */
+void
+li(std::vector<Inst> &code, RegIndex rd, uint32_t v)
+{
+    code.push_back(Inst{Opcode::Lui, rd, 0, 0, int32_t(v >> 16)});
+    code.push_back(Inst{Opcode::Ori, rd, rd, 0, int32_t(v & 0xffff)});
+}
+
+struct AluCase
+{
+    const char *name;
+    Opcode op;
+    uint32_t a, b;
+    uint32_t expect;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluSemantics, RegisterRegister)
+{
+    const AluCase c = GetParam();
+    std::vector<Inst> code;
+    li(code, 4, c.a);
+    li(code, 5, c.b);
+    code.push_back(Inst{c.op, 6, 4, 5, 0});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(6), c.expect) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AluSemantics,
+    ::testing::Values(
+        AluCase{"add", Opcode::Add, 2, 3, 5},
+        AluCase{"add_wrap", Opcode::Add, 0xffffffff, 1, 0},
+        AluCase{"sub", Opcode::Sub, 3, 5, uint32_t(-2)},
+        AluCase{"mul", Opcode::Mul, 7, 6, 42},
+        AluCase{"mul_wrap", Opcode::Mul, 0x10000, 0x10000, 0},
+        AluCase{"div", Opcode::Div, uint32_t(-12), 4, uint32_t(-3)},
+        AluCase{"div_zero", Opcode::Div, 5, 0, 0},
+        AluCase{"div_overflow", Opcode::Div, 0x80000000u,
+                uint32_t(-1), 0x80000000u},
+        AluCase{"divu", Opcode::Divu, 0xfffffffeu, 2, 0x7fffffffu},
+        AluCase{"rem", Opcode::Rem, uint32_t(-7), 3, uint32_t(-1)},
+        AluCase{"rem_zero", Opcode::Rem, 5, 0, 0},
+        AluCase{"remu", Opcode::Remu, 7, 3, 1},
+        AluCase{"and", Opcode::And, 0xff00ff00u, 0x0ff00ff0u,
+                0x0f000f00u},
+        AluCase{"or", Opcode::Or, 0xf0f0f0f0u, 0x0f0f0f0fu,
+                0xffffffffu},
+        AluCase{"xor", Opcode::Xor, 0xaaaa5555u, 0xffffffffu,
+                0x5555aaaau},
+        AluCase{"nor", Opcode::Nor, 0xf0f0f0f0u, 0x0f0f0f00u,
+                0x0000000fu},
+        AluCase{"sll", Opcode::Sll, 1, 31, 0x80000000u},
+        AluCase{"sll_mod32", Opcode::Sll, 1, 33, 2},
+        AluCase{"srl", Opcode::Srl, 0x80000000u, 31, 1},
+        AluCase{"sra_neg", Opcode::Sra, 0x80000000u, 31,
+                0xffffffffu},
+        AluCase{"slt_true", Opcode::Slt, uint32_t(-1), 0, 1},
+        AluCase{"slt_false", Opcode::Slt, 1, 0, 0},
+        AluCase{"sltu", Opcode::Sltu, uint32_t(-1), 0, 0}),
+    [](const ::testing::TestParamInfo<AluCase> &info) {
+        return info.param.name;
+    });
+
+TEST(FuncCore, ImmediateOps)
+{
+    std::vector<Inst> code;
+    li(code, 4, 100);
+    code.push_back(Inst{Opcode::Addi, 5, 4, 0, -30});
+    code.push_back(Inst{Opcode::Andi, 6, 4, 0, 0x6c});
+    code.push_back(Inst{Opcode::Ori, 7, 4, 0, 3});
+    code.push_back(Inst{Opcode::Xori, 8, 4, 0, 0xff});
+    code.push_back(Inst{Opcode::Slli, 9, 4, 0, 4});
+    code.push_back(Inst{Opcode::Srai, 10, 4, 0, 2});
+    code.push_back(Inst{Opcode::Slti, 11, 4, 0, 101});
+    code.push_back(Inst{Opcode::Sltiu, 12, 4, 0, 100});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(5), 70u);
+    EXPECT_EQ(m.r(6), 100u & 0x6c);
+    EXPECT_EQ(m.r(7), 103u);
+    EXPECT_EQ(m.r(8), 100u ^ 0xff);
+    EXPECT_EQ(m.r(9), 1600u);
+    EXPECT_EQ(m.r(10), 25u);
+    EXPECT_EQ(m.r(11), 1u);
+    EXPECT_EQ(m.r(12), 0u);
+}
+
+TEST(FuncCore, ZeroRegisterIsImmutable)
+{
+    std::vector<Inst> code;
+    code.push_back(Inst{Opcode::Addi, 0, 0, 0, 55});
+    code.push_back(Inst{Opcode::Addi, 5, 0, 0, 7});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(0), 0u);
+    EXPECT_EQ(m.r(5), 7u);
+}
+
+TEST(FuncCore, LoadStoreSizesAndSignExtension)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x10000);                       // base
+    li(code, 5, 0xfedcba98);
+    code.push_back(Inst{Opcode::Sw, 5, 4, 0, 0});
+    code.push_back(Inst{Opcode::Lb, 6, 4, 0, 0});    // 0x98 -> neg
+    code.push_back(Inst{Opcode::Lbu, 7, 4, 0, 0});
+    code.push_back(Inst{Opcode::Lh, 8, 4, 0, 0});    // 0xba98 -> neg
+    code.push_back(Inst{Opcode::Lhu, 9, 4, 0, 0});
+    code.push_back(Inst{Opcode::Lw, 10, 4, 0, 0});
+    code.push_back(Inst{Opcode::Sb, 5, 4, 0, 8});
+    code.push_back(Inst{Opcode::Lbu, 11, 4, 0, 8});
+    code.push_back(Inst{Opcode::Sh, 5, 4, 0, 12});
+    code.push_back(Inst{Opcode::Lhu, 12, 4, 0, 12});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(6), uint32_t(int32_t(int8_t(0x98))));
+    EXPECT_EQ(m.r(7), 0x98u);
+    EXPECT_EQ(m.r(8), uint32_t(int32_t(int16_t(0xba98))));
+    EXPECT_EQ(m.r(9), 0xba98u);
+    EXPECT_EQ(m.r(10), 0xfedcba98u);
+    EXPECT_EQ(m.r(11), 0x98u);
+    EXPECT_EQ(m.r(12), 0xba98u);
+}
+
+TEST(FuncCore, RegisterPlusRegisterAddressing)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x10000);
+    li(code, 5, 0x24);
+    li(code, 6, 1234);
+    code.push_back(Inst{Opcode::Swx, 6, 4, 5, 0});
+    code.push_back(Inst{Opcode::Lwx, 7, 4, 5, 0});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.space.read32(0x10024), 1234u);
+    EXPECT_EQ(m.r(7), 1234u);
+}
+
+TEST(FuncCore, PostIncrementAndDecrement)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x10000);
+    li(code, 5, 7);
+    code.push_back(Inst{Opcode::Swpi, 5, 4, 0, 4});   // M[0x10000]=7
+    code.push_back(Inst{Opcode::Swpi, 5, 4, 0, 4});   // M[0x10004]=7
+    code.push_back(Inst{Opcode::Lwpi, 6, 4, 0, -4});  // reads 0x10008
+    Machine m(std::move(code));
+    EXPECT_EQ(m.space.read32(0x10000), 7u);
+    EXPECT_EQ(m.space.read32(0x10004), 7u);
+    EXPECT_EQ(m.r(4), 0x10004u) << "post-inc then post-dec";
+    EXPECT_EQ(m.r(6), 0u);
+}
+
+TEST(FuncCore, BranchesAndJumps)
+{
+    // if (r4 < r5) r6 = 1; else r6 = 2;  via blt
+    std::vector<Inst> code;
+    li(code, 4, 3);
+    li(code, 5, 9);
+    code.push_back(Inst{Opcode::Blt, 0, 4, 5, 2});   // skip 2
+    code.push_back(Inst{Opcode::Addi, 6, 0, 0, 2});
+    code.push_back(Inst{Opcode::J, 0, 0, 0, 1});     // skip 1
+    code.push_back(Inst{Opcode::Addi, 6, 0, 0, 1});
+    code.push_back(Inst{Opcode::Addi, 7, 6, 0, 10});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(6), 1u);
+    EXPECT_EQ(m.r(7), 11u);
+}
+
+TEST(FuncCore, JalAndJr)
+{
+    // jal to a "function" that adds; return via jr ra.
+    std::vector<Inst> code;
+    li(code, 4, 5);                                  // 0,1
+    code.push_back(Inst{Opcode::Jal, 0, 0, 0, 2});   // 2 -> idx 5
+    code.push_back(Inst{Opcode::Addi, 6, 4, 0, 1});  // 3 (after ret)
+    code.push_back(Inst{Opcode::J, 0, 0, 0, 2});     // 4 -> halt
+    code.push_back(Inst{Opcode::Addi, 4, 4, 0, 100}); // 5: callee
+    code.push_back(Inst{Opcode::Jr, 0, 31, 0, 0});   // 6: return
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(4), 105u);
+    EXPECT_EQ(m.r(6), 106u);
+}
+
+TEST(FuncCore, FpArithmeticAndConversion)
+{
+    std::vector<Inst> code;
+    li(code, 4, 7);
+    li(code, 5, 2);
+    code.push_back(Inst{Opcode::Fcvtif, 1, 4, 0, 0});    // f1 = 7.0
+    code.push_back(Inst{Opcode::Fcvtif, 2, 5, 0, 0});    // f2 = 2.0
+    code.push_back(Inst{Opcode::Fadd, 3, 1, 2, 0});
+    code.push_back(Inst{Opcode::Fsub, 4, 1, 2, 0});
+    code.push_back(Inst{Opcode::Fmul, 5, 1, 2, 0});
+    code.push_back(Inst{Opcode::Fdiv, 6, 1, 2, 0});
+    code.push_back(Inst{Opcode::Fneg, 7, 1, 0, 0});
+    code.push_back(Inst{Opcode::Fabs, 8, 7, 0, 0});
+    code.push_back(Inst{Opcode::Fcvtfi, 10, 6, 0, 0});   // trunc 3.5
+    code.push_back(Inst{Opcode::Fclt, 11, 2, 1, 0});
+    code.push_back(Inst{Opcode::Fceq, 12, 1, 1, 0});
+    Machine m(std::move(code));
+    EXPECT_DOUBLE_EQ(m.f(3), 9.0);
+    EXPECT_DOUBLE_EQ(m.f(4), 5.0);
+    EXPECT_DOUBLE_EQ(m.f(5), 14.0);
+    EXPECT_DOUBLE_EQ(m.f(6), 3.5);
+    EXPECT_DOUBLE_EQ(m.f(7), -7.0);
+    EXPECT_DOUBLE_EQ(m.f(8), 7.0);
+    EXPECT_EQ(m.r(10), 3u);
+    EXPECT_EQ(m.r(11), 1u);
+    EXPECT_EQ(m.r(12), 1u);
+}
+
+TEST(FuncCore, FpLoadsAndStores)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x10000);
+    li(code, 5, 3);
+    code.push_back(Inst{Opcode::Fcvtif, 1, 5, 0, 0});
+    code.push_back(Inst{Opcode::Sdf, 1, 4, 0, 8});
+    code.push_back(Inst{Opcode::Ldf, 2, 4, 0, 8});
+    code.push_back(Inst{Opcode::Sdfpi, 2, 4, 0, 8});
+    code.push_back(Inst{Opcode::Ldfpi, 3, 4, 0, 8});
+    Machine m(std::move(code));
+    EXPECT_DOUBLE_EQ(m.f(2), 3.0);
+    EXPECT_DOUBLE_EQ(m.f(3), 3.0) << "read back what sdfpi wrote";
+    EXPECT_EQ(m.r(4), 0x10010u);
+}
+
+TEST(FuncCore, FcvtfiSaturates)
+{
+    std::vector<Inst> code;
+    li(code, 4, 1);
+    code.push_back(Inst{Opcode::Fcvtif, 1, 4, 0, 0});    // 1.0
+    // Build a huge value: f2 = 1e300-ish via repeated multiply.
+    code.push_back(Inst{Opcode::Fadd, 2, 1, 1, 0});      // 2.0
+    for (int i = 0; i < 12; ++i)
+        code.push_back(Inst{Opcode::Fmul, 2, 2, 2, 0});
+    code.push_back(Inst{Opcode::Fcvtfi, 5, 2, 0, 0});
+    code.push_back(Inst{Opcode::Fneg, 3, 2, 0, 0});
+    code.push_back(Inst{Opcode::Fcvtfi, 6, 3, 0, 0});
+    Machine m(std::move(code));
+    EXPECT_EQ(int32_t(m.r(5)), INT32_MAX);
+    EXPECT_EQ(int32_t(m.r(6)), INT32_MIN);
+}
+
+TEST(FuncCore, DynInstRecordsMemoryMetadata)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x12345000);
+    code.push_back(Inst{Opcode::Lw, 6, 4, 0, 0x1abc});
+    Machine m(std::move(code));
+    const cpu::DynInst &ld = m.trace[m.trace.size() - 2];
+    EXPECT_TRUE(ld.isLoad);
+    EXPECT_EQ(ld.effAddr, 0x12345000u + 0x1abc);
+    EXPECT_EQ(ld.memSize, 4u);
+    EXPECT_EQ(ld.baseReg, 4);
+    EXPECT_EQ(ld.offsetHigh, (0x1abc >> 12) & 0xf);
+}
+
+TEST(FuncCore, DynInstBranchMetadata)
+{
+    std::vector<Inst> code;
+    code.push_back(Inst{Opcode::Beq, 0, 0, 0, 1});   // always taken
+    code.push_back(Inst{Opcode::Addi, 5, 0, 0, 9});  // skipped
+    Machine m(std::move(code));
+    EXPECT_EQ(m.r(5), 0u);
+    const cpu::DynInst &br = m.trace[0];
+    EXPECT_TRUE(br.isBranch);
+    EXPECT_TRUE(br.taken);
+    EXPECT_EQ(br.nextPc, br.pc + 8);
+}
+
+TEST(FuncCore, StoreDataSourceIndex)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x10000);
+    li(code, 5, 77);
+    code.push_back(Inst{Opcode::Sw, 5, 4, 0, 0});
+    code.push_back(Inst{Opcode::Sw, 0, 4, 0, 4});   // store zero
+    Machine m(std::move(code));
+    const cpu::DynInst &sw1 = m.trace[m.trace.size() - 3];
+    ASSERT_TRUE(sw1.isStore);
+    ASSERT_GE(sw1.dataSrc, 0);
+    EXPECT_EQ(sw1.srcs[sw1.dataSrc], 5);
+    const cpu::DynInst &sw2 = m.trace[m.trace.size() - 2];
+    EXPECT_EQ(sw2.dataSrc, -1) << "zero-register data has no producer";
+}
+
+TEST(FuncCore, CountsArchitecturalEvents)
+{
+    std::vector<Inst> code;
+    li(code, 4, 0x10000);
+    code.push_back(Inst{Opcode::Sw, 0, 4, 0, 0});
+    code.push_back(Inst{Opcode::Lw, 5, 4, 0, 0});
+    code.push_back(Inst{Opcode::Beq, 0, 5, 0, 0});
+    Machine m(std::move(code));
+    EXPECT_EQ(m.core->stats().loads, 1u);
+    EXPECT_EQ(m.core->stats().stores, 1u);
+    EXPECT_EQ(m.core->stats().branches, 1u);
+    EXPECT_EQ(m.core->stats().takenBranches, 1u);
+    EXPECT_EQ(m.core->stats().instructions, m.trace.size());
+}
+
+} // namespace

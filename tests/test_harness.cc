@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the experiment harness: argument parsing, sweep shape,
+ * and the run-time-weighted normalization used by every figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+TEST(Harness, ParseArgsDefaults)
+{
+    const char *argv[] = {"bench"};
+    const bench::ExperimentConfig cfg = bench::parseArgs(
+        1, const_cast<char **>(argv), bench::ExperimentConfig{});
+    EXPECT_DOUBLE_EQ(cfg.scale, 1.0);
+    EXPECT_EQ(cfg.pageBytes, 4096u);
+    EXPECT_FALSE(cfg.inOrder);
+    EXPECT_TRUE(cfg.programs.empty());
+}
+
+TEST(Harness, ParseArgsOverrides)
+{
+    const char *argv[] = {"bench", "--scale", "0.25", "--program",
+                          "xlisp", "--program", "perl", "--seed",
+                          "99"};
+    const bench::ExperimentConfig cfg = bench::parseArgs(
+        9, const_cast<char **>(argv), bench::ExperimentConfig{});
+    EXPECT_DOUBLE_EQ(cfg.scale, 0.25);
+    ASSERT_EQ(cfg.programs.size(), 2u);
+    EXPECT_EQ(cfg.programs[0], "xlisp");
+    EXPECT_EQ(cfg.programs[1], "perl");
+    EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(HarnessDeath, UnknownFlag)
+{
+    const char *argv[] = {"bench", "--bogus"};
+    EXPECT_EXIT(bench::parseArgs(2, const_cast<char **>(argv),
+                                 bench::ExperimentConfig{}),
+                ::testing::ExitedWithCode(1), "unknown argument");
+}
+
+TEST(Harness, SweepShapeAndNormalization)
+{
+    bench::ExperimentConfig cfg;
+    cfg.scale = 0.02;
+    cfg.programs = {"espresso", "doduc"};
+    const std::vector<tlb::Design> designs = {tlb::Design::T4,
+                                              tlb::Design::T1};
+    const bench::Sweep sweep = bench::runDesignSweep(cfg, designs);
+
+    ASSERT_EQ(sweep.programs.size(), 2u);
+    ASSERT_EQ(sweep.cells.size(), 4u);
+    EXPECT_EQ(sweep.cell(0, 0).program, "espresso");
+    EXPECT_EQ(sweep.cell(0, 0).design, tlb::Design::T4);
+    EXPECT_EQ(sweep.cell(1, 1).program, "doduc");
+    EXPECT_EQ(sweep.cell(1, 1).design, tlb::Design::T1);
+
+    // Every cell ran the same committed work for its program.
+    EXPECT_EQ(sweep.cell(0, 0).result.pipe.committed,
+              sweep.cell(0, 1).result.pipe.committed);
+    // T1 can never beat T4.
+    EXPECT_LE(sweep.cell(0, 1).result.ipc(),
+              sweep.cell(0, 0).result.ipc() + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * ISA tests: opcode metadata invariants, binary encode/decode
+ * round-trips for every opcode (property-style sweep), and the
+ * disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/isa.hh"
+
+namespace
+{
+
+using namespace hbat;
+using isa::Inst;
+using isa::Opcode;
+using isa::RC;
+
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> ops;
+    for (int i = 0; i < isa::kNumOpcodes; ++i)
+        ops.push_back(Opcode(i));
+    return ops;
+}
+
+class OpcodeSweep : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(OpcodeSweep, MetadataInvariants)
+{
+    const Opcode op = GetParam();
+    const isa::OpInfo &info = isa::opInfo(op);
+
+    ASSERT_NE(info.name, nullptr);
+    EXPECT_GT(std::string(info.name).size(), 0u);
+
+    // Memory properties are consistent.
+    EXPECT_EQ(info.isLoad || info.isStore, info.memSize != 0);
+    if (info.isLoad || info.isStore) {
+        EXPECT_EQ(info.fu, isa::FuClass::MemPort);
+        EXPECT_EQ(info.rs1Class, RC::Int) << "base must be integer";
+    }
+    EXPECT_FALSE(info.isLoad && info.isStore);
+
+    // Stores carry their data in the rd field.
+    if (info.isStore)
+        EXPECT_TRUE(info.rdIsSource);
+    if (info.rdIsSource)
+        EXPECT_TRUE(info.isStore);
+
+    // Post-increment ops write their (integer) base register.
+    if (info.writesBase) {
+        EXPECT_TRUE(info.isLoad || info.isStore);
+        EXPECT_EQ(info.rs1Class, RC::Int);
+    }
+
+    // Control flow is exclusive.
+    EXPECT_FALSE(info.isBranch && info.isJump);
+    if (info.isBranch) {
+        EXPECT_EQ(info.rs1Class, RC::Int);
+        EXPECT_EQ(info.rs2Class, RC::Int);
+        EXPECT_EQ(info.rdClass, RC::None);
+    }
+
+    // Pointer propagation only makes sense for integer results.
+    if (info.propagatesPointer) {
+        EXPECT_EQ(info.rdClass, RC::Int);
+        EXPECT_FALSE(info.rdIsSource);
+    }
+}
+
+TEST_P(OpcodeSweep, EncodeDecodeRoundTrip)
+{
+    const Opcode op = GetParam();
+    const isa::OpInfo &info = isa::opInfo(op);
+    Rng rng(uint64_t(op) + 100);
+
+    for (int trial = 0; trial < 64; ++trial) {
+        Inst inst;
+        inst.op = op;
+        if (info.rdClass != RC::None)
+            inst.rd = RegIndex(rng.below(32));
+        if (info.rs1Class != RC::None)
+            inst.rs1 = RegIndex(rng.below(32));
+        if (info.rs2Class != RC::None)
+            inst.rs2 = RegIndex(rng.below(32));
+
+        // Choose an in-range immediate for the op's format.
+        switch (op) {
+          case Opcode::Slli:
+          case Opcode::Srli:
+          case Opcode::Srai:
+            inst.imm = int32_t(rng.below(32));
+            break;
+          case Opcode::Andi:
+          case Opcode::Ori:
+          case Opcode::Xori:
+          case Opcode::Lui:
+            inst.imm = int32_t(rng.below(65536));
+            break;
+          case Opcode::J:
+          case Opcode::Jal:
+            inst.imm = int32_t(rng.range(0, (1u << 25) - 1)) -
+                       (1 << 24);
+            break;
+          default:
+            if (info.isLoad || info.isStore || info.isBranch ||
+                (info.rs1Class != RC::None &&
+                 info.rs2Class == RC::None && !info.isJump &&
+                 op != Opcode::Jr && op != Opcode::Jalr &&
+                 info.rdClass != RC::None && info.fu ==
+                     isa::FuClass::IntAlu)) {
+                // Only I-format ops take immediates; R-format ops
+                // must keep imm == 0.
+                if (op == Opcode::Lwx || op == Opcode::Swx ||
+                    op == Opcode::Ldfx || op == Opcode::Sdfx) {
+                    inst.imm = 0;
+                } else if (info.isLoad || info.isStore ||
+                           info.isBranch) {
+                    inst.imm = int32_t(rng.range(0, 65535)) - 32768;
+                } else if (op == Opcode::Addi || op == Opcode::Slti ||
+                           op == Opcode::Sltiu) {
+                    inst.imm = int32_t(rng.range(0, 65535)) - 32768;
+                }
+            }
+            break;
+        }
+
+        const uint32_t word = isa::encode(inst);
+        const Inst back = isa::decode(word);
+        EXPECT_EQ(back.op, inst.op) << isa::opName(op);
+        if (info.rdClass != RC::None)
+            EXPECT_EQ(back.rd, inst.rd) << isa::opName(op);
+        if (info.rs1Class != RC::None)
+            EXPECT_EQ(back.rs1, inst.rs1) << isa::opName(op);
+        if (info.rs2Class != RC::None)
+            EXPECT_EQ(back.rs2, inst.rs2) << isa::opName(op);
+        EXPECT_EQ(back.imm, inst.imm) << isa::opName(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeSweep, ::testing::ValuesIn(allOpcodes()),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        std::string name = isa::opName(info.param);
+        for (char &c : name)
+            if (!isalnum(c))
+                c = '_';
+        return name;
+    });
+
+TEST(IsaEncode, DistinctEncodings)
+{
+    // Any two distinct (op, operands) pairs must encode differently.
+    std::vector<uint32_t> words;
+    for (Opcode op : allOpcodes()) {
+        Inst inst;
+        inst.op = op;
+        words.push_back(isa::encode(inst));
+    }
+    std::sort(words.begin(), words.end());
+    EXPECT_EQ(std::adjacent_find(words.begin(), words.end()),
+              words.end());
+}
+
+TEST(IsaEncodeDeath, ImmediateOutOfRange)
+{
+    Inst inst;
+    inst.op = Opcode::Addi;
+    inst.imm = 40000;
+    EXPECT_DEATH(isa::encode(inst), "out of signed16");
+}
+
+TEST(IsaEncodeDeath, ShiftOutOfRange)
+{
+    Inst inst;
+    inst.op = Opcode::Slli;
+    inst.imm = 32;
+    EXPECT_DEATH(isa::encode(inst), "out of range");
+}
+
+TEST(IsaDecodeDeath, IllegalMajor)
+{
+    EXPECT_DEATH(isa::decode(0xffffffffu), "illegal");
+}
+
+TEST(IsaDisasm, Samples)
+{
+    EXPECT_EQ(isa::disassemble(Inst{Opcode::Add, 2, 4, 5, 0}),
+              "add    rv, a0, a1");
+    EXPECT_EQ(isa::disassemble(Inst{Opcode::Lw, 8, 29, 0, 16}),
+              "lw     r8, 16(sp)");
+    EXPECT_EQ(isa::disassemble(Inst{Opcode::Lwpi, 8, 9, 0, 4}),
+              "lwpi   r8, (r9)+=4");
+    EXPECT_EQ(isa::disassemble(Inst{Opcode::Lwx, 8, 9, 10, 0}),
+              "lwx    r8, (r9+r10)");
+    EXPECT_EQ(isa::disassemble(Inst{Opcode::Fadd, 1, 2, 3, 0}),
+              "fadd   f1, f2, f3");
+    EXPECT_EQ(isa::disassemble(Inst{Opcode::Halt, 0, 0, 0, 0}),
+              "halt");
+}
+
+TEST(IsaDisasm, BranchTarget)
+{
+    // beq at pc 0x1000 with offset +4 words -> target 0x1014.
+    const std::string s =
+        isa::disassemble(Inst{Opcode::Beq, 0, 1, 2, 4}, 0x1000);
+    EXPECT_NE(s.find("0x1014"), std::string::npos) << s;
+}
+
+TEST(IsaRegNames, Conventions)
+{
+    EXPECT_STREQ(isa::intRegName(0), "zero");
+    EXPECT_STREQ(isa::intRegName(29), "sp");
+    EXPECT_STREQ(isa::intRegName(31), "ra");
+    EXPECT_STREQ(isa::fpRegName(0), "f0");
+    EXPECT_STREQ(isa::fpRegName(31), "f31");
+}
+
+} // namespace

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Timing-pipeline tests: latency/bandwidth properties of the 8-way
+ * out-of-order and in-order models — load-use latency, cache-port and
+ * issue-width limits, misprediction penalties, the 30-cycle TLB miss
+ * handler, store-to-load forwarding, and model-level orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/pipeline.hh"
+#include "kasm/program_builder.hh"
+#include "tlb/design.hh"
+#include "tlb/multiported.hh"
+#include "vm/address_space.hh"
+
+namespace
+{
+
+using namespace hbat;
+using kasm::ProgramBuilder;
+using kasm::VLabel;
+using kasm::VReg;
+
+struct RunResult
+{
+    cpu::PipeStats stats;
+};
+
+RunResult
+run(const kasm::Program &prog, bool in_order = false,
+    tlb::Design design = tlb::Design::T4)
+{
+    vm::AddressSpace space;
+    space.load(prog);
+    cpu::FuncCore core(space, prog);
+    auto eng = tlb::makeEngine(design, space.pageTable(), 1);
+    cpu::PipeConfig cfg;
+    cfg.inOrder = in_order;
+    cpu::Pipeline pipe(cfg, core, *eng, space.params());
+    return RunResult{pipe.run()};
+}
+
+/** A tight loop of @p body_reps independent adds. */
+kasm::Program
+aluLoop(int body_reps, uint32_t iters)
+{
+    ProgramBuilder pb("aluloop");
+    auto &b = pb.code();
+    VReg acc[8];
+    for (auto &a : acc) {
+        a = b.vint();
+        b.li(a, 1);
+    }
+    VReg i = b.vint();
+    b.forLoop(i, iters, [&] {
+        for (int k = 0; k < body_reps; ++k)
+            b.add(acc[k % 8], acc[k % 8], i);
+    });
+    b.halt();
+    return pb.link();
+}
+
+TEST(Pipeline, WideIssueOnIndependentWork)
+{
+    const RunResult r = run(aluLoop(16, 400));
+    EXPECT_GT(r.stats.ipc(), 5.0) << "8-wide core on parallel adds";
+    EXPECT_LE(r.stats.ipc(), 8.0);
+}
+
+TEST(Pipeline, SerialChainRunsAtOnePerCycle)
+{
+    // A fully serial add chain cannot exceed IPC ~1 + loop overhead.
+    ProgramBuilder pb("chain");
+    auto &b = pb.code();
+    VReg a = b.vint(), i = b.vint();
+    b.li(a, 0);
+    b.forLoop(i, 500, [&] {
+        for (int k = 0; k < 16; ++k)
+            b.add(a, a, i);
+    });
+    b.halt();
+    const RunResult r = run(pb.link());
+    EXPECT_LT(r.stats.ipc(), 1.5);
+    EXPECT_GT(r.stats.ipc(), 0.8);
+}
+
+TEST(Pipeline, LoadUseLatencyIsTwoCycles)
+{
+    // Serial pointer-chase through a one-page cyclic list measures
+    // the 2-cycle load-use latency (plus ~nothing else, all hits).
+    ProgramBuilder pb("chase");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(4096, 8);
+
+    // Build a 4-element cycle in memory at runtime.
+    VReg p = b.vint(), t = b.vint();
+    b.li(p, uint32_t(buf));
+    for (int k = 0; k < 4; ++k) {
+        b.li(t, uint32_t(buf + ((k + 1) % 4) * 64));
+        b.sw(t, p, int32_t(k * 64));
+    }
+    VReg i = b.vint();
+    VReg node = b.vint();
+    b.li(node, uint32_t(buf));
+    b.forLoop(i, 300, [&] { b.lw(node, node, 0); });
+    b.halt();
+
+    const RunResult r = run(pb.link());
+    // Each iteration: lw (2-cycle chain) dominates; addi+bge+j overlap.
+    const double cyclesPerIter = double(r.stats.cycles) / 300.0;
+    EXPECT_GE(cyclesPerIter, 2.0);
+    EXPECT_LE(cyclesPerIter, 3.2);
+}
+
+TEST(Pipeline, CachePortsBoundLoadBandwidth)
+{
+    // 8 independent loads per iteration, all cache hits: limited by
+    // the 4 cache ports, not by issue width.
+    ProgramBuilder pb("ldbw");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(4096, 8);
+    VReg base = b.vint(), i = b.vint();
+    VReg d[8];
+    for (auto &x : d)
+        x = b.vint();
+    b.li(base, uint32_t(buf));
+    b.forLoop(i, 400, [&] {
+        for (int k = 0; k < 8; ++k)
+            b.lw(d[k], base, k * 4);
+    });
+    b.halt();
+    const RunResult r = run(pb.link());
+    const double loadsPerCycle =
+        double(r.stats.committedLoads) / double(r.stats.cycles);
+    EXPECT_GT(loadsPerCycle, 2.5);
+    EXPECT_LE(loadsPerCycle, 4.0) << "four D-cache ports";
+}
+
+TEST(Pipeline, MispredictionCostsPipelineRefill)
+{
+    // A data-dependent unpredictable branch per iteration vs. a
+    // perfectly biased one.
+    auto build = [](bool random_branch) {
+        ProgramBuilder pb("br");
+        auto &b = pb.code();
+        VReg i = b.vint(), seed = b.vint(), t = b.vint();
+        VReg sum = b.vint();
+        b.li(seed, 12345);
+        b.li(sum, 0);
+        b.forLoop(i, 2000, [&] {
+            VLabel skip = pb.code().label();
+            if (random_branch) {
+                VReg k = pb.code().vint();
+                b.li(k, 1103515245u);
+                b.mul(seed, seed, k);
+                b.addi(seed, seed, 12345);
+                b.srli(t, seed, 16);
+                b.andi(t, t, 1);
+            } else {
+                b.li(t, 0);
+            }
+            b.bnez(t, skip);
+            b.addi(sum, sum, 1);
+            b.bind(skip);
+            b.addi(sum, sum, 2);
+        });
+        b.halt();
+        return pb.link();
+    };
+    const RunResult biased = run(build(false));
+    const RunResult random = run(build(true));
+    const double biasedRate = biased.stats.predictor.rate();
+    const double randomRate = random.stats.predictor.rate();
+    EXPECT_GT(biasedRate, 0.98);
+    EXPECT_LT(randomRate, 0.80);
+    EXPECT_GT(random.stats.mispredicts, 400u);
+}
+
+TEST(Pipeline, TlbMissCostsHandlerLatency)
+{
+    // Touch 64 distinct pages twice. First touches must each pay the
+    // ~30-cycle handler; second touches hit the 128-entry TLB.
+    ProgramBuilder pb("tlbmiss");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(64 * 4096, 4096);
+    VReg p = b.vint(), v = b.vint(), i = b.vint();
+    for (int pass = 0; pass < 2; ++pass) {
+        b.li(p, uint32_t(buf));
+        b.forLoop(i, 64, [&] {
+            b.lw(v, p, 0);
+            b.addk(p, p, 4096);
+        });
+    }
+    b.halt();
+    const RunResult r = run(pb.link());
+    EXPECT_EQ(r.stats.tlbWalks, 64u);
+    EXPECT_GT(r.stats.cycles, 64u * 30u);
+}
+
+TEST(Pipeline, StoreToLoadForwardingBeatsCacheMiss)
+{
+    // A load that reads the exact bytes of an in-flight store
+    // completes without waiting for the store's block to be fetched.
+    ProgramBuilder pb("fwd");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(1u << 20, 64);
+    VReg p = b.vint(), v = b.vint(), w = b.vint(), i = b.vint();
+    b.li(p, uint32_t(buf));
+    b.li(v, 5);
+    b.forLoop(i, 200, [&] {
+        b.sw(v, p, 0);
+        b.lw(w, p, 0);          // exact-match forward
+        b.add(v, w, i);
+        b.addi(p, p, 64);       // fresh (cold) block each time
+    });
+    b.halt();
+    const RunResult r = run(pb.link());
+    // Forwarding keeps the dependent chain short even though every
+    // block is a cache miss at commit time.
+    EXPECT_GT(r.stats.ipc(), 0.8);
+}
+
+TEST(Pipeline, InOrderNeverBeatsOutOfOrder)
+{
+    for (const char *kind : {"alu", "mem"}) {
+        kasm::Program prog = [&] {
+            if (std::string(kind) == "alu")
+                return aluLoop(12, 300);
+            ProgramBuilder pb("mem");
+            auto &b = pb.code();
+            const VAddr buf = pb.space(1u << 16, 64);
+            VReg base = b.vint(), i = b.vint(), t = b.vint();
+            b.li(base, uint32_t(buf));
+            b.forLoop(i, 300, [&] {
+                b.lw(t, base, 0);
+                b.addi(t, t, 1);
+                b.sw(t, base, 4);
+                b.lw(t, base, 64);
+                b.sw(t, base, 128);
+            });
+            b.halt();
+            return pb.link();
+        }();
+        const RunResult ooo = run(prog, false);
+        const RunResult ino = run(prog, true);
+        EXPECT_LE(ooo.stats.cycles, ino.stats.cycles) << kind;
+    }
+}
+
+TEST(Pipeline, InOrderStallsOnHazards)
+{
+    // Dependent FP multiplies: in-order must be much slower than the
+    // issue-width bound.
+    ProgramBuilder pb("fpchain");
+    auto &b = pb.code();
+    VReg x = b.vfp(), y = b.vfp();
+    VReg i = b.vint();
+    b.fconst(x, 1.0001);
+    b.fconst(y, 1.0);
+    b.forLoop(i, 300, [&] {
+        b.fmul(y, y, x);
+        b.fmul(y, y, x);
+    });
+    b.halt();
+    const RunResult r = run(pb.link(), true);
+    // Two dependent 4-cycle multiplies per iteration: >= 8 cyc/iter.
+    EXPECT_GT(double(r.stats.cycles) / 300.0, 7.0);
+}
+
+TEST(Pipeline, SingleTlbPortThrottlesParallelLoads)
+{
+    // The same load-parallel program must be slower under T1 than T4
+    // and the engine must report port conflicts.
+    ProgramBuilder pb("t1");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(1u << 16, 64);
+    VReg base = b.vint(), i = b.vint();
+    VReg d[4];
+    for (auto &x : d)
+        x = b.vint();
+    b.li(base, uint32_t(buf));
+    b.forLoop(i, 500, [&] {
+        for (int k = 0; k < 4; ++k)
+            b.lw(d[k], base, k * 256);
+    });
+    b.halt();
+    const kasm::Program prog = pb.link();
+
+    const RunResult t4 = run(prog, false, tlb::Design::T4);
+    const RunResult t1 = run(prog, false, tlb::Design::T1);
+    EXPECT_LT(t4.stats.cycles, t1.stats.cycles);
+    EXPECT_GT(t1.stats.xlate.noPort, 100u);
+    EXPECT_EQ(t4.stats.xlate.noPort, 0u) << "4 ports never conflict";
+}
+
+TEST(Pipeline, CommitIsInOrderAndBounded)
+{
+    const RunResult r = run(aluLoop(16, 200));
+    // Committed counts match the functional stream exactly.
+    EXPECT_GT(r.stats.committed, 200u * 16u);
+    EXPECT_LE(double(r.stats.committed) / double(r.stats.cycles), 8.0);
+}
+
+TEST(Pipeline, HaltDrainsCleanly)
+{
+    ProgramBuilder pb("tiny");
+    pb.code().halt();
+    const RunResult r = run(pb.link());
+    EXPECT_EQ(r.stats.committed, 1u);
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_LT(r.stats.cycles, 50u);
+}
+
+TEST(Pipeline, StatsAreDeterministic)
+{
+    const kasm::Program prog = aluLoop(10, 100);
+    const RunResult a = run(prog);
+    const RunResult b2 = run(prog);
+    EXPECT_EQ(a.stats.cycles, b2.stats.cycles);
+    EXPECT_EQ(a.stats.committed, b2.stats.committed);
+    EXPECT_EQ(a.stats.issuedOps, b2.stats.issuedOps);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * GAp branch-predictor tests: saturating-counter learning, global
+ * history pattern capture, and statistics accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/gap_predictor.hh"
+
+namespace
+{
+
+using namespace hbat;
+using branch::GapPredictor;
+
+TEST(Predictor, LearnsAlwaysTaken)
+{
+    GapPredictor p;
+    const VAddr pc = 0x400100;
+    // The global history must saturate before the steady-state
+    // counter is the one consulted.
+    for (int i = 0; i < 24; ++i)
+        p.update(pc, true, p.predict(pc));
+    EXPECT_TRUE(p.predict(pc));
+}
+
+TEST(Predictor, LearnsAlwaysNotTaken)
+{
+    GapPredictor p;
+    const VAddr pc = 0x400100;
+    for (int i = 0; i < 4; ++i)
+        p.update(pc, false, p.predict(pc));
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(Predictor, CapturesAlternatingPatternViaHistory)
+{
+    // T,N,T,N... is perfectly predictable with global history once
+    // the counters warm up.
+    GapPredictor p;
+    const VAddr pc = 0x400200;
+    bool taken = false;
+    // Warmup.
+    for (int i = 0; i < 200; ++i) {
+        p.update(pc, taken, p.predict(pc));
+        taken = !taken;
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        const bool pred = p.predict(pc);
+        correct += pred == taken;
+        p.update(pc, taken, pred);
+        taken = !taken;
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Predictor, CapturesLoopExitPattern)
+{
+    // An inner loop of 7 iterations (6 taken, 1 not) should become
+    // highly predictable with 8 bits of history.
+    GapPredictor p;
+    const VAddr pc = 0x400300;
+    int correct = 0, total = 0;
+    for (int rep = 0; rep < 300; ++rep) {
+        for (int i = 0; i < 7; ++i) {
+            const bool taken = i != 6;
+            const bool pred = p.predict(pc);
+            if (rep >= 50) {
+                correct += pred == taken;
+                ++total;
+            }
+            p.update(pc, taken, pred);
+        }
+    }
+    EXPECT_GT(double(correct) / total, 0.95);
+}
+
+TEST(Predictor, StatsTrackAccuracy)
+{
+    GapPredictor p;
+    const VAddr pc = 0x400400;
+    for (int i = 0; i < 100; ++i)
+        p.update(pc, true, p.predict(pc));
+    EXPECT_EQ(p.stats().lookups, 100u);
+    EXPECT_GT(p.stats().rate(), 0.9);
+}
+
+TEST(Predictor, DistinctBranchesUseDistinctCounters)
+{
+    GapPredictor p;
+    // Two branches with opposite biases must not destructively
+    // interfere when their PC selection bits differ.
+    const VAddr a = 0x400500, b = 0x400504;
+    for (int i = 0; i < 64; ++i) {
+        p.update(a, true, p.predict(a));
+        p.update(b, false, p.predict(b));
+    }
+    // Check momentary predictions (history state is shared, but the
+    // counters should reflect each branch's bias for current history).
+    int aTaken = 0, bTaken = 0;
+    for (int i = 0; i < 16; ++i) {
+        aTaken += p.predict(a);
+        bTaken += p.predict(b);
+        p.update(a, true, p.predict(a));
+        p.update(b, false, p.predict(b));
+    }
+    EXPECT_GT(aTaken, 12);
+    EXPECT_LT(bTaken, 4);
+}
+
+} // namespace

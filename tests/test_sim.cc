@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Simulator-top tests: configuration wiring (page size, issue model,
+ * register budget, custom engines) and cross-design sanity orderings
+ * on a bandwidth-hungry microprogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kasm/program_builder.hh"
+#include "sim/simulator.hh"
+#include "tlb/multiported.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+using kasm::ProgramBuilder;
+using kasm::VReg;
+
+/** Four parallel loads per iteration across several pages. */
+kasm::Program
+loadBurst(uint32_t iters)
+{
+    ProgramBuilder pb("burst");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(1u << 16, 64);
+    VReg base = b.vint(), i = b.vint();
+    VReg d[4];
+    for (auto &x : d)
+        x = b.vint();
+    b.li(base, uint32_t(buf));
+    b.forLoop(i, iters, [&] {
+        for (int k = 0; k < 4; ++k)
+            b.lw(d[k], base, k * 4096 + 8);
+    });
+    b.halt();
+    return pb.link();
+}
+
+TEST(Sim, PageSizeChangesFootprintAccounting)
+{
+    const kasm::Program prog =
+        workloads::build("ghostscript", kasm::RegBudget{32, 32}, 0.05);
+    sim::SimConfig four;
+    four.pageBytes = 4096;
+    sim::SimConfig eight;
+    eight.pageBytes = 8192;
+    const auto r4 = sim::simulate(prog, four);
+    const auto r8 = sim::simulate(prog, eight);
+    EXPECT_GT(r4.touchedPages, r8.touchedPages);
+}
+
+TEST(Sim, LargerPagesNeverHurtMultiLevel)
+{
+    const kasm::Program prog =
+        workloads::build("compress", kasm::RegBudget{32, 32}, 0.1);
+    sim::SimConfig m4k;
+    m4k.design = tlb::Design::M8;
+    sim::SimConfig m8k = m4k;
+    m8k.pageBytes = 8192;
+    const auto r4 = sim::simulate(prog, m4k);
+    const auto r8 = sim::simulate(prog, m8k);
+    // Larger pages map more memory per L1 entry: at least as many
+    // shielded hits, no more walks.
+    EXPECT_LE(r8.pipe.tlbWalks, r4.pipe.tlbWalks);
+}
+
+TEST(Sim, DesignOrderingUnderBandwidthPressure)
+{
+    const kasm::Program prog = loadBurst(600);
+    auto cycles = [&](tlb::Design d) {
+        sim::SimConfig cfg;
+        cfg.design = d;
+        return sim::simulate(prog, cfg).cycles();
+    };
+    const Cycle t4 = cycles(tlb::Design::T4);
+    const Cycle t2 = cycles(tlb::Design::T2);
+    const Cycle t1 = cycles(tlb::Design::T1);
+    EXPECT_LE(t4, t2);
+    EXPECT_LE(t2, t1);
+    EXPECT_LT(t4, t1) << "a 1-ported TLB must hurt 4 loads/cycle";
+}
+
+TEST(Sim, MultiLevelShieldsBaseTlb)
+{
+    const kasm::Program prog = loadBurst(600);
+    sim::SimConfig cfg;
+    cfg.design = tlb::Design::M8;
+    const auto r = sim::simulate(prog, cfg);
+    EXPECT_GT(r.pipe.xlate.shielded, r.pipe.xlate.baseAccesses)
+        << "the L1 TLB must absorb most requests";
+}
+
+TEST(Sim, PiggybackCombinesSamePageBursts)
+{
+    // All four loads per iteration target the same page.
+    ProgramBuilder pb("samepage");
+    auto &b = pb.code();
+    const VAddr buf = pb.space(1u << 16, 64);
+    VReg base = b.vint(), i = b.vint();
+    VReg d[4];
+    for (auto &x : d)
+        x = b.vint();
+    b.li(base, uint32_t(buf));
+    b.forLoop(i, 600, [&] {
+        for (int k = 0; k < 4; ++k)
+            b.lw(d[k], base, k * 64);
+    });
+    b.halt();
+    const kasm::Program prog = pb.link();
+
+    sim::SimConfig pb1;
+    pb1.design = tlb::Design::PB1;
+    sim::SimConfig t1;
+    t1.design = tlb::Design::T1;
+    const auto rPb = sim::simulate(prog, pb1);
+    const auto rT1 = sim::simulate(prog, t1);
+    EXPECT_LT(rPb.cycles(), rT1.cycles());
+    EXPECT_GT(rPb.pipe.xlate.piggybacks, 1000u);
+}
+
+TEST(Sim, CustomEngineFactory)
+{
+    const kasm::Program prog = loadBurst(100);
+    sim::SimConfig cfg;
+    const sim::SimResult r = sim::simulateWithEngine(
+        prog, cfg,
+        [](vm::PageTable &pt) {
+            return std::make_unique<tlb::MultiPortedTlb>(pt, 3, 0, 64,
+                                                         9);
+        },
+        "T3/64");
+    EXPECT_EQ(r.design, "T3/64");
+    EXPECT_GT(r.pipe.committed, 400u);
+}
+
+TEST(Sim, MaxInstsBoundsTheRun)
+{
+    const kasm::Program prog = loadBurst(100000);
+    sim::SimConfig cfg;
+    cfg.maxInsts = 5000;
+    const sim::SimResult r = sim::simulate(prog, cfg);
+    EXPECT_GE(r.pipe.committed, 5000u);
+    EXPECT_LT(r.pipe.committed, 5100u);
+}
+
+TEST(Sim, InOrderFlagReachesPipeline)
+{
+    const kasm::Program prog = loadBurst(500);
+    sim::SimConfig ooo;
+    sim::SimConfig ino;
+    ino.inOrder = true;
+    EXPECT_LE(sim::simulate(prog, ooo).cycles(),
+              sim::simulate(prog, ino).cycles());
+}
+
+TEST(Sim, SeedChangesRandomReplacementOutcomes)
+{
+    const kasm::Program prog =
+        workloads::build("compress", kasm::RegBudget{32, 32}, 0.05);
+    sim::SimConfig a;
+    a.seed = 1;
+    sim::SimConfig c;
+    c.seed = 2;
+    const auto ra = sim::simulate(prog, a);
+    const auto rc = sim::simulate(prog, c);
+    // Same committed work, (almost surely) different cycle counts.
+    EXPECT_EQ(ra.pipe.committed, rc.pipe.committed);
+    EXPECT_NE(ra.cycles(), rc.cycles());
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * End-to-end smoke tests: build small programs through the full kasm
+ * pipeline, run them on the functional core and on the timing
+ * pipeline with several translation designs, and check architectural
+ * results and basic timing sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/func_core.hh"
+#include "kasm/program_builder.hh"
+#include "sim/simulator.hh"
+#include "vm/address_space.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+/** Sum the integers 1..n into memory and halt. */
+kasm::Program
+sumProgram(uint32_t n, const kasm::RegBudget &budget)
+{
+    kasm::ProgramBuilder pb("sum");
+    auto &b = pb.code();
+    const VAddr out = pb.space(16, 8);
+
+    kasm::VReg i = b.vint(), acc = b.vint(), p = b.vint();
+    b.li(acc, 0);
+    b.li(p, uint32_t(out));
+    b.forLoop(i, n, [&] { b.add(acc, acc, i); });
+    b.sw(acc, p, 0);
+    b.halt();
+    return pb.link(budget);
+}
+
+uint32_t
+runSum(uint32_t n, const kasm::RegBudget &budget)
+{
+    kasm::Program prog = sumProgram(n, budget);
+    vm::AddressSpace space;
+    space.load(prog);
+    cpu::FuncCore core(space, prog);
+    while (!core.halted())
+        core.step();
+    // The program's single space() allocation sits at the bss base.
+    return space.read32(kasm::kBssBase);
+}
+
+TEST(Smoke, FunctionalSumFullRegisters)
+{
+    EXPECT_EQ(runSum(100, kasm::RegBudget{32, 32}), 4950u);
+}
+
+TEST(Smoke, FunctionalSumFewRegisters)
+{
+    // The register allocator must preserve semantics under spilling.
+    EXPECT_EQ(runSum(100, kasm::RegBudget{8, 8}), 4950u);
+}
+
+TEST(Smoke, TimedRunEveryDesign)
+{
+    kasm::Program prog = sumProgram(500, kasm::RegBudget{32, 32});
+    for (tlb::Design d : tlb::allDesigns()) {
+        sim::SimConfig cfg;
+        cfg.design = d;
+        const sim::SimResult res = sim::simulate(prog, cfg);
+        EXPECT_GT(res.pipe.committed, 1500u) << tlb::designName(d);
+        EXPECT_GT(res.pipe.cycles, 0u) << tlb::designName(d);
+        EXPECT_LE(res.ipc(), 8.0) << tlb::designName(d);
+    }
+}
+
+TEST(Smoke, CompressWorkloadRuns)
+{
+    kasm::Program prog =
+        workloads::build("compress", kasm::RegBudget{32, 32}, 0.02);
+    sim::SimConfig cfg;
+    const sim::SimResult res = sim::simulate(prog, cfg);
+    EXPECT_GT(res.func.loads, 100u);
+    EXPECT_GT(res.func.stores, 50u);
+    EXPECT_GT(res.ipc(), 0.1);
+}
+
+TEST(Smoke, TomcatvWorkloadRuns)
+{
+    kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 0.05);
+    sim::SimConfig cfg;
+    const sim::SimResult res = sim::simulate(prog, cfg);
+    EXPECT_GT(res.func.fpOps, 1000u);
+    EXPECT_GT(res.ipc(), 0.1);
+}
+
+TEST(Smoke, InOrderModelRuns)
+{
+    kasm::Program prog = sumProgram(500, kasm::RegBudget{32, 32});
+    sim::SimConfig cfg;
+    cfg.inOrder = true;
+    const sim::SimResult res = sim::simulate(prog, cfg);
+    EXPECT_GT(res.pipe.committed, 1500u);
+
+    sim::SimConfig ooo;
+    const sim::SimResult res2 = sim::simulate(prog, ooo);
+    // Out-of-order should never be slower than in-order here.
+    EXPECT_LE(res2.pipe.cycles, res.pipe.cycles);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the statistics helpers (ratios, run-time weighted
+ * averages, and the table renderer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+TEST(Stats, RatioHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(uint64_t(5), uint64_t(0)), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(uint64_t(6), uint64_t(3)), 2.0);
+}
+
+TEST(Stats, WeightedAverageBasic)
+{
+    EXPECT_DOUBLE_EQ(weightedAverage({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedAverage({1.0, 3.0}, {3.0, 1.0}), 1.5);
+}
+
+TEST(Stats, WeightedAverageZeroWeights)
+{
+    EXPECT_DOUBLE_EQ(weightedAverage({1.0, 2.0}, {0.0, 0.0}), 0.0);
+}
+
+TEST(Stats, WeightedAverageSingleDominantWeight)
+{
+    EXPECT_DOUBLE_EQ(weightedAverage({7.0, 9.0}, {1.0, 0.0}), 7.0);
+}
+
+TEST(Stats, PercentFormatting)
+{
+    EXPECT_EQ(percent(0.5, 1), "50.0%");
+    EXPECT_EQ(percent(0.123456, 2), "12.35%");
+}
+
+TEST(Stats, FixedFormatting)
+{
+    EXPECT_EQ(fixed(1.5, 2), "1.50");
+    EXPECT_EQ(fixed(-0.25, 3), "-0.250");
+}
+
+TEST(Stats, TextTableAlignment)
+{
+    TextTable t;
+    t.header({"name", "v"});
+    t.row({"a", "1.0"});
+    t.row({"long-name", "10.0"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Every line has the same length (aligned columns).
+    size_t prev = std::string::npos;
+    size_t start = 0;
+    while (start < out.size()) {
+        const size_t end = out.find('\n', start);
+        const size_t len = end - start;
+        if (prev != std::string::npos)
+            EXPECT_EQ(len, prev);
+        prev = len;
+        start = end + 1;
+    }
+}
+
+TEST(StatsDeath, TableRowWidthMismatch)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "row width mismatch");
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the fully-associative TlbArray building block: LRU
+ * exactness, random-replacement determinism, invalidation, and the
+ * LRU inclusion (stack) property that the multi-level designs rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tlb/tlb_array.hh"
+
+namespace
+{
+
+using namespace hbat;
+using tlb::Replacement;
+using tlb::TlbArray;
+
+TEST(TlbArray, HitAfterInsert)
+{
+    TlbArray t(4, Replacement::Lru);
+    EXPECT_FALSE(t.lookup(7, 1));
+    t.insert(7, 1);
+    EXPECT_TRUE(t.lookup(7, 2));
+    EXPECT_EQ(t.occupancy(), 1u);
+}
+
+TEST(TlbArray, LruEvictsOldest)
+{
+    TlbArray t(2, Replacement::Lru);
+    t.insert(1, 1);
+    t.insert(2, 2);
+    // Touch 1 so 2 becomes LRU.
+    EXPECT_TRUE(t.lookup(1, 3));
+    auto evicted = t.insert(3, 4);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 2u);
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_TRUE(t.contains(3));
+    EXPECT_FALSE(t.contains(2));
+}
+
+TEST(TlbArray, InsertExistingRefreshesLru)
+{
+    TlbArray t(2, Replacement::Lru);
+    t.insert(1, 1);
+    t.insert(2, 2);
+    // Re-inserting 1 refreshes it; 2 is now the LRU victim.
+    EXPECT_FALSE(t.insert(1, 3).has_value());
+    auto evicted = t.insert(3, 4);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 2u);
+}
+
+TEST(TlbArray, NoEvictionWhileNotFull)
+{
+    TlbArray t(8, Replacement::Random);
+    for (Vpn v = 0; v < 8; ++v)
+        EXPECT_FALSE(t.insert(v, v).has_value());
+    EXPECT_EQ(t.occupancy(), 8u);
+    EXPECT_TRUE(t.insert(100, 9).has_value());
+}
+
+TEST(TlbArray, RandomReplacementDeterministic)
+{
+    auto run = [](uint64_t seed) {
+        TlbArray t(16, Replacement::Random, seed);
+        Rng refs(99);
+        uint64_t hits = 0;
+        for (Cycle c = 0; c < 5000; ++c) {
+            const Vpn v = refs.below(64);
+            if (t.lookup(v, c))
+                ++hits;
+            else
+                t.insert(v, c);
+        }
+        return hits;
+    };
+    EXPECT_EQ(run(5), run(5));
+    // Different replacement seeds give (almost surely) different hits.
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(TlbArray, InvalidateAndFlush)
+{
+    TlbArray t(4, Replacement::Lru);
+    t.insert(1, 1);
+    t.insert(2, 1);
+    EXPECT_TRUE(t.invalidate(1));
+    EXPECT_FALSE(t.invalidate(1));
+    EXPECT_FALSE(t.contains(1));
+    EXPECT_TRUE(t.contains(2));
+    t.flush();
+    EXPECT_FALSE(t.contains(2));
+    EXPECT_EQ(t.occupancy(), 0u);
+}
+
+TEST(TlbArray, InvalidSlotReusedBeforeEviction)
+{
+    TlbArray t(2, Replacement::Lru);
+    t.insert(1, 1);
+    t.insert(2, 2);
+    t.invalidate(1);
+    // The freed slot must absorb the next insert without eviction.
+    EXPECT_FALSE(t.insert(3, 3).has_value());
+    EXPECT_TRUE(t.contains(2));
+    EXPECT_TRUE(t.contains(3));
+}
+
+/**
+ * LRU is a stack algorithm: for any reference stream, the contents of
+ * a k-entry LRU TLB are a subset of a (k+m)-entry LRU TLB, so hits
+ * are monotonic in capacity. The multi-level results (M4 <= M8 <= M16
+ * shielding) rest on this.
+ */
+TEST(TlbArray, LruStackProperty)
+{
+    const unsigned sizes[] = {4, 8, 16, 32};
+    std::vector<TlbArray> tlbs;
+    for (unsigned s : sizes)
+        tlbs.emplace_back(s, Replacement::Lru);
+    std::vector<uint64_t> hits(4, 0);
+
+    Rng refs(1234);
+    Vpn hot = 0;
+    for (Cycle c = 0; c < 20000; ++c) {
+        // Mixture of a drifting hot set and uniform noise.
+        if (refs.chance(0.7))
+            hot = (hot & ~7u) | refs.below(8);
+        else
+            hot = refs.below(256);
+        if (c % 512 == 0)
+            hot += 8;
+        for (size_t t = 0; t < tlbs.size(); ++t) {
+            if (tlbs[t].lookup(hot, c))
+                ++hits[t];
+            else
+                tlbs[t].insert(hot, c);
+        }
+    }
+    EXPECT_LE(hits[0], hits[1]);
+    EXPECT_LE(hits[1], hits[2]);
+    EXPECT_LE(hits[2], hits[3]);
+}
+
+class TlbArraySizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TlbArraySizes, OccupancyNeverExceedsCapacity)
+{
+    TlbArray t(GetParam(), Replacement::Random, 3);
+    Rng refs(7);
+    for (Cycle c = 0; c < 2000; ++c) {
+        const Vpn v = refs.below(500);
+        if (!t.lookup(v, c))
+            t.insert(v, c);
+        ASSERT_LE(t.occupancy(), t.capacity());
+    }
+    EXPECT_EQ(t.occupancy(), t.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TlbArraySizes,
+                         ::testing::Values(1, 2, 4, 16, 128));
+
+} // namespace

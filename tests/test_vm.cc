@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Virtual-memory tests: page geometry, the two-level page table with
+ * status bits, and the address space's typed accessors and program
+ * loading.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kasm/program_builder.hh"
+#include "vm/address_space.hh"
+
+namespace
+{
+
+using namespace hbat;
+using vm::PageParams;
+using vm::PageTable;
+
+class PageGeometry : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PageGeometry, SplitAndRejoin)
+{
+    const PageParams pages(GetParam());
+    const VAddr va = 0x1234'5678;
+    const Vpn vpn = pages.vpn(va);
+    const uint64_t off = pages.offset(va);
+    EXPECT_EQ((vpn << pages.shift()) | off, va);
+    EXPECT_LT(off, pages.bytes());
+    EXPECT_EQ(pages.pageBase(va) + off, va);
+    EXPECT_EQ(pages.vpnBits() + pages.shift(), 32u);
+}
+
+TEST_P(PageGeometry, PhysAddrKeepsOffset)
+{
+    const PageParams pages(GetParam());
+    const VAddr va = 0x00403a5c;
+    const PAddr pa = pages.physAddr(77, va);
+    EXPECT_EQ(pa & (pages.bytes() - 1), pages.offset(va));
+    EXPECT_EQ(pa >> pages.shift(), 77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageGeometry,
+                         ::testing::Values(1024, 4096, 8192, 65536));
+
+TEST(PageTable, AllocatesDistinctFrames)
+{
+    PageTable pt;
+    const Ppn a = pt.lookup(1).ppn;
+    const Ppn b = pt.lookup(2).ppn;
+    const Ppn c = pt.lookup(0xfffff).ppn;
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(pt.mappedPages(), 3u);
+    // Stable on re-lookup.
+    EXPECT_EQ(pt.lookup(1).ppn, a);
+    EXPECT_EQ(pt.mappedPages(), 3u);
+}
+
+TEST(PageTable, FindDoesNotAllocate)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.find(5), nullptr);
+    EXPECT_EQ(pt.mappedPages(), 0u);
+    pt.lookup(5);
+    ASSERT_NE(pt.find(5), nullptr);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+TEST(PageTable, StatusBitTransitions)
+{
+    PageTable pt;
+    // First (read) reference sets the referenced bit.
+    vm::RefResult r1 = pt.reference(9, false);
+    EXPECT_TRUE(r1.statusChanged);
+    // Second read changes nothing.
+    vm::RefResult r2 = pt.reference(9, false);
+    EXPECT_FALSE(r2.statusChanged);
+    EXPECT_EQ(r1.ppn, r2.ppn);
+    // First write sets the dirty bit.
+    vm::RefResult r3 = pt.reference(9, true);
+    EXPECT_TRUE(r3.statusChanged);
+    // Later writes change nothing.
+    EXPECT_FALSE(pt.reference(9, true).statusChanged);
+    EXPECT_FALSE(pt.reference(9, false).statusChanged);
+}
+
+TEST(PageTable, FirstWriteSetsBothBits)
+{
+    PageTable pt;
+    EXPECT_TRUE(pt.reference(3, true).statusChanged);
+    EXPECT_FALSE(pt.reference(3, true).statusChanged);
+    const vm::Pte *pte = pt.find(3);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->referenced);
+    EXPECT_TRUE(pte->dirty);
+}
+
+TEST(PageTable, EightKPages)
+{
+    PageTable pt{PageParams(8192)};
+    EXPECT_EQ(pt.params().bytes(), 8192u);
+    pt.lookup((VAddr(0xffffffff)) >> 13);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+TEST(AddressSpace, TypedReadWrite)
+{
+    vm::AddressSpace space;
+    space.write8(0x1000, 0xab);
+    space.write16(0x1002, 0xcdef);
+    space.write32(0x1004, 0x12345678);
+    space.write64(0x1008, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(space.read8(0x1000), 0xabu);
+    EXPECT_EQ(space.read16(0x1002), 0xcdefu);
+    EXPECT_EQ(space.read32(0x1004), 0x12345678u);
+    EXPECT_EQ(space.read64(0x1008), 0xdeadbeefcafebabeull);
+}
+
+TEST(AddressSpace, GenericSizeAccess)
+{
+    vm::AddressSpace space;
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        const VAddr va = 0x2000 + size * 16;
+        space.write(va, 0x1122334455667788ull, size);
+        const uint64_t expect =
+            0x1122334455667788ull & mask(size * 8);
+        EXPECT_EQ(space.read(va, size), expect) << size;
+    }
+}
+
+TEST(AddressSpace, ZeroFilledOnFirstTouch)
+{
+    vm::AddressSpace space;
+    EXPECT_EQ(space.read32(0x7f000000), 0u);
+    EXPECT_EQ(space.touchedPages(), 1u);
+}
+
+TEST(AddressSpace, PagesAreIndependent)
+{
+    vm::AddressSpace space;
+    space.write32(0x1000, 111);
+    space.write32(0x2000, 222);
+    EXPECT_EQ(space.read32(0x1000), 111u);
+    EXPECT_EQ(space.read32(0x2000), 222u);
+    EXPECT_EQ(space.touchedPages(), 2u);
+}
+
+TEST(AddressSpaceDeath, MisalignedAccess)
+{
+    vm::AddressSpace space;
+    EXPECT_DEATH(space.read32(0x1002), "misaligned");
+    EXPECT_DEATH(space.write64(0x1004, 1), "misaligned");
+}
+
+TEST(AddressSpace, LoadsProgramImage)
+{
+    kasm::ProgramBuilder pb("img");
+    auto &b = pb.code();
+    std::vector<uint32_t> words{0x11111111, 0x22222222};
+    const VAddr data = pb.words(words);
+    b.halt();
+    const kasm::Program prog = pb.link();
+
+    vm::AddressSpace space;
+    space.load(prog);
+    EXPECT_EQ(space.read32(data), 0x11111111u);
+    EXPECT_EQ(space.read32(data + 4), 0x22222222u);
+    // Text is loaded at the text base.
+    EXPECT_EQ(isa::decode(space.read32(prog.textBase)).op,
+              isa::Opcode::Halt);
+}
+
+TEST(AddressSpace, EightKPageGeometry)
+{
+    vm::AddressSpace space{PageParams(8192)};
+    space.write32(0x3000, 7);
+    // 0x3000 and 0x2000 share an 8 KB page but not a 4 KB one.
+    EXPECT_EQ(space.params().vpn(0x3000), space.params().vpn(0x2000));
+    EXPECT_EQ(space.touchedPages(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Workload tests: every Table 3 analogue builds, halts, touches
+ * memory as its behaviour class requires, links under both register
+ * budgets, and is fully deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/func_core.hh"
+#include "sim/simulator.hh"
+#include "vm/address_space.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+constexpr double kTestScale = 0.02;
+
+class EveryWorkload : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EveryWorkload, RunsToHaltFunctionally)
+{
+    const kasm::Program prog =
+        workloads::build(GetParam(), kasm::RegBudget{32, 32},
+                         kTestScale);
+    vm::AddressSpace space;
+    space.load(prog);
+    cpu::FuncCore core(space, prog);
+    uint64_t guard = 0;
+    while (!core.halted() && ++guard < 100'000'000ull)
+        core.step();
+    EXPECT_TRUE(core.halted()) << "did not halt";
+    EXPECT_GT(core.stats().loads, 0u);
+    EXPECT_GT(core.stats().stores, 0u);
+}
+
+TEST_P(EveryWorkload, LinksUnderEightRegisters)
+{
+    const kasm::Program small =
+        workloads::build(GetParam(), kasm::RegBudget{8, 8},
+                         kTestScale);
+    const kasm::Program full =
+        workloads::build(GetParam(), kasm::RegBudget{32, 32},
+                         kTestScale);
+    EXPECT_GE(small.text.size(), full.text.size())
+        << "spill code should never shrink the program";
+
+    vm::AddressSpace space;
+    space.load(small);
+    cpu::FuncCore core(space, small);
+    uint64_t guard = 0;
+    while (!core.halted() && ++guard < 200'000'000ull)
+        core.step();
+    EXPECT_TRUE(core.halted());
+}
+
+TEST_P(EveryWorkload, DeterministicTiming)
+{
+    const kasm::Program prog =
+        workloads::build(GetParam(), kasm::RegBudget{32, 32},
+                         kTestScale);
+    sim::SimConfig cfg;
+    const sim::SimResult a = sim::simulate(prog, cfg);
+    const sim::SimResult b = sim::simulate(prog, cfg);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.pipe.committed, b.pipe.committed);
+    EXPECT_EQ(a.pipe.xlate.misses, b.pipe.xlate.misses);
+}
+
+TEST_P(EveryWorkload, ScaleGrowsWork)
+{
+    auto insts = [&](double scale) {
+        const kasm::Program prog =
+            workloads::build(GetParam(), kasm::RegBudget{32, 32},
+                             scale);
+        vm::AddressSpace space;
+        space.load(prog);
+        cpu::FuncCore core(space, prog);
+        while (!core.halted())
+            core.step();
+        return core.stats().instructions;
+    };
+    EXPECT_GT(insts(0.5), insts(0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, EveryWorkload,
+    ::testing::Values("compress", "doduc", "espresso", "gcc",
+                      "ghostscript", "mpeg_play", "perl", "tfft",
+                      "tomcatv", "xlisp"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(WorkloadRegistry, AllPresentInTable3Order)
+{
+    const auto &list = workloads::all();
+    ASSERT_EQ(list.size(), 10u);
+    EXPECT_STREQ(list.front().name, "compress");
+    EXPECT_STREQ(list.back().name, "xlisp");
+    for (const auto &w : list) {
+        EXPECT_NE(w.paperAnalogue, nullptr);
+        EXPECT_NE(w.build, nullptr);
+        EXPECT_EQ(&workloads::find(w.name), &w);
+    }
+}
+
+TEST(WorkloadRegistryDeath, UnknownName)
+{
+    EXPECT_DEATH(workloads::find("quake"), "unknown workload");
+}
+
+TEST(WorkloadBehaviour, FpProgramsUseFpUnits)
+{
+    for (const char *name : {"doduc", "tfft", "tomcatv"}) {
+        const kasm::Program prog =
+            workloads::build(name, kasm::RegBudget{32, 32},
+                             kTestScale);
+        vm::AddressSpace space;
+        space.load(prog);
+        cpu::FuncCore core(space, prog);
+        while (!core.halted())
+            core.step();
+        EXPECT_GT(core.stats().fpOps, core.stats().instructions / 20)
+            << name;
+    }
+}
+
+TEST(WorkloadBehaviour, LargeFootprintClasses)
+{
+    // Ghostscript and tfft must touch far more pages than espresso.
+    auto pages = [](const char *name) {
+        const kasm::Program prog =
+            workloads::build(name, kasm::RegBudget{32, 32}, 0.6);
+        sim::SimConfig cfg;
+        cfg.maxInsts = 400'000;
+        return sim::simulate(prog, cfg).touchedPages;
+    };
+    const uint64_t gs = pages("ghostscript");
+    const uint64_t fft = pages("tfft");
+    const uint64_t esp = pages("espresso");
+    EXPECT_GT(gs, 4 * esp);
+    EXPECT_GT(fft, 4 * esp);
+}
+
+TEST(WorkloadBehaviour, FewRegistersAmplifyMemoryTraffic)
+{
+    // The Figure 9 premise at workload level.
+    auto refsPerInst = [](const char *name, int regs) {
+        const kasm::Program prog = workloads::build(
+            name, kasm::RegBudget{regs, regs}, kTestScale);
+        vm::AddressSpace space;
+        space.load(prog);
+        cpu::FuncCore core(space, prog);
+        while (!core.halted())
+            core.step();
+        return double(core.stats().loads + core.stats().stores) /
+               double(core.stats().instructions);
+    };
+    for (const char *name : {"tomcatv", "compress", "espresso"}) {
+        EXPECT_GT(refsPerInst(name, 8), refsPerInst(name, 32))
+            << name;
+    }
+}
+
+} // namespace
