@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bankselect.dir/ablate_bankselect.cc.o"
+  "CMakeFiles/ablate_bankselect.dir/ablate_bankselect.cc.o.d"
+  "ablate_bankselect"
+  "ablate_bankselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bankselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_l1tlb.dir/ablate_l1tlb.cc.o"
+  "CMakeFiles/ablate_l1tlb.dir/ablate_l1tlb.cc.o.d"
+  "ablate_l1tlb"
+  "ablate_l1tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_l1tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablate_l1tlb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_l1tlb.
+# This may be replaced when dependencies are built.

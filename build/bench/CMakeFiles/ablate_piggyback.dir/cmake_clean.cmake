@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_piggyback.dir/ablate_piggyback.cc.o"
+  "CMakeFiles/ablate_piggyback.dir/ablate_piggyback.cc.o.d"
+  "ablate_piggyback"
+  "ablate_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_table.dir/cost_table.cc.o"
+  "CMakeFiles/cost_table.dir/cost_table.cc.o.d"
+  "cost_table"
+  "cost_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

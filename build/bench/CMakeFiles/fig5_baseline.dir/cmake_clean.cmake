@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_baseline.dir/fig5_baseline.cc.o"
+  "CMakeFiles/fig5_baseline.dir/fig5_baseline.cc.o.d"
+  "fig5_baseline"
+  "fig5_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

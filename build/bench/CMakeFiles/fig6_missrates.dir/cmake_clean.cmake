@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_missrates.dir/fig6_missrates.cc.o"
+  "CMakeFiles/fig6_missrates.dir/fig6_missrates.cc.o.d"
+  "fig6_missrates"
+  "fig6_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_inorder.dir/fig7_inorder.cc.o"
+  "CMakeFiles/fig7_inorder.dir/fig7_inorder.cc.o.d"
+  "fig7_inorder"
+  "fig7_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

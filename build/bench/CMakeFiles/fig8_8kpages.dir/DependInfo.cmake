@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_8kpages.cc" "bench/CMakeFiles/fig8_8kpages.dir/fig8_8kpages.cc.o" "gcc" "bench/CMakeFiles/fig8_8kpages.dir/fig8_8kpages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hbat_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hbat_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hbat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/hbat_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/hbat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hbat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hbat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/hbat_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hbat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_8kpages.dir/fig8_8kpages.cc.o"
+  "CMakeFiles/fig8_8kpages.dir/fig8_8kpages.cc.o.d"
+  "fig8_8kpages"
+  "fig8_8kpages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_8kpages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fewregs.dir/fig9_fewregs.cc.o"
+  "CMakeFiles/fig9_fewregs.dir/fig9_fewregs.cc.o.d"
+  "fig9_fewregs"
+  "fig9_fewregs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fewregs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/hbat_bench_harness.dir/harness.cc.o.d"
+  "libhbat_bench_harness.a"
+  "libhbat_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tlb.dir/micro_tlb.cc.o"
+  "CMakeFiles/micro_tlb.dir/micro_tlb.cc.o.d"
+  "micro_tlb"
+  "micro_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_programs.dir/table3_programs.cc.o"
+  "CMakeFiles/table3_programs.dir/table3_programs.cc.o.d"
+  "table3_programs"
+  "table3_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disassemble.dir/disassemble.cpp.o"
+  "CMakeFiles/disassemble.dir/disassemble.cpp.o.d"
+  "disassemble"
+  "disassemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disassemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_branch.dir/gap_predictor.cc.o"
+  "CMakeFiles/hbat_branch.dir/gap_predictor.cc.o.d"
+  "libhbat_branch.a"
+  "libhbat_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_cache.dir/cache_model.cc.o"
+  "CMakeFiles/hbat_cache.dir/cache_model.cc.o.d"
+  "libhbat_cache.a"
+  "libhbat_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbat_cache.a"
+)

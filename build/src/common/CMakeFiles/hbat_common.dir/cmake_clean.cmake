@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_common.dir/log.cc.o"
+  "CMakeFiles/hbat_common.dir/log.cc.o.d"
+  "CMakeFiles/hbat_common.dir/stats.cc.o"
+  "CMakeFiles/hbat_common.dir/stats.cc.o.d"
+  "libhbat_common.a"
+  "libhbat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

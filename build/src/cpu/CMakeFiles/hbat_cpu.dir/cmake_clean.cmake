@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_cpu.dir/fu_pool.cc.o"
+  "CMakeFiles/hbat_cpu.dir/fu_pool.cc.o.d"
+  "CMakeFiles/hbat_cpu.dir/func_core.cc.o"
+  "CMakeFiles/hbat_cpu.dir/func_core.cc.o.d"
+  "CMakeFiles/hbat_cpu.dir/pipeline.cc.o"
+  "CMakeFiles/hbat_cpu.dir/pipeline.cc.o.d"
+  "libhbat_cpu.a"
+  "libhbat_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_isa.dir/isa.cc.o"
+  "CMakeFiles/hbat_isa.dir/isa.cc.o.d"
+  "libhbat_isa.a"
+  "libhbat_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kasm/code_builder.cc" "src/kasm/CMakeFiles/hbat_kasm.dir/code_builder.cc.o" "gcc" "src/kasm/CMakeFiles/hbat_kasm.dir/code_builder.cc.o.d"
+  "/root/repo/src/kasm/emitter.cc" "src/kasm/CMakeFiles/hbat_kasm.dir/emitter.cc.o" "gcc" "src/kasm/CMakeFiles/hbat_kasm.dir/emitter.cc.o.d"
+  "/root/repo/src/kasm/program_builder.cc" "src/kasm/CMakeFiles/hbat_kasm.dir/program_builder.cc.o" "gcc" "src/kasm/CMakeFiles/hbat_kasm.dir/program_builder.cc.o.d"
+  "/root/repo/src/kasm/regalloc.cc" "src/kasm/CMakeFiles/hbat_kasm.dir/regalloc.cc.o" "gcc" "src/kasm/CMakeFiles/hbat_kasm.dir/regalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hbat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_kasm.dir/code_builder.cc.o"
+  "CMakeFiles/hbat_kasm.dir/code_builder.cc.o.d"
+  "CMakeFiles/hbat_kasm.dir/emitter.cc.o"
+  "CMakeFiles/hbat_kasm.dir/emitter.cc.o.d"
+  "CMakeFiles/hbat_kasm.dir/program_builder.cc.o"
+  "CMakeFiles/hbat_kasm.dir/program_builder.cc.o.d"
+  "CMakeFiles/hbat_kasm.dir/regalloc.cc.o"
+  "CMakeFiles/hbat_kasm.dir/regalloc.cc.o.d"
+  "libhbat_kasm.a"
+  "libhbat_kasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_kasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_sim.dir/at_model.cc.o"
+  "CMakeFiles/hbat_sim.dir/at_model.cc.o.d"
+  "CMakeFiles/hbat_sim.dir/simulator.cc.o"
+  "CMakeFiles/hbat_sim.dir/simulator.cc.o.d"
+  "libhbat_sim.a"
+  "libhbat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/cost_model.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/cost_model.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/cost_model.cc.o.d"
+  "/root/repo/src/tlb/design.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/design.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/design.cc.o.d"
+  "/root/repo/src/tlb/interleaved.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/interleaved.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/interleaved.cc.o.d"
+  "/root/repo/src/tlb/multilevel.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/multilevel.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/multilevel.cc.o.d"
+  "/root/repo/src/tlb/multiported.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/multiported.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/multiported.cc.o.d"
+  "/root/repo/src/tlb/pretranslation.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/pretranslation.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/pretranslation.cc.o.d"
+  "/root/repo/src/tlb/tlb_array.cc" "src/tlb/CMakeFiles/hbat_tlb.dir/tlb_array.cc.o" "gcc" "src/tlb/CMakeFiles/hbat_tlb.dir/tlb_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/hbat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/hbat_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hbat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

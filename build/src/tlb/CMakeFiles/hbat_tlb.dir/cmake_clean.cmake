@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_tlb.dir/cost_model.cc.o"
+  "CMakeFiles/hbat_tlb.dir/cost_model.cc.o.d"
+  "CMakeFiles/hbat_tlb.dir/design.cc.o"
+  "CMakeFiles/hbat_tlb.dir/design.cc.o.d"
+  "CMakeFiles/hbat_tlb.dir/interleaved.cc.o"
+  "CMakeFiles/hbat_tlb.dir/interleaved.cc.o.d"
+  "CMakeFiles/hbat_tlb.dir/multilevel.cc.o"
+  "CMakeFiles/hbat_tlb.dir/multilevel.cc.o.d"
+  "CMakeFiles/hbat_tlb.dir/multiported.cc.o"
+  "CMakeFiles/hbat_tlb.dir/multiported.cc.o.d"
+  "CMakeFiles/hbat_tlb.dir/pretranslation.cc.o"
+  "CMakeFiles/hbat_tlb.dir/pretranslation.cc.o.d"
+  "CMakeFiles/hbat_tlb.dir/tlb_array.cc.o"
+  "CMakeFiles/hbat_tlb.dir/tlb_array.cc.o.d"
+  "libhbat_tlb.a"
+  "libhbat_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

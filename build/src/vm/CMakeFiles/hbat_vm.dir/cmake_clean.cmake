@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_vm.dir/address_space.cc.o"
+  "CMakeFiles/hbat_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/hbat_vm.dir/page_table.cc.o"
+  "CMakeFiles/hbat_vm.dir/page_table.cc.o.d"
+  "libhbat_vm.a"
+  "libhbat_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/w_compress.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_compress.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_compress.cc.o.d"
+  "/root/repo/src/workloads/w_doduc.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_doduc.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_doduc.cc.o.d"
+  "/root/repo/src/workloads/w_espresso.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_espresso.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_espresso.cc.o.d"
+  "/root/repo/src/workloads/w_gcc.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_gcc.cc.o.d"
+  "/root/repo/src/workloads/w_ghostscript.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_ghostscript.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_ghostscript.cc.o.d"
+  "/root/repo/src/workloads/w_mpeg.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_mpeg.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_mpeg.cc.o.d"
+  "/root/repo/src/workloads/w_perl.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_perl.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_perl.cc.o.d"
+  "/root/repo/src/workloads/w_tfft.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_tfft.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_tfft.cc.o.d"
+  "/root/repo/src/workloads/w_tomcatv.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_tomcatv.cc.o.d"
+  "/root/repo/src/workloads/w_xlisp.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_xlisp.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/w_xlisp.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/hbat_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/hbat_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kasm/CMakeFiles/hbat_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hbat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hbat_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

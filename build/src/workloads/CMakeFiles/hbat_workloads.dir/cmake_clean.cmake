@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbat_workloads.dir/w_compress.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_compress.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_doduc.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_doduc.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_espresso.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_espresso.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_gcc.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_gcc.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_ghostscript.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_ghostscript.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_mpeg.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_mpeg.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_perl.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_perl.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_tfft.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_tfft.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_tomcatv.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_tomcatv.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/w_xlisp.cc.o"
+  "CMakeFiles/hbat_workloads.dir/w_xlisp.cc.o.d"
+  "CMakeFiles/hbat_workloads.dir/workloads.cc.o"
+  "CMakeFiles/hbat_workloads.dir/workloads.cc.o.d"
+  "libhbat_workloads.a"
+  "libhbat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_at_model.cc" "tests/CMakeFiles/hbat_tests.dir/test_at_model.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_at_model.cc.o.d"
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/hbat_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/hbat_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_consistency.cc" "tests/CMakeFiles/hbat_tests.dir/test_consistency.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_consistency.cc.o.d"
+  "/root/repo/tests/test_cost_model.cc" "tests/CMakeFiles/hbat_tests.dir/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_cost_model.cc.o.d"
+  "/root/repo/tests/test_emitter.cc" "tests/CMakeFiles/hbat_tests.dir/test_emitter.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_emitter.cc.o.d"
+  "/root/repo/tests/test_engines.cc" "tests/CMakeFiles/hbat_tests.dir/test_engines.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_engines.cc.o.d"
+  "/root/repo/tests/test_func_core.cc" "tests/CMakeFiles/hbat_tests.dir/test_func_core.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_func_core.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/hbat_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_inorder.cc" "tests/CMakeFiles/hbat_tests.dir/test_inorder.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_inorder.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/hbat_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/hbat_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_predictor.cc" "tests/CMakeFiles/hbat_tests.dir/test_predictor.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_predictor.cc.o.d"
+  "/root/repo/tests/test_regalloc.cc" "tests/CMakeFiles/hbat_tests.dir/test_regalloc.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_regalloc.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/hbat_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/hbat_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/hbat_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_tlb_array.cc" "tests/CMakeFiles/hbat_tests.dir/test_tlb_array.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_tlb_array.cc.o.d"
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/hbat_tests.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_vm.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/hbat_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/hbat_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hbat_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hbat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hbat_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hbat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/hbat_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/hbat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hbat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/hbat_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hbat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
