@@ -86,5 +86,8 @@ main(int argc, char **argv)
     std::printf("Ablation: interleaving degree and bank selection "
                 "(scale %.2f)\n\n%s\n",
                 cfg.scale, table.render().c_str());
+    bench::writeTableJson(
+        "Ablation: interleaving degree and bank selection", cfg,
+        table);
     return 0;
 }

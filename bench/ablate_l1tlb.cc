@@ -162,5 +162,7 @@ main(int argc, char **argv)
     std::printf("Ablation: L1-TLB size and replacement policy "
                 "(scale %.2f)\n\n%s\n",
                 cfg.scale, table.render().c_str());
+    bench::writeTableJson(
+        "Ablation: L1-TLB size and replacement policy", cfg, table);
     return 0;
 }

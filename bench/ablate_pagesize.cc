@@ -59,5 +59,6 @@ main(int argc, char **argv)
     std::printf("Ablation: page-size sweep (IPC relative to T4 at the "
                 "same page size; scale %.2f)\n\n%s\n",
                 cfg.scale, table.render().c_str());
+    bench::writeTableJson("Ablation: page-size sweep", cfg, table);
     return 0;
 }

@@ -112,5 +112,7 @@ main(int argc, char **argv)
     std::printf("Ablation: piggyback ports vs real ports (IPC relative "
                 "to T4, scale %.2f)\n\n%s\n",
                 cfg.scale, table.render().c_str());
+    bench::writeTableJson("Ablation: piggyback ports vs real ports",
+                          cfg, table);
     return 0;
 }

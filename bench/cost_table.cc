@@ -56,5 +56,7 @@ main(int argc, char **argv)
                 "(area/latency are first-order relative units; "
                 "scale %.2f)\n\n%s\n",
                 cfg.scale, table.render().c_str());
+    bench::writeTableJson(
+        "Cost vs. performance across Table 2 designs", cfg, table);
     return 0;
 }

@@ -18,9 +18,10 @@ main(int argc, char **argv)
 
     const bench::Sweep sweep =
         bench::runDesignSweep(cfg, tlb::allDesigns());
-    bench::printSweep(
+    const std::string title =
         "Figure 5: relative performance on the baseline simulator "
-        "(normalized IPC)",
-        sweep);
+        "(normalized IPC)";
+    bench::printSweep(title, sweep);
+    bench::writeSweepJson(title, sweep);
     return 0;
 }

@@ -140,5 +140,6 @@ main(int argc, char **argv)
                 "pages, scale %.2f)\n\n",
                 cfg.pageBytes, cfg.scale);
     std::printf("%s\n", table.render().c_str());
+    bench::writeTableJson("Figure 6: TLB miss rates", cfg, table);
     return 0;
 }

@@ -19,9 +19,10 @@ main(int argc, char **argv)
 
     const bench::Sweep sweep =
         bench::runDesignSweep(cfg, tlb::allDesigns());
-    bench::printSweep(
+    const std::string title =
         "Figure 7: relative performance with in-order issue "
-        "(normalized IPC)",
-        sweep);
+        "(normalized IPC)";
+    bench::printSweep(title, sweep);
+    bench::writeSweepJson(title, sweep);
     return 0;
 }

@@ -20,9 +20,10 @@ main(int argc, char **argv)
 
     const bench::Sweep sweep =
         bench::runDesignSweep(cfg, tlb::allDesigns());
-    bench::printSweep(
+    const std::string title =
         "Figure 8: relative performance with 8 KB pages "
-        "(normalized IPC)",
-        sweep);
+        "(normalized IPC)";
+    bench::printSweep(title, sweep);
+    bench::writeSweepJson(title, sweep);
     return 0;
 }

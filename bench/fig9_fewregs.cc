@@ -21,9 +21,10 @@ main(int argc, char **argv)
 
     const bench::Sweep sweep =
         bench::runDesignSweep(cfg, tlb::allDesigns());
-    bench::printSweep(
+    const std::string title =
         "Figure 9: relative performance with 8 int / 8 fp registers "
-        "(normalized IPC)",
-        sweep);
+        "(normalized IPC)";
+    bench::printSweep(title, sweep);
+    bench::writeSweepJson(title, sweep);
     return 0;
 }

@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "obs/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace hbat::bench
@@ -31,10 +33,15 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
             cfg.programs.push_back(argv[++i]);
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             cfg.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            cfg.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            obs::setTraceMask(obs::parseTraceCats(argv[++i]));
         } else {
             hbat_fatal("unknown argument '", argv[i],
                        "' (supported: --scale f, --program name, "
-                       "--seed n)");
+                       "--seed n, --json file, --trace cats)");
         }
     }
     hbat_assert(cfg.scale > 0.0, "scale must be positive");
@@ -140,6 +147,160 @@ void
 printSweepAbsolute(const std::string &title, const Sweep &sweep)
 {
     printTable(title, sweep, false);
+}
+
+namespace
+{
+
+/** Emit one snapshotted stat as a "name": value member. */
+void
+writeStat(json::Writer &w, const obs::StatValue &sv)
+{
+    w.key(sv.name);
+    switch (sv.kind) {
+      case obs::StatKind::Scalar:
+      case obs::StatKind::Formula:
+        w.value(sv.value);
+        break;
+      case obs::StatKind::Vector:
+        w.beginObject();
+        for (size_t i = 0; i < sv.values.size(); ++i)
+            w.key(sv.labels[i]).value(sv.values[i]);
+        w.endObject();
+        break;
+      case obs::StatKind::Histogram:
+        w.beginObject();
+        w.key("samples").value(sv.samples);
+        w.key("mean").value(sv.mean);
+        w.key("buckets").beginArray();
+        for (double b : sv.values)
+            w.value(b);
+        w.endArray();
+        w.endObject();
+        break;
+    }
+}
+
+/** Shared "config" object. */
+void
+writeConfig(json::Writer &w, const ExperimentConfig &config)
+{
+    w.key("config").beginObject();
+    w.key("scale").value(config.scale);
+    w.key("page_bytes").value(uint64_t(config.pageBytes));
+    w.key("in_order").value(config.inOrder);
+    w.key("int_regs").value(int(config.budget.intRegs));
+    w.key("fp_regs").value(int(config.budget.fpRegs));
+    w.key("seed").value(config.seed);
+    w.endObject();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        hbat_fatal("cannot open '", path, "' for writing");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+} // namespace
+
+void
+writeSweepJson(const std::string &title, const Sweep &sweep)
+{
+    if (sweep.config.jsonPath.empty())
+        return;
+
+    json::Writer w;
+    w.beginObject();
+    w.key("title").value(title);
+    writeConfig(w, sweep.config);
+
+    w.key("designs").beginArray();
+    for (tlb::Design d : sweep.designs)
+        w.value(tlb::designName(d));
+    w.endArray();
+
+    w.key("programs").beginArray();
+    for (const std::string &p : sweep.programs)
+        w.value(p);
+    w.endArray();
+
+    w.key("cells").beginArray();
+    for (size_t p = 0; p < sweep.programs.size(); ++p) {
+        const double base = sweep.cell(p, 0).result.ipc();
+        for (size_t d = 0; d < sweep.designs.size(); ++d) {
+            const Cell &cell = sweep.cell(p, d);
+            w.beginObject();
+            w.key("program").value(cell.program);
+            w.key("design").value(tlb::designName(cell.design));
+            w.key("ipc").value(cell.result.ipc());
+            w.key("norm_ipc").value(ratio(cell.result.ipc(), base));
+            w.key("cycles").value(cell.result.cycles());
+            w.key("committed").value(cell.result.pipe.committed);
+            w.key("stats").beginObject();
+            for (const obs::StatValue &sv : cell.result.stats)
+                writeStat(w, sv);
+            w.endObject();
+            w.endObject();
+        }
+    }
+    w.endArray();
+
+    // Run-time weighted average of normalized IPC, as printed.
+    w.key("summary").beginObject();
+    w.key("rtw_avg_norm_ipc").beginObject();
+    for (size_t d = 0; d < sweep.designs.size(); ++d) {
+        std::vector<double> vals, weights;
+        for (size_t p = 0; p < sweep.programs.size(); ++p) {
+            const double base = sweep.cell(p, 0).result.ipc();
+            vals.push_back(ratio(sweep.cell(p, d).result.ipc(), base));
+            weights.push_back(double(sweep.cell(p, 0).result.cycles()));
+        }
+        w.key(tlb::designName(sweep.designs[d]))
+            .value(weightedAverage(vals, weights));
+    }
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+    writeFile(sweep.config.jsonPath, w.str());
+}
+
+void
+writeTableJson(const std::string &title,
+               const ExperimentConfig &config, const TextTable &table)
+{
+    if (config.jsonPath.empty())
+        return;
+    const auto &cells = table.cells();
+    hbat_assert(!cells.empty(), "table has no header");
+    const std::vector<std::string> &head = cells[0];
+
+    json::Writer w;
+    w.beginObject();
+    w.key("title").value(title);
+    writeConfig(w, config);
+
+    w.key("columns").beginArray();
+    for (const std::string &c : head)
+        w.value(c);
+    w.endArray();
+
+    w.key("rows").beginArray();
+    for (size_t r = 1; r < cells.size(); ++r) {
+        w.beginObject();
+        for (size_t c = 0; c < head.size(); ++c)
+            w.key(head[c]).value(cells[r][c]);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    writeFile(config.jsonPath, w.str());
 }
 
 } // namespace hbat::bench

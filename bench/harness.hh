@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 
@@ -37,6 +38,8 @@ struct ExperimentConfig
     uint64_t seed = 12345;
     /** Subset of workloads to run (empty = all). */
     std::vector<std::string> programs;
+    /** Machine-readable report destination (--json; empty = none). */
+    std::string jsonPath;
 };
 
 /** Results of one (program, design) cell. */
@@ -58,7 +61,11 @@ struct Sweep
     const Cell &cell(size_t prog, size_t design) const;
 };
 
-/** Parse --scale/--programs/--designs flags and HBAT_SCALE. */
+/**
+ * Parse the shared bench flags (and HBAT_SCALE):
+ *  --scale f, --program name, --seed n, --json file,
+ *  --trace cats (comma-separated category list, see obs/trace.hh).
+ */
 ExperimentConfig parseArgs(int argc, char **argv,
                            ExperimentConfig defaults);
 
@@ -75,6 +82,25 @@ void printSweep(const std::string &title, const Sweep &sweep);
 
 /** Print absolute IPCs instead of normalized values. */
 void printSweepAbsolute(const std::string &title, const Sweep &sweep);
+
+/**
+ * Write the full sweep as JSON to sweep.config.jsonPath: the machine
+ * configuration, every (program, design) cell with absolute and
+ * T4-normalized IPC plus *all* registered stats of that run, and the
+ * run-time weighted average summary row. No-op when jsonPath is empty.
+ */
+void writeSweepJson(const std::string &title, const Sweep &sweep);
+
+/**
+ * Write a rendered table as JSON to config.jsonPath — the generic
+ * report for the bench binaries whose output is a bespoke table
+ * rather than a design sweep (Figure 6, the ablations, Table 3...).
+ * Row 0 of @p table names the columns; every later row becomes one
+ * {column: cell} object. No-op when jsonPath is empty.
+ */
+void writeTableJson(const std::string &title,
+                    const ExperimentConfig &config,
+                    const TextTable &table);
 
 } // namespace hbat::bench
 

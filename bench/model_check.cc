@@ -83,5 +83,8 @@ main(int argc, char **argv)
     std::printf("Section 2 analytical model, extracted from measured "
                 "runs (scale %.2f)\n\n%s\n",
                 cfg.scale, table.render().c_str());
+    bench::writeTableJson(
+        "Section 2 analytical model, extracted from measured runs",
+        cfg, table);
     return 0;
 }

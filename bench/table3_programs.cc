@@ -61,5 +61,7 @@ main(int argc, char **argv)
                 "out-of-order model, design T4, scale %.2f)\n\n",
                 cfg.scale);
     std::printf("%s\n", table.render().c_str());
+    bench::writeTableJson("Table 3: program execution performance",
+                          cfg, table);
     return 0;
 }

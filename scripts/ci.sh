@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI entry point:
+#  1. tier-1 verify: configure, build, and run the full test suite;
+#  2. rebuild the unit tests with ASan+UBSan and run them again;
+#  3. emit the micro-benchmark report (BENCH_micro.json) so runs can
+#     be archived and diffed across commits.
+# Run from the repository root. Honors $CMAKE_GENERATOR if set.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier 1: build + tests =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizers: ASan + UBSan =="
+cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build build-san -j "$JOBS"
+ctest --test-dir build-san --output-on-failure -j "$JOBS"
+
+echo "== micro benchmarks =="
+./build/bench/micro_tlb \
+    --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
+    --benchmark_min_time=0.05
+
+echo "CI OK"

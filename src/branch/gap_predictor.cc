@@ -50,4 +50,15 @@ GapPredictor::update(VAddr pc, bool taken, bool predicted)
     history = ((history << 1) | unsigned(taken)) & historyMask;
 }
 
+void
+registerStats(obs::StatRegistry &reg, const std::string &prefix,
+              const PredictorStats &s)
+{
+    reg.scalar(prefix + ".lookups", "conditional-branch predictions",
+               s.lookups);
+    reg.scalar(prefix + ".correct", "correct predictions", s.correct);
+    reg.formula(prefix + ".rate", "prediction accuracy",
+                [&s] { return s.rate(); });
+}
+
 } // namespace hbat::branch

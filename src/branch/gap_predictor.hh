@@ -14,9 +14,11 @@
 #define HBAT_BRANCH_GAP_PREDICTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/stats.hh"
 
 namespace hbat::branch
 {
@@ -33,6 +35,10 @@ struct PredictorStats
         return lookups == 0 ? 0.0 : double(correct) / double(lookups);
     }
 };
+
+/** Register the predictor counters (plus the prediction rate). */
+void registerStats(obs::StatRegistry &reg, const std::string &prefix,
+                   const PredictorStats &s);
 
 /** GAp: global history + per-address PHT selection bits. */
 class GapPredictor

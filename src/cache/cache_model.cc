@@ -103,4 +103,21 @@ CacheModel::flush()
     pendingFills.clear();
 }
 
+void
+registerStats(obs::StatRegistry &reg, const std::string &prefix,
+              const CacheStats &s)
+{
+    reg.scalar(prefix + ".accesses", "cache accesses", s.accesses);
+    reg.scalar(prefix + ".hits", "cache hits", s.hits);
+    reg.scalar(prefix + ".misses", "cache misses", s.misses);
+    reg.scalar(prefix + ".mshr_merges",
+               "misses merged with in-flight fills", s.mshrMerges);
+    reg.scalar(prefix + ".writebacks", "dirty blocks evicted",
+               s.writebacks);
+    reg.formula(prefix + ".miss_rate", "misses per access", [&s] {
+        return s.accesses == 0 ? 0.0
+                               : double(s.misses) / double(s.accesses);
+    });
+}
+
 } // namespace hbat::cache

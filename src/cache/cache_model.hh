@@ -16,10 +16,12 @@
 #define HBAT_CACHE_CACHE_MODEL_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/stats.hh"
 
 namespace hbat::cache
 {
@@ -42,6 +44,10 @@ struct CacheStats
     uint64_t mshrMerges = 0;    ///< misses merged with in-flight fills
     uint64_t writebacks = 0;    ///< dirty blocks evicted
 };
+
+/** Register every CacheStats counter (plus hit/miss rates). */
+void registerStats(obs::StatRegistry &reg, const std::string &prefix,
+                   const CacheStats &s);
 
 /** One access's outcome. */
 struct CacheAccess

@@ -1,0 +1,492 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace hbat::json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+Writer::comma()
+{
+    if (needComma_)
+        out_ += ',';
+    needComma_ = false;
+}
+
+Writer &
+Writer::beginObject()
+{
+    comma();
+    out_ += '{';
+    stack_ += '{';
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    hbat_assert(!stack_.empty() && stack_.back() == '{',
+                "endObject outside an object");
+    hbat_assert(!afterKey_, "dangling key at endObject");
+    out_ += '}';
+    stack_.pop_back();
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    comma();
+    out_ += '[';
+    stack_ += '[';
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    hbat_assert(!stack_.empty() && stack_.back() == '[',
+                "endArray outside an array");
+    out_ += ']';
+    stack_.pop_back();
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::key(const std::string &k)
+{
+    hbat_assert(!stack_.empty() && stack_.back() == '{',
+                "key outside an object");
+    hbat_assert(!afterKey_, "two keys in a row");
+    comma();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+Writer &
+Writer::value(double v)
+{
+    comma();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out_ += "null";
+    } else if (v == double(int64_t(v)) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)(int64_t(v)));
+        out_ += buf;
+    } else {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+    }
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::value(uint64_t v)
+{
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    out_ += buf;
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::value(int v)
+{
+    comma();
+    out_ += std::to_string(v);
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::value(bool v)
+{
+    comma();
+    out_ += v ? "true" : "false";
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+Writer &
+Writer::null()
+{
+    comma();
+    out_ += "null";
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+std::string
+Writer::str() const
+{
+    hbat_assert(stack_.empty(), "unbalanced JSON nesting (depth ",
+                stack_.size(), ")");
+    return out_;
+}
+
+const Value *
+Value::find(const std::string &k) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, v] : members)
+        if (name == k)
+            return &v;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON reader over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s(text), err(error)
+    {}
+
+    bool
+    run(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (err)
+            *err = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word, Value &out, Value::Kind kind, bool b)
+    {
+        const size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        out.kind = kind;
+        out.boolean = b;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+          case 't':
+            return literal("true", out, Value::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, Value::Kind::Bool, false);
+          case 'n':
+            return literal("null", out, Value::Kind::Null, false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        char *end = nullptr;
+        const std::string num = s.substr(start, pos - start);
+        out.number = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size())
+            return fail("malformed number");
+        out.kind = Value::Kind::Number;
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xc0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3f));
+        } else {
+            out += char(0xe0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos;      // opening quote
+        out.clear();
+        while (true) {
+            if (pos >= s.size())
+                return fail("unterminated string");
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("unterminated escape");
+                const char e = s[pos++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        return fail("short \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s[pos++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++pos;      // '['
+        out.kind = Value::Kind::Array;
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            Value item;
+            skipWs();
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++pos;      // '{'
+        out.kind = Value::Kind::Object;
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            std::string k;
+            if (!parseString(k))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.members.emplace_back(std::move(k), std::move(v));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &s;
+    std::string *err;
+    size_t pos = 0;
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *error)
+{
+    out = Value{};
+    return Parser(text, error).run(out);
+}
+
+} // namespace hbat::json

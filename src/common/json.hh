@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON support for machine-readable run reports.
+ *
+ * Writer: a streaming builder with explicit object/array nesting and
+ * full string escaping — enough for the bench harness to emit sweep
+ * reports (`--json`) that CI can archive and diff across PRs.
+ *
+ * Value/parse: a small recursive-descent reader used by tests (and
+ * available to tools) to validate and inspect what the writer
+ * produced. It handles the full JSON value grammar including \uXXXX
+ * escapes (BMP code points, encoded back to UTF-8); it is not meant
+ * to be a general-purpose hardened parser.
+ */
+
+#ifndef HBAT_COMMON_JSON_HH
+#define HBAT_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hbat::json
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string escape(const std::string &s);
+
+/** Streaming JSON builder; misuse (unbalanced nesting) panics. */
+class Writer
+{
+  public:
+    Writer &beginObject();
+    Writer &endObject();
+    Writer &beginArray();
+    Writer &endArray();
+
+    /** Emit an object key; must be inside an object. */
+    Writer &key(const std::string &k);
+
+    Writer &value(const std::string &v);
+    Writer &value(const char *v);
+    Writer &value(double v);
+    Writer &value(uint64_t v);
+    Writer &value(int v);
+    Writer &value(bool v);
+    Writer &null();
+
+    /** The finished document; panics if nesting is unbalanced. */
+    std::string str() const;
+
+  private:
+    void comma();
+
+    std::string out_;
+    std::string stack_;     ///< '{' / '[' nesting
+    bool needComma_ = false;
+    bool afterKey_ = false;
+};
+
+/** A parsed JSON value (tree). */
+struct Value
+{
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> items;   ///< Array elements
+    std::vector<std::pair<std::string, Value>> members;     ///< Object
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &k) const;
+
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+};
+
+/**
+ * Parse @p text into @p out. Returns false (with @p error set, if
+ * given) on malformed input or trailing garbage.
+ */
+bool parse(const std::string &text, Value &out,
+           std::string *error = nullptr);
+
+} // namespace hbat::json
+
+#endif // HBAT_COMMON_JSON_HH

@@ -57,6 +57,13 @@ class TextTable
     /** Render the table with aligned columns. */
     std::string render() const;
 
+    /** All cells as written; row 0 is the header. */
+    const std::vector<std::vector<std::string>> &
+    cells() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::vector<std::string>> rows_;
 };

@@ -292,4 +292,20 @@ FuncCore::step()
     return dyn;
 }
 
+void
+registerStats(obs::StatRegistry &reg, const std::string &prefix,
+              const FuncStats &s)
+{
+    reg.scalar(prefix + ".instructions",
+               "architecturally executed instructions", s.instructions);
+    reg.scalar(prefix + ".loads", "architectural loads", s.loads);
+    reg.scalar(prefix + ".stores", "architectural stores", s.stores);
+    reg.scalar(prefix + ".branches", "conditional branches executed",
+               s.branches);
+    reg.scalar(prefix + ".taken_branches", "taken conditional branches",
+               s.takenBranches);
+    reg.scalar(prefix + ".fp_ops", "floating-point operations",
+               s.fpOps);
+}
+
 } // namespace hbat::cpu

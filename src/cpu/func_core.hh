@@ -12,10 +12,12 @@
 #ifndef HBAT_CPU_FUNC_CORE_HH
 #define HBAT_CPU_FUNC_CORE_HH
 
+#include <string>
 #include <vector>
 
 #include "cpu/dyn_inst.hh"
 #include "kasm/program.hh"
+#include "obs/stats.hh"
 #include "vm/address_space.hh"
 
 namespace hbat::cpu
@@ -31,6 +33,10 @@ struct FuncStats
     uint64_t takenBranches = 0;
     uint64_t fpOps = 0;
 };
+
+/** Register the architectural execution counts. */
+void registerStats(obs::StatRegistry &reg, const std::string &prefix,
+                   const FuncStats &s);
 
 /** Executes the HBAT ISA over an AddressSpace. */
 class FuncCore

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace hbat::cpu
 {
@@ -133,6 +134,16 @@ Pipeline::commitStage()
         if (e.dyn.op == Opcode::Halt)
             haltCommitted = true;
 
+        HBAT_TRACE_EVENT(obs::kTraceCommit, now, "commit seq=",
+                         e.dyn.seq, " pc=0x", std::hex, e.dyn.pc,
+                         std::dec, " op=", isa::opName(e.dyn.op));
+        HBAT_TRACE_EVENT(obs::kTraceLife, now, "life seq=", e.dyn.seq,
+                         " pc=0x", std::hex, e.dyn.pc, std::dec,
+                         " op=", isa::opName(e.dyn.op),
+                         " dispatch=", e.dispatchCycle,
+                         " issue=", e.issueCycle,
+                         " done=", e.resultCycle, " commit=", now);
+
         e.valid = false;
         robHead = (robHead + 1) % rob.size();
         --robCount;
@@ -146,6 +157,8 @@ Pipeline::walkStage()
     if (walkActive) {
         if (now < walkDone)
             return;
+        HBAT_TRACE_EVENT(obs::kTraceWalk, now, "walk done vpn=0x",
+                         std::hex, walkVpn, std::dec);
         engine.fill(walkVpn, now);
         walkActive = false;
         for (int slot : lsq) {
@@ -173,6 +186,10 @@ Pipeline::walkStage()
             walkVpn = e.missVpn;
             walkDone = now + cfg.tlbMissLatency;
             ++stats_.tlbWalks;
+            HBAT_TRACE_EVENT(obs::kTraceWalk, now,
+                             "walk start seq=", e.dyn.seq, " vpn=0x",
+                             std::hex, e.missVpn, std::dec,
+                             " done@", walkDone);
         }
         break;  // only the oldest miss is considered
     }
@@ -189,15 +206,27 @@ Pipeline::attemptXlate(Entry &e)
     req.baseReg = e.dyn.baseReg;
     req.offsetHigh = e.dyn.offsetHigh;
 
+    ++memReqsThisCycle;
     const tlb::Outcome out = engine.request(req, now);
     switch (out.kind) {
       case tlb::Outcome::Kind::NoPort:
+        HBAT_TRACE_EVENT(obs::kTraceXlate, now, "xlate no-port seq=",
+                         e.dyn.seq, " vpn=0x", std::hex, req.vpn,
+                         std::dec);
         return;   // retry next cycle
       case tlb::Outcome::Kind::Miss:
         e.phase = MemPhase::TlbMiss;
         e.missVpn = req.vpn;
+        HBAT_TRACE_EVENT(obs::kTraceXlate, now, "xlate miss seq=",
+                         e.dyn.seq, " vpn=0x", std::hex, req.vpn,
+                         std::dec);
         return;
       case tlb::Outcome::Kind::Hit:
+        HBAT_TRACE_EVENT(obs::kTraceXlate, now, "xlate hit seq=",
+                         e.dyn.seq, " vpn=0x", std::hex, req.vpn,
+                         " ppn=0x", out.ppn, std::dec,
+                         " ready@", out.ready,
+                         out.shielded ? " shielded" : "");
         e.xlateReady = out.ready;
         e.paddr = pages.physAddr(out.ppn, e.dyn.effAddr);
         if (e.dyn.isStore) {
@@ -303,6 +332,7 @@ Pipeline::issueStage()
 {
     if (walkActive) {
         ++stats_.idleWalk;
+        ++stats_.zeroIssueCycles;
         return;     // the software miss handler occupies the pipeline
     }
 
@@ -356,8 +386,12 @@ Pipeline::issueStage()
         }
 
         e.issued = true;
+        e.issueCycle = now;
         ++issued;
         ++stats_.issuedOps;
+        HBAT_TRACE_EVENT(obs::kTraceIssue, now, "issue seq=", e.dyn.seq,
+                         " op=", isa::opName(e.dyn.op),
+                         e.dyn.isMem() ? " mem" : "");
 
         if (e.dyn.isMem()) {
             issueMem(e);
@@ -374,6 +408,7 @@ Pipeline::issueStage()
     }
 
     if (issued == 0) {
+        ++stats_.zeroIssueCycles;
         if (!sawUnissued)
             ++stats_.idleEmpty;
         else if (reason)
@@ -485,6 +520,9 @@ Pipeline::fetchStage()
         if (isCtrl)
             ++controls;
 
+        HBAT_TRACE_EVENT(obs::kTraceFetch, now, "fetch seq=", d.seq,
+                         " pc=0x", std::hex, d.pc, std::dec, " op=",
+                         isa::opName(d.op), mispred ? " mispred" : "");
         fetchQueue.push_back(Fetched{d, availAt, mispred});
         lookahead.pop_front();
 
@@ -518,6 +556,7 @@ Pipeline::run(uint64_t max_insts)
     while (!done() && stats_.committed < max_insts) {
         engine.beginCycle(now);
         cachePortsUsed = 0;
+        memReqsThisCycle = 0;
 
         commitStage();
         walkStage();
@@ -525,6 +564,8 @@ Pipeline::run(uint64_t max_insts)
         issueStage();
         dispatchStage();
         fetchStage();
+
+        stats_.memPerCycle.record(memReqsThisCycle);
 
         if (stats_.committed != lastCommitted) {
             lastCommitted = stats_.committed;
@@ -541,7 +582,60 @@ Pipeline::run(uint64_t max_insts)
     stats_.xlate = engine.stats();
     stats_.icache = icache.stats();
     stats_.dcache = dcache.stats();
+
+    // Every zero-issue cycle must be blamed on exactly one cause.
+    hbat_assert(stats_.idleSum() == stats_.zeroIssueCycles,
+                "zero-issue classification out of sync: ",
+                stats_.idleSum(), " classified vs ",
+                stats_.zeroIssueCycles, " zero-issue cycles");
     return stats_;
+}
+
+void
+registerStats(obs::StatRegistry &reg, const std::string &prefix,
+              const PipeStats &s)
+{
+    reg.scalar(prefix + ".cycles", "simulated cycles", s.cycles);
+    reg.scalar(prefix + ".committed", "committed instructions",
+               s.committed);
+    reg.scalar(prefix + ".committed_loads", "committed loads",
+               s.committedLoads);
+    reg.scalar(prefix + ".committed_stores", "committed stores",
+               s.committedStores);
+    reg.scalar(prefix + ".issued_ops", "issued operations",
+               s.issuedOps);
+    reg.scalar(prefix + ".mispredicts",
+               "mispredicted conditional branches", s.mispredicts);
+    reg.scalar(prefix + ".indirect_redirects",
+               "front-end redirects on indirect jumps",
+               s.indirectRedirects);
+    reg.scalar(prefix + ".tlb_walks", "base-TLB miss-handler runs",
+               s.tlbWalks);
+    reg.scalar(prefix + ".rob_full_stalls",
+               "dispatch stalls on a full re-order buffer",
+               s.robFullStalls);
+    reg.scalar(prefix + ".lsq_full_stalls",
+               "dispatch stalls on a full load/store queue",
+               s.lsqFullStalls);
+    reg.scalar(prefix + ".zero_issue_cycles",
+               "cycles that issued nothing", s.zeroIssueCycles);
+    reg.vector(prefix + ".idle",
+               "zero-issue cycle classification by cause",
+               {"empty", "src_wait", "fu_busy", "load_order", "walk",
+                "other"},
+               {&s.idleEmpty, &s.idleSrcWait, &s.idleFuBusy,
+                &s.idleLoadOrder, &s.idleWalk, &s.idleOther});
+    reg.formula(prefix + ".ipc", "committed instructions per cycle",
+                [&s] { return s.ipc(); });
+    reg.formula(prefix + ".issue_ipc", "issued operations per cycle",
+                [&s] { return s.issueIpc(); });
+    reg.histogram(prefix + ".mem_per_cycle",
+                  "memory accesses requesting translation per cycle "
+                  "(Figure 3 bandwidth demand)",
+                  s.memPerCycle);
+    branch::registerStats(reg, prefix + ".bpred", s.predictor);
+    cache::registerStats(reg, prefix + ".icache", s.icache);
+    cache::registerStats(reg, prefix + ".dcache", s.dcache);
 }
 
 } // namespace hbat::cpu

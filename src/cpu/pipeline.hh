@@ -31,6 +31,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "branch/gap_predictor.hh"
@@ -75,13 +76,34 @@ struct PipeStats
 
     /// @name Zero-issue cycle classification (diagnostics)
     /// @{
+    uint64_t zeroIssueCycles = 0;   ///< cycles that issued nothing
     uint64_t idleEmpty = 0;         ///< nothing in the window
     uint64_t idleSrcWait = 0;       ///< oldest unissued waits on operands
     uint64_t idleFuBusy = 0;        ///< oldest unissued waits on an FU
     uint64_t idleLoadOrder = 0;     ///< load waits for older store addrs
     uint64_t idleWalk = 0;          ///< TLB miss handler running
     uint64_t idleOther = 0;
+
+    /**
+     * Sum of the classification counters; the pipeline asserts this
+     * equals zeroIssueCycles at end of run (every zero-issue cycle is
+     * blamed on exactly one cause).
+     */
+    uint64_t
+    idleSum() const
+    {
+        return idleEmpty + idleSrcWait + idleFuBusy + idleLoadOrder +
+               idleWalk + idleOther;
+    }
     /// @}
+
+    /**
+     * Per-cycle data-translation demand: how many memory accesses
+     * requested translation each cycle (including conflict retries).
+     * Reproduces the bandwidth-demand distribution of the paper's
+     * Figure 3; buckets 0..8 plus overflow.
+     */
+    obs::Histogram memPerCycle{10};
 
     branch::PredictorStats predictor;
     tlb::XlateStats xlate;
@@ -91,6 +113,15 @@ struct PipeStats
     double ipc() const { return cycles ? double(committed) / double(cycles) : 0.0; }
     double issueIpc() const { return cycles ? double(issuedOps) / double(cycles) : 0.0; }
 };
+
+/**
+ * Register every PipeStats counter — including the predictor, both
+ * caches, and the per-cycle memory-demand histogram, but *not* the
+ * xlate sub-struct (the live TranslationEngine registers those, so
+ * design families can add their structure-specific stats).
+ */
+void registerStats(obs::StatRegistry &reg, const std::string &prefix,
+                   const PipeStats &s);
 
 /** The cycle-stepped timing model. */
 class Pipeline
@@ -130,6 +161,7 @@ class Pipeline
         bool valid = false;
         bool issued = false;
         Cycle dispatchCycle = 0;
+        Cycle issueCycle = kCycleNever;
         Cycle resultCycle = kCycleNever;
 
         // Producers of each source (ROB slot + seq for liveness).
@@ -219,6 +251,7 @@ class Pipeline
 
     Cycle now = 0;
     unsigned cachePortsUsed = 0;
+    unsigned memReqsThisCycle = 0;  ///< translation demand (Figure 3)
 
     /// Rename map: last dispatched writer of each unified register.
     struct Writer

@@ -1,0 +1,184 @@
+#include "obs/stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hbat::obs
+{
+
+Histogram::Histogram(unsigned num_buckets) : buckets_(num_buckets, 0)
+{
+    hbat_assert(num_buckets >= 2, "histogram needs >= 2 buckets");
+}
+
+void
+Histogram::record(uint64_t value, uint64_t count)
+{
+    const size_t b =
+        value < buckets_.size() - 1 ? size_t(value) : buckets_.size() - 1;
+    buckets_[b] += count;
+    samples_ += count;
+    sum_ += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0 : double(sum_) / double(samples_);
+}
+
+void
+Histogram::reset()
+{
+    buckets_.assign(buckets_.size(), 0);
+    samples_ = 0;
+    sum_ = 0;
+}
+
+void
+StatRegistry::checkName(const std::string &name) const
+{
+    hbat_assert(!name.empty(), "stat name must not be empty");
+    for (const Entry &e : entries_)
+        hbat_assert(e.name != name, "duplicate stat name '", name, "'");
+}
+
+StatRegistry &
+StatRegistry::scalar(const std::string &name, const std::string &desc,
+                     const uint64_t &v)
+{
+    checkName(name);
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = StatKind::Scalar;
+    e.scalar = &v;
+    entries_.push_back(std::move(e));
+    return *this;
+}
+
+StatRegistry &
+StatRegistry::formula(const std::string &name, const std::string &desc,
+                      std::function<double()> f)
+{
+    checkName(name);
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = StatKind::Formula;
+    e.fn = std::move(f);
+    entries_.push_back(std::move(e));
+    return *this;
+}
+
+StatRegistry &
+StatRegistry::vector(const std::string &name, const std::string &desc,
+                     std::vector<std::string> labels,
+                     std::vector<const uint64_t *> elems)
+{
+    checkName(name);
+    hbat_assert(labels.size() == elems.size(),
+                "vector stat '", name, "': ", labels.size(),
+                " labels vs ", elems.size(), " elements");
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = StatKind::Vector;
+    e.labels = std::move(labels);
+    e.elems = std::move(elems);
+    entries_.push_back(std::move(e));
+    return *this;
+}
+
+StatRegistry &
+StatRegistry::histogram(const std::string &name, const std::string &desc,
+                        const Histogram &h)
+{
+    checkName(name);
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = StatKind::Histogram;
+    e.hist = &h;
+    entries_.push_back(std::move(e));
+    return *this;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    snap.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        StatValue v;
+        v.name = e.name;
+        v.desc = e.desc;
+        v.kind = e.kind;
+        switch (e.kind) {
+          case StatKind::Scalar:
+            v.value = double(*e.scalar);
+            break;
+          case StatKind::Formula:
+            v.value = e.fn();
+            break;
+          case StatKind::Vector:
+            v.labels = e.labels;
+            for (const uint64_t *p : e.elems)
+                v.values.push_back(double(*p));
+            break;
+          case StatKind::Histogram:
+            for (uint64_t b : e.hist->buckets())
+                v.values.push_back(double(b));
+            v.samples = e.hist->samples();
+            v.mean = e.hist->mean();
+            break;
+        }
+        snap.push_back(std::move(v));
+    }
+    return snap;
+}
+
+std::string
+StatRegistry::dumpText(const StatSnapshot &snap)
+{
+    std::ostringstream os;
+    char buf[64];
+    auto num = [&](double d) -> const char * {
+        if (d == double(uint64_t(d)))
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          (unsigned long long)(uint64_t(d)));
+        else
+            std::snprintf(buf, sizeof(buf), "%.6f", d);
+        return buf;
+    };
+    for (const StatValue &v : snap) {
+        switch (v.kind) {
+          case StatKind::Scalar:
+          case StatKind::Formula:
+            os << v.name << "  " << num(v.value) << "  # " << v.desc
+               << '\n';
+            break;
+          case StatKind::Vector:
+            for (size_t i = 0; i < v.values.size(); ++i)
+                os << v.name << "::" << v.labels[i] << "  "
+                   << num(v.values[i]) << "  # " << v.desc << '\n';
+            break;
+          case StatKind::Histogram:
+            os << v.name << "::samples  " << num(double(v.samples))
+               << "  # " << v.desc << '\n';
+            os << v.name << "::mean  " << num(v.mean) << "  # "
+               << v.desc << '\n';
+            for (size_t i = 0; i < v.values.size(); ++i) {
+                os << v.name << "::" << i
+                   << (i + 1 == v.values.size() ? "+" : "") << "  "
+                   << num(v.values[i]) << "  # " << v.desc << '\n';
+            }
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace hbat::obs

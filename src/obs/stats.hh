@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The stat registry: named, hierarchical, self-describing statistics.
+ *
+ * Simulator components keep their counters in plain structs (cheap to
+ * bump on the hot path); at end of run they *register* those counters
+ * here under gem5-style dotted names ("pipe.xlate.requests") with
+ * one-line descriptions. The registry can then be enumerated, dumped
+ * as text, or snapshotted into plain data for machine-readable
+ * reports — so every run exposes the same uniform stat namespace
+ * regardless of which bench binary produced it.
+ *
+ * Four stat kinds cover the paper's evaluation needs:
+ *  - scalar: a uint64_t counter read by reference;
+ *  - formula: a derived value computed at snapshot time (rates, IPC);
+ *  - vector: an ordered list of named counters (e.g. the zero-issue
+ *    cycle classification);
+ *  - histogram: a bucketed distribution (e.g. the per-cycle
+ *    memory-accesses demand of the paper's Figure 3).
+ */
+
+#ifndef HBAT_OBS_STATS_HH
+#define HBAT_OBS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hbat::obs
+{
+
+/**
+ * Fixed-bucket histogram of small non-negative integer samples.
+ * Buckets 0..numBuckets-2 hold exact values; the last bucket collects
+ * everything >= numBuckets-1 (overflow).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned num_buckets = 10);
+
+    /** Record @p count samples of @p value. */
+    void record(uint64_t value, uint64_t count = 1);
+
+    uint64_t samples() const { return samples_; }
+    uint64_t sum() const { return sum_; }
+    double mean() const;
+
+    size_t numBuckets() const { return buckets_.size(); }
+    uint64_t bucket(size_t i) const { return buckets_[i]; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    void reset();
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t samples_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/** What a registered stat is. */
+enum class StatKind : uint8_t
+{
+    Scalar,
+    Formula,
+    Vector,
+    Histogram
+};
+
+/** One stat's value at snapshot time — plain copyable data. */
+struct StatValue
+{
+    std::string name;
+    std::string desc;
+    StatKind kind = StatKind::Scalar;
+
+    double value = 0.0;             ///< Scalar / Formula
+    std::vector<double> values;     ///< Vector / Histogram buckets
+    std::vector<std::string> labels;    ///< Vector: one per element
+    uint64_t samples = 0;           ///< Histogram
+    double mean = 0.0;              ///< Histogram
+};
+
+/** A full run's stats, decoupled from the live objects. */
+using StatSnapshot = std::vector<StatValue>;
+
+/**
+ * The registry proper. Registration stores *references* to the live
+ * counters (cheap; nothing on the hot path); snapshot() reads them.
+ * Names must be unique — duplicate registration is a simulator bug.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry &scalar(const std::string &name,
+                         const std::string &desc, const uint64_t &v);
+
+    StatRegistry &formula(const std::string &name,
+                          const std::string &desc,
+                          std::function<double()> f);
+
+    /** @p labels names each element of @p v (same length). */
+    StatRegistry &vector(const std::string &name,
+                         const std::string &desc,
+                         std::vector<std::string> labels,
+                         std::vector<const uint64_t *> elems);
+
+    StatRegistry &histogram(const std::string &name,
+                            const std::string &desc, const Histogram &h);
+
+    size_t size() const { return entries_.size(); }
+
+    /** Read every registered stat into plain data. */
+    StatSnapshot snapshot() const;
+
+    /** gem5-style text dump: "name  value  # desc", one per line. */
+    static std::string dumpText(const StatSnapshot &snap);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        StatKind kind;
+        const uint64_t *scalar = nullptr;
+        std::function<double()> fn;
+        std::vector<std::string> labels;
+        std::vector<const uint64_t *> elems;
+        const Histogram *hist = nullptr;
+    };
+
+    void checkName(const std::string &name) const;
+
+    std::vector<Entry> entries_;    ///< registration order
+};
+
+} // namespace hbat::obs
+
+#endif // HBAT_OBS_STATS_HH

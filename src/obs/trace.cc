@@ -1,0 +1,108 @@
+#include "obs/trace.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hbat::obs
+{
+
+namespace detail
+{
+
+uint32_t traceMask_ = 0;
+bool traceInit_ = false;
+
+void
+initTraceFromEnv()
+{
+    traceInit_ = true;
+    if (const char *env = std::getenv("HBAT_TRACE"))
+        traceMask_ = parseTraceCats(env);
+}
+
+} // namespace detail
+
+namespace
+{
+
+std::FILE *traceStream_ = nullptr;
+
+struct CatName
+{
+    uint32_t bit;
+    const char *name;
+};
+
+constexpr CatName kCats[] = {
+    {kTraceFetch, "fetch"}, {kTraceIssue, "issue"},
+    {kTraceXlate, "xlate"}, {kTraceWalk, "walk"},
+    {kTraceCommit, "commit"}, {kTraceLife, "life"},
+};
+
+} // namespace
+
+void
+setTraceMask(uint32_t mask)
+{
+    detail::traceInit_ = true;
+    detail::traceMask_ = mask;
+}
+
+uint32_t
+parseTraceCats(const std::string &spec)
+{
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty() || tok == "none")
+            continue;
+        if (tok == "all") {
+            mask |= kTraceAll;
+            continue;
+        }
+        bool found = false;
+        for (const CatName &c : kCats) {
+            if (tok == c.name) {
+                mask |= c.bit;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            hbat_fatal("unknown trace category '", tok,
+                       "' (known: fetch, issue, xlate, walk, commit, "
+                       "life, all)");
+        }
+    }
+    return mask;
+}
+
+const char *
+traceCatName(uint32_t cat)
+{
+    for (const CatName &c : kCats)
+        if (cat == c.bit)
+            return c.name;
+    return "?";
+}
+
+void
+setTraceStream(std::FILE *f)
+{
+    traceStream_ = f;
+}
+
+void
+traceLine(uint32_t cat, Cycle now, const std::string &msg)
+{
+    std::FILE *out = traceStream_ ? traceStream_ : stderr;
+    std::fprintf(out, "TRACE %-6s @%llu %s\n", traceCatName(cat),
+                 (unsigned long long)now, msg.c_str());
+}
+
+} // namespace hbat::obs

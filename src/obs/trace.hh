@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Category-filtered event tracing for the timing models.
+ *
+ * Gated by the HBAT_TRACE environment variable (a comma-separated
+ * list of categories, or "all") or programmatically via
+ * setTraceMask() (the bench harness's --trace flag). When no category
+ * is enabled the per-event cost is one inline load-and-test of a
+ * global mask — message formatting happens only behind that check, so
+ * tracing is effectively free when off.
+ *
+ * Categories follow the pipeline stages the paper's timing model is
+ * built from: fetch, issue, xlate (translation requests and their
+ * outcomes), walk (base-TLB miss handling), commit, plus `life`, a
+ * per-instruction pipeline-lifetime record emitted at commit for
+ * debugging timing bugs.
+ *
+ * Events go to stderr by default (stdout stays reserved for the
+ * paper-style tables) and can be redirected with setTraceStream().
+ */
+
+#ifndef HBAT_OBS_TRACE_HH
+#define HBAT_OBS_TRACE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace hbat::obs
+{
+
+/// @name Trace categories (bitmask)
+/// @{
+inline constexpr uint32_t kTraceFetch = 1u << 0;
+inline constexpr uint32_t kTraceIssue = 1u << 1;
+inline constexpr uint32_t kTraceXlate = 1u << 2;
+inline constexpr uint32_t kTraceWalk = 1u << 3;
+inline constexpr uint32_t kTraceCommit = 1u << 4;
+inline constexpr uint32_t kTraceLife = 1u << 5;
+inline constexpr uint32_t kTraceAll =
+    kTraceFetch | kTraceIssue | kTraceXlate | kTraceWalk | kTraceCommit |
+    kTraceLife;
+/// @}
+
+namespace detail
+{
+extern uint32_t traceMask_;
+extern bool traceInit_;
+/** Parse HBAT_TRACE once and cache the result. */
+void initTraceFromEnv();
+} // namespace detail
+
+/** The active category mask (lazily parses HBAT_TRACE on first use). */
+inline uint32_t
+traceMask()
+{
+    if (!detail::traceInit_)
+        detail::initTraceFromEnv();
+    return detail::traceMask_;
+}
+
+/** True when any category in @p cats is enabled. */
+inline bool
+traceOn(uint32_t cats)
+{
+    return (traceMask() & cats) != 0;
+}
+
+/** Override the mask (wins over HBAT_TRACE). */
+void setTraceMask(uint32_t mask);
+
+/**
+ * Parse a category spec: comma-separated names from {fetch, issue,
+ * xlate, walk, commit, life}, or "all", or "" / "none" for nothing.
+ * Fatal on unknown names (user error).
+ */
+uint32_t parseTraceCats(const std::string &spec);
+
+/** The short name of a single category bit ("xlate"). */
+const char *traceCatName(uint32_t cat);
+
+/** Redirect trace output (default stderr); nullptr restores stderr. */
+void setTraceStream(std::FILE *f);
+
+/** Emit one event line: "TRACE <cat> @<cycle> <msg>". */
+void traceLine(uint32_t cat, Cycle now, const std::string &msg);
+
+} // namespace hbat::obs
+
+/**
+ * Emit a trace event in category @p cat at cycle @p cycle. The
+ * variadic message parts are streamed (as in hbat_fatal) and only
+ * evaluated when the category is enabled.
+ */
+#define HBAT_TRACE_EVENT(cat, cycle, ...)                                 \
+    do {                                                                  \
+        if (::hbat::obs::traceOn(cat)) {                                  \
+            ::hbat::obs::traceLine(                                       \
+                (cat), (cycle), ::hbat::detail::concat(__VA_ARGS__));     \
+        }                                                                 \
+    } while (0)
+
+#endif // HBAT_OBS_TRACE_HH

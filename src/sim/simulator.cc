@@ -28,6 +28,16 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
     res.pipe = pipe.run(cfg.maxInsts);
     res.func = core.stats();
     res.touchedPages = space.touchedPages();
+
+    // Snapshot every counter while the engine is still alive; the
+    // result carries plain data, not references.
+    obs::StatRegistry reg;
+    cpu::registerStats(reg, "pipe", res.pipe);
+    engine->registerStats(reg, "xlate");
+    cpu::registerStats(reg, "func", res.func);
+    reg.scalar("vm.touched_pages", "distinct pages touched",
+               res.touchedPages);
+    res.stats = reg.snapshot();
     return res;
 }
 

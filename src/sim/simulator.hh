@@ -26,6 +26,13 @@ struct SimResult
     cpu::FuncStats func;        ///< architectural counts
     uint64_t touchedPages = 0;  ///< data footprint in pages
 
+    /**
+     * Every registered statistic of the run, snapshotted after the
+     * pipeline finished (the live components are gone by the time the
+     * caller sees this). Includes the design-specific xlate stats.
+     */
+    obs::StatSnapshot stats;
+
     double ipc() const { return pipe.ipc(); }
     Cycle cycles() const { return pipe.cycles; }
 };

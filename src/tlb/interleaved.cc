@@ -101,4 +101,22 @@ InterleavedTlb::invalidate(Vpn vpn, Cycle now)
     banks[bankOf(vpn)].invalidate(vpn);
 }
 
+void
+InterleavedTlb::registerStats(obs::StatRegistry &reg,
+                              const std::string &prefix) const
+{
+    TranslationEngine::registerStats(reg, prefix);
+    reg.formula(prefix + ".banks", "number of single-ported banks",
+                [this] { return double(banks.size()); });
+    reg.formula(prefix + ".piggyback", "per-bank piggyback ports enabled",
+                [this] { return piggyback ? 1.0 : 0.0; });
+    reg.formula(prefix + ".bank_occupancy",
+                "valid entries summed over all banks", [this] {
+                    double n = 0;
+                    for (const TlbArray &b : banks)
+                        n += b.occupancy();
+                    return n;
+                });
+}
+
 } // namespace hbat::tlb

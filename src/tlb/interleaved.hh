@@ -47,6 +47,8 @@ class InterleavedTlb : public TranslationEngine
     Outcome request(const XlateRequest &req, Cycle now) override;
     void fill(Vpn vpn, Cycle now) override;
     void invalidate(Vpn vpn, Cycle now) override;
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
 
     /** The bank @p vpn maps to (exposed for tests and ablations). */
     unsigned bankOf(Vpn vpn) const;

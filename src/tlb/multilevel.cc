@@ -92,4 +92,22 @@ MultiLevelTlb::fill(Vpn vpn, Cycle now)
     l1.insert(vpn, now);
 }
 
+void
+MultiLevelTlb::registerStats(obs::StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    TranslationEngine::registerStats(reg, prefix);
+    reg.formula(prefix + ".l1_entries", "upper-level TLB capacity",
+                [this] { return double(l1.capacity()); });
+    reg.formula(prefix + ".l1_ports", "upper-level ports per cycle",
+                [this] { return double(l1Ports); });
+    reg.formula(prefix + ".l2_hit_rate",
+                "hit rate of base-TLB accesses (L1 misses)", [this] {
+                    return stats_.baseAccesses == 0
+                               ? 0.0
+                               : double(stats_.baseHits) /
+                                     double(stats_.baseAccesses);
+                });
+}
+
 } // namespace hbat::tlb

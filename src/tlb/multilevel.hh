@@ -37,6 +37,8 @@ class MultiLevelTlb : public TranslationEngine
     Outcome request(const XlateRequest &req, Cycle now) override;
     void fill(Vpn vpn, Cycle now) override;
     void invalidate(Vpn vpn, Cycle now) override;
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
 
   private:
     /** Allocate the next L2 port slot at or after @p earliest. */

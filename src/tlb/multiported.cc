@@ -83,4 +83,22 @@ MultiPortedTlb::invalidate(Vpn vpn, Cycle now)
     array.invalidate(vpn);
 }
 
+void
+MultiPortedTlb::registerStats(obs::StatRegistry &reg,
+                              const std::string &prefix) const
+{
+    TranslationEngine::registerStats(reg, prefix);
+    reg.formula(prefix + ".ports", "real TLB ports",
+                [this] { return double(ports); });
+    reg.formula(prefix + ".piggy_ports", "piggyback (combining) ports",
+                [this] { return double(piggyPorts); });
+    reg.formula(prefix + ".piggyback_rate",
+                "requests satisfied by combining, per request", [this] {
+                    return stats_.requests == 0
+                               ? 0.0
+                               : double(stats_.piggybacks) /
+                                     double(stats_.requests);
+                });
+}
+
 } // namespace hbat::tlb

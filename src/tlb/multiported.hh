@@ -39,6 +39,8 @@ class MultiPortedTlb : public TranslationEngine
     Outcome request(const XlateRequest &req, Cycle now) override;
     void fill(Vpn vpn, Cycle now) override;
     void invalidate(Vpn vpn, Cycle now) override;
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
 
   private:
     struct InFlight

@@ -178,4 +178,25 @@ PretranslationTlb::cachedEntries() const
     return n;
 }
 
+void
+PretranslationTlb::registerStats(obs::StatRegistry &reg,
+                                 const std::string &prefix) const
+{
+    TranslationEngine::registerStats(reg, prefix);
+    reg.formula(prefix + ".pt_entries", "pretranslation cache capacity",
+                [this] { return double(cache.size()); });
+    reg.formula(prefix + ".pt_occupancy",
+                "valid pretranslation attachments at end of run",
+                [this] { return double(cachedEntries()); });
+    reg.formula(prefix + ".pt_reuse_rate",
+                "requests satisfied by an attached translation, per "
+                "request",
+                [this] {
+                    return stats_.requests == 0
+                               ? 0.0
+                               : double(stats_.shielded) /
+                                     double(stats_.requests);
+                });
+}
+
 } // namespace hbat::tlb

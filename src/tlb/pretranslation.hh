@@ -45,6 +45,8 @@ class PretranslationTlb : public TranslationEngine
     void invalidate(Vpn vpn, Cycle now) override;
     void noteRegWrite(RegIndex dest, const RegIndex *srcs, int nsrcs,
                       bool propagates) override;
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
 
     /** Pretranslation-cache occupancy (for tests). */
     unsigned cachedEntries() const;

@@ -1,0 +1,49 @@
+#include "tlb/xlate.hh"
+
+#include "common/stats.hh"
+
+namespace hbat::tlb
+{
+
+void
+registerStats(obs::StatRegistry &reg, const std::string &prefix,
+              const XlateStats &s)
+{
+    reg.scalar(prefix + ".requests",
+               "translation requests presented (including retries)",
+               s.requests);
+    reg.scalar(prefix + ".translations", "requests answered Hit",
+               s.translations);
+    reg.scalar(prefix + ".no_port",
+               "NoPort answers (port/bank conflicts)", s.noPort);
+    reg.scalar(prefix + ".shielded",
+               "hits that consumed no base-TLB port", s.shielded);
+    reg.scalar(prefix + ".base_accesses", "base-TLB port grants",
+               s.baseAccesses);
+    reg.scalar(prefix + ".base_hits", "base-TLB hits", s.baseHits);
+    reg.scalar(prefix + ".misses", "base-TLB misses (page walks)",
+               s.misses);
+    reg.scalar(prefix + ".piggybacks",
+               "requests satisfied by piggybacking", s.piggybacks);
+    reg.scalar(prefix + ".status_writes",
+               "page-status write-throughs", s.statusWrites);
+    reg.scalar(prefix + ".queue_cycles",
+               "cycles requests waited for a port", s.queueCycles);
+    reg.scalar(prefix + ".invalidations",
+               "consistency invalidations received", s.invalidations);
+    reg.scalar(prefix + ".upper_probes",
+               "upper-level probes from consistency operations",
+               s.upperProbes);
+    reg.formula(prefix + ".conflict_rate",
+                "NoPort answers per request",
+                [&s] { return ratio(s.noPort, s.requests); });
+    reg.formula(prefix + ".shield_rate",
+                "fraction of requests absorbed above the base TLB "
+                "(the paper's f_shielded)",
+                [&s] { return ratio(s.shielded, s.requests); });
+    reg.formula(prefix + ".base_miss_rate",
+                "base-TLB miss rate (the paper's M_TLB)",
+                [&s] { return ratio(s.misses, s.baseAccesses); });
+}
+
+} // namespace hbat::tlb

@@ -26,8 +26,10 @@
 #define HBAT_TLB_XLATE_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
+#include "obs/stats.hh"
 #include "vm/page_table.hh"
 
 namespace hbat::tlb
@@ -102,6 +104,14 @@ struct XlateStats
     uint64_t upperProbes = 0;
 };
 
+/**
+ * Register every XlateStats counter (plus the derived hit/conflict/
+ * shield rates) under @p prefix — the shared half of every engine's
+ * registerStats().
+ */
+void registerStats(obs::StatRegistry &reg, const std::string &prefix,
+                   const XlateStats &s);
+
 /** Abstract base for all of Table 2's translation designs. */
 class TranslationEngine
 {
@@ -158,6 +168,20 @@ class TranslationEngine
     }
 
     const XlateStats &stats() const { return stats_; }
+
+    /**
+     * Register this engine's counters under @p prefix. The base
+     * implementation registers the shared XlateStats; each design
+     * family overrides to add its own structure-specific stats
+     * (bank conflicts, L1 shielding, pretranslation reuse, ...).
+     * References captured by the registry stay valid only while the
+     * engine lives — snapshot before destroying it.
+     */
+    virtual void registerStats(obs::StatRegistry &reg,
+                               const std::string &prefix) const
+    {
+        tlb::registerStats(reg, prefix, stats_);
+    }
 
   protected:
     /**

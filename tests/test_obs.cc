@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Observability tests: the JSON writer/parser round trip, the stat
+ * registry (registration, snapshot, text dump), histogram bucketing,
+ * and trace-category gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/json.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json::escape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Json, WriterProducesParsableDocument)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("name").value("fig5 \"baseline\"");
+    w.key("ipc").value(1.375);
+    w.key("cycles").value(uint64_t(123456789));
+    w.key("in_order").value(false);
+    w.key("missing").null();
+    w.key("designs").beginArray();
+    w.value("T4").value("T1");
+    w.endArray();
+    w.key("nested").beginObject();
+    w.key("x").value(3);
+    w.endObject();
+    w.endObject();
+
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(w.str(), v, &err)) << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("name")->str, "fig5 \"baseline\"");
+    EXPECT_DOUBLE_EQ(v.find("ipc")->number, 1.375);
+    EXPECT_DOUBLE_EQ(v.find("cycles")->number, 123456789.0);
+    EXPECT_FALSE(v.find("in_order")->boolean);
+    EXPECT_EQ(v.find("missing")->kind, json::Value::Kind::Null);
+    ASSERT_TRUE(v.find("designs")->isArray());
+    EXPECT_EQ(v.find("designs")->items.size(), 2u);
+    EXPECT_EQ(v.find("designs")->items[1].str, "T1");
+    EXPECT_DOUBLE_EQ(v.find("nested")->find("x")->number, 3.0);
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Json, IntegralDoublesPrintExactly)
+{
+    json::Writer w;
+    w.beginArray();
+    w.value(2.0).value(0.5);
+    w.endArray();
+    // 2.0 must come out as an exact integer literal, not 2.0000...1.
+    EXPECT_EQ(w.str(), "[2,0.5]");
+}
+
+TEST(Json, RoundTripsStringEscapes)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("s").value("tab\there\nand \"quotes\" \\ ok");
+    w.endObject();
+    json::Value v;
+    ASSERT_TRUE(json::parse(w.str(), v));
+    EXPECT_EQ(v.find("s")->str, "tab\there\nand \"quotes\" \\ ok");
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    json::Value v;
+    EXPECT_FALSE(json::parse("", v));
+    EXPECT_FALSE(json::parse("{", v));
+    EXPECT_FALSE(json::parse("[1,]", v));
+    EXPECT_FALSE(json::parse("{\"a\":1} trailing", v));
+    EXPECT_FALSE(json::parse("'single'", v));
+}
+
+TEST(Json, ParsesUnicodeEscapes)
+{
+    json::Value v;
+    ASSERT_TRUE(json::parse("\"a\\u00e9b\"", v));
+    EXPECT_EQ(v.str, "a\xc3\xa9"
+                     "b");    // é in UTF-8
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(StatRegistry, SnapshotReadsLiveCounters)
+{
+    uint64_t hits = 0, misses = 0;
+    obs::StatRegistry reg;
+    reg.scalar("tlb.hits", "TLB hits", hits)
+        .scalar("tlb.misses", "TLB misses", misses)
+        .formula("tlb.miss_rate", "misses per lookup", [&] {
+            return hits + misses == 0
+                       ? 0.0
+                       : double(misses) / double(hits + misses);
+        });
+    EXPECT_EQ(reg.size(), 3u);
+
+    hits = 30;
+    misses = 10;
+    const obs::StatSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "tlb.hits");
+    EXPECT_DOUBLE_EQ(snap[0].value, 30.0);
+    EXPECT_EQ(snap[1].kind, obs::StatKind::Scalar);
+    EXPECT_DOUBLE_EQ(snap[1].value, 10.0);
+    EXPECT_EQ(snap[2].kind, obs::StatKind::Formula);
+    EXPECT_DOUBLE_EQ(snap[2].value, 0.25);
+}
+
+TEST(StatRegistry, VectorStatsKeepLabels)
+{
+    uint64_t a = 1, b = 2, c = 3;
+    obs::StatRegistry reg;
+    reg.vector("pipe.idle", "why nothing issued", {"empty", "walk",
+                                                   "other"},
+               {&a, &b, &c});
+    const obs::StatSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].kind, obs::StatKind::Vector);
+    ASSERT_EQ(snap[0].values.size(), 3u);
+    EXPECT_EQ(snap[0].labels[1], "walk");
+    EXPECT_DOUBLE_EQ(snap[0].values[2], 3.0);
+}
+
+TEST(StatRegistry, TextDumpMentionsEveryStat)
+{
+    uint64_t n = 42;
+    obs::Histogram h(4);
+    h.record(0, 2);
+    h.record(5);
+    obs::StatRegistry reg;
+    reg.scalar("a.count", "a counter", n)
+        .histogram("a.dist", "a distribution", h);
+    const std::string dump =
+        obs::StatRegistry::dumpText(reg.snapshot());
+    EXPECT_NE(dump.find("a.count"), std::string::npos);
+    EXPECT_NE(dump.find("42"), std::string::npos);
+    EXPECT_NE(dump.find("# a counter"), std::string::npos);
+    EXPECT_NE(dump.find("a.dist"), std::string::npos);
+}
+
+TEST(StatRegistry, DuplicateNameDies)
+{
+    uint64_t n = 0;
+    obs::StatRegistry reg;
+    reg.scalar("x", "first", n);
+    EXPECT_DEATH(reg.scalar("x", "second", n), "duplicate stat name");
+}
+
+// ----------------------------------------------------------- histogram
+
+TEST(Histogram, BucketsExactValuesAndOverflow)
+{
+    obs::Histogram h(4);    // buckets 0, 1, 2, 3+ (overflow)
+    h.record(0);
+    h.record(1, 3);
+    h.record(2);
+    h.record(3);
+    h.record(100);
+    EXPECT_EQ(h.samples(), 7u);
+    EXPECT_EQ(h.sum(), 0u + 3u + 2u + 3u + 100u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 3u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 2u) << "3 and 100 both land in overflow";
+    EXPECT_DOUBLE_EQ(h.mean(), double(h.sum()) / 7.0);
+
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(Trace, CategoryParsingAndGating)
+{
+    EXPECT_EQ(obs::parseTraceCats(""), 0u);
+    EXPECT_EQ(obs::parseTraceCats("none"), 0u);
+    EXPECT_EQ(obs::parseTraceCats("all"), obs::kTraceAll);
+    EXPECT_EQ(obs::parseTraceCats("xlate"), obs::kTraceXlate);
+    EXPECT_EQ(obs::parseTraceCats("fetch,commit"),
+              obs::kTraceFetch | obs::kTraceCommit);
+    EXPECT_STREQ(obs::traceCatName(obs::kTraceWalk), "walk");
+
+    obs::setTraceMask(obs::kTraceXlate);
+    EXPECT_TRUE(obs::traceOn(obs::kTraceXlate));
+    EXPECT_FALSE(obs::traceOn(obs::kTraceFetch));
+    EXPECT_TRUE(obs::traceOn(obs::kTraceXlate | obs::kTraceFetch));
+    obs::setTraceMask(0);
+    EXPECT_FALSE(obs::traceOn(obs::kTraceAll));
+}
+
+TEST(Trace, EventsOnlyEmitWhenEnabled)
+{
+    // Capture trace output in a temp file; the message side effect
+    // proves the macro's arguments are not evaluated when gated off.
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    obs::setTraceStream(tmp);
+
+    int evaluations = 0;
+    const auto msgPart = [&] {
+        ++evaluations;
+        return 7;
+    };
+
+    obs::setTraceMask(0);
+    HBAT_TRACE_EVENT(obs::kTraceIssue, 10, "never seen ", msgPart());
+    EXPECT_EQ(evaluations, 0) << "message built despite tracing off";
+
+    obs::setTraceMask(obs::kTraceIssue);
+    HBAT_TRACE_EVENT(obs::kTraceIssue, 11, "issue seq=", msgPart());
+    HBAT_TRACE_EVENT(obs::kTraceWalk, 12, "filtered category");
+    EXPECT_EQ(evaluations, 1);
+
+    obs::setTraceMask(0);
+    obs::setTraceStream(nullptr);
+
+    std::fflush(tmp);
+    std::rewind(tmp);
+    char buf[256] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+    std::fclose(tmp);
+    const std::string out(buf, n);
+    EXPECT_EQ(out, "TRACE issue  @11 issue seq=7\n");
+}
+
+} // namespace
