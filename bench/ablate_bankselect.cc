@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/harness.hh"
+#include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "tlb/interleaved.hh"
 #include "workloads/workloads.hh"
@@ -38,49 +39,80 @@ main(int argc, char **argv)
     TextTable table;
     table.header({"config", "rel-IPC", "conflicts/req", "piggyback%"});
 
-    for (const bool piggy : {false, true}) {
-        for (const tlb::BankSelect sel :
-             {tlb::BankSelect::BitSelect, tlb::BankSelect::XorFold}) {
-            for (unsigned banks : {2u, 4u, 8u, 16u}) {
-                double ipcSum = 0, n = 0;
-                uint64_t noPort = 0, requests = 0, piggybacks = 0;
-                for (const std::string &name : programs) {
-                    std::fprintf(stderr, "  [%s %u banks]\n",
-                                 name.c_str(), banks);
-                    const kasm::Program prog =
-                        workloads::build(name, cfg.budget, cfg.scale);
-                    sim::SimConfig sc;
-                    sc.pageBytes = cfg.pageBytes;
-                    sc.seed = cfg.seed;
-                    sc.design = tlb::Design::T4;
-                    const double t4 = sim::simulate(prog, sc).ipc();
+    // The T4 reference depends only on the program, so build each
+    // image and time its reference run once (the serial version redid
+    // both for all 16 interleaving configurations), then run the grid
+    // as independent cells. Aggregation walks the cells in the
+    // original loop order, so the table matches at any --jobs.
+    std::vector<kasm::Program> images(programs.size());
+    std::vector<double> t4Ipc(programs.size());
+    parallelFor(programs.size(), cfg.jobs, [&](size_t p) {
+        images[p] = workloads::build(programs[p], cfg.budget,
+                                     cfg.scale);
+        sim::SimConfig sc = bench::toSimConfig(cfg);
+        sc.design = tlb::Design::T4;
+        t4Ipc[p] = sim::simulate(images[p], sc).ipc();
+        bench::progressLine("  [" + programs[p] + " T4]");
+    });
 
-                    const sim::SimResult r = sim::simulateWithEngine(
-                        prog, sc,
-                        [&](vm::PageTable &pt) {
-                            return std::make_unique<
-                                tlb::InterleavedTlb>(pt, banks, sel,
-                                                     128, piggy,
-                                                     cfg.seed);
-                        },
-                        "I" + std::to_string(banks));
-                    ipcSum += ratio(r.ipc(), t4);
-                    n += 1.0;
-                    noPort += r.pipe.xlate.noPort;
-                    requests += r.pipe.xlate.requests;
-                    piggybacks += r.pipe.xlate.piggybacks;
-                }
-                const char *selName =
-                    sel == tlb::BankSelect::BitSelect ? "bit" : "xor";
-                table.row({
-                    "I" + std::to_string(banks) + "/" + selName +
-                        (piggy ? "+pb" : ""),
-                    fixed(ipcSum / n, 3),
-                    fixed(ratio(noPort, requests), 3),
-                    percent(ratio(piggybacks, requests), 1),
-                });
-            }
+    struct BankConfig
+    {
+        bool piggy;
+        tlb::BankSelect sel;
+        unsigned banks;
+    };
+    std::vector<BankConfig> grid;
+    for (const bool piggy : {false, true})
+        for (const tlb::BankSelect sel :
+             {tlb::BankSelect::BitSelect, tlb::BankSelect::XorFold})
+            for (unsigned banks : {2u, 4u, 8u, 16u})
+                grid.push_back({piggy, sel, banks});
+
+    struct CellOut
+    {
+        double relIpc = 0;
+        uint64_t noPort = 0;
+        uint64_t requests = 0;
+        uint64_t piggybacks = 0;
+    };
+    std::vector<CellOut> out(grid.size() * programs.size());
+    parallelFor(out.size(), cfg.jobs, [&](size_t idx) {
+        const BankConfig &gc = grid[idx / programs.size()];
+        const size_t p = idx % programs.size();
+        bench::progressLine("  [" + programs[p] + " " +
+                            std::to_string(gc.banks) + " banks]");
+        sim::SimConfig sc = bench::toSimConfig(cfg);
+        const sim::SimResult r = sim::simulateWithEngine(
+            images[p], sc,
+            [&](vm::PageTable &pt) {
+                return std::make_unique<tlb::InterleavedTlb>(
+                    pt, gc.banks, gc.sel, 128, gc.piggy, cfg.seed);
+            },
+            "I" + std::to_string(gc.banks));
+        out[idx] = {ratio(r.ipc(), t4Ipc[p]), r.pipe.xlate.noPort,
+                    r.pipe.xlate.requests, r.pipe.xlate.piggybacks};
+    });
+
+    for (size_t g = 0; g < grid.size(); ++g) {
+        double ipcSum = 0, n = 0;
+        uint64_t noPort = 0, requests = 0, piggybacks = 0;
+        for (size_t p = 0; p < programs.size(); ++p) {
+            const CellOut &c = out[g * programs.size() + p];
+            ipcSum += c.relIpc;
+            n += 1.0;
+            noPort += c.noPort;
+            requests += c.requests;
+            piggybacks += c.piggybacks;
         }
+        const char *selName =
+            grid[g].sel == tlb::BankSelect::BitSelect ? "bit" : "xor";
+        table.row({
+            "I" + std::to_string(grid[g].banks) + "/" + selName +
+                (grid[g].piggy ? "+pb" : ""),
+            fixed(ipcSum / n, 3),
+            fixed(ratio(noPort, requests), 3),
+            percent(ratio(piggybacks, requests), 1),
+        });
     }
 
     std::printf("Ablation: interleaving degree and bank selection "

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/harness.hh"
+#include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "tlb/multilevel.hh"
 #include "workloads/workloads.hh"
@@ -118,45 +119,78 @@ main(int argc, char **argv)
         table.header(std::move(head));
     }
 
-    for (const bool lru : {true, false}) {
-        for (unsigned size : sizes) {
-            double ipcSum = 0, baseSum = 0;
-            uint64_t shielded = 0, requests = 0;
-            for (const std::string &name : programs) {
-                std::fprintf(stderr, "  [%s l1=%u %s]\n", name.c_str(),
-                             size, lru ? "lru" : "rand");
-                const kasm::Program prog =
-                    workloads::build(name, cfg.budget, cfg.scale);
-                sim::SimConfig sc;
-                sc.pageBytes = cfg.pageBytes;
-                sc.seed = cfg.seed;
-                sc.design = tlb::Design::T4;
-                const double t4 = sim::simulate(prog, sc).ipc();
+    // The T4 reference depends only on the program, so build each
+    // image and time its reference run once (the serial version redid
+    // both for all 10 L1 configurations), then run the configuration
+    // grid as independent cells. Aggregation walks the cells in the
+    // original loop order, so the table matches at any --jobs.
+    std::vector<kasm::Program> images(programs.size());
+    std::vector<double> t4Ipc(programs.size());
+    parallelFor(programs.size(), cfg.jobs, [&](size_t p) {
+        images[p] = workloads::build(programs[p], cfg.budget,
+                                     cfg.scale);
+        sim::SimConfig sc = bench::toSimConfig(cfg);
+        sc.design = tlb::Design::T4;
+        t4Ipc[p] = sim::simulate(images[p], sc).ipc();
+        bench::progressLine("  [" + programs[p] + " T4]");
+    });
 
-                const sim::SimResult r = sim::simulateWithEngine(
-                    prog, sc,
-                    [&](vm::PageTable &pt)
-                        -> std::unique_ptr<tlb::TranslationEngine> {
-                        if (lru) {
-                            return std::make_unique<tlb::MultiLevelTlb>(
-                                pt, size, 4, 128, cfg.seed);
-                        }
-                        return std::make_unique<RandomL1MultiLevel>(
-                            pt, size, cfg.seed);
-                    },
-                    "M" + std::to_string(size));
-                ipcSum += ratio(r.ipc(), t4);
-                baseSum += 1.0;
-                shielded += r.pipe.xlate.shielded;
-                requests += r.pipe.xlate.requests;
-            }
-            table.row({
-                "M" + std::to_string(size) +
-                    (lru ? " (LRU)" : " (random)"),
-                fixed(ipcSum / baseSum, 3),
-                percent(ratio(shielded, requests), 1),
-            });
+    struct L1Config
+    {
+        bool lru;
+        unsigned size;
+    };
+    std::vector<L1Config> grid;
+    for (const bool lru : {true, false})
+        for (unsigned size : sizes)
+            grid.push_back({lru, size});
+
+    struct CellOut
+    {
+        double relIpc = 0;
+        uint64_t shielded = 0;
+        uint64_t requests = 0;
+    };
+    std::vector<CellOut> out(grid.size() * programs.size());
+    parallelFor(out.size(), cfg.jobs, [&](size_t idx) {
+        const L1Config &gc = grid[idx / programs.size()];
+        const size_t p = idx % programs.size();
+        bench::progressLine("  [" + programs[p] +
+                            " l1=" + std::to_string(gc.size) +
+                            (gc.lru ? " lru]" : " rand]"));
+        sim::SimConfig sc = bench::toSimConfig(cfg);
+        const sim::SimResult r = sim::simulateWithEngine(
+            images[p], sc,
+            [&](vm::PageTable &pt)
+                -> std::unique_ptr<tlb::TranslationEngine> {
+                if (gc.lru) {
+                    return std::make_unique<tlb::MultiLevelTlb>(
+                        pt, gc.size, 4, 128, cfg.seed);
+                }
+                return std::make_unique<RandomL1MultiLevel>(
+                    pt, gc.size, cfg.seed);
+            },
+            "M" + std::to_string(gc.size));
+        out[idx] = {ratio(r.ipc(), t4Ipc[p]), r.pipe.xlate.shielded,
+                    r.pipe.xlate.requests};
+    });
+
+    for (size_t g = 0; g < grid.size(); ++g) {
+        double ipcSum = 0, baseSum = 0;
+        uint64_t shielded = 0, requests = 0;
+        for (size_t p = 0; p < programs.size(); ++p) {
+            const CellOut &c = out[g * programs.size() + p];
+            ipcSum += c.relIpc;
+            baseSum += 1.0;
+            shielded += c.shielded;
+            requests += c.requests;
         }
+        table.row({
+            "M" + std::to_string(grid[g].size) +
+                (grid[g].lru ? " (LRU)" : " (random)"),
+            fixed(ipcSum / baseSum, 3),
+            percent(ratio(shielded, requests), 1),
+        });
     }
 
     std::printf("Ablation: L1-TLB size and replacement policy "

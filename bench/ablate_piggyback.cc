@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/harness.hh"
+#include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "tlb/ideal.hh"
 #include "tlb/multiported.hh"
@@ -55,22 +56,23 @@ main(int argc, char **argv)
         table.header(std::move(head));
     }
 
-    std::vector<double> weights;
+    // One cell per program (its reference, ideal, and every variant);
+    // rows land in pre-sized slots and are emitted in program order.
+    std::vector<double> weights(programs.size());
     std::vector<std::vector<double>> rel(programs.size());
+    std::vector<std::vector<std::string>> rows(programs.size());
 
-    for (size_t p = 0; p < programs.size(); ++p) {
-        std::fprintf(stderr, "  [%s]\n", programs[p].c_str());
+    parallelFor(programs.size(), cfg.jobs, [&](size_t p) {
+        bench::progressLine("  [" + programs[p] + "]");
         const kasm::Program prog =
             workloads::build(programs[p], cfg.budget, cfg.scale);
 
-        sim::SimConfig sc;
-        sc.pageBytes = cfg.pageBytes;
-        sc.seed = cfg.seed;
+        sim::SimConfig sc = bench::toSimConfig(cfg);
 
         // Reference: T4 (as in the paper's figures).
         sc.design = tlb::Design::T4;
         const double t4 = sim::simulate(prog, sc).ipc();
-        weights.push_back(t4 > 0 ? 1.0 : 0.0);
+        weights[p] = t4 > 0 ? 1.0 : 0.0;
 
         std::vector<std::string> row{programs[p]};
         const double ideal =
@@ -97,8 +99,10 @@ main(int argc, char **argv)
             rel[p].push_back(ratio(ipc, t4));
             row.push_back(fixed(ratio(ipc, t4), 3));
         }
+        rows[p] = std::move(row);
+    });
+    for (std::vector<std::string> &row : rows)
         table.row(std::move(row));
-    }
 
     std::vector<std::string> avg{"avg"};
     for (size_t c = 0; c < rel[0].size(); ++c) {

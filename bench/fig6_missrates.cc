@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/harness.hh"
+#include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "cpu/func_core.hh"
 #include "tlb/tlb_array.hh"
@@ -94,8 +95,6 @@ main(int argc, char **argv)
         table.header(std::move(head));
     }
 
-    std::vector<std::vector<double>> all;
-    std::vector<double> weights;
     std::vector<std::string> programs;
     if (cfg.programs.empty()) {
         for (const workloads::Workload &w : workloads::all())
@@ -104,25 +103,29 @@ main(int argc, char **argv)
         programs = cfg.programs;
     }
 
-    for (const std::string &name : programs) {
-        std::fprintf(stderr, "  [%s]\n", name.c_str());
+    // Each program's timed reference run and functional TLB pass is
+    // one independent cell; rows come out of the pre-sized vectors in
+    // program order, identical at any --jobs.
+    std::vector<std::vector<double>> all(programs.size());
+    std::vector<double> weights(programs.size());
+    parallelFor(programs.size(), cfg.jobs, [&](size_t p) {
+        const std::string &name = programs[p];
         const kasm::Program prog =
             workloads::build(name, cfg.budget, cfg.scale);
 
         // Weight: run time in cycles under the reference design.
-        sim::SimConfig sc;
+        sim::SimConfig sc = bench::toSimConfig(cfg);
         sc.design = tlb::Design::T4;
-        sc.pageBytes = cfg.pageBytes;
-        sc.seed = cfg.seed;
         const sim::SimResult timed = sim::simulate(prog, sc);
-        weights.push_back(double(timed.cycles()));
+        weights[p] = double(timed.cycles());
 
-        const std::vector<double> rates =
-            missRates(prog, pages, cfg.seed);
-        all.push_back(rates);
+        all[p] = missRates(prog, pages, cfg.seed);
+        bench::progressLine("  [" + name + "]");
+    });
 
-        std::vector<std::string> row{name};
-        for (double r : rates)
+    for (size_t p = 0; p < programs.size(); ++p) {
+        std::vector<std::string> row{programs[p]};
+        for (double r : all[p])
             row.push_back(percent(r, 3));
         table.row(std::move(row));
     }

@@ -1,9 +1,12 @@
 #include "bench/harness.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
+#include "common/job_pool.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
@@ -13,10 +16,40 @@
 namespace hbat::bench
 {
 
+namespace
+{
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+SteadyTime
+now()
+{
+    return std::chrono::steady_clock::now();
+}
+
+double
+secondsSince(SteadyTime start)
+{
+    return std::chrono::duration<double>(now() - start).count();
+}
+
+} // namespace
+
 const Cell &
 Sweep::cell(size_t prog, size_t design) const
 {
     return cells[prog * designs.size() + design];
+}
+
+sim::SimConfig
+toSimConfig(const ExperimentConfig &config)
+{
+    sim::SimConfig sc;
+    sc.pageBytes = config.pageBytes;
+    sc.inOrder = config.inOrder;
+    sc.budget = config.budget;
+    sc.seed = config.seed;
+    return sc;
 }
 
 ExperimentConfig
@@ -35,17 +68,30 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
             cfg.seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             cfg.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            cfg.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (cfg.jobs == 0)
+                hbat_fatal("--jobs wants a positive integer");
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             obs::setTraceMask(obs::parseTraceCats(argv[++i]));
         } else {
             hbat_fatal("unknown argument '", argv[i],
                        "' (supported: --scale f, --program name, "
-                       "--seed n, --json file, --trace cats)");
+                       "--seed n, --json file, --jobs n, --trace cats)");
         }
     }
     hbat_assert(cfg.scale > 0.0, "scale must be positive");
+    if (cfg.jobs == 0)
+        cfg.jobs = JobPool::defaultWorkers();
     return cfg;
+}
+
+void
+progressLine(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s\n", msg.c_str());
 }
 
 Sweep
@@ -63,26 +109,42 @@ runDesignSweep(const ExperimentConfig &config,
         sweep.programs = config.programs;
     }
 
-    for (const std::string &name : sweep.programs) {
-        // One link per program serves every design.
-        const kasm::Program prog =
-            workloads::build(name, config.budget, config.scale);
-        for (tlb::Design d : designs) {
-            std::fprintf(stderr, "  [%s / %s]\n", name.c_str(),
-                         tlb::designName(d).c_str());
-            sim::SimConfig sc;
-            sc.design = d;
-            sc.pageBytes = config.pageBytes;
-            sc.inOrder = config.inOrder;
-            sc.budget = config.budget;
-            sc.seed = config.seed;
-            Cell cell;
-            cell.program = name;
-            cell.design = d;
-            cell.result = sim::simulate(prog, sc);
-            sweep.cells.push_back(std::move(cell));
-        }
-    }
+    const unsigned jobs =
+        config.jobs ? config.jobs : JobPool::defaultWorkers();
+    const size_t nProgs = sweep.programs.size();
+    const size_t nDesigns = designs.size();
+
+    // One link per program serves every design; the image is immutable
+    // once built, so cells share it freely.
+    std::vector<kasm::Program> images(nProgs);
+    parallelFor(nProgs, jobs, [&](size_t p) {
+        images[p] = workloads::build(sweep.programs[p], config.budget,
+                                     config.scale);
+    });
+
+    // Every (program, design) cell is one independent job writing its
+    // own pre-sized slot, which keeps cell order — and therefore every
+    // table and report — identical at any job count.
+    sweep.cells.resize(nProgs * nDesigns);
+    const SteadyTime sweepStart = now();
+    parallelFor(sweep.cells.size(), jobs, [&](size_t idx) {
+        const size_t p = idx / nDesigns;
+        const size_t d = idx % nDesigns;
+        Cell &cell = sweep.cells[idx];
+        cell.program = sweep.programs[p];
+        cell.design = designs[d];
+
+        const SteadyTime cellStart = now();
+        sim::SimConfig sc = toSimConfig(config);
+        sc.design = designs[d];
+        cell.result = sim::simulate(images[p], sc);
+        cell.wallSeconds = secondsSince(cellStart);
+
+        progressLine(detail::concat(
+            "  [", cell.program, " / ", tlb::designName(cell.design),
+            "]  ", fixed(cell.wallSeconds, 2), "s"));
+    });
+    sweep.wallSeconds = secondsSince(sweepStart);
     return sweep;
 }
 
@@ -241,6 +303,7 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
             w.key("norm_ipc").value(ratio(cell.result.ipc(), base));
             w.key("cycles").value(cell.result.cycles());
             w.key("committed").value(cell.result.pipe.committed);
+            w.key("wall_seconds").value(cell.wallSeconds);
             w.key("stats").beginObject();
             for (const obs::StatValue &sv : cell.result.stats)
                 writeStat(w, sv);
@@ -264,6 +327,7 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
             .value(weightedAverage(vals, weights));
     }
     w.endObject();
+    w.key("wall_seconds").value(sweep.wallSeconds);
     w.endObject();
 
     w.endObject();

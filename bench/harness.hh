@@ -10,6 +10,15 @@
  * summary row is the run-time weighted average, weighted by each
  * program's T4 run time in cycles (Section 4.3).
  *
+ * Execution model: a sweep is decomposed up front into independent
+ * (program, design) cells, which run on a JobPool of --jobs worker
+ * threads (default $HBAT_JOBS, else the hardware concurrency). Each
+ * cell writes only its own pre-sized slot, so every printed table and
+ * JSON report is identical at any job count; simulate() is re-entrant
+ * and seeded per run (see sim/simulator.hh), so the results
+ * themselves are too. Progress lines are serialized through one
+ * mutex-guarded reporter and carry per-cell wall-clock timing.
+ *
  * Scale: workloads default to their evaluation size (~1-6M dynamic
  * instructions). Pass --scale <f> or set HBAT_SCALE to shrink runs
  * for quick iteration.
@@ -40,7 +49,20 @@ struct ExperimentConfig
     std::vector<std::string> programs;
     /** Machine-readable report destination (--json; empty = none). */
     std::string jsonPath;
+    /**
+     * Simulation worker threads (--jobs). parseArgs() resolves 0 to
+     * $HBAT_JOBS, else the hardware concurrency; 1 runs serially on
+     * the calling thread.
+     */
+    unsigned jobs = 0;
 };
+
+/**
+ * The simulation configuration implied by an experiment's machine
+ * axes. The design is left at its default (T4); callers set it (or
+ * pass an EngineFactory) per cell.
+ */
+sim::SimConfig toSimConfig(const ExperimentConfig &config);
 
 /** Results of one (program, design) cell. */
 struct Cell
@@ -48,6 +70,8 @@ struct Cell
     std::string program;
     tlb::Design design;
     sim::SimResult result;
+    /** Host wall-clock seconds this cell's simulation took. */
+    double wallSeconds = 0.0;
 };
 
 /** A full sweep: every selected program under every design. */
@@ -57,19 +81,32 @@ struct Sweep
     std::vector<tlb::Design> designs;
     std::vector<std::string> programs;
     std::vector<Cell> cells;    ///< programs x designs, program-major
+    /** Host wall-clock seconds for all cells (not their sum). */
+    double wallSeconds = 0.0;
 
     const Cell &cell(size_t prog, size_t design) const;
 };
 
 /**
- * Parse the shared bench flags (and HBAT_SCALE):
- *  --scale f, --program name, --seed n, --json file,
+ * Parse the shared bench flags (and HBAT_SCALE / HBAT_JOBS):
+ *  --scale f, --program name, --seed n, --json file, --jobs n,
  *  --trace cats (comma-separated category list, see obs/trace.hh).
+ * The returned config always has a concrete jobs count (>= 1).
  */
 ExperimentConfig parseArgs(int argc, char **argv,
                            ExperimentConfig defaults);
 
-/** Run the sweep (prints progress to stderr). */
+/**
+ * Serialized progress reporter: emits "@p msg\n" to stderr under the
+ * process log lock, so lines from concurrent cells never interleave.
+ */
+void progressLine(const std::string &msg);
+
+/**
+ * Run the sweep: build each selected program once, then execute all
+ * (program, design) cells on config.jobs workers. Deterministic at
+ * any job count. Reports per-cell progress and timing to stderr.
+ */
 Sweep runDesignSweep(const ExperimentConfig &config,
                      const std::vector<tlb::Design> &designs);
 
@@ -86,8 +123,9 @@ void printSweepAbsolute(const std::string &title, const Sweep &sweep);
 /**
  * Write the full sweep as JSON to sweep.config.jsonPath: the machine
  * configuration, every (program, design) cell with absolute and
- * T4-normalized IPC plus *all* registered stats of that run, and the
- * run-time weighted average summary row. No-op when jsonPath is empty.
+ * T4-normalized IPC plus *all* registered stats of that run and its
+ * wall_seconds, and the run-time weighted average summary row with
+ * the sweep's total wall_seconds. No-op when jsonPath is empty.
  */
 void writeSweepJson(const std::string &title, const Sweep &sweep);
 

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/harness.hh"
+#include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "sim/at_model.hh"
 #include "tlb/ideal.hh"
@@ -42,43 +43,49 @@ main(int argc, char **argv)
     table.header({"program", "design", "issue", "f_MEM", "f_shield",
                   "t_stall", "M_TLB", "t_AT", "TPI_AT", "f_TOL"});
 
-    for (const std::string &name : programs) {
+    // One cell per (program, issue model): each runs its ideal
+    // reference plus every design, emitting rows into its own slot;
+    // rows are appended to the table in the original serial order.
+    std::vector<std::vector<std::vector<std::string>>> rows(
+        programs.size() * 2);
+    parallelFor(rows.size(), cfg.jobs, [&](size_t idx) {
+        const std::string &name = programs[idx / 2];
+        const bool in_order = (idx % 2) != 0;
         const kasm::Program prog =
             workloads::build(name, cfg.budget, cfg.scale);
-        for (const bool in_order : {false, true}) {
-            sim::SimConfig sc;
-            sc.pageBytes = cfg.pageBytes;
-            sc.seed = cfg.seed;
-            sc.inOrder = in_order;
+        sim::SimConfig sc = bench::toSimConfig(cfg);
+        sc.inOrder = in_order;
 
-            std::fprintf(stderr, "  [%s %s]\n", name.c_str(),
-                         in_order ? "in-order" : "ooo");
-            const sim::SimResult ideal = sim::simulateWithEngine(
-                prog, sc,
-                [](vm::PageTable &pt) {
-                    return std::make_unique<tlb::IdealTlb>(pt);
-                },
-                "ideal");
+        bench::progressLine("  [" + name +
+                            (in_order ? " in-order]" : " ooo]"));
+        const sim::SimResult ideal = sim::simulateWithEngine(
+            prog, sc,
+            [](vm::PageTable &pt) {
+                return std::make_unique<tlb::IdealTlb>(pt);
+            },
+            "ideal");
 
-            for (tlb::Design d : designs) {
-                sc.design = d;
-                const sim::SimResult r = sim::simulate(prog, sc);
-                const sim::AtModelParams p = sim::extractModel(r);
-                table.row({
-                    name,
-                    tlb::designName(d),
-                    in_order ? "in" : "ooo",
-                    fixed(p.fMem, 2),
-                    fixed(p.fShielded, 2),
-                    fixed(p.tStalled, 2),
-                    fixed(p.mTlb, 3),
-                    fixed(sim::tAt(p), 2),
-                    fixed(sim::measuredTpiAt(r, ideal), 3),
-                    fixed(sim::impliedFtol(r, ideal), 2),
-                });
-            }
+        for (tlb::Design d : designs) {
+            sc.design = d;
+            const sim::SimResult r = sim::simulate(prog, sc);
+            const sim::AtModelParams p = sim::extractModel(r);
+            rows[idx].push_back({
+                name,
+                tlb::designName(d),
+                in_order ? "in" : "ooo",
+                fixed(p.fMem, 2),
+                fixed(p.fShielded, 2),
+                fixed(p.tStalled, 2),
+                fixed(p.mTlb, 3),
+                fixed(sim::tAt(p), 2),
+                fixed(sim::measuredTpiAt(r, ideal), 3),
+                fixed(sim::impliedFtol(r, ideal), 2),
+            });
         }
-    }
+    });
+    for (std::vector<std::vector<std::string>> &cell : rows)
+        for (std::vector<std::string> &row : cell)
+            table.row(std::move(row));
 
     std::printf("Section 2 analytical model, extracted from measured "
                 "runs (scale %.2f)\n\n%s\n",

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/harness.hh"
+#include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "workloads/workloads.hh"
 
@@ -31,16 +32,23 @@ main(int argc, char **argv)
         programs = cfg.programs;
     }
 
-    for (const std::string &name : programs) {
-        std::fprintf(stderr, "  [%s]\n", name.c_str());
+    // One independent cell per program; rows are emitted from the
+    // pre-sized result vector in program order, so the table is the
+    // same at any --jobs.
+    std::vector<sim::SimResult> results(programs.size());
+    parallelFor(programs.size(), cfg.jobs, [&](size_t p) {
+        const std::string &name = programs[p];
         const kasm::Program prog =
             workloads::build(name, cfg.budget, cfg.scale);
-        sim::SimConfig sc;
+        sim::SimConfig sc = bench::toSimConfig(cfg);
         sc.design = tlb::Design::T4;
-        sc.pageBytes = cfg.pageBytes;
-        sc.inOrder = cfg.inOrder;
-        sc.seed = cfg.seed;
-        const sim::SimResult r = sim::simulate(prog, sc);
+        results[p] = sim::simulate(prog, sc);
+        bench::progressLine("  [" + name + "]");
+    });
+
+    for (size_t p = 0; p < programs.size(); ++p) {
+        const std::string &name = programs[p];
+        const sim::SimResult &r = results[p];
 
         table.row({
             name,

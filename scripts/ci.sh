@@ -2,8 +2,11 @@
 # CI entry point:
 #  1. tier-1 verify: configure, build, and run the full test suite;
 #  2. rebuild the unit tests with ASan+UBSan and run them again;
-#  3. emit the micro-benchmark report (BENCH_micro.json) so runs can
-#     be archived and diffed across commits.
+#  3. rebuild with ThreadSanitizer and run the parallel-harness tests
+#     (JobPool semantics + jobs-count determinism) under it;
+#  4. emit the micro-benchmark report (BENCH_micro.json) and a timed
+#     parallel fig5 sweep (BENCH_fig5.json, with per-cell and total
+#     wall_seconds) so runs can be archived and diffed across commits.
 # Run from the repository root. Honors $CMAKE_GENERATOR if set.
 set -eu
 
@@ -22,9 +25,21 @@ cmake -B build-san -S . \
 cmake --build build-san -j "$JOBS"
 ctest --test-dir build-san --output-on-failure -j "$JOBS"
 
+echo "== thread sanitizer: parallel harness =="
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build build-tsan -j "$JOBS" --target hbat_tests
+./build-tsan/tests/hbat_tests \
+    --gtest_filter='JobPool.*:ParallelFor.*:ParallelDeterminism.*'
+
 echo "== micro benchmarks =="
 ./build/bench/micro_tlb \
     --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
     --benchmark_min_time=0.05
+
+echo "== timed parallel sweep (BENCH_fig5.json) =="
+time ./build/bench/fig5_baseline --scale 0.05 --jobs "$JOBS" \
+    --json BENCH_fig5.json > /dev/null
 
 echo "CI OK"

@@ -1,0 +1,115 @@
+#include "common/job_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hbat
+{
+
+JobPool::JobPool(unsigned workers)
+{
+    hbat_assert(workers >= 1, "JobPool needs at least one worker");
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    hbat_assert(job != nullptr, "JobPool::submit of empty job");
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+JobPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void
+JobPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        workReady_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stopping_ and no work left: drain complete.
+            return;
+        }
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !firstError_)
+            firstError_ = error;
+        if (--inFlight_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+unsigned
+JobPool::defaultWorkers()
+{
+    if (const char *env = std::getenv("HBAT_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return unsigned(n);
+        hbat_warn("ignoring HBAT_JOBS='", env,
+                  "' (want a positive integer)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+void
+parallelFor(size_t n, unsigned jobs,
+            const std::function<void(size_t)> &fn)
+{
+    hbat_assert(jobs >= 1, "parallelFor needs at least one worker");
+    if (n == 0)
+        return;
+    if (jobs == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    JobPool pool(unsigned(std::min<size_t>(jobs, n)));
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace hbat

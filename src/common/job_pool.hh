@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A small fixed-size worker pool for embarrassingly parallel sweeps.
+ *
+ * The bench harness decomposes an experiment into independent
+ * (program, design) cells and runs each cell as one job. Jobs are
+ * executed in FIFO submission order by a fixed set of worker threads;
+ * there is no work stealing between queues because there is only one
+ * queue — contention on it is negligible next to a multi-second
+ * cycle-level simulation.
+ *
+ * Exceptions thrown by a job are captured and rethrown from the next
+ * wait() call (first one wins; later ones are dropped), so a fatal
+ * simulation bug surfaces in the submitting thread just as it would
+ * have in a serial run.
+ */
+
+#ifndef HBAT_COMMON_JOB_POOL_HH
+#define HBAT_COMMON_JOB_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbat
+{
+
+/** Fixed worker count, FIFO queue, exception capture and rethrow. */
+class JobPool
+{
+  public:
+    /** Spawn @p workers threads (must be >= 1). */
+    explicit JobPool(unsigned workers);
+
+    /** Waits for queued jobs, then joins the workers. */
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    unsigned workers() const { return unsigned(threads_.size()); }
+
+    /** Enqueue one job; runs on some worker in submission order. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * rethrow the first captured exception (clearing it, so the pool
+     * stays usable for another batch).
+     */
+    void wait();
+
+    /**
+     * The worker count to use when the user expressed no preference:
+     * $HBAT_JOBS if set to a positive integer, else the hardware
+     * concurrency, else 1.
+     */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    size_t inFlight_ = 0;    ///< queued + currently running jobs
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) on @p jobs workers and wait for them all;
+ * rethrows the first job exception. With jobs == 1 the calls run
+ * inline on the caller's thread (the truly serial path — no threads
+ * are created). Each fn(i) must touch only state disjoint per i.
+ */
+void parallelFor(size_t n, unsigned jobs,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace hbat
+
+#endif // HBAT_COMMON_JOB_POOL_HH

@@ -6,23 +6,39 @@
 namespace hbat
 {
 
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 

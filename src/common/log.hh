@@ -8,11 +8,20 @@
 #ifndef HBAT_COMMON_LOG_HH
 #define HBAT_COMMON_LOG_HH
 
+#include <mutex>
 #include <sstream>
 #include <string>
 
 namespace hbat
 {
+
+/**
+ * The process-wide lock serializing diagnostic output (warnings,
+ * progress lines, trace events). Hold it while emitting one logical
+ * line so concurrent simulation workers never interleave mid-line;
+ * never hold it across anything slower than a write.
+ */
+std::mutex &logMutex();
 
 /** Terminate with exit(1): the *user* asked for something invalid. */
 [[noreturn]] void fatalImpl(const char *file, int line,

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace hbat::obs
 {
@@ -9,15 +10,14 @@ namespace hbat::obs
 namespace detail
 {
 
-uint32_t traceMask_ = 0;
-bool traceInit_ = false;
+std::atomic<uint32_t> traceMask_{0};
+std::once_flag traceOnce_;
 
 void
 initTraceFromEnv()
 {
-    traceInit_ = true;
     if (const char *env = std::getenv("HBAT_TRACE"))
-        traceMask_ = parseTraceCats(env);
+        traceMask_.store(parseTraceCats(env), std::memory_order_relaxed);
 }
 
 } // namespace detail
@@ -25,7 +25,8 @@ initTraceFromEnv()
 namespace
 {
 
-std::FILE *traceStream_ = nullptr;
+/** The calling thread's override sink; null means the default sink. */
+thread_local TraceSink *tlsSink_ = nullptr;
 
 struct CatName
 {
@@ -44,8 +45,10 @@ constexpr CatName kCats[] = {
 void
 setTraceMask(uint32_t mask)
 {
-    detail::traceInit_ = true;
-    detail::traceMask_ = mask;
+    // Burn the once_flag so a later traceMask() can't overwrite this
+    // explicit setting with the environment's.
+    std::call_once(detail::traceOnce_, [] {});
+    detail::traceMask_.store(mask, std::memory_order_relaxed);
 }
 
 uint32_t
@@ -92,17 +95,48 @@ traceCatName(uint32_t cat)
 }
 
 void
+TraceSink::line(uint32_t cat, Cycle now, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::FILE *out = file_ ? file_ : stderr;
+    std::fprintf(out, "TRACE %-6s @%llu %s\n", traceCatName(cat),
+                 (unsigned long long)now, msg.c_str());
+}
+
+void
+TraceSink::redirect(std::FILE *f)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    file_ = f;
+}
+
+TraceSink &
+defaultTraceSink()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink &sink)
+    : prev_(std::exchange(tlsSink_, &sink))
+{}
+
+ScopedTraceSink::~ScopedTraceSink()
+{
+    tlsSink_ = prev_;
+}
+
+void
 setTraceStream(std::FILE *f)
 {
-    traceStream_ = f;
+    defaultTraceSink().redirect(f);
 }
 
 void
 traceLine(uint32_t cat, Cycle now, const std::string &msg)
 {
-    std::FILE *out = traceStream_ ? traceStream_ : stderr;
-    std::fprintf(out, "TRACE %-6s @%llu %s\n", traceCatName(cat),
-                 (unsigned long long)now, msg.c_str());
+    TraceSink *sink = tlsSink_ ? tlsSink_ : &defaultTraceSink();
+    sink->line(cat, now, msg);
 }
 
 } // namespace hbat::obs

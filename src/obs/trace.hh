@@ -5,9 +5,11 @@
  * Gated by the HBAT_TRACE environment variable (a comma-separated
  * list of categories, or "all") or programmatically via
  * setTraceMask() (the bench harness's --trace flag). When no category
- * is enabled the per-event cost is one inline load-and-test of a
- * global mask — message formatting happens only behind that check, so
- * tracing is effectively free when off.
+ * is enabled the per-event cost is one inline relaxed atomic load and
+ * test of a global mask — message formatting happens only behind that
+ * check, so tracing is effectively free when off. The mask is
+ * initialized exactly once (std::once_flag), so first use is safe
+ * from any thread.
  *
  * Categories follow the pipeline stages the paper's timing model is
  * built from: fetch, issue, xlate (translation requests and their
@@ -15,14 +17,22 @@
  * per-instruction pipeline-lifetime record emitted at commit for
  * debugging timing bugs.
  *
- * Events go to stderr by default (stdout stays reserved for the
- * paper-style tables) and can be redirected with setTraceStream().
+ * Output goes through a TraceSink, a mutex-guarded handle around a
+ * stream, rather than a bare global FILE*. Each simulation run may
+ * install its own sink for the duration of the run (ScopedTraceSink,
+ * a thread-local override — one run occupies one thread), which keeps
+ * concurrent runs' events separable; everything else shares the
+ * default sink. The default sink writes to stderr (stdout stays
+ * reserved for the paper-style tables) and can be redirected with
+ * setTraceStream().
  */
 
 #ifndef HBAT_OBS_TRACE_HH
 #define HBAT_OBS_TRACE_HH
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "common/log.hh"
@@ -46,19 +56,18 @@ inline constexpr uint32_t kTraceAll =
 
 namespace detail
 {
-extern uint32_t traceMask_;
-extern bool traceInit_;
-/** Parse HBAT_TRACE once and cache the result. */
+extern std::atomic<uint32_t> traceMask_;
+extern std::once_flag traceOnce_;
+/** Parse HBAT_TRACE; runs at most once, under traceOnce_. */
 void initTraceFromEnv();
 } // namespace detail
 
-/** The active category mask (lazily parses HBAT_TRACE on first use). */
+/** The active category mask (parses HBAT_TRACE once, thread-safely). */
 inline uint32_t
 traceMask()
 {
-    if (!detail::traceInit_)
-        detail::initTraceFromEnv();
-    return detail::traceMask_;
+    std::call_once(detail::traceOnce_, detail::initTraceFromEnv);
+    return detail::traceMask_.load(std::memory_order_relaxed);
 }
 
 /** True when any category in @p cats is enabled. */
@@ -68,7 +77,7 @@ traceOn(uint32_t cats)
     return (traceMask() & cats) != 0;
 }
 
-/** Override the mask (wins over HBAT_TRACE). */
+/** Override the mask (wins over HBAT_TRACE, even if called first). */
 void setTraceMask(uint32_t mask);
 
 /**
@@ -81,10 +90,57 @@ uint32_t parseTraceCats(const std::string &spec);
 /** The short name of a single category bit ("xlate"). */
 const char *traceCatName(uint32_t cat);
 
-/** Redirect trace output (default stderr); nullptr restores stderr. */
+/**
+ * A mutex-guarded destination for trace events. One line() call emits
+ * one whole line; concurrent writers to the same sink never
+ * interleave mid-line.
+ */
+class TraceSink
+{
+  public:
+    /** @p f is the destination stream; nullptr means stderr. */
+    explicit TraceSink(std::FILE *f = nullptr) : file_(f) {}
+
+    /** Emit one event line: "TRACE <cat> @<cycle> <msg>". */
+    void line(uint32_t cat, Cycle now, const std::string &msg);
+
+    /** Change the destination (nullptr restores stderr). */
+    void redirect(std::FILE *f);
+
+  private:
+    std::mutex mu_;
+    std::FILE *file_;    ///< guarded by mu_
+};
+
+/** The process-wide sink used when no per-run sink is installed. */
+TraceSink &defaultTraceSink();
+
+/**
+ * RAII override of the calling thread's trace destination — the
+ * per-run sink handle. A simulation run installs one for its
+ * lifetime; every trace event the run emits (all on the installing
+ * thread) goes to @p sink instead of the default.
+ */
+class ScopedTraceSink
+{
+  public:
+    explicit ScopedTraceSink(TraceSink &sink);
+    ~ScopedTraceSink();
+
+    ScopedTraceSink(const ScopedTraceSink &) = delete;
+    ScopedTraceSink &operator=(const ScopedTraceSink &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
+
+/**
+ * Redirect the *default* sink (nullptr restores stderr). Kept for the
+ * pre-TraceSink API; per-run redirection wants ScopedTraceSink.
+ */
 void setTraceStream(std::FILE *f);
 
-/** Emit one event line: "TRACE <cat> @<cycle> <msg>". */
+/** Emit one event to the current sink (thread override or default). */
 void traceLine(uint32_t cat, Cycle now, const std::string &msg);
 
 } // namespace hbat::obs

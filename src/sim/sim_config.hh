@@ -17,6 +17,11 @@
 #include "kasm/vcode.hh"
 #include "tlb/design.hh"
 
+namespace hbat::obs
+{
+class TraceSink;
+} // namespace hbat::obs
+
 namespace hbat::sim
 {
 
@@ -40,6 +45,13 @@ struct SimConfig
 
     /** Commit limit (safety valve; workloads normally halt first). */
     uint64_t maxInsts = ~uint64_t(0);
+
+    /**
+     * Destination for this run's trace events (see obs/trace.hh);
+     * nullptr uses the process default sink (stderr). Concurrent runs
+     * can each point at their own sink to keep event streams apart.
+     */
+    obs::TraceSink *traceSink = nullptr;
 };
 
 } // namespace hbat::sim

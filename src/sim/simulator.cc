@@ -1,16 +1,54 @@
 #include "sim/simulator.hh"
 
+#include <atomic>
+
+#include "obs/trace.hh"
 #include "tlb/design.hh"
 #include "vm/address_space.hh"
 
 namespace hbat::sim
 {
 
+namespace
+{
+
+std::atomic<int> activeRuns_{0};
+
+/** Counts the run in/out of the in-flight gauge, exception-safely. */
+struct RunScope
+{
+    RunScope() { activeRuns_.fetch_add(1, std::memory_order_relaxed); }
+    ~RunScope()
+    {
+        const int was =
+            activeRuns_.fetch_sub(1, std::memory_order_relaxed);
+        hbat_assert(was >= 1, "simulation run counter underflow");
+    }
+};
+
+} // namespace
+
+int
+activeSimulations()
+{
+    return activeRuns_.load(std::memory_order_relaxed);
+}
+
 SimResult
 simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    const EngineFactory &make_engine,
                    const std::string &design_label)
 {
+    RunScope scope;
+
+    // Per-run trace destination: the run's events (emitted on this
+    // thread) go to the configured sink, or the shared default.
+    obs::ScopedTraceSink trace_sink(
+        cfg.traceSink ? *cfg.traceSink : obs::defaultTraceSink());
+
+    // Everything below is built fresh per run from (prog, cfg); the
+    // only inputs shared with other runs are the immutable program
+    // image and the read-only configuration.
     vm::AddressSpace space{vm::PageParams(cfg.pageBytes)};
     space.load(prog);
 

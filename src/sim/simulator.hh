@@ -1,6 +1,27 @@
 /**
  * @file
  * One-call simulation driver: program + configuration -> results.
+ *
+ * Re-entrancy contract: simulate() and simulateWithEngine() are
+ * re-entrant and safe to call from many threads at once, which is what
+ * lets the bench harness run sweep cells on a worker pool. The
+ * guarantees, audited per layer:
+ *
+ *  - every stateful component (address space, functional core,
+ *    translation engine, pipeline, StatRegistry) is constructed fresh
+ *    inside the call and dies before it returns;
+ *  - all randomness comes from per-run Rng instances seeded from
+ *    SimConfig::seed — there is no global RNG — so results depend only
+ *    on (program, config), never on thread scheduling;
+ *  - the shared inputs (the kasm::Program image, the SimConfig) are
+ *    taken by const reference and never written;
+ *  - the one process-wide mutable in the simulator, the obs trace
+ *    mask, is an atomic initialized under a once_flag, and trace
+ *    output goes through a per-run TraceSink handle
+ *    (SimConfig::traceSink).
+ *
+ * Callers providing an EngineFactory must keep the factory's own
+ * captures thread-safe; the engine it returns is per-run.
  */
 
 #ifndef HBAT_SIM_SIMULATOR_HH
@@ -42,6 +63,14 @@ struct SimResult
  * the configured machine.
  */
 SimResult simulate(const kasm::Program &prog, const SimConfig &cfg);
+
+/**
+ * The number of simulate()/simulateWithEngine() calls currently in
+ * flight across all threads — an observability gauge for the parallel
+ * harness (and the invariant check that every run balances its
+ * enter/exit, asserted on exit).
+ */
+int activeSimulations();
 
 /** Factory for custom translation engines (ablation studies). */
 using EngineFactory =

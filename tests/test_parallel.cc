@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the parallel sweep machinery: JobPool semantics
+ * (ordering, exception propagation, edge cases) and the determinism
+ * guarantee — a sweep's results are identical at any --jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/job_pool.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+TEST(JobPool, ZeroTasksWaitAndDestroy)
+{
+    JobPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    pool.wait();    // nothing queued: returns immediately
+}
+
+TEST(JobPool, SingleWorkerRunsFifo)
+{
+    JobPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(JobPool, ManyWorkersRunEveryJob)
+{
+    JobPool pool(8);
+    std::atomic<int> ran{0};
+    std::atomic<long> sum{0};
+    for (int i = 0; i < 500; ++i) {
+        pool.submit([&, i] {
+            ran.fetch_add(1);
+            sum.fetch_add(i);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 500);
+    EXPECT_EQ(sum.load(), 499L * 500 / 2);
+}
+
+TEST(JobPool, ExceptionPropagatesAndPoolStaysUsable)
+{
+    JobPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error was consumed; a later batch runs normally.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(JobPool, FirstOfSeveralExceptionsWins)
+{
+    JobPool pool(1);    // serial: deterministic which job throws first
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::logic_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(JobPool, DefaultWorkersIsPositiveAndHonorsEnv)
+{
+    EXPECT_GE(JobPool::defaultWorkers(), 1u);
+    ASSERT_EQ(setenv("HBAT_JOBS", "3", 1), 0);
+    EXPECT_EQ(JobPool::defaultWorkers(), 3u);
+    ASSERT_EQ(unsetenv("HBAT_JOBS"), 0);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<int> hits(1000, 0);
+    parallelFor(hits.size(), 4, [&](size_t i) { hits[i] += 1; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, SerialPathRunsInline)
+{
+    // jobs == 1 runs on the calling thread in index order.
+    const auto self = std::this_thread::get_id();
+    std::vector<size_t> order;
+    parallelFor(5, 1, [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop)
+{
+    parallelFor(0, 8, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(Harness, ToSimConfigCopiesMachineAxes)
+{
+    bench::ExperimentConfig cfg;
+    cfg.pageBytes = 8192;
+    cfg.inOrder = true;
+    cfg.budget = kasm::RegBudget{8, 8};
+    cfg.seed = 777;
+    const sim::SimConfig sc = bench::toSimConfig(cfg);
+    EXPECT_EQ(sc.pageBytes, 8192u);
+    EXPECT_TRUE(sc.inOrder);
+    EXPECT_EQ(sc.budget.intRegs, 8);
+    EXPECT_EQ(sc.budget.fpRegs, 8);
+    EXPECT_EQ(sc.seed, 777u);
+    EXPECT_EQ(sc.design, tlb::Design::T4);
+}
+
+TEST(Harness, ParseArgsResolvesJobs)
+{
+    const char *argv[] = {"bench", "--jobs", "5"};
+    const bench::ExperimentConfig cfg = bench::parseArgs(
+        3, const_cast<char **>(argv), bench::ExperimentConfig{});
+    EXPECT_EQ(cfg.jobs, 5u);
+
+    const char *argv1[] = {"bench"};
+    const bench::ExperimentConfig dflt = bench::parseArgs(
+        1, const_cast<char **>(argv1), bench::ExperimentConfig{});
+    EXPECT_GE(dflt.jobs, 1u);
+}
+
+/** Exact (bitwise) equality of two stat snapshots. */
+void
+expectSnapshotsEqual(const obs::StatSnapshot &a,
+                     const obs::StatSnapshot &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].name);
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].value, b[i].value);
+        EXPECT_EQ(a[i].values, b[i].values);
+        EXPECT_EQ(a[i].labels, b[i].labels);
+        EXPECT_EQ(a[i].samples, b[i].samples);
+        EXPECT_EQ(a[i].mean, b[i].mean);
+    }
+}
+
+TEST(ParallelDeterminism, SweepIdenticalAtAnyJobCount)
+{
+    bench::ExperimentConfig cfg;
+    cfg.scale = 0.02;
+    cfg.programs = {"espresso", "doduc"};
+    const std::vector<tlb::Design> designs = {
+        tlb::Design::T4, tlb::Design::T1, tlb::Design::M8};
+
+    cfg.jobs = 1;
+    const bench::Sweep serial = bench::runDesignSweep(cfg, designs);
+    cfg.jobs = 4;
+    const bench::Sweep parallel = bench::runDesignSweep(cfg, designs);
+
+    ASSERT_EQ(serial.cells.size(), 6u);
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+        const bench::Cell &s = serial.cells[i];
+        const bench::Cell &p = parallel.cells[i];
+        SCOPED_TRACE(s.program + "/" + tlb::designName(s.design));
+        EXPECT_EQ(p.program, s.program);
+        EXPECT_EQ(p.design, s.design);
+        EXPECT_EQ(p.result.cycles(), s.result.cycles());
+        EXPECT_EQ(p.result.ipc(), s.result.ipc());    // exact
+        EXPECT_EQ(p.result.pipe.committed, s.result.pipe.committed);
+        EXPECT_EQ(p.result.touchedPages, s.result.touchedPages);
+        expectSnapshotsEqual(p.result.stats, s.result.stats);
+        EXPECT_GE(p.wallSeconds, 0.0);
+    }
+    EXPECT_GE(parallel.wallSeconds, 0.0);
+
+    // Every run balanced its enter/exit of the in-flight gauge.
+    EXPECT_EQ(sim::activeSimulations(), 0);
+}
+
+} // namespace
