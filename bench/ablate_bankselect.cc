@@ -82,13 +82,15 @@ main(int argc, char **argv)
         bench::progressLine("  [" + programs[p] + " " +
                             std::to_string(gc.banks) + " banks]");
         sim::SimConfig sc = bench::toSimConfig(cfg);
+        std::string engName = "I";
+        engName += std::to_string(gc.banks);
         const sim::SimResult r = sim::simulateWithEngine(
             images[p], sc,
             [&](vm::PageTable &pt) {
                 return std::make_unique<tlb::InterleavedTlb>(
                     pt, gc.banks, gc.sel, 128, gc.piggy, cfg.seed);
             },
-            "I" + std::to_string(gc.banks));
+            engName);
         out[idx] = {ratio(r.ipc(), t4Ipc[p]), r.pipe.xlate.noPort,
                     r.pipe.xlate.requests, r.pipe.xlate.piggybacks};
     });
@@ -104,11 +106,14 @@ main(int argc, char **argv)
             requests += c.requests;
             piggybacks += c.piggybacks;
         }
-        const char *selName =
-            grid[g].sel == tlb::BankSelect::BitSelect ? "bit" : "xor";
+        std::string rowName = "I";
+        rowName += std::to_string(grid[g].banks);
+        rowName += grid[g].sel == tlb::BankSelect::BitSelect ? "/bit"
+                                                             : "/xor";
+        if (grid[g].piggy)
+            rowName += "+pb";
         table.row({
-            "I" + std::to_string(grid[g].banks) + "/" + selName +
-                (grid[g].piggy ? "+pb" : ""),
+            rowName,
             fixed(ipcSum / n, 3),
             fixed(ratio(noPort, requests), 3),
             percent(ratio(piggybacks, requests), 1),

@@ -159,6 +159,8 @@ main(int argc, char **argv)
                             " l1=" + std::to_string(gc.size) +
                             (gc.lru ? " lru]" : " rand]"));
         sim::SimConfig sc = bench::toSimConfig(cfg);
+        std::string engName = "M";
+        engName += std::to_string(gc.size);
         const sim::SimResult r = sim::simulateWithEngine(
             images[p], sc,
             [&](vm::PageTable &pt)
@@ -170,7 +172,7 @@ main(int argc, char **argv)
                 return std::make_unique<RandomL1MultiLevel>(
                     pt, gc.size, cfg.seed);
             },
-            "M" + std::to_string(gc.size));
+            engName);
         out[idx] = {ratio(r.ipc(), t4Ipc[p]), r.pipe.xlate.shielded,
                     r.pipe.xlate.requests};
     });
@@ -185,9 +187,11 @@ main(int argc, char **argv)
             shielded += c.shielded;
             requests += c.requests;
         }
+        std::string rowName = "M";
+        rowName += std::to_string(grid[g].size);
+        rowName += grid[g].lru ? " (LRU)" : " (random)";
         table.row({
-            "M" + std::to_string(grid[g].size) +
-                (grid[g].lru ? " (LRU)" : " (random)"),
+            rowName,
             fixed(ipcSum / baseSum, 3),
             percent(ratio(shielded, requests), 1),
         });

@@ -42,11 +42,15 @@ main(int argc, char **argv)
         unsigned piggy;
     };
     std::vector<Variant> variants;
-    for (unsigned ports : {1u, 2u, 4u})
-        for (unsigned piggy : {0u, 1u, 2u, 3u})
-            variants.push_back({"T" + std::to_string(ports) + "+pb" +
-                                    std::to_string(piggy),
-                                ports, piggy});
+    for (unsigned ports : {1u, 2u, 4u}) {
+        for (unsigned piggy : {0u, 1u, 2u, 3u}) {
+            std::string vname = "T";
+            vname += std::to_string(ports);
+            vname += "+pb";
+            vname += std::to_string(piggy);
+            variants.push_back({std::move(vname), ports, piggy});
+        }
+    }
 
     TextTable table;
     {

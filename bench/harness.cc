@@ -11,6 +11,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "obs/trace.hh"
+#include "verify/design_lint.hh"
 #include "workloads/workloads.hh"
 
 namespace hbat::bench
@@ -113,6 +114,22 @@ runDesignSweep(const ExperimentConfig &config,
         config.jobs ? config.jobs : JobPool::defaultWorkers();
     const size_t nProgs = sweep.programs.size();
     const size_t nDesigns = designs.size();
+
+    // Reject structurally-invalid experiment setups before burning
+    // cycles: errors abort, warnings print and proceed.
+    {
+        verify::Report report;
+        sim::SimConfig sc = toSimConfig(config);
+        verify::lintConfig(sc, report);
+        for (tlb::Design d : designs)
+            verify::lintDesign(d, report, config.pageBytes);
+        for (const verify::Diagnostic &diag : report.diags) {
+            if (diag.severity >= verify::Severity::Warning)
+                hbat_warn("design lint: ", diag.str());
+        }
+        if (!report.clean(verify::Severity::Error))
+            hbat_fatal("design lint found errors; aborting sweep");
+    }
 
     // One link per program serves every design; the image is immutable
     // once built, so cells share it freely.

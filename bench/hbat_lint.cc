@@ -1,0 +1,194 @@
+/**
+ * @file
+ * hbat_lint: static verification of workloads and designs.
+ *
+ * Builds the selected built-in workloads (all ten by default), runs
+ * the static program verifier over every linked image, lints all
+ * Table 2 designs plus the configured machine axes, and prints the
+ * findings. Exit status is 1 when anything at warning severity or
+ * above was found — CI runs this over the full suite.
+ *
+ *   hbat_lint                     # lint everything at 32/32 registers
+ *   hbat_lint --program perl      # one workload
+ *   hbat_lint --budget 8,8       # Section 4.6's register pressure
+ *   hbat_lint --cfg               # dump CFG/dataflow per program
+ *   hbat_lint --json lint.json    # machine-readable report
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "verify/design_lint.hh"
+#include "verify/verifier.hh"
+#include "workloads/workloads.hh"
+
+using namespace hbat;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> programs;  ///< empty = all
+    kasm::RegBudget budget{32, 32};
+    double scale = 1.0;
+    bool dumpCfg = false;
+    std::string jsonPath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--program NAME]... [--budget I,F] "
+                 "[--scale F] [--cfg] [--json FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--program") {
+            opt.programs.push_back(next());
+        } else if (arg == "--budget") {
+            int ir = 0, fr = 0;
+            if (std::sscanf(next(), "%d,%d", &ir, &fr) != 2)
+                usage(argv[0]);
+            opt.budget = kasm::RegBudget{ir, fr};
+        } else if (arg == "--scale") {
+            opt.scale = std::atof(next());
+        } else if (arg == "--cfg") {
+            opt.dumpCfg = true;
+        } else if (arg == "--json") {
+            opt.jsonPath = next();
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+void
+printDiags(const verify::Report &report)
+{
+    for (const verify::Diagnostic &d : report.diags)
+        std::printf("  %s\n", d.str().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    std::vector<std::string> names = opt.programs;
+    if (names.empty())
+        for (const workloads::Workload &w : workloads::all())
+            names.push_back(w.name);
+
+    json::Writer jw;
+    jw.beginObject();
+    jw.key("programs").beginArray();
+
+    size_t warnings = 0, errors = 0;
+    auto tally = [&](const verify::Report &report) {
+        errors += report.count(verify::Severity::Error);
+        warnings += report.count(verify::Severity::Warning) -
+                    report.count(verify::Severity::Error);
+    };
+
+    for (const std::string &name : names) {
+        const kasm::Program prog =
+            workloads::build(name, opt.budget, opt.scale);
+
+        verify::Report report;
+        const verify::Analysis a =
+            verify::analyzeProgram(prog, report);
+        tally(report);
+
+        std::printf("%-12s %6zu insts %5zu blocks  %s\n", name.c_str(),
+                    a.cfg.size(), a.cfg.blocks.size(),
+                    report.diags.empty()
+                        ? "clean"
+                        : detail::concat(report.diags.size(),
+                                         " finding(s)").c_str());
+        printDiags(report);
+        if (opt.dumpCfg)
+            std::fputs(verify::dumpAnalysis(a).c_str(), stdout);
+
+        jw.beginObject();
+        jw.key("name").value(name);
+        jw.key("insts").value(uint64_t(a.cfg.size()));
+        jw.key("blocks").value(uint64_t(a.cfg.blocks.size()));
+        jw.key("diags");
+        verify::reportToJson(jw, report);
+        jw.endObject();
+    }
+    jw.endArray();
+
+    // Design catalogue + configured machine axes.
+    jw.key("designs").beginArray();
+    for (tlb::Design d : tlb::allDesigns()) {
+        verify::Report report;
+        verify::lintDesign(d, report);
+        tally(report);
+
+        std::printf("design %-6s %s\n", tlb::designName(d).c_str(),
+                    report.diags.empty() ? "clean"
+                                         : "has findings:");
+        printDiags(report);
+
+        jw.beginObject();
+        jw.key("name").value(tlb::designName(d));
+        jw.key("diags");
+        verify::reportToJson(jw, report);
+        jw.endObject();
+    }
+    jw.endArray();
+
+    {
+        sim::SimConfig sc;
+        sc.budget = opt.budget;
+        verify::Report report;
+        verify::lintConfig(sc, report);
+        tally(report);
+        if (!report.diags.empty()) {
+            std::printf("configuration:\n");
+            printDiags(report);
+        }
+        jw.key("config");
+        verify::reportToJson(jw, report);
+    }
+
+    jw.key("warnings").value(uint64_t(warnings));
+    jw.key("errors").value(uint64_t(errors));
+    jw.endObject();
+
+    if (!opt.jsonPath.empty()) {
+        FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (!f)
+            hbat_fatal("cannot write ", opt.jsonPath);
+        const std::string doc = jw.str();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+    }
+
+    std::printf("%zu warning(s), %zu error(s)\n", warnings, errors);
+    return warnings + errors == 0 ? 0 : 1;
+}

@@ -1,10 +1,14 @@
 #!/bin/sh
 # CI entry point:
-#  1. tier-1 verify: configure, build, and run the full test suite;
-#  2. rebuild the unit tests with ASan+UBSan and run them again;
-#  3. rebuild with ThreadSanitizer and run the parallel-harness tests
+#  1. tier-1 verify: configure (warnings-as-errors), build, and run the
+#     full test suite;
+#  2. static analysis: hbat_lint over every built-in workload and every
+#     Table 2 design (fails on any warning-or-worse diagnostic), plus
+#     clang-tidy over the compilation database when the tool exists;
+#  3. rebuild the unit tests with ASan+UBSan and run them again;
+#  4. rebuild with ThreadSanitizer and run the parallel-harness tests
 #     (JobPool semantics + jobs-count determinism) under it;
-#  4. emit the micro-benchmark report (BENCH_micro.json) and a timed
+#  5. emit the micro-benchmark report (BENCH_micro.json) and a timed
 #     parallel fig5 sweep (BENCH_fig5.json, with per-cell and total
 #     wall_seconds) so runs can be archived and diffed across commits.
 # Run from the repository root. Honors $CMAKE_GENERATOR if set.
@@ -13,10 +17,25 @@ set -eu
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "== tier 1: build + tests =="
-cmake -B build -S .
+echo "== tier 1: build (-Werror) + tests =="
+cmake -B build -S . -DHBAT_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== static analysis: program + design lint =="
+# Lints every built-in workload at both register budgets, plus every
+# Table 2 design and the default configuration; exits non-zero on any
+# warning-or-worse diagnostic.
+./build/bench/hbat_lint
+./build/bench/hbat_lint --budget 8,8
+
+echo "== static analysis: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    git ls-files 'src/*.cc' 'bench/*.cc' 'examples/*.cc' |
+        xargs clang-tidy -p build --quiet
+else
+    echo "clang-tidy not installed; skipping"
+fi
 
 echo "== sanitizers: ASan + UBSan =="
 cmake -B build-san -S . \
@@ -39,7 +58,9 @@ echo "== micro benchmarks =="
     --benchmark_min_time=0.05
 
 echo "== timed parallel sweep (BENCH_fig5.json) =="
-time ./build/bench/fig5_baseline --scale 0.05 --jobs "$JOBS" \
+# No `time` prefix: it is not a dash builtin, and the report already
+# records per-cell and total wall_seconds.
+./build/bench/fig5_baseline --scale 0.05 --jobs "$JOBS" \
     --json BENCH_fig5.json > /dev/null
 
 echo "CI OK"

@@ -360,6 +360,14 @@ encode(const Inst &inst)
 Inst
 decode(uint32_t word)
 {
+    Inst inst;
+    hbat_assert(tryDecode(word, inst), "illegal encoding ", word);
+    return inst;
+}
+
+bool
+tryDecode(uint32_t word, Inst &out)
+{
     const OpTables &t = tables();
     const unsigned major = unsigned(bits(word, 26, 6));
 
@@ -367,11 +375,11 @@ decode(uint32_t word)
     if (major == MajR) {
         const unsigned func = unsigned(bits(word, 0, 8));
         flat = t.funcToOp[func];
-        hbat_assert(flat >= 0, "illegal R-format func ", func);
     } else {
         flat = t.majorToOp[major];
-        hbat_assert(flat >= 0, "illegal major opcode ", major);
     }
+    if (flat < 0)
+        return false;
 
     const Opcode op = Opcode(flat);
     const EncInfo &e = t.enc[flat];
@@ -405,7 +413,8 @@ decode(uint32_t word)
         inst.imm = int32_t(signExtend(bits(word, 0, 26), 26));
         break;
     }
-    return inst;
+    out = inst;
+    return true;
 }
 
 std::string

@@ -166,6 +166,13 @@ uint32_t encode(const Inst &inst);
 /** Decode a 32-bit word; panics on an illegal encoding. */
 Inst decode(uint32_t word);
 
+/**
+ * Decode a 32-bit word without panicking.
+ * Returns false (leaving @p out untouched) on an illegal encoding —
+ * the entry point the static verifier uses to lint arbitrary images.
+ */
+bool tryDecode(uint32_t word, Inst &out);
+
 /** Human-readable disassembly of @p inst at address @p pc. */
 std::string disassemble(const Inst &inst, VAddr pc = 0);
 

@@ -99,20 +99,48 @@ Emitter::labelAddr(Label label) const
 std::vector<uint32_t>
 Emitter::finalize()
 {
+    verify::Report report;
+    std::vector<uint32_t> words = finalize(report);
+    hbat_assert(report.clean(verify::Severity::Error),
+                "finalize failed: ", report.diags.front().str());
+    return words;
+}
+
+std::vector<uint32_t>
+Emitter::finalize(verify::Report &report)
+{
+    using verify::Diag;
+    using verify::Severity;
+
     for (const Fixup &fix : fixups) {
-        hbat_assert(labelPos[fix.label] >= 0,
-                    "unresolved label ", fix.label);
+        const VAddr pc = textBase + VAddr(fix.index) * 4;
+        if (labelPos[fix.label] < 0) {
+            report.add(Diag::UnboundLabel, Severity::Error, pc,
+                       detail::concat("label ", fix.label,
+                                      " referenced but never bound"));
+            continue;
+        }
         // Branch/jump offsets are in words relative to pc + 4.
         const int64_t delta =
             labelPos[fix.label] - (int64_t(fix.index) + 1);
         switch (fix.kind) {
           case FixKind::Branch16:
-            hbat_assert(delta >= -32768 && delta <= 32767,
-                        "branch offset ", delta, " out of range");
+            if (!branchOffsetInRange(delta)) {
+                report.add(Diag::BranchRange, Severity::Error, pc,
+                           detail::concat(
+                               "branch offset ", delta,
+                               " words overflows the 16-bit field"));
+                continue;
+            }
             break;
           case FixKind::Jump26:
-            hbat_assert(delta >= -(1 << 25) && delta < (1 << 25),
-                        "jump offset ", delta, " out of range");
+            if (!jumpOffsetInRange(delta)) {
+                report.add(Diag::JumpRange, Severity::Error, pc,
+                           detail::concat(
+                               "jump offset ", delta,
+                               " words overflows the 26-bit field"));
+                continue;
+            }
             break;
         }
         text[fix.index].imm = int32_t(delta);

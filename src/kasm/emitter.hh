@@ -17,6 +17,7 @@
 
 #include "common/types.hh"
 #include "isa/isa.hh"
+#include "verify/diag.hh"
 
 namespace hbat::kasm
 {
@@ -70,9 +71,33 @@ class Emitter
 
     /**
      * Resolve all fixups and return the encoded text.
-     * Panics if any referenced label is unbound.
+     * Panics if any referenced label is unbound or any offset
+     * overflows its field.
      */
     std::vector<uint32_t> finalize();
+
+    /**
+     * Like finalize(), but problems become structured diagnostics
+     * (UnboundLabel, BranchRange, JumpRange) appended to @p report
+     * instead of panics. Affected instructions keep a zero offset;
+     * callers must check report.clean() before using the image.
+     */
+    std::vector<uint32_t> finalize(verify::Report &report);
+
+    /** True when a branch can span @p delta_words (16-bit field). */
+    static bool
+    branchOffsetInRange(int64_t delta_words)
+    {
+        return delta_words >= -32768 && delta_words <= 32767;
+    }
+
+    /** True when a jump can span @p delta_words (26-bit field). */
+    static bool
+    jumpOffsetInRange(int64_t delta_words)
+    {
+        return delta_words >= -(int64_t(1) << 25) &&
+               delta_words < (int64_t(1) << 25);
+    }
 
   private:
     enum class FixKind { Branch16, Jump26 };

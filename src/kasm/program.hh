@@ -59,6 +59,14 @@ struct Program
     /** Initial stack pointer value. */
     VAddr stackTop = kStackTop;
 
+    /**
+     * Text addresses indirect jumps (JR/JALR) may transfer to, as
+     * recorded by the linker from code-table labels. Empty for images
+     * without code tables (or images built by an older linker); the
+     * verifier then falls back to scanning data for text addresses.
+     */
+    std::vector<VAddr> indirectTargets;
+
     /** End of the text segment (exclusive). */
     VAddr textEnd() const { return textBase + text.size() * 4; }
 };

@@ -2,8 +2,11 @@
 
 #include <cstring>
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "kasm/regalloc.hh"
+#include "verify/verifier.hh"
 
 namespace hbat::kasm
 {
@@ -121,6 +124,22 @@ ProgramBuilder::link(const RegBudget &budget)
         prog.data.push_back(DataSegment{kDataBase, std::move(patched)});
     prog.entry = kTextBase;
     prog.stackTop = kStackTop;
+
+    // Record the exact indirect-jump target set for the verifier.
+    for (int l : linkedCode.indirectTargets)
+        prog.indirectTargets.push_back(em.labelAddr(lr.labels[l]));
+    std::sort(prog.indirectTargets.begin(), prog.indirectTargets.end());
+    prog.indirectTargets.erase(std::unique(prog.indirectTargets.begin(),
+                                           prog.indirectTargets.end()),
+                               prog.indirectTargets.end());
+    return prog;
+}
+
+Program
+ProgramBuilder::link(const RegBudget &budget, verify::Report &report)
+{
+    Program prog = link(budget);
+    verify::analyzeProgram(prog, report);
     return prog;
 }
 

@@ -22,6 +22,11 @@
 #include "kasm/code_builder.hh"
 #include "kasm/program.hh"
 
+namespace hbat::verify
+{
+struct Report;
+} // namespace hbat::verify
+
 namespace hbat::kasm
 {
 
@@ -68,6 +73,12 @@ class ProgramBuilder
      * registers); each call re-lowers the same virtual code.
      */
     Program link(const RegBudget &budget = RegBudget{});
+
+    /**
+     * link(), then run the static verifier (verify::analyzeProgram)
+     * over the produced image, appending its findings to @p report.
+     */
+    Program link(const RegBudget &budget, verify::Report &report);
 
   private:
     VAddr align(unsigned a);

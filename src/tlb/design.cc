@@ -96,59 +96,79 @@ parseDesign(const std::string &name)
     hbat_fatal("unknown design '", name, "'");
 }
 
-std::unique_ptr<TranslationEngine>
-makeEngine(Design d, vm::PageTable &page_table, uint64_t seed)
+DesignParams
+designParams(Design d)
 {
+    using Kind = DesignParams::Kind;
+    DesignParams p;
+    p.baseEntries = kBaseEntries;
+
+    auto ported = [&](unsigned ports, unsigned piggy) {
+        p.kind = Kind::MultiPorted;
+        p.basePorts = ports;
+        p.piggybackPorts = piggy;
+    };
+    auto banked = [&](unsigned banks, BankSelect sel, bool piggy) {
+        p.kind = Kind::Interleaved;
+        p.banks = banks;
+        p.select = sel;
+        p.piggybackBanks = piggy;
+        p.basePorts = banks;    // one port per bank
+    };
+
     switch (d) {
-      case Design::T4:
-        return std::make_unique<MultiPortedTlb>(page_table, 4, 0,
-                                                kBaseEntries, seed);
-      case Design::T2:
-        return std::make_unique<MultiPortedTlb>(page_table, 2, 0,
-                                                kBaseEntries, seed);
-      case Design::T1:
-        return std::make_unique<MultiPortedTlb>(page_table, 1, 0,
-                                                kBaseEntries, seed);
-      case Design::I8:
-        return std::make_unique<InterleavedTlb>(
-            page_table, 8, BankSelect::BitSelect, kBaseEntries, false,
-            seed);
-      case Design::I4:
-        return std::make_unique<InterleavedTlb>(
-            page_table, 4, BankSelect::BitSelect, kBaseEntries, false,
-            seed);
-      case Design::X4:
-        return std::make_unique<InterleavedTlb>(
-            page_table, 4, BankSelect::XorFold, kBaseEntries, false,
-            seed);
+      case Design::T4: ported(4, 0); break;
+      case Design::T2: ported(2, 0); break;
+      case Design::T1: ported(1, 0); break;
+      case Design::PB2: ported(2, 2); break;
+      case Design::PB1: ported(1, 3); break;
+      case Design::I8: banked(8, BankSelect::BitSelect, false); break;
+      case Design::I4: banked(4, BankSelect::BitSelect, false); break;
+      case Design::X4: banked(4, BankSelect::XorFold, false); break;
+      case Design::I4PB: banked(4, BankSelect::BitSelect, true); break;
       case Design::M16:
-        return std::make_unique<MultiLevelTlb>(page_table, 16,
-                                               kUpperPorts,
-                                               kBaseEntries, seed);
       case Design::M8:
-        return std::make_unique<MultiLevelTlb>(page_table, 8,
-                                               kUpperPorts,
-                                               kBaseEntries, seed);
       case Design::M4:
-        return std::make_unique<MultiLevelTlb>(page_table, 4,
-                                               kUpperPorts,
-                                               kBaseEntries, seed);
+        p.kind = Kind::MultiLevel;
+        p.basePorts = 1;
+        p.upperEntries = d == Design::M16 ? 16
+                       : d == Design::M8 ? 8 : 4;
+        p.upperPorts = kUpperPorts;
+        break;
       case Design::P8:
-        return std::make_unique<PretranslationTlb>(page_table, 8,
-                                                   kBaseEntries, seed);
-      case Design::PB2:
-        return std::make_unique<MultiPortedTlb>(page_table, 2, 2,
-                                                kBaseEntries, seed);
-      case Design::PB1:
-        return std::make_unique<MultiPortedTlb>(page_table, 1, 3,
-                                                kBaseEntries, seed);
-      case Design::I4PB:
-        return std::make_unique<InterleavedTlb>(
-            page_table, 4, BankSelect::BitSelect, kBaseEntries, true,
-            seed);
+        p.kind = Kind::Pretranslation;
+        p.basePorts = 1;
+        p.upperEntries = 8;
+        p.upperPorts = kUpperPorts;
+        break;
       default:
         hbat_panic("bad design");
     }
+    return p;
+}
+
+std::unique_ptr<TranslationEngine>
+makeEngine(Design d, vm::PageTable &page_table, uint64_t seed)
+{
+    const DesignParams p = designParams(d);
+    switch (p.kind) {
+      case DesignParams::Kind::MultiPorted:
+        return std::make_unique<MultiPortedTlb>(
+            page_table, p.basePorts, p.piggybackPorts, p.baseEntries,
+            seed);
+      case DesignParams::Kind::Interleaved:
+        return std::make_unique<InterleavedTlb>(
+            page_table, p.banks, p.select, p.baseEntries,
+            p.piggybackBanks, seed);
+      case DesignParams::Kind::MultiLevel:
+        return std::make_unique<MultiLevelTlb>(
+            page_table, p.upperEntries, p.upperPorts, p.baseEntries,
+            seed);
+      case DesignParams::Kind::Pretranslation:
+        return std::make_unique<PretranslationTlb>(
+            page_table, p.upperEntries, p.baseEntries, seed);
+    }
+    hbat_panic("bad design kind");
 }
 
 } // namespace hbat::tlb

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "tlb/interleaved.hh"
 #include "tlb/xlate.hh"
 
 namespace hbat::tlb
@@ -50,6 +51,38 @@ std::string designDescription(Design d);
 
 /** Parse a mnemonic; fatal on unknown names. */
 Design parseDesign(const std::string &name);
+
+/**
+ * Structural parameters of one Table 2 design — the single source of
+ * truth makeEngine() builds from and the design lint checks against.
+ */
+struct DesignParams
+{
+    /** Which engine class implements the design. */
+    enum class Kind : uint8_t
+    {
+        MultiPorted,    ///< T4/T2/T1/PB2/PB1
+        Interleaved,    ///< I8/I4/X4/I4PB
+        MultiLevel,     ///< M16/M8/M4
+        Pretranslation  ///< P8
+    };
+
+    Kind kind = Kind::MultiPorted;
+
+    unsigned baseEntries = 0;       ///< total base TLB capacity
+    unsigned basePorts = 0;         ///< true ports into the base TLB
+    unsigned piggybackPorts = 0;    ///< extra same-page rider ports
+
+    unsigned banks = 1;             ///< interleaved bank count
+    BankSelect select = BankSelect::BitSelect;
+    bool piggybackBanks = false;    ///< per-bank piggybacking (I4/PB)
+
+    unsigned upperEntries = 0;      ///< L1 / pretranslation cache (0=none)
+    unsigned upperPorts = 0;        ///< ports into the upper level
+};
+
+/** The paper's parameters for @p d (Table 2 row). */
+DesignParams designParams(Design d);
 
 /** Construct the engine for @p d with the paper's parameters. */
 std::unique_ptr<TranslationEngine>

@@ -1,0 +1,248 @@
+#include "verify/cfg.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace hbat::verify
+{
+
+using isa::Inst;
+using isa::Opcode;
+
+namespace
+{
+
+/** Direct control-transfer target of instruction @p idx, in words. */
+int64_t
+directTarget(const Inst &inst, size_t idx)
+{
+    return int64_t(idx) + 1 + int64_t(inst.imm);
+}
+
+/** True when @p op ends a basic block. */
+bool
+endsBlock(Opcode op)
+{
+    return isa::isControl(op) || op == Opcode::Halt;
+}
+
+/**
+ * Possible indirect-jump targets of @p prog as instruction indices.
+ * Prefers the linker-recorded target list; falls back to scanning the
+ * initialized data segments for aligned text addresses (the layout a
+ * linked code table has). Out-of-text linker targets are diagnosed;
+ * scan candidates are silently filtered (arbitrary data words are
+ * allowed to look like anything).
+ */
+std::vector<size_t>
+findIndirectTargets(const kasm::Program &prog, Report &report)
+{
+    const VAddr textEnd = prog.textEnd();
+    std::vector<size_t> out;
+
+    auto addCandidate = [&](VAddr va) {
+        if (va < prog.textBase || va >= textEnd || va % 4 != 0)
+            return false;
+        out.push_back(size_t((va - prog.textBase) / 4));
+        return true;
+    };
+
+    if (!prog.indirectTargets.empty()) {
+        for (VAddr va : prog.indirectTargets) {
+            if (!addCandidate(va)) {
+                report.add(Diag::TargetOutOfText, Severity::Error, va,
+                           "linker-recorded indirect target outside "
+                           "the text segment");
+            }
+        }
+    } else {
+        for (const kasm::DataSegment &seg : prog.data) {
+            for (size_t off = 0; off + 4 <= seg.bytes.size(); off += 4) {
+                uint32_t word;
+                std::memcpy(&word, seg.bytes.data() + off, 4);
+                addCandidate(word);
+            }
+        }
+    }
+
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+Cfg
+buildCfg(const kasm::Program &prog, Report &report)
+{
+    Cfg cfg;
+    cfg.textBase = prog.textBase;
+
+    const size_t n = prog.text.size();
+    cfg.insts.resize(n);
+    cfg.valid.assign(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        Inst inst;
+        if (isa::tryDecode(prog.text[i], inst)) {
+            cfg.insts[i] = inst;
+            cfg.valid[i] = true;
+        } else {
+            // Treat as a block terminator so analysis can proceed.
+            cfg.insts[i] = Inst{Opcode::Halt, 0, 0, 0, 0};
+            report.add(Diag::IllegalInstruction, Severity::Error,
+                       cfg.pcOf(i),
+                       detail::concat("text word ", prog.text[i],
+                                      " does not decode"));
+        }
+    }
+    if (n == 0) {
+        report.add(Diag::FallthroughOffEnd, Severity::Error,
+                   prog.textBase, "program has no text");
+        cfg.blocks.push_back(BasicBlock{});
+        cfg.blocks[0].reachable = true;
+        return cfg;
+    }
+
+    cfg.indirectTargets = findIndirectTargets(prog, report);
+
+    // Call-return sites are legitimate JR destinations too.
+    std::vector<size_t> jrSuccs = cfg.indirectTargets;
+    for (size_t i = 0; i < n; ++i) {
+        if (cfg.valid[i] && cfg.insts[i].op == Opcode::Jal && i + 1 < n)
+            jrSuccs.push_back(i + 1);
+    }
+    std::sort(jrSuccs.begin(), jrSuccs.end());
+    jrSuccs.erase(std::unique(jrSuccs.begin(), jrSuccs.end()),
+                  jrSuccs.end());
+
+    // Leaders: entry, control targets, post-control instructions.
+    std::vector<bool> leader(n, false);
+    size_t entryIdx = 0;
+    if (prog.entry < prog.textBase || prog.entry >= prog.textEnd() ||
+        prog.entry % 4 != 0) {
+        report.add(Diag::TargetOutOfText, Severity::Error, prog.entry,
+                   "entry point outside the text segment");
+    } else {
+        entryIdx = size_t((prog.entry - prog.textBase) / 4);
+    }
+    leader[entryIdx] = true;
+
+    for (size_t t : jrSuccs)
+        leader[t] = true;
+
+    for (size_t i = 0; i < n; ++i) {
+        const Inst &inst = cfg.insts[i];
+        if (!cfg.valid[i] || !endsBlock(inst.op))
+            continue;
+        if (i + 1 < n)
+            leader[i + 1] = true;
+        if (isa::isBranch(inst.op) || inst.op == Opcode::J ||
+            inst.op == Opcode::Jal) {
+            const int64_t t = directTarget(inst, i);
+            if (t < 0 || size_t(t) >= n) {
+                report.add(Diag::TargetOutOfText, Severity::Error,
+                           cfg.pcOf(i),
+                           detail::concat(
+                               isa::opName(inst.op),
+                               " target outside the text segment"));
+            } else {
+                leader[size_t(t)] = true;
+            }
+        }
+    }
+
+    // Materialize blocks.
+    cfg.blockOf.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (i == 0 || leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            cfg.blocks.push_back(bb);
+        }
+        cfg.blockOf[i] = cfg.blocks.size() - 1;
+        cfg.blocks.back().end = i + 1;
+    }
+    cfg.entryBlock = cfg.blockOf[entryIdx];
+
+    // Successor edges.
+    auto blockAt = [&](size_t idx) { return cfg.blockOf[idx]; };
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock &bb = cfg.blocks[b];
+        const size_t last = bb.end - 1;
+        const Inst &inst = cfg.insts[last];
+        std::vector<size_t> &succs = bb.succs;
+
+        auto addDirect = [&]() {
+            const int64_t t = directTarget(inst, last);
+            if (t >= 0 && size_t(t) < n)
+                succs.push_back(blockAt(size_t(t)));
+        };
+        auto addFallthrough = [&](const char *what) {
+            if (bb.end < n) {
+                succs.push_back(blockAt(bb.end));
+            } else {
+                report.add(Diag::FallthroughOffEnd, Severity::Error,
+                           cfg.pcOf(last),
+                           detail::concat(what,
+                                          " runs off the end of text"));
+            }
+        };
+
+        if (!cfg.valid[last]) {
+            // Diagnosed at decode; no successors.
+        } else if (isa::isBranch(inst.op)) {
+            addDirect();
+            addFallthrough("branch fallthrough");
+        } else if (inst.op == Opcode::J || inst.op == Opcode::Jal) {
+            addDirect();
+        } else if (inst.op == Opcode::Jr || inst.op == Opcode::Jalr) {
+            cfg.hasIndirect = true;
+            for (size_t t : jrSuccs)
+                succs.push_back(blockAt(t));
+        } else if (inst.op != Opcode::Halt) {
+            addFallthrough("execution");
+        }
+
+        std::sort(succs.begin(), succs.end());
+        succs.erase(std::unique(succs.begin(), succs.end()),
+                    succs.end());
+    }
+    if (cfg.hasIndirect && jrSuccs.empty()) {
+        report.add(Diag::IndirectNoTargets, Severity::Warning, 0,
+                   "image contains indirect jumps but no identifiable "
+                   "targets (no linker list, no code-table words)");
+    }
+
+    // Predecessors + reachability from the entry block.
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (size_t s : cfg.blocks[b].succs)
+            cfg.blocks[s].preds.push_back(b);
+
+    std::vector<size_t> work{cfg.entryBlock};
+    cfg.blocks[cfg.entryBlock].reachable = true;
+    while (!work.empty()) {
+        const size_t b = work.back();
+        work.pop_back();
+        for (size_t s : cfg.blocks[b].succs) {
+            if (!cfg.blocks[s].reachable) {
+                cfg.blocks[s].reachable = true;
+                work.push_back(s);
+            }
+        }
+    }
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.blocks[b].reachable) {
+            report.add(Diag::UnreachableBlock, Severity::Warning,
+                       cfg.pcOf(cfg.blocks[b].first),
+                       detail::concat("basic block of ",
+                                      cfg.blocks[b].end -
+                                          cfg.blocks[b].first,
+                                      " instruction(s) is unreachable"));
+        }
+    }
+    return cfg;
+}
+
+} // namespace hbat::verify

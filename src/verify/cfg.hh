@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Control-flow graph over a linked program image.
+ *
+ * The verifier decodes the encoded text back through the ISA layer
+ * (isa::tryDecode) and partitions it into basic blocks: a leader is
+ * the entry point, any direct branch/jump target, any possible
+ * indirect-jump target, and the instruction after any control
+ * transfer. Indirect jumps (JR/JALR) are handled conservatively: their
+ * successor set is every known indirect target plus every call-return
+ * site. Targets come from the linker when the image carries them
+ * (kasm::Program::indirectTargets); for raw images the data segments
+ * are scanned for words that look like aligned text addresses — the
+ * exact shape a linked code table has.
+ *
+ * CFG construction itself emits the structural diagnostics (illegal
+ * instructions, targets outside the text segment, fallthrough off the
+ * end of text, unreachable blocks); the dataflow passes in dataflow.hh
+ * run on top of the finished graph.
+ */
+
+#ifndef HBAT_VERIFY_CFG_HH
+#define HBAT_VERIFY_CFG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "kasm/program.hh"
+#include "verify/diag.hh"
+
+namespace hbat::verify
+{
+
+/** One basic block: instruction index range [first, end). */
+struct BasicBlock
+{
+    size_t first = 0;
+    size_t end = 0;
+    std::vector<size_t> succs;  ///< successor block ids (deduplicated)
+    std::vector<size_t> preds;  ///< predecessor block ids
+    bool reachable = false;     ///< path exists from the entry block
+};
+
+/** The decoded program and its block graph. */
+struct Cfg
+{
+    VAddr textBase = 0;
+    size_t entryBlock = 0;              ///< block containing the entry
+
+    /** Decoded text; insts[i].op is Halt when valid[i] is false. */
+    std::vector<isa::Inst> insts;
+    std::vector<bool> valid;            ///< word i decoded successfully
+
+    std::vector<BasicBlock> blocks;     ///< in text order
+    std::vector<size_t> blockOf;        ///< inst index -> block id
+
+    /** Instruction indices JR/JALR may transfer to (sorted, unique). */
+    std::vector<size_t> indirectTargets;
+    bool hasIndirect = false;           ///< image contains JR/JALR
+
+    /** Text address of instruction @p idx. */
+    VAddr pcOf(size_t idx) const { return textBase + VAddr(idx) * 4; }
+
+    size_t size() const { return insts.size(); }
+};
+
+/**
+ * Decode @p prog and build its CFG, appending structural diagnostics
+ * (IllegalInstruction, TargetOutOfText, FallthroughOffEnd,
+ * UnreachableBlock, IndirectNoTargets) to @p report.
+ */
+Cfg buildCfg(const kasm::Program &prog, Report &report);
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_CFG_HH

@@ -1,0 +1,481 @@
+#include "verify/dataflow.hh"
+
+#include "common/log.hh"
+
+namespace hbat::verify
+{
+
+using isa::Inst;
+using isa::Opcode;
+using isa::RC;
+
+std::string
+regSetNames(RegSet s)
+{
+    std::string out;
+    for (int i = 0; i < 64; ++i) {
+        if (!((s >> i) & 1))
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += i < 32 ? isa::intRegName(RegIndex(i))
+                      : isa::fpRegName(RegIndex(i - 32));
+    }
+    return out;
+}
+
+InstEffect
+instEffect(const Inst &inst)
+{
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    InstEffect e;
+
+    auto slot = [](RC cls, RegIndex r) {
+        return cls == RC::Fp ? fpSlot(r) : intSlot(r);
+    };
+
+    if (info.rs1Class != RC::None)
+        e.uses |= RegSet(1) << slot(info.rs1Class, inst.rs1);
+    if (info.rs2Class != RC::None)
+        e.uses |= RegSet(1) << slot(info.rs2Class, inst.rs2);
+    if (info.rdClass != RC::None) {
+        if (info.rdIsSource)
+            e.uses |= RegSet(1) << slot(info.rdClass, inst.rd);
+        else
+            e.defs |= RegSet(1) << slot(info.rdClass, inst.rd);
+    }
+    if (info.writesBase)
+        e.defs |= RegSet(1) << intSlot(inst.rs1);
+    if (inst.op == Opcode::Jal)
+        e.defs |= RegSet(1) << intSlot(isa::reg::ra);
+
+    // The hardwired zero register is always defined and never written.
+    e.uses &= ~RegSet(1);
+    e.defs &= ~RegSet(1);
+    return e;
+}
+
+namespace
+{
+
+/** Per-block use/def summaries (upward-exposed uses for liveness). */
+struct BlockEffect
+{
+    RegSet use = 0;     ///< used before any def within the block
+    RegSet def = 0;     ///< defined within the block
+};
+
+std::vector<BlockEffect>
+blockEffects(const Cfg &cfg)
+{
+    std::vector<BlockEffect> out(cfg.blocks.size());
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BlockEffect &be = out[b];
+        for (size_t i = cfg.blocks[b].first; i < cfg.blocks[b].end;
+             ++i) {
+            const InstEffect e = instEffect(cfg.insts[i]);
+            be.use |= e.uses & ~be.def;
+            be.def |= e.defs;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Liveness
+liveness(const Cfg &cfg)
+{
+    const std::vector<BlockEffect> be = blockEffects(cfg);
+    Liveness lv;
+    lv.in.assign(cfg.blocks.size(), 0);
+    lv.out.assign(cfg.blocks.size(), 0);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t rb = cfg.blocks.size(); rb-- > 0;) {
+            RegSet out = 0;
+            for (size_t s : cfg.blocks[rb].succs)
+                out |= lv.in[s];
+            const RegSet in = be[rb].use | (out & ~be[rb].def);
+            if (out != lv.out[rb] || in != lv.in[rb]) {
+                lv.out[rb] = out;
+                lv.in[rb] = in;
+                changed = true;
+            }
+        }
+    }
+    return lv;
+}
+
+UninitState
+mayUninit(const Cfg &cfg, RegSet entryDefined)
+{
+    const std::vector<BlockEffect> be = blockEffects(cfg);
+    UninitState st;
+    st.in.assign(cfg.blocks.size(), 0);
+    st.out.assign(cfg.blocks.size(), 0);
+
+    const RegSet entryUninit = ~entryDefined;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+            RegSet in = b == cfg.entryBlock ? entryUninit : 0;
+            for (size_t p : cfg.blocks[b].preds)
+                in |= st.out[p];
+            const RegSet out = in & ~be[b].def;
+            if (in != st.in[b] || out != st.out[b]) {
+                st.in[b] = in;
+                st.out[b] = out;
+                changed = true;
+            }
+        }
+    }
+    return st;
+}
+
+ReachingDefs
+reachingDefs(const Cfg &cfg, RegSet entryDefined)
+{
+    ReachingDefs rd;
+
+    // Enumerate definition sites; site 0 is the loader pseudo-def.
+    rd.siteInst.push_back(ReachingDefs::kEntrySite);
+    rd.siteDefs.push_back(entryDefined);
+    for (size_t i = 0; i < cfg.size(); ++i) {
+        const InstEffect e = instEffect(cfg.insts[i]);
+        if (e.defs == 0)
+            continue;
+        rd.siteInst.push_back(i);
+        rd.siteDefs.push_back(e.defs);
+    }
+    const size_t nSites = rd.siteInst.size();
+
+    for (int r = 0; r < 64; ++r)
+        rd.sitesOf[r] = BitVec(nSites);
+    for (size_t s = 0; s < nSites; ++s) {
+        for (int r = 0; r < 64; ++r)
+            if ((rd.siteDefs[s] >> r) & 1)
+                rd.sitesOf[r].set(s);
+    }
+
+    // Per-block gen/kill.
+    std::vector<size_t> firstSiteOf(cfg.size(), ReachingDefs::kEntrySite);
+    for (size_t s = 1; s < nSites; ++s)
+        firstSiteOf[rd.siteInst[s]] = s;
+
+    const size_t nb = cfg.blocks.size();
+    std::vector<BitVec> gen(nb, BitVec(nSites));
+    std::vector<BitVec> kill(nb, BitVec(nSites));
+    for (size_t b = 0; b < nb; ++b) {
+        for (size_t i = cfg.blocks[b].first; i < cfg.blocks[b].end;
+             ++i) {
+            const size_t site = firstSiteOf[i];
+            if (site == ReachingDefs::kEntrySite)
+                continue;
+            // This site kills every other site of the regs it defines.
+            for (int r = 0; r < 64; ++r) {
+                if ((rd.siteDefs[site] >> r) & 1) {
+                    kill[b].orWith(rd.sitesOf[r]);
+                    gen[b].minus(rd.sitesOf[r]);
+                }
+            }
+            kill[b].clear(site);
+            gen[b].set(site);
+        }
+    }
+
+    rd.in.assign(nb, BitVec(nSites));
+    std::vector<BitVec> out(nb, BitVec(nSites));
+    // Seed: the entry pseudo-def flows into the entry block.
+    rd.in[cfg.entryBlock].set(0);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < nb; ++b) {
+            BitVec in(nSites);
+            if (b == cfg.entryBlock)
+                in.set(0);
+            for (size_t p : cfg.blocks[b].preds)
+                in.orWith(out[p]);
+            BitVec nout = in;
+            nout.minus(kill[b]);
+            nout.orWith(gen[b]);
+            changed |= rd.in[b].orWith(in);
+            changed |= out[b].orWith(nout);
+        }
+    }
+    return rd;
+}
+
+void
+SpDeltas::step(const Inst &inst, SpDelta &v)
+{
+    if (v.kind != SpDelta::Kind::Const)
+        return;
+    const InstEffect e = instEffect(inst);
+    if (!((e.defs >> intSlot(isa::reg::sp)) & 1))
+        return;
+    if (inst.op == Opcode::Addi && inst.rd == isa::reg::sp &&
+        inst.rs1 == isa::reg::sp) {
+        v.delta += inst.imm;
+    } else if (isa::opInfo(inst.op).writesBase &&
+               inst.rs1 == isa::reg::sp) {
+        // Post-increment load/store through sp adjusts it by imm.
+        v.delta += inst.imm;
+    } else {
+        v.kind = SpDelta::Kind::Conflict;
+    }
+}
+
+SpDeltas
+spDeltas(const Cfg &cfg)
+{
+    SpDeltas sd;
+    sd.in.assign(cfg.blocks.size(), SpDelta{});
+    sd.in[cfg.entryBlock] =
+        SpDelta{SpDelta::Kind::Const, 0, false};
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+            SpDelta in = b == cfg.entryBlock
+                             ? SpDelta{SpDelta::Kind::Const, 0, false}
+                             : SpDelta{};
+            for (size_t p : cfg.blocks[b].preds) {
+                SpDelta pv = sd.in[p];
+                for (size_t i = cfg.blocks[p].first;
+                     i < cfg.blocks[p].end; ++i)
+                    SpDeltas::step(cfg.insts[i], pv);
+                switch (pv.kind) {
+                  case SpDelta::Kind::Unknown:
+                    break;
+                  case SpDelta::Kind::Const:
+                    if (in.kind == SpDelta::Kind::Unknown) {
+                        in.kind = SpDelta::Kind::Const;
+                        in.delta = pv.delta;
+                    } else if (in.kind == SpDelta::Kind::Const &&
+                               in.delta != pv.delta) {
+                        in.kind = SpDelta::Kind::Conflict;
+                        in.freshConflict = true;
+                    }
+                    break;
+                  case SpDelta::Kind::Conflict:
+                    if (in.kind != SpDelta::Kind::Conflict) {
+                        in.kind = SpDelta::Kind::Conflict;
+                        in.freshConflict = false;
+                    }
+                    break;
+                }
+            }
+            if (in.kind != sd.in[b].kind ||
+                (in.kind == SpDelta::Kind::Const &&
+                 in.delta != sd.in[b].delta) ||
+                in.freshConflict != sd.in[b].freshConflict) {
+                // The lattice only descends, so this terminates.
+                if (sd.in[b].kind == SpDelta::Kind::Conflict &&
+                    in.kind == SpDelta::Kind::Conflict) {
+                    sd.in[b].freshConflict |= in.freshConflict;
+                } else {
+                    sd.in[b] = in;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return sd;
+}
+
+void
+ConstProp::step(const Inst &inst, ConstState &state)
+{
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+
+    auto srcKnown = [&](RegIndex r, uint32_t &v) {
+        if (r == 0) {
+            v = 0;
+            return true;
+        }
+        if (!state.isKnown(r))
+            return false;
+        v = state.val[r];
+        return true;
+    };
+
+    // Post-increment base update: base += imm when known.
+    if (info.writesBase) {
+        uint32_t base;
+        if (srcKnown(inst.rs1, base))
+            state.setKnown(inst.rs1, base + uint32_t(inst.imm));
+        else
+            state.setUnknown(inst.rs1);
+    }
+
+    const bool writesInt =
+        info.rdClass == RC::Int && !info.rdIsSource;
+    if (!writesInt) {
+        if (inst.op == Opcode::Jal)
+            state.setUnknown(isa::reg::ra);
+        return;
+    }
+
+    uint32_t a = 0, b = 0;
+    const bool haveA = info.rs1Class == RC::Int &&
+                       srcKnown(inst.rs1, a);
+    const bool haveB = info.rs2Class == RC::Int &&
+                       srcKnown(inst.rs2, b);
+
+    bool known = true;
+    uint32_t v = 0;
+    const int32_t sa = int32_t(a), sb = int32_t(b);
+    switch (inst.op) {
+      case Opcode::Addi: known = haveA; v = a + uint32_t(inst.imm); break;
+      case Opcode::Andi: known = haveA; v = a & uint32_t(inst.imm); break;
+      case Opcode::Ori: known = haveA; v = a | uint32_t(inst.imm); break;
+      case Opcode::Xori: known = haveA; v = a ^ uint32_t(inst.imm); break;
+      case Opcode::Slli: known = haveA; v = a << (inst.imm & 31); break;
+      case Opcode::Srli: known = haveA; v = a >> (inst.imm & 31); break;
+      case Opcode::Srai:
+        known = haveA;
+        v = uint32_t(sa >> (inst.imm & 31));
+        break;
+      case Opcode::Slti: known = haveA; v = sa < inst.imm; break;
+      case Opcode::Sltiu:
+        known = haveA;
+        v = a < uint32_t(inst.imm);
+        break;
+      case Opcode::Lui: v = uint32_t(inst.imm) << 16; break;
+      case Opcode::Add: known = haveA && haveB; v = a + b; break;
+      case Opcode::Sub: known = haveA && haveB; v = a - b; break;
+      case Opcode::Mul: known = haveA && haveB; v = a * b; break;
+      case Opcode::And: known = haveA && haveB; v = a & b; break;
+      case Opcode::Or: known = haveA && haveB; v = a | b; break;
+      case Opcode::Xor: known = haveA && haveB; v = a ^ b; break;
+      case Opcode::Nor: known = haveA && haveB; v = ~(a | b); break;
+      case Opcode::Sll: known = haveA && haveB; v = a << (b & 31); break;
+      case Opcode::Srl: known = haveA && haveB; v = a >> (b & 31); break;
+      case Opcode::Sra:
+        known = haveA && haveB;
+        v = uint32_t(sa >> (b & 31));
+        break;
+      case Opcode::Slt: known = haveA && haveB; v = sa < sb; break;
+      case Opcode::Sltu: known = haveA && haveB; v = a < b; break;
+      default:
+        known = false;  // loads, div/rem, fp moves, jalr...
+        break;
+    }
+
+    if (known)
+        state.setKnown(inst.rd, v);
+    else
+        state.setUnknown(inst.rd);
+}
+
+bool
+ConstProp::effectiveAddr(const Inst &inst, const ConstState &state,
+                         uint32_t &addr)
+{
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    hbat_assert(info.memSize != 0, "effectiveAddr on non-memory op");
+
+    auto known = [&](RegIndex r, uint32_t &v) {
+        if (r == 0) {
+            v = 0;
+            return true;
+        }
+        if (!state.isKnown(r))
+            return false;
+        v = state.val[r];
+        return true;
+    };
+
+    uint32_t base;
+    if (!known(inst.rs1, base))
+        return false;
+
+    if (info.writesBase) {
+        addr = base;                // post-increment: access M[base]
+        return true;
+    }
+    if (info.rs2Class != RC::None) {
+        uint32_t idx;
+        if (!known(inst.rs2, idx))
+            return false;
+        addr = base + idx;          // register+register
+        return true;
+    }
+    addr = base + uint32_t(inst.imm);   // base+displacement
+    return true;
+}
+
+ConstProp
+constProp(const Cfg &cfg, uint32_t spInit)
+{
+    ConstProp cp;
+    cp.in.assign(cfg.blocks.size(), ConstState{});
+    cp.visited.assign(cfg.blocks.size(), false);
+
+    ConstState entry;
+    entry.setKnown(isa::reg::sp, spInit);
+
+    auto meet = [](ConstState &into, const ConstState &other) {
+        uint32_t agreed = into.known & other.known;
+        for (int r = 1; r < 32; ++r) {
+            if (((agreed >> r) & 1) && into.val[r] != other.val[r])
+                agreed &= ~(uint32_t(1) << r);
+        }
+        into.known = agreed | 1;
+    };
+    auto same = [](const ConstState &a, const ConstState &b) {
+        if (a.known != b.known)
+            return false;
+        for (int r = 1; r < 32; ++r)
+            if (((a.known >> r) & 1) && a.val[r] != b.val[r])
+                return false;
+        return true;
+    };
+
+    // Recompute block entries to a fixpoint. Transfer and meet are
+    // monotone on the known->unknown lattice, so states only descend
+    // and the iteration terminates.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+            ConstState in;
+            bool have = false;
+            if (b == cfg.entryBlock) {
+                in = entry;
+                have = true;
+            }
+            for (size_t p : cfg.blocks[b].preds) {
+                if (!cp.visited[p])
+                    continue;
+                ConstState pv = cp.in[p];
+                for (size_t i = cfg.blocks[p].first;
+                     i < cfg.blocks[p].end; ++i)
+                    ConstProp::step(cfg.insts[i], pv);
+                if (!have) {
+                    in = pv;
+                    have = true;
+                } else {
+                    meet(in, pv);
+                }
+            }
+            if (!have)
+                continue;
+            if (!cp.visited[b] || !same(in, cp.in[b])) {
+                cp.in[b] = in;
+                cp.visited[b] = true;
+                changed = true;
+            }
+        }
+    }
+    return cp;
+}
+
+} // namespace hbat::verify

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Classic dataflow analyses over the verifier CFG.
+ *
+ * All passes operate on the 64-slot unified register universe
+ * (integer registers 0..31, floating-point registers 32..63) and
+ * iterate block-level transfer functions to a fixpoint:
+ *
+ *  - liveness (backward, may): which registers are live into/out of
+ *    each block — powers the def-use dumps;
+ *  - reaching definitions (forward, may): which definition sites can
+ *    reach each block entry — powers use-def chains;
+ *  - may-uninitialized (forward, may): which registers can still hold
+ *    their loader-default value — powers the use-before-def
+ *    diagnostic;
+ *  - stack-pointer delta (forward, const lattice): the net sp
+ *    adjustment from the entry, detecting imbalanced joins;
+ *  - integer constant propagation (forward, const lattice): register
+ *    values that are statically known, powering the misaligned-access
+ *    diagnostic.
+ *
+ * Join functions are conservative across the indirect-jump edges cfg.hh
+ * inserts, so every result is a safe over-approximation.
+ */
+
+#ifndef HBAT_VERIFY_DATAFLOW_HH
+#define HBAT_VERIFY_DATAFLOW_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/cfg.hh"
+
+namespace hbat::verify
+{
+
+/** Bitmask over the 64-slot unified register universe. */
+using RegSet = uint64_t;
+
+/** Unified slot of integer register @p r. */
+inline int intSlot(RegIndex r) { return int(r); }
+
+/** Unified slot of floating-point register @p r. */
+inline int fpSlot(RegIndex r) { return 32 + int(r); }
+
+/** Registers the program loader initializes ($zero and $sp). */
+inline constexpr RegSet kEntryDefined =
+    (RegSet(1) << 0) | (RegSet(1) << 29);
+
+/** Comma-separated conventional names of every register in @p s. */
+std::string regSetNames(RegSet s);
+
+/** Register uses and defs of one decoded instruction. */
+struct InstEffect
+{
+    RegSet uses = 0;
+    RegSet defs = 0;
+};
+
+/** Compute uses/defs of @p inst (JAL's implicit $ra write included). */
+InstEffect instEffect(const isa::Inst &inst);
+
+/** Growable fixed-width bitvector for reaching-definition sets. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+    explicit BitVec(size_t n) : words((n + 63) / 64, 0) {}
+
+    bool
+    get(size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void set(size_t i) { words[i >> 6] |= uint64_t(1) << (i & 63); }
+    void clear(size_t i) { words[i >> 6] &= ~(uint64_t(1) << (i & 63)); }
+
+    /** this |= other; returns true when this changed. */
+    bool
+    orWith(const BitVec &other)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < words.size(); ++w) {
+            const uint64_t nv = words[w] | other.words[w];
+            changed |= nv != words[w];
+            words[w] = nv;
+        }
+        return changed;
+    }
+
+    /** this &= other. */
+    void
+    andWith(const BitVec &other)
+    {
+        for (size_t w = 0; w < words.size(); ++w)
+            words[w] &= other.words[w];
+    }
+
+    /** this &= ~other. */
+    void
+    minus(const BitVec &other)
+    {
+        for (size_t w = 0; w < words.size(); ++w)
+            words[w] &= ~other.words[w];
+    }
+
+    bool
+    any() const
+    {
+        for (uint64_t w : words)
+            if (w)
+                return true;
+        return false;
+    }
+
+    /** Call @p fn with the index of every set bit, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (size_t w = 0; w < words.size(); ++w) {
+            uint64_t v = words[w];
+            while (v) {
+                const int b = __builtin_ctzll(v);
+                fn(w * 64 + size_t(b));
+                v &= v - 1;
+            }
+        }
+    }
+
+  private:
+    std::vector<uint64_t> words;
+};
+
+/** Per-block liveness sets. */
+struct Liveness
+{
+    std::vector<RegSet> in;     ///< live into each block
+    std::vector<RegSet> out;    ///< live out of each block
+};
+
+/** Backward liveness to a fixpoint over @p cfg. */
+Liveness liveness(const Cfg &cfg);
+
+/** Per-block may-uninitialized sets. */
+struct UninitState
+{
+    std::vector<RegSet> in;
+    std::vector<RegSet> out;
+};
+
+/**
+ * Forward may-uninitialized analysis: a register is in a set when some
+ * path reaches that point without defining it. @p entryDefined lists
+ * the registers the loader initializes (kEntryDefined by default).
+ */
+UninitState mayUninit(const Cfg &cfg,
+                      RegSet entryDefined = kEntryDefined);
+
+/** Reaching-definition sites and per-block reaching sets. */
+struct ReachingDefs
+{
+    /**
+     * Definition sites: instruction index of each site. Site 0 is the
+     * pseudo-definition of the loader-initialized registers and maps
+     * to no instruction (kEntrySite).
+     */
+    static constexpr size_t kEntrySite = ~size_t(0);
+    std::vector<size_t> siteInst;
+
+    /** Registers each site defines. */
+    std::vector<RegSet> siteDefs;
+
+    /** Sites defining each register slot. */
+    std::array<BitVec, 64> sitesOf;
+
+    /** Sites reaching each block entry. */
+    std::vector<BitVec> in;
+};
+
+/** Forward reaching-definitions to a fixpoint over @p cfg. */
+ReachingDefs reachingDefs(const Cfg &cfg,
+                          RegSet entryDefined = kEntryDefined);
+
+/** Stack-pointer offset lattice value. */
+struct SpDelta
+{
+    enum class Kind : uint8_t
+    {
+        Unknown,    ///< block not reached / no information yet
+        Const,      ///< sp == entry sp + delta on every path
+        Conflict    ///< paths disagree (or sp escaped analysis)
+    };
+
+    Kind kind = Kind::Unknown;
+    int64_t delta = 0;
+    /** Conflict arose from two disagreeing constants at this join. */
+    bool freshConflict = false;
+};
+
+/** Per-block-entry stack-pointer deltas. */
+struct SpDeltas
+{
+    std::vector<SpDelta> in;
+
+    /** Apply instruction @p inst to running value @p v. */
+    static void step(const isa::Inst &inst, SpDelta &v);
+};
+
+/** Forward sp-delta analysis from the entry block. */
+SpDeltas spDeltas(const Cfg &cfg);
+
+/** Statically-known integer register values at one point. */
+struct ConstState
+{
+    uint32_t known = 1;                 ///< bit r: val[r] is exact
+    std::array<uint32_t, 32> val{};     ///< val[0] is always 0
+
+    bool isKnown(RegIndex r) const { return (known >> r) & 1; }
+
+    void
+    setKnown(RegIndex r, uint32_t v)
+    {
+        if (r == 0)
+            return;
+        known |= uint32_t(1) << r;
+        val[r] = v;
+    }
+
+    void
+    setUnknown(RegIndex r)
+    {
+        if (r == 0)
+            return;
+        known &= ~(uint32_t(1) << r);
+    }
+};
+
+/** Per-block-entry constant states. */
+struct ConstProp
+{
+    std::vector<ConstState> in;
+    std::vector<bool> visited;  ///< block entered by the analysis
+
+    /** Apply instruction @p inst to @p state (matches FuncCore). */
+    static void step(const isa::Inst &inst, ConstState &state);
+
+    /**
+     * Effective address of memory instruction @p inst under @p state,
+     * when statically known. Post-increment ops address M[base]
+     * directly; base+displacement adds the immediate; register+
+     * register adds the index register.
+     */
+    static bool effectiveAddr(const isa::Inst &inst,
+                              const ConstState &state, uint32_t &addr);
+};
+
+/** Forward constant propagation; @p spInit is the loader's sp value. */
+ConstProp constProp(const Cfg &cfg, uint32_t spInit);
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_DATAFLOW_HH

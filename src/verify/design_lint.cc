@@ -1,0 +1,167 @@
+#include "verify/design_lint.hh"
+
+#include "common/log.hh"
+
+namespace hbat::verify
+{
+
+namespace
+{
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2u(unsigned v)
+{
+    unsigned b = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+void
+lintDesignParams(const tlb::DesignParams &p, const std::string &name,
+                 Report &report, unsigned pageBytes)
+{
+    using Kind = tlb::DesignParams::Kind;
+
+    auto structural = [&](std::string msg) {
+        report.add(Diag::DesignStructure, Severity::Error, 0,
+                   detail::concat(name, ": ", std::move(msg)));
+    };
+    auto ports = [&](std::string msg) {
+        report.add(Diag::DesignPorts, Severity::Error, 0,
+                   detail::concat(name, ": ", std::move(msg)));
+    };
+
+    if (!isPow2(p.baseEntries)) {
+        structural(detail::concat("base TLB capacity ", p.baseEntries,
+                                  " is not a power of two"));
+    }
+
+    if (p.basePorts < 1)
+        ports("a TLB needs at least one port");
+
+    // Fewer ports than load/store units is a legitimate design point
+    // (requests serialize — that trade-off is the paper's subject),
+    // but *more* request paths than the four load/store units can
+    // ever generate is a specification error.
+    if (p.kind == Kind::MultiPorted &&
+        p.basePorts + p.piggybackPorts > kMemPorts) {
+        ports(detail::concat(
+            p.basePorts, " port(s) + ", p.piggybackPorts,
+            " piggyback port(s) exceed the machine's ", kMemPorts,
+            " load/store units"));
+    }
+
+    if (p.kind == Kind::Interleaved) {
+        if (p.banks > kIssueWidth) {
+            ports(detail::concat(
+                p.banks, " banks exceed the issue width of ",
+                kIssueWidth, " (extra banks can never be probed)"));
+        }
+        if (!isPow2(p.banks)) {
+            structural(detail::concat("bank count ", p.banks,
+                                      " is not a power of two"));
+        } else {
+            if (p.baseEntries % p.banks != 0) {
+                structural(detail::concat(
+                    "capacity ", p.baseEntries,
+                    " does not divide evenly over ", p.banks,
+                    " banks"));
+            }
+            if (p.select == tlb::BankSelect::XorFold &&
+                isPow2(pageBytes)) {
+                // The fold XORs three groups of log2(banks) VPN bits;
+                // they all have to exist below the VPN's top.
+                const unsigned vpnBits = 32 - log2u(pageBytes);
+                if (3 * log2u(p.banks) > vpnBits) {
+                    structural(detail::concat(
+                        "XOR fold needs ", 3 * log2u(p.banks),
+                        " VPN bits but only ", vpnBits,
+                        " exist with ", pageBytes, "-byte pages"));
+                }
+            }
+        }
+    }
+
+    if (p.kind == Kind::MultiLevel || p.kind == Kind::Pretranslation) {
+        if (!isPow2(p.upperEntries)) {
+            structural(detail::concat("upper-level capacity ",
+                                      p.upperEntries,
+                                      " is not a power of two"));
+        }
+        if (p.upperEntries >= p.baseEntries) {
+            structural(detail::concat(
+                "upper level (", p.upperEntries,
+                " entries) is not smaller than the base it fronts (",
+                p.baseEntries, " entries)"));
+        }
+        if (p.upperPorts < 1 || p.upperPorts > kMemPorts) {
+            ports(detail::concat(
+                "upper level has ", p.upperPorts, " port(s); the ",
+                kMemPorts, " load/store units need 1..", kMemPorts));
+        }
+    }
+}
+
+void
+lintDesign(tlb::Design d, Report &report, unsigned pageBytes)
+{
+    lintDesignParams(tlb::designParams(d), tlb::designName(d), report,
+                     pageBytes);
+}
+
+Report
+lintDesign(tlb::Design d, unsigned pageBytes)
+{
+    Report report;
+    lintDesign(d, report, pageBytes);
+    return report;
+}
+
+void
+lintConfig(const sim::SimConfig &cfg, Report &report)
+{
+    if (!isPow2(cfg.pageBytes) || cfg.pageBytes < 512 ||
+        cfg.pageBytes > (1u << 20)) {
+        report.add(Diag::ConfigPageSize, Severity::Error, 0,
+                   detail::concat("page size ", cfg.pageBytes,
+                                  " is not a power of two in [512, "
+                                  "1M]"));
+    }
+
+    // The allocator's hard limits (kasm::lower asserts these).
+    if (cfg.budget.intRegs < 5 || cfg.budget.intRegs > 32) {
+        report.add(Diag::ConfigBudget, Severity::Error, 0,
+                   detail::concat("integer register budget ",
+                                  cfg.budget.intRegs,
+                                  " outside the allocator's [5, 32]"));
+    }
+    if (cfg.budget.fpRegs < 3 || cfg.budget.fpRegs > 32) {
+        report.add(Diag::ConfigBudget, Severity::Error, 0,
+                   detail::concat("fp register budget ",
+                                  cfg.budget.fpRegs,
+                                  " outside the allocator's [3, 32]"));
+    }
+
+    lintDesign(cfg.design, report, cfg.pageBytes);
+}
+
+Report
+lintConfig(const sim::SimConfig &cfg)
+{
+    Report report;
+    lintConfig(cfg, report);
+    return report;
+}
+
+} // namespace hbat::verify

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static lint over translation designs and simulation configurations.
+ *
+ * Catches structurally-invalid experiment setups before any cycles are
+ * simulated: bank/entry counts that are not powers of two, XOR-fold
+ * widths that exceed the virtual page number, port counts inconsistent
+ * with the machine's four load/store units, L1 TLBs at least as large
+ * as the L2 they front, unsupported page sizes, and register budgets
+ * outside the allocator's range. The bench harness runs this before
+ * every sweep; hbat_lint exposes it on the command line.
+ */
+
+#ifndef HBAT_VERIFY_DESIGN_LINT_HH
+#define HBAT_VERIFY_DESIGN_LINT_HH
+
+#include "sim/sim_config.hh"
+#include "tlb/design.hh"
+#include "verify/diag.hh"
+
+namespace hbat::verify
+{
+
+/** Issue width of Table 1's baseline machine. */
+inline constexpr unsigned kIssueWidth = 8;
+
+/** Load/store units (= translation requests per cycle) of Table 1. */
+inline constexpr unsigned kMemPorts = 4;
+
+/**
+ * Check structural parameters @p p (reported under @p name, under
+ * page size @p pageBytes), appending findings to @p report. Exposed
+ * separately from lintDesign so hypothetical parameter sets can be
+ * checked (tests, future design-space sweeps).
+ */
+void lintDesignParams(const tlb::DesignParams &p,
+                      const std::string &name, Report &report,
+                      unsigned pageBytes = 4096);
+
+/**
+ * Check the structural parameters of @p d (under page size
+ * @p pageBytes, default Table 1's 4 KB), appending findings to
+ * @p report.
+ */
+void lintDesign(tlb::Design d, Report &report,
+                unsigned pageBytes = 4096);
+
+/** Convenience wrapper returning a fresh report. */
+Report lintDesign(tlb::Design d, unsigned pageBytes = 4096);
+
+/**
+ * Check a whole simulation configuration: its design (lintDesign),
+ * page size, and register budget.
+ */
+void lintConfig(const sim::SimConfig &cfg, Report &report);
+
+/** Convenience wrapper returning a fresh report. */
+Report lintConfig(const sim::SimConfig &cfg);
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_DESIGN_LINT_HH

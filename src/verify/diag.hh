@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Diagnostic vocabulary of the static program/config verifier.
+ *
+ * Header-only on purpose: the assembler layers (kasm) report their
+ * finalize-time failures through these types without linking the
+ * verifier library, and the verifier library analyzes kasm::Program
+ * images without linking kasm — keeping the two libraries acyclic.
+ *
+ * A Diagnostic is one finding: a stable machine-readable code, a
+ * severity, the text address it anchors to (0 when the finding is not
+ * location-bound, e.g. design-configuration lint), and a rendered
+ * message. A Report is an append-only collection with severity
+ * queries; every verifier entry point takes or returns one.
+ */
+
+#ifndef HBAT_VERIFY_DIAG_HH
+#define HBAT_VERIFY_DIAG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hbat::verify
+{
+
+/** How bad a finding is. CI gates on Warning and above. */
+enum class Severity : uint8_t
+{
+    Info,       ///< observation; never fails a build
+    Warning,    ///< almost certainly a bug in the program/config
+    Error       ///< the image/config is unusable as-is
+};
+
+/** Stable diagnostic codes (names are part of the JSON report). */
+enum class Diag : uint8_t
+{
+    // Image decode.
+    IllegalInstruction, ///< text word does not decode
+
+    // Control-flow graph.
+    TargetOutOfText,    ///< branch/jump target outside text or misaligned
+    FallthroughOffEnd,  ///< execution can run past the end of text
+    UnreachableBlock,   ///< basic block with no path from the entry
+    IndirectNoTargets,  ///< jr/jalr present but no identifiable targets
+
+    // Dataflow.
+    UninitRead,         ///< register read with no reaching definition
+    WriteToZero,        ///< instruction writes the hardwired $zero
+    SpImbalance,        ///< conflicting stack-pointer offsets at a join
+    MisalignedAccess,   ///< statically-known misaligned load/store
+
+    // Assembler finalize (kasm::Emitter).
+    UnboundLabel,       ///< referenced label never bound
+    BranchRange,        ///< branch offset exceeds the 16-bit field
+    JumpRange,          ///< jump offset exceeds the 26-bit field
+
+    // Design / configuration lint.
+    DesignStructure,    ///< sizes/banks not a power of two, L1 !⊆ L2...
+    DesignPorts,        ///< port counts inconsistent with issue width
+    ConfigPageSize,     ///< unsupported page size
+    ConfigBudget,       ///< register budget outside the allocator range
+
+    NumDiags
+};
+
+/** Stable kebab-case name of @p d (JSON and CLI output). */
+inline const char *
+diagName(Diag d)
+{
+    switch (d) {
+      case Diag::IllegalInstruction: return "illegal-instruction";
+      case Diag::TargetOutOfText: return "target-out-of-text";
+      case Diag::FallthroughOffEnd: return "fallthrough-off-end";
+      case Diag::UnreachableBlock: return "unreachable-block";
+      case Diag::IndirectNoTargets: return "indirect-no-targets";
+      case Diag::UninitRead: return "uninit-read";
+      case Diag::WriteToZero: return "write-to-zero";
+      case Diag::SpImbalance: return "sp-imbalance";
+      case Diag::MisalignedAccess: return "misaligned-access";
+      case Diag::UnboundLabel: return "unbound-label";
+      case Diag::BranchRange: return "branch-range";
+      case Diag::JumpRange: return "jump-range";
+      case Diag::DesignStructure: return "design-structure";
+      case Diag::DesignPorts: return "design-ports";
+      case Diag::ConfigPageSize: return "config-page-size";
+      case Diag::ConfigBudget: return "config-budget";
+      case Diag::NumDiags: break;
+    }
+    return "unknown";
+}
+
+/** Lower-case severity name. */
+inline const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    Diag code = Diag::NumDiags;
+    Severity severity = Severity::Warning;
+    VAddr pc = 0;           ///< text address; 0 = not location-bound
+    std::string message;
+
+    /** "severity: code @pc: message" rendering. */
+    std::string
+    str() const
+    {
+        std::string s = severityName(severity);
+        s += ": ";
+        s += diagName(code);
+        if (pc != 0) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), " @0x%llx",
+                          (unsigned long long)pc);
+            s += buf;
+        }
+        s += ": ";
+        s += message;
+        return s;
+    }
+};
+
+/** Accumulated findings of one or more verifier passes. */
+struct Report
+{
+    std::vector<Diagnostic> diags;
+
+    void
+    add(Diag code, Severity sev, VAddr pc, std::string msg)
+    {
+        diags.push_back(Diagnostic{code, sev, pc, std::move(msg)});
+    }
+
+    /** Number of findings at @p atLeast or above. */
+    size_t
+    count(Severity atLeast) const
+    {
+        size_t n = 0;
+        for (const Diagnostic &d : diags)
+            n += d.severity >= atLeast ? 1 : 0;
+        return n;
+    }
+
+    /** Number of findings with code @p c. */
+    size_t
+    countOf(Diag c) const
+    {
+        size_t n = 0;
+        for (const Diagnostic &d : diags)
+            n += d.code == c ? 1 : 0;
+        return n;
+    }
+
+    /** True when nothing at @p atLeast or above was found. */
+    bool
+    clean(Severity atLeast = Severity::Warning) const
+    {
+        return count(atLeast) == 0;
+    }
+};
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_DIAG_HH

@@ -1,0 +1,254 @@
+#include "verify/verifier.hh"
+
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace hbat::verify
+{
+
+using isa::Inst;
+using isa::Opcode;
+using isa::RC;
+
+namespace
+{
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx", (unsigned long long)v);
+    return buf;
+}
+
+/**
+ * Walk every reachable block with the converged dataflow states and
+ * emit the per-instruction diagnostics.
+ */
+void
+instructionDiagnostics(const Analysis &a, Report &report)
+{
+    const Cfg &cfg = a.cfg;
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = cfg.blocks[b];
+        if (!bb.reachable)
+            continue;
+
+        RegSet uninit = a.uninit.in[b];
+        ConstState cs = a.consts.in[b];
+        const bool csOk = a.consts.visited[b];
+
+        for (size_t i = bb.first; i < bb.end; ++i) {
+            if (!cfg.valid[i])
+                continue;   // already diagnosed at decode
+            const Inst &inst = cfg.insts[i];
+            const isa::OpInfo &info = isa::opInfo(inst.op);
+            const InstEffect eff = instEffect(inst);
+            const VAddr pc = cfg.pcOf(i);
+
+            if (const RegSet bad = eff.uses & uninit) {
+                report.add(Diag::UninitRead, Severity::Warning, pc,
+                           detail::concat(
+                               isa::opName(inst.op),
+                               " reads possibly-uninitialized register"
+                               "(s) ", regSetNames(bad)));
+            }
+
+            if (info.rdClass == RC::Int && !info.rdIsSource &&
+                inst.rd == isa::reg::zero) {
+                report.add(Diag::WriteToZero, Severity::Warning, pc,
+                           detail::concat(isa::opName(inst.op),
+                                          " writes the hardwired $zero "
+                                          "(result discarded)"));
+            }
+            if (info.writesBase && inst.rs1 == isa::reg::zero) {
+                report.add(Diag::WriteToZero, Severity::Warning, pc,
+                           detail::concat(
+                               isa::opName(inst.op),
+                               " post-increments the hardwired $zero "
+                               "(update discarded)"));
+            }
+
+            if (info.memSize > 1 && csOk) {
+                uint32_t addr;
+                if (ConstProp::effectiveAddr(inst, cs, addr) &&
+                    addr % info.memSize != 0) {
+                    report.add(Diag::MisalignedAccess, Severity::Error,
+                               pc,
+                               detail::concat(
+                                   isa::opName(inst.op), " accesses ",
+                                   hex(addr), " but needs ",
+                                   int(info.memSize),
+                                   "-byte alignment"));
+                }
+            }
+
+            uninit &= ~eff.defs;
+            if (csOk)
+                ConstProp::step(inst, cs);
+        }
+    }
+}
+
+void
+spDiagnostics(const Analysis &a, Report &report)
+{
+    for (size_t b = 0; b < a.cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = a.cfg.blocks[b];
+        if (!bb.reachable || bb.first >= bb.end)
+            continue;
+        const SpDelta &d = a.sp.in[b];
+        if (d.kind == SpDelta::Kind::Conflict && d.freshConflict) {
+            report.add(Diag::SpImbalance, Severity::Warning,
+                       a.cfg.pcOf(bb.first),
+                       "paths joining here disagree on the stack-"
+                       "pointer offset (missing or double adjustment "
+                       "across a call boundary)");
+        }
+    }
+}
+
+} // namespace
+
+Analysis
+analyzeProgram(const kasm::Program &prog, Report &report)
+{
+    Analysis a;
+    a.cfg = buildCfg(prog, report);
+    a.live = liveness(a.cfg);
+    a.uninit = mayUninit(a.cfg);
+    a.reach = reachingDefs(a.cfg);
+    a.sp = spDeltas(a.cfg);
+    a.consts = constProp(a.cfg, uint32_t(prog.stackTop));
+
+    instructionDiagnostics(a, report);
+    spDiagnostics(a, report);
+    return a;
+}
+
+Report
+verifyProgram(const kasm::Program &prog)
+{
+    Report report;
+    analyzeProgram(prog, report);
+    return report;
+}
+
+std::string
+dumpAnalysis(const Analysis &a)
+{
+    const Cfg &cfg = a.cfg;
+    std::string out = detail::concat(cfg.size(), " instruction(s), ",
+                                     cfg.blocks.size(), " block(s), "
+                                     "entry block #", cfg.entryBlock,
+                                     "\n");
+
+    // Map instructions back to their reaching-def sites.
+    std::vector<size_t> siteOfInst(cfg.size(),
+                                   ReachingDefs::kEntrySite);
+    for (size_t s = 1; s < a.reach.siteInst.size(); ++s)
+        siteOfInst[a.reach.siteInst[s]] = s;
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = cfg.blocks[b];
+
+        auto edgeList = [](const std::vector<size_t> &ids) {
+            std::string s = "{";
+            for (size_t i = 0; i < ids.size(); ++i)
+                s += detail::concat(i ? "," : "", ids[i]);
+            return s + "}";
+        };
+
+        out += detail::concat(
+            "block #", b, ": [", hex(cfg.pcOf(bb.first)), ",",
+            hex(cfg.textBase + VAddr(bb.end) * 4), ") succs",
+            edgeList(bb.succs), " preds", edgeList(bb.preds),
+            bb.reachable ? "" : " UNREACHABLE");
+        switch (a.sp.in[b].kind) {
+          case SpDelta::Kind::Const:
+            out += detail::concat(" sp", a.sp.in[b].delta >= 0
+                                  ? "+" : "", a.sp.in[b].delta);
+            break;
+          case SpDelta::Kind::Conflict:
+            out += " sp?conflict";
+            break;
+          case SpDelta::Kind::Unknown:
+            break;
+        }
+        out += "\n";
+        out += detail::concat("  live-in: {",
+                              regSetNames(a.live.in[b]), "}\n");
+        out += detail::concat("  live-out: {",
+                              regSetNames(a.live.out[b]), "}\n");
+        if (const RegSet mu = a.uninit.in[b] & a.live.in[b]) {
+            out += detail::concat("  may-uninit&live: {",
+                                  regSetNames(mu), "}\n");
+        }
+
+        BitVec reach = a.reach.in[b];
+        for (size_t i = bb.first; i < bb.end; ++i) {
+            out += detail::concat(
+                "  ", hex(cfg.pcOf(i)), "  ",
+                cfg.valid[i]
+                    ? isa::disassemble(cfg.insts[i], cfg.pcOf(i))
+                    : "<illegal>");
+
+            // Use-def chains: where each used register was defined.
+            const InstEffect eff = instEffect(cfg.insts[i]);
+            if (eff.uses) {
+                std::string chains;
+                for (int r = 0; r < 64; ++r) {
+                    if (!((eff.uses >> r) & 1))
+                        continue;
+                    BitVec defs = a.reach.sitesOf[r];
+                    defs.andWith(reach);
+                    std::string sites;
+                    defs.forEach([&](size_t s) {
+                        if (!sites.empty())
+                            sites += ",";
+                        const size_t di = a.reach.siteInst[s];
+                        sites += di == ReachingDefs::kEntrySite
+                                     ? "entry"
+                                     : hex(cfg.pcOf(di));
+                    });
+                    chains += detail::concat(
+                        chains.empty() ? "" : " ", regSetNames(
+                            RegSet(1) << r), "<-{", sites, "}");
+                }
+                if (!chains.empty())
+                    out += detail::concat("   ; ", chains);
+            }
+            out += "\n";
+
+            // Advance the reaching set past this instruction.
+            const size_t site = siteOfInst[i];
+            if (site != ReachingDefs::kEntrySite) {
+                for (int r = 0; r < 64; ++r) {
+                    if ((a.reach.siteDefs[site] >> r) & 1)
+                        reach.minus(a.reach.sitesOf[r]);
+                }
+                reach.set(site);
+            }
+        }
+    }
+    return out;
+}
+
+void
+reportToJson(json::Writer &w, const Report &report)
+{
+    w.beginArray();
+    for (const Diagnostic &d : report.diags) {
+        w.beginObject();
+        w.key("code").value(diagName(d.code));
+        w.key("severity").value(severityName(d.severity));
+        w.key("pc").value(uint64_t(d.pc));
+        w.key("message").value(d.message);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace hbat::verify

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The static program verifier's entry points.
+ *
+ * verifyProgram() decodes a linked kasm::Program back through the ISA
+ * layer, builds its control-flow graph (cfg.hh), runs the dataflow
+ * passes (dataflow.hh), and renders everything suspicious as
+ * structured diagnostics:
+ *
+ *  - structural: illegal encodings, control transfers outside the
+ *    text segment, fallthrough off the end of text, unreachable
+ *    blocks, indirect jumps with no identifiable targets;
+ *  - dataflow: reads of possibly-uninitialized registers, writes to
+ *    the hardwired $zero, conflicting stack-pointer offsets at joins,
+ *    statically-derivable misaligned memory accesses.
+ *
+ * analyzeProgram() additionally hands back the analysis artifacts
+ * (CFG, liveness, reaching definitions, constant states) so tools can
+ * render def-use dumps; dumpAnalysis() is that rendering, used by
+ * `hbat_lint --cfg`.
+ */
+
+#ifndef HBAT_VERIFY_VERIFIER_HH
+#define HBAT_VERIFY_VERIFIER_HH
+
+#include <string>
+
+#include "verify/cfg.hh"
+#include "verify/dataflow.hh"
+#include "verify/diag.hh"
+
+namespace hbat::json
+{
+class Writer;
+} // namespace hbat::json
+
+namespace hbat::verify
+{
+
+/** Every artifact one verification run produces. */
+struct Analysis
+{
+    Cfg cfg;
+    Liveness live;
+    UninitState uninit;
+    ReachingDefs reach;
+    SpDeltas sp;
+    ConstProp consts;
+};
+
+/**
+ * Decode @p prog, build its CFG, run all dataflow passes, and append
+ * every diagnostic to @p report. Returns the analysis artifacts.
+ */
+Analysis analyzeProgram(const kasm::Program &prog, Report &report);
+
+/** Convenience wrapper: analyze @p prog and return the findings. */
+Report verifyProgram(const kasm::Program &prog);
+
+/**
+ * Multi-line human-readable dump of @p a: per-block address ranges,
+ * edges, live-in/out and may-uninit sets, sp deltas, disassembly, and
+ * the use-def chains of every register use (from reaching defs).
+ */
+std::string dumpAnalysis(const Analysis &a);
+
+/**
+ * Append the diagnostics of @p report to @p w as a JSON array of
+ * {code, severity, pc, message} objects.
+ */
+void reportToJson(json::Writer &w, const Report &report);
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_VERIFIER_HH

@@ -67,7 +67,7 @@ TEST(EmitterDeath, UnboundLabelAtFinalize)
     Emitter em(0);
     Label l = em.newLabel();
     em.emitJump(Opcode::J, l);
-    EXPECT_DEATH(em.finalize(), "unresolved label");
+    EXPECT_DEATH(em.finalize(), "unbound-label");
 }
 
 TEST(EmitterDeath, DoubleBind)

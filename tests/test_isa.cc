@@ -48,10 +48,12 @@ TEST_P(OpcodeSweep, MetadataInvariants)
     EXPECT_FALSE(info.isLoad && info.isStore);
 
     // Stores carry their data in the rd field.
-    if (info.isStore)
+    if (info.isStore) {
         EXPECT_TRUE(info.rdIsSource);
-    if (info.rdIsSource)
+    }
+    if (info.rdIsSource) {
         EXPECT_TRUE(info.isStore);
+    }
 
     // Post-increment ops write their (integer) base register.
     if (info.writesBase) {
@@ -134,12 +136,15 @@ TEST_P(OpcodeSweep, EncodeDecodeRoundTrip)
         const uint32_t word = isa::encode(inst);
         const Inst back = isa::decode(word);
         EXPECT_EQ(back.op, inst.op) << isa::opName(op);
-        if (info.rdClass != RC::None)
+        if (info.rdClass != RC::None) {
             EXPECT_EQ(back.rd, inst.rd) << isa::opName(op);
-        if (info.rs1Class != RC::None)
+        }
+        if (info.rs1Class != RC::None) {
             EXPECT_EQ(back.rs1, inst.rs1) << isa::opName(op);
-        if (info.rs2Class != RC::None)
+        }
+        if (info.rs2Class != RC::None) {
             EXPECT_EQ(back.rs2, inst.rs2) << isa::opName(op);
+        }
         EXPECT_EQ(back.imm, inst.imm) << isa::opName(op);
     }
 }

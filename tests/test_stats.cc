@@ -63,8 +63,9 @@ TEST(Stats, TextTableAlignment)
     while (start < out.size()) {
         const size_t end = out.find('\n', start);
         const size_t len = end - start;
-        if (prev != std::string::npos)
+        if (prev != std::string::npos) {
             EXPECT_EQ(len, prev);
+        }
         prev = len;
         start = end + 1;
     }
