@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
+#include <unistd.h>
+
+#include "common/build_info.hh"
 #include "common/job_pool.hh"
 #include "common/json.hh"
 #include "common/log.hh"
@@ -32,6 +36,20 @@ double
 secondsSince(SteadyTime start)
 {
     return std::chrono::duration<double>(now() - start).count();
+}
+
+/**
+ * CPU time consumed by the calling thread. Cells are timed with this
+ * rather than wall clock: a cell runs entirely on one worker, so its
+ * cost reads the same whether the sweep ran at --jobs 1 or --jobs 8,
+ * and summing cells never double-counts overlapped execution.
+ */
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
 }
 
 } // namespace
@@ -112,6 +130,7 @@ runDesignSweep(const ExperimentConfig &config,
 
     const unsigned jobs =
         config.jobs ? config.jobs : JobPool::defaultWorkers();
+    sweep.config.jobs = jobs;   // report the resolved count, not 0
     const size_t nProgs = sweep.programs.size();
     const size_t nDesigns = designs.size();
 
@@ -131,12 +150,14 @@ runDesignSweep(const ExperimentConfig &config,
             hbat_fatal("design lint found errors; aborting sweep");
     }
 
-    // One link per program serves every design; the image is immutable
-    // once built, so cells share it freely.
+    // One link and one decode per program serve every design; both
+    // images are immutable once built, so cells share them freely.
     std::vector<kasm::Program> images(nProgs);
+    std::vector<std::shared_ptr<const cpu::StaticCode>> codes(nProgs);
     parallelFor(nProgs, jobs, [&](size_t p) {
         images[p] = workloads::build(sweep.programs[p], config.budget,
                                      config.scale);
+        codes[p] = std::make_shared<const cpu::StaticCode>(images[p]);
     });
 
     // Every (program, design) cell is one independent job writing its
@@ -151,11 +172,11 @@ runDesignSweep(const ExperimentConfig &config,
         cell.program = sweep.programs[p];
         cell.design = designs[d];
 
-        const SteadyTime cellStart = now();
+        const double cellStart = threadCpuSeconds();
         sim::SimConfig sc = toSimConfig(config);
         sc.design = designs[d];
-        cell.result = sim::simulate(images[p], sc);
-        cell.wallSeconds = secondsSince(cellStart);
+        cell.result = sim::simulate(images[p], sc, codes[p]);
+        cell.wallSeconds = threadCpuSeconds() - cellStart;
 
         progressLine(detail::concat(
             "  [", cell.program, " / ", tlb::designName(cell.design),
@@ -260,6 +281,28 @@ writeStat(json::Writer &w, const obs::StatValue &sv)
     }
 }
 
+/**
+ * Shared "meta" object: everything scripts/bench_compare.py needs to
+ * decide whether two reports are comparable (and to attribute a
+ * committed baseline to the commit that produced it).
+ */
+void
+writeMeta(json::Writer &w, const ExperimentConfig &config)
+{
+    char host[256] = "unknown";
+    if (gethostname(host, sizeof(host) - 1) != 0)
+        std::strcpy(host, "unknown");
+
+    w.key("meta").beginObject();
+    w.key("git_sha").value(std::string(buildinfo::kGitSha));
+    w.key("git_dirty").value(buildinfo::kGitDirty);
+    w.key("build_type").value(std::string(buildinfo::kBuildType));
+    w.key("compiler").value(std::string(buildinfo::kCompiler));
+    w.key("host").value(std::string(host));
+    w.key("jobs").value(uint64_t(config.jobs));
+    w.endObject();
+}
+
 /** Shared "config" object. */
 void
 writeConfig(json::Writer &w, const ExperimentConfig &config)
@@ -296,6 +339,7 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
     json::Writer w;
     w.beginObject();
     w.key("title").value(title);
+    writeMeta(w, sweep.config);
     writeConfig(w, sweep.config);
 
     w.key("designs").beginArray();
@@ -364,6 +408,7 @@ writeTableJson(const std::string &title,
     json::Writer w;
     w.beginObject();
     w.key("title").value(title);
+    writeMeta(w, config);
     writeConfig(w, config);
 
     w.key("columns").beginArray();

@@ -17,7 +17,7 @@
  * JSON report is identical at any job count; simulate() is re-entrant
  * and seeded per run (see sim/simulator.hh), so the results
  * themselves are too. Progress lines are serialized through one
- * mutex-guarded reporter and carry per-cell wall-clock timing.
+ * mutex-guarded reporter and carry per-cell thread-CPU timing.
  *
  * Scale: workloads default to their evaluation size (~1-6M dynamic
  * instructions). Pass --scale <f> or set HBAT_SCALE to shrink runs
@@ -70,7 +70,12 @@ struct Cell
     std::string program;
     tlb::Design design;
     sim::SimResult result;
-    /** Host wall-clock seconds this cell's simulation took. */
+    /**
+     * Thread-CPU seconds this cell's simulation took (the JSON key
+     * stays "wall_seconds" for report compatibility). A cell runs
+     * entirely on one worker thread, so this is invariant under
+     * --jobs and cells sum without double-counting overlap.
+     */
     double wallSeconds = 0.0;
 };
 
@@ -81,7 +86,11 @@ struct Sweep
     std::vector<tlb::Design> designs;
     std::vector<std::string> programs;
     std::vector<Cell> cells;    ///< programs x designs, program-major
-    /** Host wall-clock seconds for all cells (not their sum). */
+    /**
+     * Host wall-clock (elapsed) seconds for the whole cell phase —
+     * with --jobs > 1 this is less than the sum of per-cell CPU
+     * seconds, never more than jobs times it.
+     */
     double wallSeconds = 0.0;
 
     const Cell &cell(size_t prog, size_t design) const;

@@ -6,8 +6,12 @@
  * performance (host ns/op), useful when sizing larger experiments.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstring>
 
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include "common/build_info.hh"
 #include "common/rng.hh"
 #include "tlb/design.hh"
 #include "tlb/tlb_array.hh"
@@ -96,4 +100,27 @@ BENCHMARK(BM_EngineCycleLowLocality)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the report carries the same metadata
+// as the sweep JSON (scripts/bench_compare.py matches reports on it).
+int
+main(int argc, char **argv)
+{
+    char host[256] = "unknown";
+    if (gethostname(host, sizeof(host) - 1) != 0)
+        std::strcpy(host, "unknown");
+    benchmark::AddCustomContext("git_sha", hbat::buildinfo::kGitSha);
+    benchmark::AddCustomContext("git_dirty",
+                                hbat::buildinfo::kGitDirty ? "true"
+                                                           : "false");
+    benchmark::AddCustomContext("build_type",
+                                hbat::buildinfo::kBuildType);
+    benchmark::AddCustomContext("compiler", hbat::buildinfo::kCompiler);
+    benchmark::AddCustomContext("host", host);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark reports against committed baselines.
+
+CI regenerates BENCH_micro.json (google-benchmark format) and
+BENCH_fig5.json (sweep format, bench/harness.cc) and calls this script
+once per report with the committed baseline extracted via
+`git show HEAD:BENCH_*.json`. The run fails when the fresh report is
+more than --tolerance slower than the baseline.
+
+Metrics:
+  sweep reports: sum of cells[].wall_seconds. Cells are timed with
+    CLOCK_THREAD_CPUTIME_ID, so the sum is stable across --jobs.
+  google-benchmark reports: geometric mean of per-benchmark real_time
+    ratios (fresh/baseline), matched by name; unmatched names are
+    ignored with a note.
+
+A missing or unreadable baseline passes with a note (first run, or a
+baseline predating this gate). A host/compiler mismatch in the meta
+block downgrades failure to a warning: cross-machine wall-clock deltas
+are not actionable.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load(path):
+    """Parse a JSON report; missing or empty files return None
+    (ci.sh materializes absent baselines as empty files)."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError:
+        return None
+    if not text.strip():
+        return None
+    try:
+        return json.loads(text)
+    except ValueError as e:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {e}")
+
+
+def meta_of(report):
+    """Metadata dict for either report flavour (may be empty)."""
+    if "context" in report:        # google-benchmark
+        ctx = report["context"]
+        return {
+            "host": ctx.get("host", ctx.get("host_name", "")),
+            "compiler": ctx.get("compiler", ""),
+            "build_type": ctx.get("build_type", ""),
+            "git_sha": ctx.get("git_sha", ""),
+        }
+    return dict(report.get("meta", {}))
+
+
+def sweep_metric(report):
+    """Total thread-CPU seconds across all sweep cells."""
+    cells = report.get("cells")
+    if cells is None:
+        return None
+    return sum(c.get("wall_seconds", 0.0) for c in cells)
+
+
+def micro_ratio(fresh, base):
+    """Geomean of per-benchmark real_time ratios (fresh/baseline)."""
+    def times(report):
+        out = {}
+        for b in report.get("benchmarks", []):
+            if b.get("run_type", "iteration") == "iteration":
+                out[b["name"]] = float(b["real_time"])
+        return out
+
+    ft, bt = times(fresh), times(base)
+    common = sorted(set(ft) & set(bt))
+    if not common:
+        return None, 0
+    skipped = (set(ft) | set(bt)) - set(common)
+    if skipped:
+        print(f"bench_compare: note: {len(skipped)} benchmark(s) "
+              "present in only one report were skipped")
+    logs = [math.log(ft[n] / bt[n]) for n in common if bt[n] > 0]
+    return math.exp(sum(logs) / len(logs)), len(common)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly generated report")
+    ap.add_argument("baseline", help="committed baseline report")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get(
+                        "HBAT_BENCH_TOLERANCE", "0.10")),
+                    help="max allowed slowdown fraction "
+                         "(default 0.10, or $HBAT_BENCH_TOLERANCE)")
+    ap.add_argument("--label", default=None,
+                    help="report name used in the summary line")
+    args = ap.parse_args()
+    label = args.label or os.path.basename(args.fresh)
+
+    fresh = load(args.fresh)
+    if fresh is None:
+        sys.exit(f"bench_compare: cannot read fresh report "
+                 f"{args.fresh}")
+    base = load(args.baseline)
+    if base is None:
+        print(f"bench_compare: {label}: no baseline at "
+              f"{args.baseline} -- PASS (nothing to compare)")
+        return
+
+    fm, bm = meta_of(fresh), meta_of(base)
+    comparable = True
+    for key in ("host", "compiler"):
+        if fm.get(key) and bm.get(key) and fm[key] != bm[key]:
+            print(f"bench_compare: warning: {key} differs "
+                  f"({bm[key]!r} -> {fm[key]!r}); "
+                  "result is advisory only")
+            comparable = False
+
+    fresh_sweep = sweep_metric(fresh)
+    if fresh_sweep is not None:
+        base_sweep = sweep_metric(base)
+        if base_sweep is None or base_sweep <= 0:
+            print(f"bench_compare: {label}: baseline has no usable "
+                  "cell timings -- PASS")
+            return
+        ratio = fresh_sweep / base_sweep
+        detail = (f"{fresh_sweep:.2f}s vs baseline {base_sweep:.2f}s "
+                  f"(sum of per-cell CPU seconds)")
+    else:
+        ratio, n = micro_ratio(fresh, base)
+        if ratio is None:
+            print(f"bench_compare: {label}: no common benchmarks "
+                  "with the baseline -- PASS")
+            return
+        detail = f"geomean real_time ratio over {n} benchmarks"
+
+    speedup = 1.0 / ratio if ratio > 0 else float("inf")
+    sha = bm.get("git_sha", "")[:12] or "unknown"
+    print(f"bench_compare: {label}: {speedup:.2f}x vs baseline "
+          f"{sha} ({detail})")
+
+    if ratio > 1.0 + args.tolerance:
+        msg = (f"bench_compare: {label}: FAIL -- "
+               f"{(ratio - 1.0) * 100:.1f}% slower than baseline "
+               f"(tolerance {args.tolerance * 100:.0f}%)")
+        if not comparable:
+            print(msg + " [suppressed: metadata mismatch]")
+            return
+        sys.exit(msg)
+    print(f"bench_compare: {label}: OK "
+          f"(within {args.tolerance * 100:.0f}% tolerance)")
+
+
+if __name__ == "__main__":
+    main()

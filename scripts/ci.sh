@@ -10,7 +10,12 @@
 #     (JobPool semantics + jobs-count determinism) under it;
 #  5. emit the micro-benchmark report (BENCH_micro.json) and a timed
 #     parallel fig5 sweep (BENCH_fig5.json, with per-cell and total
-#     wall_seconds) so runs can be archived and diffed across commits.
+#     wall_seconds) so runs can be archived and diffed across commits;
+#  6. bench-compare gate: diff the fresh reports against the committed
+#     baselines (git show HEAD:BENCH_*.json) and fail when the fresh
+#     run is more than $HBAT_BENCH_TOLERANCE slower (default 10%).
+#     After an intentional perf change, commit the regenerated
+#     BENCH_*.json files together with the code (see EXPERIMENTS.md).
 # Run from the repository root. Honors $CMAKE_GENERATOR if set.
 set -eu
 
@@ -62,5 +67,19 @@ echo "== timed parallel sweep (BENCH_fig5.json) =="
 # records per-cell and total wall_seconds.
 ./build/bench/fig5_baseline --scale 0.05 --jobs "$JOBS" \
     --json BENCH_fig5.json > /dev/null
+
+echo "== bench compare vs committed baselines =="
+# Snapshot the HEAD baselines first: the regeneration above already
+# overwrote the working-tree copies.
+BASEDIR=$(mktemp -d)
+trap 'rm -rf "$BASEDIR"' EXIT
+git show HEAD:BENCH_micro.json > "$BASEDIR/BENCH_micro.json" \
+    2>/dev/null || true
+git show HEAD:BENCH_fig5.json > "$BASEDIR/BENCH_fig5.json" \
+    2>/dev/null || true
+python3 scripts/bench_compare.py BENCH_micro.json \
+    "$BASEDIR/BENCH_micro.json" --label micro
+python3 scripts/bench_compare.py BENCH_fig5.json \
+    "$BASEDIR/BENCH_fig5.json" --label fig5
 
 echo "CI OK"

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A fixed-capacity FIFO ring buffer.
+ *
+ * The pipeline's in-flight instruction state (fetch lookahead, fetch
+ * queue, load/store queue) is bounded by the machine configuration, so
+ * std::deque's steady-state block churn is pure overhead: this queue
+ * allocates its arena once at construction and never again. The API is
+ * the subset of std::deque the pipeline uses — push_back / pop_front /
+ * front / size / iteration from oldest to youngest.
+ */
+
+#ifndef HBAT_COMMON_RING_QUEUE_HH
+#define HBAT_COMMON_RING_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace hbat
+{
+
+/** Fixed-capacity FIFO; overflow is a caller bug (asserted). */
+template <typename T>
+class RingQueue
+{
+  public:
+    explicit RingQueue(size_t capacity) : buf_(capacity)
+    {
+        hbat_assert(capacity > 0, "ring queue needs capacity");
+    }
+
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+    size_t capacity() const { return buf_.size(); }
+
+    T &
+    front()
+    {
+        hbat_assert(count_ > 0, "front() on empty ring queue");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        hbat_assert(count_ > 0, "front() on empty ring queue");
+        return buf_[head_];
+    }
+
+    void
+    push_back(T v)
+    {
+        hbat_assert(count_ < buf_.size(), "ring queue overflow");
+        // Indices stay below 2*capacity, so wrapping is a compare and
+        // subtract — never an integer divide (this is the cycle loop).
+        size_t i = head_ + count_;
+        if (i >= buf_.size())
+            i -= buf_.size();
+        buf_[i] = std::move(v);
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        hbat_assert(count_ > 0, "pop_front() on empty ring queue");
+        if (++head_ == buf_.size())
+            head_ = 0;
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    /** Forward iterator from oldest to youngest element. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const RingQueue *q, size_t pos) : q_(q), pos_(pos)
+        {}
+
+        const T &
+        operator*() const
+        {
+            size_t i = q_->head_ + pos_;
+            if (i >= q_->buf_.size())
+                i -= q_->buf_.size();
+            return q_->buf_[i];
+        }
+
+        const_iterator &
+        operator++()
+        {
+            ++pos_;
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return pos_ != o.pos_;
+        }
+
+      private:
+        const RingQueue *q_;
+        size_t pos_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, count_); }
+
+  private:
+    std::vector<T> buf_;    ///< the arena; sized once, never resized
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace hbat
+
+#endif // HBAT_COMMON_RING_QUEUE_HH

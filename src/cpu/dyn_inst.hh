@@ -83,6 +83,14 @@ struct DynInst
      */
     bool propagatesPointer = false;
 
+    /// @name Flattened static properties (copied from the pre-decoded
+    /// image so the per-cycle pipeline loops never re-consult the
+    /// opcode table)
+    /// @{
+    isa::FuClass fu = isa::FuClass::None;   ///< functional-unit class
+    bool writesBase = false;    ///< post-increment base update
+    /// @}
+
     bool isMem() const { return isLoad || isStore; }
 };
 

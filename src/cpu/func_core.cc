@@ -11,22 +11,17 @@ using isa::Inst;
 using isa::Opcode;
 using isa::RC;
 
-FuncCore::FuncCore(vm::AddressSpace &mem, const kasm::Program &prog)
-    : mem(mem), textBase(prog.textBase), pc_(prog.entry)
+FuncCore::FuncCore(vm::AddressSpace &mem, const kasm::Program &prog,
+                   std::shared_ptr<const StaticCode> code)
+    : mem(mem),
+      code(code ? std::move(code)
+                : std::make_shared<const StaticCode>(prog)),
+      pc_(prog.entry)
 {
-    decoded.reserve(prog.text.size());
-    for (uint32_t word : prog.text)
-        decoded.push_back(isa::decode(word));
+    hbat_assert(this->code->textBase() == prog.textBase &&
+                    this->code->size() == prog.text.size(),
+                "StaticCode does not match the program image");
     regs[isa::reg::sp] = RegVal(prog.stackTop);
-}
-
-const Inst &
-FuncCore::fetch(VAddr pc) const
-{
-    hbat_assert(pc >= textBase && pc % 4 == 0, "bad pc ", pc);
-    const size_t idx = (pc - textBase) / 4;
-    hbat_assert(idx < decoded.size(), "pc past end of text: ", pc);
-    return decoded[idx];
 }
 
 void
@@ -41,8 +36,9 @@ FuncCore::step()
 {
     hbat_assert(!isHalted, "step() after halt");
 
-    const Inst &si = fetch(pc_);
-    const isa::OpInfo &info = isa::opInfo(si.op);
+    const StaticInst &sc = code->fetch(pc_);
+    const Inst &si = sc.inst;
+    const isa::OpInfo &info = *sc.info;
 
     DynInst dyn;
     dyn.seq = nextSeq++;
@@ -50,39 +46,19 @@ FuncCore::step()
     dyn.op = si.op;
     dyn.nextPc = pc_ + 4;
     dyn.propagatesPointer = info.propagatesPointer;
+    dyn.fu = info.fu;
+    dyn.writesBase = info.writesBase;
 
-    // Operand lists (unified ids; the hardwired zero register is
-    // omitted since it is always ready and never written).
-    auto addSrc = [&](RegIndex r, RC rc) {
-        if (rc == RC::Int && r == isa::reg::zero)
-            return;
-        dyn.srcs[dyn.nSrcs++] =
-            rc == RC::Fp ? unifiedFp(r) : unifiedInt(r);
-    };
-    auto addDst = [&](RegIndex r, RC rc) {
-        if (rc == RC::Int && r == isa::reg::zero)
-            return;
-        dyn.dsts[dyn.nDsts++] =
-            rc == RC::Fp ? unifiedFp(r) : unifiedInt(r);
-    };
-
-    if (info.rs1Class != RC::None)
-        addSrc(si.rs1, info.rs1Class);
-    if (info.rs2Class != RC::None)
-        addSrc(si.rs2, info.rs2Class);
-    if (info.rdClass != RC::None && info.rdIsSource) {
-        const bool real = !(info.rdClass == RC::Int &&
-                            si.rd == isa::reg::zero);
-        if (real)
-            dyn.dataSrc = int8_t(dyn.nSrcs);
-        addSrc(si.rd, info.rdClass);
-    }
-    if (info.rdClass != RC::None && !info.rdIsSource)
-        addDst(si.rd, info.rdClass);
-    if (info.writesBase)
-        addDst(si.rs1, RC::Int);
-    if (si.op == Opcode::Jal)
-        addDst(isa::reg::ra, RC::Int);
+    // Operand lists: precomputed per static instruction (see
+    // StaticCode), just copied into the dynamic record.
+    dyn.srcs[0] = sc.srcs[0];
+    dyn.srcs[1] = sc.srcs[1];
+    dyn.srcs[2] = sc.srcs[2];
+    dyn.dsts[0] = sc.dsts[0];
+    dyn.dsts[1] = sc.dsts[1];
+    dyn.nSrcs = sc.nSrcs;
+    dyn.nDsts = sc.nDsts;
+    dyn.dataSrc = sc.dataSrc;
 
     const RegVal a = regs[si.rs1];
     const RegVal b = regs[si.rs2];
@@ -281,9 +257,9 @@ FuncCore::step()
         break;
     }
 
-    if (isa::opInfo(si.op).fu == isa::FuClass::FpAdd ||
-        isa::opInfo(si.op).fu == isa::FuClass::FpMult ||
-        isa::opInfo(si.op).fu == isa::FuClass::FpDiv) {
+    if (info.fu == isa::FuClass::FpAdd ||
+        info.fu == isa::FuClass::FpMult ||
+        info.fu == isa::FuClass::FpDiv) {
         ++stats_.fpOps;
     }
 

@@ -5,17 +5,19 @@
  *
  * Execution is correct-path only; the timing pipelines charge branch
  * misprediction and TLB/cache latencies on top of this stream (see
- * DESIGN.md for the wrong-path substitution note). The core predecodes
- * the text segment once so stepping is cheap.
+ * DESIGN.md for the wrong-path substitution note). Stepping consumes a
+ * pre-decoded StaticCode image — built once per program and shared by
+ * every run of it — so each text word is decoded exactly once.
  */
 
 #ifndef HBAT_CPU_FUNC_CORE_HH
 #define HBAT_CPU_FUNC_CORE_HH
 
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "cpu/dyn_inst.hh"
+#include "cpu/static_code.hh"
 #include "kasm/program.hh"
 #include "obs/stats.hh"
 #include "vm/address_space.hh"
@@ -42,8 +44,15 @@ void registerStats(obs::StatRegistry &reg, const std::string &prefix,
 class FuncCore
 {
   public:
-    /** @param mem address space the program was loaded into */
-    FuncCore(vm::AddressSpace &mem, const kasm::Program &prog);
+    /**
+     * @param mem address space the program was loaded into
+     * @param prog the linked program
+     * @param code pre-decoded image of @p prog, shared across runs;
+     *     null decodes a private copy (convenient for single-run
+     *     callers — sweeps should share one StaticCode per program)
+     */
+    FuncCore(vm::AddressSpace &mem, const kasm::Program &prog,
+             std::shared_ptr<const StaticCode> code = nullptr);
 
     /** True once a HALT has executed. */
     bool halted() const { return isHalted; }
@@ -65,12 +74,10 @@ class FuncCore
     const FuncStats &stats() const { return stats_; }
 
   private:
-    const isa::Inst &fetch(VAddr pc) const;
     void setInt(RegIndex r, RegVal v);
 
     vm::AddressSpace &mem;
-    VAddr textBase;
-    std::vector<isa::Inst> decoded;
+    std::shared_ptr<const StaticCode> code;
 
     RegVal regs[kNumIntRegs] = {};
     FpRegVal fregs[kNumFpRegs] = {};

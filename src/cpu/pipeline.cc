@@ -16,7 +16,10 @@ Pipeline::Pipeline(const PipeConfig &config, FuncCore &core,
                    const vm::PageParams &pages)
     : cfg(config), core(core), engine(engine), pages(pages),
       fus(config.fus), predictor(), icache(config.icache),
-      dcache(config.dcache), rob(config.robSize)
+      dcache(config.dcache), rob(config.robSize),
+      engineObservesRegWrites(engine.observesRegWrites()),
+      lsq(config.lsqSize), lookahead(2 * config.width),
+      fetchQueue(config.fetchQueueSize)
 {}
 
 bool
@@ -101,16 +104,17 @@ Pipeline::commitStage()
             ++stats_.committedLoads;
 
         // Feed register writes to designs that attach translations to
-        // register values (pretranslation).
-        const isa::OpInfo &info = isa::opInfo(e.dyn.op);
-        for (int d = 0; d < e.dyn.nDsts; ++d) {
+        // register values (pretranslation); skipped wholesale for the
+        // designs that ignore them.
+        for (int d = 0; engineObservesRegWrites && d < e.dyn.nDsts;
+             ++d) {
             const uint8_t dst = e.dyn.dsts[d];
             if (dst >= 32)
                 continue;   // FP registers never carry pointers
             RegIndex intSrcs[3];
             int nIntSrcs = 0;
             bool propagates;
-            if (info.writesBase && dst == e.dyn.baseReg) {
+            if (e.dyn.writesBase && dst == e.dyn.baseReg) {
                 // Post-increment base update: pointer arithmetic on
                 // the base register itself.
                 propagates = true;
@@ -145,8 +149,11 @@ Pipeline::commitStage()
                          " done=", e.resultCycle, " commit=", now);
 
         e.valid = false;
-        robHead = (robHead + 1) % rob.size();
+        if (++robHead == rob.size())
+            robHead = 0;
         --robCount;
+        if (issueScanFrom > 0)
+            --issueScanFrom;    // positions shifted down one
         ++stats_.committed;
     }
 }
@@ -179,8 +186,9 @@ Pipeline::walkStage()
         if (e.phase != MemPhase::TlbMiss)
             continue;
         // Find its ROB position to check the older entries.
-        const size_t pos =
-            (size_t(slot) + rob.size() - robHead) % rob.size();
+        size_t pos = size_t(slot) + rob.size() - robHead;
+        if (pos >= rob.size())
+            pos -= rob.size();
         if (olderAllComplete(pos)) {
             walkActive = true;
             walkVpn = e.missVpn;
@@ -252,7 +260,7 @@ Pipeline::memStage()
 {
     for (int slot : lsq) {
         Entry &e = rob[slot];
-        if (!e.issued)
+        if (!e.issued || e.phase == MemPhase::Done)
             continue;
         // An entry may advance through several phases in one cycle
         // (translate, unblock, and access the cache), matching the
@@ -344,7 +352,11 @@ Pipeline::issueStage()
             reason = &ctr;
     };
 
-    for (size_t pos = 0; pos < robCount && issued < cfg.width; ++pos) {
+    // Oldest-first scan, starting past the all-issued prefix (see
+    // issueScanFrom); the skipped entries could only ever `continue`.
+    size_t firstLeftUnissued = SIZE_MAX;
+    size_t pos = issueScanFrom;
+    for (; pos < robCount && issued < cfg.width; ++pos) {
         Entry &e = at(pos);
         if (e.issued) {
             continue;
@@ -373,13 +385,15 @@ Pipeline::issueStage()
             blame(stats_.idleLoadOrder);
         }
 
-        const FuClass fu = isa::opInfo(e.dyn.op).fu;
+        const FuClass fu = e.dyn.fu;
         if (canIssue && !fus.acquire(fu, now)) {
             canIssue = false;
             blame(stats_.idleFuBusy);
         }
 
         if (!canIssue) {
+            if (firstLeftUnissued == SIZE_MAX)
+                firstLeftUnissued = pos;
             if (cfg.inOrder)
                 break;  // strict program-order issue
             continue;
@@ -406,6 +420,11 @@ Pipeline::issueStage()
             }
         }
     }
+
+    // Everything below the first entry that stayed unissued (or below
+    // wherever the scan stopped, if none did) has issued.
+    issueScanFrom =
+        firstLeftUnissued != SIZE_MAX ? firstLeftUnissued : pos;
 
     if (issued == 0) {
         ++stats_.zeroIssueCycles;
@@ -437,7 +456,10 @@ Pipeline::dispatchStage()
             return;
         }
 
-        const int slot = int((robHead + robCount) % rob.size());
+        size_t tail = robHead + robCount;
+        if (tail >= rob.size())
+            tail -= rob.size();
+        const int slot = int(tail);
         Entry &e = rob[slot];
         e = Entry{};
         e.dyn = dyn;

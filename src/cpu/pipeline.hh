@@ -29,10 +29,11 @@
 #ifndef HBAT_CPU_PIPELINE_HH
 #define HBAT_CPU_PIPELINE_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/ring_queue.hh"
 
 #include "branch/gap_predictor.hh"
 #include "cache/cache_model.hh"
@@ -207,11 +208,27 @@ class Pipeline
     bool done() const;
     void refillLookahead();
 
-    Entry &at(size_t pos) { return rob[(robHead + pos) % rob.size()]; }
+    /**
+     * The ROB entry @p pos slots past the head. @p pos is always less
+     * than the ROB size, so the wrap is a compare-and-subtract rather
+     * than a modulo — this runs O(window) times per simulated cycle.
+     */
+    Entry &
+    at(size_t pos)
+    {
+        size_t i = robHead + pos;
+        if (i >= rob.size())
+            i -= rob.size();
+        return rob[i];
+    }
+
     const Entry &
     at(size_t pos) const
     {
-        return rob[(robHead + pos) % rob.size()];
+        size_t i = robHead + pos;
+        if (i >= rob.size())
+            i -= rob.size();
+        return rob[i];
     }
 
     PipeConfig cfg;
@@ -229,8 +246,22 @@ class Pipeline
     size_t robHead = 0;
     size_t robCount = 0;
 
+    /**
+     * Issue-scan hint: every ROB position below this is already
+     * issued (entries never un-issue), so issueStage starts its
+     * oldest-first scan here instead of walking the full window each
+     * cycle. commitStage shifts it down as entries retire.
+     */
+    size_t issueScanFrom = 0;
+
+    /** Cached engine.observesRegWrites() (one virtual call per run). */
+    const bool engineObservesRegWrites;
+
     // Load/store queue: ROB slots of in-flight memory ops, in order.
-    std::deque<int> lsq;
+    // All three in-flight queues are fixed-capacity rings sized from
+    // the machine configuration — the arenas are allocated once at
+    // construction, so the cycle loop never touches the heap.
+    RingQueue<int> lsq;
 
     // Fetch.
     struct Fetched
@@ -239,8 +270,8 @@ class Pipeline
         Cycle availAt;
         bool mispredicted;
     };
-    std::deque<DynInst> lookahead;
-    std::deque<Fetched> fetchQueue;
+    RingQueue<DynInst> lookahead;
+    RingQueue<Fetched> fetchQueue;
     Cycle frontEndBlockedUntil = 0;
     bool blockedOnBranch = false;   ///< waiting for a branch to resolve
 

@@ -1,0 +1,58 @@
+#include "cpu/static_code.hh"
+
+#include "cpu/dyn_inst.hh"
+
+namespace hbat::cpu
+{
+
+using isa::Opcode;
+using isa::RC;
+
+StaticCode::StaticCode(const kasm::Program &prog)
+    : textBase_(prog.textBase)
+{
+    insts_.reserve(prog.text.size());
+    for (uint32_t word : prog.text) {
+        StaticInst si;
+        si.inst = isa::decode(word);
+        si.info = &isa::opInfo(si.inst.op);
+        const isa::OpInfo &info = *si.info;
+
+        // Operand lists (unified ids; the hardwired zero register is
+        // omitted since it is always ready and never written).
+        auto addSrc = [&si](RegIndex r, RC rc) {
+            if (rc == RC::Int && r == isa::reg::zero)
+                return;
+            si.srcs[si.nSrcs++] =
+                rc == RC::Fp ? unifiedFp(r) : unifiedInt(r);
+        };
+        auto addDst = [&si](RegIndex r, RC rc) {
+            if (rc == RC::Int && r == isa::reg::zero)
+                return;
+            si.dsts[si.nDsts++] =
+                rc == RC::Fp ? unifiedFp(r) : unifiedInt(r);
+        };
+
+        if (info.rs1Class != RC::None)
+            addSrc(si.inst.rs1, info.rs1Class);
+        if (info.rs2Class != RC::None)
+            addSrc(si.inst.rs2, info.rs2Class);
+        if (info.rdClass != RC::None && info.rdIsSource) {
+            const bool real = !(info.rdClass == RC::Int &&
+                                si.inst.rd == isa::reg::zero);
+            if (real)
+                si.dataSrc = int8_t(si.nSrcs);
+            addSrc(si.inst.rd, info.rdClass);
+        }
+        if (info.rdClass != RC::None && !info.rdIsSource)
+            addDst(si.inst.rd, info.rdClass);
+        if (info.writesBase)
+            addDst(si.inst.rs1, RC::Int);
+        if (si.inst.op == Opcode::Jal)
+            addDst(isa::reg::ra, RC::Int);
+
+        insts_.push_back(si);
+    }
+}
+
+} // namespace hbat::cpu

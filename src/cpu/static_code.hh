@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The pre-decoded static program image shared by every run of a
+ * program.
+ *
+ * Decoding a text word and deriving its operand lists (unified source
+ * and destination ids, the store-data operand index, pointer
+ * propagation) depend only on the static instruction, yet the
+ * functional core used to redo that work once per run — and a design
+ * sweep runs the same program once per design. A StaticCode is built
+ * once per linked kasm::Program and shared read-only across all
+ * (program, design) cells, so each text word is decoded exactly once
+ * per program, and FuncCore::step() reduces to copying precomputed
+ * fields plus the data-dependent execute.
+ */
+
+#ifndef HBAT_CPU_STATIC_CODE_HH
+#define HBAT_CPU_STATIC_CODE_HH
+
+#include <vector>
+
+#include "isa/isa.hh"
+#include "kasm/program.hh"
+
+namespace hbat::cpu
+{
+
+/**
+ * One decoded text word plus everything about it that does not depend
+ * on architectural state.
+ */
+struct StaticInst
+{
+    isa::Inst inst;                     ///< decoded fields
+    const isa::OpInfo *info = nullptr;  ///< static opcode properties
+
+    /// @name Precomputed unified operand lists (see dyn_inst.hh)
+    /// @{
+    uint8_t srcs[3] = {0, 0, 0};
+    uint8_t dsts[2] = {0, 0};
+    uint8_t nSrcs = 0;
+    uint8_t nDsts = 0;
+    /** Index into srcs of a store's data operand, or -1. */
+    int8_t dataSrc = -1;
+    /// @}
+};
+
+/** An immutable decoded program; safe to share across threads. */
+class StaticCode
+{
+  public:
+    /** Decode @p prog's full text segment. */
+    explicit StaticCode(const kasm::Program &prog);
+
+    VAddr textBase() const { return textBase_; }
+    size_t size() const { return insts_.size(); }
+
+    /** The static instruction at @p pc (asserts pc is in text). */
+    const StaticInst &
+    fetch(VAddr pc) const
+    {
+        hbat_assert(pc >= textBase_ && pc % 4 == 0, "bad pc ", pc);
+        const size_t idx = (pc - textBase_) / 4;
+        hbat_assert(idx < insts_.size(), "pc past end of text: ", pc);
+        return insts_[idx];
+    }
+
+  private:
+    VAddr textBase_;
+    std::vector<StaticInst> insts_;
+};
+
+} // namespace hbat::cpu
+
+#endif // HBAT_CPU_STATIC_CODE_HH

@@ -315,12 +315,20 @@ checkImmRange(const Inst &inst, ImmKind kind)
 
 } // namespace
 
-const OpInfo &
-opInfo(Opcode op)
+namespace detail
 {
-    hbat_assert(int(op) < kNumOpcodes, "bad opcode ", int(op));
-    return tables().info[int(op)];
+
+std::atomic<const OpInfo *> opInfoTable_{nullptr};
+
+const OpInfo *
+opInfoTableSlow()
+{
+    const OpInfo *t = tables().info.data();
+    opInfoTable_.store(t, std::memory_order_release);
+    return t;
 }
+
+} // namespace detail
 
 uint32_t
 encode(const Inst &inst)

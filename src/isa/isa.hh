@@ -26,9 +26,11 @@
 #ifndef HBAT_ISA_ISA_HH
 #define HBAT_ISA_ISA_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace hbat::isa
@@ -125,8 +127,38 @@ struct OpInfo
     bool propagatesPointer;
 };
 
-/** Look up the static properties of @p op. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
+/**
+ * Cached pointer to the opcode-property table. Null until the first
+ * lookup; opInfoTableSlow() builds the tables (thread-safely, via a
+ * function-local static) and publishes the pointer with release
+ * semantics so the acquire load below sees initialized contents.
+ */
+extern std::atomic<const OpInfo *> opInfoTable_;
+const OpInfo *opInfoTableSlow();
+
+inline const OpInfo *
+opInfoTable()
+{
+    const OpInfo *t = opInfoTable_.load(std::memory_order_acquire);
+    if (t == nullptr) [[unlikely]]
+        t = opInfoTableSlow();
+    return t;
+}
+} // namespace detail
+
+/**
+ * Look up the static properties of @p op. Inline and flat — one
+ * pointer load plus an index — because the functional core and the
+ * timing pipeline consult it several times per simulated instruction.
+ */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    hbat_assert(int(op) < kNumOpcodes, "bad opcode ", int(op));
+    return detail::opInfoTable()[int(op)];
+}
 
 /** Mnemonic of @p op. */
 inline const char *opName(Opcode op) { return opInfo(op).name; }

@@ -14,22 +14,6 @@ Histogram::Histogram(unsigned num_buckets) : buckets_(num_buckets, 0)
 }
 
 void
-Histogram::record(uint64_t value, uint64_t count)
-{
-    const size_t b =
-        value < buckets_.size() - 1 ? size_t(value) : buckets_.size() - 1;
-    buckets_[b] += count;
-    samples_ += count;
-    sum_ += value * count;
-}
-
-double
-Histogram::mean() const
-{
-    return samples_ == 0 ? 0.0 : double(sum_) / double(samples_);
-}
-
-void
 Histogram::reset()
 {
     buckets_.assign(buckets_.size(), 0);

@@ -40,12 +40,28 @@ class Histogram
   public:
     explicit Histogram(unsigned num_buckets = 10);
 
-    /** Record @p count samples of @p value. */
-    void record(uint64_t value, uint64_t count = 1);
+    /**
+     * Record @p count samples of @p value. Inline and branch-light:
+     * the pipeline records one sample per simulated cycle (the
+     * Figure 3 demand histogram), so this sits on the hot path.
+     */
+    void
+    record(uint64_t value, uint64_t count = 1)
+    {
+        const size_t last = buckets_.size() - 1;
+        buckets_[value < last ? size_t(value) : last] += count;
+        samples_ += count;
+        sum_ += value * count;
+    }
 
     uint64_t samples() const { return samples_; }
     uint64_t sum() const { return sum_; }
-    double mean() const;
+
+    double
+    mean() const
+    {
+        return samples_ == 0 ? 0.0 : double(sum_) / double(samples_);
+    }
 
     size_t numBuckets() const { return buckets_.size(); }
     uint64_t bucket(size_t i) const { return buckets_[i]; }

@@ -11,6 +11,7 @@ namespace detail
 {
 
 std::atomic<uint32_t> traceMask_{0};
+std::atomic<bool> traceReady_{false};
 std::once_flag traceOnce_;
 
 void
@@ -18,6 +19,7 @@ initTraceFromEnv()
 {
     if (const char *env = std::getenv("HBAT_TRACE"))
         traceMask_.store(parseTraceCats(env), std::memory_order_relaxed);
+    traceReady_.store(true, std::memory_order_release);
 }
 
 } // namespace detail
@@ -49,6 +51,7 @@ setTraceMask(uint32_t mask)
     // explicit setting with the environment's.
     std::call_once(detail::traceOnce_, [] {});
     detail::traceMask_.store(mask, std::memory_order_relaxed);
+    detail::traceReady_.store(true, std::memory_order_release);
 }
 
 uint32_t

@@ -57,16 +57,25 @@ inline constexpr uint32_t kTraceAll =
 namespace detail
 {
 extern std::atomic<uint32_t> traceMask_;
+/** Set (release) once traceMask_ holds its initial value. */
+extern std::atomic<bool> traceReady_;
 extern std::once_flag traceOnce_;
 /** Parse HBAT_TRACE; runs at most once, under traceOnce_. */
 void initTraceFromEnv();
 } // namespace detail
 
-/** The active category mask (parses HBAT_TRACE once, thread-safely). */
+/**
+ * The active category mask (parses HBAT_TRACE once, thread-safely).
+ * The steady-state cost is two relaxed-ish atomic loads — the
+ * call_once handshake runs only until the first initialization is
+ * observed, keeping this cheap on the per-event timing path.
+ */
 inline uint32_t
 traceMask()
 {
-    std::call_once(detail::traceOnce_, detail::initTraceFromEnv);
+    if (!detail::traceReady_.load(std::memory_order_acquire))
+        [[unlikely]]
+        std::call_once(detail::traceOnce_, detail::initTraceFromEnv);
     return detail::traceMask_.load(std::memory_order_relaxed);
 }
 

@@ -47,6 +47,13 @@ struct SimConfig
     uint64_t maxInsts = ~uint64_t(0);
 
     /**
+     * Enable the address space's MRU page-pointer cache (a pure
+     * host-side optimization). Off only for determinism cross-checks:
+     * results must be identical either way.
+     */
+    bool pageMru = true;
+
+    /**
      * Destination for this run's trace events (see obs/trace.hh);
      * nullptr uses the process default sink (stderr). Concurrent runs
      * can each point at their own sink to keep event streams apart.

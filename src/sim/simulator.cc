@@ -37,7 +37,8 @@ activeSimulations()
 SimResult
 simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    const EngineFactory &make_engine,
-                   const std::string &design_label)
+                   const std::string &design_label,
+                   std::shared_ptr<const cpu::StaticCode> code)
 {
     RunScope scope;
 
@@ -49,10 +50,10 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
     // Everything below is built fresh per run from (prog, cfg); the
     // only inputs shared with other runs are the immutable program
     // image and the read-only configuration.
-    vm::AddressSpace space{vm::PageParams(cfg.pageBytes)};
+    vm::AddressSpace space{vm::PageParams(cfg.pageBytes), cfg.pageMru};
     space.load(prog);
 
-    cpu::FuncCore core(space, prog);
+    cpu::FuncCore core(space, prog, std::move(code));
     auto engine = make_engine(space.pageTable());
 
     cpu::PipeConfig pipe_cfg;
@@ -80,14 +81,15 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
 }
 
 SimResult
-simulate(const kasm::Program &prog, const SimConfig &cfg)
+simulate(const kasm::Program &prog, const SimConfig &cfg,
+         std::shared_ptr<const cpu::StaticCode> code)
 {
     return simulateWithEngine(
         prog, cfg,
         [&](vm::PageTable &pt) {
             return tlb::makeEngine(cfg.design, pt, cfg.seed);
         },
-        tlb::designName(cfg.design));
+        tlb::designName(cfg.design), std::move(code));
 }
 
 } // namespace hbat::sim

@@ -61,8 +61,14 @@ struct SimResult
 /**
  * Load @p prog into a fresh address space and run it to completion on
  * the configured machine.
+ *
+ * @param code optional pre-decoded image of @p prog shared across
+ *     runs (see cpu::StaticCode); null decodes privately. Sweeps
+ *     should build one per program so text is decoded once, not once
+ *     per (program, design) cell.
  */
-SimResult simulate(const kasm::Program &prog, const SimConfig &cfg);
+SimResult simulate(const kasm::Program &prog, const SimConfig &cfg,
+                   std::shared_ptr<const cpu::StaticCode> code = nullptr);
 
 /**
  * The number of simulate()/simulateWithEngine() calls currently in
@@ -81,10 +87,11 @@ using EngineFactory =
  * As simulate(), but with a caller-supplied translation engine; the
  * cfg.design field is ignored and @p design_label is reported instead.
  */
-SimResult simulateWithEngine(const kasm::Program &prog,
-                             const SimConfig &cfg,
-                             const EngineFactory &make_engine,
-                             const std::string &design_label);
+SimResult
+simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
+                   const EngineFactory &make_engine,
+                   const std::string &design_label,
+                   std::shared_ptr<const cpu::StaticCode> code = nullptr);
 
 } // namespace hbat::sim
 

@@ -45,6 +45,7 @@ class PretranslationTlb : public TranslationEngine
     void invalidate(Vpn vpn, Cycle now) override;
     void noteRegWrite(RegIndex dest, const RegIndex *srcs, int nsrcs,
                       bool propagates) override;
+    bool observesRegWrites() const override { return true; }
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix) const override;
 

@@ -167,6 +167,14 @@ class TranslationEngine
         (void)propagates;
     }
 
+    /**
+     * True when noteRegWrite() does anything. The pipeline asks once
+     * at construction and skips the per-commit register-write feed
+     * entirely for the (majority of) designs that ignore it — one
+     * virtual call per run instead of one per committed destination.
+     */
+    virtual bool observesRegWrites() const { return false; }
+
     const XlateStats &stats() const { return stats_; }
 
     /**

@@ -5,19 +5,26 @@
 namespace hbat::vm
 {
 
-AddressSpace::AddressSpace(PageParams params)
-    : pt(params)
+AddressSpace::AddressSpace(PageParams params, bool mru_enabled)
+    : pt(params), mruEnabled(mru_enabled)
 {}
 
 uint8_t *
-AddressSpace::pagePtr(Vpn vpn)
+AddressSpace::pagePtrSlow(Vpn vpn)
 {
     auto it = pages.find(vpn);
     if (it == pages.end()) {
         auto page = std::make_unique<uint8_t[]>(pt.params().bytes());
         std::memset(page.get(), 0, pt.params().bytes());
         it = pages.emplace(vpn, std::move(page)).first;
+        // Materialization invalidates every cached resolution (cheap:
+        // once per touched page) so the cache never outlives a
+        // hypothetical page drop/remap.
+        for (MruEntry &e : mru)
+            e = MruEntry{};
     }
+    if (mruEnabled)
+        mru[vpn & (kMruEntries - 1)] = MruEntry{vpn, it->second.get()};
     return it->second.get();
 }
 

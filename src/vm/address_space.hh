@@ -26,7 +26,14 @@ namespace hbat::vm
 class AddressSpace
 {
   public:
-    explicit AddressSpace(PageParams params = PageParams{});
+    /**
+     * @param params page geometry
+     * @param mru_enabled enable the MRU page-pointer cache in front
+     *     of the page map (off only for determinism cross-checks; the
+     *     cache is invisible to all simulated state)
+     */
+    explicit AddressSpace(PageParams params = PageParams{},
+                          bool mru_enabled = true);
 
     /** Copy a program's text and data into memory. */
     void load(const kasm::Program &prog);
@@ -57,7 +64,28 @@ class AddressSpace
     uint64_t touchedPages() const { return pages.size(); }
 
   private:
-    uint8_t *pagePtr(Vpn vpn);
+    /**
+     * Resolve @p vpn to its storage, materializing the page on first
+     * touch. The fast path is a direct-mapped MRU cache of recent
+     * (vpn -> storage) resolutions — the software analogue of the
+     * paper's MRU translation reuse: the translation stream is highly
+     * local, so most functional accesses skip the hash lookup
+     * entirely. Page storage never moves once materialized (the map
+     * holds owning pointers to stable arrays), so cached pointers
+     * stay valid; the cache is nonetheless invalidated wholesale
+     * whenever a page materializes, keeping it trivially correct
+     * should pages ever be dropped or remapped.
+     */
+    uint8_t *
+    pagePtr(Vpn vpn)
+    {
+        MruEntry &e = mru[vpn & (kMruEntries - 1)];
+        if (e.ptr != nullptr && e.vpn == vpn) [[likely]]
+            return e.ptr;
+        return pagePtrSlow(vpn);
+    }
+
+    uint8_t *pagePtrSlow(Vpn vpn);
 
     template <typename T>
     T
@@ -83,8 +111,20 @@ class AddressSpace
         __builtin_memcpy(p, &v, sizeof(T));
     }
 
+    /** One MRU page-pointer cache slot (invalid when ptr is null). */
+    struct MruEntry
+    {
+        Vpn vpn = 0;
+        uint8_t *ptr = nullptr;
+    };
+
+    /** MRU cache size; a power of two (direct-mapped on low bits). */
+    static constexpr size_t kMruEntries = 16;
+
     PageTable pt;
     std::unordered_map<Vpn, std::unique_ptr<uint8_t[]>> pages;
+    MruEntry mru[kMruEntries];
+    bool mruEnabled;
 };
 
 } // namespace hbat::vm

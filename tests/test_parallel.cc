@@ -15,6 +15,7 @@
 
 #include "bench/harness.hh"
 #include "common/job_pool.hh"
+#include "workloads/workloads.hh"
 
 namespace
 {
@@ -194,6 +195,93 @@ TEST(ParallelDeterminism, SweepIdenticalAtAnyJobCount)
 
     // Every run balanced its enter/exit of the in-flight gauge.
     EXPECT_EQ(sim::activeSimulations(), 0);
+}
+
+/**
+ * The stressier determinism case: M8's L2 TLB uses seeded random
+ * replacement, so any job-count- or host-dependent perturbation of
+ * the RNG stream would show up as a snapshot mismatch here.
+ */
+TEST(ParallelDeterminism, RandomReplacementIdenticalAtJobs8)
+{
+    bench::ExperimentConfig cfg;
+    cfg.scale = 0.02;
+    cfg.seed = 424242;
+    cfg.programs = {"espresso", "doduc"};
+    const std::vector<tlb::Design> designs = {tlb::Design::M8};
+
+    cfg.jobs = 1;
+    const bench::Sweep serial = bench::runDesignSweep(cfg, designs);
+    cfg.jobs = 8;
+    const bench::Sweep wide = bench::runDesignSweep(cfg, designs);
+
+    ASSERT_EQ(serial.cells.size(), 2u);
+    ASSERT_EQ(wide.cells.size(), serial.cells.size());
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+        SCOPED_TRACE(serial.cells[i].program);
+        EXPECT_EQ(wide.cells[i].result.cycles(),
+                  serial.cells[i].result.cycles());
+        expectSnapshotsEqual(wide.cells[i].result.stats,
+                             serial.cells[i].result.stats);
+    }
+}
+
+/**
+ * The MRU page-pointer cache in vm::AddressSpace is a pure host-side
+ * optimization: every simulated statistic must be bit-identical with
+ * it disabled.
+ */
+TEST(ParallelDeterminism, PageMruCacheIsStatisticsInvariant)
+{
+    const kasm::Program prog = workloads::build(
+        "espresso", kasm::RegBudget{32, 32}, 0.02);
+
+    sim::SimConfig sc;
+    sc.design = tlb::Design::M8;
+    sc.seed = 424242;
+
+    sc.pageMru = true;
+    const sim::SimResult withMru = sim::simulate(prog, sc);
+    sc.pageMru = false;
+    const sim::SimResult without = sim::simulate(prog, sc);
+
+    EXPECT_EQ(withMru.cycles(), without.cycles());
+    EXPECT_EQ(withMru.ipc(), without.ipc());    // exact
+    EXPECT_EQ(withMru.pipe.committed, without.pipe.committed);
+    EXPECT_EQ(withMru.touchedPages, without.touchedPages);
+    expectSnapshotsEqual(withMru.stats, without.stats);
+}
+
+/**
+ * Wall-clock accounting invariants under --jobs > 1. Cells are timed
+ * with CLOCK_THREAD_CPUTIME_ID (see bench/harness.cc), so each cell
+ * charges only its own execution: the per-cell sum must not
+ * double-count overlapped cells, i.e. it is bounded by jobs times the
+ * sweep's elapsed time (plus scheduler slack), not by the number of
+ * overlapping cells.
+ */
+TEST(ParallelDeterminism, CellTimingDoesNotDoubleCountOverlap)
+{
+    bench::ExperimentConfig cfg;
+    cfg.scale = 0.02;
+    cfg.programs = {"espresso", "doduc"};
+    cfg.jobs = 2;
+    const std::vector<tlb::Design> designs = {
+        tlb::Design::T4, tlb::Design::T1};
+    const bench::Sweep sweep = bench::runDesignSweep(cfg, designs);
+
+    ASSERT_EQ(sweep.cells.size(), 4u);
+    EXPECT_GT(sweep.wallSeconds, 0.0);
+    double cellSum = 0.0;
+    for (const bench::Cell &cell : sweep.cells) {
+        SCOPED_TRACE(cell.program + "/" + tlb::designName(cell.design));
+        EXPECT_GE(cell.wallSeconds, 0.0);
+        // One cell runs on one thread: its CPU time cannot exceed the
+        // sweep's elapsed time (slack for clock granularity).
+        EXPECT_LE(cell.wallSeconds, sweep.wallSeconds + 0.25);
+        cellSum += cell.wallSeconds;
+    }
+    EXPECT_LE(cellSum, cfg.jobs * sweep.wallSeconds + 0.5);
 }
 
 } // namespace
