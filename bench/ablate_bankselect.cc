@@ -16,7 +16,9 @@
 #include "bench/harness.hh"
 #include "common/job_pool.hh"
 #include "common/stats.hh"
+#include "cpu/static_code.hh"
 #include "tlb/interleaved.hh"
+#include "vm/program_image.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -45,13 +47,21 @@ main(int argc, char **argv)
     // as independent cells. Aggregation walks the cells in the
     // original loop order, so the table matches at any --jobs.
     std::vector<kasm::Program> images(programs.size());
+    std::vector<std::shared_ptr<const cpu::StaticCode>> codes(
+        programs.size());
+    std::vector<std::shared_ptr<const vm::ProgramImage>> pages(
+        programs.size());
     std::vector<double> t4Ipc(programs.size());
     parallelFor(programs.size(), cfg.jobs, [&](size_t p) {
         images[p] = workloads::build(programs[p], cfg.budget,
                                      cfg.scale);
+        codes[p] = std::make_shared<const cpu::StaticCode>(images[p]);
+        pages[p] = std::make_shared<const vm::ProgramImage>(
+            images[p], vm::PageParams(cfg.pageBytes));
         sim::SimConfig sc = bench::toSimConfig(cfg);
         sc.design = tlb::Design::T4;
-        t4Ipc[p] = sim::simulate(images[p], sc).ipc();
+        t4Ipc[p] =
+            sim::simulate(images[p], sc, codes[p], pages[p]).ipc();
         bench::progressLine("  [" + programs[p] + " T4]");
     });
 
@@ -90,7 +100,7 @@ main(int argc, char **argv)
                 return std::make_unique<tlb::InterleavedTlb>(
                     pt, gc.banks, gc.sel, 128, gc.piggy, cfg.seed);
             },
-            engName);
+            engName, codes[p], pages[p]);
         out[idx] = {ratio(r.ipc(), t4Ipc[p]), r.pipe.xlate.noPort,
                     r.pipe.xlate.requests, r.pipe.xlate.piggybacks};
     });

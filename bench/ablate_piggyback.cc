@@ -14,8 +14,10 @@
 #include "bench/harness.hh"
 #include "common/job_pool.hh"
 #include "common/stats.hh"
+#include "cpu/static_code.hh"
 #include "tlb/ideal.hh"
 #include "tlb/multiported.hh"
+#include "vm/program_image.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -70,12 +72,17 @@ main(int argc, char **argv)
         bench::progressLine("  [" + programs[p] + "]");
         const kasm::Program prog =
             workloads::build(programs[p], cfg.budget, cfg.scale);
+        // The 14 runs of this cell share one decode and one page
+        // image (cloned copy-on-write per run).
+        const auto code = std::make_shared<const cpu::StaticCode>(prog);
+        const auto image = std::make_shared<const vm::ProgramImage>(
+            prog, vm::PageParams(cfg.pageBytes));
 
         sim::SimConfig sc = bench::toSimConfig(cfg);
 
         // Reference: T4 (as in the paper's figures).
         sc.design = tlb::Design::T4;
-        const double t4 = sim::simulate(prog, sc).ipc();
+        const double t4 = sim::simulate(prog, sc, code, image).ipc();
         weights[p] = t4 > 0 ? 1.0 : 0.0;
 
         std::vector<std::string> row{programs[p]};
@@ -85,7 +92,7 @@ main(int argc, char **argv)
                 [](vm::PageTable &pt) {
                     return std::make_unique<tlb::IdealTlb>(pt);
                 },
-                "ideal")
+                "ideal", code, image)
                 .ipc();
         rel[p].push_back(ratio(ideal, t4));
         row.push_back(fixed(ratio(ideal, t4), 3));
@@ -98,7 +105,7 @@ main(int argc, char **argv)
                         return std::make_unique<tlb::MultiPortedTlb>(
                             pt, v.ports, v.piggy, 128, cfg.seed);
                     },
-                    v.name)
+                    v.name, code, image)
                     .ipc();
             rel[p].push_back(ratio(ipc, t4));
             row.push_back(fixed(ratio(ipc, t4), 3));

@@ -16,8 +16,10 @@
 #include "common/job_pool.hh"
 #include "common/stats.hh"
 #include "cpu/func_core.hh"
+#include "cpu/static_code.hh"
 #include "tlb/tlb_array.hh"
 #include "vm/address_space.hh"
+#include "vm/program_image.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -40,15 +42,16 @@ const std::vector<TlbSpec> kSpecs = {
 /** Miss rate of each spec'd TLB over one program's reference stream. */
 std::vector<double>
 missRates(const kasm::Program &prog, const vm::PageParams &pages,
-          uint64_t seed)
+          uint64_t seed,
+          std::shared_ptr<const cpu::StaticCode> code,
+          std::shared_ptr<const vm::ProgramImage> image)
 {
     std::vector<tlb::TlbArray> tlbs;
     for (const TlbSpec &spec : kSpecs)
         tlbs.emplace_back(spec.entries, spec.repl, seed);
 
-    vm::AddressSpace space{pages};
-    space.load(prog);
-    cpu::FuncCore core(space, prog);
+    vm::AddressSpace space{pages, true, std::move(image)};
+    cpu::FuncCore core(space, prog, std::move(code));
 
     std::vector<uint64_t> misses(kSpecs.size(), 0);
     uint64_t refs = 0;
@@ -112,14 +115,20 @@ main(int argc, char **argv)
         const std::string &name = programs[p];
         const kasm::Program prog =
             workloads::build(name, cfg.budget, cfg.scale);
+        // The timed reference run and the functional TLB pass share
+        // one decode and one page image.
+        const auto code = std::make_shared<const cpu::StaticCode>(prog);
+        const auto image =
+            std::make_shared<const vm::ProgramImage>(prog, pages);
 
         // Weight: run time in cycles under the reference design.
         sim::SimConfig sc = bench::toSimConfig(cfg);
         sc.design = tlb::Design::T4;
-        const sim::SimResult timed = sim::simulate(prog, sc);
+        const sim::SimResult timed =
+            sim::simulate(prog, sc, code, image);
         weights[p] = double(timed.cycles());
 
-        all[p] = missRates(prog, pages, cfg.seed);
+        all[p] = missRates(prog, pages, cfg.seed, code, image);
         bench::progressLine("  [" + name + "]");
     });
 

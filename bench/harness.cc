@@ -68,6 +68,7 @@ toSimConfig(const ExperimentConfig &config)
     sc.inOrder = config.inOrder;
     sc.budget = config.budget;
     sc.seed = config.seed;
+    sc.idleSkip = !config.noSkip;
     return sc;
 }
 
@@ -77,6 +78,8 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
     ExperimentConfig cfg = defaults;
     if (const char *env = std::getenv("HBAT_SCALE"))
         cfg.scale = std::atof(env);
+    if (const char *env = std::getenv("HBAT_NO_SKIP"))
+        cfg.noSkip = env[0] != '\0' && env[0] != '0';
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
             cfg.scale = std::atof(argv[++i]);
@@ -91,13 +94,16 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
             cfg.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
             if (cfg.jobs == 0)
                 hbat_fatal("--jobs wants a positive integer");
+        } else if (std::strcmp(argv[i], "--no-skip") == 0) {
+            cfg.noSkip = true;
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             obs::setTraceMask(obs::parseTraceCats(argv[++i]));
         } else {
             hbat_fatal("unknown argument '", argv[i],
                        "' (supported: --scale f, --program name, "
-                       "--seed n, --json file, --jobs n, --trace cats)");
+                       "--seed n, --json file, --jobs n, --no-skip, "
+                       "--trace cats)");
         }
     }
     hbat_assert(cfg.scale > 0.0, "scale must be positive");
@@ -150,14 +156,18 @@ runDesignSweep(const ExperimentConfig &config,
             hbat_fatal("design lint found errors; aborting sweep");
     }
 
-    // One link and one decode per program serve every design; both
-    // images are immutable once built, so cells share them freely.
+    // One link, one decode, and one page image per program serve
+    // every design; all three are immutable once built, so cells
+    // share them freely (pages clone copy-on-write per cell).
     std::vector<kasm::Program> images(nProgs);
     std::vector<std::shared_ptr<const cpu::StaticCode>> codes(nProgs);
+    std::vector<std::shared_ptr<const vm::ProgramImage>> pages(nProgs);
     parallelFor(nProgs, jobs, [&](size_t p) {
         images[p] = workloads::build(sweep.programs[p], config.budget,
                                      config.scale);
         codes[p] = std::make_shared<const cpu::StaticCode>(images[p]);
+        pages[p] = std::make_shared<const vm::ProgramImage>(
+            images[p], vm::PageParams(config.pageBytes));
     });
 
     // Every (program, design) cell is one independent job writing its
@@ -175,12 +185,18 @@ runDesignSweep(const ExperimentConfig &config,
         const double cellStart = threadCpuSeconds();
         sim::SimConfig sc = toSimConfig(config);
         sc.design = designs[d];
-        cell.result = sim::simulate(images[p], sc, codes[p]);
+        cell.result = sim::simulate(images[p], sc, codes[p], pages[p]);
         cell.wallSeconds = threadCpuSeconds() - cellStart;
 
+        const cpu::PipeStats &ps = cell.result.pipe;
+        const double skipPct =
+            ps.cycles ? 100.0 * double(ps.skippedCycles) /
+                            double(ps.cycles)
+                      : 0.0;
         progressLine(detail::concat(
             "  [", cell.program, " / ", tlb::designName(cell.design),
-            "]  ", fixed(cell.wallSeconds, 2), "s"));
+            "]  ", fixed(cell.wallSeconds, 2), "s  skip ",
+            fixed(skipPct, 0), "%"));
     });
     sweep.wallSeconds = secondsSince(sweepStart);
     return sweep;

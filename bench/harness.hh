@@ -55,6 +55,12 @@ struct ExperimentConfig
      * the calling thread.
      */
     unsigned jobs = 0;
+    /**
+     * Disable the pipeline's idle-cycle skipping (--no-skip /
+     * HBAT_NO_SKIP) for A/B debugging. Reports must be identical
+     * either way, apart from meta and timing fields.
+     */
+    bool noSkip = false;
 };
 
 /**

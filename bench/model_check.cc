@@ -17,8 +17,10 @@
 #include "bench/harness.hh"
 #include "common/job_pool.hh"
 #include "common/stats.hh"
+#include "cpu/static_code.hh"
 #include "sim/at_model.hh"
 #include "tlb/ideal.hh"
+#include "vm/program_image.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -53,6 +55,10 @@ main(int argc, char **argv)
         const bool in_order = (idx % 2) != 0;
         const kasm::Program prog =
             workloads::build(name, cfg.budget, cfg.scale);
+        // This cell's seven runs share one decode and one page image.
+        const auto code = std::make_shared<const cpu::StaticCode>(prog);
+        const auto image = std::make_shared<const vm::ProgramImage>(
+            prog, vm::PageParams(cfg.pageBytes));
         sim::SimConfig sc = bench::toSimConfig(cfg);
         sc.inOrder = in_order;
 
@@ -63,11 +69,12 @@ main(int argc, char **argv)
             [](vm::PageTable &pt) {
                 return std::make_unique<tlb::IdealTlb>(pt);
             },
-            "ideal");
+            "ideal", code, image);
 
         for (tlb::Design d : designs) {
             sc.design = d;
-            const sim::SimResult r = sim::simulate(prog, sc);
+            const sim::SimResult r =
+                sim::simulate(prog, sc, code, image);
             const sim::AtModelParams p = sim::extractModel(r);
             rows[idx].push_back({
                 name,

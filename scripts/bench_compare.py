@@ -64,6 +64,37 @@ def sweep_metric(report):
     return sum(c.get("wall_seconds", 0.0) for c in cells)
 
 
+def design_deltas(fresh, base):
+    """Per-design CPU-second sums and their fresh/baseline ratios.
+
+    Aggregating the cells by design shows *where* a speedup or
+    regression lives: an optimization that only helps high-IPC designs
+    (many quiescent cycles to skip) shows up as uneven ratios even
+    when the total is within tolerance. Returns a list of
+    (design, base_s, fresh_s, ratio) sorted by design order of the
+    fresh report; designs present in only one report are skipped.
+    """
+    def by_design(report):
+        out = {}
+        order = []
+        for c in report.get("cells", []):
+            d = c.get("design")
+            if d is None:
+                continue
+            if d not in out:
+                order.append(d)
+            out[d] = out.get(d, 0.0) + c.get("wall_seconds", 0.0)
+        return out, order
+
+    ft, order = by_design(fresh)
+    bt, _ = by_design(base)
+    rows = []
+    for d in order:
+        if d in bt and bt[d] > 0:
+            rows.append((d, bt[d], ft[d], ft[d] / bt[d]))
+    return rows
+
+
 def micro_ratio(fresh, base):
     """Geomean of per-benchmark real_time ratios (fresh/baseline)."""
     def times(report):
@@ -128,6 +159,9 @@ def main():
         ratio = fresh_sweep / base_sweep
         detail = (f"{fresh_sweep:.2f}s vs baseline {base_sweep:.2f}s "
                   f"(sum of per-cell CPU seconds)")
+        for d, b, f, r in design_deltas(fresh, base):
+            print(f"bench_compare:   {d:>4}: {b:6.2f}s -> {f:6.2f}s "
+                  f"({1.0 / r:5.2f}x)")
     else:
         ratio, n = micro_ratio(fresh, base)
         if ratio is None:

@@ -11,7 +11,10 @@
 #  5. emit the micro-benchmark report (BENCH_micro.json) and a timed
 #     parallel fig5 sweep (BENCH_fig5.json, with per-cell and total
 #     wall_seconds) so runs can be archived and diffed across commits;
-#  6. bench-compare gate: diff the fresh reports against the committed
+#  6. skip-invariance gate: rerun the fig5 sweep with --no-skip and
+#     require every simulated number to match (sweep_diff.py ignores
+#     only meta, wall_seconds, and the skip counters);
+#  7. bench-compare gate: diff the fresh reports against the committed
 #     baselines (git show HEAD:BENCH_*.json) and fail when the fresh
 #     run is more than $HBAT_BENCH_TOLERANCE slower (default 10%).
 #     After an intentional perf change, commit the regenerated
@@ -67,6 +70,17 @@ echo "== timed parallel sweep (BENCH_fig5.json) =="
 # records per-cell and total wall_seconds.
 ./build/bench/fig5_baseline --scale 0.05 --jobs "$JOBS" \
     --json BENCH_fig5.json > /dev/null
+
+echo "== skip invariance: sweep with and without idle skipping =="
+# The idle-cycle skip must not change any simulated number: rerun the
+# same sweep with --no-skip and diff the reports, ignoring only meta,
+# wall_seconds, and the skip counters themselves (see DESIGN.md §9).
+SKIPDIR=$(mktemp -d)
+./build/bench/fig5_baseline --scale 0.05 --jobs "$JOBS" --no-skip \
+    --json "$SKIPDIR/fig5_noskip.json" > /dev/null
+python3 scripts/sweep_diff.py BENCH_fig5.json \
+    "$SKIPDIR/fig5_noskip.json"
+rm -rf "$SKIPDIR"
 
 echo "== bench compare vs committed baselines =="
 # Snapshot the HEAD baselines first: the regeneration above already

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Assert two sweep JSON reports describe the same simulated run.
+
+Used by CI's skip-invariance stage: a fig5 sweep with idle-cycle
+skipping on and the same sweep with --no-skip must agree on every
+simulated number. Only host-side fields may differ:
+
+  meta.*            (timestamps, flags, git state)
+  wall_seconds      (per cell and sweep total)
+  config.*          (the skip flag itself lives here)
+  pipe.skipped_cycles / pipe.skip_length
+                    (the skip accounting, zero with skipping off)
+
+Everything else — every cell's ipc, cycles, committed count, and every
+entry of its stats dict — must be exactly equal, or the script exits
+non-zero listing the first mismatches.
+
+Usage: sweep_diff.py A.json B.json [--max-report N]
+"""
+
+import argparse
+import json
+import sys
+
+# Key suffixes that may legitimately differ between the two runs.
+HOST_SIDE_STATS = ("pipe.skipped_cycles", "pipe.skip_length")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"sweep_diff: cannot read {path}: {e}")
+
+
+def diff_cells(a, b, errors):
+    ca, cb = a.get("cells", []), b.get("cells", [])
+    if len(ca) != len(cb):
+        errors.append(f"cell count differs: {len(ca)} vs {len(cb)}")
+        return
+    for i, (x, y) in enumerate(zip(ca, cb)):
+        where = f"cell {i} ({x.get('program')}, {x.get('design')})"
+        for key in ("program", "design", "ipc", "norm_ipc", "cycles",
+                    "committed"):
+            if x.get(key) != y.get(key):
+                errors.append(f"{where}: {key}: "
+                              f"{x.get(key)!r} != {y.get(key)!r}")
+        sx = dict(x.get("stats", {}))
+        sy = dict(y.get("stats", {}))
+        for skip in HOST_SIDE_STATS:
+            sx.pop(skip, None)
+            sy.pop(skip, None)
+        for k in sorted(set(sx) | set(sy)):
+            if sx.get(k) != sy.get(k):
+                errors.append(f"{where}: stats[{k}]: "
+                              f"{sx.get(k)!r} != {sy.get(k)!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("a")
+    ap.add_argument("b")
+    ap.add_argument("--max-report", type=int, default=20,
+                    help="max mismatches to print (default 20)")
+    args = ap.parse_args()
+
+    a, b = load(args.a), load(args.b)
+    errors = []
+    sa = dict(a.get("summary", {}))
+    sb = dict(b.get("summary", {}))
+    sa.pop("wall_seconds", None)
+    sb.pop("wall_seconds", None)
+    if sa != sb:
+        errors.append(f"summary differs: {sa!r} != {sb!r}")
+    for key in ("designs", "programs"):
+        if a.get(key) != b.get(key):
+            errors.append(f"{key} differ: "
+                          f"{a.get(key)!r} != {b.get(key)!r}")
+    diff_cells(a, b, errors)
+
+    if errors:
+        print(f"sweep_diff: {args.a} vs {args.b}: "
+              f"{len(errors)} mismatch(es)")
+        for e in errors[:args.max_report]:
+            print(f"sweep_diff:   {e}")
+        if len(errors) > args.max_report:
+            print(f"sweep_diff:   ... and "
+                  f"{len(errors) - args.max_report} more")
+        sys.exit(1)
+    ncells = len(a.get("cells", []))
+    print(f"sweep_diff: OK -- {ncells} cells identical "
+          "(ignoring meta, wall_seconds, and skip accounting)")
+
+
+if __name__ == "__main__":
+    main()

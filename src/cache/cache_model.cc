@@ -71,6 +71,9 @@ CacheModel::access(PAddr pa, bool write, Cycle now)
     *victim = Line{block, true, write, now};
     const Cycle ready = now + config_.missLatency;
     pendingFills[block] = ready;
+    while (!pendingFillTimes_.empty() && pendingFillTimes_.front() <= now)
+        pendingFillTimes_.pop_front();
+    pendingFillTimes_.push_back(ready);
 
     // Opportunistic cleanup: drop completed fills to bound the map.
     if (pendingFills.size() > 4096) {
@@ -95,12 +98,39 @@ CacheModel::contains(PAddr pa) const
     return false;
 }
 
+Cycle
+CacheModel::nextFillCycle(Cycle now)
+{
+    while (!pendingFillTimes_.empty() && pendingFillTimes_.front() <= now)
+        pendingFillTimes_.pop_front();
+    return pendingFillTimes_.empty() ? kCycleNever
+                                     : pendingFillTimes_.front();
+}
+
+void
+CacheModel::recordRepeatHits(PAddr pa, uint64_t n, Cycle last_use)
+{
+    const uint64_t block = blockAddr(pa);
+    Line *const base = &lines[setIndex(block) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == block) {
+            line.lastUse = last_use;
+            stats_.accesses += n;
+            stats_.hits += n;
+            return;
+        }
+    }
+    hbat_panic("recordRepeatHits: block not resident");
+}
+
 void
 CacheModel::flush()
 {
     for (Line &line : lines)
         line = Line{};
     pendingFills.clear();
+    pendingFillTimes_.clear();
 }
 
 void

@@ -16,6 +16,7 @@
 #define HBAT_CACHE_CACHE_MODEL_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,24 @@ class CacheModel
     /** Probe tags without updating any state. */
     bool contains(PAddr pa) const;
 
+    /**
+     * Next-event query: the earliest in-flight fill completing after
+     * @p now, or kCycleNever when no fill is outstanding. Fills are
+     * scheduled at a fixed latency from a nondecreasing clock, so
+     * completion times arrive in order and a deque front suffices.
+     */
+    Cycle nextFillCycle(Cycle now);
+
+    /**
+     * Bulk-account @p n repeated hits to the resident block holding
+     * @p pa — exactly equivalent to n access(pa, false, ...) hit calls
+     * ending at cycle @p last_use. Used by the pipeline's idle-cycle
+     * skipping for the fetch pattern that re-reads one I-cache block
+     * every cycle while the fetch queue is full: the block's stats and
+     * LRU timestamp advance as if each cycle had been simulated.
+     */
+    void recordRepeatHits(PAddr pa, uint64_t n, Cycle last_use);
+
     /** Invalidate everything (used between benchmark runs). */
     void flush();
 
@@ -96,6 +115,10 @@ class CacheModel
     std::vector<Line> lines;    ///< numSets x assoc, row-major
     /** Blocks currently being filled -> fill-complete cycle. */
     std::unordered_map<uint64_t, Cycle> pendingFills;
+    /** Fill-complete cycles in scheduling order (nondecreasing), for
+     *  nextFillCycle(). May retain times whose map entry was evicted
+     *  early — a conservative (never late) next-event answer. */
+    std::deque<Cycle> pendingFillTimes_;
     CacheStats stats_;
 };
 

@@ -63,6 +63,23 @@ class RingQueue
         ++count_;
     }
 
+    /**
+     * Make room for one element at the back and return a reference to
+     * the (reused, stale) slot for the caller to fill in place —
+     * avoids staging large trivially-copyable elements in a temporary
+     * just to copy them in via push_back().
+     */
+    T &
+    emplace_back()
+    {
+        hbat_assert(count_ < buf_.size(), "ring queue overflow");
+        size_t i = head_ + count_;
+        if (i >= buf_.size())
+            i -= buf_.size();
+        ++count_;
+        return buf_[i];
+    }
+
     void
     pop_front()
     {

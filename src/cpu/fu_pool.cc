@@ -13,59 +13,19 @@ FuPool::FuPool(const FuPoolConfig &config)
       fpMultDiv(config.fpMultDiv, 0)
 {}
 
-std::vector<Cycle> &
-FuPool::group(FuClass cls)
-{
-    switch (cls) {
-      case FuClass::IntAlu: return intAlu;
-      case FuClass::IntMult:
-      case FuClass::IntDiv: return intMultDiv;
-      case FuClass::MemPort: return mem;
-      case FuClass::FpAdd: return fpAdd;
-      case FuClass::FpMult:
-      case FuClass::FpDiv: return fpMultDiv;
-      default: hbat_panic("no FU group for this class");
-    }
-}
-
-bool
-FuPool::acquire(FuClass cls, Cycle now)
-{
-    if (cls == FuClass::None)
-        return true;    // control/nop: no unit needed
-    for (Cycle &next_free : group(cls)) {
-        if (next_free <= now) {
-            next_free = now + issueLatency(cls);
-            return true;
-        }
-    }
-    return false;
-}
-
 Cycle
-FuPool::totalLatency(FuClass cls)
+FuPool::nextFreeCycle(Cycle now) const
 {
-    switch (cls) {
-      case FuClass::IntAlu: return 1;
-      case FuClass::IntMult: return 3;
-      case FuClass::IntDiv: return 12;
-      case FuClass::MemPort: return 2;
-      case FuClass::FpAdd: return 2;
-      case FuClass::FpMult: return 4;
-      case FuClass::FpDiv: return 12;
-      case FuClass::None: return 1;
-    }
-    hbat_panic("bad FU class");
+    Cycle next = kCycleNever;
+    const std::vector<Cycle> *groups[] = {&intAlu, &intMultDiv, &mem,
+                                          &fpAdd, &fpMultDiv};
+    for (const std::vector<Cycle> *g : groups)
+        for (Cycle next_free : *g)
+            if (next_free > now && next_free < next)
+                next = next_free;
+    return next;
 }
 
-Cycle
-FuPool::issueLatency(FuClass cls)
-{
-    switch (cls) {
-      case FuClass::IntDiv:
-      case FuClass::FpDiv: return 12;
-      default: return 1;
-    }
-}
+
 
 } // namespace hbat::cpu

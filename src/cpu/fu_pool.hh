@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
 
@@ -39,17 +40,75 @@ class FuPool
     /**
      * Try to claim a unit of the class serving @p cls at cycle @p now.
      * On success the unit is busy for the class's issue latency.
+     * Inline (with group() and the latency tables): this is called
+     * for every issue attempt, one of the hottest paths in the
+     * simulator.
      */
-    bool acquire(isa::FuClass cls, Cycle now);
+    bool
+    acquire(isa::FuClass cls, Cycle now)
+    {
+        if (cls == isa::FuClass::None)
+            return true;    // control/nop: no unit needed
+        for (Cycle &next_free : group(cls)) {
+            if (next_free <= now) {
+                next_free = now + issueLatency(cls);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Next-event query: the earliest cycle after @p now at which any
+     * unit that is busy at @p now becomes free — i.e. the first future
+     * cycle where an acquire() that fails now could start succeeding.
+     * kCycleNever when every unit is already free (nothing pending).
+     */
+    Cycle nextFreeCycle(Cycle now) const;
 
     /** Result latency (Table 1 "total"). */
-    static Cycle totalLatency(isa::FuClass cls);
+    static Cycle
+    totalLatency(isa::FuClass cls)
+    {
+        switch (cls) {
+          case isa::FuClass::IntAlu: return 1;
+          case isa::FuClass::IntMult: return 3;
+          case isa::FuClass::IntDiv: return 12;
+          case isa::FuClass::MemPort: return 2;
+          case isa::FuClass::FpAdd: return 2;
+          case isa::FuClass::FpMult: return 4;
+          case isa::FuClass::FpDiv: return 12;
+          case isa::FuClass::None: return 1;
+        }
+        hbat_panic("bad FU class");
+    }
 
     /** Unit-occupancy latency (Table 1 "issue"). */
-    static Cycle issueLatency(isa::FuClass cls);
+    static Cycle
+    issueLatency(isa::FuClass cls)
+    {
+        switch (cls) {
+          case isa::FuClass::IntDiv:
+          case isa::FuClass::FpDiv: return 12;
+          default: return 1;
+        }
+    }
 
   private:
-    std::vector<Cycle> &group(isa::FuClass cls);
+    std::vector<Cycle> &
+    group(isa::FuClass cls)
+    {
+        switch (cls) {
+          case isa::FuClass::IntAlu: return intAlu;
+          case isa::FuClass::IntMult:
+          case isa::FuClass::IntDiv: return intMultDiv;
+          case isa::FuClass::MemPort: return mem;
+          case isa::FuClass::FpAdd: return fpAdd;
+          case isa::FuClass::FpMult:
+          case isa::FuClass::FpDiv: return fpMultDiv;
+          default: hbat_panic("no FU group for this class");
+        }
+    }
 
     std::vector<Cycle> intAlu;
     std::vector<Cycle> intMultDiv;

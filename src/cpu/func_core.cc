@@ -34,13 +34,21 @@ FuncCore::setInt(RegIndex r, RegVal v)
 DynInst
 FuncCore::step()
 {
+    DynInst dyn;
+    stepInto(dyn);
+    return dyn;
+}
+
+void
+FuncCore::stepInto(DynInst &dyn)
+{
     hbat_assert(!isHalted, "step() after halt");
 
     const StaticInst &sc = code->fetch(pc_);
     const Inst &si = sc.inst;
     const isa::OpInfo &info = *sc.info;
 
-    DynInst dyn;
+    dyn = DynInst{};
     dyn.seq = nextSeq++;
     dyn.pc = pc_;
     dyn.op = si.op;
@@ -265,7 +273,6 @@ FuncCore::step()
 
     ++stats_.instructions;
     pc_ = dyn.nextPc;
-    return dyn;
 }
 
 void

@@ -63,6 +63,14 @@ class FuncCore
      */
     DynInst step();
 
+    /**
+     * As step(), but writing the record into @p dyn (reset first) —
+     * lets the pipeline's lookahead refill build records directly in
+     * its ring slots instead of copying 72-byte values through
+     * temporaries on the hottest front-end path.
+     */
+    void stepInto(DynInst &dyn);
+
     /** Architected integer register value (for tests). */
     RegVal intReg(RegIndex r) const { return regs[r]; }
 

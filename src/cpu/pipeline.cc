@@ -1,6 +1,7 @@
 #include "cpu/pipeline.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 #include "obs/trace.hh"
@@ -10,6 +11,7 @@ namespace hbat::cpu
 
 using isa::FuClass;
 using isa::Opcode;
+
 
 Pipeline::Pipeline(const PipeConfig &config, FuncCore &core,
                    tlb::TranslationEngine &engine,
@@ -36,17 +38,32 @@ Pipeline::producerDone(int slot, InstSeq seq) const
 bool
 Pipeline::srcsReady(const Entry &e) const
 {
-    for (int s = 0; s < e.dyn.nSrcs; ++s) {
-        // Out-of-order stores issue on their *address* operands; the
-        // data may arrive later (the paper's model computes store
-        // addresses early so younger loads can proceed). The in-order
-        // model stalls on any register hazard instead.
-        if (!cfg.inOrder && e.dyn.isStore && s == e.dyn.dataSrc)
-            continue;
-        if (!producerDone(e.srcSlot[s], e.srcSeq[s]))
-            return false;
+    // Scoreboard form of "every (scanned) source's producer is done":
+    // dispatchStage seeds srcPending/srcReadyAt from the producers
+    // (skipping the data operand of out-of-order stores, which issue
+    // on their address operands alone) and wakeConsumers() keeps them
+    // current, so no producer needs to be revisited here.
+    return e.srcPending == 0 && e.srcReadyAt <= now;
+}
+
+void
+Pipeline::wakeConsumers(Entry &p)
+{
+    // @p p's completion time just became known: resolve every source
+    // chained on it. Chained consumers are always live — they are
+    // younger than p and commit is in order, so none can have retired
+    // (or had its slot reused) before p completes.
+    for (int link = p.consumerHead; link >= 0;) {
+        Entry &c = rob[link >> 2];
+        const int s = link & 3;
+        link = c.srcNext[s];
+        c.srcNext[s] = -1;
+        if (p.resultCycle > c.srcReadyAt)
+            c.srcReadyAt = p.resultCycle;
+        if (--c.srcPending == 0)
+            setReady(int(&c - rob.data()));
     }
-    return true;
+    p.consumerHead = -1;
 }
 
 bool
@@ -72,6 +89,8 @@ Pipeline::olderAllComplete(size_t rob_pos) const
 bool
 Pipeline::olderStoresIssued(const Entry &load) const
 {
+    if (unissuedStores_ == 0)
+        return true;    // no store anywhere is waiting on its address
     for (int slot : lsq) {
         const Entry &e = rob[slot];
         if (e.dyn.seq >= load.dyn.seq)
@@ -155,6 +174,7 @@ Pipeline::commitStage()
         if (issueScanFrom > 0)
             --issueScanFrom;    // positions shifted down one
         ++stats_.committed;
+        cycleActivity_ = true;
     }
 }
 
@@ -168,11 +188,13 @@ Pipeline::walkStage()
                          std::hex, walkVpn, std::dec);
         engine.fill(walkVpn, now);
         walkActive = false;
+        cycleActivity_ = true;
         for (int slot : lsq) {
             Entry &e = rob[slot];
             if (e.phase == MemPhase::TlbMiss && e.missVpn == walkVpn) {
                 e.phase = MemPhase::WaitXlate;
                 e.xlateFrom = now;
+                --tlbMissPending_;
             }
         }
         // Fall through: another miss may start its walk this cycle.
@@ -181,6 +203,8 @@ Pipeline::walkStage()
     // Start the walk for the oldest outstanding miss once every older
     // instruction has completed ("30 cycle fixed TLB miss latency
     // after earlier-issued instructions complete", Table 1).
+    if (tlbMissPending_ == 0)
+        return;
     for (int slot : lsq) {
         Entry &e = rob[slot];
         if (e.phase != MemPhase::TlbMiss)
@@ -194,6 +218,7 @@ Pipeline::walkStage()
             walkVpn = e.missVpn;
             walkDone = now + cfg.tlbMissLatency;
             ++stats_.tlbWalks;
+            cycleActivity_ = true;
             HBAT_TRACE_EVENT(obs::kTraceWalk, now,
                              "walk start seq=", e.dyn.seq, " vpn=0x",
                              std::hex, e.missVpn, std::dec,
@@ -225,6 +250,7 @@ Pipeline::attemptXlate(Entry &e)
       case tlb::Outcome::Kind::Miss:
         e.phase = MemPhase::TlbMiss;
         e.missVpn = req.vpn;
+        ++tlbMissPending_;
         HBAT_TRACE_EVENT(obs::kTraceXlate, now, "xlate miss seq=",
                          e.dyn.seq, " vpn=0x", std::hex, req.vpn,
                          std::dec);
@@ -258,6 +284,8 @@ Pipeline::attemptXlate(Entry &e)
 void
 Pipeline::memStage()
 {
+    if (lsqActive_ == 0)
+        return;     // no issued memory op is in flight
     for (int slot : lsq) {
         Entry &e = rob[slot];
         if (!e.issued || e.phase == MemPhase::Done)
@@ -270,6 +298,9 @@ Pipeline::memStage()
         if (e.phase == MemPhase::WaitData && storeDataReady(e)) {
             e.resultCycle = std::max(e.xlateReady, now) + 1;
             e.phase = MemPhase::Done;
+            wakeConsumers(e);
+            --lsqActive_;
+            cycleActivity_ = true;
         }
         if (e.phase == MemPhase::WaitFwd) {
             // Complete when the forwarding store has its data (or has
@@ -281,11 +312,15 @@ Pipeline::memStage()
                          s.resultCycle <= now + 1)) {
                 e.resultCycle = std::max(e.xlateReady, now) + 1;
                 e.phase = MemPhase::Done;
+                wakeConsumers(e);
+                --lsqActive_;
+                cycleActivity_ = true;
             }
         }
         if (e.phase == MemPhase::WaitStore &&
             e.blockStoreSeq <= lastCommittedStore) {
             e.phase = MemPhase::WaitPort;
+            cycleActivity_ = true;
         }
         if (e.phase == MemPhase::WaitPort && now >= e.xlateReady &&
             cachePortsUsed < cfg.cachePorts) {
@@ -294,6 +329,9 @@ Pipeline::memStage()
                 dcache.access(e.paddr, false, now);
             e.resultCycle = acc.ready + 1;
             e.phase = MemPhase::Done;
+            wakeConsumers(e);
+            --lsqActive_;
+            cycleActivity_ = true;
         }
     }
 }
@@ -303,6 +341,7 @@ Pipeline::issueMem(Entry &e)
 {
     e.phase = MemPhase::WaitXlate;
     e.xlateFrom = now + 1;
+    ++lsqActive_;
     if (!e.dyn.isLoad)
         return;
 
@@ -335,15 +374,132 @@ Pipeline::issueMem(Entry &e)
     }
 }
 
+bool
+Pipeline::tryIssueEntry(Entry &e, int slot)
+{
+    // The ready-set scan's per-candidate checks, in the same order as
+    // the plain scan: dispatch-to-issue gap, sources, load ordering,
+    // functional unit.
+    if (now <= e.dispatchCycle)
+        return false;
+    if (e.srcReadyAt > now)
+        return false;   // a source completes only in a future cycle
+    if (e.dyn.isLoad && !olderStoresIssued(e))
+        return false;
+    const FuClass fu = e.dyn.fu;
+    if (!fus.acquire(fu, now))
+        return false;
+
+    e.issued = true;
+    e.issueCycle = now;
+    clearReady(slot);
+    --unissuedCount_;
+    if (e.dyn.isStore)
+        --unissuedStores_;
+    ++stats_.issuedOps;
+    cycleActivity_ = true;
+    HBAT_TRACE_EVENT(obs::kTraceIssue, now, "issue seq=", e.dyn.seq,
+                     " op=", isa::opName(e.dyn.op),
+                     e.dyn.isMem() ? " mem" : "");
+
+    if (e.dyn.isMem()) {
+        issueMem(e);
+    } else {
+        e.resultCycle = now + FuPool::totalLatency(fu);
+        wakeConsumers(e);
+        if (e.mispredicted) {
+            // Branch resolution: release the front end after the
+            // misprediction penalty.
+            frontEndBlockedUntil = e.resultCycle + cfg.mispredictPenalty;
+            blockedOnBranch = false;
+        }
+    }
+    return true;
+}
+
+unsigned
+Pipeline::issueFromReadySet()
+{
+    // Walk only the issue candidates (see readySet_), oldest first:
+    // slots robHead..63 precede slots 0..robHead-1 in age order.
+    // Entries woken by an issue made during this very walk join the
+    // set but are not visited from the stale masks — harmless, since
+    // their results arrive in a future cycle and they could not issue
+    // now anyway.
+    unsigned issued = 0;
+    const uint64_t older_mask = ~uint64_t(0) << robHead;
+    uint64_t halves[2] = {readySet_ & older_mask,
+                          readySet_ & ~older_mask};
+    for (uint64_t m : halves) {
+        while (m && issued < cfg.width) {
+            const int slot = std::countr_zero(m);
+            m &= m - 1;
+            if (tryIssueEntry(rob[slot], slot))
+                ++issued;
+        }
+        if (issued >= cfg.width)
+            break;
+    }
+    return issued;
+}
+
+uint64_t *
+Pipeline::blameScan()
+{
+    // Zero-issue cycle: recover the classification the plain
+    // oldest-first scan would produce — the first unissued entry
+    // whose failed check carries a blame (the dispatch-to-issue gap
+    // carries none; such an entry defers to the next). Machine state
+    // is exactly as issueFromReadySet() left it: nothing issued, and
+    // a failed FU acquire reserves nothing, so re-running the checks
+    // gives identical answers. Also advances issueScanFrom past the
+    // issued prefix on the way.
+    size_t pos = issueScanFrom;
+    while (pos < robCount && at(pos).issued)
+        ++pos;
+    issueScanFrom = pos;
+    for (; pos < robCount; ++pos) {
+        Entry &e = at(pos);
+        if (e.issued)
+            continue;
+        if (now <= e.dispatchCycle)
+            continue;
+        if (!srcsReady(e))
+            return &stats_.idleSrcWait;
+        if (e.dyn.isLoad && !olderStoresIssued(e))
+            return &stats_.idleLoadOrder;
+        if (!fus.acquire(e.dyn.fu, now))
+            return &stats_.idleFuBusy;
+        hbat_panic("zero-issue cycle with an issuable entry (seq ",
+                   e.dyn.seq, ")");
+    }
+    return &stats_.idleOther;
+}
+
 void
 Pipeline::issueStage()
 {
     if (walkActive) {
         ++stats_.idleWalk;
         ++stats_.zeroIssueCycles;
+        idleBucketThisCycle_ = &stats_.idleWalk;
         return;     // the software miss handler occupies the pipeline
     }
 
+    if (!cfg.inOrder && rob.size() <= 64) {
+        const unsigned ready_issued = issueFromReadySet();
+        if (ready_issued == 0) {
+            ++stats_.zeroIssueCycles;
+            uint64_t *bucket =
+                unissuedCount_ == 0 ? &stats_.idleEmpty : blameScan();
+            ++*bucket;
+            idleBucketThisCycle_ = bucket;
+        }
+        return;
+    }
+
+    // In-order issue (and the no-ready-set fallback for windows wider
+    // than 64): the plain oldest-first scan.
     unsigned issued = 0;
     bool sawUnissued = false;
     uint64_t *reason = nullptr;
@@ -401,8 +557,13 @@ Pipeline::issueStage()
 
         e.issued = true;
         e.issueCycle = now;
+        clearReady(int(&e - rob.data()));
+        --unissuedCount_;
+        if (e.dyn.isStore)
+            --unissuedStores_;
         ++issued;
         ++stats_.issuedOps;
+        cycleActivity_ = true;
         HBAT_TRACE_EVENT(obs::kTraceIssue, now, "issue seq=", e.dyn.seq,
                          " op=", isa::opName(e.dyn.op),
                          e.dyn.isMem() ? " mem" : "");
@@ -411,6 +572,7 @@ Pipeline::issueStage()
             issueMem(e);
         } else {
             e.resultCycle = now + FuPool::totalLatency(fu);
+            wakeConsumers(e);
             if (e.mispredicted) {
                 // Branch resolution: release the front end after the
                 // misprediction penalty.
@@ -428,12 +590,11 @@ Pipeline::issueStage()
 
     if (issued == 0) {
         ++stats_.zeroIssueCycles;
-        if (!sawUnissued)
-            ++stats_.idleEmpty;
-        else if (reason)
-            ++*reason;
-        else
-            ++stats_.idleOther;
+        uint64_t *bucket = !sawUnissued ? &stats_.idleEmpty
+                           : reason     ? reason
+                                        : &stats_.idleOther;
+        ++*bucket;
+        idleBucketThisCycle_ = bucket;
     }
 }
 
@@ -448,11 +609,13 @@ Pipeline::dispatchStage()
             return;
         if (robCount >= rob.size()) {
             ++stats_.robFullStalls;
+            repeatRobStall_ = true;
             return;
         }
         const DynInst &dyn = fetchQueue.front().dyn;
         if (dyn.isMem() && lsq.size() >= cfg.lsqSize) {
             ++stats_.lsqFullStalls;
+            repeatLsqStall_ = true;
             return;
         }
 
@@ -461,16 +624,55 @@ Pipeline::dispatchStage()
             tail -= rob.size();
         const int slot = int(tail);
         Entry &e = rob[slot];
-        e = Entry{};
+        // Field-wise reset: cheaper than `e = Entry{}` (a ~190-byte
+        // struct store per dispatch). Every field the stages read is
+        // (re)assigned here or in the operand loops below; dstPrev*
+        // defaults matter because the in-order WAW check reads both
+        // elements regardless of nDsts.
         e.dyn = dyn;
         e.valid = true;
+        e.issued = false;
         e.dispatchCycle = now;
+        e.issueCycle = kCycleNever;
+        e.resultCycle = kCycleNever;
+        e.srcPending = 0;
+        e.srcReadyAt = 0;
+        e.consumerHead = -1;
+        e.dstPrevSlot[0] = e.dstPrevSlot[1] = -1;
+        e.dstPrevSeq[0] = e.dstPrevSeq[1] = 0;
+        e.phase = MemPhase::None;
+        e.xlateFrom = 0;
+        e.xlateReady = 0;
+        e.paddr = 0;
+        e.missVpn = 0;
+        e.forwarded = false;
+        e.fwdSlot = -1;
+        e.fwdSeq = 0;
+        e.blockStoreSeq = 0;
         e.mispredicted = fetchQueue.front().mispredicted;
 
         for (int s = 0; s < e.dyn.nSrcs; ++s) {
             const Writer &w = regMap[e.dyn.srcs[s]];
             e.srcSlot[s] = w.slot;
             e.srcSeq[s] = w.seq;
+            // Seed the issue-readiness scoreboard (srcsReady()):
+            // known completion times fold into srcReadyAt; producers
+            // still in flight get this entry chained for wake-up.
+            if (!cfg.inOrder && e.dyn.isStore && s == e.dyn.dataSrc)
+                continue;
+            if (w.slot < 0)
+                continue;
+            Entry &p = rob[w.slot];
+            if (!p.valid || p.dyn.seq != w.seq)
+                continue;   // producer already retired
+            if (p.resultCycle != kCycleNever) {
+                if (p.resultCycle > e.srcReadyAt)
+                    e.srcReadyAt = p.resultCycle;
+            } else {
+                e.srcNext[s] = p.consumerHead;
+                p.consumerHead = slot * 4 + s;
+                ++e.srcPending;
+            }
         }
         for (int d = 0; d < e.dyn.nDsts; ++d) {
             Writer &w = regMap[e.dyn.dsts[d]];
@@ -480,18 +682,30 @@ Pipeline::dispatchStage()
             w.seq = e.dyn.seq;
         }
 
-        if (e.dyn.isMem())
+        ++unissuedCount_;
+        if (e.srcPending == 0)
+            setReady(slot);
+        else
+            clearReady(slot);
+
+        if (e.dyn.isMem()) {
             lsq.push_back(slot);
+            if (e.dyn.isStore)
+                ++unissuedStores_;
+        }
         ++robCount;
         fetchQueue.pop_front();
+        cycleActivity_ = true;
     }
 }
 
 void
 Pipeline::refillLookahead()
 {
-    while (lookahead.size() < 2 * cfg.width && !core.halted())
-        lookahead.push_back(core.step());
+    while (lookahead.size() < 2 * cfg.width && !core.halted()) {
+        core.stepInto(lookahead.emplace_back());
+        cycleActivity_ = true;
+    }
 }
 
 void
@@ -512,10 +726,13 @@ Pipeline::fetchStage()
     const cache::CacheAccess iacc =
         icache.access(lookahead.front().pc, false, now);
     const Cycle availAt = iacc.ready + 1;
-    if (!iacc.hit)
+    if (!iacc.hit) {
         frontEndBlockedUntil = iacc.ready;
+        cycleActivity_ = true;
+    }
 
     unsigned controls = 0;
+    unsigned pushed = 0;
     for (unsigned n = 0; n < cfg.width; ++n) {
         if (lookahead.empty())
             break;
@@ -545,8 +762,13 @@ Pipeline::fetchStage()
         HBAT_TRACE_EVENT(obs::kTraceFetch, now, "fetch seq=", d.seq,
                          " pc=0x", std::hex, d.pc, std::dec, " op=",
                          isa::opName(d.op), mispred ? " mispred" : "");
-        fetchQueue.push_back(Fetched{d, availAt, mispred});
+        Fetched &f = fetchQueue.emplace_back();
+        f.dyn = d;
+        f.availAt = availAt;
+        f.mispredicted = mispred;
         lookahead.pop_front();
+        ++pushed;
+        cycleActivity_ = true;
 
         if (mispred) {
             blockedOnBranch = true;
@@ -557,12 +779,72 @@ Pipeline::fetchStage()
         if (isCtrl && controls >= 2)
             break;
     }
+
+    // A full fetch queue leaves fetch re-reading the same resident
+    // I-cache block every cycle: a pure hit with no pushes is a
+    // repeatable per-cycle pattern a skipped span can replay in bulk
+    // (recordRepeatHits). A miss or MSHR merge changed state above.
+    if (iacc.hit && pushed == 0) {
+        repeatIcacheHit_ = true;
+        repeatIcachePc_ = lookahead.front().pc;
+    }
 }
 
 bool
 Pipeline::done() const
 {
     return haltCommitted;
+}
+
+Cycle
+Pipeline::nextEventCycle()
+{
+    // As soon as any threshold lands on now + 1 the caller cannot
+    // skip (a span needs t > now + 1), so bail out immediately — the
+    // common case on cycles that are quiescent for exactly one cycle.
+    const Cycle limit = now + 1;
+    Cycle t = kCycleNever;
+    const auto consider = [&](Cycle c) {
+        if (c > now && c < t)
+            t = c;
+        return t == limit;
+    };
+
+    if (walkActive && consider(walkDone))
+        return t;
+
+    for (size_t pos = 0; pos < robCount; ++pos) {
+        const Entry &e = at(pos);
+        if (e.resultCycle != kCycleNever) {
+            // Completion unblocks commit, dependent issue, and the
+            // walk's older-all-complete gate; WaitFwd loads test
+            // `resultCycle <= now + 1`, hence the minus-one.
+            if (consider(e.resultCycle - 1) || consider(e.resultCycle))
+                return t;
+        }
+        if (!e.issued && consider(e.dispatchCycle + 1))
+            return t;   // dispatch-to-issue gap
+        if (e.phase == MemPhase::WaitXlate) {
+            if (consider(e.xlateFrom))
+                return t;
+        } else if (e.phase == MemPhase::WaitPort) {
+            if (consider(e.xlateReady))
+                return t;
+        }
+    }
+
+    if (!fetchQueue.empty() && consider(fetchQueue.front().availAt))
+        return t;
+    if (consider(frontEndBlockedUntil))
+        return t;
+    if (consider(fus.nextFreeCycle(now)))
+        return t;
+    if (consider(icache.nextFillCycle(now)))
+        return t;
+    if (consider(dcache.nextFillCycle(now)))
+        return t;
+    consider(engine.nextEventCycle(now));
+    return t;
 }
 
 PipeStats
@@ -579,6 +861,11 @@ Pipeline::run(uint64_t max_insts)
         engine.beginCycle(now);
         cachePortsUsed = 0;
         memReqsThisCycle = 0;
+        cycleActivity_ = false;
+        idleBucketThisCycle_ = nullptr;
+        repeatRobStall_ = false;
+        repeatLsqStall_ = false;
+        repeatIcacheHit_ = false;
 
         commitStage();
         walkStage();
@@ -596,6 +883,40 @@ Pipeline::run(uint64_t max_insts)
         hbat_assert(now - lastCommitCycle < 200000,
                     "pipeline deadlock at cycle ", now, " (committed ",
                     stats_.committed, ")");
+
+        // Idle-cycle skip (DESIGN.md §9). A cycle with no activity and
+        // no translation requests is a template: with all inputs to the
+        // stages' time comparisons frozen, every cycle before the next
+        // event would replay it bit for bit. Jump there, bulk-adding
+        // the per-cycle deltas the replays would have made. With
+        // skipping off, still detect and count each span once (guarded
+        // by skipAccountedUntil_) so skip stats are mode-invariant.
+        if (!cycleActivity_ && memReqsThisCycle == 0 &&
+            now >= skipAccountedUntil_) {
+            const Cycle t = nextEventCycle();
+            if (t != kCycleNever && t > now + 1) {
+                const uint64_t n = t - now - 1;
+                stats_.skippedCycles += n;
+                stats_.skipLength.record(n);
+                if (cfg.idleSkip) {
+                    hbat_assert(idleBucketThisCycle_,
+                                "quiescent cycle with no idle blame");
+                    stats_.memPerCycle.recordMany(0, n);
+                    stats_.zeroIssueCycles += n;
+                    *idleBucketThisCycle_ += n;
+                    if (repeatRobStall_)
+                        stats_.robFullStalls += n;
+                    if (repeatLsqStall_)
+                        stats_.lsqFullStalls += n;
+                    if (repeatIcacheHit_)
+                        icache.recordRepeatHits(repeatIcachePc_, n,
+                                                t - 1);
+                    now += n;
+                } else {
+                    skipAccountedUntil_ = t;
+                }
+            }
+        }
         ++now;
     }
 
@@ -641,6 +962,13 @@ registerStats(obs::StatRegistry &reg, const std::string &prefix,
                s.lsqFullStalls);
     reg.scalar(prefix + ".zero_issue_cycles",
                "cycles that issued nothing", s.zeroIssueCycles);
+    reg.scalar(prefix + ".skipped_cycles",
+               "idle cycles accounted in bulk instead of simulated "
+               "(detected even with skipping off)",
+               s.skippedCycles);
+    reg.histogram(prefix + ".skip_length",
+                  "lengths of skippable idle spans (cycles)",
+                  s.skipLength);
     reg.vector(prefix + ".idle",
                "zero-issue cycle classification by cause",
                {"empty", "src_wait", "fu_busy", "load_order", "walk",

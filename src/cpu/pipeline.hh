@@ -56,6 +56,14 @@ struct PipeConfig
     unsigned cachePorts = 4;        ///< D-cache ports per cycle
     Cycle mispredictPenalty = 3;
     Cycle tlbMissLatency = 30;
+
+    /**
+     * Jump the clock over provably idle spans (see DESIGN.md §9).
+     * Pure host-side speed: every reported statistic is bit-identical
+     * with skipping off — the skipped cycles' stat deltas are
+     * bulk-accounted instead of simulated one by one.
+     */
+    bool idleSkip = true;
     FuPoolConfig fus;
     cache::CacheConfig icache;
     cache::CacheConfig dcache;
@@ -74,6 +82,18 @@ struct PipeStats
     uint64_t tlbWalks = 0;
     uint64_t robFullStalls = 0;
     uint64_t lsqFullStalls = 0;
+
+    /// @name Idle-cycle skipping (host-side; identical in both modes)
+    /// @{
+    /**
+     * Cycles accounted in bulk instead of simulated. With skipping
+     * disabled the pipeline still *detects* every skippable span and
+     * counts it here (it just simulates the cycles anyway), so this
+     * pair of stats — like all others — is mode-invariant.
+     */
+    uint64_t skippedCycles = 0;
+    obs::Histogram skipLength{32};  ///< span lengths, buckets 0..30 + overflow
+    /// @}
 
     /// @name Zero-issue cycle classification (diagnostics)
     /// @{
@@ -168,6 +188,23 @@ class Pipeline
         // Producers of each source (ROB slot + seq for liveness).
         int srcSlot[3] = {-1, -1, -1};
         InstSeq srcSeq[3] = {0, 0, 0};
+
+        /**
+         * Issue-readiness scoreboard. At dispatch, sources whose
+         * producer already has a completion time fold it into
+         * srcReadyAt; the rest are pending — the entry sits on each
+         * such producer's consumer chain and srcPending counts them.
+         * wakeConsumers() resolves a pending source the moment the
+         * producer's resultCycle becomes known (ALU issue, memory
+         * Done), so srcsReady() is the O(1) test
+         * `srcPending == 0 && srcReadyAt <= now` instead of a
+         * pointer-chasing poll over the producers every scan.
+         */
+        uint8_t srcPending = 0;
+        Cycle srcReadyAt = 0;   ///< max known producer resultCycle
+        int consumerHead = -1;  ///< head of my consumer chain
+        /** Chain links, one per source: next (slot * 4 + src). */
+        int srcNext[3] = {-1, -1, -1};
         // Previous writers of each destination (in-order WAW check).
         int dstPrevSlot[2] = {-1, -1};
         InstSeq dstPrevSeq[2] = {0, 0};
@@ -199,6 +236,10 @@ class Pipeline
     /// @}
 
     bool srcsReady(const Entry &e) const;
+    void wakeConsumers(Entry &p);
+    unsigned issueFromReadySet();
+    bool tryIssueEntry(Entry &e, int slot);
+    uint64_t *blameScan();
     bool storeDataReady(const Entry &e) const;
     bool producerDone(int slot, InstSeq seq) const;
     bool olderAllComplete(size_t rob_pos) const;
@@ -207,6 +248,18 @@ class Pipeline
     void issueMem(Entry &e);
     bool done() const;
     void refillLookahead();
+
+    /**
+     * The earliest future cycle at which any time-comparison in the
+     * stage code can change its answer: walk completion, every
+     * in-flight result (and result minus one, for the forwarding
+     * look-ahead), translation request/ready cycles, fetch-queue
+     * availability, front-end unblock, FU frees, cache fills, and the
+     * engine's own hook. With the machine quiescent, every cycle
+     * strictly before the returned value is a bit-identical repeat of
+     * the current one. kCycleNever when nothing is pending.
+     */
+    Cycle nextEventCycle();
 
     /**
      * The ROB entry @p pos slots past the head. @p pos is always less
@@ -263,6 +316,52 @@ class Pipeline
     // construction, so the cycle loop never touches the heap.
     RingQueue<int> lsq;
 
+    /**
+     * LSQ entries in TlbMiss phase. Lets walkStage skip its
+     * oldest-miss scan on the (common) cycles with no miss pending.
+     */
+    unsigned tlbMissPending_ = 0;
+
+    /**
+     * Issued LSQ entries not yet Done. Lets memStage return
+     * immediately on cycles with no memory op in flight.
+     */
+    unsigned lsqActive_ = 0;
+
+    /**
+     * Dispatched stores whose address has not issued yet. When zero,
+     * olderStoresIssued() is trivially true and skips its LSQ scan.
+     */
+    unsigned unissuedStores_ = 0;
+
+    /** Dispatched entries not yet issued (all classes). */
+    unsigned unissuedCount_ = 0;
+
+    /**
+     * Issue candidates: bit(slot) is set iff the entry is live,
+     * unissued, and has no pending source (srcPending == 0). The
+     * out-of-order issue scan walks only these bits oldest-first
+     * (rotating the word by robHead) instead of visiting every window
+     * entry — the blocked majority of the window costs nothing per
+     * cycle. Kept exact by dispatchStage (seed), wakeConsumers()
+     * (srcPending hits zero), and issue (clear); used only when the
+     * window fits one word (robSize <= 64, the only configuration in
+     * use — larger windows fall back to the plain scan).
+     */
+    uint64_t readySet_ = 0;
+
+    void
+    setReady(int slot)
+    {
+        readySet_ |= uint64_t(1) << (unsigned(slot) & 63);
+    }
+
+    void
+    clearReady(int slot)
+    {
+        readySet_ &= ~(uint64_t(1) << (unsigned(slot) & 63));
+    }
+
     // Fetch.
     struct Fetched
     {
@@ -283,6 +382,28 @@ class Pipeline
     Cycle now = 0;
     unsigned cachePortsUsed = 0;
     unsigned memReqsThisCycle = 0;  ///< translation demand (Figure 3)
+
+    /// @name Idle-skip bookkeeping (reset every cycle by run())
+    /// @{
+    /** Any state-changing work this cycle: commits, walk start/done,
+     *  memory phase transitions, issues, dispatches, fetch pushes,
+     *  core steps, I-cache misses. A cycle with no activity and no
+     *  translation requests is a skippable template. */
+    bool cycleActivity_ = false;
+    /** The idle.* counter issueStage bumped this cycle (null when
+     *  something issued) — the bucket a skipped span extends. */
+    uint64_t *idleBucketThisCycle_ = nullptr;
+    /** Per-cycle counter bumps that repeat identically in every cycle
+     *  of a quiescent span (allowed in a template; replayed n times
+     *  when the span is skipped). */
+    bool repeatRobStall_ = false;
+    bool repeatLsqStall_ = false;
+    bool repeatIcacheHit_ = false;  ///< fetch re-read one resident block
+    PAddr repeatIcachePc_ = 0;
+    /** With skipping disabled: end of the already-counted span, so the
+     *  simulated cycles inside it don't re-record skip stats. */
+    Cycle skipAccountedUntil_ = 0;
+    /// @}
 
     /// Rename map: last dispatched writer of each unified register.
     struct Writer

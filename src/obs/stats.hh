@@ -54,6 +54,18 @@ class Histogram
         sum_ += value * count;
     }
 
+    /**
+     * Record @p count samples of @p value in one step — exactly
+     * equivalent to @p count calls of record(value), in O(1). The
+     * pipeline's idle-cycle skipping uses this to bulk-account the
+     * demand histogram for spans of provably identical cycles.
+     */
+    void
+    recordMany(uint64_t value, uint64_t count)
+    {
+        record(value, count);
+    }
+
     uint64_t samples() const { return samples_; }
     uint64_t sum() const { return sum_; }
 

@@ -54,6 +54,14 @@ struct SimConfig
     bool pageMru = true;
 
     /**
+     * Enable the pipeline's event-driven idle-cycle skipping (another
+     * pure host-side optimization, DESIGN.md §9). Off only for A/B
+     * debugging (--no-skip): every statistic — including the skip
+     * counters themselves — must be identical either way.
+     */
+    bool idleSkip = true;
+
+    /**
      * Destination for this run's trace events (see obs/trace.hh);
      * nullptr uses the process default sink (stderr). Concurrent runs
      * can each point at their own sink to keep event streams apart.

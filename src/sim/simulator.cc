@@ -38,7 +38,8 @@ SimResult
 simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    const EngineFactory &make_engine,
                    const std::string &design_label,
-                   std::shared_ptr<const cpu::StaticCode> code)
+                   std::shared_ptr<const cpu::StaticCode> code,
+                   std::shared_ptr<const vm::ProgramImage> image)
 {
     RunScope scope;
 
@@ -50,14 +51,17 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
     // Everything below is built fresh per run from (prog, cfg); the
     // only inputs shared with other runs are the immutable program
     // image and the read-only configuration.
-    vm::AddressSpace space{vm::PageParams(cfg.pageBytes), cfg.pageMru};
-    space.load(prog);
+    vm::AddressSpace space{vm::PageParams(cfg.pageBytes), cfg.pageMru,
+                           std::move(image)};
+    if (!space.hasImage())
+        space.load(prog);
 
     cpu::FuncCore core(space, prog, std::move(code));
     auto engine = make_engine(space.pageTable());
 
     cpu::PipeConfig pipe_cfg;
     pipe_cfg.inOrder = cfg.inOrder;
+    pipe_cfg.idleSkip = cfg.idleSkip;
 
     cpu::Pipeline pipe(pipe_cfg, core, *engine, space.params());
 
@@ -82,14 +86,15 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
 
 SimResult
 simulate(const kasm::Program &prog, const SimConfig &cfg,
-         std::shared_ptr<const cpu::StaticCode> code)
+         std::shared_ptr<const cpu::StaticCode> code,
+         std::shared_ptr<const vm::ProgramImage> image)
 {
     return simulateWithEngine(
         prog, cfg,
         [&](vm::PageTable &pt) {
             return tlb::makeEngine(cfg.design, pt, cfg.seed);
         },
-        tlb::designName(cfg.design), std::move(code));
+        tlb::designName(cfg.design), std::move(code), std::move(image));
 }
 
 } // namespace hbat::sim

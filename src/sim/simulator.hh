@@ -34,6 +34,7 @@
 #include "cpu/pipeline.hh"
 #include "kasm/program.hh"
 #include "sim/sim_config.hh"
+#include "vm/program_image.hh"
 
 namespace hbat::sim
 {
@@ -66,9 +67,16 @@ struct SimResult
  *     runs (see cpu::StaticCode); null decodes privately. Sweeps
  *     should build one per program so text is decoded once, not once
  *     per (program, design) cell.
+ * @param image optional shared page image of @p prog (see
+ *     vm::ProgramImage); null loads the program into the address
+ *     space privately. Must be built from @p prog with the same page
+ *     size as cfg.pageBytes. Sweeps should build one per program so
+ *     the pages are written once, then cloned copy-on-write per cell.
  */
-SimResult simulate(const kasm::Program &prog, const SimConfig &cfg,
-                   std::shared_ptr<const cpu::StaticCode> code = nullptr);
+SimResult
+simulate(const kasm::Program &prog, const SimConfig &cfg,
+         std::shared_ptr<const cpu::StaticCode> code = nullptr,
+         std::shared_ptr<const vm::ProgramImage> image = nullptr);
 
 /**
  * The number of simulate()/simulateWithEngine() calls currently in
@@ -91,7 +99,8 @@ SimResult
 simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    const EngineFactory &make_engine,
                    const std::string &design_label,
-                   std::shared_ptr<const cpu::StaticCode> code = nullptr);
+                   std::shared_ptr<const cpu::StaticCode> code = nullptr,
+                   std::shared_ptr<const vm::ProgramImage> image = nullptr);
 
 } // namespace hbat::sim
 

@@ -175,6 +175,25 @@ class TranslationEngine
      */
     virtual bool observesRegWrites() const { return false; }
 
+    /**
+     * Next-event query for the pipeline's idle-cycle skipping: the
+     * earliest cycle after @p now at which this engine changes state
+     * *on its own* (without a request(), fill(), or invalidate() call
+     * reaching it). Every current design is purely reactive — queued
+     * base-TLB trips are returned to the pipeline as `ready` cycles
+     * inside Outcome, and per-cycle port state is rebuilt from scratch
+     * by beginCycle() — so the default (never) is correct for all of
+     * them. Grant cursors (the cycle the next queued port grant
+     * *would* land if a request arrived) must NOT be reported here:
+     * they track now+1 during idle spans and would pin the clock.
+     */
+    virtual Cycle
+    nextEventCycle(Cycle now) const
+    {
+        (void)now;
+        return kCycleNever;
+    }
+
     const XlateStats &stats() const { return stats_; }
 
     /**

@@ -5,27 +5,70 @@
 namespace hbat::vm
 {
 
-AddressSpace::AddressSpace(PageParams params, bool mru_enabled)
-    : pt(params), mruEnabled(mru_enabled)
-{}
+AddressSpace::AddressSpace(PageParams params, bool mru_enabled,
+                           std::shared_ptr<const ProgramImage> image)
+    : pt(params), image_(std::move(image)), mruEnabled(mru_enabled)
+{
+    hbat_assert(!image_ || image_->params().bytes() == params.bytes(),
+                "program image page size does not match address space");
+}
 
 uint8_t *
-AddressSpace::pagePtrSlow(Vpn vpn)
+AddressSpace::materialize(Vpn vpn)
+{
+    auto page = std::make_unique<uint8_t[]>(pt.params().bytes());
+    const uint8_t *src = image_ ? image_->page(vpn) : nullptr;
+    if (src) {
+        std::memcpy(page.get(), src, pt.params().bytes());
+        ++cowPages_;    // this page now counts as private, not shared
+    } else {
+        std::memset(page.get(), 0, pt.params().bytes());
+    }
+    uint8_t *const ptr = page.get();
+    pages.emplace(vpn, std::move(page));
+    // Materialization invalidates every cached resolution (cheap:
+    // once per touched page) so the cache never outlives a
+    // hypothetical page drop/remap.
+    for (MruEntry &e : mru)
+        e = MruEntry{};
+    return ptr;
+}
+
+const uint8_t *
+AddressSpace::readPtrSlow(Vpn vpn)
 {
     auto it = pages.find(vpn);
-    if (it == pages.end()) {
-        auto page = std::make_unique<uint8_t[]>(pt.params().bytes());
-        std::memset(page.get(), 0, pt.params().bytes());
-        it = pages.emplace(vpn, std::move(page)).first;
-        // Materialization invalidates every cached resolution (cheap:
-        // once per touched page) so the cache never outlives a
-        // hypothetical page drop/remap.
-        for (MruEntry &e : mru)
-            e = MruEntry{};
+    if (it != pages.end()) {
+        if (mruEnabled)
+            mru[vpn & (kMruEntries - 1)] =
+                MruEntry{vpn, it->second.get(), true};
+        return it->second.get();
     }
+    if (image_) {
+        if (const uint8_t *p = image_->page(vpn)) {
+            // Reads may use the shared page directly; the cast is safe
+            // because the read-only flag keeps writes off it.
+            uint8_t *q = const_cast<uint8_t *>(p);
+            if (mruEnabled)
+                mru[vpn & (kMruEntries - 1)] = MruEntry{vpn, q, false};
+            return p;
+        }
+    }
+    uint8_t *const ptr = materialize(vpn);
     if (mruEnabled)
-        mru[vpn & (kMruEntries - 1)] = MruEntry{vpn, it->second.get()};
-    return it->second.get();
+        mru[vpn & (kMruEntries - 1)] = MruEntry{vpn, ptr, true};
+    return ptr;
+}
+
+uint8_t *
+AddressSpace::writePtrSlow(Vpn vpn)
+{
+    auto it = pages.find(vpn);
+    uint8_t *const ptr =
+        it != pages.end() ? it->second.get() : materialize(vpn);
+    if (mruEnabled)
+        mru[vpn & (kMruEntries - 1)] = MruEntry{vpn, ptr, true};
+    return ptr;
 }
 
 void

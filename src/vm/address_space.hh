@@ -18,6 +18,7 @@
 
 #include "kasm/program.hh"
 #include "vm/page_table.hh"
+#include "vm/program_image.hh"
 
 namespace hbat::vm
 {
@@ -31,12 +32,23 @@ class AddressSpace
      * @param mru_enabled enable the MRU page-pointer cache in front
      *     of the page map (off only for determinism cross-checks; the
      *     cache is invisible to all simulated state)
+     * @param image optional shared, immutable program image standing
+     *     in for load(): reads are served from its pages directly and
+     *     the first write to an image page copies it privately
+     *     (copy-on-write). Callers pass either an image or a load()
+     *     call, not both; the image's page geometry must match
+     *     @p params.
      */
-    explicit AddressSpace(PageParams params = PageParams{},
-                          bool mru_enabled = true);
+    explicit AddressSpace(
+        PageParams params = PageParams{}, bool mru_enabled = true,
+        std::shared_ptr<const ProgramImage> image = nullptr);
 
     /** Copy a program's text and data into memory. */
     void load(const kasm::Program &prog);
+
+    /** True when a shared program image backs this space (no load()
+     *  needed — the image's pages serve reads directly). */
+    bool hasImage() const { return image_ != nullptr; }
 
     const PageParams &params() const { return pt.params(); }
     PageTable &pageTable() { return pt; }
@@ -60,8 +72,18 @@ class AddressSpace
     /** Write the low @p size bytes of @p v. */
     void write(VAddr va, uint64_t v, unsigned size);
 
-    /** Number of data pages materialized so far. */
-    uint64_t touchedPages() const { return pages.size(); }
+    /**
+     * Number of distinct pages the process occupies: privately
+     * materialized pages plus shared image pages not (yet) copied.
+     * Exactly what a load()-based space would report — whether a page
+     * is still shared or already copied is invisible here.
+     */
+    uint64_t
+    touchedPages() const
+    {
+        return pages.size() +
+               (image_ ? image_->pageCount() - cowPages_ : 0);
+    }
 
   private:
     /**
@@ -71,21 +93,36 @@ class AddressSpace
      * paper's MRU translation reuse: the translation stream is highly
      * local, so most functional accesses skip the hash lookup
      * entirely. Page storage never moves once materialized (the map
-     * holds owning pointers to stable arrays), so cached pointers
-     * stay valid; the cache is nonetheless invalidated wholesale
-     * whenever a page materializes, keeping it trivially correct
-     * should pages ever be dropped or remapped.
+     * and the shared image hold owning pointers to stable arrays), so
+     * cached pointers stay valid; the cache is nonetheless
+     * invalidated wholesale whenever a page materializes, keeping it
+     * trivially correct should pages ever be dropped or remapped.
+     *
+     * Reads may resolve to a read-only page of the shared image
+     * (cached with writable = false); writes demand a private page,
+     * copying the image page on first write (copy-on-write).
      */
-    uint8_t *
-    pagePtr(Vpn vpn)
+    const uint8_t *
+    readPtr(Vpn vpn)
     {
         MruEntry &e = mru[vpn & (kMruEntries - 1)];
         if (e.ptr != nullptr && e.vpn == vpn) [[likely]]
             return e.ptr;
-        return pagePtrSlow(vpn);
+        return readPtrSlow(vpn);
     }
 
-    uint8_t *pagePtrSlow(Vpn vpn);
+    uint8_t *
+    writePtr(Vpn vpn)
+    {
+        MruEntry &e = mru[vpn & (kMruEntries - 1)];
+        if (e.ptr != nullptr && e.vpn == vpn && e.writable) [[likely]]
+            return e.ptr;
+        return writePtrSlow(vpn);
+    }
+
+    const uint8_t *readPtrSlow(Vpn vpn);
+    uint8_t *writePtrSlow(Vpn vpn);
+    uint8_t *materialize(Vpn vpn);
 
     template <typename T>
     T
@@ -94,7 +131,7 @@ class AddressSpace
         hbat_assert(va % sizeof(T) == 0,
                     "misaligned ", sizeof(T), "-byte read at ", va);
         const uint8_t *p =
-            pagePtr(pt.params().vpn(va)) + pt.params().offset(va);
+            readPtr(pt.params().vpn(va)) + pt.params().offset(va);
         T v;
         __builtin_memcpy(&v, p, sizeof(T));
         return v;
@@ -107,7 +144,7 @@ class AddressSpace
         hbat_assert(va % sizeof(T) == 0,
                     "misaligned ", sizeof(T), "-byte write at ", va);
         uint8_t *p =
-            pagePtr(pt.params().vpn(va)) + pt.params().offset(va);
+            writePtr(pt.params().vpn(va)) + pt.params().offset(va);
         __builtin_memcpy(p, &v, sizeof(T));
     }
 
@@ -116,6 +153,7 @@ class AddressSpace
     {
         Vpn vpn = 0;
         uint8_t *ptr = nullptr;
+        bool writable = false;  ///< false: shared image page (reads only)
     };
 
     /** MRU cache size; a power of two (direct-mapped on low bits). */
@@ -123,6 +161,8 @@ class AddressSpace
 
     PageTable pt;
     std::unordered_map<Vpn, std::unique_ptr<uint8_t[]>> pages;
+    std::shared_ptr<const ProgramImage> image_;
+    uint64_t cowPages_ = 0;     ///< image pages copied privately
     MruEntry mru[kMruEntries];
     bool mruEnabled;
 };

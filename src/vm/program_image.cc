@@ -1,0 +1,40 @@
+#include "vm/program_image.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace hbat::vm
+{
+
+ProgramImage::ProgramImage(const kasm::Program &prog, PageParams params)
+    : params_(params)
+{
+    const auto pageOf = [&](Vpn vpn) -> uint8_t * {
+        auto it = pages_.find(vpn);
+        if (it == pages_.end()) {
+            auto page = std::make_unique<uint8_t[]>(params_.bytes());
+            std::memset(page.get(), 0, params_.bytes());
+            it = pages_.emplace(vpn, std::move(page)).first;
+        }
+        return it->second.get();
+    };
+
+    // Mirror AddressSpace::load() exactly: one aligned word per text
+    // slot (words never straddle a page), one byte per data byte.
+    for (size_t i = 0; i < prog.text.size(); ++i) {
+        const VAddr va = prog.textBase + i * 4;
+        hbat_assert(va % 4 == 0, "misaligned text word at ", va);
+        const uint32_t w = prog.text[i];
+        __builtin_memcpy(pageOf(params_.vpn(va)) + params_.offset(va),
+                         &w, 4);
+    }
+    for (const kasm::DataSegment &seg : prog.data) {
+        for (size_t i = 0; i < seg.bytes.size(); ++i) {
+            const VAddr va = seg.base + i;
+            pageOf(params_.vpn(va))[params_.offset(va)] = seg.bytes[i];
+        }
+    }
+}
+
+} // namespace hbat::vm

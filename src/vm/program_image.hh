@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Immutable page-level image of a loaded program.
+ *
+ * A design sweep runs the same program through many machine
+ * configurations; before this class each cell re-executed
+ * AddressSpace::load() — one write per text word and data byte — 13
+ * times per program. A ProgramImage is built once per (program, page
+ * geometry) pair and shared read-only across cells: it holds exactly
+ * the pages load() would materialize, with identical contents, and
+ * each cell's AddressSpace copies a page privately only when it first
+ * writes to it (copy-on-write).
+ *
+ * Deliberately *not* shared: the page table. Physical frame numbers
+ * are handed out in first-reference order by PageTable::lookup(), and
+ * that order is driven by each design's timing — pre-populating a
+ * shared "skeleton" would reassign PPNs and change reported
+ * statistics. Only byte storage, which is order-independent, lives
+ * here.
+ */
+
+#ifndef HBAT_VM_PROGRAM_IMAGE_HH
+#define HBAT_VM_PROGRAM_IMAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "kasm/program.hh"
+#include "vm/paging.hh"
+
+namespace hbat::vm
+{
+
+/** The text/data pages of one program, frozen after construction. */
+class ProgramImage
+{
+  public:
+    /** Build the pages @p prog's load() would touch, with identical
+     *  contents (zero-filled gaps included). */
+    ProgramImage(const kasm::Program &prog, PageParams params);
+
+    const PageParams &params() const { return params_; }
+
+    /** The page holding @p vpn, or nullptr when load() never touched
+     *  it. The storage is immutable and outlives every reader. */
+    const uint8_t *
+    page(Vpn vpn) const
+    {
+        auto it = pages_.find(vpn);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    /** Number of pages in the image. */
+    uint64_t pageCount() const { return pages_.size(); }
+
+  private:
+    PageParams params_;
+    std::unordered_map<Vpn, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+} // namespace hbat::vm
+
+#endif // HBAT_VM_PROGRAM_IMAGE_HH

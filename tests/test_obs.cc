@@ -192,6 +192,25 @@ TEST(Histogram, BucketsExactValuesAndOverflow)
     EXPECT_EQ(h.bucket(1), 0u);
 }
 
+TEST(Histogram, RecordManyEqualsRepeatedRecord)
+{
+    // The idle-skip bulk accounting contract: recordMany(v, n) must
+    // leave the histogram indistinguishable from n record(v) calls,
+    // for exact buckets, the overflow bucket, and n == 0.
+    obs::Histogram bulk(8), serial(8);
+    const uint64_t cases[][2] = {
+        {0, 5}, {3, 1}, {7, 4}, {100, 12}, {2, 0}, {1, 1000000}};
+    for (const auto &c : cases) {
+        bulk.recordMany(c[0], c[1]);
+        for (uint64_t i = 0; i < c[1]; ++i)
+            serial.record(c[0]);
+    }
+    EXPECT_EQ(bulk.samples(), serial.samples());
+    EXPECT_EQ(bulk.sum(), serial.sum());
+    EXPECT_EQ(bulk.buckets(), serial.buckets());
+    EXPECT_DOUBLE_EQ(bulk.mean(), serial.mean());
+}
+
 // --------------------------------------------------------------- trace
 
 TEST(Trace, CategoryParsingAndGating)

@@ -10,9 +10,11 @@
 
 #include "cpu/pipeline.hh"
 #include "kasm/program_builder.hh"
+#include "sim/simulator.hh"
 #include "tlb/design.hh"
 #include "tlb/multiported.hh"
 #include "vm/address_space.hh"
+#include "workloads/workloads.hh"
 
 namespace
 {
@@ -363,6 +365,76 @@ TEST(Pipeline, ZeroIssueCyclesFullyClassified)
                 EXPECT_LE(r.stats.zeroIssueCycles, r.stats.cycles);
             }
         }
+    }
+}
+
+/**
+ * The idle-skip contract (pipeline.hh): every run with skipping on
+ * reports the exact statistics of the same run with skipping off.
+ * Only the skip counters themselves (pipe.skipped_cycles and the
+ * pipe.skip_length histogram, zero with skipping off) may differ.
+ */
+void
+expectSkipInvariant(const kasm::Program &prog, sim::SimConfig cfg)
+{
+    cfg.idleSkip = false;
+    const sim::SimResult ref = sim::simulate(prog, cfg);
+    cfg.idleSkip = true;
+    const sim::SimResult fast = sim::simulate(prog, cfg);
+
+    EXPECT_GT(fast.pipe.skippedCycles, 0u)
+        << "stress programs must have skippable idle spans";
+    ASSERT_EQ(ref.stats.size(), fast.stats.size());
+    for (size_t i = 0; i < ref.stats.size(); ++i) {
+        const obs::StatValue &a = ref.stats[i];
+        const obs::StatValue &b = fast.stats[i];
+        SCOPED_TRACE(a.name);
+        EXPECT_EQ(a.name, b.name);
+        if (a.name == "pipe.skipped_cycles" ||
+            a.name == "pipe.skip_length") {
+            continue;
+        }
+        EXPECT_EQ(a.value, b.value);
+        EXPECT_EQ(a.values, b.values);
+        EXPECT_EQ(a.samples, b.samples);
+        EXPECT_EQ(a.mean, b.mean);
+    }
+}
+
+TEST(Pipeline, IdleSkipIsStatisticsInvariantAcrossDesigns)
+{
+    // Every design, two programs with different idle profiles
+    // (espresso: branchy integer; tomcatv: FP with long memory
+    // stalls, the heaviest skip user).
+    for (const char *name : {"espresso", "tomcatv"}) {
+        const kasm::Program prog =
+            workloads::build(name, kasm::RegBudget{32, 32}, 0.02);
+        for (const tlb::Design d : tlb::allDesigns()) {
+            SCOPED_TRACE(std::string(name) + " " + tlb::designName(d));
+            sim::SimConfig cfg;
+            cfg.design = d;
+            expectSkipInvariant(prog, cfg);
+        }
+    }
+}
+
+TEST(Pipeline, IdleSkipIsStatisticsInvariantInOrderAnd8k)
+{
+    // The machine axes the design sweep above holds fixed: the
+    // in-order issue discipline (Figure 7) and 8 KB pages (Figure 8).
+    const kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 0.02);
+    for (const tlb::Design d : {tlb::Design::T4, tlb::Design::M8}) {
+        SCOPED_TRACE(tlb::designName(d));
+        sim::SimConfig ino;
+        ino.design = d;
+        ino.inOrder = true;
+        expectSkipInvariant(prog, ino);
+
+        sim::SimConfig big;
+        big.design = d;
+        big.pageBytes = 8192;
+        expectSkipInvariant(prog, big);
     }
 }
 
