@@ -9,11 +9,16 @@
 
 #include <unistd.h>
 
+#include <memory>
+
 #include "common/build_info.hh"
 #include "common/job_pool.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "obs/interval.hh"
+#include "obs/pipeview.hh"
+#include "obs/self_profile.hh"
 #include "obs/trace.hh"
 #include "verify/design_lint.hh"
 #include "workloads/workloads.hh"
@@ -69,7 +74,18 @@ toSimConfig(const ExperimentConfig &config)
     sc.budget = config.budget;
     sc.seed = config.seed;
     sc.idleSkip = !config.noSkip;
+    sc.intervalCycles = config.intervalStats;
+    sc.pcProfile = config.pcProfileK != 0;
+    sc.selfProfile = config.selfProfile;
     return sc;
+}
+
+void
+printVersion()
+{
+    std::printf("hbat %s%s (%s, %s)\n", buildinfo::kGitSha,
+                buildinfo::kGitDirty ? "-dirty" : "",
+                buildinfo::kBuildType, buildinfo::kCompiler);
 }
 
 ExperimentConfig
@@ -99,11 +115,34 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             obs::setTraceMask(obs::parseTraceCats(argv[++i]));
+        } else if (std::strcmp(argv[i], "--interval-stats") == 0 &&
+                   i + 1 < argc) {
+            cfg.intervalStats =
+                std::strtoull(argv[++i], nullptr, 10);
+            if (cfg.intervalStats == 0)
+                hbat_fatal("--interval-stats wants a positive cycle "
+                           "count");
+        } else if (std::strcmp(argv[i], "--pc-profile") == 0 &&
+                   i + 1 < argc) {
+            cfg.pcProfileK =
+                unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (cfg.pcProfileK == 0)
+                hbat_fatal("--pc-profile wants a positive top-K count");
+        } else if (std::strcmp(argv[i], "--pipeview") == 0 &&
+                   i + 1 < argc) {
+            cfg.pipeviewPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--self-profile") == 0) {
+            cfg.selfProfile = true;
+        } else if (std::strcmp(argv[i], "--version") == 0) {
+            printVersion();
+            std::exit(0);
         } else {
             hbat_fatal("unknown argument '", argv[i],
                        "' (supported: --scale f, --program name, "
                        "--seed n, --json file, --jobs n, --no-skip, "
-                       "--trace cats)");
+                       "--trace cats, --interval-stats n, "
+                       "--pc-profile k, --pipeview file, "
+                       "--self-profile, --version)");
         }
     }
     hbat_assert(cfg.scale > 0.0, "scale must be positive");
@@ -185,6 +224,19 @@ runDesignSweep(const ExperimentConfig &config,
         const double cellStart = threadCpuSeconds();
         sim::SimConfig sc = toSimConfig(config);
         sc.design = designs[d];
+
+        // One pipeview file per cell: concurrent cells cannot share a
+        // writer, and a single-cell run keeps the plain path.
+        std::unique_ptr<obs::PipeviewWriter> pview;
+        if (!config.pipeviewPath.empty()) {
+            std::string path = config.pipeviewPath;
+            if (nProgs * nDesigns > 1)
+                path += std::string(".") + cell.program + "." +
+                        tlb::designName(cell.design);
+            pview = std::make_unique<obs::PipeviewWriter>(path);
+            sc.pipeview = pview.get();
+        }
+
         cell.result = sim::simulate(images[p], sc, codes[p], pages[p]);
         cell.wallSeconds = threadCpuSeconds() - cellStart;
 
@@ -297,6 +349,74 @@ writeStat(json::Writer &w, const obs::StatValue &sv)
     }
 }
 
+/** 0x-prefixed hex rendering of an address (JSON keys/values). */
+std::string
+hexAddr(VAddr a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+/**
+ * The per-cell observability sections (present only when their
+ * feature was requested, so default reports keep their exact shape).
+ */
+void
+writeCellObservability(json::Writer &w, const ExperimentConfig &config,
+                       const Cell &cell)
+{
+    const sim::SimResult &res = cell.result;
+
+    if (res.intervals.enabled()) {
+        // Per-interval deltas (formulas stay cumulative); the series
+        // must be identical with --no-skip (spans split at boundaries).
+        w.key("interval_stats").beginObject();
+        w.key("interval").value(res.intervals.interval);
+        w.key("samples").beginArray();
+        const obs::StatSnapshot *prev = nullptr;
+        for (const obs::IntervalSample &s : res.intervals.samples) {
+            w.beginObject();
+            w.key("cycle").value(s.cycle);
+            w.key("stats").beginObject();
+            for (const obs::StatValue &sv :
+                 obs::intervalDelta(prev, s.stats))
+                writeStat(w, sv);
+            w.endObject();
+            w.endObject();
+            prev = &s.stats;
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    if (config.pcProfileK != 0) {
+        w.key("pc_profile").beginArray();
+        for (const obs::PcProfileEntry &e :
+             res.pipe.pcProfile.topK(config.pcProfileK)) {
+            w.beginObject();
+            w.key("pc").value(hexAddr(e.pc));
+            w.key("requests").value(e.counts.requests);
+            w.key("misses").value(e.counts.misses);
+            w.key("walk_cycles").value(e.counts.walkCycles);
+            w.key("piggyback_hits").value(e.counts.piggybackHits);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
+    if (res.pipe.phases.enabled) {
+        // Host seconds: non-deterministic, ignored by sweep_diff.py.
+        w.key("self_profile").beginObject();
+        for (size_t i = 0; i < obs::kNumSimPhases; ++i)
+            w.key(obs::simPhaseKey(obs::SimPhase(i)))
+                .value(res.pipe.phases.seconds[i]);
+        w.key("total_s").value(res.pipe.phases.totalSeconds);
+        w.endObject();
+    }
+}
+
 /**
  * Shared "meta" object: everything scripts/bench_compare.py needs to
  * decide whether two reports are comparable (and to attribute a
@@ -385,6 +505,7 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
             for (const obs::StatValue &sv : cell.result.stats)
                 writeStat(w, sv);
             w.endObject();
+            writeCellObservability(w, sweep.config, cell);
             w.endObject();
         }
     }

@@ -61,6 +61,37 @@ struct ExperimentConfig
      * either way, apart from meta and timing fields.
      */
     bool noSkip = false;
+
+    /// @name Observability (see DESIGN.md §10; all off by default)
+    /// @{
+    /**
+     * Interval stat sampling (--interval-stats N): every cell's JSON
+     * entry gains an "interval_stats" time-series with the per-N-cycle
+     * delta of every registered stat. Identical with --no-skip.
+     */
+    uint64_t intervalStats = 0;
+
+    /**
+     * Per-PC translation profile (--pc-profile K): record per-static-
+     * instruction translation attribution and emit the K hottest PCs
+     * per cell ("pc_profile" in the JSON). 0 = off.
+     */
+    unsigned pcProfileK = 0;
+
+    /**
+     * O3PipeView instruction-lifecycle trace (--pipeview FILE). With
+     * more than one (program, design) cell, each cell writes
+     * FILE.<program>.<design> so concurrent cells never share a file.
+     */
+    std::string pipeviewPath;
+
+    /**
+     * Simulator self-profiling (--self-profile): per-cell host-time
+     * phase timers ("self_profile" in the JSON; non-deterministic,
+     * ignored by the determinism gates).
+     */
+    bool selfProfile = false;
+    /// @}
 };
 
 /**
@@ -105,7 +136,9 @@ struct Sweep
 /**
  * Parse the shared bench flags (and HBAT_SCALE / HBAT_JOBS):
  *  --scale f, --program name, --seed n, --json file, --jobs n,
- *  --trace cats (comma-separated category list, see obs/trace.hh).
+ *  --trace cats (comma-separated category list, see obs/trace.hh),
+ *  --interval-stats n, --pc-profile k, --pipeview file,
+ *  --self-profile, and --version (print the build stamp and exit 0).
  * The returned config always has a concrete jobs count (>= 1).
  */
 ExperimentConfig parseArgs(int argc, char **argv,
@@ -116,6 +149,13 @@ ExperimentConfig parseArgs(int argc, char **argv,
  * process log lock, so lines from concurrent cells never interleave.
  */
 void progressLine(const std::string &msg);
+
+/**
+ * Print the build stamp (git SHA, dirty flag, build type, compiler —
+ * the JSON reports' "meta" fields) to stdout: the --version flag of
+ * every bench binary.
+ */
+void printVersion();
 
 /**
  * Run the sweep: build each selected program once, then execute all

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "verify/design_lint.hh"
@@ -46,7 +47,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--program NAME]... [--budget I,F] "
-                 "[--scale F] [--cfg] [--json FILE]\n",
+                 "[--scale F] [--cfg] [--json FILE] [--version]\n",
                  argv0);
     std::exit(2);
 }
@@ -75,6 +76,11 @@ parse(int argc, char **argv)
             opt.dumpCfg = true;
         } else if (arg == "--json") {
             opt.jsonPath = next();
+        } else if (arg == "--version") {
+            std::printf("hbat %s%s (%s, %s)\n", buildinfo::kGitSha,
+                        buildinfo::kGitDirty ? "-dirty" : "",
+                        buildinfo::kBuildType, buildinfo::kCompiler);
+            std::exit(0);
         } else {
             usage(argv[0]);
         }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * hbat_prof: per-PC translation attribution profiler.
+ *
+ * Runs the selected workloads under the selected designs with the
+ * per-PC profile enabled and prints, per (program, design) cell, the
+ * static instructions that concentrate the translation misses — the
+ * measurement behind PC-indexed translation proposals: a handful of
+ * static loads/stores usually carries most of the miss traffic.
+ *
+ * Flags, on top of the shared bench set (see bench::parseArgs):
+ *   --design NAME   profile this Table 2 design (repeatable; default
+ *                   T4, the reference)
+ *   --top K         rows per cell (default 20; same as --pc-profile)
+ *
+ * With --json, the report is the standard sweep JSON with each cell's
+ * "pc_profile" section — deterministic at any --jobs setting.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+#include "isa/isa.hh"
+#include "obs/pc_profile.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+/** Disassemble the static instruction at @p pc, or "?" off-text. */
+std::string
+disasmAt(const kasm::Program &prog, VAddr pc)
+{
+    if (pc < prog.textBase || pc >= prog.textEnd() || pc % 4 != 0)
+        return "?";
+    isa::Inst inst;
+    if (!isa::tryDecode(prog.text[(pc - prog.textBase) / 4], inst))
+        return "?";
+    return isa::disassemble(inst, pc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strip the profiler-specific flags, then hand the rest to the
+    // shared parser (which rejects anything it doesn't know).
+    std::vector<tlb::Design> designs;
+    unsigned top = 0;
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--design") == 0 && i + 1 < argc) {
+            designs.push_back(tlb::parseDesign(argv[++i]));
+        } else if (std::strcmp(argv[i], "--top") == 0 &&
+                   i + 1 < argc) {
+            top = unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (top == 0)
+                hbat_fatal("--top wants a positive row count");
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+
+    bench::ExperimentConfig cfg = bench::parseArgs(
+        int(rest.size()), rest.data(), bench::ExperimentConfig{});
+    if (top != 0)
+        cfg.pcProfileK = top;
+    else if (cfg.pcProfileK == 0)
+        cfg.pcProfileK = 20;
+    if (designs.empty())
+        designs.push_back(tlb::Design::T4);
+
+    const bench::Sweep sweep = bench::runDesignSweep(cfg, designs);
+
+    for (size_t p = 0; p < sweep.programs.size(); ++p) {
+        // Rebuilt only to label rows; the profiled runs share the
+        // sweep's images.
+        const kasm::Program prog = workloads::build(
+            sweep.programs[p], cfg.budget, cfg.scale);
+        for (size_t d = 0; d < sweep.designs.size(); ++d) {
+            const bench::Cell &cell = sweep.cell(p, d);
+            const tlb::XlateStats &xs = cell.result.pipe.xlate;
+
+            std::printf("\n%s / %s: top %u PCs by TLB misses "
+                        "(%llu misses, %llu walks total)\n",
+                        cell.program.c_str(),
+                        tlb::designName(cell.design).c_str(),
+                        cfg.pcProfileK,
+                        (unsigned long long)xs.misses,
+                        (unsigned long long)cell.result.pipe.tlbWalks);
+
+            TextTable table;
+            table.header({"pc", "op", "requests", "misses", "miss%",
+                          "walk_cycles", "piggyback_hits"});
+            for (const obs::PcProfileEntry &e :
+                 cell.result.pipe.pcProfile.topK(cfg.pcProfileK)) {
+                char pc[32];
+                std::snprintf(pc, sizeof(pc), "0x%llx",
+                              (unsigned long long)e.pc);
+                const double missPct =
+                    e.counts.requests
+                        ? 100.0 * double(e.counts.misses) /
+                              double(e.counts.requests)
+                        : 0.0;
+                table.row({pc, disasmAt(prog, e.pc),
+                           std::to_string(e.counts.requests),
+                           std::to_string(e.counts.misses),
+                           fixed(missPct, 2),
+                           std::to_string(e.counts.walkCycles),
+                           std::to_string(e.counts.piggybackHits)});
+            }
+            std::printf("%s\n", table.render().c_str());
+        }
+    }
+
+    bench::writeSweepJson("Per-PC translation profile", sweep);
+    return 0;
+}

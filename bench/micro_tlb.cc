@@ -105,6 +105,17 @@ BENCHMARK(BM_EngineCycleLowLocality)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("hbat %s%s (%s, %s)\n",
+                        hbat::buildinfo::kGitSha,
+                        hbat::buildinfo::kGitDirty ? "-dirty" : "",
+                        hbat::buildinfo::kBuildType,
+                        hbat::buildinfo::kCompiler);
+            return 0;
+        }
+    }
+
     char host[256] = "unknown";
     if (gethostname(host, sizeof(host) - 1) != 0)
         std::strcpy(host, "unknown");

@@ -14,6 +14,11 @@ Metrics:
     ratios (fresh/baseline), matched by name; unmatched names are
     ignored with a note.
 
+When both sweep reports carry --self-profile phase timers, the
+per-phase host-second sums are printed alongside the per-design
+breakdown so a delta can be attributed to a pipeline stage; they are
+informational and never gate the run.
+
 A missing or unreadable baseline passes with a note (first run, or a
 baseline predating this gate). A host/compiler mismatch in the meta
 block downgrades failure to a warning: cross-machine wall-clock deltas
@@ -95,6 +100,31 @@ def design_deltas(fresh, base):
     return rows
 
 
+def phase_deltas(fresh, base):
+    """Per-phase host-second sums from --self-profile cells.
+
+    When both reports were produced with --self-profile, the per-cell
+    phase timers say *which pipeline stage* a wall-clock delta lives
+    in (e.g. a slowdown confined to walk_s points at the page-walk
+    path). Returns (phase, base_s, fresh_s) rows ordered by fresh
+    cost, or [] when either report lacks the profile. Informational
+    only -- host phase timers are noisy and never gate the run.
+    """
+    def by_phase(report):
+        out = {}
+        for c in report.get("cells", []):
+            for k, v in c.get("self_profile", {}).items():
+                if k != "total_s":
+                    out[k] = out.get(k, 0.0) + v
+        return out
+
+    ft, bt = by_phase(fresh), by_phase(base)
+    if not ft or not bt:
+        return []
+    phases = sorted(set(ft) & set(bt), key=lambda k: -ft[k])
+    return [(p, bt[p], ft[p]) for p in phases]
+
+
 def micro_ratio(fresh, base):
     """Geomean of per-benchmark real_time ratios (fresh/baseline)."""
     def times(report):
@@ -162,6 +192,9 @@ def main():
         for d, b, f, r in design_deltas(fresh, base):
             print(f"bench_compare:   {d:>4}: {b:6.2f}s -> {f:6.2f}s "
                   f"({1.0 / r:5.2f}x)")
+        for p, b, f in phase_deltas(fresh, base):
+            print(f"bench_compare:   phase {p:>10}: {b:6.2f}s -> "
+                  f"{f:6.2f}s")
     else:
         ratio, n = micro_ratio(fresh, base)
         if ratio is None:

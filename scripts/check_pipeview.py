@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate an O3PipeView trace (and optionally its sweep report).
+
+Checks the trace emitted by --pipeview (see src/obs/pipeview.hh):
+
+  * line grammar: every line is one of the known stage records with
+    integer timestamps; fetch lines carry a hex PC, a sequence number,
+    and a colon-free disassembly; retire lines carry the store field;
+  * block structure: each instruction is a fetch..retire block with
+    the stages in canonical order, the two extension lines (xlate,
+    mem) present exactly when the block is a memory op;
+  * timestamps: non-decreasing along each block's stage order, with
+    issue strictly after dispatch and completion strictly after
+    translation for memory ops;
+  * ordering: sequence numbers strictly increase across blocks (this
+    simulator traces correct-path instructions only, so retirement
+    order is fetch order);
+  * the store field is the retire cycle for stores and 0 otherwise.
+
+With --json REPORT [--cell N], additionally cross-checks the sweep
+report the trace was produced with: the report's interval_stats series
+(when present) must have strictly ascending boundary cycles, every
+boundary except the last a multiple of the interval, and per-interval
+deltas of pipe.cycles and pipe.committed that sum to the cell's
+end-of-run totals; the traced instruction count must equal the cell's
+committed count.
+
+Usage: check_pipeview.py TRACE [--json REPORT] [--cell N]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+FETCH_RE = re.compile(
+    r"^O3PipeView:fetch:(\d+):0x([0-9a-fA-F]+):0:(\d+):([^:]+)$")
+STAGE_RE = re.compile(
+    r"^O3PipeView:(decode|rename|dispatch|issue|xlate|mem|complete)"
+    r":(\d+)$")
+RETIRE_RE = re.compile(r"^O3PipeView:retire:(\d+):store:(\d+)$")
+
+# Canonical stage order inside a block (xlate/mem only for memory ops).
+ORDER = ["decode", "rename", "dispatch", "issue", "xlate", "mem",
+         "complete"]
+
+
+def fail(msg):
+    sys.exit(f"check_pipeview: {msg}")
+
+
+def parse_blocks(path):
+    """Yield (lineno, seq, pc, disasm, stages, retire, store)."""
+    blocks = []
+    cur = None
+    try:
+        f = open(path)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    with f:
+        for n, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            m = FETCH_RE.match(line)
+            if m:
+                if cur is not None:
+                    fail(f"line {n}: fetch before previous block's "
+                         "retire")
+                cur = {"line": n, "fetch": int(m.group(1)),
+                       "pc": int(m.group(2), 16), "seq": int(m.group(3)),
+                       "disasm": m.group(4), "stages": {}}
+                continue
+            m = STAGE_RE.match(line)
+            if m:
+                if cur is None:
+                    fail(f"line {n}: {m.group(1)} outside a block")
+                stage = m.group(1)
+                if stage in cur["stages"]:
+                    fail(f"line {n}: duplicate {stage} in block "
+                         f"seq {cur['seq']}")
+                cur["stages"][stage] = int(m.group(2))
+                continue
+            m = RETIRE_RE.match(line)
+            if m:
+                if cur is None:
+                    fail(f"line {n}: retire outside a block")
+                cur["retire"] = int(m.group(1))
+                cur["store"] = int(m.group(2))
+                blocks.append(cur)
+                cur = None
+                continue
+            fail(f"line {n}: unrecognized line: {line!r}")
+    if cur is not None:
+        fail(f"trace ends mid-block (seq {cur['seq']})")
+    if not blocks:
+        fail("trace contains no instruction blocks")
+    return blocks
+
+
+def check_block(b):
+    where = f"block seq {b['seq']} (line {b['line']})"
+    stages = b["stages"]
+    is_mem = "xlate" in stages or "mem" in stages
+    expect = [s for s in ORDER if is_mem or s not in ("xlate", "mem")]
+    if list(stages) != expect:
+        fail(f"{where}: stage order {list(stages)}, want {expect}")
+
+    # Non-decreasing along fetch -> stages -> retire; the model
+    # guarantees two strict steps (see src/obs/pipeview.hh).
+    t = b["fetch"]
+    seq_times = [("fetch", t)]
+    for s in expect:
+        seq_times.append((s, stages[s]))
+    seq_times.append(("retire", b["retire"]))
+    for (ps, pt), (cs, ct) in zip(seq_times, seq_times[1:]):
+        if ct < pt:
+            fail(f"{where}: {cs}@{ct} before {ps}@{pt}")
+    if stages["issue"] <= stages["dispatch"]:
+        fail(f"{where}: issue not after dispatch")
+    if is_mem and stages["complete"] <= stages["xlate"]:
+        fail(f"{where}: completion not after translation")
+    if b["store"] not in (0, b["retire"]):
+        fail(f"{where}: store field {b['store']} is neither 0 nor the "
+             f"retire cycle {b['retire']}")
+
+
+def check_report(blocks, report_path, cell_idx):
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {report_path}: {e}")
+    cells = report.get("cells", [])
+    if not 0 <= cell_idx < len(cells):
+        fail(f"--cell {cell_idx} out of range ({len(cells)} cells)")
+    cell = cells[cell_idx]
+    where = f"cell {cell_idx} ({cell.get('program')}, " \
+            f"{cell.get('design')})"
+
+    committed = cell.get("committed")
+    if len(blocks) != committed:
+        fail(f"{where}: trace has {len(blocks)} blocks but the cell "
+             f"committed {committed}")
+
+    iv = cell.get("interval_stats")
+    if iv is None:
+        return 0
+    interval = iv.get("interval", 0)
+    samples = iv.get("samples", [])
+    if interval <= 0 or not samples:
+        fail(f"{where}: malformed interval_stats")
+    cycles = [s.get("cycle") for s in samples]
+    for prev, cur in zip(cycles, cycles[1:]):
+        if cur <= prev:
+            fail(f"{where}: interval boundaries not ascending: "
+                 f"{prev} then {cur}")
+    for c in cycles[:-1]:
+        if c % interval != 0:
+            fail(f"{where}: non-final boundary {c} is not a multiple "
+                 f"of {interval}")
+    for key, total in (("pipe.cycles", cell.get("cycles")),
+                       ("pipe.committed", committed)):
+        s = sum(x.get("stats", {}).get(key, 0) for x in samples)
+        if s != total:
+            fail(f"{where}: {key} deltas sum to {s}, cell total is "
+                 f"{total}")
+    return len(samples)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--json", help="sweep report to cross-check")
+    ap.add_argument("--cell", type=int, default=0,
+                    help="report cell the trace belongs to (default 0)")
+    args = ap.parse_args()
+
+    blocks = parse_blocks(args.trace)
+    seqs = [b["seq"] for b in blocks]
+    for prev, cur in zip(blocks, blocks[1:]):
+        if cur["seq"] <= prev["seq"]:
+            fail(f"block seq {cur['seq']} (line {cur['line']}) not "
+                 f"after seq {prev['seq']}")
+    for b in blocks:
+        check_block(b)
+
+    nmem = sum(1 for b in blocks if "xlate" in b["stages"])
+    nsamples = 0
+    if args.json:
+        nsamples = check_report(blocks, args.json, args.cell)
+    extra = f", {nsamples} interval samples" if nsamples else ""
+    print(f"check_pipeview: OK -- {len(blocks)} instructions "
+          f"(seq {seqs[0]}..{seqs[-1]}), {nmem} memory ops{extra}")
+
+
+if __name__ == "__main__":
+    main()

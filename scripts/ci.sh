@@ -14,7 +14,11 @@
 #  6. skip-invariance gate: rerun the fig5 sweep with --no-skip and
 #     require every simulated number to match (sweep_diff.py ignores
 #     only meta, wall_seconds, and the skip counters);
-#  7. bench-compare gate: diff the fresh reports against the committed
+#  7. observability gate: run one fig5 cell with --pipeview and
+#     --interval-stats, validate the trace grammar and the interval
+#     time-series against the report (check_pipeview.py), and require
+#     the time-series to survive a --no-skip rerun unchanged;
+#  8. bench-compare gate: diff the fresh reports against the committed
 #     baselines (git show HEAD:BENCH_*.json) and fail when the fresh
 #     run is more than $HBAT_BENCH_TOLERANCE slower (default 10%).
 #     After an intentional perf change, commit the regenerated
@@ -81,6 +85,26 @@ SKIPDIR=$(mktemp -d)
 python3 scripts/sweep_diff.py BENCH_fig5.json \
     "$SKIPDIR/fig5_noskip.json"
 rm -rf "$SKIPDIR"
+
+echo "== observability: pipeview trace + interval time-series =="
+# One fig5 cell with the full observability surface on: the O3PipeView
+# trace must parse and be self-consistent, the interval time-series
+# must tile the run exactly, and the series must be identical with
+# idle skipping off (boundary-crossing skipped spans are split across
+# intervals -- see DESIGN.md §10).
+OBSDIR=$(mktemp -d)
+./build/bench/hbat_prof --program compress --design T4 --scale 0.05 \
+    --interval-stats 2000 --pc-profile 20 --self-profile \
+    --pipeview "$OBSDIR/pipeview.out" \
+    --json "$OBSDIR/prof.json" > /dev/null
+python3 scripts/check_pipeview.py "$OBSDIR/pipeview.out" \
+    --json "$OBSDIR/prof.json"
+./build/bench/hbat_prof --program compress --design T4 --scale 0.05 \
+    --interval-stats 2000 --pc-profile 20 --no-skip \
+    --json "$OBSDIR/prof_noskip.json" > /dev/null
+python3 scripts/sweep_diff.py "$OBSDIR/prof.json" \
+    "$OBSDIR/prof_noskip.json"
+rm -rf "$OBSDIR"
 
 echo "== bench compare vs committed baselines =="
 # Snapshot the HEAD baselines first: the regeneration above already

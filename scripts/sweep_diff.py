@@ -10,10 +10,12 @@ simulated number. Only host-side fields may differ:
   config.*          (the skip flag itself lives here)
   pipe.skipped_cycles / pipe.skip_length
                     (the skip accounting, zero with skipping off)
+  self_profile      (host-time phase timers; inherently noisy)
 
-Everything else — every cell's ipc, cycles, committed count, and every
-entry of its stats dict — must be exactly equal, or the script exits
-non-zero listing the first mismatches.
+Everything else — every cell's ipc, cycles, committed count, every
+entry of its stats dict, and (when present) its interval_stats
+time-series and pc_profile — must be exactly equal, or the script
+exits non-zero listing the first mismatches.
 
 Usage: sweep_diff.py A.json B.json [--max-report N]
 """
@@ -55,6 +57,49 @@ def diff_cells(a, b, errors):
             if sx.get(k) != sy.get(k):
                 errors.append(f"{where}: stats[{k}]: "
                               f"{sx.get(k)!r} != {sy.get(k)!r}")
+        diff_intervals(x, y, where, errors)
+        if x.get("pc_profile") != y.get("pc_profile"):
+            errors.append(f"{where}: pc_profile differs")
+        # self_profile (host seconds) is intentionally not compared.
+
+
+def diff_intervals(x, y, where, errors):
+    """The interval time-series must match sample by sample.
+
+    The skip stats are excluded inside each sample too: a span is
+    *detected* at the same cycle in both modes, but detection and
+    accounting are host-side bookkeeping, consistent with excluding
+    the end-of-run counters.
+    """
+    ia, ib = x.get("interval_stats"), y.get("interval_stats")
+    if (ia is None) != (ib is None):
+        errors.append(f"{where}: interval_stats present in only one")
+        return
+    if ia is None:
+        return
+    if ia.get("interval") != ib.get("interval"):
+        errors.append(f"{where}: interval_stats.interval: "
+                      f"{ia.get('interval')!r} != "
+                      f"{ib.get('interval')!r}")
+    sa, sb = ia.get("samples", []), ib.get("samples", [])
+    if len(sa) != len(sb):
+        errors.append(f"{where}: interval sample count: "
+                      f"{len(sa)} vs {len(sb)}")
+        return
+    for j, (p, q) in enumerate(zip(sa, sb)):
+        if p.get("cycle") != q.get("cycle"):
+            errors.append(f"{where}: sample {j} cycle: "
+                          f"{p.get('cycle')!r} != {q.get('cycle')!r}")
+        dp = dict(p.get("stats", {}))
+        dq = dict(q.get("stats", {}))
+        for skip in HOST_SIDE_STATS:
+            dp.pop(skip, None)
+            dq.pop(skip, None)
+        for k in sorted(set(dp) | set(dq)):
+            if dp.get(k) != dq.get(k):
+                errors.append(f"{where}: sample {j} "
+                              f"(cycle {p.get('cycle')}) stats[{k}]: "
+                              f"{dp.get(k)!r} != {dq.get(k)!r}")
 
 
 def main():

@@ -167,6 +167,23 @@ Pipeline::commitStage()
                          " issue=", e.issueCycle,
                          " done=", e.resultCycle, " commit=", now);
 
+        if (cfg.pipeview) {
+            obs::PipeviewRecord rec;
+            rec.seq = e.dyn.seq;
+            rec.pc = e.dyn.pc;
+            rec.disasm = isa::opName(e.dyn.op);
+            rec.fetch = e.fetchCycle;
+            rec.decode = e.decodeCycle;
+            rec.dispatch = e.dispatchCycle;
+            rec.issue = e.issueCycle;
+            rec.complete = e.resultCycle;
+            rec.retire = now;
+            rec.isMem = e.dyn.isMem();
+            rec.isStore = e.dyn.isStore;
+            rec.xlateReady = e.xlateReady;
+            cfg.pipeview->retire(rec);
+        }
+
         e.valid = false;
         if (++robHead == rob.size())
             robHead = 0;
@@ -219,6 +236,12 @@ Pipeline::walkStage()
             walkDone = now + cfg.tlbMissLatency;
             ++stats_.tlbWalks;
             cycleActivity_ = true;
+            if (cfg.pcProfile) {
+                // The initiating instruction carries the whole walk;
+                // misses that ride the same fill are not re-billed.
+                stats_.pcProfile.counts[e.dyn.pc].walkCycles +=
+                    cfg.tlbMissLatency;
+            }
             HBAT_TRACE_EVENT(obs::kTraceWalk, now,
                              "walk start seq=", e.dyn.seq, " vpn=0x",
                              std::hex, e.missVpn, std::dec,
@@ -240,6 +263,10 @@ Pipeline::attemptXlate(Entry &e)
     req.offsetHigh = e.dyn.offsetHigh;
 
     ++memReqsThisCycle;
+    obs::PcXlateCounts *prof =
+        cfg.pcProfile ? &stats_.pcProfile.counts[e.dyn.pc] : nullptr;
+    if (prof)
+        ++prof->requests;
     const tlb::Outcome out = engine.request(req, now);
     switch (out.kind) {
       case tlb::Outcome::Kind::NoPort:
@@ -251,11 +278,15 @@ Pipeline::attemptXlate(Entry &e)
         e.phase = MemPhase::TlbMiss;
         e.missVpn = req.vpn;
         ++tlbMissPending_;
+        if (prof)
+            ++prof->misses;
         HBAT_TRACE_EVENT(obs::kTraceXlate, now, "xlate miss seq=",
                          e.dyn.seq, " vpn=0x", std::hex, req.vpn,
                          std::dec);
         return;
       case tlb::Outcome::Kind::Hit:
+        if (prof && out.piggybacked)
+            ++prof->piggybackHits;
         HBAT_TRACE_EVENT(obs::kTraceXlate, now, "xlate hit seq=",
                          e.dyn.seq, " vpn=0x", std::hex, req.vpn,
                          " ppn=0x", out.ppn, std::dec,
@@ -632,6 +663,8 @@ Pipeline::dispatchStage()
         e.dyn = dyn;
         e.valid = true;
         e.issued = false;
+        e.fetchCycle = fetchQueue.front().fetchCycle;
+        e.decodeCycle = fetchQueue.front().availAt;
         e.dispatchCycle = now;
         e.issueCycle = kCycleNever;
         e.resultCycle = kCycleNever;
@@ -764,6 +797,7 @@ Pipeline::fetchStage()
                          isa::opName(d.op), mispred ? " mispred" : "");
         Fetched &f = fetchQueue.emplace_back();
         f.dyn = d;
+        f.fetchCycle = now;
         f.availAt = availAt;
         f.mispredicted = mispred;
         lookahead.pop_front();
@@ -847,15 +881,56 @@ Pipeline::nextEventCycle()
     return t;
 }
 
+void
+Pipeline::maybeIntervalSample()
+{
+    if (now + 1 != nextSampleAt_)
+        return;
+    stats_.cycles = now + 1;    // the one counter run() updates late
+    if (cfg.onInterval)
+        cfg.onInterval(now + 1);
+    nextSampleAt_ += cfg.statInterval;
+}
+
+void
+Pipeline::accountSpanChunk(uint64_t k)
+{
+    stats_.memPerCycle.recordMany(0, k);
+    stats_.zeroIssueCycles += k;
+    *idleBucketThisCycle_ += k;
+    if (repeatRobStall_)
+        stats_.robFullStalls += k;
+    if (repeatLsqStall_)
+        stats_.lsqFullStalls += k;
+    if (repeatIcacheHit_)
+        icache.recordRepeatHits(repeatIcachePc_, k, now + k);
+}
+
 PipeStats
 Pipeline::run(uint64_t max_insts)
 {
     regMap.assign(64, Writer{});
     lastCommittedStore = 0;
     haltCommitted = false;
+    if (cfg.statInterval != 0)
+        nextSampleAt_ = cfg.statInterval;
+    stats_.phases.enabled = cfg.selfProfile;
 
     Cycle lastCommitCycle = 0;
     uint64_t lastCommitted = 0;
+
+    // Phase timer: a no-op branch per stage unless --self-profile.
+    const bool prof = cfg.selfProfile;
+    const auto timed = [&](obs::SimPhase p, auto &&stage) {
+        if (!prof) {
+            stage();
+            return;
+        }
+        const double t0 = obs::phaseClock();
+        stage();
+        stats_.phases[p] += obs::phaseClock() - t0;
+    };
+    const double runT0 = prof ? obs::phaseClock() : 0.0;
 
     while (!done() && stats_.committed < max_insts) {
         engine.beginCycle(now);
@@ -867,12 +942,12 @@ Pipeline::run(uint64_t max_insts)
         repeatLsqStall_ = false;
         repeatIcacheHit_ = false;
 
-        commitStage();
-        walkStage();
-        memStage();
-        issueStage();
-        dispatchStage();
-        fetchStage();
+        timed(obs::SimPhase::Commit, [&] { commitStage(); });
+        timed(obs::SimPhase::Walk, [&] { walkStage(); });
+        timed(obs::SimPhase::Mem, [&] { memStage(); });
+        timed(obs::SimPhase::Issue, [&] { issueStage(); });
+        timed(obs::SimPhase::Dispatch, [&] { dispatchStage(); });
+        timed(obs::SimPhase::Fetch, [&] { fetchStage(); });
 
         stats_.memPerCycle.record(memReqsThisCycle);
 
@@ -884,15 +959,21 @@ Pipeline::run(uint64_t max_insts)
                     "pipeline deadlock at cycle ", now, " (committed ",
                     stats_.committed, ")");
 
+        // This cycle's deltas are complete: sample before any skip.
+        maybeIntervalSample();
+
         // Idle-cycle skip (DESIGN.md §9). A cycle with no activity and
         // no translation requests is a template: with all inputs to the
         // stages' time comparisons frozen, every cycle before the next
         // event would replay it bit for bit. Jump there, bulk-adding
-        // the per-cycle deltas the replays would have made. With
+        // the per-cycle deltas the replays would have made — chunked at
+        // interval-sampling boundaries, so the time-series splits a
+        // span exactly where the simulated cycles would have. With
         // skipping off, still detect and count each span once (guarded
         // by skipAccountedUntil_) so skip stats are mode-invariant.
         if (!cycleActivity_ && memReqsThisCycle == 0 &&
             now >= skipAccountedUntil_) {
+            const double t0 = prof ? obs::phaseClock() : 0.0;
             const Cycle t = nextEventCycle();
             if (t != kCycleNever && t > now + 1) {
                 const uint64_t n = t - now - 1;
@@ -901,26 +982,36 @@ Pipeline::run(uint64_t max_insts)
                 if (cfg.idleSkip) {
                     hbat_assert(idleBucketThisCycle_,
                                 "quiescent cycle with no idle blame");
-                    stats_.memPerCycle.recordMany(0, n);
-                    stats_.zeroIssueCycles += n;
-                    *idleBucketThisCycle_ += n;
-                    if (repeatRobStall_)
-                        stats_.robFullStalls += n;
-                    if (repeatLsqStall_)
-                        stats_.lsqFullStalls += n;
-                    if (repeatIcacheHit_)
-                        icache.recordRepeatHits(repeatIcachePc_, n,
-                                                t - 1);
-                    now += n;
+                    uint64_t rem = n;
+                    while (rem > 0) {
+                        uint64_t chunk = rem;
+                        if (nextSampleAt_ != kCycleNever &&
+                            nextSampleAt_ - 1 - now < chunk)
+                            chunk = nextSampleAt_ - 1 - now;
+                        accountSpanChunk(chunk);
+                        now += chunk;
+                        rem -= chunk;
+                        maybeIntervalSample();
+                    }
                 } else {
                     skipAccountedUntil_ = t;
                 }
             }
+            if (prof)
+                stats_.phases[obs::SimPhase::Skip] +=
+                    obs::phaseClock() - t0;
         }
         ++now;
     }
 
     stats_.cycles = now;
+    if (prof)
+        stats_.phases.totalSeconds = obs::phaseClock() - runT0;
+
+    // Final partial interval: the run ended between boundaries.
+    if (cfg.statInterval != 0 && cfg.onInterval &&
+        now % cfg.statInterval != 0)
+        cfg.onInterval(now);
     stats_.predictor = predictor.stats();
     stats_.xlate = engine.stats();
     stats_.icache = icache.stats();
@@ -934,9 +1025,16 @@ Pipeline::run(uint64_t max_insts)
     return stats_;
 }
 
+namespace
+{
+
+/**
+ * The PipeStats-proper registrations (everything except the
+ * predictor/cache sub-structs, which have live-vs-copy variants).
+ */
 void
-registerStats(obs::StatRegistry &reg, const std::string &prefix,
-              const PipeStats &s)
+registerPipeScalars(obs::StatRegistry &reg, const std::string &prefix,
+                    const PipeStats &s)
 {
     reg.scalar(prefix + ".cycles", "simulated cycles", s.cycles);
     reg.scalar(prefix + ".committed", "committed instructions",
@@ -983,9 +1081,31 @@ registerStats(obs::StatRegistry &reg, const std::string &prefix,
                   "memory accesses requesting translation per cycle "
                   "(Figure 3 bandwidth demand)",
                   s.memPerCycle);
+}
+
+} // namespace
+
+void
+registerStats(obs::StatRegistry &reg, const std::string &prefix,
+              const PipeStats &s)
+{
+    registerPipeScalars(reg, prefix, s);
     branch::registerStats(reg, prefix + ".bpred", s.predictor);
     cache::registerStats(reg, prefix + ".icache", s.icache);
     cache::registerStats(reg, prefix + ".dcache", s.dcache);
+}
+
+void
+Pipeline::registerStats(obs::StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    // Same names/values as the free overload, but against the live
+    // counters — the predictor and caches hold theirs until run()
+    // copies them into PipeStats at the very end.
+    registerPipeScalars(reg, prefix, stats_);
+    branch::registerStats(reg, prefix + ".bpred", predictor.stats());
+    cache::registerStats(reg, prefix + ".icache", icache.stats());
+    cache::registerStats(reg, prefix + ".dcache", dcache.stats());
 }
 
 } // namespace hbat::cpu

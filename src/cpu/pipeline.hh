@@ -29,6 +29,7 @@
 #ifndef HBAT_CPU_PIPELINE_HH
 #define HBAT_CPU_PIPELINE_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,9 @@
 #include "cpu/dyn_inst.hh"
 #include "cpu/fu_pool.hh"
 #include "cpu/func_core.hh"
+#include "obs/pc_profile.hh"
+#include "obs/pipeview.hh"
+#include "obs/self_profile.hh"
 #include "tlb/xlate.hh"
 
 namespace hbat::cpu
@@ -64,6 +68,31 @@ struct PipeConfig
      * bulk-accounted instead of simulated one by one.
      */
     bool idleSkip = true;
+
+    /// @name Observability hooks (all off by default; zero hot-path
+    /// cost when off)
+    /// @{
+    /**
+     * Interval stat sampling: invoke onInterval each time the count of
+     * completed cycles reaches a multiple of statInterval (0 = off).
+     * The hook typically snapshots a StatRegistry built over the live
+     * counters. Boundaries are exact under idle-cycle skipping: a
+     * bulk-accounted span crossing a boundary is split at it, so the
+     * series is bit-identical to the same run with skipping off.
+     */
+    uint64_t statInterval = 0;
+    std::function<void(Cycle)> onInterval;
+
+    /** Record the per-PC translation profile (PipeStats::pcProfile). */
+    bool pcProfile = false;
+
+    /** Emit an O3PipeView lifecycle block per retired instruction. */
+    obs::PipeviewWriter *pipeview = nullptr;
+
+    /** Accumulate host-time phase timers (PipeStats::phases). */
+    bool selfProfile = false;
+    /// @}
+
     FuPoolConfig fus;
     cache::CacheConfig icache;
     cache::CacheConfig dcache;
@@ -131,6 +160,14 @@ struct PipeStats
     cache::CacheStats icache;
     cache::CacheStats dcache;
 
+    /** Per-PC translation attribution (empty unless PipeConfig::
+     *  pcProfile; never registered — reported via topK()). */
+    obs::PcProfile pcProfile;
+
+    /** Host-time phase timers (idle unless PipeConfig::selfProfile;
+     *  non-deterministic, so never registered in the registry). */
+    obs::PhaseProfile phases;
+
     double ipc() const { return cycles ? double(committed) / double(cycles) : 0.0; }
     double issueIpc() const { return cycles ? double(issuedOps) / double(cycles) : 0.0; }
 };
@@ -162,6 +199,18 @@ class Pipeline
      */
     PipeStats run(uint64_t max_insts = ~uint64_t(0));
 
+    /**
+     * Register the pipeline's counters under @p prefix against the
+     * *live* state — this pipeline, its predictor, and both caches —
+     * so the registry can be snapshot mid-run (interval sampling).
+     * Identical names and values to the free registerStats() overload
+     * on the returned PipeStats; PipeStats::cycles is refreshed before
+     * each onInterval callback. Register the translation engine
+     * separately (it owns its design-specific stats).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     /// Memory-access progress of an in-flight load/store.
     enum class MemPhase : uint8_t
@@ -181,6 +230,8 @@ class Pipeline
         DynInst dyn;
         bool valid = false;
         bool issued = false;
+        Cycle fetchCycle = 0;   ///< front end read the I-cache block
+        Cycle decodeCycle = 0;  ///< fetch group available to dispatch
         Cycle dispatchCycle = 0;
         Cycle issueCycle = kCycleNever;
         Cycle resultCycle = kCycleNever;
@@ -248,6 +299,21 @@ class Pipeline
     void issueMem(Entry &e);
     bool done() const;
     void refillLookahead();
+
+    /**
+     * Fire the interval-sampling hook when the count of completed
+     * cycles (`now + 1`) has reached the next boundary; no-op
+     * otherwise. Refreshes stats_.cycles first so the live registry
+     * reads the boundary's cycle count.
+     */
+    void maybeIntervalSample();
+
+    /**
+     * Bulk-account @p k replayed cycles of the current quiescent span
+     * (the per-cycle deltas `k` repeats of the template cycle would
+     * have made). `now` has not yet advanced past the chunk.
+     */
+    void accountSpanChunk(uint64_t k);
 
     /**
      * The earliest future cycle at which any time-comparison in the
@@ -366,6 +432,7 @@ class Pipeline
     struct Fetched
     {
         DynInst dyn;
+        Cycle fetchCycle;
         Cycle availAt;
         bool mispredicted;
     };
@@ -404,6 +471,10 @@ class Pipeline
      *  simulated cycles inside it don't re-record skip stats. */
     Cycle skipAccountedUntil_ = 0;
     /// @}
+
+    /** Next interval-sampling boundary (a completed-cycle count);
+     *  kCycleNever when sampling is off. */
+    Cycle nextSampleAt_ = kCycleNever;
 
     /// Rename map: last dispatched writer of each unified register.
     struct Writer

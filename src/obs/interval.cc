@@ -1,0 +1,54 @@
+#include "obs/interval.hh"
+
+#include "common/log.hh"
+
+namespace hbat::obs
+{
+
+StatSnapshot
+intervalDelta(const StatSnapshot *prev, const StatSnapshot &cur)
+{
+    if (prev != nullptr) {
+        hbat_assert(prev->size() == cur.size(),
+                    "interval delta over mismatched snapshots: ",
+                    prev->size(), " vs ", cur.size(), " stats");
+    }
+
+    StatSnapshot out;
+    out.reserve(cur.size());
+    for (size_t i = 0; i < cur.size(); ++i) {
+        StatValue d = cur[i];
+        if (prev == nullptr) {
+            out.push_back(std::move(d));
+            continue;
+        }
+        const StatValue &p = (*prev)[i];
+        hbat_assert(p.name == d.name && p.kind == d.kind,
+                    "interval delta: stat mismatch at index ", i, ": '",
+                    p.name, "' vs '", d.name, "'");
+        switch (d.kind) {
+          case StatKind::Scalar:
+            d.value -= p.value;
+            break;
+          case StatKind::Formula:
+            break;  // derived value: cumulative at the boundary
+          case StatKind::Vector:
+            for (size_t j = 0; j < d.values.size(); ++j)
+                d.values[j] -= p.values[j];
+            break;
+          case StatKind::Histogram:
+            for (size_t j = 0; j < d.values.size(); ++j)
+                d.values[j] -= p.values[j];
+            d.samples -= p.samples;
+            d.sum -= p.sum;
+            d.mean = d.samples == 0
+                         ? 0.0
+                         : double(d.sum) / double(d.samples);
+            break;
+        }
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace hbat::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Interval stat time-series: snapshot/delta semantics on top of the
+ * stat registry.
+ *
+ * A run configured with an interval of N cycles snapshots every
+ * registered stat each time the simulated clock crosses a multiple of
+ * N (plus one final partial-interval snapshot at end of run). The
+ * samples are *cumulative* — each is exactly what StatRegistry::
+ * snapshot() would return at that cycle — so the series composes with
+ * the end-of-run report and deltas can be formed between any two
+ * boundaries, not just adjacent ones.
+ *
+ * intervalDelta() turns two adjacent cumulative samples into the
+ * per-interval view the JSON reports emit: counters (scalars, vector
+ * elements, histogram buckets/samples/sum) are subtracted; formulas —
+ * derived values like rates, which do not decompose into per-interval
+ * differences — keep their cumulative value at the boundary.
+ *
+ * The sampling boundaries are exact under the pipeline's idle-cycle
+ * skipping: a bulk-accounted span that crosses a boundary is split at
+ * it (see Pipeline::run), so the series is bit-identical to the same
+ * run with --no-skip.
+ */
+
+#ifndef HBAT_OBS_INTERVAL_HH
+#define HBAT_OBS_INTERVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/stats.hh"
+
+namespace hbat::obs
+{
+
+/** One sampling boundary: cumulative stats as of @p cycle. */
+struct IntervalSample
+{
+    Cycle cycle = 0;
+    StatSnapshot stats;
+};
+
+/** A whole run's time-series. Empty samples when sampling was off. */
+struct IntervalSeries
+{
+    uint64_t interval = 0;  ///< boundary spacing in cycles (0 = off)
+    std::vector<IntervalSample> samples;    ///< ascending by cycle
+
+    bool enabled() const { return interval != 0; }
+};
+
+/**
+ * The per-interval delta between cumulative samples @p prev and
+ * @p cur (same registry, so same names in the same sorted order).
+ * Pass nullptr for @p prev to delta against the zero state (the first
+ * interval). Formula stats are passed through at their @p cur value.
+ */
+StatSnapshot intervalDelta(const StatSnapshot *prev,
+                           const StatSnapshot &cur);
+
+} // namespace hbat::obs
+
+#endif // HBAT_OBS_INTERVAL_HH

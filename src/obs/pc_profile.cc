@@ -1,0 +1,30 @@
+#include "obs/pc_profile.hh"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hbat::obs
+{
+
+std::vector<PcProfileEntry>
+PcProfile::topK(size_t k) const
+{
+    std::vector<PcProfileEntry> rows;
+    rows.reserve(counts.size());
+    for (const auto &[pc, c] : counts)
+        rows.push_back(PcProfileEntry{pc, c});
+
+    const auto hotter = [](const PcProfileEntry &a,
+                           const PcProfileEntry &b) {
+        return std::make_tuple(b.counts.misses, b.counts.walkCycles,
+                               b.counts.requests, a.pc) <
+               std::make_tuple(a.counts.misses, a.counts.walkCycles,
+                               a.counts.requests, b.pc);
+    };
+    std::sort(rows.begin(), rows.end(), hotter);
+    if (k != 0 && rows.size() > k)
+        rows.resize(k);
+    return rows;
+}
+
+} // namespace hbat::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-PC translation attribution: which static loads and stores
+ * concentrate the TLB misses.
+ *
+ * The end-of-run xlate stats say *how many* misses a design took;
+ * this profile says *where*. The pipeline records, per static
+ * instruction address, the translation requests it presented, the
+ * base-TLB misses it took, the miss-handler cycles the walks it
+ * initiated cost, and the requests satisfied by piggybacking — the
+ * measurement that motivates PC-indexed translation (PCAX): a design
+ * is only worth building if a small set of static PCs carries most of
+ * the miss traffic.
+ *
+ * Recording is opt-in (SimConfig::pcProfile): the common case keeps a
+ * zero-cost hot path. When on, the per-request cost is one hash-map
+ * touch per translation request — only memory ops, and only while
+ * profiling.
+ *
+ * The profile is deterministic: counts depend only on (program,
+ * config), and topK() orders by (misses, walk cycles, requests, pc),
+ * so emitted reports are byte-identical at any --jobs setting.
+ */
+
+#ifndef HBAT_OBS_PC_PROFILE_HH
+#define HBAT_OBS_PC_PROFILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hbat::obs
+{
+
+/** Translation events attributed to one static instruction. */
+struct PcXlateCounts
+{
+    uint64_t requests = 0;      ///< request() presentations (w/ retries)
+    uint64_t misses = 0;        ///< base-TLB misses (Outcome::Miss)
+    uint64_t walkCycles = 0;    ///< miss-handler cycles of walks started
+    uint64_t piggybackHits = 0; ///< hits satisfied by piggybacking
+};
+
+/** One profile row: a static PC and its counts. */
+struct PcProfileEntry
+{
+    VAddr pc = 0;
+    PcXlateCounts counts;
+};
+
+/** The per-run profile, keyed by static instruction address. */
+struct PcProfile
+{
+    std::unordered_map<VAddr, PcXlateCounts> counts;
+
+    bool empty() const { return counts.empty(); }
+
+    /**
+     * The @p k hottest PCs, ordered by misses, then walk cycles, then
+     * requests (all descending), then PC (ascending) — a total order,
+     * so the result is unique. Pass k = 0 for every recorded PC.
+     */
+    std::vector<PcProfileEntry> topK(std::size_t k) const;
+};
+
+} // namespace hbat::obs
+
+#endif // HBAT_OBS_PC_PROFILE_HH

@@ -1,0 +1,59 @@
+#include "obs/pipeview.hh"
+
+#include <cinttypes>
+
+#include "common/log.hh"
+
+namespace hbat::obs
+{
+
+PipeviewWriter::PipeviewWriter(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "w"))
+{
+    if (file_ == nullptr)
+        hbat_fatal("cannot open pipeview trace '", path,
+                   "' for writing");
+}
+
+PipeviewWriter::~PipeviewWriter()
+{
+    std::fclose(file_);
+}
+
+void
+PipeviewWriter::retire(const PipeviewRecord &rec)
+{
+    // The disassembly is the fetch line's final field; a ':' in it
+    // would shift the viewer's field split (none of our mnemonics or
+    // operands contain one, but keep the contract checkable).
+    hbat_assert(rec.disasm.find(':') == std::string::npos,
+                "pipeview disassembly must not contain ':'");
+
+    std::fprintf(file_,
+                 "O3PipeView:fetch:%" PRIu64 ":0x%08" PRIx64
+                 ":0:%" PRIu64 ":%s\n",
+                 uint64_t(rec.fetch), uint64_t(rec.pc),
+                 uint64_t(rec.seq), rec.disasm.c_str());
+    std::fprintf(file_, "O3PipeView:decode:%" PRIu64 "\n",
+                 uint64_t(rec.decode));
+    std::fprintf(file_, "O3PipeView:rename:%" PRIu64 "\n",
+                 uint64_t(rec.decode));
+    std::fprintf(file_, "O3PipeView:dispatch:%" PRIu64 "\n",
+                 uint64_t(rec.dispatch));
+    std::fprintf(file_, "O3PipeView:issue:%" PRIu64 "\n",
+                 uint64_t(rec.issue));
+    if (rec.isMem) {
+        std::fprintf(file_, "O3PipeView:xlate:%" PRIu64 "\n",
+                     uint64_t(rec.xlateReady));
+        std::fprintf(file_, "O3PipeView:mem:%" PRIu64 "\n",
+                     uint64_t(rec.complete));
+    }
+    std::fprintf(file_, "O3PipeView:complete:%" PRIu64 "\n",
+                 uint64_t(rec.complete));
+    std::fprintf(file_,
+                 "O3PipeView:retire:%" PRIu64 ":store:%" PRIu64 "\n",
+                 uint64_t(rec.retire),
+                 uint64_t(rec.isStore ? rec.retire : 0));
+}
+
+} // namespace hbat::obs

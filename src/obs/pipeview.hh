@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Instruction-lifecycle pipeline traces in gem5's O3PipeView format.
+ *
+ * The PR 1 `life` trace category prints one free-form line per
+ * committed instruction; this writer upgrades that into the de-facto
+ * standard per-instruction timeline format that O3PipeView and Konata
+ * visualize: a block of lines per instruction, emitted at retirement,
+ * with one timestamped line per pipeline stage.
+ *
+ *   O3PipeView:fetch:<cycle>:0x<pc>:0:<seq>:<disassembly>
+ *   O3PipeView:decode:<cycle>
+ *   O3PipeView:rename:<cycle>
+ *   O3PipeView:dispatch:<cycle>
+ *   O3PipeView:issue:<cycle>
+ *   O3PipeView:xlate:<cycle>        (memory ops only; extension)
+ *   O3PipeView:mem:<cycle>          (memory ops only; extension)
+ *   O3PipeView:complete:<cycle>
+ *   O3PipeView:retire:<cycle>:store:<cycle-or-0>
+ *
+ * Stage mapping from this simulator's model: fetch is the cycle the
+ * front end read the instruction's I-cache block; decode/rename are
+ * the cycle the fetch group became available to dispatch (this
+ * machine has no separate decode/rename stages — the standard lines
+ * are kept so stock viewers render the trace); dispatch is ROB/LSQ
+ * insertion; issue is operand-ready selection; xlate is the cycle the
+ * translation was available (the engine's Outcome::ready); mem and
+ * complete are the result cycle; retire is commit, which for stores
+ * is also the data-cache write (the :store: field). The two extension
+ * lines are what make translation stalls — this paper's subject —
+ * visible as their own segment; scripts/check_pipeview.py validates
+ * the full grammar, and viewers that only know the stock stages can
+ * drop the extension lines with `grep -v ':xlate:\|:mem:'`.
+ *
+ * Timestamps are simulated cycles (one "tick" per cycle). Only
+ * correct-path instructions exist in this simulator, so every traced
+ * instruction retires and sequence numbers appear in commit order.
+ *
+ * A writer is owned by one simulation run and written from that run's
+ * thread only; concurrent sweep cells each get their own writer and
+ * file (see the bench harness's --pipeview).
+ */
+
+#ifndef HBAT_OBS_PIPEVIEW_HH
+#define HBAT_OBS_PIPEVIEW_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.hh"
+
+namespace hbat::obs
+{
+
+/** Everything one retired instruction contributes to the trace. */
+struct PipeviewRecord
+{
+    InstSeq seq = 0;
+    VAddr pc = 0;
+    std::string disasm;     ///< shown by the viewer; no ':' allowed
+
+    Cycle fetch = 0;        ///< front end read the I-cache block
+    Cycle decode = 0;       ///< fetch group available to dispatch
+    Cycle dispatch = 0;     ///< entered ROB (and LSQ for memory ops)
+    Cycle issue = 0;        ///< selected for execution
+    Cycle complete = 0;     ///< result available (memory: data back)
+    Cycle retire = 0;       ///< committed
+
+    bool isMem = false;
+    bool isStore = false;
+    Cycle xlateReady = 0;   ///< memory ops: translation available
+};
+
+/** Writes one O3PipeView block per retired instruction. */
+class PipeviewWriter
+{
+  public:
+    /** Opens @p path for writing; fatal when it cannot be created. */
+    explicit PipeviewWriter(const std::string &path);
+    ~PipeviewWriter();
+
+    PipeviewWriter(const PipeviewWriter &) = delete;
+    PipeviewWriter &operator=(const PipeviewWriter &) = delete;
+
+    /** Emit the block for one retired instruction. */
+    void retire(const PipeviewRecord &rec);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+};
+
+} // namespace hbat::obs
+
+#endif // HBAT_OBS_PIPEVIEW_HH

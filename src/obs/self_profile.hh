@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulator self-profiling: coarse host-time phase timers.
+ *
+ * Answers "where does the *simulator* spend its host time" — distinct
+ * from every other stat in src/obs, which measures the simulated
+ * machine. The pipeline, when asked (--self-profile), brackets each
+ * per-cycle stage call (fetch/dispatch/issue/mem/walk/commit) and the
+ * idle-skip detection/accounting block with a monotonic clock and
+ * accumulates per-phase seconds. The bench harness surfaces the
+ * totals per sweep cell ("self_profile" in the JSON report), so a
+ * bench_compare.py regression can be attributed to a stage instead of
+ * re-profiled from scratch.
+ *
+ * Host timing is inherently non-deterministic, so these numbers are
+ * never registered in the stat registry and sweep_diff.py ignores
+ * them — they can never break a determinism or invariance gate.
+ */
+
+#ifndef HBAT_OBS_SELF_PROFILE_HH
+#define HBAT_OBS_SELF_PROFILE_HH
+
+#include <chrono>
+#include <cstddef>
+
+namespace hbat::obs
+{
+
+/** The timed phases of one simulated cycle. */
+enum class SimPhase : uint8_t
+{
+    Commit,
+    Walk,
+    Mem,
+    Issue,
+    Dispatch,
+    Fetch,
+    Skip,       ///< idle-skip detection + bulk accounting
+    NumPhases
+};
+
+inline constexpr size_t kNumSimPhases =
+    size_t(SimPhase::NumPhases);
+
+/** The short, stable JSON key of @p phase ("issue_s", "skip_s"...). */
+constexpr const char *
+simPhaseKey(SimPhase phase)
+{
+    switch (phase) {
+      case SimPhase::Commit:
+        return "commit_s";
+      case SimPhase::Walk:
+        return "walk_s";
+      case SimPhase::Mem:
+        return "mem_s";
+      case SimPhase::Issue:
+        return "issue_s";
+      case SimPhase::Dispatch:
+        return "dispatch_s";
+      case SimPhase::Fetch:
+        return "fetch_s";
+      case SimPhase::Skip:
+        return "skip_s";
+      case SimPhase::NumPhases:
+        break;
+    }
+    return "?";
+}
+
+/** Accumulated host seconds per phase for one run. */
+struct PhaseProfile
+{
+    bool enabled = false;
+    double seconds[kNumSimPhases] = {};
+    /** Whole cycle loop, including unattributed glue between stages. */
+    double totalSeconds = 0.0;
+
+    double &operator[](SimPhase p) { return seconds[size_t(p)]; }
+    double operator[](SimPhase p) const { return seconds[size_t(p)]; }
+};
+
+/** Monotonic clock read for the phase timers. */
+inline double
+phaseClock()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace hbat::obs
+
+#endif // HBAT_OBS_SELF_PROFILE_HH

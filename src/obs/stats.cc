@@ -1,5 +1,6 @@
 #include "obs/stats.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -116,11 +117,18 @@ StatRegistry::snapshot() const
             for (uint64_t b : e.hist->buckets())
                 v.values.push_back(double(b));
             v.samples = e.hist->samples();
+            v.sum = e.hist->sum();
             v.mean = e.hist->mean();
             break;
         }
         snap.push_back(std::move(v));
     }
+    // Deterministic report order: sorted by name, independent of the
+    // order components happened to register in (names are unique).
+    std::sort(snap.begin(), snap.end(),
+              [](const StatValue &a, const StatValue &b) {
+                  return a.name < b.name;
+              });
     return snap;
 }
 

@@ -107,6 +107,7 @@ struct StatValue
     std::vector<double> values;     ///< Vector / Histogram buckets
     std::vector<std::string> labels;    ///< Vector: one per element
     uint64_t samples = 0;           ///< Histogram
+    uint64_t sum = 0;               ///< Histogram (exact, for deltas)
     double mean = 0.0;              ///< Histogram
 };
 
@@ -139,7 +140,12 @@ class StatRegistry
 
     size_t size() const { return entries_.size(); }
 
-    /** Read every registered stat into plain data. */
+    /**
+     * Read every registered stat into plain data, sorted by name.
+     * The ordering is part of the report contract: it keeps JSON
+     * reports and text dumps byte-stable across changes in component
+     * registration order, so report diffs (sweep_diff.py) never churn.
+     */
     StatSnapshot snapshot() const;
 
     /** gem5-style text dump: "name  value  # desc", one per line. */

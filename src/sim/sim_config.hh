@@ -19,6 +19,7 @@
 
 namespace hbat::obs
 {
+class PipeviewWriter;
 class TraceSink;
 } // namespace hbat::obs
 
@@ -67,6 +68,29 @@ struct SimConfig
      * can each point at their own sink to keep event streams apart.
      */
     obs::TraceSink *traceSink = nullptr;
+
+    /// @name Observability (all off by default; see obs/)
+    /// @{
+    /**
+     * Sample every registered stat each time this many cycles
+     * complete (0 = off); the cumulative series lands in
+     * SimResult::intervals. Boundaries are exact under idleSkip.
+     */
+    uint64_t intervalCycles = 0;
+
+    /** Record the per-PC translation profile (pipe.pcProfile). */
+    bool pcProfile = false;
+
+    /**
+     * Per-instruction O3PipeView lifecycle writer; nullptr = off.
+     * Owned by the caller; written from the run's thread only, so
+     * concurrent runs need one writer (and file) each.
+     */
+    obs::PipeviewWriter *pipeview = nullptr;
+
+    /** Accumulate host-time phase timers (pipe.phases). */
+    bool selfProfile = false;
+    /// @}
 };
 
 } // namespace hbat::sim

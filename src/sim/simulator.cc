@@ -59,27 +59,46 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
     cpu::FuncCore core(space, prog, std::move(code));
     auto engine = make_engine(space.pageTable());
 
+    // Declared before the pipeline so the interval hook (copied into
+    // the pipeline at construction) can capture them; the registry is
+    // populated right after, before run().
+    SimResult res;
+    obs::StatRegistry reg;
+
     cpu::PipeConfig pipe_cfg;
     pipe_cfg.inOrder = cfg.inOrder;
     pipe_cfg.idleSkip = cfg.idleSkip;
+    pipe_cfg.pcProfile = cfg.pcProfile;
+    pipe_cfg.pipeview = cfg.pipeview;
+    pipe_cfg.selfProfile = cfg.selfProfile;
+    if (cfg.intervalCycles != 0) {
+        res.intervals.interval = cfg.intervalCycles;
+        pipe_cfg.statInterval = cfg.intervalCycles;
+        pipe_cfg.onInterval = [&res, &reg](Cycle c) {
+            res.intervals.samples.push_back(
+                obs::IntervalSample{c, reg.snapshot()});
+        };
+    }
 
     cpu::Pipeline pipe(pipe_cfg, core, *engine, space.params());
 
-    SimResult res;
+    // Register every counter against the *live* components — the same
+    // names and end-of-run values as registering the returned copies,
+    // but snapshottable mid-run by the interval hook.
+    pipe.registerStats(reg, "pipe");
+    engine->registerStats(reg, "xlate");
+    cpu::registerStats(reg, "func", core.stats());
+    reg.formula("vm.touched_pages", "distinct pages touched",
+                [&space] { return double(space.touchedPages()); });
+
     res.program = prog.name;
     res.design = design_label;
     res.pipe = pipe.run(cfg.maxInsts);
     res.func = core.stats();
     res.touchedPages = space.touchedPages();
 
-    // Snapshot every counter while the engine is still alive; the
+    // Snapshot every counter while the components are still alive; the
     // result carries plain data, not references.
-    obs::StatRegistry reg;
-    cpu::registerStats(reg, "pipe", res.pipe);
-    engine->registerStats(reg, "xlate");
-    cpu::registerStats(reg, "func", res.func);
-    reg.scalar("vm.touched_pages", "distinct pages touched",
-               res.touchedPages);
     res.stats = reg.snapshot();
     return res;
 }

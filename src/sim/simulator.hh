@@ -33,6 +33,7 @@
 
 #include "cpu/pipeline.hh"
 #include "kasm/program.hh"
+#include "obs/interval.hh"
 #include "sim/sim_config.hh"
 #include "vm/program_image.hh"
 
@@ -54,6 +55,13 @@ struct SimResult
      * caller sees this). Includes the design-specific xlate stats.
      */
     obs::StatSnapshot stats;
+
+    /**
+     * Interval stat time-series (cumulative samples at every
+     * SimConfig::intervalCycles boundary plus one final partial
+     * sample). Empty unless sampling was configured.
+     */
+    obs::IntervalSeries intervals;
 
     double ipc() const { return pipe.ipc(); }
     Cycle cycles() const { return pipe.cycles; }

@@ -76,7 +76,9 @@ InterleavedTlb::request(const XlateRequest &req, Cycle now)
             ++stats_.translations;
             ++stats_.shielded;
             const vm::RefResult rr = referencePage(req.vpn, req.write);
-            return Outcome::hit(now, rr.ppn, true);
+            Outcome out = Outcome::hit(now, rr.ppn, true);
+            out.piggybacked = true;
+            return out;
         }
         return Outcome::miss(now);
     }

@@ -57,7 +57,9 @@ MultiPortedTlb::request(const XlateRequest &req, Cycle now)
                 ++stats_.shielded;
                 const vm::RefResult rr =
                     referencePage(req.vpn, req.write);
-                return Outcome::hit(now, rr.ppn, true);
+                Outcome out = Outcome::hit(now, rr.ppn, true);
+                out.piggybacked = true;
+                return out;
             }
             // Ride the same miss; the pipeline merges the walks.
             return Outcome::miss(now);

@@ -63,13 +63,20 @@ struct Outcome
     Kind kind = Kind::NoPort;
     Cycle ready = 0;        ///< Hit: cycle the cache access may begin
     bool shielded = false;  ///< no base-TLB port was consumed
+    /**
+     * The request was satisfied by piggybacking (combining with a
+     * same-page access in flight this cycle). Distinct from shielded:
+     * an L1-TLB or pretranslation hit is shielded but not a
+     * piggyback. Drives the per-PC attribution profile.
+     */
+    bool piggybacked = false;
     Ppn ppn = 0;            ///< Hit: the translation
     Cycle missAt = 0;       ///< Miss: cycle the miss was detected
 
     static Outcome
     hit(Cycle ready, Ppn ppn, bool shielded)
     {
-        return Outcome{Kind::Hit, ready, shielded, ppn, 0};
+        return Outcome{Kind::Hit, ready, shielded, false, ppn, 0};
     }
 
     static Outcome noPort() { return Outcome{}; }
@@ -77,7 +84,7 @@ struct Outcome
     static Outcome
     miss(Cycle at)
     {
-        return Outcome{Kind::Miss, 0, false, 0, at};
+        return Outcome{Kind::Miss, 0, false, false, 0, at};
     }
 };
 

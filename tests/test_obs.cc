@@ -119,14 +119,18 @@ TEST(StatRegistry, SnapshotReadsLiveCounters)
 
     hits = 30;
     misses = 10;
+    // Snapshots are sorted by name regardless of registration order
+    // ("tlb.miss_rate" < "tlb.misses" lexicographically).
     const obs::StatSnapshot snap = reg.snapshot();
     ASSERT_EQ(snap.size(), 3u);
     EXPECT_EQ(snap[0].name, "tlb.hits");
     EXPECT_DOUBLE_EQ(snap[0].value, 30.0);
-    EXPECT_EQ(snap[1].kind, obs::StatKind::Scalar);
-    EXPECT_DOUBLE_EQ(snap[1].value, 10.0);
-    EXPECT_EQ(snap[2].kind, obs::StatKind::Formula);
-    EXPECT_DOUBLE_EQ(snap[2].value, 0.25);
+    EXPECT_EQ(snap[1].name, "tlb.miss_rate");
+    EXPECT_EQ(snap[1].kind, obs::StatKind::Formula);
+    EXPECT_DOUBLE_EQ(snap[1].value, 0.25);
+    EXPECT_EQ(snap[2].name, "tlb.misses");
+    EXPECT_EQ(snap[2].kind, obs::StatKind::Scalar);
+    EXPECT_DOUBLE_EQ(snap[2].value, 10.0);
 }
 
 TEST(StatRegistry, VectorStatsKeepLabels)

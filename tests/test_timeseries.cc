@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Time-resolved observability tests: the interval stat time-series
+ * (exact boundaries under idle-cycle skipping — including skipped
+ * spans that cross a sampling boundary), delta semantics, per-PC
+ * translation profile determinism across job counts, and the
+ * O3PipeView trace writer.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.hh"
+#include "obs/interval.hh"
+#include "obs/pipeview.hh"
+#include "sim/simulator.hh"
+#include "tlb/design.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+const obs::StatValue &
+find(const obs::StatSnapshot &snap, const std::string &name)
+{
+    for (const obs::StatValue &v : snap)
+        if (v.name == name)
+            return v;
+    ADD_FAILURE() << "stat " << name << " not in snapshot";
+    static const obs::StatValue none;
+    return none;
+}
+
+TEST(TimeSeries, IntervalSamplesTileTheRun)
+{
+    const kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 0.02);
+    sim::SimConfig cfg;
+    cfg.intervalCycles = 512;
+    const sim::SimResult r = sim::simulate(prog, cfg);
+
+    ASSERT_TRUE(r.intervals.enabled());
+    EXPECT_EQ(r.intervals.interval, 512u);
+    const auto &samples = r.intervals.samples;
+    ASSERT_GE(samples.size(), 3u) << "run too short to sample";
+
+    // Boundaries ascend; all but the final partial one are multiples
+    // of the interval; the final one is the end of the run.
+    Cycle prev = 0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_GT(samples[i].cycle, prev);
+        if (i + 1 < samples.size()) {
+            EXPECT_EQ(samples[i].cycle % 512, 0u);
+        }
+        prev = samples[i].cycle;
+        // Samples are cumulative: the cycle counter at boundary B
+        // reads exactly B.
+        EXPECT_EQ(find(samples[i].stats, "pipe.cycles").value,
+                  double(samples[i].cycle));
+    }
+    EXPECT_EQ(samples.back().cycle, r.cycles());
+
+    // Per-interval deltas tile the run: they sum to the end-of-run
+    // totals, for counters and histogram sample counts alike.
+    double cycles = 0.0, committed = 0.0;
+    uint64_t demand_samples = 0;
+    const obs::StatSnapshot *last = nullptr;
+    for (const obs::IntervalSample &s : samples) {
+        const obs::StatSnapshot d = obs::intervalDelta(last, s.stats);
+        cycles += find(d, "pipe.cycles").value;
+        committed += find(d, "pipe.committed").value;
+        demand_samples += find(d, "pipe.mem_per_cycle").samples;
+        last = &s.stats;
+    }
+    EXPECT_EQ(cycles, double(r.cycles()));
+    EXPECT_EQ(committed, double(r.pipe.committed));
+    EXPECT_EQ(demand_samples, r.cycles());
+}
+
+TEST(TimeSeries, IntervalDeltaSemantics)
+{
+    obs::StatValue sc;
+    sc.name = "c";
+    sc.kind = obs::StatKind::Scalar;
+    obs::StatValue fo;
+    fo.name = "f";
+    fo.kind = obs::StatKind::Formula;
+    obs::StatValue hi;
+    hi.name = "h";
+    hi.kind = obs::StatKind::Histogram;
+    hi.values = {2.0, 3.0};
+
+    obs::StatSnapshot prev{sc, fo, hi};
+    prev[0].value = 10.0;
+    prev[1].value = 0.5;
+    prev[2].samples = 5;
+    prev[2].sum = 7;
+    obs::StatSnapshot cur{sc, fo, hi};
+    cur[0].value = 25.0;
+    cur[1].value = 0.25;
+    cur[2].values = {6.0, 4.0};
+    cur[2].samples = 10;
+    cur[2].sum = 19;
+
+    // Counters subtract; formulas pass through cumulatively.
+    const obs::StatSnapshot d = obs::intervalDelta(&prev, cur);
+    EXPECT_EQ(d[0].value, 15.0);
+    EXPECT_EQ(d[1].value, 0.25);
+    EXPECT_EQ(d[2].values, (std::vector<double>{4.0, 1.0}));
+    EXPECT_EQ(d[2].samples, 5u);
+    EXPECT_EQ(d[2].sum, 12u);
+    EXPECT_EQ(d[2].mean, 12.0 / 5.0);
+
+    // A null prev deltas against the zero state: the first interval.
+    const obs::StatSnapshot first = obs::intervalDelta(nullptr, cur);
+    EXPECT_EQ(first[0].value, 25.0);
+    EXPECT_EQ(first[2].samples, 10u);
+}
+
+/**
+ * The tentpole invariant: the time-series is bit-identical with idle
+ * skipping on and off. The interval is set well below the total
+ * skipped-cycle count so bulk-accounted spans cross sampling
+ * boundaries and must be split across them (pipeline.cc's chunked
+ * span accounting); two designs with different idle profiles.
+ */
+TEST(TimeSeries, IntervalSeriesSkipInvariantAcrossDesigns)
+{
+    const kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 0.02);
+    for (const tlb::Design d : {tlb::Design::T4, tlb::Design::T1}) {
+        SCOPED_TRACE(tlb::designName(d));
+        sim::SimConfig cfg;
+        cfg.design = d;
+        cfg.intervalCycles = 128;
+
+        cfg.idleSkip = false;
+        const sim::SimResult ref = sim::simulate(prog, cfg);
+        cfg.idleSkip = true;
+        const sim::SimResult fast = sim::simulate(prog, cfg);
+
+        ASSERT_GT(fast.pipe.skippedCycles, 10 * 128u)
+            << "not enough skipped cycles to cross boundaries";
+        ASSERT_EQ(ref.intervals.samples.size(),
+                  fast.intervals.samples.size());
+        for (size_t i = 0; i < ref.intervals.samples.size(); ++i) {
+            const obs::IntervalSample &a = ref.intervals.samples[i];
+            const obs::IntervalSample &b = fast.intervals.samples[i];
+            SCOPED_TRACE("sample " + std::to_string(i));
+            EXPECT_EQ(a.cycle, b.cycle);
+            ASSERT_EQ(a.stats.size(), b.stats.size());
+            for (size_t j = 0; j < a.stats.size(); ++j) {
+                const obs::StatValue &x = a.stats[j];
+                const obs::StatValue &y = b.stats[j];
+                SCOPED_TRACE(x.name);
+                EXPECT_EQ(x.name, y.name);
+                EXPECT_EQ(x.value, y.value);
+                EXPECT_EQ(x.values, y.values);
+                EXPECT_EQ(x.samples, y.samples);
+                EXPECT_EQ(x.sum, y.sum);
+            }
+        }
+    }
+}
+
+/**
+ * The per-PC profile and the interval series are part of the
+ * deterministic report surface: a sweep at --jobs 1 and --jobs 8
+ * must produce identical profiles for every cell.
+ */
+TEST(TimeSeries, PcProfileAndIntervalsJobCountInvariant)
+{
+    bench::ExperimentConfig cfg;
+    cfg.scale = 0.02;
+    cfg.programs = {"compress", "espresso"};
+    cfg.pcProfileK = 8;
+    cfg.intervalStats = 1024;
+    const std::vector<tlb::Design> designs = {tlb::Design::T4,
+                                              tlb::Design::T1};
+    cfg.jobs = 1;
+    const bench::Sweep s1 = bench::runDesignSweep(cfg, designs);
+    cfg.jobs = 8;
+    const bench::Sweep s8 = bench::runDesignSweep(cfg, designs);
+
+    ASSERT_EQ(s1.cells.size(), s8.cells.size());
+    for (size_t c = 0; c < s1.cells.size(); ++c) {
+        const bench::Cell &a = s1.cells[c];
+        const bench::Cell &b = s8.cells[c];
+        SCOPED_TRACE(a.program + " " + tlb::designName(a.design));
+
+        const auto ta = a.result.pipe.pcProfile.topK(8);
+        const auto tb = b.result.pipe.pcProfile.topK(8);
+        ASSERT_FALSE(ta.empty());
+        ASSERT_EQ(ta.size(), tb.size());
+        for (size_t i = 0; i < ta.size(); ++i) {
+            EXPECT_EQ(ta[i].pc, tb[i].pc);
+            EXPECT_EQ(ta[i].counts.requests, tb[i].counts.requests);
+            EXPECT_EQ(ta[i].counts.misses, tb[i].counts.misses);
+            EXPECT_EQ(ta[i].counts.walkCycles,
+                      tb[i].counts.walkCycles);
+            EXPECT_EQ(ta[i].counts.piggybackHits,
+                      tb[i].counts.piggybackHits);
+        }
+
+        const auto &ia = a.result.intervals;
+        const auto &ib = b.result.intervals;
+        ASSERT_EQ(ia.samples.size(), ib.samples.size());
+        for (size_t i = 0; i < ia.samples.size(); ++i) {
+            EXPECT_EQ(ia.samples[i].cycle, ib.samples[i].cycle);
+            ASSERT_EQ(ia.samples[i].stats.size(),
+                      ib.samples[i].stats.size());
+            for (size_t j = 0; j < ia.samples[i].stats.size(); ++j) {
+                EXPECT_EQ(ia.samples[i].stats[j].value,
+                          ib.samples[i].stats[j].value)
+                    << ia.samples[i].stats[j].name;
+            }
+        }
+    }
+}
+
+TEST(TimeSeries, PipeviewTraceCoversEveryCommit)
+{
+    const kasm::Program prog =
+        workloads::build("compress", kasm::RegBudget{32, 32}, 0.01);
+    const std::string path =
+        ::testing::TempDir() + "hbat_pipeview_test.out";
+
+    sim::SimResult r;
+    {
+        obs::PipeviewWriter writer(path);
+        sim::SimConfig cfg;
+        cfg.pipeview = &writer;
+        r = sim::simulate(prog, cfg);
+    }
+
+    // One fetch line and one retire line per committed instruction.
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    uint64_t fetches = 0, retires = 0;
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::string(line).rfind("O3PipeView:fetch:", 0) == 0)
+            ++fetches;
+        else if (std::string(line).rfind("O3PipeView:retire:", 0) == 0)
+            ++retires;
+    }
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(fetches, r.pipe.committed);
+    EXPECT_EQ(retires, r.pipe.committed);
+}
+
+} // namespace
