@@ -23,8 +23,9 @@ main(int argc, char **argv)
     bench::ExperimentConfig cfg =
         bench::parseArgs(argc, argv, defaults);
 
-    const bench::Sweep sweep =
-        bench::runDesignSweep(cfg, tlb::allDesigns());
+    // Stays enum-driven: the cost model is keyed on the Table 2 rows.
+    const std::vector<tlb::Design> designs = tlb::allDesigns();
+    const bench::Sweep sweep = bench::runDesignSweep(cfg, designs);
 
     TextTable table;
     table.header({"design", "rel-IPC", "area(rbe)", "rel-area",
@@ -32,7 +33,7 @@ main(int argc, char **argv)
 
     const double t4Area =
         tlb::designCost(tlb::Design::T4).areaRbe;
-    for (size_t d = 0; d < sweep.designs.size(); ++d) {
+    for (size_t d = 0; d < designs.size(); ++d) {
         std::vector<double> vals, weights;
         for (size_t p = 0; p < sweep.programs.size(); ++p) {
             vals.push_back(ratio(sweep.cell(p, d).result.ipc(),
@@ -40,10 +41,9 @@ main(int argc, char **argv)
             weights.push_back(
                 double(sweep.cell(p, 0).result.cycles()));
         }
-        const tlb::CostEstimate cost =
-            tlb::designCost(sweep.designs[d]);
+        const tlb::CostEstimate cost = tlb::designCost(designs[d]);
         table.row({
-            tlb::designName(sweep.designs[d]),
+            sweep.columns[d].label,
             fixed(weightedAverage(vals, weights), 3),
             fixed(cost.areaRbe, 0),
             fixed(cost.areaRbe / t4Area, 2),

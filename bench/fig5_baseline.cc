@@ -13,11 +13,13 @@ int
 main(int argc, char **argv)
 {
     using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.supportsSweep = true;
     bench::ExperimentConfig cfg =
-        bench::parseArgs(argc, argv, bench::ExperimentConfig{});
+        bench::parseArgs(argc, argv, defaults);
 
     const bench::Sweep sweep =
-        bench::runDesignSweep(cfg, tlb::allDesigns());
+        bench::runConfiguredSweep(cfg, tlb::allDesigns());
     const std::string title =
         "Figure 5: relative performance on the baseline simulator "
         "(normalized IPC)";

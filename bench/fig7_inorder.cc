@@ -14,11 +14,12 @@ main(int argc, char **argv)
     using namespace hbat;
     bench::ExperimentConfig defaults;
     defaults.inOrder = true;
+    defaults.supportsSweep = true;
     bench::ExperimentConfig cfg =
         bench::parseArgs(argc, argv, defaults);
 
     const bench::Sweep sweep =
-        bench::runDesignSweep(cfg, tlb::allDesigns());
+        bench::runConfiguredSweep(cfg, tlb::allDesigns());
     const std::string title =
         "Figure 7: relative performance with in-order issue "
         "(normalized IPC)";

@@ -15,11 +15,12 @@ main(int argc, char **argv)
     using namespace hbat;
     bench::ExperimentConfig defaults;
     defaults.pageBytes = 8192;
+    defaults.supportsSweep = true;
     bench::ExperimentConfig cfg =
         bench::parseArgs(argc, argv, defaults);
 
     const bench::Sweep sweep =
-        bench::runDesignSweep(cfg, tlb::allDesigns());
+        bench::runConfiguredSweep(cfg, tlb::allDesigns());
     const std::string title =
         "Figure 8: relative performance with 8 KB pages "
         "(normalized IPC)";

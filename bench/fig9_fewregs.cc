@@ -16,11 +16,12 @@ main(int argc, char **argv)
     using namespace hbat;
     bench::ExperimentConfig defaults;
     defaults.budget = kasm::RegBudget{8, 8};
+    defaults.supportsSweep = true;
     bench::ExperimentConfig cfg =
         bench::parseArgs(argc, argv, defaults);
 
     const bench::Sweep sweep =
-        bench::runDesignSweep(cfg, tlb::allDesigns());
+        bench::runConfiguredSweep(cfg, tlb::allDesigns());
     const std::string title =
         "Figure 9: relative performance with 8 int / 8 fp registers "
         "(normalized IPC)";

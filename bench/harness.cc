@@ -62,7 +62,7 @@ threadCpuSeconds()
 const Cell &
 Sweep::cell(size_t prog, size_t design) const
 {
-    return cells[prog * designs.size() + design];
+    return cells[prog * columns.size() + design];
 }
 
 sim::SimConfig
@@ -88,6 +88,98 @@ printVersion()
                 buildinfo::kBuildType, buildinfo::kCompiler);
 }
 
+void
+printDesignCatalogue()
+{
+    std::printf("Table 2 design catalogue (configs/table2.conf):\n\n");
+    for (tlb::Design d : tlb::allDesigns()) {
+        std::printf("  %-6s %s\n", tlb::designName(d).c_str(),
+                    tlb::designDescription(d).c_str());
+        std::printf("         %s\n",
+                    tlb::paramsSummary(tlb::designParams(d)).c_str());
+    }
+}
+
+namespace
+{
+
+/** One recognized command-line flag. */
+struct FlagSpec
+{
+    const char *name;
+    const char *metavar;    ///< nullptr = takes no value
+    const char *help;
+    bool needsSweep = false;    ///< only when defaults.supportsSweep
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--scale", "f", "workload scale factor (default $HBAT_SCALE or 1)"},
+    {"--program", "name", "run this workload (repeatable; default all)"},
+    {"--seed", "n", "seed for randomized structures"},
+    {"--json", "file", "write the machine-readable report here"},
+    {"--jobs", "n", "simulation worker threads (default $HBAT_JOBS)"},
+    {"--no-skip", nullptr, "disable idle-cycle skipping (A/B debug)"},
+    {"--trace", "cats", "enable trace categories (comma-separated)"},
+    {"--interval-stats", "n", "sample every stat each n cycles"},
+    {"--pc-profile", "k", "record the k hottest PCs per cell"},
+    {"--pipeview", "file", "write O3PipeView lifecycle traces here"},
+    {"--self-profile", nullptr, "accumulate host-time phase timers"},
+    {"--sweep", "file", "run this design-space spec (DESIGN.md §11)",
+     true},
+    {"--list-designs", nullptr,
+     "print the design catalogue and exit"},
+    {"--version", nullptr, "print the build stamp and exit"},
+};
+
+std::string
+usageText(const char *argv0, bool supportsSweep)
+{
+    std::string u = detail::concat("usage: ", argv0, " [flags]\n");
+    for (const FlagSpec &f : kFlags) {
+        if (f.needsSweep && !supportsSweep)
+            continue;
+        std::string head = f.name;
+        if (f.metavar != nullptr)
+            head += detail::concat(" <", f.metavar, ">");
+        char line[160];
+        std::snprintf(line, sizeof(line), "  %-22s %s\n", head.c_str(),
+                      f.help);
+        u += line;
+    }
+    return u;
+}
+
+/** Levenshtein distance, for "did you mean" suggestions. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const size_t next = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+[[noreturn]] void
+argError(const char *argv0, bool supportsSweep, const std::string &msg)
+{
+    std::fprintf(stderr, "error: %s\n%s", msg.c_str(),
+                 usageText(argv0, supportsSweep).c_str());
+    std::exit(2);
+}
+
+} // namespace
+
 ExperimentConfig
 parseArgs(int argc, char **argv, ExperimentConfig defaults)
 {
@@ -96,53 +188,99 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
         cfg.scale = std::atof(env);
     if (const char *env = std::getenv("HBAT_NO_SKIP"))
         cfg.noSkip = env[0] != '\0' && env[0] != '0';
+
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-            cfg.scale = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--program") == 0 &&
-                   i + 1 < argc) {
-            cfg.programs.push_back(argv[++i]);
-        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            cfg.seed = std::strtoull(argv[++i], nullptr, 0);
-        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            cfg.jsonPath = argv[++i];
-        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            cfg.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        const std::string arg = argv[i];
+
+        // Resolve the flag against the table first so a typo'd
+        // --sweeep errors out instead of silently running the default
+        // experiment.
+        const FlagSpec *spec = nullptr;
+        for (const FlagSpec &f : kFlags) {
+            if (arg == f.name && (!f.needsSweep || cfg.supportsSweep))
+                spec = &f;
+        }
+        if (spec == nullptr) {
+            // A sweep-only flag on a bespoke-table binary gets its
+            // own message, not a did-you-mean for something else.
+            for (const FlagSpec &f : kFlags) {
+                if (arg == f.name) {
+                    argError(argv[0], cfg.supportsSweep,
+                             detail::concat(
+                                 "flag '", arg, "' is not supported "
+                                 "by this binary (its design list is "
+                                 "not config-replaceable)"));
+                }
+            }
+            std::string msg =
+                detail::concat("unknown flag '", arg, "'");
+            const FlagSpec *best = nullptr;
+            size_t bestDist = 3;    // suggest within edit distance 2
+            for (const FlagSpec &f : kFlags) {
+                if (f.needsSweep && !cfg.supportsSweep)
+                    continue;
+                const size_t dist = editDistance(arg, f.name);
+                if (dist < bestDist) {
+                    bestDist = dist;
+                    best = &f;
+                }
+            }
+            if (best != nullptr)
+                msg += detail::concat(" (did you mean '", best->name,
+                                      "'?)");
+            argError(argv[0], cfg.supportsSweep, msg);
+        }
+
+        const char *value = nullptr;
+        if (spec->metavar != nullptr) {
+            if (i + 1 >= argc) {
+                argError(argv[0], cfg.supportsSweep,
+                         detail::concat("flag '", arg, "' needs a <",
+                                        spec->metavar, "> value"));
+            }
+            value = argv[++i];
+        }
+
+        if (arg == "--scale") {
+            cfg.scale = std::atof(value);
+            cfg.scaleExplicit = true;
+        } else if (arg == "--program") {
+            cfg.programs.push_back(value);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(value, nullptr, 0);
+            cfg.seedExplicit = true;
+        } else if (arg == "--json") {
+            cfg.jsonPath = value;
+        } else if (arg == "--jobs") {
+            cfg.jobs = unsigned(std::strtoul(value, nullptr, 10));
             if (cfg.jobs == 0)
                 hbat_fatal("--jobs wants a positive integer");
-        } else if (std::strcmp(argv[i], "--no-skip") == 0) {
+        } else if (arg == "--no-skip") {
             cfg.noSkip = true;
-        } else if (std::strcmp(argv[i], "--trace") == 0 &&
-                   i + 1 < argc) {
-            obs::setTraceMask(obs::parseTraceCats(argv[++i]));
-        } else if (std::strcmp(argv[i], "--interval-stats") == 0 &&
-                   i + 1 < argc) {
-            cfg.intervalStats =
-                std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--trace") {
+            obs::setTraceMask(obs::parseTraceCats(value));
+        } else if (arg == "--interval-stats") {
+            cfg.intervalStats = std::strtoull(value, nullptr, 10);
             if (cfg.intervalStats == 0)
                 hbat_fatal("--interval-stats wants a positive cycle "
                            "count");
-        } else if (std::strcmp(argv[i], "--pc-profile") == 0 &&
-                   i + 1 < argc) {
+        } else if (arg == "--pc-profile") {
             cfg.pcProfileK =
-                unsigned(std::strtoul(argv[++i], nullptr, 10));
+                unsigned(std::strtoul(value, nullptr, 10));
             if (cfg.pcProfileK == 0)
                 hbat_fatal("--pc-profile wants a positive top-K count");
-        } else if (std::strcmp(argv[i], "--pipeview") == 0 &&
-                   i + 1 < argc) {
-            cfg.pipeviewPath = argv[++i];
-        } else if (std::strcmp(argv[i], "--self-profile") == 0) {
+        } else if (arg == "--pipeview") {
+            cfg.pipeviewPath = value;
+        } else if (arg == "--self-profile") {
             cfg.selfProfile = true;
-        } else if (std::strcmp(argv[i], "--version") == 0) {
+        } else if (arg == "--sweep") {
+            cfg.sweepPath = value;
+        } else if (arg == "--list-designs") {
+            printDesignCatalogue();
+            std::exit(0);
+        } else if (arg == "--version") {
             printVersion();
             std::exit(0);
-        } else {
-            hbat_fatal("unknown argument '", argv[i],
-                       "' (supported: --scale f, --program name, "
-                       "--seed n, --json file, --jobs n, --no-skip, "
-                       "--trace cats, --interval-stats n, "
-                       "--pc-profile k, --pipeview file, "
-                       "--self-profile, --version)");
         }
     }
     hbat_assert(cfg.scale > 0.0, "scale must be positive");
@@ -158,13 +296,37 @@ progressLine(const std::string &msg)
     std::fprintf(stderr, "%s\n", msg.c_str());
 }
 
+namespace
+{
+
+/**
+ * Pipeview files are named after the cell's column label; labels from
+ * sweep specs (and "I4/PB") carry separators that cannot appear in a
+ * file name component.
+ */
+std::string
+sanitizeForPath(const std::string &label)
+{
+    std::string out;
+    for (char c : label) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '-' || c == '_';
+        out += keep ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
 Sweep
-runDesignSweep(const ExperimentConfig &config,
-               const std::vector<tlb::Design> &designs)
+runColumnSweep(const ExperimentConfig &config,
+               const std::vector<SweepColumn> &columns)
 {
     Sweep sweep;
     sweep.config = config;
-    sweep.designs = designs;
+    sweep.columns = columns;
 
     if (config.programs.empty()) {
         for (const workloads::Workload &w : workloads::all())
@@ -177,16 +339,24 @@ runDesignSweep(const ExperimentConfig &config,
         config.jobs ? config.jobs : JobPool::defaultWorkers();
     sweep.config.jobs = jobs;   // report the resolved count, not 0
     const size_t nProgs = sweep.programs.size();
-    const size_t nDesigns = designs.size();
+    const size_t nCols = columns.size();
+    hbat_assert(nCols > 0, "sweep needs at least one column");
 
     // Reject structurally-invalid experiment setups before burning
-    // cycles: errors abort, warnings print and proceed.
+    // cycles: errors abort, warnings print and proceed. Every column
+    // is checked — a spec axis must not discover its bad value only
+    // when its cell is reached.
     {
         verify::Report report;
-        sim::SimConfig sc = toSimConfig(config);
-        verify::lintConfig(sc, report);
-        for (tlb::Design d : designs)
-            verify::lintDesign(d, report, config.pageBytes);
+        for (const SweepColumn &col : columns) {
+            verify::Report colReport;
+            verify::lintConfig(col.sim, colReport);
+            for (verify::Diagnostic &diag : colReport.diags) {
+                diag.message = detail::concat("[", col.label, "] ",
+                                              diag.message);
+                report.diags.push_back(std::move(diag));
+            }
+        }
         for (const verify::Diagnostic &diag : report.diags) {
             if (diag.severity >= verify::Severity::Warning)
                 hbat_warn("design lint: ", diag.str());
@@ -195,49 +365,107 @@ runDesignSweep(const ExperimentConfig &config,
             hbat_fatal("design lint found errors; aborting sweep");
     }
 
-    // One link, one decode, and one page image per program serve
-    // every design; all three are immutable once built, so cells
-    // share them freely (pages clone copy-on-write per cell).
-    std::vector<kasm::Program> images(nProgs);
-    std::vector<std::shared_ptr<const cpu::StaticCode>> codes(nProgs);
-    std::vector<std::shared_ptr<const vm::ProgramImage>> pages(nProgs);
-    parallelFor(nProgs, jobs, [&](size_t p) {
-        images[p] = workloads::build(sweep.programs[p], config.budget,
-                                     config.scale);
-        codes[p] = std::make_shared<const cpu::StaticCode>(images[p]);
-        pages[p] = std::make_shared<const vm::ProgramImage>(
-            images[p], vm::PageParams(config.pageBytes));
+    // One link, one decode, and one page image per distinct workload
+    // variant serves every column that shares it; all are immutable
+    // once built, so cells share them freely (pages clone
+    // copy-on-write per cell). Built-in experiments have exactly one
+    // variant; spec axes over budget/scale/pageBytes multiply them.
+    struct BuildVariant       // one workloads::build() product
+    {
+        kasm::RegBudget budget;
+        double scale;
+    };
+    struct ImageVariant       // one paging of a build variant
+    {
+        size_t build;
+        unsigned pageBytes;
+    };
+    std::vector<BuildVariant> builds;
+    std::vector<ImageVariant> imageVariants;
+    std::vector<size_t> colImage(nCols);    // column -> image variant
+    for (size_t c = 0; c < nCols; ++c) {
+        const SweepColumn &col = columns[c];
+        size_t b = 0;
+        for (; b < builds.size(); ++b) {
+            if (builds[b].budget.intRegs == col.sim.budget.intRegs &&
+                builds[b].budget.fpRegs == col.sim.budget.fpRegs &&
+                builds[b].scale == col.scale)
+                break;
+        }
+        if (b == builds.size())
+            builds.push_back(BuildVariant{col.sim.budget, col.scale});
+        size_t iv = 0;
+        for (; iv < imageVariants.size(); ++iv) {
+            if (imageVariants[iv].build == b &&
+                imageVariants[iv].pageBytes == col.sim.pageBytes)
+                break;
+        }
+        if (iv == imageVariants.size())
+            imageVariants.push_back(
+                ImageVariant{b, col.sim.pageBytes});
+        colImage[c] = iv;
+    }
+
+    // images/codes indexed [build][program]; pages [imageVariant][program].
+    std::vector<std::vector<kasm::Program>> images(
+        builds.size(), std::vector<kasm::Program>(nProgs));
+    std::vector<std::vector<std::shared_ptr<const cpu::StaticCode>>>
+        codes(builds.size(),
+              std::vector<std::shared_ptr<const cpu::StaticCode>>(
+                  nProgs));
+    std::vector<
+        std::vector<std::shared_ptr<const vm::ProgramImage>>>
+        pages(imageVariants.size(),
+              std::vector<std::shared_ptr<const vm::ProgramImage>>(
+                  nProgs));
+    parallelFor(builds.size() * nProgs, jobs, [&](size_t idx) {
+        const size_t b = idx / nProgs;
+        const size_t p = idx % nProgs;
+        images[b][p] = workloads::build(
+            sweep.programs[p], builds[b].budget, builds[b].scale);
+        codes[b][p] =
+            std::make_shared<const cpu::StaticCode>(images[b][p]);
+    });
+    parallelFor(imageVariants.size() * nProgs, jobs, [&](size_t idx) {
+        const size_t iv = idx / nProgs;
+        const size_t p = idx % nProgs;
+        pages[iv][p] = std::make_shared<const vm::ProgramImage>(
+            images[imageVariants[iv].build][p],
+            vm::PageParams(imageVariants[iv].pageBytes));
     });
 
-    // Every (program, design) cell is one independent job writing its
+    // Every (program, column) cell is one independent job writing its
     // own pre-sized slot, which keeps cell order — and therefore every
     // table and report — identical at any job count.
-    sweep.cells.resize(nProgs * nDesigns);
+    sweep.cells.resize(nProgs * nCols);
     const SteadyTime sweepStart = now();
     parallelFor(sweep.cells.size(), jobs, [&](size_t idx) {
-        const size_t p = idx / nDesigns;
-        const size_t d = idx % nDesigns;
+        const size_t p = idx / nCols;
+        const size_t c = idx % nCols;
+        const SweepColumn &col = columns[c];
+        const size_t iv = colImage[c];
+        const size_t b = imageVariants[iv].build;
         Cell &cell = sweep.cells[idx];
         cell.program = sweep.programs[p];
-        cell.design = designs[d];
+        cell.design = col.label;
 
         const double cellStart = threadCpuSeconds();
-        sim::SimConfig sc = toSimConfig(config);
-        sc.design = designs[d];
+        sim::SimConfig sc = col.sim;
 
         // One pipeview file per cell: concurrent cells cannot share a
         // writer, and a single-cell run keeps the plain path.
         std::unique_ptr<obs::PipeviewWriter> pview;
         if (!config.pipeviewPath.empty()) {
             std::string path = config.pipeviewPath;
-            if (nProgs * nDesigns > 1)
+            if (nProgs * nCols > 1)
                 path += std::string(".") + cell.program + "." +
-                        tlb::designName(cell.design);
+                        sanitizeForPath(col.label);
             pview = std::make_unique<obs::PipeviewWriter>(path);
             sc.pipeview = pview.get();
         }
 
-        cell.result = sim::simulate(images[p], sc, codes[p], pages[p]);
+        cell.result =
+            sim::simulate(images[b][p], sc, codes[b][p], pages[iv][p]);
         cell.wallSeconds = threadCpuSeconds() - cellStart;
 
         const cpu::PipeStats &ps = cell.result.pipe;
@@ -246,12 +474,70 @@ runDesignSweep(const ExperimentConfig &config,
                             double(ps.cycles)
                       : 0.0;
         progressLine(detail::concat(
-            "  [", cell.program, " / ", tlb::designName(cell.design),
-            "]  ", fixed(cell.wallSeconds, 2), "s  skip ",
-            fixed(skipPct, 0), "%"));
+            "  [", cell.program, " / ", cell.design, "]  ",
+            fixed(cell.wallSeconds, 2), "s  skip ", fixed(skipPct, 0),
+            "%"));
     });
     sweep.wallSeconds = secondsSince(sweepStart);
     return sweep;
+}
+
+Sweep
+runDesignSweep(const ExperimentConfig &config,
+               const std::vector<tlb::Design> &designs)
+{
+    std::vector<SweepColumn> columns;
+    for (tlb::Design d : designs) {
+        SweepColumn col;
+        col.label = tlb::designName(d);
+        col.sim = toSimConfig(config);
+        col.sim.design = d;
+        col.scale = config.scale;
+        columns.push_back(std::move(col));
+    }
+    return runColumnSweep(config, columns);
+}
+
+Sweep
+runConfiguredSweep(const ExperimentConfig &config,
+                   const std::vector<tlb::Design> &fallback)
+{
+    if (config.sweepPath.empty())
+        return runDesignSweep(config, fallback);
+
+    verify::Report report;
+    config::Config cfg;
+    sim::SweepSpec spec;
+    if (!config::Config::parseFile(config.sweepPath, cfg, report) ||
+        !sim::expandSweepSpec(cfg, toSimConfig(config), spec,
+                              report)) {
+        for (const verify::Diagnostic &diag : report.diags)
+            progressLine(detail::concat("sweep spec: ", diag.str()));
+        hbat_fatal("cannot load sweep spec '", config.sweepPath, "'");
+    }
+
+    // CLI --program/--scale/--seed override the spec; otherwise the
+    // spec's keys override the binary's defaults.
+    ExperimentConfig ec = config;
+    if (ec.programs.empty())
+        ec.programs = spec.programs;
+
+    std::vector<SweepColumn> columns;
+    for (sim::SweepColumnSpec &cs : spec.columns) {
+        SweepColumn col;
+        col.label = cs.label;
+        col.sim = std::move(cs.sim);
+        col.scale = (cs.hasScale && !config.scaleExplicit)
+                        ? cs.scale
+                        : config.scale;
+        if (config.seedExplicit)
+            col.sim.seed = config.seed;
+        col.echo = std::move(cs.echo);
+        columns.push_back(std::move(col));
+    }
+    progressLine(detail::concat("sweep spec '", config.sweepPath,
+                                "': ", columns.size(), " column(s)"));
+    return runColumnSweep(ec, columns);
 }
 
 namespace
@@ -263,14 +549,14 @@ printTable(const std::string &title, const Sweep &sweep,
 {
     TextTable table;
     std::vector<std::string> head{"program"};
-    for (tlb::Design d : sweep.designs)
-        head.push_back(tlb::designName(d));
+    for (const SweepColumn &col : sweep.columns)
+        head.push_back(col.label);
     table.header(std::move(head));
 
     for (size_t p = 0; p < sweep.programs.size(); ++p) {
         std::vector<std::string> row{sweep.programs[p]};
         const double base = sweep.cell(p, 0).result.ipc();
-        for (size_t d = 0; d < sweep.designs.size(); ++d) {
+        for (size_t d = 0; d < sweep.columns.size(); ++d) {
             const double ipc = sweep.cell(p, d).result.ipc();
             row.push_back(normalized ? fixed(ratio(ipc, base), 3)
                                      : fixed(ipc, 3));
@@ -281,7 +567,7 @@ printTable(const std::string &title, const Sweep &sweep,
     // Run-time weighted average (weights: cycles under the first
     // design, which the experiments keep as T4 per the paper).
     std::vector<std::string> avg{"RTW-avg"};
-    for (size_t d = 0; d < sweep.designs.size(); ++d) {
+    for (size_t d = 0; d < sweep.columns.size(); ++d) {
         std::vector<double> vals, weights;
         for (size_t p = 0; p < sweep.programs.size(); ++p) {
             const double base = sweep.cell(p, 0).result.ipc();
@@ -423,7 +709,8 @@ writeCellObservability(json::Writer &w, const ExperimentConfig &config,
  * committed baseline to the commit that produced it).
  */
 void
-writeMeta(json::Writer &w, const ExperimentConfig &config)
+writeMeta(json::Writer &w, const ExperimentConfig &config,
+          const std::vector<SweepColumn> *columns = nullptr)
 {
     char host[256] = "unknown";
     if (gethostname(host, sizeof(host) - 1) != 0)
@@ -436,6 +723,24 @@ writeMeta(json::Writer &w, const ExperimentConfig &config)
     w.key("compiler").value(std::string(buildinfo::kCompiler));
     w.key("host").value(std::string(host));
     w.key("jobs").value(uint64_t(config.jobs));
+    // Sweep-spec provenance: which spec expanded into this grid and
+    // what each column resolved to. Meta by design — sweep_diff.py
+    // ignores it, so a spec reproducing a built-in sweep still diffs
+    // byte-identical modulo meta.
+    if (columns != nullptr && !config.sweepPath.empty()) {
+        w.key("sweep_spec").value(config.sweepPath);
+        w.key("columns").beginArray();
+        for (const SweepColumn &col : *columns) {
+            w.beginObject();
+            w.key("label").value(col.label);
+            w.key("config").beginObject();
+            for (const auto &[key, val] : col.echo)
+                w.key(key).value(val);
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 }
 
@@ -475,12 +780,12 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
     json::Writer w;
     w.beginObject();
     w.key("title").value(title);
-    writeMeta(w, sweep.config);
+    writeMeta(w, sweep.config, &sweep.columns);
     writeConfig(w, sweep.config);
 
     w.key("designs").beginArray();
-    for (tlb::Design d : sweep.designs)
-        w.value(tlb::designName(d));
+    for (const SweepColumn &col : sweep.columns)
+        w.value(col.label);
     w.endArray();
 
     w.key("programs").beginArray();
@@ -491,11 +796,11 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
     w.key("cells").beginArray();
     for (size_t p = 0; p < sweep.programs.size(); ++p) {
         const double base = sweep.cell(p, 0).result.ipc();
-        for (size_t d = 0; d < sweep.designs.size(); ++d) {
+        for (size_t d = 0; d < sweep.columns.size(); ++d) {
             const Cell &cell = sweep.cell(p, d);
             w.beginObject();
             w.key("program").value(cell.program);
-            w.key("design").value(tlb::designName(cell.design));
+            w.key("design").value(cell.design);
             w.key("ipc").value(cell.result.ipc());
             w.key("norm_ipc").value(ratio(cell.result.ipc(), base));
             w.key("cycles").value(cell.result.cycles());
@@ -514,14 +819,14 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
     // Run-time weighted average of normalized IPC, as printed.
     w.key("summary").beginObject();
     w.key("rtw_avg_norm_ipc").beginObject();
-    for (size_t d = 0; d < sweep.designs.size(); ++d) {
+    for (size_t d = 0; d < sweep.columns.size(); ++d) {
         std::vector<double> vals, weights;
         for (size_t p = 0; p < sweep.programs.size(); ++p) {
             const double base = sweep.cell(p, 0).result.ipc();
             vals.push_back(ratio(sweep.cell(p, d).result.ipc(), base));
             weights.push_back(double(sweep.cell(p, 0).result.cycles()));
         }
-        w.key(tlb::designName(sweep.designs[d]))
+        w.key(sweep.columns[d].label)
             .value(weightedAverage(vals, weights));
     }
     w.endObject();

@@ -28,11 +28,13 @@
 #define HBAT_BENCH_HARNESS_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep_spec.hh"
 
 namespace hbat::bench
 {
@@ -92,6 +94,29 @@ struct ExperimentConfig
      */
     bool selfProfile = false;
     /// @}
+
+    /**
+     * Design-space spec file (--sweep FILE, DESIGN.md §11): replaces
+     * the binary's built-in design list with the spec's expanded
+     * cross-product of design and machine axes. Empty = built-in.
+     */
+    std::string sweepPath;
+
+    /**
+     * True when --scale / --seed appeared on the command line: an
+     * explicit CLI value overrides the same key in a sweep spec
+     * (otherwise the spec wins over the binary's default).
+     */
+    bool scaleExplicit = false;
+    bool seedExplicit = false;
+
+    /**
+     * Whether this binary accepts --sweep. Set on the defaults passed
+     * to parseArgs() by the binaries whose sweep axes are
+     * config-replaceable (the design-sweep figures); bespoke-table
+     * binaries leave it off and parseArgs rejects the flag.
+     */
+    bool supportsSweep = false;
 };
 
 /**
@@ -101,11 +126,31 @@ struct ExperimentConfig
  */
 sim::SimConfig toSimConfig(const ExperimentConfig &config);
 
+/**
+ * One column of the sweep grid: a fully-resolved design + machine
+ * configuration. The built-in experiments make one per Table 2 enum
+ * row; --sweep expands a spec's cross-product into these.
+ */
+struct SweepColumn
+{
+    /** Column label ("T4", or "T4 pageBytes=8192 intRegs=8"). */
+    std::string label;
+
+    /** Complete per-cell simulation configuration. */
+    sim::SimConfig sim;
+
+    /** Workload scale for this column's cells. */
+    double scale = 1.0;
+
+    /** Resolved spec settings, echoed into the JSON meta. */
+    std::vector<std::pair<std::string, std::string>> echo;
+};
+
 /** Results of one (program, design) cell. */
 struct Cell
 {
     std::string program;
-    tlb::Design design;
+    std::string design;     ///< the column's label
     sim::SimResult result;
     /**
      * Thread-CPU seconds this cell's simulation took (the JSON key
@@ -116,13 +161,13 @@ struct Cell
     double wallSeconds = 0.0;
 };
 
-/** A full sweep: every selected program under every design. */
+/** A full sweep: every selected program under every column. */
 struct Sweep
 {
     ExperimentConfig config;
-    std::vector<tlb::Design> designs;
+    std::vector<SweepColumn> columns;
     std::vector<std::string> programs;
-    std::vector<Cell> cells;    ///< programs x designs, program-major
+    std::vector<Cell> cells;    ///< programs x columns, program-major
     /**
      * Host wall-clock (elapsed) seconds for the whole cell phase —
      * with --jobs > 1 this is less than the sum of per-cell CPU
@@ -138,11 +183,21 @@ struct Sweep
  *  --scale f, --program name, --seed n, --json file, --jobs n,
  *  --trace cats (comma-separated category list, see obs/trace.hh),
  *  --interval-stats n, --pc-profile k, --pipeview file,
- *  --self-profile, and --version (print the build stamp and exit 0).
+ *  --self-profile, --sweep file (when defaults.supportsSweep),
+ *  --list-designs (print the Table 2 catalogue and exit 0), and
+ *  --version (print the build stamp and exit 0).
  * The returned config always has a concrete jobs count (>= 1).
+ * Unknown flags and missing values print a structured error plus the
+ * usage text to stderr and exit 2.
  */
 ExperimentConfig parseArgs(int argc, char **argv,
                            ExperimentConfig defaults);
+
+/**
+ * Print the design catalogue (mnemonic, description, resolved
+ * DesignParams) — the --list-designs output.
+ */
+void printDesignCatalogue();
 
 /**
  * Serialized progress reporter: emits "@p msg\n" to stderr under the
@@ -158,12 +213,31 @@ void progressLine(const std::string &msg);
 void printVersion();
 
 /**
- * Run the sweep: build each selected program once, then execute all
- * (program, design) cells on config.jobs workers. Deterministic at
- * any job count. Reports per-cell progress and timing to stderr.
+ * Run the sweep grid: lint every column, build each distinct
+ * (program, budget, scale, page-size) workload variant once, then
+ * execute all (program, column) cells on config.jobs workers.
+ * Deterministic at any job count. Reports per-cell progress and
+ * timing to stderr.
+ */
+Sweep runColumnSweep(const ExperimentConfig &config,
+                     const std::vector<SweepColumn> &columns);
+
+/**
+ * Run a sweep over Table 2 enum rows: one column per design, all
+ * machine axes from @p config. The pre-config entry point; kept both
+ * for the bespoke binaries and as the equivalence reference the
+ * config-driven path is diffed against.
  */
 Sweep runDesignSweep(const ExperimentConfig &config,
                      const std::vector<tlb::Design> &designs);
+
+/**
+ * The main entry point of the design-sweep binaries: run the spec
+ * from --sweep when one was given (CLI --program/--scale/--seed
+ * override it), else the built-in @p fallback designs.
+ */
+Sweep runConfiguredSweep(const ExperimentConfig &config,
+                         const std::vector<tlb::Design> &fallback);
 
 /**
  * Print the paper-style table: one row per program of IPCs normalized

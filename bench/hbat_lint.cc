@@ -13,6 +13,11 @@
  *   hbat_lint --budget 8,8       # Section 4.6's register pressure
  *   hbat_lint --cfg               # dump CFG/dataflow per program
  *   hbat_lint --json lint.json    # machine-readable report
+ *
+ * With --sweep FILE the tool instead checks a design-space spec
+ * (DESIGN.md §11) standalone: parse + expand the cross-product, lint
+ * every resulting cell configuration, and report per-column findings
+ * — the pre-flight for a long campaign, without simulating anything.
  */
 
 #include <cstdio>
@@ -24,6 +29,8 @@
 #include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "config/config.hh"
+#include "sim/sweep_spec.hh"
 #include "verify/design_lint.hh"
 #include "verify/verifier.hh"
 #include "workloads/workloads.hh"
@@ -40,6 +47,7 @@ struct Options
     double scale = 1.0;
     bool dumpCfg = false;
     std::string jsonPath;
+    std::string sweepPath;  ///< --sweep: lint a spec instead
 };
 
 [[noreturn]] void
@@ -47,7 +55,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--program NAME]... [--budget I,F] "
-                 "[--scale F] [--cfg] [--json FILE] [--version]\n",
+                 "[--scale F] [--cfg] [--json FILE] [--sweep FILE] "
+                 "[--version]\n",
                  argv0);
     std::exit(2);
 }
@@ -76,6 +85,8 @@ parse(int argc, char **argv)
             opt.dumpCfg = true;
         } else if (arg == "--json") {
             opt.jsonPath = next();
+        } else if (arg == "--sweep") {
+            opt.sweepPath = next();
         } else if (arg == "--version") {
             std::printf("hbat %s%s (%s, %s)\n", buildinfo::kGitSha,
                         buildinfo::kGitDirty ? "-dirty" : "",
@@ -95,12 +106,92 @@ printDiags(const verify::Report &report)
         std::printf("  %s\n", d.str().c_str());
 }
 
+void
+writeJsonFile(const std::string &path, const json::Writer &jw)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        hbat_fatal("cannot write ", path);
+    const std::string doc = jw.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+/**
+ * The --sweep mode: parse + expand the spec, lint every expanded
+ * cell, report per-column. Exit 0 only when the whole campaign is
+ * clean at every severity, mirroring the tool's normal contract.
+ */
+int
+lintSweepSpec(const Options &opt)
+{
+    verify::Report parseReport;
+    config::Config cfg;
+    sim::SweepSpec spec;
+    const bool expanded =
+        config::Config::parseFile(opt.sweepPath, cfg, parseReport) &&
+        sim::expandSweepSpec(cfg, sim::SimConfig{}, spec, parseReport);
+
+    size_t warnings = 0, errors = 0;
+    auto tally = [&](const verify::Report &report) {
+        errors += report.count(verify::Severity::Error);
+        warnings += report.count(verify::Severity::Warning) -
+                    report.count(verify::Severity::Error);
+    };
+    tally(parseReport);
+
+    json::Writer jw;
+    jw.beginObject();
+    jw.key("sweep_spec").value(opt.sweepPath);
+    jw.key("spec_diags");
+    verify::reportToJson(jw, parseReport);
+
+    std::printf("sweep spec %s: %s\n", opt.sweepPath.c_str(),
+                expanded ? detail::concat(spec.columns.size(),
+                                          " column(s)").c_str()
+                         : "failed to expand");
+    printDiags(parseReport);
+
+    jw.key("columns").beginArray();
+    if (expanded) {
+        for (const sim::SweepColumnSpec &col : spec.columns) {
+            verify::Report report;
+            verify::lintConfig(col.sim, report);
+            tally(report);
+
+            std::printf("column %-24s %s\n", col.label.c_str(),
+                        report.diags.empty() ? "clean"
+                                             : "has findings:");
+            printDiags(report);
+
+            jw.beginObject();
+            jw.key("label").value(col.label);
+            jw.key("diags");
+            verify::reportToJson(jw, report);
+            jw.endObject();
+        }
+    }
+    jw.endArray();
+    jw.key("warnings").value(uint64_t(warnings));
+    jw.key("errors").value(uint64_t(errors));
+    jw.endObject();
+
+    if (!opt.jsonPath.empty())
+        writeJsonFile(opt.jsonPath, jw);
+
+    std::printf("%zu warning(s), %zu error(s)\n", warnings, errors);
+    return warnings + errors == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
+    if (!opt.sweepPath.empty())
+        return lintSweepSpec(opt);
 
     std::vector<std::string> names = opt.programs;
     if (names.empty())
@@ -185,15 +276,8 @@ main(int argc, char **argv)
     jw.key("errors").value(uint64_t(errors));
     jw.endObject();
 
-    if (!opt.jsonPath.empty()) {
-        FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
-        if (!f)
-            hbat_fatal("cannot write ", opt.jsonPath);
-        const std::string doc = jw.str();
-        std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-    }
+    if (!opt.jsonPath.empty())
+        writeJsonFile(opt.jsonPath, jw);
 
     std::printf("%zu warning(s), %zu error(s)\n", warnings, errors);
     return warnings + errors == 0 ? 0 : 1;

@@ -82,14 +82,13 @@ main(int argc, char **argv)
         // sweep's images.
         const kasm::Program prog = workloads::build(
             sweep.programs[p], cfg.budget, cfg.scale);
-        for (size_t d = 0; d < sweep.designs.size(); ++d) {
+        for (size_t d = 0; d < sweep.columns.size(); ++d) {
             const bench::Cell &cell = sweep.cell(p, d);
             const tlb::XlateStats &xs = cell.result.pipe.xlate;
 
             std::printf("\n%s / %s: top %u PCs by TLB misses "
                         "(%llu misses, %llu walks total)\n",
-                        cell.program.c_str(),
-                        tlb::designName(cell.design).c_str(),
+                        cell.program.c_str(), cell.design.c_str(),
                         cfg.pcProfileK,
                         (unsigned long long)xs.misses,
                         (unsigned long long)cell.result.pipe.tlbWalks);

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * hbat_sweep: run an arbitrary design-space sweep from a spec file.
+ *
+ * Where the figure binaries bake in one experiment each, this one is
+ * pure frontend: --sweep FILE (required) names a spec in the config
+ * language of DESIGN.md §11, whose cross-product of design and
+ * machine axes becomes the column grid. CLI --program/--scale/--seed
+ * override the spec's keys; everything else (table rendering, JSON
+ * report, JobPool scheduling, per-column lint) is the shared harness.
+ *
+ *   hbat_sweep --sweep configs/table2.conf --scale 0.05
+ *   hbat_sweep --sweep configs/campaign_example.conf --json out.json
+ */
+
+#include "bench/harness.hh"
+#include "common/log.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hbat;
+    bench::ExperimentConfig defaults;
+    defaults.supportsSweep = true;
+    bench::ExperimentConfig cfg =
+        bench::parseArgs(argc, argv, defaults);
+    if (cfg.sweepPath.empty())
+        hbat_fatal("hbat_sweep needs --sweep FILE (see --help text "
+                   "via any unknown flag, or DESIGN.md §11)");
+
+    const bench::Sweep sweep =
+        bench::runConfiguredSweep(cfg, tlb::allDesigns());
+    const std::string title =
+        "Design-space sweep: " + cfg.sweepPath + " (normalized IPC)";
+    bench::printSweep(title, sweep);
+    bench::writeSweepJson(title, sweep);
+    return 0;
+}

@@ -5,6 +5,10 @@
 #  2. static analysis: hbat_lint over every built-in workload and every
 #     Table 2 design (fails on any warning-or-worse diagnostic), plus
 #     clang-tidy over the compilation database when the tool exists;
+#     in between, the config frontend gate: every shipped sweep spec
+#     lints clean, the deliberately-broken one fails, and a fig5 cell
+#     driven from configs/table2.conf diffs identical (modulo meta)
+#     against the enum-driven factory path;
 #  3. rebuild the unit tests with ASan+UBSan and run them again;
 #  4. rebuild with ThreadSanitizer and run the parallel-harness tests
 #     (JobPool semantics + jobs-count determinism) under it;
@@ -40,6 +44,28 @@ echo "== static analysis: program + design lint =="
 # warning-or-worse diagnostic.
 ./build/bench/hbat_lint
 ./build/bench/hbat_lint --budget 8,8
+
+echo "== config frontend: sweep-spec lint + factory equivalence =="
+# The shipped specs must lint clean; the deliberately-broken one must
+# fail (exit 1) -- proving the gate rejects bad campaigns. Then the
+# config-driven path has to reproduce the built-in Table 2 factory:
+# a fig5 cell from configs/table2.conf diffs byte-identical (modulo
+# meta/timing) against the enum-driven binary.
+./build/bench/hbat_lint --sweep configs/table2.conf
+./build/bench/hbat_lint --sweep configs/campaign_example.conf
+./build/bench/hbat_lint --sweep configs/tlbsize_issue.conf
+if ./build/bench/hbat_lint --sweep configs/broken_example.conf; then
+    echo "broken_example.conf unexpectedly passed lint" >&2
+    exit 1
+fi
+CONFDIR=$(mktemp -d)
+./build/bench/fig5_baseline --scale 0.02 --program compress \
+    --json "$CONFDIR/builtin.json" > /dev/null
+./build/bench/hbat_sweep --sweep configs/table2.conf --scale 0.02 \
+    --program compress --json "$CONFDIR/conf.json" > /dev/null
+python3 scripts/sweep_diff.py "$CONFDIR/builtin.json" \
+    "$CONFDIR/conf.json"
+rm -rf "$CONFDIR"
 
 echo "== static analysis: clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,10 @@
+# Turn a text file into a C++ raw-string-literal include fragment:
+#   cmake -DIN=<file> -DOUT=<file.inc> -P embed_file.cmake
+# The output is spliced into a char-array initializer via #include, so
+# shipped configs (configs/table2.conf) travel inside the binary and a
+# build stays runnable from any working directory.
+file(READ "${IN}" text)
+if (text MATCHES [[\)hbatconf"]])
+    message(FATAL_ERROR "${IN} contains the raw-string delimiter")
+endif ()
+file(WRITE "${OUT}" "R\"hbatconf(${text})hbatconf\"\n")

@@ -1,0 +1,868 @@
+#include "config/config.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace hbat::config
+{
+
+namespace
+{
+
+bool
+isWordStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Section headers and keys admit a wider charset than bare words. */
+bool
+isNameChar(char c)
+{
+    return isWordChar(c) || c == '.' || c == '-';
+}
+
+/**
+ * Strip the comment tail of @p line: everything from the first '#'
+ * that is not inside a quoted string.
+ */
+std::string
+stripComment(const std::string &line)
+{
+    char quote = '\0';
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quote != '\0') {
+            if (c == quote)
+                quote = '\0';
+        } else if (c == '\'' || c == '"') {
+            quote = c;
+        } else if (c == '#') {
+            return line.substr(0, i);
+        }
+    }
+    return line;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** One expression token. */
+struct Token
+{
+    enum class Kind : uint8_t
+    {
+        Int,
+        Float,
+        Str,        ///< quoted string
+        Word,       ///< bare word (string literal, or true/false)
+        Var,        ///< $(name)
+        Punct,      ///< one of + - * / % ( ) [ ] ,
+        End
+    };
+
+    Kind kind = Kind::End;
+    char punct = '\0';
+    int64_t i = 0;
+    double f = 0.0;
+    std::string text;
+};
+
+/** Value-expression lexer over one line's value substring. */
+class Lexer
+{
+  public:
+    Lexer(const std::string &text, int line, const std::string &origin,
+          verify::Report &report)
+        : text_(text), line_(line), origin_(origin), report_(report)
+    {
+        advance();
+    }
+
+    const Token &peek() const { return tok_; }
+
+    Token
+    take()
+    {
+        Token t = tok_;
+        advance();
+        return t;
+    }
+
+    bool failed() const { return failed_; }
+
+    void
+    error(const std::string &msg)
+    {
+        if (failed_)
+            return;     // one syntax finding per binding
+        failed_ = true;
+        report_.add(verify::Diag::ConfigSyntax,
+                    verify::Severity::Error, 0,
+                    detail::concat(origin_, ":", line_, ": ", msg));
+    }
+
+  private:
+    void
+    advance()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        tok_ = Token{};
+        if (failed_ || pos_ >= text_.size()) {
+            tok_.kind = Token::Kind::End;
+            return;
+        }
+        const char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            lexNumber();
+        } else if (c == '\'' || c == '"') {
+            lexString(c);
+        } else if (c == '$') {
+            lexVar();
+        } else if (isWordStart(c)) {
+            size_t e = pos_;
+            while (e < text_.size() && isWordChar(text_[e]))
+                ++e;
+            tok_.kind = Token::Kind::Word;
+            tok_.text = text_.substr(pos_, e - pos_);
+            pos_ = e;
+        } else if (std::strchr("+-*/%()[],", c) != nullptr) {
+            tok_.kind = Token::Kind::Punct;
+            tok_.punct = c;
+            ++pos_;
+        } else {
+            error(detail::concat("unexpected character '",
+                                 std::string(1, c),
+                                 "' in expression"));
+            tok_.kind = Token::Kind::End;
+        }
+    }
+
+    void
+    lexNumber()
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        if (text_.compare(pos_, 2, "0x") == 0 ||
+            text_.compare(pos_, 2, "0X") == 0) {
+            tok_.kind = Token::Kind::Int;
+            tok_.i = int64_t(std::strtoull(start, &end, 16));
+            pos_ += size_t(end - start);
+            return;
+        }
+        size_t e = pos_;
+        bool isFloat = false;
+        while (e < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[e])))
+            ++e;
+        if (e < text_.size() && text_[e] == '.') {
+            isFloat = true;
+            ++e;
+            while (e < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[e])))
+                ++e;
+        }
+        if (e < text_.size() && (text_[e] == 'e' || text_[e] == 'E')) {
+            isFloat = true;
+            ++e;
+            if (e < text_.size() &&
+                (text_[e] == '+' || text_[e] == '-'))
+                ++e;
+            while (e < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[e])))
+                ++e;
+        }
+        if (isFloat) {
+            tok_.kind = Token::Kind::Float;
+            tok_.f = std::strtod(start, &end);
+        } else {
+            tok_.kind = Token::Kind::Int;
+            tok_.i = int64_t(std::strtoll(start, &end, 10));
+        }
+        pos_ = e;
+    }
+
+    void
+    lexString(char quote)
+    {
+        const size_t close = text_.find(quote, pos_ + 1);
+        if (close == std::string::npos) {
+            error("unterminated string");
+            return;
+        }
+        tok_.kind = Token::Kind::Str;
+        tok_.text = text_.substr(pos_ + 1, close - pos_ - 1);
+        pos_ = close + 1;
+    }
+
+    void
+    lexVar()
+    {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '(') {
+            error("'$' must be followed by '(name)'");
+            return;
+        }
+        const size_t close = text_.find(')', pos_ + 2);
+        if (close == std::string::npos) {
+            error("unterminated $( reference");
+            return;
+        }
+        const std::string name =
+            trim(text_.substr(pos_ + 2, close - pos_ - 2));
+        if (name.empty()) {
+            error("empty $() reference");
+            return;
+        }
+        for (char c : name) {
+            if (!isNameChar(c)) {
+                error(detail::concat("bad character in $(", name,
+                                     ") reference"));
+                return;
+            }
+        }
+        tok_.kind = Token::Kind::Var;
+        tok_.text = name;
+        pos_ = close + 1;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    Token tok_;
+    int line_;
+    const std::string &origin_;
+    verify::Report &report_;
+    bool failed_ = false;
+};
+
+/** Recursive-descent expression parser (precedence: * / % over + -). */
+class ExprParser
+{
+  public:
+    explicit ExprParser(Lexer &lex, int line) : lex_(lex), line_(line)
+    {}
+
+    /** Top level of a binding's value: a list or a scalar expr. */
+    bool
+    parseValue(Expr &out)
+    {
+        if (lex_.peek().kind == Token::Kind::Punct &&
+            lex_.peek().punct == '[') {
+            lex_.take();
+            out = Expr{};
+            out.op = Expr::Op::List;
+            out.line = line_;
+            if (lex_.peek().kind == Token::Kind::Punct &&
+                lex_.peek().punct == ']') {
+                lex_.error("empty list value");
+                return false;
+            }
+            for (;;) {
+                Expr elem;
+                if (!parseExpr(elem))
+                    return false;
+                out.kids.push_back(std::move(elem));
+                const Token t = lex_.take();
+                if (t.kind == Token::Kind::Punct && t.punct == ']')
+                    break;
+                if (!(t.kind == Token::Kind::Punct && t.punct == ',')) {
+                    lex_.error("expected ',' or ']' in list");
+                    return false;
+                }
+            }
+        } else if (!parseExpr(out)) {
+            return false;
+        }
+        if (lex_.peek().kind != Token::Kind::End) {
+            lex_.error("trailing tokens after value");
+            return false;
+        }
+        return !lex_.failed();
+    }
+
+  private:
+    bool
+    parseExpr(Expr &out)
+    {
+        if (!parseTerm(out))
+            return false;
+        while (lex_.peek().kind == Token::Kind::Punct &&
+               (lex_.peek().punct == '+' || lex_.peek().punct == '-')) {
+            const char op = lex_.take().punct;
+            Expr rhs;
+            if (!parseTerm(rhs))
+                return false;
+            Expr node;
+            node.op = op == '+' ? Expr::Op::Add : Expr::Op::Sub;
+            node.line = line_;
+            node.kids.push_back(std::move(out));
+            node.kids.push_back(std::move(rhs));
+            out = std::move(node);
+        }
+        return true;
+    }
+
+    bool
+    parseTerm(Expr &out)
+    {
+        if (!parseUnary(out))
+            return false;
+        while (lex_.peek().kind == Token::Kind::Punct &&
+               (lex_.peek().punct == '*' || lex_.peek().punct == '/' ||
+                lex_.peek().punct == '%')) {
+            const char op = lex_.take().punct;
+            Expr rhs;
+            if (!parseUnary(rhs))
+                return false;
+            Expr node;
+            node.op = op == '*'   ? Expr::Op::Mul
+                      : op == '/' ? Expr::Op::Div
+                                  : Expr::Op::Mod;
+            node.line = line_;
+            node.kids.push_back(std::move(out));
+            node.kids.push_back(std::move(rhs));
+            out = std::move(node);
+        }
+        return true;
+    }
+
+    bool
+    parseUnary(Expr &out)
+    {
+        if (lex_.peek().kind == Token::Kind::Punct &&
+            lex_.peek().punct == '-') {
+            lex_.take();
+            Expr inner;
+            if (!parseUnary(inner))
+                return false;
+            out = Expr{};
+            out.op = Expr::Op::Neg;
+            out.line = line_;
+            out.kids.push_back(std::move(inner));
+            return true;
+        }
+        return parsePrimary(out);
+    }
+
+    bool
+    parsePrimary(Expr &out)
+    {
+        const Token t = lex_.take();
+        out = Expr{};
+        out.line = line_;
+        switch (t.kind) {
+          case Token::Kind::Int:
+            out.op = Expr::Op::Int;
+            out.i = t.i;
+            return true;
+          case Token::Kind::Float:
+            out.op = Expr::Op::Float;
+            out.f = t.f;
+            return true;
+          case Token::Kind::Str:
+            out.op = Expr::Op::Str;
+            out.s = t.text;
+            return true;
+          case Token::Kind::Word:
+            if (t.text == "true" || t.text == "false") {
+                out.op = Expr::Op::Bool;
+                out.b = t.text == "true";
+            } else {
+                // A bare word is a string literal; variables are
+                // always written $(name).
+                out.op = Expr::Op::Str;
+                out.s = t.text;
+            }
+            return true;
+          case Token::Kind::Var:
+            out.op = Expr::Op::Var;
+            out.s = t.text;
+            return true;
+          case Token::Kind::Punct:
+            if (t.punct == '(') {
+                if (!parseExpr(out))
+                    return false;
+                const Token close = lex_.take();
+                if (!(close.kind == Token::Kind::Punct &&
+                      close.punct == ')')) {
+                    lex_.error("expected ')'");
+                    return false;
+                }
+                return true;
+            }
+            lex_.error(detail::concat("unexpected '",
+                                      std::string(1, t.punct),
+                                      "' in expression"));
+            return false;
+          case Token::Kind::End:
+            lex_.error("expected a value");
+            return false;
+        }
+        return false;
+    }
+
+    Lexer &lex_;
+    int line_;
+};
+
+} // namespace
+
+const char *
+Value::kindName() const
+{
+    switch (kind) {
+      case Kind::Int: return "int";
+      case Kind::Float: return "float";
+      case Kind::Bool: return "bool";
+      case Kind::Str: return "string";
+      case Kind::List: return "list";
+    }
+    return "unknown";
+}
+
+std::string
+Value::render() const
+{
+    switch (kind) {
+      case Kind::Int:
+        return std::to_string(i);
+      case Kind::Float: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", f);
+        return buf;
+      }
+      case Kind::Bool:
+        return b ? "true" : "false";
+      case Kind::Str:
+        return s;
+      case Kind::List: {
+        std::string out = "[";
+        for (size_t n = 0; n < list.size(); ++n) {
+            if (n > 0)
+                out += ", ";
+            out += list[n].render();
+        }
+        out += "]";
+        return out;
+      }
+    }
+    return "?";
+}
+
+const Binding *
+Section::find(const std::string &key) const
+{
+    // Later bindings override earlier ones within a section.
+    for (size_t n = binds.size(); n > 0; --n)
+        if (binds[n - 1].key == key)
+            return &binds[n - 1];
+    return nullptr;
+}
+
+bool
+Config::parseString(const std::string &text, const std::string &origin,
+                    Config &out, verify::Report &report)
+{
+    out = Config{};
+    out.origin_ = origin;
+    out.sections_.push_back(Section{});     // the top level, ""
+
+    const size_t before = report.count(verify::Severity::Error);
+    auto syntax = [&](int line, const std::string &msg) {
+        report.add(verify::Diag::ConfigSyntax, verify::Severity::Error,
+                   0, detail::concat(origin, ":", line, ": ", msg));
+    };
+
+    size_t current = 0;     // index into sections_
+    int lineNo = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        const size_t nl = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, nl == std::string::npos ? std::string::npos
+                                         : nl - pos);
+        pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+        ++lineNo;
+
+        line = trim(stripComment(line));
+        if (line.empty())
+            continue;
+
+        if (line[0] == '[') {
+            // Section header: [name] or [name : parent].
+            if (line.back() != ']') {
+                syntax(lineNo, "section header missing ']'");
+                continue;
+            }
+            const std::string inner =
+                trim(line.substr(1, line.size() - 2));
+            std::string name = inner, parent;
+            const size_t colon = inner.find(':');
+            if (colon != std::string::npos) {
+                name = trim(inner.substr(0, colon));
+                parent = trim(inner.substr(colon + 1));
+                if (parent.empty()) {
+                    syntax(lineNo, "empty parent section name");
+                    continue;
+                }
+            }
+            bool ok = !name.empty();
+            for (char c : name)
+                ok = ok && isNameChar(c);
+            for (char c : parent)
+                ok = ok && isNameChar(c);
+            if (!ok) {
+                syntax(lineNo, detail::concat("bad section header [",
+                                              inner, "]"));
+                continue;
+            }
+            if (out.section(name) != nullptr) {
+                syntax(lineNo,
+                       detail::concat("duplicate section [", name,
+                                      "]"));
+                continue;
+            }
+            Section sec;
+            sec.name = name;
+            sec.parent = parent;
+            sec.line = lineNo;
+            out.sections_.push_back(std::move(sec));
+            current = out.sections_.size() - 1;
+            continue;
+        }
+
+        // Binding: key = value.
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            syntax(lineNo, detail::concat("expected 'key = value', "
+                                          "got '", line, "'"));
+            continue;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        bool keyOk = !key.empty();
+        for (char c : key)
+            keyOk = keyOk && isNameChar(c);
+        if (!keyOk) {
+            syntax(lineNo, detail::concat("bad key '", key, "'"));
+            continue;
+        }
+        if (value.empty()) {
+            syntax(lineNo, detail::concat("key '", key,
+                                          "' has an empty value"));
+            continue;
+        }
+
+        Lexer lex(value, lineNo, origin, report);
+        ExprParser parser(lex, lineNo);
+        Binding bind;
+        bind.key = key;
+        bind.line = lineNo;
+        if (!parser.parseValue(bind.expr))
+            continue;   // the lexer already reported
+        out.sections_[current].binds.push_back(std::move(bind));
+    }
+
+    // Resolve parents: every named parent must exist, and chains must
+    // be acyclic (a cycle would hang every later lookup).
+    for (const Section &sec : out.sections_) {
+        if (!sec.parent.empty() &&
+            out.section(sec.parent) == nullptr) {
+            syntax(sec.line,
+                   detail::concat("section [", sec.name,
+                                  "] inherits from unknown section '",
+                                  sec.parent, "'"));
+        }
+    }
+    for (const Section &sec : out.sections_) {
+        const Section *walk = &sec;
+        size_t steps = 0;
+        while (walk != nullptr && ++steps <= out.sections_.size())
+            walk = out.parentOf(walk);
+        if (walk != nullptr) {
+            syntax(sec.line,
+                   detail::concat("section [", sec.name,
+                                  "] has a cyclic inheritance chain"));
+            break;
+        }
+    }
+
+    return report.count(verify::Severity::Error) == before;
+}
+
+bool
+Config::parseFile(const std::string &path, Config &out,
+                  verify::Report &report)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        report.add(verify::Diag::ConfigSyntax, verify::Severity::Error,
+                   0, detail::concat("cannot open config file '", path,
+                                     "'"));
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return parseString(text, path, out, report);
+}
+
+const Section *
+Config::section(const std::string &name) const
+{
+    for (const Section &sec : sections_)
+        if (sec.name == name)
+            return &sec;
+    return nullptr;
+}
+
+const Section *
+Config::parentOf(const Section *sec) const
+{
+    return sec->parent.empty() ? nullptr : section(sec->parent);
+}
+
+bool
+Config::has(const Section *sec, const std::string &key) const
+{
+    for (const Section *s = sec; s != nullptr; s = parentOf(s))
+        if (s->find(key) != nullptr)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+Config::keysInChain(const Section *sec) const
+{
+    std::vector<const Section *> chain;
+    for (const Section *s = sec; s != nullptr; s = parentOf(s))
+        chain.push_back(s);
+
+    std::vector<std::string> keys;
+    for (size_t n = chain.size(); n > 0; --n) {
+        for (const Binding &b : chain[n - 1]->binds) {
+            bool seen = false;
+            for (const std::string &k : keys)
+                seen = seen || k == b.key;
+            if (!seen)
+                keys.push_back(b.key);
+        }
+    }
+    return keys;
+}
+
+const Expr *
+Config::bindingExpr(const Section *sec, const std::string &key) const
+{
+    for (const Section *s = sec; s != nullptr; s = parentOf(s))
+        if (const Binding *b = s->find(key))
+            return &b->expr;
+    return nullptr;
+}
+
+bool
+Config::eval(const Section *sec, const std::string &key, Value &out,
+             verify::Report &report, const Overlay *overlay) const
+{
+    // A pinned axis value shadows the binding itself, not only the
+    // $(key) references to it.
+    if (overlay != nullptr) {
+        for (const auto &[name, val] : *overlay) {
+            if (name == key) {
+                out = val;
+                return true;
+            }
+        }
+    }
+
+    const Binding *bind = nullptr;
+    for (const Section *s = sec; s != nullptr && bind == nullptr;
+         s = parentOf(s))
+        bind = s->find(key);
+    if (bind == nullptr && !sections_.empty())
+        bind = sections_[0].find(key);
+    if (bind == nullptr)
+        return false;   // unbound; the caller phrases the error
+
+    std::vector<std::string> visiting{key};
+    return evalNode(bind->expr, sec, overlay, visiting, out, report);
+}
+
+bool
+Config::evalExpr(const Expr &e, const Section *sec, Value &out,
+                 verify::Report &report, const Overlay *overlay) const
+{
+    std::vector<std::string> visiting;
+    return evalNode(e, sec, overlay, visiting, out, report);
+}
+
+bool
+Config::evalNode(const Expr &e, const Section *scope,
+                 const Overlay *overlay,
+                 std::vector<std::string> &visiting, Value &out,
+                 verify::Report &report) const
+{
+    auto exprError = [&](const std::string &msg) {
+        report.add(verify::Diag::ConfigExpr, verify::Severity::Error,
+                   0, detail::concat(origin_, ":", e.line, ": ", msg));
+        return false;
+    };
+
+    switch (e.op) {
+      case Expr::Op::Int:
+        out = Value::ofInt(e.i);
+        return true;
+      case Expr::Op::Float:
+        out = Value::ofFloat(e.f);
+        return true;
+      case Expr::Op::Bool:
+        out = Value::ofBool(e.b);
+        return true;
+      case Expr::Op::Str:
+        out = Value::ofStr(e.s);
+        return true;
+
+      case Expr::Op::Var: {
+        if (overlay != nullptr) {
+            for (const auto &[name, val] : *overlay) {
+                if (name == e.s) {
+                    out = val;
+                    return true;
+                }
+            }
+        }
+        for (const std::string &v : visiting) {
+            if (v == e.s) {
+                return exprError(detail::concat(
+                    "cyclic reference through $(", e.s, ")"));
+            }
+        }
+        // Resolve in the *lookup* scope, not the defining section:
+        // a child's override of $(issue) feeds expressions inherited
+        // from its parent (late binding, as in sesc configs).
+        const Binding *bind = nullptr;
+        for (const Section *s = scope; s != nullptr && bind == nullptr;
+             s = parentOf(s))
+            bind = s->find(e.s);
+        if (bind == nullptr && !sections_.empty())
+            bind = sections_[0].find(e.s);
+        if (bind == nullptr) {
+            return exprError(detail::concat("unknown variable $(",
+                                            e.s, ")"));
+        }
+        visiting.push_back(e.s);
+        const bool ok = evalNode(bind->expr, scope, overlay, visiting,
+                                 out, report);
+        visiting.pop_back();
+        return ok;
+      }
+
+      case Expr::Op::Neg: {
+        Value v;
+        if (!evalNode(e.kids[0], scope, overlay, visiting, v, report))
+            return false;
+        if (v.kind == Value::Kind::Int)
+            out = Value::ofInt(-v.i);
+        else if (v.kind == Value::Kind::Float)
+            out = Value::ofFloat(-v.f);
+        else
+            return exprError(detail::concat("cannot negate a ",
+                                            v.kindName()));
+        return true;
+      }
+
+      case Expr::Op::Add:
+      case Expr::Op::Sub:
+      case Expr::Op::Mul:
+      case Expr::Op::Div:
+      case Expr::Op::Mod: {
+        Value l, r;
+        if (!evalNode(e.kids[0], scope, overlay, visiting, l, report) ||
+            !evalNode(e.kids[1], scope, overlay, visiting, r, report))
+            return false;
+        if (!l.isNumber() || !r.isNumber()) {
+            return exprError(detail::concat(
+                "arithmetic needs numbers, got ", l.kindName(),
+                " and ", r.kindName()));
+        }
+        if (e.op == Expr::Op::Mod) {
+            if (l.kind != Value::Kind::Int ||
+                r.kind != Value::Kind::Int)
+                return exprError("'%' needs integer operands");
+            if (r.i == 0)
+                return exprError("modulo by zero");
+            out = Value::ofInt(l.i % r.i);
+            return true;
+        }
+        const bool isInt = l.kind == Value::Kind::Int &&
+                           r.kind == Value::Kind::Int;
+        if (isInt) {
+            switch (e.op) {
+              case Expr::Op::Add: out = Value::ofInt(l.i + r.i); break;
+              case Expr::Op::Sub: out = Value::ofInt(l.i - r.i); break;
+              case Expr::Op::Mul: out = Value::ofInt(l.i * r.i); break;
+              case Expr::Op::Div:
+                if (r.i == 0)
+                    return exprError("division by zero");
+                // Integer division truncates (DESIGN.md §11).
+                out = Value::ofInt(l.i / r.i);
+                break;
+              default: hbat_panic("bad binary op");
+            }
+        } else {
+            const double a = l.asFloat(), b = r.asFloat();
+            switch (e.op) {
+              case Expr::Op::Add: out = Value::ofFloat(a + b); break;
+              case Expr::Op::Sub: out = Value::ofFloat(a - b); break;
+              case Expr::Op::Mul: out = Value::ofFloat(a * b); break;
+              case Expr::Op::Div:
+                if (b == 0.0)
+                    return exprError("division by zero");
+                out = Value::ofFloat(a / b);
+                break;
+              default: hbat_panic("bad binary op");
+            }
+        }
+        return true;
+      }
+
+      case Expr::Op::List: {
+        out = Value{};
+        out.kind = Value::Kind::List;
+        for (const Expr &kid : e.kids) {
+            Value v;
+            if (!evalNode(kid, scope, overlay, visiting, v, report))
+                return false;
+            if (v.kind == Value::Kind::List)
+                return exprError("nested lists are not supported");
+            out.list.push_back(std::move(v));
+        }
+        return true;
+      }
+    }
+    hbat_panic("bad expression node");
+}
+
+} // namespace hbat::config

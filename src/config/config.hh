@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The declarative design-space configuration language.
+ *
+ * A `.conf` file (sesc-style; see DESIGN.md §11) is a sequence of
+ * key/value bindings grouped into named sections:
+ *
+ *     issue = 4                     # top-level binding
+ *
+ *     [core]                        # section
+ *     robSize = 36*$(issue)+32      # arithmetic + substitution
+ *     inOrder = false
+ *
+ *     [smallcore : core]            # inherits every [core] binding
+ *     issue = 2                     # ...and overrides this one
+ *
+ *     [sweep]
+ *     pageBytes = [4096, 8192]      # list value = sweep axis
+ *
+ * Values are integer/float arithmetic expressions (`+ - * / %`,
+ * parentheses, unary minus) over literals and `$(var)` references,
+ * booleans (`true`/`false`), strings (bare words or quoted), or flat
+ * lists `[a, b, c]` of any of those. `$(var)` resolves in the section
+ * being evaluated first (so a child override feeds expressions it
+ * inherited from its parent — late binding), then up the inheritance
+ * chain, then in the top-level bindings. Evaluation is lazy: parsing
+ * validates only syntax, and lookup reports expression errors
+ * (unknown variables, cycles, type mismatches, division by zero)
+ * against the line that defined the binding.
+ *
+ * Diagnostics are verify::Report entries (header-only vocabulary, no
+ * library dependency): ConfigSyntax for parse problems, ConfigExpr
+ * for evaluation problems. Higher layers add ConfigKey (schema) and
+ * ConfigMachine (range lint).
+ */
+
+#ifndef HBAT_CONFIG_CONFIG_HH
+#define HBAT_CONFIG_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/value.hh"
+#include "verify/diag.hh"
+
+namespace hbat::config
+{
+
+/** One parsed (unevaluated) expression node. */
+struct Expr
+{
+    enum class Op : uint8_t
+    {
+        Int,    ///< integer literal (i)
+        Float,  ///< float literal (f)
+        Bool,   ///< boolean literal (b)
+        Str,    ///< string literal / bare word (s)
+        Var,    ///< $(name) reference (s)
+        Neg,    ///< unary minus (kids[0])
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Mod,
+        List    ///< flat list (kids)
+    };
+
+    Op op = Op::Int;
+    int64_t i = 0;
+    double f = 0.0;
+    bool b = false;
+    std::string s;
+    std::vector<Expr> kids;
+    int line = 0;
+};
+
+/** One `key = expr` binding. */
+struct Binding
+{
+    std::string key;
+    Expr expr;
+    int line = 0;
+};
+
+/** One `[name]` / `[name : parent]` section (or the top level, ""). */
+struct Section
+{
+    std::string name;
+    std::string parent;     ///< empty = no parent
+    int line = 0;
+    std::vector<Binding> binds;     ///< declaration order; later wins
+
+    /** The binding that defines @p key here (latest), or nullptr. */
+    const Binding *find(const std::string &key) const;
+};
+
+/**
+ * Axis overlay: values substituted for `$(name)` references ahead of
+ * any binding — how the sweep expander pins one chosen value of a
+ * list-valued key while re-evaluating the expressions that depend on
+ * it (`fpRegs = $(intRegs)` with `intRegs = [8, 32]`).
+ */
+using Overlay = std::vector<std::pair<std::string, Value>>;
+
+/** A parsed configuration file. */
+class Config
+{
+  public:
+    /**
+     * Parse @p text (diagnostics cite @p origin). Returns false — with
+     * at least one ConfigSyntax diagnostic in @p report — when the
+     * input is unusable; the parse recovers per line, so several
+     * findings can be reported at once.
+     */
+    static bool parseString(const std::string &text,
+                            const std::string &origin, Config &out,
+                            verify::Report &report);
+
+    /** Read @p path and parse it. */
+    static bool parseFile(const std::string &path, Config &out,
+                          verify::Report &report);
+
+    /** Section by name (the top level is ""); nullptr when absent. */
+    const Section *section(const std::string &name) const;
+
+    /** All sections in declaration order, top level first. */
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** Where this config came from (diagnostics prefix). */
+    const std::string &origin() const { return origin_; }
+
+    /**
+     * True when @p key is bound in @p sec or anything it inherits
+     * from (the top level does not count).
+     */
+    bool has(const Section *sec, const std::string &key) const;
+
+    /**
+     * Every key visible in @p sec via its inheritance chain, ordered
+     * root-ancestor-first by declaration, each key once (an override
+     * keeps the position of its first declaration). This is the axis
+     * ordering of the sweep expander, so it is deterministic.
+     */
+    std::vector<std::string> keysInChain(const Section *sec) const;
+
+    /**
+     * The expression @p key is bound to in @p sec's inheritance chain
+     * (nearest definition wins; the top level does not count), or
+     * nullptr when unbound. The sweep expander uses the expression's
+     * *shape* to tell an axis (a direct list literal) from a scalar
+     * that merely references one (`fpRegs = $(intRegs)`).
+     */
+    const Expr *bindingExpr(const Section *sec,
+                            const std::string &key) const;
+
+    /**
+     * Evaluate @p key in the scope of @p sec (inheritance chain, then
+     * top level). Returns false with no diagnostic when the key is
+     * unbound anywhere (callers phrase their own "missing key"
+     * errors), and false with a ConfigExpr diagnostic when evaluation
+     * fails. @p overlay (optional) pins axis values by name.
+     */
+    bool eval(const Section *sec, const std::string &key, Value &out,
+              verify::Report &report,
+              const Overlay *overlay = nullptr) const;
+
+    /** Evaluate a parsed expression directly in @p sec's scope. */
+    bool evalExpr(const Expr &e, const Section *sec, Value &out,
+                  verify::Report &report,
+                  const Overlay *overlay = nullptr) const;
+
+  private:
+    const Section *parentOf(const Section *sec) const;
+
+    bool evalNode(const Expr &e, const Section *scope,
+                  const Overlay *overlay,
+                  std::vector<std::string> &visiting, Value &out,
+                  verify::Report &report) const;
+
+    std::string origin_;
+    std::vector<Section> sections_;     ///< [0] is the top level ""
+};
+
+} // namespace hbat::config
+
+#endif // HBAT_CONFIG_CONFIG_HH

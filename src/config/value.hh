@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A resolved configuration value.
+ *
+ * Evaluating a config expression (see config/config.hh) yields one of
+ * five kinds: integer, float, boolean, string, or a flat list of
+ * scalars. Lists are what make a key an *axis* in a sweep spec — the
+ * design-space frontend expands every list-valued key into a
+ * cross-product dimension.
+ */
+
+#ifndef HBAT_CONFIG_VALUE_HH
+#define HBAT_CONFIG_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbat::config
+{
+
+/** One evaluated configuration value. */
+struct Value
+{
+    enum class Kind : uint8_t
+    {
+        Int,
+        Float,
+        Bool,
+        Str,
+        List
+    };
+
+    Kind kind = Kind::Int;
+    int64_t i = 0;          ///< Kind::Int
+    double f = 0.0;         ///< Kind::Float
+    bool b = false;         ///< Kind::Bool
+    std::string s;          ///< Kind::Str
+    std::vector<Value> list;    ///< Kind::List (scalar elements only)
+
+    static Value
+    ofInt(int64_t v)
+    {
+        Value r;
+        r.kind = Kind::Int;
+        r.i = v;
+        return r;
+    }
+
+    static Value
+    ofFloat(double v)
+    {
+        Value r;
+        r.kind = Kind::Float;
+        r.f = v;
+        return r;
+    }
+
+    static Value
+    ofBool(bool v)
+    {
+        Value r;
+        r.kind = Kind::Bool;
+        r.b = v;
+        return r;
+    }
+
+    static Value
+    ofStr(std::string v)
+    {
+        Value r;
+        r.kind = Kind::Str;
+        r.s = std::move(v);
+        return r;
+    }
+
+    bool isNumber() const { return kind == Kind::Int || kind == Kind::Float; }
+
+    /** Numeric reading (Int or Float); 0 otherwise. */
+    double
+    asFloat() const
+    {
+        return kind == Kind::Int ? double(i)
+             : kind == Kind::Float ? f
+                                   : 0.0;
+    }
+
+    /** Kind name for diagnostics ("int", "float", ...). */
+    const char *kindName() const;
+
+    /** Human/JSON rendering ("128", "0.05", "true", "xor", "[4, 8]"). */
+    std::string render() const;
+};
+
+} // namespace hbat::config
+
+#endif // HBAT_CONFIG_VALUE_HH

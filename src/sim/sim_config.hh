@@ -13,7 +13,11 @@
 #define HBAT_SIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
+#include "cache/cache_model.hh"
+#include "cpu/fu_pool.hh"
 #include "kasm/vcode.hh"
 #include "tlb/design.hh"
 
@@ -32,11 +36,35 @@ struct SimConfig
     /** Translation design under test (Table 2). */
     tlb::Design design = tlb::Design::T4;
 
+    /**
+     * Config-driven translation design: when set, it overrides the
+     * enum row above and @ref designLabel names the run. This is how
+     * --sweep cells reach beyond the 13 Table 2 points.
+     */
+    std::optional<tlb::DesignParams> customDesign;
+
+    /** Display label of customDesign (e.g. "T4 baseEntries=64"). */
+    std::string designLabel;
+
     /** Virtual memory page size in bytes (4096 or 8192). */
     unsigned pageBytes = 4096;
 
     /** In-order issue instead of out-of-order. */
     bool inOrder = false;
+
+    /// @name Machine structure (defaults = Table 1; see cpu::PipeConfig)
+    /// @{
+    unsigned issueWidth = 8;        ///< fetch/issue/commit width
+    unsigned robSize = 64;
+    unsigned lsqSize = 32;
+    unsigned fetchQueueSize = 16;
+    unsigned cachePorts = 4;        ///< D-cache ports per cycle
+    Cycle mispredictPenalty = 3;
+    Cycle tlbMissLatency = 30;
+    cpu::FuPoolConfig fus;          ///< functional-unit mix
+    cache::CacheConfig icache;
+    cache::CacheConfig dcache;
+    /// @}
 
     /** Architected register budget the workload is compiled for. */
     kasm::RegBudget budget{32, 32};

@@ -67,6 +67,16 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
 
     cpu::PipeConfig pipe_cfg;
     pipe_cfg.inOrder = cfg.inOrder;
+    pipe_cfg.width = cfg.issueWidth;
+    pipe_cfg.robSize = cfg.robSize;
+    pipe_cfg.lsqSize = cfg.lsqSize;
+    pipe_cfg.fetchQueueSize = cfg.fetchQueueSize;
+    pipe_cfg.cachePorts = cfg.cachePorts;
+    pipe_cfg.mispredictPenalty = cfg.mispredictPenalty;
+    pipe_cfg.tlbMissLatency = cfg.tlbMissLatency;
+    pipe_cfg.fus = cfg.fus;
+    pipe_cfg.icache = cfg.icache;
+    pipe_cfg.dcache = cfg.dcache;
     pipe_cfg.idleSkip = cfg.idleSkip;
     pipe_cfg.pcProfile = cfg.pcProfile;
     pipe_cfg.pipeview = cfg.pipeview;
@@ -108,6 +118,16 @@ simulate(const kasm::Program &prog, const SimConfig &cfg,
          std::shared_ptr<const cpu::StaticCode> code,
          std::shared_ptr<const vm::ProgramImage> image)
 {
+    // A config-driven design (sweep cell) overrides the enum row.
+    if (cfg.customDesign) {
+        return simulateWithEngine(
+            prog, cfg,
+            [&](vm::PageTable &pt) {
+                return tlb::makeEngine(*cfg.customDesign, pt, cfg.seed);
+            },
+            cfg.designLabel.empty() ? "custom" : cfg.designLabel,
+            std::move(code), std::move(image));
+    }
     return simulateWithEngine(
         prog, cfg,
         [&](vm::PageTable &pt) {

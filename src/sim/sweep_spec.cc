@@ -1,0 +1,291 @@
+#include "sim/sweep_spec.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+#include "tlb/design_config.hh"
+
+namespace hbat::sim
+{
+
+namespace
+{
+
+using config::Config;
+using config::Overlay;
+using config::Section;
+using config::Value;
+using verify::Diag;
+using verify::Report;
+using verify::Severity;
+
+/** Every machine key the [sweep] section may bind. */
+const char *const kMachineKeys[] = {
+    "pageBytes",        "inOrder",          "intRegs",
+    "fpRegs",           "seed",             "scale",
+    "issueWidth",       "robSize",          "lsqSize",
+    "fetchQueueSize",   "cachePorts",       "mispredictPenalty",
+    "tlbMissLatency",   "intAlu",           "intMultDiv",
+    "memPorts",         "fpAdd",            "fpMultDiv",
+    "icacheBytes",      "icacheAssoc",      "icacheBlockBytes",
+    "icacheMissLatency", "dcacheBytes",     "dcacheAssoc",
+    "dcacheBlockBytes", "dcacheMissLatency",
+};
+
+bool
+isMachineKey(const std::string &key)
+{
+    for (const char *k : kMachineKeys)
+        if (key == k)
+            return true;
+    return false;
+}
+
+void
+specError(Report &report, const Config &cfg, Diag code,
+          const std::string &msg)
+{
+    report.add(code, Severity::Error, 0,
+               hbat::detail::concat(cfg.origin(), ": [sweep]: ", msg));
+}
+
+/** Assign one resolved machine value into @p col. */
+bool
+applyMachineKey(const Config &cfg, const std::string &key,
+                const Value &v, SweepColumnSpec &col, Report &report)
+{
+    auto bad = [&](const char *want) {
+        specError(report, cfg, Diag::ConfigKey,
+                  hbat::detail::concat("key '", key, "' must be ", want,
+                                       ", got ", v.render()));
+        return false;
+    };
+    auto toUnsigned = [&](auto &field) {
+        if (v.kind != Value::Kind::Int || v.i < 0 ||
+            v.i > int64_t(std::numeric_limits<unsigned>::max()))
+            return bad("a non-negative integer");
+        field = static_cast<std::remove_reference_t<decltype(field)>>(
+            v.i);
+        return true;
+    };
+
+    SimConfig &sc = col.sim;
+    if (key == "inOrder") {
+        if (v.kind != Value::Kind::Bool)
+            return bad("true or false");
+        sc.inOrder = v.b;
+        return true;
+    }
+    if (key == "scale") {
+        if (!v.isNumber() || v.asFloat() <= 0.0)
+            return bad("a positive number");
+        col.hasScale = true;
+        col.scale = v.asFloat();
+        return true;
+    }
+    if (key == "seed") {
+        if (v.kind != Value::Kind::Int || v.i < 0)
+            return bad("a non-negative integer");
+        sc.seed = uint64_t(v.i);
+        return true;
+    }
+    if (key == "intRegs") {
+        if (v.kind != Value::Kind::Int)
+            return bad("an integer");
+        sc.budget.intRegs = int(v.i);
+        return true;
+    }
+    if (key == "fpRegs") {
+        if (v.kind != Value::Kind::Int)
+            return bad("an integer");
+        sc.budget.fpRegs = int(v.i);
+        return true;
+    }
+
+    if (key == "pageBytes") return toUnsigned(sc.pageBytes);
+    if (key == "issueWidth") return toUnsigned(sc.issueWidth);
+    if (key == "robSize") return toUnsigned(sc.robSize);
+    if (key == "lsqSize") return toUnsigned(sc.lsqSize);
+    if (key == "fetchQueueSize") return toUnsigned(sc.fetchQueueSize);
+    if (key == "cachePorts") return toUnsigned(sc.cachePorts);
+    if (key == "mispredictPenalty")
+        return toUnsigned(sc.mispredictPenalty);
+    if (key == "tlbMissLatency") return toUnsigned(sc.tlbMissLatency);
+    if (key == "intAlu") return toUnsigned(sc.fus.intAlu);
+    if (key == "intMultDiv") return toUnsigned(sc.fus.intMultDiv);
+    if (key == "memPorts") return toUnsigned(sc.fus.memPorts);
+    if (key == "fpAdd") return toUnsigned(sc.fus.fpAdd);
+    if (key == "fpMultDiv") return toUnsigned(sc.fus.fpMultDiv);
+    if (key == "icacheBytes") return toUnsigned(sc.icache.sizeBytes);
+    if (key == "icacheAssoc") return toUnsigned(sc.icache.assoc);
+    if (key == "icacheBlockBytes")
+        return toUnsigned(sc.icache.blockBytes);
+    if (key == "icacheMissLatency")
+        return toUnsigned(sc.icache.missLatency);
+    if (key == "dcacheBytes") return toUnsigned(sc.dcache.sizeBytes);
+    if (key == "dcacheAssoc") return toUnsigned(sc.dcache.assoc);
+    if (key == "dcacheBlockBytes")
+        return toUnsigned(sc.dcache.blockBytes);
+    if (key == "dcacheMissLatency")
+        return toUnsigned(sc.dcache.missLatency);
+    hbat_panic("unhandled machine key ", key);
+}
+
+/** `designs`/`programs` accept one name or a list of names. */
+bool
+evalNameList(const Config &cfg, const Section &sw,
+             const std::string &key, std::vector<std::string> &out,
+             bool &present, Report &report)
+{
+    Value v;
+    const size_t before = report.count(Severity::Error);
+    present = cfg.eval(&sw, key, v, report);
+    if (!present)
+        return report.count(Severity::Error) == before;
+    const std::vector<Value> items =
+        v.kind == Value::Kind::List ? v.list
+                                    : std::vector<Value>{v};
+    for (const Value &item : items) {
+        if (item.kind != Value::Kind::Str) {
+            specError(report, cfg, Diag::ConfigKey,
+                      hbat::detail::concat("key '", key, "' must name ",
+                                           key == "designs"
+                                               ? "design sections"
+                                               : "programs",
+                                           ", got ", item.render()));
+            return false;
+        }
+        out.push_back(item.s);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+expandSweepSpec(const Config &cfg, const SimConfig &defaults,
+                SweepSpec &out, Report &report)
+{
+    const Section *sw = cfg.section("sweep");
+    if (sw == nullptr) {
+        report.add(Diag::ConfigKey, Severity::Error, 0,
+                   hbat::detail::concat(cfg.origin(),
+                                        ": no [sweep] section"));
+        return false;
+    }
+
+    // Schema first: a typo'd machine key must not silently default.
+    bool ok = true;
+    for (const std::string &key : cfg.keysInChain(sw)) {
+        if (key != "designs" && key != "programs" &&
+            !isMachineKey(key)) {
+            specError(report, cfg, Diag::ConfigKey,
+                      hbat::detail::concat("unknown sweep key '", key,
+                                           "'"));
+            ok = false;
+        }
+    }
+    if (!ok)
+        return false;
+
+    bool present = false;
+    std::vector<std::string> designs;
+    if (!evalNameList(cfg, *sw, "designs", designs, present, report))
+        return false;
+    if (!present || designs.empty()) {
+        specError(report, cfg, Diag::ConfigKey,
+                  "needs a 'designs' key naming at least one design "
+                  "section");
+        return false;
+    }
+    if (!evalNameList(cfg, *sw, "programs", out.programs, present,
+                      report))
+        return false;
+
+    // The machine axes: keys bound *directly* to a list literal, in
+    // declaration order. A scalar expression that merely references a
+    // list-valued key (fpRegs = $(intRegs)) is not its own axis — it
+    // re-evaluates per cell under the overlay and rides the axis it
+    // references.
+    struct Axis
+    {
+        std::string key;
+        std::vector<Value> values;
+    };
+    std::vector<Axis> axes;
+    std::vector<std::string> boundKeys;     // all machine keys, in order
+    for (const std::string &key : cfg.keysInChain(sw)) {
+        if (!isMachineKey(key))
+            continue;
+        boundKeys.push_back(key);
+        const config::Expr *e = cfg.bindingExpr(sw, key);
+        if (e == nullptr || e->op != config::Expr::Op::List)
+            continue;
+        Value v;
+        if (!cfg.eval(sw, key, v, report))
+            return false;   // bound but unevaluable
+        axes.push_back(Axis{key, v.list});
+    }
+
+    // designs (listed order) x design-section axes x machine axes,
+    // rightmost fastest.
+    for (const std::string &name : designs) {
+        const Section *ds = cfg.section(name);
+        if (ds == nullptr) {
+            specError(report, cfg, Diag::ConfigKey,
+                      hbat::detail::concat("designs names unknown "
+                                           "section '", name, "'"));
+            return false;
+        }
+        std::vector<tlb::DesignVariant> variants;
+        if (!tlb::designVariants(cfg, *ds, variants, report))
+            return false;
+
+        for (const tlb::DesignVariant &var : variants) {
+            std::vector<size_t> idx(axes.size(), 0);
+            for (;;) {
+                Overlay overlay;
+                for (size_t a = 0; a < axes.size(); ++a)
+                    overlay.emplace_back(axes[a].key,
+                                         axes[a].values[idx[a]]);
+
+                SweepColumnSpec col;
+                col.designSection = name;
+                col.sim = defaults;
+                col.sim.customDesign = var.params;
+                col.label = var.label;
+                col.echo.emplace_back("design", name);
+                for (const auto &p : var.echo)
+                    col.echo.push_back(p);
+
+                // Scalars re-evaluate under the overlay so dependent
+                // expressions (fpRegs = $(intRegs)) track the axes.
+                for (const std::string &key : boundKeys) {
+                    Value v;
+                    if (!cfg.eval(sw, key, v, report, &overlay))
+                        return false;
+                    if (!applyMachineKey(cfg, key, v, col, report))
+                        return false;
+                    col.echo.emplace_back(key, v.render());
+                }
+                for (size_t a = 0; a < axes.size(); ++a) {
+                    col.label += hbat::detail::concat(
+                        " ", axes[a].key, "=",
+                        axes[a].values[idx[a]].render());
+                }
+                col.sim.designLabel = col.label;
+                out.columns.push_back(std::move(col));
+
+                size_t a = axes.size();
+                while (a > 0 &&
+                       ++idx[a - 1] == axes[a - 1].values.size())
+                    idx[--a] = 0;
+                if (a == 0)
+                    break;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace hbat::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sweep-spec expansion: a parsed .conf design-space spec becomes the
+ * flat list of simulation columns the bench harness runs.
+ *
+ * A spec's `[sweep]` section (see DESIGN.md §11) names the design
+ * sections to sweep and may bind machine keys; every list-valued key
+ * — in a design section or in `[sweep]` — is a cross-product axis:
+ *
+ *     [sweep]
+ *     designs  = [T4, I4]
+ *     programs = [compress, go]
+ *     pageBytes = [4096, 8192]     # machine axis
+ *     intRegs   = [8, 32]          # another axis
+ *     fpRegs    = $(intRegs)       # scalar, re-evaluated per cell
+ *
+ * expands into 2 designs x 2 page sizes x 2 budgets = 8 columns; the
+ * programs stay the row dimension of the existing (program, design)
+ * cell grid. Column order is deterministic: designs in listed order,
+ * then design-section axes, then machine axes in declaration order,
+ * rightmost fastest.
+ *
+ * Machine keys map onto sim::SimConfig: pageBytes, inOrder, intRegs,
+ * fpRegs, seed, scale, issueWidth, robSize, lsqSize, fetchQueueSize,
+ * cachePorts, mispredictPenalty, tlbMissLatency, the FU mix (intAlu,
+ * intMultDiv, memPorts, fpAdd, fpMultDiv), and the cache geometry
+ * (icacheBytes, icacheAssoc, icacheBlockBytes, icacheMissLatency, and
+ * the dcache* four). Anything else is a ConfigKey error.
+ */
+
+#ifndef HBAT_SIM_SWEEP_SPEC_HH
+#define HBAT_SIM_SWEEP_SPEC_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/config.hh"
+#include "sim/sim_config.hh"
+
+namespace hbat::sim
+{
+
+/** One expanded column of the (program, design) cell grid. */
+struct SweepColumnSpec
+{
+    /** Display label: design name plus one " key=value" per axis. */
+    std::string label;
+
+    /** The design section this column resolved from. */
+    std::string designSection;
+
+    /** Fully-resolved configuration (customDesign always set). */
+    SimConfig sim;
+
+    /** Workload scale from the spec's `scale` key (when bound). */
+    bool hasScale = false;
+    double scale = 0.0;
+
+    /**
+     * The column's resolved config, echoed into the sweep JSON meta:
+     * the design section, every design/machine axis setting, and every
+     * machine key the spec binds.
+     */
+    std::vector<std::pair<std::string, std::string>> echo;
+};
+
+/** The whole expanded design space of one spec. */
+struct SweepSpec
+{
+    /** Programs from the spec's `programs` key; empty = harness default. */
+    std::vector<std::string> programs;
+
+    std::vector<SweepColumnSpec> columns;
+};
+
+/**
+ * Expand @p cfg's `[sweep]` section into columns, starting each column
+ * from @p defaults (CLI-level SimConfig). False with ConfigKey /
+ * ConfigExpr / ConfigMachine diagnostics when the spec is unusable.
+ */
+bool expandSweepSpec(const config::Config &cfg,
+                     const SimConfig &defaults, SweepSpec &out,
+                     verify::Report &report);
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_SWEEP_SPEC_HH

@@ -1,6 +1,10 @@
 #include "tlb/design.hh"
 
+#include <cstdlib>
+
 #include "common/log.hh"
+#include "config/config.hh"
+#include "tlb/design_config.hh"
 #include "tlb/interleaved.hh"
 #include "tlb/multilevel.hh"
 #include "tlb/multiported.hh"
@@ -17,6 +21,82 @@ constexpr unsigned kBaseEntries = 128;
 
 /// L1 TLB / pretranslation-cache access ports.
 constexpr unsigned kUpperPorts = 4;
+
+/// configs/table2.conf, embedded at build time (scripts/embed_file.cmake).
+constexpr const char kTable2Text[] =
+#include "table2_conf.inc"
+    ;
+
+/** Section name of @p d: the mnemonic with '/' stripped ("I4PB"). */
+std::string
+sectionNameOf(Design d)
+{
+    std::string s;
+    for (char c : designName(d))
+        if (c != '/')
+            s += c;
+    return s;
+}
+
+/** The Table 2 rows, resolved from the shipped config once. */
+struct Catalogue
+{
+    DesignParams params[size_t(Design::NumDesigns)];
+    std::string descriptions[size_t(Design::NumDesigns)];
+
+    Catalogue()
+    {
+        verify::Report report;
+        config::Config cfg;
+        bool ok;
+        if (const char *path = std::getenv("HBAT_TABLE2_CONF")) {
+            ok = config::Config::parseFile(path, cfg, report);
+        } else {
+            ok = config::Config::parseString(
+                kTable2Text, "configs/table2.conf", cfg, report);
+        }
+        for (Design d : allDesigns()) {
+            const std::string sec = sectionNameOf(d);
+            const config::Section *s = cfg.section(sec);
+            if (!ok || s == nullptr) {
+                report.add(verify::Diag::ConfigKey,
+                           verify::Severity::Error, 0,
+                           detail::concat(cfg.origin(),
+                                          ": missing design section [",
+                                          sec, "]"));
+                break;
+            }
+            std::string display;
+            ok = designFromConfig(cfg, *s, nullptr,
+                                  params[size_t(d)], &display,
+                                  &descriptions[size_t(d)], report);
+            if (ok && display != designName(d)) {
+                report.add(verify::Diag::ConfigKey,
+                           verify::Severity::Error, 0,
+                           detail::concat(cfg.origin(), ": [", sec,
+                                          "] display name '", display,
+                                          "' is not '", designName(d),
+                                          "'"));
+                ok = false;
+            }
+            if (!ok)
+                break;
+        }
+        if (!ok) {
+            std::string msg = "broken Table 2 design catalogue:";
+            for (const verify::Diagnostic &diag : report.diags)
+                msg += "\n  " + diag.str();
+            hbat_fatal(msg);
+        }
+    }
+};
+
+const Catalogue &
+catalogue()
+{
+    static const Catalogue c;
+    return c;
+}
 
 } // namespace
 
@@ -51,40 +131,9 @@ designName(Design d)
 std::string
 designDescription(Design d)
 {
-    switch (d) {
-      case Design::T4:
-        return "4-ported TLB, 128 entries, fully-associative, random";
-      case Design::T2:
-        return "2-ported TLB, 128 entries, fully-associative, random";
-      case Design::T1:
-        return "1-ported TLB, 128 entries, fully-associative, random";
-      case Design::I8:
-        return "8-way bit-select interleaved TLB, 128 entries "
-               "(16-entry banks)";
-      case Design::I4:
-        return "4-way bit-select interleaved TLB, 128 entries "
-               "(32-entry banks)";
-      case Design::X4:
-        return "4-way XOR-select interleaved TLB, 128 entries "
-               "(32-entry banks)";
-      case Design::M16:
-        return "4-ported 16-entry L1 TLB (LRU) over 128-entry L2";
-      case Design::M8:
-        return "4-ported 8-entry L1 TLB (LRU) over 128-entry L2";
-      case Design::M4:
-        return "4-ported 4-entry L1 TLB (LRU) over 128-entry L2";
-      case Design::P8:
-        return "4-ported 8-entry pretranslation cache (LRU) over "
-               "1-ported 128-entry base TLB";
-      case Design::PB2:
-        return "2-ported TLB with 2 piggyback ports, 128 entries";
-      case Design::PB1:
-        return "1-ported TLB with 3 piggyback ports, 128 entries";
-      case Design::I4PB:
-        return "4-way bit-select interleaved TLB with piggybacked "
-               "banks, 128 entries";
-      default: hbat_panic("bad design");
-    }
+    if (d >= Design::NumDesigns)
+        hbat_panic("bad design");
+    return catalogue().descriptions[size_t(d)];
 }
 
 Design
@@ -98,6 +147,14 @@ parseDesign(const std::string &name)
 
 DesignParams
 designParams(Design d)
+{
+    if (d >= Design::NumDesigns)
+        hbat_panic("bad design");
+    return catalogue().params[size_t(d)];
+}
+
+DesignParams
+builtinDesignParams(Design d)
 {
     using Kind = DesignParams::Kind;
     DesignParams p;
@@ -147,10 +204,44 @@ designParams(Design d)
     return p;
 }
 
-std::unique_ptr<TranslationEngine>
-makeEngine(Design d, vm::PageTable &page_table, uint64_t seed)
+std::string
+paramsSummary(const DesignParams &p)
 {
-    const DesignParams p = designParams(d);
+    using Kind = DesignParams::Kind;
+    std::string s;
+    switch (p.kind) {
+      case Kind::MultiPorted:
+        s = detail::concat("multiported entries=", p.baseEntries,
+                           " ports=", p.basePorts);
+        if (p.piggybackPorts > 0)
+            s += detail::concat(" piggyback=", p.piggybackPorts);
+        break;
+      case Kind::Interleaved:
+        s = detail::concat("interleaved entries=", p.baseEntries,
+                           " banks=", p.banks, " select=",
+                           p.select == BankSelect::BitSelect ? "bit"
+                                                             : "xor");
+        if (p.piggybackBanks)
+            s += " piggybackBanks";
+        break;
+      case Kind::MultiLevel:
+        s = detail::concat("multilevel l1Entries=", p.upperEntries,
+                           " l1Ports=", p.upperPorts, " l2Entries=",
+                           p.baseEntries, " l2Ports=", p.basePorts);
+        break;
+      case Kind::Pretranslation:
+        s = detail::concat("pretranslation cacheEntries=",
+                           p.upperEntries, " baseEntries=",
+                           p.baseEntries, " basePorts=", p.basePorts);
+        break;
+    }
+    return s;
+}
+
+std::unique_ptr<TranslationEngine>
+makeEngine(const DesignParams &p, vm::PageTable &page_table,
+           uint64_t seed)
+{
     switch (p.kind) {
       case DesignParams::Kind::MultiPorted:
         return std::make_unique<MultiPortedTlb>(
@@ -169,6 +260,12 @@ makeEngine(Design d, vm::PageTable &page_table, uint64_t seed)
             page_table, p.upperEntries, p.baseEntries, seed);
     }
     hbat_panic("bad design kind");
+}
+
+std::unique_ptr<TranslationEngine>
+makeEngine(Design d, vm::PageTable &page_table, uint64_t seed)
+{
+    return makeEngine(designParams(d), page_table, seed);
 }
 
 } // namespace hbat::tlb

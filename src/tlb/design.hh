@@ -2,10 +2,14 @@
  * @file
  * The catalogue of analyzed address-translation designs (Table 2).
  *
- * Each enumerator matches one mnemonic row of the paper's Table 2;
- * makeEngine() constructs the corresponding TranslationEngine with the
- * paper's parameters (128-entry fully-associative base structures,
- * 4 L1/pretranslation ports, etc.).
+ * Each enumerator matches one mnemonic row of the paper's Table 2.
+ * The parameters behind the mnemonics are data, not code: they load
+ * from the shipped configs/table2.conf (embedded into the build;
+ * override with $HBAT_TABLE2_CONF) through the src/config frontend,
+ * and makeEngine() constructs a TranslationEngine from any
+ * DesignParams — the 13 enum rows are just the named points. The
+ * original hard-coded factory survives as builtinDesignParams(), the
+ * reference the equivalence tests pin the config file against.
  */
 
 #ifndef HBAT_TLB_DESIGN_HH
@@ -79,10 +83,31 @@ struct DesignParams
 
     unsigned upperEntries = 0;      ///< L1 / pretranslation cache (0=none)
     unsigned upperPorts = 0;        ///< ports into the upper level
+
+    bool operator==(const DesignParams &) const = default;
 };
 
-/** The paper's parameters for @p d (Table 2 row). */
+/**
+ * The paper's parameters for @p d (Table 2 row), resolved from
+ * configs/table2.conf on first use; fatal when the catalogue file is
+ * broken or missing a row.
+ */
 DesignParams designParams(Design d);
+
+/**
+ * The pre-config hard-coded Table 2 factory. Reference only: the
+ * equivalence gate proves designParams() == builtinDesignParams() for
+ * every design, so the config path is byte-for-byte the paper's.
+ */
+DesignParams builtinDesignParams(Design d);
+
+/** Compact one-line rendering of @p p ("multiported ports=4 ..."). */
+std::string paramsSummary(const DesignParams &p);
+
+/** Construct the engine described by @p p. */
+std::unique_ptr<TranslationEngine>
+makeEngine(const DesignParams &p, vm::PageTable &page_table,
+           uint64_t seed = 12345);
 
 /** Construct the engine for @p d with the paper's parameters. */
 std::unique_ptr<TranslationEngine>

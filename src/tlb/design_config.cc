@@ -1,0 +1,278 @@
+#include "tlb/design_config.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+
+namespace hbat::tlb
+{
+
+namespace
+{
+
+using config::Config;
+using config::Overlay;
+using config::Section;
+using config::Value;
+using verify::Diag;
+using verify::Report;
+using verify::Severity;
+
+/** The design-section schema: every key designFromConfig understands. */
+const char *const kDesignKeys[] = {
+    "kind",           "name",          "desc",
+    "baseEntries",    "basePorts",     "piggybackPorts",
+    "banks",          "select",        "piggybackBanks",
+    "upperEntries",   "upperPorts",
+};
+
+bool
+isDesignKey(const std::string &key)
+{
+    for (const char *k : kDesignKeys)
+        if (key == k)
+            return true;
+    return false;
+}
+
+void
+keyError(Report &report, const Config &cfg, const Section &sec,
+         const std::string &msg)
+{
+    report.add(Diag::ConfigKey, Severity::Error, 0,
+               hbat::detail::concat(cfg.origin(), ": [", sec.name,
+                                    "]: ", msg));
+}
+
+/**
+ * Reject keys that no schema consumes — a typo'd `upperEntires` must
+ * not silently fall back to a default.
+ */
+bool
+checkKnownKeys(const Config &cfg, const Section &sec, Report &report)
+{
+    bool ok = true;
+    for (const std::string &key : cfg.keysInChain(&sec)) {
+        if (!isDesignKey(key)) {
+            keyError(report, cfg, sec,
+                     hbat::detail::concat("unknown design key '", key,
+                                          "'"));
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+/** Evaluate @p key as a non-negative integer into @p out (unsigned). */
+bool
+evalUnsigned(const Config &cfg, const Section &sec,
+             const Overlay *overlay, const std::string &key,
+             unsigned &out, Report &report)
+{
+    Value v;
+    if (!cfg.eval(&sec, key, v, report, overlay))
+        return true;    // unbound keeps the default; eval errors reported
+    if (v.kind == Value::Kind::List) {
+        keyError(report, cfg, sec,
+                 hbat::detail::concat("key '", key, "' is a list here; "
+                                      "lists are sweep axes (use a "
+                                      "sweep spec)"));
+        return false;
+    }
+    if (v.kind != Value::Kind::Int || v.i < 0 ||
+        v.i > int64_t(std::numeric_limits<unsigned>::max())) {
+        keyError(report, cfg, sec,
+                 hbat::detail::concat("key '", key,
+                                      "' must be a non-negative "
+                                      "integer, got ", v.render()));
+        return false;
+    }
+    out = unsigned(v.i);
+    return true;
+}
+
+bool
+evalBool(const Config &cfg, const Section &sec, const Overlay *overlay,
+         const std::string &key, bool &out, Report &report)
+{
+    Value v;
+    if (!cfg.eval(&sec, key, v, report, overlay))
+        return true;
+    if (v.kind != Value::Kind::Bool) {
+        keyError(report, cfg, sec,
+                 hbat::detail::concat("key '", key,
+                                      "' must be true or false, got ",
+                                      v.render()));
+        return false;
+    }
+    out = v.b;
+    return true;
+}
+
+bool
+evalString(const Config &cfg, const Section &sec,
+           const Overlay *overlay, const std::string &key,
+           std::string &out, bool &present, Report &report)
+{
+    Value v;
+    present = cfg.eval(&sec, key, v, report, overlay);
+    if (!present)
+        return true;
+    if (v.kind != Value::Kind::Str) {
+        keyError(report, cfg, sec,
+                 hbat::detail::concat("key '", key,
+                                      "' must be a string, got ",
+                                      v.render()));
+        return false;
+    }
+    out = v.s;
+    return true;
+}
+
+} // namespace
+
+bool
+designFromConfig(const Config &cfg, const Section &sec,
+                 const Overlay *overlay, DesignParams &out,
+                 std::string *displayName, std::string *description,
+                 Report &report)
+{
+    if (!checkKnownKeys(cfg, sec, report))
+        return false;
+
+    bool ok = true;
+    bool present = false;
+
+    std::string kind;
+    ok &= evalString(cfg, sec, overlay, "kind", kind, present, report);
+    if (ok && !present) {
+        keyError(report, cfg, sec,
+                 "design section needs a 'kind' key (multiported | "
+                 "interleaved | multilevel | pretranslation)");
+        return false;
+    }
+
+    DesignParams p;
+    if (kind == "multiported") {
+        p.kind = DesignParams::Kind::MultiPorted;
+    } else if (kind == "interleaved") {
+        p.kind = DesignParams::Kind::Interleaved;
+    } else if (kind == "multilevel") {
+        p.kind = DesignParams::Kind::MultiLevel;
+    } else if (kind == "pretranslation") {
+        p.kind = DesignParams::Kind::Pretranslation;
+    } else if (ok) {
+        keyError(report, cfg, sec,
+                 hbat::detail::concat("unknown design kind '", kind,
+                                      "'"));
+        return false;
+    }
+
+    ok &= evalUnsigned(cfg, sec, overlay, "baseEntries", p.baseEntries,
+                       report);
+    ok &= evalUnsigned(cfg, sec, overlay, "banks", p.banks, report);
+    ok &= evalUnsigned(cfg, sec, overlay, "piggybackPorts",
+                       p.piggybackPorts, report);
+    ok &= evalUnsigned(cfg, sec, overlay, "upperEntries",
+                       p.upperEntries, report);
+    ok &= evalUnsigned(cfg, sec, overlay, "upperPorts", p.upperPorts,
+                       report);
+    ok &= evalBool(cfg, sec, overlay, "piggybackBanks",
+                   p.piggybackBanks, report);
+
+    if (cfg.has(&sec, "basePorts")) {
+        ok &= evalUnsigned(cfg, sec, overlay, "basePorts", p.basePorts,
+                           report);
+    } else if (p.kind == DesignParams::Kind::Interleaved) {
+        p.basePorts = p.banks;  // one port per bank, like the factory
+    }
+
+    std::string select;
+    ok &= evalString(cfg, sec, overlay, "select", select, present,
+                     report);
+    if (present) {
+        if (select == "bit") {
+            p.select = BankSelect::BitSelect;
+        } else if (select == "xor") {
+            p.select = BankSelect::XorFold;
+        } else if (ok) {
+            keyError(report, cfg, sec,
+                     hbat::detail::concat("key 'select' must be bit or "
+                                          "xor, got '", select, "'"));
+            ok = false;
+        }
+    }
+
+    std::string name = sec.name;
+    ok &= evalString(cfg, sec, overlay, "name", name, present, report);
+    if (displayName != nullptr)
+        *displayName = name;
+
+    std::string desc;
+    ok &= evalString(cfg, sec, overlay, "desc", desc, present, report);
+    if (description != nullptr)
+        *description = desc;
+
+    if (ok)
+        out = p;
+    return ok;
+}
+
+bool
+designVariants(const Config &cfg, const Section &sec,
+               std::vector<DesignVariant> &out, Report &report)
+{
+    if (!checkKnownKeys(cfg, sec, report))
+        return false;
+
+    // Find the axes: keys bound directly to a list literal, in
+    // declaration order. A scalar expression referencing a list key
+    // rides its axis via the overlay instead of becoming one.
+    struct Axis
+    {
+        std::string key;
+        std::vector<Value> values;
+    };
+    std::vector<Axis> axes;
+    for (const std::string &key : cfg.keysInChain(&sec)) {
+        if (key == "name" || key == "desc")
+            continue;
+        const config::Expr *e = cfg.bindingExpr(&sec, key);
+        if (e == nullptr || e->op != config::Expr::Op::List)
+            continue;
+        Value v;
+        if (!cfg.eval(&sec, key, v, report))
+            return false;   // bound but unevaluable
+        axes.push_back(Axis{key, v.list});
+    }
+
+    // Walk the cross-product, rightmost axis fastest.
+    std::vector<size_t> idx(axes.size(), 0);
+    for (;;) {
+        Overlay overlay;
+        for (size_t a = 0; a < axes.size(); ++a)
+            overlay.emplace_back(axes[a].key, axes[a].values[idx[a]]);
+
+        DesignVariant var;
+        std::string name;
+        if (!designFromConfig(cfg, sec, &overlay, var.params, &name,
+                              nullptr, report))
+            return false;
+        var.label = name;
+        for (const auto &[key, value] : overlay) {
+            var.label += hbat::detail::concat(" ", key, "=",
+                                              value.render());
+            var.echo.emplace_back(key, value.render());
+        }
+        out.push_back(std::move(var));
+
+        size_t a = axes.size();
+        while (a > 0 && ++idx[a - 1] == axes[a - 1].values.size())
+            idx[--a] = 0;
+        if (a == 0)
+            break;
+    }
+    return true;
+}
+
+} // namespace hbat::tlb

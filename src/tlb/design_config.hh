@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Config-driven construction of tlb::DesignParams.
+ *
+ * A design section (see DESIGN.md §11 and configs/table2.conf) maps
+ * config keys onto the DesignParams fields:
+ *
+ *     [mydesign]
+ *     kind = multiported        # multiported | interleaved |
+ *                               # multilevel | pretranslation
+ *     baseEntries = 128
+ *     basePorts = 4
+ *     piggybackPorts = 0
+ *     banks = 4                 # interleaved only
+ *     select = bit              # bit | xor (interleaved only)
+ *     piggybackBanks = false    # interleaved only
+ *     upperEntries = 16         # multilevel / pretranslation
+ *     upperPorts = 4
+ *     name = 'My/Design'        # display label (default: section name)
+ *     desc = 'one-line description'
+ *
+ * `kind` is required; everything else inherits the DesignParams
+ * defaults. An interleaved design without an explicit `basePorts`
+ * gets one port per bank, matching the hard-coded factory. Unknown
+ * keys are ConfigKey errors — a typo'd `upperEntires` must not
+ * silently fall back to a default.
+ *
+ * List-valued keys turn a section into a family: designVariants()
+ * expands the cross-product of every list axis into one DesignVariant
+ * per combination, re-evaluating dependent expressions with the axis
+ * value pinned (config::Overlay).
+ */
+
+#ifndef HBAT_TLB_DESIGN_CONFIG_HH
+#define HBAT_TLB_DESIGN_CONFIG_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/config.hh"
+#include "tlb/design.hh"
+
+namespace hbat::tlb
+{
+
+/** One expanded point of a (possibly list-valued) design section. */
+struct DesignVariant
+{
+    /** Display label: the design name plus one " key=value" per axis. */
+    std::string label;
+
+    DesignParams params;
+
+    /** Axis settings that produced this variant, for the JSON echo. */
+    std::vector<std::pair<std::string, std::string>> echo;
+};
+
+/**
+ * Resolve @p sec into a single DesignParams. @p displayName (optional)
+ * receives the `name` key or the section name; @p description the
+ * `desc` key or "". False with ConfigKey/ConfigExpr diagnostics on
+ * schema or evaluation problems; a list-valued key is an error here
+ * (use designVariants()). @p overlay pins axis values.
+ */
+bool designFromConfig(const config::Config &cfg,
+                      const config::Section &sec,
+                      const config::Overlay *overlay, DesignParams &out,
+                      std::string *displayName, std::string *description,
+                      verify::Report &report);
+
+/**
+ * Expand every list-valued key of @p sec (a sweep axis) into the
+ * cross-product of DesignVariants, axes ordered as declared
+ * (Config::keysInChain), rightmost fastest. A section with no list
+ * keys yields exactly one variant labeled with its plain name.
+ */
+bool designVariants(const config::Config &cfg,
+                    const config::Section &sec,
+                    std::vector<DesignVariant> &out,
+                    verify::Report &report);
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_DESIGN_CONFIG_HH

@@ -1,5 +1,7 @@
 #include "verify/design_lint.hh"
 
+#include <utility>
+
 #include "common/log.hh"
 
 namespace hbat::verify
@@ -29,7 +31,8 @@ log2u(unsigned v)
 
 void
 lintDesignParams(const tlb::DesignParams &p, const std::string &name,
-                 Report &report, unsigned pageBytes)
+                 Report &report, unsigned pageBytes,
+                 unsigned issueWidth, unsigned memPorts)
 {
     using Kind = tlb::DesignParams::Kind;
 
@@ -55,18 +58,18 @@ lintDesignParams(const tlb::DesignParams &p, const std::string &name,
     // but *more* request paths than the four load/store units can
     // ever generate is a specification error.
     if (p.kind == Kind::MultiPorted &&
-        p.basePorts + p.piggybackPorts > kMemPorts) {
+        p.basePorts + p.piggybackPorts > memPorts) {
         ports(detail::concat(
             p.basePorts, " port(s) + ", p.piggybackPorts,
-            " piggyback port(s) exceed the machine's ", kMemPorts,
+            " piggyback port(s) exceed the machine's ", memPorts,
             " load/store units"));
     }
 
     if (p.kind == Kind::Interleaved) {
-        if (p.banks > kIssueWidth) {
+        if (p.banks > issueWidth) {
             ports(detail::concat(
                 p.banks, " banks exceed the issue width of ",
-                kIssueWidth, " (extra banks can never be probed)"));
+                issueWidth, " (extra banks can never be probed)"));
         }
         if (!isPow2(p.banks)) {
             structural(detail::concat("bank count ", p.banks,
@@ -105,10 +108,10 @@ lintDesignParams(const tlb::DesignParams &p, const std::string &name,
                 " entries) is not smaller than the base it fronts (",
                 p.baseEntries, " entries)"));
         }
-        if (p.upperPorts < 1 || p.upperPorts > kMemPorts) {
+        if (p.upperPorts < 1 || p.upperPorts > memPorts) {
             ports(detail::concat(
                 "upper level has ", p.upperPorts, " port(s); the ",
-                kMemPorts, " load/store units need 1..", kMemPorts));
+                memPorts, " load/store units need 1..", memPorts));
         }
     }
 }
@@ -153,7 +156,100 @@ lintConfig(const sim::SimConfig &cfg, Report &report)
                                   " outside the allocator's [3, 32]"));
     }
 
-    lintDesign(cfg.design, report, cfg.pageBytes);
+    // Machine-structure knobs (ConfigMachine): bounds the pipeline and
+    // cache models rely on, checked before any cycles are simulated.
+    auto machine = [&](std::string msg) {
+        report.add(Diag::ConfigMachine, Severity::Error, 0,
+                   std::move(msg));
+    };
+    if (cfg.issueWidth < 1 || cfg.issueWidth > 16) {
+        machine(detail::concat("issue width ", cfg.issueWidth,
+                               " outside the supported [1, 16]"));
+    }
+    if (cfg.robSize < 2 || cfg.robSize > 4096) {
+        machine(detail::concat("ROB size ", cfg.robSize,
+                               " outside the supported [2, 4096]"));
+    }
+    if (cfg.lsqSize < 1 || cfg.lsqSize > cfg.robSize) {
+        machine(detail::concat("LSQ size ", cfg.lsqSize,
+                               " outside [1, robSize=", cfg.robSize,
+                               "]"));
+    }
+    if (cfg.fetchQueueSize < 1) {
+        machine("fetch queue needs at least one slot");
+    }
+    if (cfg.cachePorts < 1 || cfg.cachePorts > 8) {
+        machine(detail::concat("cache port count ", cfg.cachePorts,
+                               " outside the supported [1, 8]"));
+    }
+    if (cfg.tlbMissLatency < 1) {
+        machine("TLB miss latency must be at least one cycle");
+    }
+    const std::pair<const char *, unsigned> fuCounts[] = {
+        {"intAlu", cfg.fus.intAlu},
+        {"intMultDiv", cfg.fus.intMultDiv},
+        {"memPorts", cfg.fus.memPorts},
+        {"fpAdd", cfg.fus.fpAdd},
+        {"fpMultDiv", cfg.fus.fpMultDiv},
+    };
+    for (const auto &[fu, count] : fuCounts) {
+        if (count < 1) {
+            machine(detail::concat("functional-unit count ", fu,
+                                   " must be at least 1"));
+        }
+    }
+    if (cfg.cachePorts != cfg.fus.memPorts) {
+        report.add(Diag::ConfigMachine, Severity::Warning, 0,
+                   detail::concat("cachePorts=", cfg.cachePorts,
+                                  " differs from memPorts=",
+                                  cfg.fus.memPorts,
+                                  "; the narrower one bounds memory "
+                                  "throughput"));
+    }
+    const std::pair<const char *, const cache::CacheConfig *> caches[] =
+        {{"icache", &cfg.icache}, {"dcache", &cfg.dcache}};
+    for (const auto &[label, cc] : caches) {
+        if (cc->assoc < 1) {
+            machine(detail::concat(label,
+                                   " associativity must be at least "
+                                   "1"));
+            continue;
+        }
+        if (cc->blockBytes < 4 || !isPow2(cc->blockBytes)) {
+            machine(detail::concat(label, " block size ",
+                                   cc->blockBytes,
+                                   " is not a power of two >= 4"));
+            continue;
+        }
+        if (cc->sizeBytes == 0 ||
+            cc->sizeBytes % (cc->blockBytes * cc->assoc) != 0 ||
+            !isPow2(cc->sizeBytes / (cc->blockBytes * cc->assoc))) {
+            machine(detail::concat(
+                label, " geometry ", cc->sizeBytes, "B/",
+                cc->assoc, "-way/", cc->blockBytes,
+                "B blocks does not yield a power-of-two set count"));
+        }
+        if (cc->missLatency < 1) {
+            machine(detail::concat(label,
+                                   " miss latency must be at least "
+                                   "one cycle"));
+        }
+    }
+
+    // The effective translation design: a config-driven cell carries
+    // its own DesignParams; everything else is a Table 2 row.
+    if (cfg.customDesign) {
+        lintDesignParams(*cfg.customDesign,
+                         cfg.designLabel.empty() ? "custom"
+                                                 : cfg.designLabel,
+                         report, cfg.pageBytes, cfg.issueWidth,
+                         cfg.fus.memPorts);
+    } else {
+        lintDesignParams(tlb::designParams(cfg.design),
+                         tlb::designName(cfg.design), report,
+                         cfg.pageBytes, cfg.issueWidth,
+                         cfg.fus.memPorts);
+    }
 }
 
 Report

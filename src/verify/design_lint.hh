@@ -31,11 +31,16 @@ inline constexpr unsigned kMemPorts = 4;
  * Check structural parameters @p p (reported under @p name, under
  * page size @p pageBytes), appending findings to @p report. Exposed
  * separately from lintDesign so hypothetical parameter sets can be
- * checked (tests, future design-space sweeps).
+ * checked (tests, config-driven sweep cells). @p issueWidth and
+ * @p memPorts describe the machine the design serves — sweeps that
+ * vary the machine shape pass the cell's values so the port/bank
+ * consistency checks track it.
  */
 void lintDesignParams(const tlb::DesignParams &p,
                       const std::string &name, Report &report,
-                      unsigned pageBytes = 4096);
+                      unsigned pageBytes = 4096,
+                      unsigned issueWidth = kIssueWidth,
+                      unsigned memPorts = kMemPorts);
 
 /**
  * Check the structural parameters of @p d (under page size
@@ -49,8 +54,10 @@ void lintDesign(tlb::Design d, Report &report,
 Report lintDesign(tlb::Design d, unsigned pageBytes = 4096);
 
 /**
- * Check a whole simulation configuration: its design (lintDesign),
- * page size, and register budget.
+ * Check a whole simulation configuration: its effective design
+ * (customDesign when set, else the Table 2 enum row), page size,
+ * register budget, and the machine-structure knobs (issue width,
+ * ROB/LSQ depth, FU mix, cache geometry — ConfigMachine findings).
  */
 void lintConfig(const sim::SimConfig &cfg, Report &report);
 

@@ -65,6 +65,12 @@ enum class Diag : uint8_t
     ConfigPageSize,     ///< unsupported page size
     ConfigBudget,       ///< register budget outside the allocator range
 
+    // Declarative config frontend (src/config, sweep specs).
+    ConfigSyntax,       ///< .conf parse error (bad header, bad token...)
+    ConfigExpr,         ///< expression evaluation error ($(x) unknown...)
+    ConfigKey,          ///< unknown/missing/mistyped key in a section
+    ConfigMachine,      ///< machine knob outside the supported range
+
     NumDiags
 };
 
@@ -89,6 +95,10 @@ diagName(Diag d)
       case Diag::DesignPorts: return "design-ports";
       case Diag::ConfigPageSize: return "config-page-size";
       case Diag::ConfigBudget: return "config-budget";
+      case Diag::ConfigSyntax: return "config-syntax";
+      case Diag::ConfigExpr: return "config-expr";
+      case Diag::ConfigKey: return "config-key";
+      case Diag::ConfigMachine: return "config-machine";
       case Diag::NumDiags: break;
     }
     return "unknown";

@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Tests for the declarative config frontend (src/config), the
+ * design-section schema (tlb/design_config), and the sweep-spec
+ * expander (sim/sweep_spec) — including the equivalence gate pinning
+ * configs/table2.conf to the original hard-coded Table 2 factory and
+ * a proof that every parse/eval/schema/lint diagnostic actually
+ * fires.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "config/config.hh"
+#include "sim/sweep_spec.hh"
+#include "tlb/design.hh"
+#include "tlb/design_config.hh"
+#include "verify/design_lint.hh"
+
+namespace
+{
+
+using namespace hbat;
+using config::Config;
+using config::Value;
+using verify::Diag;
+using verify::Report;
+using verify::Severity;
+
+/** Parse @p text, asserting success. */
+Config
+parseOk(const std::string &text)
+{
+    Config cfg;
+    Report report;
+    EXPECT_TRUE(Config::parseString(text, "test", cfg, report))
+        << (report.diags.empty() ? "" : report.diags[0].str());
+    return cfg;
+}
+
+/** Evaluate @p key in @p section, asserting success. */
+Value
+evalOk(const Config &cfg, const std::string &section,
+       const std::string &key)
+{
+    const config::Section *sec = cfg.section(section);
+    EXPECT_NE(sec, nullptr) << "no section " << section;
+    Value v;
+    Report report;
+    EXPECT_TRUE(cfg.eval(sec, key, v, report))
+        << (report.diags.empty() ? "unbound" : report.diags[0].str());
+    return v;
+}
+
+// ---------------------------------------------------------------- //
+// Language: values, arithmetic, substitution, inheritance.
+// ---------------------------------------------------------------- //
+
+TEST(ConfigLang, ScalarKinds)
+{
+    const Config cfg = parseOk("[s]\n"
+                               "i = 42\n"
+                               "h = 0x80\n"
+                               "f = 2.5\n"
+                               "t = true\n"
+                               "bare = compress\n"
+                               "quoted = 'two words'\n");
+    EXPECT_EQ(evalOk(cfg, "s", "i").i, 42);
+    EXPECT_EQ(evalOk(cfg, "s", "h").i, 128);
+    EXPECT_DOUBLE_EQ(evalOk(cfg, "s", "f").f, 2.5);
+    EXPECT_TRUE(evalOk(cfg, "s", "t").b);
+    EXPECT_EQ(evalOk(cfg, "s", "bare").s, "compress");
+    EXPECT_EQ(evalOk(cfg, "s", "quoted").s, "two words");
+}
+
+TEST(ConfigLang, ArithmeticPrecedence)
+{
+    const Config cfg = parseOk("[s]\n"
+                               "a = 2 + 3 * 4\n"
+                               "b = (2 + 3) * 4\n"
+                               "c = 7 / 2\n"          // int div truncates
+                               "d = 7.0 / 2\n"        // mixed promotes
+                               "e = 10 % 3\n"
+                               "f = -2 + 5\n"
+                               "g = 2 * -3\n");
+    EXPECT_EQ(evalOk(cfg, "s", "a").i, 14);
+    EXPECT_EQ(evalOk(cfg, "s", "b").i, 20);
+    EXPECT_EQ(evalOk(cfg, "s", "c").i, 3);
+    EXPECT_DOUBLE_EQ(evalOk(cfg, "s", "d").f, 3.5);
+    EXPECT_EQ(evalOk(cfg, "s", "e").i, 1);
+    EXPECT_EQ(evalOk(cfg, "s", "f").i, 3);
+    EXPECT_EQ(evalOk(cfg, "s", "g").i, -6);
+}
+
+TEST(ConfigLang, SubstitutionAndTopLevelFallback)
+{
+    const Config cfg = parseOk("issue = 8\n"
+                               "[core]\n"
+                               "robSize = 36 * $(issue) + 32\n");
+    EXPECT_EQ(evalOk(cfg, "core", "robSize").i, 320);
+}
+
+TEST(ConfigLang, InheritanceOverrideAndLateBinding)
+{
+    // The child's issue=2 must feed the robSize expression it
+    // inherits from the parent (late binding), and a later binding of
+    // the same key wins within a section.
+    const Config cfg = parseOk("[core]\n"
+                               "issue = 8\n"
+                               "robSize = 36 * $(issue) + 32\n"
+                               "[small : core]\n"
+                               "issue = 4\n"
+                               "issue = 2\n");
+    EXPECT_EQ(evalOk(cfg, "core", "robSize").i, 320);
+    EXPECT_EQ(evalOk(cfg, "small", "robSize").i, 104);
+    EXPECT_EQ(evalOk(cfg, "small", "issue").i, 2);
+}
+
+TEST(ConfigLang, ListsAndOverlay)
+{
+    const Config cfg = parseOk("[s]\n"
+                               "xs = [8, 32]\n"
+                               "ys = $(xs)\n");
+    const Value xs = evalOk(cfg, "s", "xs");
+    ASSERT_EQ(xs.kind, Value::Kind::List);
+    ASSERT_EQ(xs.list.size(), 2u);
+    EXPECT_EQ(xs.list[0].i, 8);
+    EXPECT_EQ(xs.list[1].i, 32);
+    EXPECT_EQ(xs.render(), "[8, 32]");
+
+    // An overlay pins the axis: both the key itself and expressions
+    // referencing it see the pinned scalar.
+    config::Overlay overlay{{"xs", Value::ofInt(32)}};
+    Value v;
+    Report report;
+    ASSERT_TRUE(cfg.eval(cfg.section("s"), "xs", v, report, &overlay));
+    EXPECT_EQ(v.i, 32);
+    ASSERT_TRUE(cfg.eval(cfg.section("s"), "ys", v, report, &overlay));
+    EXPECT_EQ(v.i, 32);
+}
+
+TEST(ConfigLang, KeysInChainOrderedRootFirst)
+{
+    const Config cfg = parseOk("[a]\n"
+                               "one = 1\n"
+                               "two = 2\n"
+                               "[b : a]\n"
+                               "two = 22\n"       // override keeps slot
+                               "three = 3\n");
+    const std::vector<std::string> keys =
+        cfg.keysInChain(cfg.section("b"));
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "one");
+    EXPECT_EQ(keys[1], "two");
+    EXPECT_EQ(keys[2], "three");
+}
+
+// ---------------------------------------------------------------- //
+// Diagnostics: every parse/eval failure mode fires.
+// ---------------------------------------------------------------- //
+
+/** Parse @p text expecting failure; return the report. */
+Report
+parseBad(const std::string &text)
+{
+    Config cfg;
+    Report report;
+    EXPECT_FALSE(Config::parseString(text, "test", cfg, report));
+    EXPECT_GT(report.countOf(Diag::ConfigSyntax), 0u);
+    return report;
+}
+
+TEST(ConfigDiags, SyntaxErrors)
+{
+    parseBad("[unterminated\n");
+    parseBad("[]\n");                       // empty section name
+    parseBad("[a]\n[a]\n");                 // duplicate section
+    parseBad("[a : nowhere]\n");            // unknown parent
+    parseBad("[a : a]\n");                  // inheritance cycle
+    parseBad("[a]\nnovalue =\n");
+    parseBad("[a]\nnoequals 3\n");
+    parseBad("[a]\nx = 3 +\n");             // truncated expression
+    parseBad("[a]\nx = (3\n");              // unbalanced paren
+    parseBad("[a]\nx = [1, [2]]\n");        // nested list
+    parseBad("[a]\nx = []\n");              // empty list
+    parseBad("[a]\nx = 'open\n");           // unterminated string
+    parseBad("[a]\nx = 3 4\n");             // trailing tokens
+    parseBad("[a]\nx = [1, 2] + 1\n");      // list is not an operand
+}
+
+TEST(ConfigDiags, SyntaxRecoveryReportsSeveral)
+{
+    // Line-oriented recovery: both bad bindings are reported at once.
+    Config cfg;
+    Report report;
+    EXPECT_FALSE(Config::parseString("[a]\nx = \ny = (1\nz = 3\n",
+                                     "test", cfg, report));
+    EXPECT_EQ(report.countOf(Diag::ConfigSyntax), 2u);
+    // ...and the good binding is still usable.
+    EXPECT_EQ(evalOk(cfg, "a", "z").i, 3);
+}
+
+/** Evaluate expecting a ConfigExpr diagnostic. */
+void
+evalBad(const std::string &text, const std::string &key)
+{
+    const Config cfg = parseOk(text);
+    Value v;
+    Report report;
+    EXPECT_FALSE(cfg.eval(cfg.section("s"), key, v, report))
+        << key << " unexpectedly evaluated";
+    EXPECT_GT(report.countOf(Diag::ConfigExpr), 0u) << key;
+}
+
+TEST(ConfigDiags, ExprErrors)
+{
+    evalBad("[s]\nx = $(nope)\n", "x");              // unknown var
+    evalBad("[s]\nx = $(y)\ny = $(x)\n", "x");       // reference cycle
+    evalBad("[s]\nx = $(x) + 1\n", "x");             // self cycle
+    evalBad("[s]\nx = 1 / 0\n", "x");                // div by zero
+    evalBad("[s]\nx = 1 % 0\n", "x");                // mod by zero
+    evalBad("[s]\nx = 1.5 % 2\n", "x");              // mod on float
+    evalBad("[s]\nx = 1 + true\n", "x");             // non-number
+    evalBad("[s]\nx = -foo\n", "x");                 // negated string
+    evalBad("[s]\nx = $(xs) + 1\nxs = [1, 2]\n", "x"); // list arithmetic
+}
+
+TEST(ConfigDiags, UnboundKeyIsSilentFalse)
+{
+    const Config cfg = parseOk("[s]\nx = 1\n");
+    Value v;
+    Report report;
+    EXPECT_FALSE(cfg.eval(cfg.section("s"), "nope", v, report));
+    EXPECT_TRUE(report.diags.empty());
+}
+
+TEST(ConfigDiags, ParseFileMissing)
+{
+    Config cfg;
+    Report report;
+    EXPECT_FALSE(Config::parseFile("/nonexistent/x.conf", cfg, report));
+    EXPECT_GT(report.countOf(Diag::ConfigSyntax), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Design sections: schema, kinds, variants.
+// ---------------------------------------------------------------- //
+
+/** designFromConfig on section "d" of @p text, asserting success. */
+tlb::DesignParams
+designOk(const std::string &text)
+{
+    const Config cfg = parseOk(text);
+    tlb::DesignParams p;
+    Report report;
+    EXPECT_TRUE(tlb::designFromConfig(cfg, *cfg.section("d"), nullptr,
+                                      p, nullptr, nullptr, report))
+        << (report.diags.empty() ? "" : report.diags[0].str());
+    return p;
+}
+
+TEST(DesignConfig, EveryKindResolves)
+{
+    const tlb::DesignParams mp = designOk("[d]\nkind = multiported\n"
+                                          "baseEntries = 64\n"
+                                          "basePorts = 2\n"
+                                          "piggybackPorts = 2\n");
+    EXPECT_EQ(mp.kind, tlb::DesignParams::Kind::MultiPorted);
+    EXPECT_EQ(mp.baseEntries, 64u);
+    EXPECT_EQ(mp.basePorts, 2u);
+    EXPECT_EQ(mp.piggybackPorts, 2u);
+
+    const tlb::DesignParams il = designOk("[d]\nkind = interleaved\n"
+                                          "baseEntries = 128\n"
+                                          "banks = 4\nselect = xor\n"
+                                          "piggybackBanks = true\n");
+    EXPECT_EQ(il.kind, tlb::DesignParams::Kind::Interleaved);
+    EXPECT_EQ(il.banks, 4u);
+    EXPECT_EQ(il.select, tlb::BankSelect::XorFold);
+    EXPECT_TRUE(il.piggybackBanks);
+    // Interleaved defaults basePorts to one per bank, like the factory.
+    EXPECT_EQ(il.basePorts, 4u);
+
+    const tlb::DesignParams ml = designOk("[d]\nkind = multilevel\n"
+                                          "baseEntries = 128\n"
+                                          "basePorts = 1\n"
+                                          "upperEntries = 16\n"
+                                          "upperPorts = 4\n");
+    EXPECT_EQ(ml.kind, tlb::DesignParams::Kind::MultiLevel);
+    EXPECT_EQ(ml.upperEntries, 16u);
+    EXPECT_EQ(ml.upperPorts, 4u);
+
+    const tlb::DesignParams pt = designOk("[d]\n"
+                                          "kind = pretranslation\n"
+                                          "baseEntries = 128\n"
+                                          "basePorts = 1\n"
+                                          "upperEntries = 8\n"
+                                          "upperPorts = 4\n");
+    EXPECT_EQ(pt.kind, tlb::DesignParams::Kind::Pretranslation);
+}
+
+/** designFromConfig on section "d", expecting a ConfigKey error. */
+void
+designBad(const std::string &text)
+{
+    const Config cfg = parseOk(text);
+    tlb::DesignParams p;
+    Report report;
+    EXPECT_FALSE(tlb::designFromConfig(cfg, *cfg.section("d"), nullptr,
+                                       p, nullptr, nullptr, report));
+    EXPECT_GT(report.countOf(Diag::ConfigKey), 0u);
+}
+
+TEST(DesignConfig, SchemaErrors)
+{
+    designBad("[d]\nbaseEntries = 64\n");            // no kind
+    designBad("[d]\nkind = quantum\n");              // unknown kind
+    designBad("[d]\nkind = multiported\nupperEntires = 8\n"); // typo'd
+    designBad("[d]\nkind = multiported\nbasePorts = maybe\n");
+    designBad("[d]\nkind = multiported\nbasePorts = -1\n");
+    designBad("[d]\nkind = interleaved\nselect = hash\n");
+    designBad("[d]\nkind = interleaved\npiggybackBanks = 1\n");
+    designBad("[d]\nkind = multiported\nname = 7\n");
+    // A list is a sweep axis, not a scalar design parameter.
+    designBad("[d]\nkind = multiported\nbasePorts = [1, 2]\n");
+}
+
+TEST(DesignConfig, VariantsExpandListAxes)
+{
+    const Config cfg = parseOk("[d]\nkind = multiported\n"
+                               "baseEntries = [64, 128, 256]\n"
+                               "basePorts = [1, 2]\n");
+    std::vector<tlb::DesignVariant> vars;
+    Report report;
+    ASSERT_TRUE(tlb::designVariants(cfg, *cfg.section("d"), vars,
+                                    report));
+    ASSERT_EQ(vars.size(), 6u);     // rightmost (basePorts) fastest
+    EXPECT_EQ(vars[0].label, "d baseEntries=64 basePorts=1");
+    EXPECT_EQ(vars[1].label, "d baseEntries=64 basePorts=2");
+    EXPECT_EQ(vars[5].label, "d baseEntries=256 basePorts=2");
+    EXPECT_EQ(vars[0].params.baseEntries, 64u);
+    EXPECT_EQ(vars[5].params.baseEntries, 256u);
+    EXPECT_EQ(vars[5].params.basePorts, 2u);
+    ASSERT_EQ(vars[0].echo.size(), 2u);
+    EXPECT_EQ(vars[0].echo[0].first, "baseEntries");
+    EXPECT_EQ(vars[0].echo[0].second, "64");
+}
+
+TEST(DesignConfig, ScalarReferencingListRidesTheAxis)
+{
+    // piggybackPorts tracks basePorts through arithmetic instead of
+    // becoming a fourth/fifth column.
+    const Config cfg = parseOk("[d]\nkind = multiported\n"
+                               "baseEntries = 128\n"
+                               "basePorts = [1, 2]\n"
+                               "piggybackPorts = 4 - $(basePorts)\n");
+    std::vector<tlb::DesignVariant> vars;
+    Report report;
+    ASSERT_TRUE(tlb::designVariants(cfg, *cfg.section("d"), vars,
+                                    report));
+    ASSERT_EQ(vars.size(), 2u);
+    EXPECT_EQ(vars[0].params.basePorts, 1u);
+    EXPECT_EQ(vars[0].params.piggybackPorts, 3u);
+    EXPECT_EQ(vars[1].params.basePorts, 2u);
+    EXPECT_EQ(vars[1].params.piggybackPorts, 2u);
+}
+
+// ---------------------------------------------------------------- //
+// Equivalence gate: the shipped table2.conf IS the old factory.
+// ---------------------------------------------------------------- //
+
+TEST(Table2Equivalence, EveryDesignMatchesBuiltinFactory)
+{
+    for (tlb::Design d : tlb::allDesigns()) {
+        SCOPED_TRACE(tlb::designName(d));
+        EXPECT_TRUE(tlb::designParams(d) ==
+                    tlb::builtinDesignParams(d));
+        EXPECT_FALSE(tlb::designDescription(d).empty());
+    }
+}
+
+TEST(Table2Equivalence, ShippedConfExpandsToThirteenCleanColumns)
+{
+    Config cfg;
+    Report report;
+    ASSERT_TRUE(Config::parseFile(
+        HBAT_SOURCE_DIR "/configs/table2.conf", cfg, report));
+    sim::SweepSpec spec;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report));
+    ASSERT_EQ(spec.columns.size(), tlb::allDesigns().size());
+    for (size_t i = 0; i < spec.columns.size(); ++i) {
+        SCOPED_TRACE(spec.columns[i].label);
+        const tlb::Design d = tlb::allDesigns()[i];
+        EXPECT_EQ(spec.columns[i].label, tlb::designName(d));
+        ASSERT_TRUE(spec.columns[i].sim.customDesign.has_value());
+        EXPECT_TRUE(*spec.columns[i].sim.customDesign ==
+                    tlb::builtinDesignParams(d));
+        Report lint;
+        verify::lintConfig(spec.columns[i].sim, lint);
+        EXPECT_TRUE(lint.clean(Severity::Warning));
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Sweep-spec expansion.
+// ---------------------------------------------------------------- //
+
+TEST(SweepSpec, CrossProductOrderAndEcho)
+{
+    const Config cfg = parseOk("[t]\nkind = multiported\n"
+                               "baseEntries = [64, 128]\n"
+                               "basePorts = 4\n"
+                               "[sweep]\n"
+                               "designs = [t]\n"
+                               "programs = compress\n"
+                               "scale = 0.5\n"
+                               "pageBytes = [4096, 8192]\n"
+                               "intRegs = [8, 32]\n"
+                               "fpRegs = $(intRegs)\n");
+    sim::SweepSpec spec;
+    Report report;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report))
+        << (report.diags.empty() ? "" : report.diags[0].str());
+
+    ASSERT_EQ(spec.programs.size(), 1u);
+    EXPECT_EQ(spec.programs[0], "compress");
+    // 2 capacities x 2 page sizes x 2 budgets; fpRegs rides intRegs.
+    ASSERT_EQ(spec.columns.size(), 8u);
+    EXPECT_EQ(spec.columns[0].label,
+              "t baseEntries=64 pageBytes=4096 intRegs=8");
+    // Design axis outermost, machine axes rightmost-fastest.
+    EXPECT_EQ(spec.columns[1].label,
+              "t baseEntries=64 pageBytes=4096 intRegs=32");
+    EXPECT_EQ(spec.columns[2].label,
+              "t baseEntries=64 pageBytes=8192 intRegs=8");
+    EXPECT_EQ(spec.columns[4].label,
+              "t baseEntries=128 pageBytes=4096 intRegs=8");
+
+    const sim::SweepColumnSpec &col = spec.columns[1];
+    EXPECT_EQ(col.designSection, "t");
+    EXPECT_TRUE(col.hasScale);
+    EXPECT_DOUBLE_EQ(col.scale, 0.5);
+    EXPECT_EQ(col.sim.pageBytes, 4096u);
+    EXPECT_EQ(col.sim.budget.intRegs, 32);
+    EXPECT_EQ(col.sim.budget.fpRegs, 32);
+    ASSERT_TRUE(col.sim.customDesign.has_value());
+    EXPECT_EQ(col.sim.customDesign->baseEntries, 64u);
+    EXPECT_EQ(col.sim.designLabel, col.label);
+
+    // Echo carries the design section, the design axis, and every
+    // bound machine key with its per-cell resolved value.
+    auto echoed = [&](const std::string &key) -> std::string {
+        for (const auto &[k, v] : col.echo)
+            if (k == key)
+                return v;
+        return "<missing>";
+    };
+    EXPECT_EQ(echoed("design"), "t");
+    EXPECT_EQ(echoed("baseEntries"), "64");
+    EXPECT_EQ(echoed("pageBytes"), "4096");
+    EXPECT_EQ(echoed("intRegs"), "32");
+    EXPECT_EQ(echoed("fpRegs"), "32");
+    EXPECT_EQ(echoed("scale"), "0.5");
+}
+
+TEST(SweepSpec, MachineKeysReachSimConfig)
+{
+    const Config cfg = parseOk("[t]\nkind = multiported\n"
+                               "baseEntries = 128\nbasePorts = 4\n"
+                               "[sweep]\n"
+                               "designs = t\n"
+                               "inOrder = true\n"
+                               "seed = 7\n"
+                               "issueWidth = 4\n"
+                               "robSize = 96\n"
+                               "lsqSize = 24\n"
+                               "fetchQueueSize = 8\n"
+                               "cachePorts = 2\n"
+                               "memPorts = 2\n"
+                               "mispredictPenalty = 5\n"
+                               "tlbMissLatency = 40\n"
+                               "intAlu = 4\n"
+                               "dcacheBytes = 16384\n"
+                               "dcacheAssoc = 2\n"
+                               "icacheMissLatency = 12\n");
+    sim::SweepSpec spec;
+    Report report;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report));
+    ASSERT_EQ(spec.columns.size(), 1u);
+    const sim::SimConfig &sc = spec.columns[0].sim;
+    EXPECT_TRUE(sc.inOrder);
+    EXPECT_EQ(sc.seed, 7u);
+    EXPECT_EQ(sc.issueWidth, 4u);
+    EXPECT_EQ(sc.robSize, 96u);
+    EXPECT_EQ(sc.lsqSize, 24u);
+    EXPECT_EQ(sc.fetchQueueSize, 8u);
+    EXPECT_EQ(sc.cachePorts, 2u);
+    EXPECT_EQ(sc.fus.memPorts, 2u);
+    EXPECT_EQ(sc.mispredictPenalty, 5u);
+    EXPECT_EQ(sc.tlbMissLatency, 40u);
+    EXPECT_EQ(sc.fus.intAlu, 4u);
+    EXPECT_EQ(sc.dcache.sizeBytes, 16384u);
+    EXPECT_EQ(sc.dcache.assoc, 2u);
+    EXPECT_EQ(sc.icache.missLatency, 12u);
+}
+
+/** expandSweepSpec on @p text, expecting @p code. */
+void
+sweepBad(const std::string &text, Diag code)
+{
+    const Config cfg = parseOk(text);
+    sim::SweepSpec spec;
+    Report report;
+    EXPECT_FALSE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                      report));
+    EXPECT_GT(report.countOf(code), 0u);
+}
+
+TEST(SweepSpec, SchemaErrors)
+{
+    sweepBad("[t]\nkind = multiported\n", Diag::ConfigKey); // no [sweep]
+    sweepBad("[sweep]\nprograms = compress\n", Diag::ConfigKey);
+    sweepBad("[sweep]\ndesigns = [ghost]\n", Diag::ConfigKey);
+    sweepBad("[sweep]\ndesigns = 42\n", Diag::ConfigKey);
+    sweepBad("[t]\nkind = multiported\nbaseEntries = 128\n"
+             "[sweep]\ndesigns = t\nwarpFactor = 9\n",
+             Diag::ConfigKey);                   // unknown machine key
+    sweepBad("[t]\nkind = multiported\nbaseEntries = 128\n"
+             "[sweep]\ndesigns = t\ninOrder = 3\n",
+             Diag::ConfigKey);                   // type mismatch
+    sweepBad("[t]\nkind = multiported\nbaseEntries = 128\n"
+             "[sweep]\ndesigns = t\nscale = -1\n",
+             Diag::ConfigKey);
+    sweepBad("[t]\nkind = multiported\nbaseEntries = 128\n"
+             "[sweep]\ndesigns = t\npageBytes = $(nope)\n",
+             Diag::ConfigExpr);                  // axis eval failure
+}
+
+TEST(SweepSpec, LintGateCatchesBadCells)
+{
+    // Structurally broken cells expand fine and fail lintConfig —
+    // the harness aborts before simulating.
+    const Config cfg = parseOk("[bad]\nkind = multiported\n"
+                               "baseEntries = 100\nbasePorts = 9\n"
+                               "[sweep]\ndesigns = bad\n"
+                               "issueWidth = 64\npageBytes = 3000\n");
+    sim::SweepSpec spec;
+    Report report;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report));
+    ASSERT_EQ(spec.columns.size(), 1u);
+    Report lint;
+    verify::lintConfig(spec.columns[0].sim, lint);
+    EXPECT_GT(lint.countOf(Diag::ConfigMachine), 0u);
+    EXPECT_GT(lint.countOf(Diag::ConfigPageSize), 0u);
+    EXPECT_GT(lint.countOf(Diag::DesignStructure), 0u);
+    EXPECT_GT(lint.countOf(Diag::DesignPorts), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// The shipped example specs stay valid (and broken stays broken).
+// ---------------------------------------------------------------- //
+
+TEST(ShippedSpecs, CampaignExampleExpandsClean)
+{
+    Config cfg;
+    Report report;
+    ASSERT_TRUE(Config::parseFile(
+        HBAT_SOURCE_DIR "/configs/campaign_example.conf", cfg,
+        report));
+    sim::SweepSpec spec;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report));
+    // 2 designs x 2 capacities x 2 page sizes x 2 budgets.
+    ASSERT_EQ(spec.columns.size(), 16u);
+    ASSERT_EQ(spec.programs.size(), 2u);
+    for (const sim::SweepColumnSpec &col : spec.columns) {
+        SCOPED_TRACE(col.label);
+        Report lint;
+        verify::lintConfig(col.sim, lint);
+        EXPECT_TRUE(lint.clean(Severity::Warning));
+        // The arithmetic keys resolved: robSize = 36*8+32.
+        EXPECT_EQ(col.sim.robSize, 320u);
+        EXPECT_EQ(col.sim.issueWidth, 8u);
+        // fpRegs rides the intRegs axis.
+        EXPECT_EQ(col.sim.budget.fpRegs, col.sim.budget.intRegs);
+    }
+    EXPECT_EQ(spec.columns[8].label.substr(0, 6), "I4/PBx");
+}
+
+TEST(ShippedSpecs, BrokenExampleFailsLint)
+{
+    Config cfg;
+    Report report;
+    ASSERT_TRUE(Config::parseFile(
+        HBAT_SOURCE_DIR "/configs/broken_example.conf", cfg, report));
+    sim::SweepSpec spec;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report));
+    ASSERT_EQ(spec.columns.size(), 1u);
+    Report lint;
+    verify::lintConfig(spec.columns[0].sim, lint);
+    EXPECT_FALSE(lint.clean(Severity::Error));
+}
+
+TEST(ShippedSpecs, TlbSizeIssueSweepExpands)
+{
+    Config cfg;
+    Report report;
+    ASSERT_TRUE(Config::parseFile(
+        HBAT_SOURCE_DIR "/configs/tlbsize_issue.conf", cfg, report));
+    sim::SweepSpec spec;
+    ASSERT_TRUE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                     report));
+    EXPECT_EQ(spec.columns.size(), 12u);    // 4 capacities x 3 widths
+}
+
+} // namespace

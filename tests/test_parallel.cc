@@ -181,7 +181,7 @@ TEST(ParallelDeterminism, SweepIdenticalAtAnyJobCount)
     for (size_t i = 0; i < serial.cells.size(); ++i) {
         const bench::Cell &s = serial.cells[i];
         const bench::Cell &p = parallel.cells[i];
-        SCOPED_TRACE(s.program + "/" + tlb::designName(s.design));
+        SCOPED_TRACE(s.program + "/" + s.design);
         EXPECT_EQ(p.program, s.program);
         EXPECT_EQ(p.design, s.design);
         EXPECT_EQ(p.result.cycles(), s.result.cycles());
@@ -274,7 +274,7 @@ TEST(ParallelDeterminism, CellTimingDoesNotDoubleCountOverlap)
     EXPECT_GT(sweep.wallSeconds, 0.0);
     double cellSum = 0.0;
     for (const bench::Cell &cell : sweep.cells) {
-        SCOPED_TRACE(cell.program + "/" + tlb::designName(cell.design));
+        SCOPED_TRACE(cell.program + "/" + cell.design);
         EXPECT_GE(cell.wallSeconds, 0.0);
         // One cell runs on one thread: its CPU time cannot exceed the
         // sweep's elapsed time (slack for clock granularity).

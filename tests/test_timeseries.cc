@@ -191,7 +191,7 @@ TEST(TimeSeries, PcProfileAndIntervalsJobCountInvariant)
     for (size_t c = 0; c < s1.cells.size(); ++c) {
         const bench::Cell &a = s1.cells[c];
         const bench::Cell &b = s8.cells[c];
-        SCOPED_TRACE(a.program + " " + tlb::designName(a.design));
+        SCOPED_TRACE(a.program + " " + a.design);
 
         const auto ta = a.result.pipe.pcProfile.topK(8);
         const auto tb = b.result.pipe.pcProfile.topK(8);
