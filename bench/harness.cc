@@ -21,6 +21,7 @@
 #include "obs/self_profile.hh"
 #include "obs/trace.hh"
 #include "verify/design_lint.hh"
+#include "verify/footprint.hh"
 #include "workloads/workloads.hh"
 
 namespace hbat::bench
@@ -433,6 +434,61 @@ runColumnSweep(const ExperimentConfig &config,
             images[imageVariants[iv].build][p],
             vm::PageParams(imageVariants[iv].pageBytes));
     });
+
+    // Static footprint lint over the same images the cells will run:
+    // each (image variant, program) footprint folded against every
+    // column it feeds. Findings are informational (a workload whose
+    // working set exceeds a design's reach is exactly what some cells
+    // measure), so the sweep reports one compact line per image
+    // variant and never aborts here.
+    {
+        std::vector<std::vector<verify::ProgramFootprint>> fps(
+            imageVariants.size(),
+            std::vector<verify::ProgramFootprint>(nProgs));
+        parallelFor(imageVariants.size() * nProgs, jobs,
+                    [&](size_t idx) {
+            const size_t iv = idx / nProgs;
+            const size_t p = idx % nProgs;
+            const kasm::Program &prog =
+                images[imageVariants[iv].build][p];
+            verify::Report scratch;
+            const verify::Analysis a =
+                verify::analyzeProgram(prog, scratch);
+            fps[iv][p] = verify::analyzeFootprint(
+                prog, a, imageVariants[iv].pageBytes);
+        });
+        for (size_t iv = 0; iv < imageVariants.size(); ++iv) {
+            size_t findings = 0, exceeds = 0;
+            for (size_t p = 0; p < nProgs; ++p) {
+                verify::Report report;
+                verify::lintProgramFootprint(fps[iv][p], report);
+                for (size_t c = 0; c < nCols; ++c) {
+                    if (colImage[c] != iv)
+                        continue;
+                    const SweepColumn &col = columns[c];
+                    const tlb::DesignParams params =
+                        col.sim.customDesign
+                            ? *col.sim.customDesign
+                            : tlb::designParams(col.sim.design);
+                    verify::lintDesignFootprint(fps[iv][p], params,
+                                                col.label, report);
+                    exceeds += verify::foldDesign(fps[iv][p], params)
+                                   .exceedsReach
+                                   ? 1
+                                   : 0;
+                }
+                findings += report.diags.size();
+                for (const verify::Diagnostic &diag : report.diags)
+                    if (diag.severity >= verify::Severity::Warning)
+                        hbat_warn("footprint lint: ", diag.str());
+            }
+            progressLine(detail::concat(
+                "footprint lint @", imageVariants[iv].pageBytes,
+                "-byte pages: ", findings, " finding(s), ", exceeds,
+                "/", nProgs * nCols,
+                " (program, column) cell(s) exceed TLB reach"));
+        }
+    }
 
     // Every (program, column) cell is one independent job writing its
     // own pre-sized slot, which keeps cell order — and therefore every

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * hbat_footprint: static translation-footprint report.
+ *
+ * Runs the loop/stride abstract interpretation (verify/footprint.hh)
+ * over the selected workloads and prints, per program, a
+ * disassembly-annotated table of every static load/store: its access
+ * pattern, stride, page span, estimated dynamic accesses, and
+ * page-run length (the static piggyback opportunity). Each selected
+ * design is then folded against every program: TLB reach vs the
+ * estimated working set, plus same-bank collision groups under the
+ * interleaved designs.
+ *
+ * Nothing is simulated — this is the static side of the
+ * static-vs-dynamic validation harness (scripts/footprint_check.py
+ * cross-checks the numbers against hbat_prof's measured pc_profile).
+ *
+ *   hbat_footprint                          # all workloads vs T4
+ *   hbat_footprint --program compress --design I4 --design T1
+ *   hbat_footprint --sweep configs/fig5.conf   # designs+pages from spec
+ *   hbat_footprint --json fp.json           # machine-readable report
+ *
+ * Flags: --program NAME (repeatable), --design NAME (repeatable),
+ * --budget I,F, --scale F, --page BYTES, --sweep FILE, --json FILE.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/build_info.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "config/config.hh"
+#include "isa/isa.hh"
+#include "sim/sweep_spec.hh"
+#include "verify/footprint.hh"
+#include "verify/verifier.hh"
+#include "workloads/workloads.hh"
+
+using namespace hbat;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> programs;  ///< empty = all workloads
+    std::vector<std::string> designs;   ///< empty = T4
+    kasm::RegBudget budget{32, 32};
+    double scale = 1.0;
+    unsigned pageBytes = 4096;
+    std::string sweepPath;  ///< --sweep: designs/pages from a spec
+    std::string jsonPath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--program NAME]... [--design NAME]... "
+                 "[--budget I,F] [--scale F] [--page BYTES] "
+                 "[--sweep FILE] [--json FILE] [--version]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--program") {
+            opt.programs.push_back(next());
+        } else if (arg == "--design") {
+            opt.designs.push_back(next());
+        } else if (arg == "--budget") {
+            int ir = 0, fr = 0;
+            if (std::sscanf(next(), "%d,%d", &ir, &fr) != 2)
+                usage(argv[0]);
+            opt.budget = kasm::RegBudget{ir, fr};
+        } else if (arg == "--scale") {
+            opt.scale = std::atof(next());
+        } else if (arg == "--page") {
+            opt.pageBytes =
+                unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--sweep") {
+            opt.sweepPath = next();
+        } else if (arg == "--json") {
+            opt.jsonPath = next();
+        } else if (arg == "--version") {
+            std::printf("hbat %s%s (%s, %s)\n", buildinfo::kGitSha,
+                        buildinfo::kGitDirty ? "-dirty" : "",
+                        buildinfo::kBuildType, buildinfo::kCompiler);
+            std::exit(0);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+/** One design column to fold programs against. */
+struct DesignCol
+{
+    std::string label;
+    tlb::DesignParams params;
+    unsigned pageBytes;
+};
+
+/** Disassemble the static instruction at @p pc, or "?" off-text. */
+std::string
+disasmAt(const kasm::Program &prog, VAddr pc)
+{
+    if (pc < prog.textBase || pc >= prog.textEnd() || pc % 4 != 0)
+        return "?";
+    isa::Inst inst;
+    if (!isa::tryDecode(prog.text[(pc - prog.textBase) / 4], inst))
+        return "?";
+    return isa::disassemble(inst, pc);
+}
+
+std::string
+hexPc(VAddr pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx", (unsigned long long)pc);
+    return buf;
+}
+
+void
+refsToJson(json::Writer &jw, const kasm::Program &prog,
+           const verify::ProgramFootprint &fp)
+{
+    jw.key("page_bytes").value(uint64_t(fp.pageBytes));
+    jw.key("text_pages").value(fp.textPages);
+    jw.key("data_pages").value(fp.dataPages);
+    jw.key("stack_pages").value(fp.stackPages);
+    jw.key("est_pages").value(fp.estPages);
+    jw.key("est_pages_exact").value(fp.estPagesExact);
+
+    jw.key("loops").beginArray();
+    for (size_t l = 0; l < fp.strides.loops.size(); ++l) {
+        const verify::Loop &loop = fp.strides.loops[l];
+        jw.beginObject();
+        jw.key("header_pc").value(hexPc(fp.loopHeaderPcs[l]));
+        jw.key("depth").value(uint64_t(loop.depth));
+        jw.key("trips").value(loop.trips);
+        jw.endObject();
+    }
+    jw.endArray();
+
+    jw.key("refs").beginArray();
+    for (const verify::RefFootprint &r : fp.refs) {
+        jw.beginObject();
+        jw.key("pc").value(hexPc(r.pc));
+        jw.key("op").value(disasmAt(prog, r.pc));
+        jw.key("store").value(r.isStore);
+        jw.key("loop_depth").value(uint64_t(r.loopDepth));
+        jw.key("pattern").value(verify::patternName(r.pattern));
+        jw.key("stride").value(int(r.stride));
+        jw.key("span_pages").value(r.spanPages);
+        jw.key("est_accesses").value(r.estAccesses);
+        jw.key("est_exact").value(r.estExact);
+        jw.key("page_run").value(r.pageRun);
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    std::vector<std::string> names = opt.programs;
+    std::vector<DesignCol> cols;
+
+    if (!opt.sweepPath.empty()) {
+        verify::Report report;
+        config::Config cfg;
+        sim::SweepSpec spec;
+        if (!config::Config::parseFile(opt.sweepPath, cfg, report) ||
+            !sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                  report)) {
+            for (const verify::Diagnostic &d : report.diags)
+                std::fprintf(stderr, "%s\n", d.str().c_str());
+            hbat_fatal("cannot expand sweep spec ", opt.sweepPath);
+        }
+        if (names.empty())
+            names = spec.programs;
+        for (const sim::SweepColumnSpec &col : spec.columns) {
+            const tlb::DesignParams p =
+                col.sim.customDesign
+                    ? *col.sim.customDesign
+                    : tlb::designParams(col.sim.design);
+            cols.push_back(
+                DesignCol{col.label, p, col.sim.pageBytes});
+        }
+    } else {
+        std::vector<std::string> designNames = opt.designs;
+        if (designNames.empty())
+            designNames.push_back("T4");
+        for (const std::string &dn : designNames) {
+            const tlb::Design d = tlb::parseDesign(dn);
+            cols.push_back(DesignCol{tlb::designName(d),
+                                     tlb::designParams(d),
+                                     opt.pageBytes});
+        }
+    }
+    if (names.empty())
+        for (const workloads::Workload &w : workloads::all())
+            names.push_back(w.name);
+
+    // Page sizes actually needed (per-program footprints are
+    // per page size, not per design).
+    std::vector<unsigned> pageSizes;
+    for (const DesignCol &c : cols)
+        if (std::find(pageSizes.begin(), pageSizes.end(),
+                      c.pageBytes) == pageSizes.end())
+            pageSizes.push_back(c.pageBytes);
+    if (pageSizes.empty())
+        pageSizes.push_back(opt.pageBytes);
+
+    json::Writer jw;
+    jw.beginObject();
+    jw.key("experiment").value("Static translation footprint");
+    jw.key("budget").value(
+        detail::concat(opt.budget.intRegs, ",", opt.budget.fpRegs));
+    jw.key("scale").value(opt.scale);
+    jw.key("programs").beginArray();
+
+    for (const std::string &name : names) {
+        const kasm::Program prog =
+            workloads::build(name, opt.budget, opt.scale);
+        verify::Report progReport;
+        const verify::Analysis a =
+            verify::analyzeProgram(prog, progReport);
+
+        jw.beginObject();
+        jw.key("name").value(name);
+        jw.key("footprints").beginArray();
+
+        for (unsigned pageBytes : pageSizes) {
+            const verify::ProgramFootprint fp =
+                verify::analyzeFootprint(prog, a, pageBytes);
+
+            std::printf("\n%s @ %u-byte pages: %zu loop(s), "
+                        "%zu memory ref(s), est. working set %llu "
+                        "page(s)%s (text %llu, data %llu, stack "
+                        "%llu)\n",
+                        name.c_str(), pageBytes,
+                        fp.strides.loops.size(), fp.refs.size(),
+                        (unsigned long long)fp.estPages,
+                        fp.estPagesExact ? "" : "+",
+                        (unsigned long long)fp.textPages,
+                        (unsigned long long)fp.dataPages,
+                        (unsigned long long)fp.stackPages);
+
+            TextTable table;
+            table.header({"pc", "op", "depth", "pattern", "stride",
+                          "span_pages", "est_accesses", "page_run"});
+            for (const verify::RefFootprint &r : fp.refs) {
+                table.row(
+                    {hexPc(r.pc), disasmAt(prog, r.pc),
+                     std::to_string(r.loopDepth),
+                     verify::patternName(r.pattern),
+                     r.pattern == verify::RefPattern::Strided
+                         ? std::to_string(r.stride)
+                         : "-",
+                     r.spanKnown ? std::to_string(r.spanPages) : "?",
+                     std::to_string(r.estAccesses) +
+                         (r.estExact ? "" : "+"),
+                     fixed(r.pageRun, 1)});
+            }
+            std::printf("%s", table.render().c_str());
+
+            verify::Report report;
+            verify::lintProgramFootprint(fp, report);
+            for (const DesignCol &c : cols) {
+                if (c.pageBytes != pageBytes)
+                    continue;
+                const verify::DesignFootprint df =
+                    verify::foldDesign(fp, c.params);
+                std::printf("  vs %-12s reach %4u page(s): %s, "
+                            "%zu bank-conflict group(s)\n",
+                            c.label.c_str(), df.reachPages,
+                            df.exceedsReach ? "footprint EXCEEDS reach"
+                                            : "footprint fits",
+                            df.conflicts.size());
+                verify::lintDesignFootprint(fp, c.params, c.label,
+                                            report);
+            }
+            report.sort();
+            for (const verify::Diagnostic &d : report.diags)
+                std::printf("  %s\n", d.str().c_str());
+
+            jw.beginObject();
+            refsToJson(jw, prog, fp);
+            jw.key("designs").beginArray();
+            for (const DesignCol &c : cols) {
+                if (c.pageBytes != pageBytes)
+                    continue;
+                const verify::DesignFootprint df =
+                    verify::foldDesign(fp, c.params);
+                jw.beginObject();
+                jw.key("label").value(c.label);
+                jw.key("reach_pages").value(uint64_t(df.reachPages));
+                jw.key("exceeds_reach").value(df.exceedsReach);
+                jw.key("bank_conflicts").beginArray();
+                for (const verify::BankConflict &g : df.conflicts) {
+                    jw.beginObject();
+                    jw.key("bank").value(uint64_t(g.bank));
+                    jw.key("rate").value(g.rate);
+                    jw.key("pcs").beginArray();
+                    for (VAddr pc : g.pcs)
+                        jw.value(hexPc(pc));
+                    jw.endArray();
+                    jw.endObject();
+                }
+                jw.endArray();
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.key("diags");
+            verify::reportToJson(jw, report);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+
+    if (!opt.jsonPath.empty()) {
+        FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (!f)
+            hbat_fatal("cannot write ", opt.jsonPath);
+        const std::string doc = jw.str();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+    }
+    return 0;
+}

@@ -3,10 +3,16 @@
  * hbat_lint: static verification of workloads and designs.
  *
  * Builds the selected built-in workloads (all ten by default), runs
- * the static program verifier over every linked image, lints all
- * Table 2 designs plus the configured machine axes, and prints the
- * findings. Exit status is 1 when anything at warning severity or
- * above was found — CI runs this over the full suite.
+ * the static program verifier and the translation-footprint analyzer
+ * over every linked image, lints all Table 2 designs plus the
+ * configured machine axes, folds every program footprint against
+ * every design (TLB reach, bank conflicts — compact summary on
+ * stdout, full findings in the JSON report), and prints the findings.
+ *
+ * Exit status: 0 when nothing at warning severity or above was found
+ * (info-level footprint observations never fail a run), 1 when any
+ * error was found, 3 when only warnings were found, 2 on usage
+ * errors. CI runs this over the full suite and gates on != 0.
  *
  *   hbat_lint                     # lint everything at 32/32 registers
  *   hbat_lint --program perl      # one workload
@@ -32,6 +38,7 @@
 #include "config/config.hh"
 #include "sim/sweep_spec.hh"
 #include "verify/design_lint.hh"
+#include "verify/footprint.hh"
 #include "verify/verifier.hh"
 #include "workloads/workloads.hh"
 
@@ -118,10 +125,20 @@ writeJsonFile(const std::string &path, const json::Writer &jw)
     std::fclose(f);
 }
 
+/** The tool's exit status: 0 clean, 1 errors, 3 warnings only. */
+int
+exitStatus(size_t warnings, size_t errors)
+{
+    if (errors)
+        return 1;
+    return warnings ? 3 : 0;
+}
+
 /**
  * The --sweep mode: parse + expand the spec, lint every expanded
  * cell, report per-column. Exit 0 only when the whole campaign is
- * clean at every severity, mirroring the tool's normal contract.
+ * clean at warning severity or above, mirroring the tool's normal
+ * contract.
  */
 int
 lintSweepSpec(const Options &opt)
@@ -140,6 +157,7 @@ lintSweepSpec(const Options &opt)
                     report.count(verify::Severity::Error);
     };
     tally(parseReport);
+    parseReport.sort();
 
     json::Writer jw;
     jw.beginObject();
@@ -153,20 +171,26 @@ lintSweepSpec(const Options &opt)
                          : "failed to expand");
     printDiags(parseReport);
 
+    std::string perColumn;
     jw.key("columns").beginArray();
     if (expanded) {
         for (const sim::SweepColumnSpec &col : spec.columns) {
             verify::Report report;
             verify::lintConfig(col.sim, report);
             tally(report);
+            report.sort();
 
             std::printf("column %-24s %s\n", col.label.c_str(),
                         report.diags.empty() ? "clean"
                                              : "has findings:");
             printDiags(report);
+            perColumn += detail::concat(perColumn.empty() ? "" : " ",
+                                        col.label, "=",
+                                        report.diags.size());
 
             jw.beginObject();
             jw.key("label").value(col.label);
+            jw.key("findings").value(uint64_t(report.diags.size()));
             jw.key("diags");
             verify::reportToJson(jw, report);
             jw.endObject();
@@ -180,8 +204,10 @@ lintSweepSpec(const Options &opt)
     if (!opt.jsonPath.empty())
         writeJsonFile(opt.jsonPath, jw);
 
-    std::printf("%zu warning(s), %zu error(s)\n", warnings, errors);
-    return warnings + errors == 0 ? 0 : 1;
+    std::printf("%zu warning(s), %zu error(s)%s%s\n", warnings,
+                errors, perColumn.empty() ? "" : "; findings/column: ",
+                perColumn.c_str());
+    return exitStatus(warnings, errors);
 }
 
 } // namespace
@@ -209,6 +235,10 @@ main(int argc, char **argv)
                     report.count(verify::Severity::Error);
     };
 
+    // Per-program footprints, kept for the design fold below.
+    constexpr unsigned kPageBytes = 4096;
+    std::vector<verify::ProgramFootprint> footprints;
+
     for (const std::string &name : names) {
         const kasm::Program prog =
             workloads::build(name, opt.budget, opt.scale);
@@ -216,7 +246,11 @@ main(int argc, char **argv)
         verify::Report report;
         const verify::Analysis a =
             verify::analyzeProgram(prog, report);
+        footprints.push_back(
+            verify::analyzeFootprint(prog, a, kPageBytes));
+        verify::lintProgramFootprint(footprints.back(), report);
         tally(report);
+        report.sort();
 
         std::printf("%-12s %6zu insts %5zu blocks  %s\n", name.c_str(),
                     a.cfg.size(), a.cfg.blocks.size(),
@@ -232,6 +266,9 @@ main(int argc, char **argv)
         jw.key("name").value(name);
         jw.key("insts").value(uint64_t(a.cfg.size()));
         jw.key("blocks").value(uint64_t(a.cfg.blocks.size()));
+        jw.key("est_pages").value(footprints.back().estPages);
+        jw.key("est_pages_exact")
+            .value(footprints.back().estPagesExact);
         jw.key("diags");
         verify::reportToJson(jw, report);
         jw.endObject();
@@ -244,6 +281,7 @@ main(int argc, char **argv)
         verify::Report report;
         verify::lintDesign(d, report);
         tally(report);
+        report.sort();
 
         std::printf("design %-6s %s\n", tlb::designName(d).c_str(),
                     report.diags.empty() ? "clean"
@@ -258,12 +296,57 @@ main(int argc, char **argv)
     }
     jw.endArray();
 
+    // Program footprints folded against every design: one compact
+    // summary line per program on stdout (the cross-product would
+    // flood the terminal), full findings in the JSON report.
+    jw.key("footprints").beginArray();
+    for (size_t p = 0; p < names.size(); ++p) {
+        const verify::ProgramFootprint &fp = footprints[p];
+        size_t exceeds = 0, conflictGroups = 0;
+        jw.beginObject();
+        jw.key("program").value(names[p]);
+        jw.key("designs").beginArray();
+        for (tlb::Design d : tlb::allDesigns()) {
+            const tlb::DesignParams params = tlb::designParams(d);
+            verify::Report report;
+            verify::lintDesignFootprint(fp, params,
+                                        tlb::designName(d), report);
+            tally(report);
+            report.sort();
+            const verify::DesignFootprint df =
+                verify::foldDesign(fp, params);
+            exceeds += df.exceedsReach ? 1 : 0;
+            conflictGroups += df.conflicts.size();
+
+            jw.beginObject();
+            jw.key("design").value(tlb::designName(d));
+            jw.key("exceeds_reach").value(df.exceedsReach);
+            jw.key("bank_conflicts")
+                .value(uint64_t(df.conflicts.size()));
+            jw.key("diags");
+            verify::reportToJson(jw, report);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+
+        std::printf("footprint %-12s est %llu page(s)%s: exceeds "
+                    "reach of %zu/%zu design(s), %zu bank-conflict "
+                    "group(s)\n",
+                    names[p].c_str(),
+                    (unsigned long long)fp.estPages,
+                    fp.estPagesExact ? "" : "+", exceeds,
+                    tlb::allDesigns().size(), conflictGroups);
+    }
+    jw.endArray();
+
     {
         sim::SimConfig sc;
         sc.budget = opt.budget;
         verify::Report report;
         verify::lintConfig(sc, report);
         tally(report);
+        report.sort();
         if (!report.diags.empty()) {
             std::printf("configuration:\n");
             printDiags(report);
@@ -280,5 +363,5 @@ main(int argc, char **argv)
         writeJsonFile(opt.jsonPath, jw);
 
     std::printf("%zu warning(s), %zu error(s)\n", warnings, errors);
-    return warnings + errors == 0 ? 0 : 1;
+    return exitStatus(warnings, errors);
 }

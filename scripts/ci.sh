@@ -75,6 +75,40 @@ else
     echo "clang-tidy not installed; skipping"
 fi
 
+echo "== static analysis: cppcheck =="
+if command -v cppcheck >/dev/null 2>&1; then
+    # Style/performance/portability over the whole tree; the inline
+    # suppressions list covers the deliberate idioms cppcheck cannot
+    # see through (see .cppcheck-suppressions).
+    cppcheck --enable=warning,performance,portability --error-exitcode=1 \
+        --std=c++20 --inline-suppr -I src -I . --quiet \
+        --suppressions-list=.cppcheck-suppressions \
+        src bench examples
+else
+    echo "cppcheck not installed; skipping"
+fi
+
+echo "== footprint: static vs dynamic cross-check =="
+# The stride/footprint analyzer's predictions must match what the
+# simulator measures: hot miss PCs statically flagged, strided refs
+# missing at most ~once per page run, working-set estimate consistent
+# with the touched-page count (scripts/footprint_check.py). Two
+# workloads with opposite characters: compress (hash-probe irregular)
+# and tomcatv (fully static loop nest).
+FPDIR=$(mktemp -d)
+./build/bench/hbat_footprint --program compress --program tomcatv \
+    --design T4 --scale 0.05 --json "$FPDIR/static.json" > /dev/null
+./build/bench/hbat_prof --program compress --program tomcatv \
+    --design T4 --scale 0.05 --pc-profile 20 \
+    --json "$FPDIR/dynamic.json" > /dev/null
+python3 scripts/footprint_check.py --static "$FPDIR/static.json" \
+    --dynamic "$FPDIR/dynamic.json"
+# One expanded fig5 cell driven from the shipped sweep spec: the
+# footprint CLI must expand the same columns the harness runs.
+./build/bench/hbat_footprint --sweep configs/table2.conf \
+    --program compress --json "$FPDIR/sweep.json" > /dev/null
+rm -rf "$FPDIR"
+
 echo "== sanitizers: ASan + UBSan =="
 cmake -B build-san -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Cross-check hbat_footprint's static predictions against hbat_prof.
+
+Reads the static report (hbat_footprint --json) and the dynamic
+per-PC translation profile (hbat_prof --json) for the same workloads
+and scale, and gates three correspondences per (program, design):
+
+1. hot-PC overlap: at least --min-overlap of the top dynamic miss PCs
+   must be statically flagged as "hot" (irregular / irregular-bounded
+   pattern, or strided spanning >= 2 pages). The analyzer claims it
+   knows where the misses come from; this checks it.
+
+2. page-run behavior: a strided reference that stays on one page for R
+   consecutive accesses should miss at most ~requests/R times. Gated
+   with a 4x allowance for capacity misses from cross-interference:
+   misses <= max(--miss-slack, 4 * requests / page_run), checked for
+   refs with page_run >= 16 and requests >= --min-requests.
+
+3. working set: the dynamic touched-page count must not exceed the
+   static estimate by more than 10% + 8 pages (the estimate unions
+   whole data segments, so it may legitimately sit above).
+
+Exit 0 when every check passes, 1 otherwise (one line per failure).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def static_hot_pcs(fp):
+    """PCs the analyzer predicts to concentrate translation misses."""
+    hot = set()
+    for r in fp["refs"]:
+        if r["pattern"] in ("irregular", "irregular-bounded"):
+            hot.add(r["pc"])
+        elif r["pattern"] == "strided" and r["span_pages"] >= 2:
+            hot.add(r["pc"])
+    return hot
+
+
+def check_cell(name, fp, cell, args, fail):
+    profile = cell.get("pc_profile", [])
+    label = f"{name}/{cell['design']}"
+
+    # 1. Hot-PC overlap.
+    ranked = sorted(profile, key=lambda e: -e["misses"])
+    top = [e["pc"] for e in ranked if e["misses"] > 0][: args.top]
+    if top:
+        hot = static_hot_pcs(fp)
+        overlap = sum(1 for pc in top if pc in hot) / len(top)
+        if overlap < args.min_overlap:
+            fail(
+                f"{label}: hot-PC overlap {overlap:.2f} < "
+                f"{args.min_overlap:.2f} (dynamic top {top}, "
+                f"static hot {sorted(hot)})"
+            )
+        else:
+            print(
+                f"{label}: hot-PC overlap {overlap:.2f} "
+                f"({len(top)} dynamic miss PC(s))"
+            )
+
+    # 2. Strided refs miss at most ~once per page run.
+    requests = {e["pc"]: e["requests"] for e in profile}
+    misses = {e["pc"]: e["misses"] for e in profile}
+    checked = 0
+    for r in fp["refs"]:
+        if r["pattern"] != "strided" or r["page_run"] < 16:
+            continue
+        req = requests.get(r["pc"], 0)
+        if req < args.min_requests:
+            continue
+        allowed = max(args.miss_slack, 4 * req / r["page_run"])
+        if misses[r["pc"]] > allowed:
+            fail(
+                f"{label}: {r['pc']} stride {r['stride']} page_run "
+                f"{r['page_run']:.0f}: {misses[r['pc']]} misses > "
+                f"allowed {allowed:.0f} ({req} requests)"
+            )
+        checked += 1
+    print(f"{label}: {checked} strided ref(s) within page-run bound")
+
+    # 3. Working set vs touched pages.
+    touched = cell["stats"].get("vm.touched_pages")
+    if touched is not None:
+        limit = fp["est_pages"] * 1.10 + 8
+        if touched > limit:
+            fail(
+                f"{label}: dynamic touched {touched:.0f} pages > "
+                f"static estimate {fp['est_pages']} (+10%+8 slack)"
+            )
+        else:
+            print(
+                f"{label}: touched {touched:.0f} pages vs static "
+                f"estimate {fp['est_pages']}"
+                f"{'' if fp['est_pages_exact'] else '+'}"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--static", required=True, help="hbat_footprint --json")
+    ap.add_argument("--dynamic", required=True, help="hbat_prof --json")
+    ap.add_argument("--top", type=int, default=5, help="dynamic hot PCs to check")
+    ap.add_argument("--min-overlap", type=float, default=0.5)
+    ap.add_argument("--min-requests", type=int, default=1000)
+    ap.add_argument("--miss-slack", type=int, default=8)
+    args = ap.parse_args()
+
+    static = load(args.static)
+    dynamic = load(args.dynamic)
+
+    footprints = {}
+    for p in static["programs"]:
+        # One footprint per page size; cells pick theirs by page_bytes.
+        footprints[p["name"]] = {
+            f["page_bytes"]: f for f in p["footprints"]
+        }
+
+    failures = []
+    fail = lambda msg: failures.append(msg)
+
+    page_bytes = dynamic.get("config", {}).get("page_bytes", 4096)
+    cells = 0
+    for cell in dynamic["cells"]:
+        name = cell["program"]
+        if name not in footprints:
+            continue
+        fp = footprints[name].get(page_bytes)
+        if fp is None:
+            fail(f"{name}: no static footprint at {page_bytes}-byte pages")
+            continue
+        check_cell(name, fp, cell, args, fail)
+        cells += 1
+
+    if cells == 0:
+        fail("no (program, design) cells matched between the reports")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    print(f"footprint_check: {cells} cell(s), {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,44 @@ DesignParams builtinDesignParams(Design d);
 /** Compact one-line rendering of @p p ("multiported ports=4 ..."). */
 std::string paramsSummary(const DesignParams &p);
 
+/// @name Geometry queries (static footprint analysis, design lint)
+/// @{
+
+/**
+ * TLB reach of @p p in pages: how many distinct pages the design can
+ * map simultaneously. All Table 2 designs keep their full capacity in
+ * the base TLB (the multi-level L1s and the pretranslation cache are
+ * strict subsets of it), so reach is the base entry count.
+ */
+inline unsigned
+reachPages(const DesignParams &p)
+{
+    return p.baseEntries;
+}
+
+/** log2(banks) when @p p is interleaved with >1 bank, else 0. */
+inline unsigned
+bankBitsOf(const DesignParams &p)
+{
+    if (p.kind != DesignParams::Kind::Interleaved || p.banks <= 1)
+        return 0;
+    return unsigned(floorLog2(p.banks));
+}
+
+/**
+ * The bank a reference to virtual page @p vpn contends for under
+ * @p p's interconnect; 0 when the design is not banked. Evaluates the
+ * same bankSelectOf() the InterleavedTlb engine uses.
+ */
+inline unsigned
+bankOfPage(const DesignParams &p, Vpn vpn)
+{
+    const unsigned bits = bankBitsOf(p);
+    return bits == 0 ? 0 : bankSelectOf(p.select, bits, vpn);
+}
+
+/// @}
+
 /** Construct the engine described by @p p. */
 std::unique_ptr<TranslationEngine>
 makeEngine(const DesignParams &p, vm::PageTable &page_table,

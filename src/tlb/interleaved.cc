@@ -26,16 +26,7 @@ InterleavedTlb::InterleavedTlb(vm::PageTable &page_table, unsigned nbanks,
 unsigned
 InterleavedTlb::bankOf(Vpn vpn) const
 {
-    switch (select) {
-      case BankSelect::BitSelect:
-        return unsigned(vpn & mask(bankBits));
-      case BankSelect::XorFold:
-        // XOR the three least-significant groups of bankBits bits
-        // (Section 4.1 describes exactly three groups for X4).
-        return unsigned((vpn ^ (vpn >> bankBits) ^ (vpn >> 2 * bankBits))
-                        & mask(bankBits));
-    }
-    hbat_panic("bad bank select");
+    return bankSelectOf(select, bankBits, vpn);
 }
 
 void

@@ -17,6 +17,8 @@
 
 #include <vector>
 
+#include "common/bitops.hh"
+#include "common/log.hh"
 #include "tlb/tlb_array.hh"
 #include "tlb/xlate.hh"
 
@@ -29,6 +31,26 @@ enum class BankSelect : uint8_t
     BitSelect,  ///< low log2(banks) bits of the VPN
     XorFold     ///< XOR of the three lowest groups of those bits
 };
+
+/**
+ * The bank @p vpn maps to under @p select with 2^bankBits banks.
+ * Shared between the InterleavedTlb engine and the static footprint
+ * analyzer, so lint predictions use the exact hardware function.
+ */
+inline unsigned
+bankSelectOf(BankSelect select, unsigned bankBits, Vpn vpn)
+{
+    switch (select) {
+      case BankSelect::BitSelect:
+        return unsigned(vpn & mask(bankBits));
+      case BankSelect::XorFold:
+        // XOR the three least-significant groups of bankBits bits
+        // (Section 4.1 describes exactly three groups for X4).
+        return unsigned((vpn ^ (vpn >> bankBits) ^ (vpn >> 2 * bankBits))
+                        & mask(bankBits));
+    }
+    hbat_panic("bad bank select");
+}
 
 /** I8/I4/X4/I4PB: N single-ported banks behind an interconnect. */
 class InterleavedTlb : public TranslationEngine

@@ -17,6 +17,7 @@
 #ifndef HBAT_VERIFY_DIAG_HH
 #define HBAT_VERIFY_DIAG_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -71,6 +72,12 @@ enum class Diag : uint8_t
     ConfigKey,          ///< unknown/missing/mistyped key in a section
     ConfigMachine,      ///< machine knob outside the supported range
 
+    // Static translation-footprint analysis (verify/footprint.hh).
+    FootprintExceedsReach,  ///< working set larger than the TLB reach
+    BankConflictHotspot,    ///< lockstep streams pinned to one bank
+    IrregularStride,        ///< hot reference with no detectable stride
+    UnboundedInduction,     ///< induction variable with no trip bound
+
     NumDiags
 };
 
@@ -99,6 +106,10 @@ diagName(Diag d)
       case Diag::ConfigExpr: return "config-expr";
       case Diag::ConfigKey: return "config-key";
       case Diag::ConfigMachine: return "config-machine";
+      case Diag::FootprintExceedsReach: return "footprint-exceeds-reach";
+      case Diag::BankConflictHotspot: return "bank-conflict-hotspot";
+      case Diag::IrregularStride: return "irregular-stride";
+      case Diag::UnboundedInduction: return "unbounded-induction";
       case Diag::NumDiags: break;
     }
     return "unknown";
@@ -179,6 +190,23 @@ struct Report
     clean(Severity atLeast = Severity::Warning) const
     {
         return count(atLeast) == 0;
+    }
+
+    /**
+     * Order findings by (pc, code) — the emission order every CLI and
+     * JSON report uses, so output is byte-stable regardless of the
+     * order passes appended their findings. Stable, so findings a pass
+     * emitted in sequence at the same site keep their relative order.
+     */
+    void
+    sort()
+    {
+        std::stable_sort(diags.begin(), diags.end(),
+                         [](const Diagnostic &a, const Diagnostic &b) {
+                             if (a.pc != b.pc)
+                                 return a.pc < b.pc;
+                             return a.code < b.code;
+                         });
     }
 };
 

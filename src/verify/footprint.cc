@@ -1,0 +1,339 @@
+#include "verify/footprint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "isa/isa.hh"
+
+namespace hbat::verify
+{
+
+namespace
+{
+
+/** "0x%llx" rendering of a text address. */
+std::string
+hexAddr(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx", (unsigned long long)v);
+    return buf;
+}
+
+/** Inclusive byte interval, used for the working-set union. */
+struct Span
+{
+    uint64_t lo;
+    uint64_t hi;
+};
+
+uint64_t
+pagesIn(const Span &s, unsigned pageBytes)
+{
+    return s.hi / pageBytes - s.lo / pageBytes + 1;
+}
+
+/** Distinct pages covered by the union of @p spans. */
+uint64_t
+unionPages(std::vector<Span> spans, unsigned pageBytes)
+{
+    if (spans.empty())
+        return 0;
+    for (Span &s : spans) {
+        s.lo /= pageBytes;
+        s.hi /= pageBytes;
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const Span &a, const Span &b) { return a.lo < b.lo; });
+    uint64_t pages = 0;
+    Span cur = spans[0];
+    for (size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].lo <= cur.hi + 1) {
+            cur.hi = std::max(cur.hi, spans[i].hi);
+        } else {
+            pages += cur.hi - cur.lo + 1;
+            cur = spans[i];
+        }
+    }
+    pages += cur.hi - cur.lo + 1;
+    return pages;
+}
+
+} // namespace
+
+const char *
+patternName(RefPattern p)
+{
+    switch (p) {
+      case RefPattern::Fixed: return "fixed";
+      case RefPattern::Strided: return "strided";
+      case RefPattern::IrregularBounded: return "irregular-bounded";
+      case RefPattern::Irregular: return "irregular";
+    }
+    return "unknown";
+}
+
+ProgramFootprint
+analyzeFootprint(const kasm::Program &prog, const Analysis &a,
+                 unsigned pageBytes)
+{
+    ProgramFootprint fp;
+    fp.pageBytes = pageBytes;
+    fp.strides = analyzeStrides(a.cfg, a.consts);
+    for (const Loop &loop : fp.strides.loops)
+        fp.loopHeaderPcs.push_back(
+            a.cfg.pcOf(a.cfg.blocks[loop.header].first));
+
+    std::vector<Span> spans;
+    for (const MemRef &m : fp.strides.refs) {
+        RefFootprint r;
+        r.pc = a.cfg.pcOf(m.inst);
+        r.loop = m.loop;
+        r.loopDepth =
+            m.loop == kNoLoop ? 0 : fp.strides.loops[m.loop].depth;
+        r.isStore = m.isStore;
+        r.bytes = m.bytes;
+        r.estAccesses = m.iters;
+        r.estExact = m.itersExact;
+
+        const StrideVal &v = m.addr;
+        if (v.kind != StrideVal::Kind::Lin) {
+            r.pattern = RefPattern::Irregular;
+        } else if (v.step != 0) {
+            r.pattern = RefPattern::Strided;
+            r.stride = v.step;
+            r.pageRun = std::max(
+                1.0, double(pageBytes) / double(std::abs(v.step)));
+            const uint64_t trips =
+                m.loop == kNoLoop ? 0 : fp.strides.loops[m.loop].trips;
+            if (v.hasBounds && v.lo >= 0 && trips != 0) {
+                const int64_t extent = int64_t(trips - 1) * v.step;
+                const int64_t lo = v.lo + std::min<int64_t>(0, extent);
+                const int64_t hi = v.hi + std::max<int64_t>(0, extent) +
+                                   int64_t(m.bytes) - 1;
+                if (lo >= 0) {
+                    r.spanKnown = true;
+                    r.lo = uint64_t(lo);
+                    r.hi = uint64_t(hi);
+                }
+            }
+        } else if (v.hasBounds && v.lo == v.hi) {
+            r.pattern = RefPattern::Fixed;
+            r.pageRun = std::max<double>(1.0, double(r.estAccesses));
+            if (v.lo >= 0) {
+                r.spanKnown = true;
+                r.lo = uint64_t(v.lo);
+                r.hi = uint64_t(v.lo) + m.bytes - 1;
+            }
+        } else if (v.hasBounds) {
+            r.pattern = RefPattern::IrregularBounded;
+            if (v.lo >= 0) {
+                r.spanKnown = true;
+                r.lo = uint64_t(v.lo);
+                r.hi = uint64_t(v.hi) + m.bytes - 1;
+            }
+        } else {
+            r.pattern = RefPattern::Irregular;
+        }
+
+        if (r.spanKnown) {
+            r.spanPages = pagesIn(Span{r.lo, r.hi}, pageBytes);
+            spans.push_back(Span{r.lo, r.hi});
+        } else {
+            // A reference we cannot bound makes the working-set
+            // estimate a lower bound.
+            fp.estPagesExact = false;
+        }
+        fp.refs.push_back(r);
+    }
+
+    // The program's fixed footprint: text, initialized data, and the
+    // top stack page (kasm programs start at stackTop and our
+    // workloads stay within one page of it; deeper stack use shows up
+    // through sp-relative references, which const-prop resolves).
+    const Span text{prog.textBase, prog.textEnd() - 1};
+    fp.textPages = pagesIn(text, pageBytes);
+    spans.push_back(text);
+    for (const kasm::DataSegment &seg : prog.data) {
+        if (seg.bytes.empty())
+            continue;
+        const Span s{seg.base, seg.base + seg.bytes.size() - 1};
+        fp.dataPages += pagesIn(s, pageBytes);
+        spans.push_back(s);
+    }
+    const Span stack{prog.stackTop - pageBytes, prog.stackTop - 1};
+    fp.stackPages = 1;
+    spans.push_back(stack);
+
+    fp.estPages = unionPages(std::move(spans), pageBytes);
+    return fp;
+}
+
+DesignFootprint
+foldDesign(const ProgramFootprint &fp, const tlb::DesignParams &p)
+{
+    DesignFootprint df;
+    df.reachPages = tlb::reachPages(p);
+    // estPages is exact or a lower bound, so exceeding reach is a
+    // sound conclusion either way.
+    df.exceedsReach = fp.estPages > df.reachPages;
+
+    if (p.kind != tlb::DesignParams::Kind::Interleaved || p.banks <= 1)
+        return df;
+
+    // Same-bank collision groups: references in the same innermost
+    // loop whose statically-known address streams keep landing on the
+    // same bank. The rate is measured by evaluating the design's own
+    // bank-select function over a window of lockstep iterations.
+    const unsigned pageBytes = fp.pageBytes;
+    auto vpnAt = [&](const RefFootprint &r, uint64_t k) -> uint64_t {
+        const int64_t addr = int64_t(r.lo) + int64_t(k) * r.stride;
+        return uint64_t(addr) / pageBytes;
+    };
+    auto conflictRate = [&](const RefFootprint &a,
+                            const RefFootprint &b) -> double {
+        uint64_t window = 64;
+        if (a.loop != kNoLoop) {
+            const uint64_t trips =
+                fp.strides.loops[a.loop].trips;
+            if (trips != 0)
+                window = std::min(window, trips);
+        }
+        if (window == 0)
+            return 0.0;
+        uint64_t collide = 0;
+        for (uint64_t k = 0; k < window; ++k) {
+            const uint64_t va = vpnAt(a, k);
+            const uint64_t vb = vpnAt(b, k);
+            if (tlb::bankOfPage(p, va) != tlb::bankOfPage(p, vb))
+                continue;
+            // Same page on a piggybacked bank rides for free
+            // (Section 3.4); everywhere else it still serializes.
+            if (va == vb && p.piggybackBanks)
+                continue;
+            ++collide;
+        }
+        return double(collide) / double(window);
+    };
+
+    for (size_t i = 0; i < fp.refs.size(); ++i) {
+        const RefFootprint &r = fp.refs[i];
+        if (r.loop == kNoLoop || !r.spanKnown)
+            continue;
+        if (r.pattern != RefPattern::Strided &&
+            r.pattern != RefPattern::Fixed)
+            continue;
+        bool grouped = false;
+        for (BankConflict &g : df.conflicts) {
+            // Compare against the group's first member.
+            const auto it = std::find_if(
+                fp.refs.begin(), fp.refs.end(),
+                [&](const RefFootprint &m) {
+                    return m.pc == g.pcs.front();
+                });
+            const double rate = conflictRate(*it, r);
+            if (it->loop == r.loop && rate >= 0.5) {
+                g.pcs.push_back(r.pc);
+                g.rate = std::min(g.rate, rate);
+                grouped = true;
+                break;
+            }
+        }
+        if (!grouped) {
+            BankConflict g;
+            g.bank = tlb::bankOfPage(p, vpnAt(r, 0));
+            g.pcs.push_back(r.pc);
+            df.conflicts.push_back(std::move(g));
+        }
+    }
+    // Only groups of two or more references actually contend.
+    std::erase_if(df.conflicts, [](const BankConflict &g) {
+        return g.pcs.size() < 2;
+    });
+    return df;
+}
+
+void
+lintProgramFootprint(const ProgramFootprint &fp, Report &report)
+{
+    // Loop-resident references with no static pattern: the piggyback
+    // and interleave mechanisms cannot be predicted for them, and they
+    // are where dynamic profiles usually find the misses.
+    for (const RefFootprint &r : fp.refs) {
+        if (r.loop == kNoLoop)
+            continue;
+        if (r.pattern != RefPattern::Irregular &&
+            r.pattern != RefPattern::IrregularBounded)
+            continue;
+        std::string msg = detail::concat(
+            r.isStore ? "store" : "load", " in a depth-",
+            r.loopDepth, " loop has no static stride");
+        if (r.pattern == RefPattern::IrregularBounded)
+            msg += detail::concat(" (bounded to ", r.spanPages,
+                                  " page(s))");
+        report.add(Diag::IrregularStride, Severity::Info, r.pc,
+                   std::move(msg));
+    }
+
+    // Loops that stream through memory without a statically bounded
+    // trip count: their footprint cannot be capped at lint time.
+    for (size_t l = 0; l < fp.strides.loops.size(); ++l) {
+        const Loop &loop = fp.strides.loops[l];
+        if (loop.trips != 0)
+            continue;
+        bool strided = false;
+        for (const RefFootprint &r : fp.refs)
+            strided |= r.loop == l &&
+                       r.pattern == RefPattern::Strided;
+        if (!strided)
+            continue;
+        std::string ivs;
+        for (const IndVar &iv : fp.strides.ivs[l]) {
+            if (!ivs.empty())
+                ivs += ", ";
+            ivs += detail::concat(isa::intRegName(iv.reg), "+=",
+                                  iv.step);
+        }
+        std::string msg =
+            "loop with strided references has no static trip bound";
+        if (!ivs.empty())
+            msg += detail::concat(" (induction: ", ivs, ")");
+        report.add(Diag::UnboundedInduction, Severity::Info,
+                   fp.loopHeaderPcs[l], std::move(msg));
+    }
+}
+
+void
+lintDesignFootprint(const ProgramFootprint &fp,
+                    const tlb::DesignParams &p,
+                    const std::string &label, Report &report)
+{
+    const DesignFootprint df = foldDesign(fp, p);
+    if (df.exceedsReach) {
+        report.add(
+            Diag::FootprintExceedsReach, Severity::Info, 0,
+            detail::concat("estimated working set ",
+                           fp.estPagesExact ? "" : ">= ", fp.estPages,
+                           " page(s) exceeds ", label, " reach of ",
+                           df.reachPages, " page(s) at ", fp.pageBytes,
+                           "-byte pages"));
+    }
+    for (const BankConflict &g : df.conflicts) {
+        std::string members;
+        for (VAddr pc : g.pcs) {
+            if (!members.empty())
+                members += ", ";
+            members += hexAddr(pc);
+        }
+        report.add(
+            Diag::BankConflictHotspot, Severity::Info, g.pcs.front(),
+            detail::concat(g.pcs.size(), " lockstep references (",
+                           members, ") contend for bank ", g.bank,
+                           " of ", label, " in >=",
+                           unsigned(g.rate * 100), "% of iterations"));
+    }
+}
+
+} // namespace hbat::verify

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Static translation-footprint analysis.
+ *
+ * Folds the per-reference stride summaries (stride.hh) into the
+ * quantities the paper's designs actually trade on:
+ *
+ *  - per-PC access pattern and page-run length — a reference that
+ *    stays on one page for R consecutive accesses is R-way piggyback
+ *    opportunity (Section 3.4);
+ *  - the program's estimated distinct-page working set, compared
+ *    against a design's TLB reach (entries x page size);
+ *  - same-bank collision groups under the interleaved designs,
+ *    evaluated with the exact bankSelectOf() the hardware model uses.
+ *
+ * Program-level findings (irregular strides, unbounded induction) are
+ * design-independent; reach and bank conflicts are parameterized by
+ * tlb::DesignParams. All footprint diagnostics are Severity::Info:
+ * they describe workload/design interactions worth knowing before a
+ * sweep, not program bugs.
+ */
+
+#ifndef HBAT_VERIFY_FOOTPRINT_HH
+#define HBAT_VERIFY_FOOTPRINT_HH
+
+#include <string>
+#include <vector>
+
+#include "kasm/program.hh"
+#include "tlb/design.hh"
+#include "verify/stride.hh"
+#include "verify/verifier.hh"
+
+namespace hbat::verify
+{
+
+/** Access-pattern classification of one static memory reference. */
+enum class RefPattern : uint8_t
+{
+    Fixed,              ///< one statically-known address
+    Strided,            ///< base + iteration * stride
+    IrregularBounded,   ///< bounded region, no stride (hash probes)
+    Irregular           ///< no static address information
+};
+
+/** Stable lower-case name of @p p (JSON and CLI output). */
+const char *patternName(RefPattern p);
+
+/** Footprint summary of one static load/store. */
+struct RefFootprint
+{
+    VAddr pc = 0;
+    size_t loop = kNoLoop;      ///< innermost loop (kNoLoop = straight-line)
+    unsigned loopDepth = 0;
+    bool isStore = false;
+    unsigned bytes = 0;
+
+    RefPattern pattern = RefPattern::Irregular;
+    int64_t stride = 0;         ///< per-iteration delta (Strided only)
+
+    bool spanKnown = false;     ///< lo/hi delimit the touched bytes
+    uint64_t lo = 0;            ///< inclusive span start
+    uint64_t hi = 0;            ///< inclusive span end
+    uint64_t spanPages = 0;     ///< pages in the span (0 = unknown)
+
+    uint64_t estAccesses = 1;   ///< known-trip product of enclosing loops
+    bool estExact = true;       ///< false: estAccesses is a lower bound
+    double pageRun = 1.0;       ///< expected consecutive same-page accesses
+};
+
+/** Whole-program footprint at one page size. */
+struct ProgramFootprint
+{
+    unsigned pageBytes = 4096;
+    std::vector<RefFootprint> refs;     ///< text order
+    StrideAnalysis strides;             ///< loops/IVs behind the refs
+    std::vector<VAddr> loopHeaderPcs;   ///< per loop: header's first pc
+
+    uint64_t textPages = 0;
+    uint64_t dataPages = 0;
+    uint64_t stackPages = 0;
+    uint64_t estPages = 0;      ///< distinct-page working set estimate
+    bool estPagesExact = true;  ///< false: estPages is a lower bound
+};
+
+/**
+ * Compute the footprint of @p prog from its analysis @p a (the
+ * stride pass runs internally) at @p pageBytes.
+ */
+ProgramFootprint analyzeFootprint(const kasm::Program &prog,
+                                  const Analysis &a,
+                                  unsigned pageBytes);
+
+/** One same-bank collision group under an interleaved design. */
+struct BankConflict
+{
+    unsigned bank = 0;          ///< bank of the group's first access
+    double rate = 1.0;          ///< fraction of iterations colliding
+    std::vector<VAddr> pcs;     ///< members, text order
+};
+
+/** Design-dependent fold of a program footprint. */
+struct DesignFootprint
+{
+    unsigned reachPages = 0;
+    bool exceedsReach = false;
+    std::vector<BankConflict> conflicts;
+};
+
+/** Fold @p fp against design geometry @p p. */
+DesignFootprint foldDesign(const ProgramFootprint &fp,
+                           const tlb::DesignParams &p);
+
+/**
+ * Design-independent footprint lint: IrregularStride for loop-resident
+ * references with no static pattern, UnboundedInduction for loops
+ * whose strided references have no static trip bound. All Info.
+ */
+void lintProgramFootprint(const ProgramFootprint &fp, Report &report);
+
+/**
+ * Design-dependent footprint lint against @p p (labelled @p label in
+ * messages): FootprintExceedsReach and BankConflictHotspot. All Info.
+ */
+void lintDesignFootprint(const ProgramFootprint &fp,
+                         const tlb::DesignParams &p,
+                         const std::string &label, Report &report);
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_FOOTPRINT_HH

@@ -1,0 +1,1066 @@
+#include "verify/stride.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hbat::verify
+{
+
+using isa::Inst;
+using isa::Opcode;
+using isa::RC;
+
+bool
+Loop::contains(size_t block) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+std::vector<size_t>
+StrideAnalysis::ancestry(size_t loop) const
+{
+    std::vector<size_t> chain;
+    for (size_t l = loop; l != kNoLoop; l = loops[l].parent)
+        chain.push_back(l);
+    return chain;
+}
+
+namespace
+{
+
+/** Values past this magnitude are treated as lost (overflow guard). */
+constexpr int64_t kValLimit = int64_t(1) << 40;
+
+// ---------------------------------------------------------------------
+// StrideVal arithmetic. Every helper returns a canonical value: fields
+// behind a cleared hasBounds/hasBase flag are zero, so the fixpoint's
+// equality checks compare only meaningful state.
+// ---------------------------------------------------------------------
+
+StrideVal
+normalize(StrideVal v)
+{
+    if (v.kind != StrideVal::Kind::Lin)
+        return v.kind == StrideVal::Kind::Top ? StrideVal::top()
+                                              : StrideVal{};
+    if (v.hasBounds && (v.lo > v.hi || v.lo <= -kValLimit ||
+                        v.hi >= kValLimit)) {
+        v.hasBounds = false;
+    }
+    if (!v.hasBounds) {
+        v.lo = v.hi = 0;
+    }
+    if (!v.hasBase) {
+        v.baseReg = 0;
+        v.offset = 0;
+    }
+    // A Lin with no information at all is just Top.
+    if (!v.hasBounds && !v.hasBase && v.step == 0)
+        return StrideVal::top();
+    return v;
+}
+
+bool
+sameVal(const StrideVal &a, const StrideVal &b)
+{
+    return a.kind == b.kind && a.step == b.step &&
+           a.hasBounds == b.hasBounds && a.lo == b.lo && a.hi == b.hi &&
+           a.hasBase == b.hasBase && a.baseReg == b.baseReg &&
+           a.offset == b.offset;
+}
+
+StrideVal
+addConst(StrideVal a, int64_t c)
+{
+    if (a.kind != StrideVal::Kind::Lin)
+        return StrideVal::top();
+    if (a.hasBounds) {
+        a.lo += c;
+        a.hi += c;
+    }
+    if (a.hasBase)
+        a.offset += c;
+    return normalize(a);
+}
+
+StrideVal
+addVals(const StrideVal &a, const StrideVal &b)
+{
+    if (a.isConst())
+        return addConst(b, a.lo);
+    if (b.isConst())
+        return addConst(a, b.lo);
+    if (a.kind != StrideVal::Kind::Lin ||
+        b.kind != StrideVal::Kind::Lin)
+        return StrideVal::top();
+    StrideVal r;
+    r.kind = StrideVal::Kind::Lin;
+    r.step = a.step + b.step;
+    if (a.hasBounds && b.hasBounds) {
+        r.hasBounds = true;
+        r.lo = a.lo + b.lo;
+        r.hi = a.hi + b.hi;
+    }
+    return normalize(r);
+}
+
+StrideVal
+subVals(const StrideVal &a, const StrideVal &b)
+{
+    if (b.isConst())
+        return addConst(a, -b.lo);
+    // Same symbolic base, same stride: the difference is exact.
+    if (a.kind == StrideVal::Kind::Lin &&
+        b.kind == StrideVal::Kind::Lin && a.hasBase && b.hasBase &&
+        a.baseReg == b.baseReg && a.step == b.step)
+        return StrideVal::constant(a.offset - b.offset);
+    if (a.kind != StrideVal::Kind::Lin ||
+        b.kind != StrideVal::Kind::Lin)
+        return StrideVal::top();
+    StrideVal r;
+    r.kind = StrideVal::Kind::Lin;
+    r.step = a.step - b.step;
+    if (a.hasBounds && b.hasBounds) {
+        r.hasBounds = true;
+        r.lo = a.lo - b.hi;
+        r.hi = a.hi - b.lo;
+    }
+    return normalize(r);
+}
+
+StrideVal
+mulConst(const StrideVal &a, int64_t c)
+{
+    if (a.isConst())
+        return StrideVal::constant(a.lo * c);
+    if (a.kind != StrideVal::Kind::Lin || c == 0)
+        return c == 0 ? StrideVal::constant(0) : StrideVal::top();
+    StrideVal r;
+    r.kind = StrideVal::Kind::Lin;
+    r.step = a.step * c;
+    if (a.hasBounds) {
+        r.hasBounds = true;
+        r.lo = c > 0 ? a.lo * c : a.hi * c;
+        r.hi = c > 0 ? a.hi * c : a.lo * c;
+    }
+    return normalize(r);
+}
+
+StrideVal
+andImm(const StrideVal &a, int64_t m)
+{
+    if (a.isConst())
+        return StrideVal::constant(a.lo & m);
+    // Masking is the hash-probe idiom: whatever the input stream was,
+    // the result bounces inside [0, m].
+    if (a.kind == StrideVal::Kind::Lin && a.hasBounds && a.step == 0 &&
+        a.lo >= 0 && a.hi <= m)
+        return a;
+    return StrideVal::range(0, m);
+}
+
+/**
+ * Join @p src into @p dst; returns true when @p dst changed. With
+ * @p widen set (fixpoint rounds past the second), bounds that would
+ * keep growing are dropped instead — the widening step that bounds
+ * the iteration (DESIGN.md §12).
+ */
+bool
+joinInto(StrideVal &dst, const StrideVal &src, bool widen)
+{
+    if (src.kind == StrideVal::Kind::Bottom)
+        return false;
+    if (dst.kind == StrideVal::Kind::Bottom) {
+        dst = normalize(src);
+        return true;
+    }
+    if (dst.kind == StrideVal::Kind::Top)
+        return false;
+    if (src.kind == StrideVal::Kind::Top) {
+        dst = StrideVal::top();
+        return true;
+    }
+    if (dst.step != src.step) {
+        dst = StrideVal::top();
+        return true;
+    }
+    StrideVal r;
+    r.kind = StrideVal::Kind::Lin;
+    r.step = dst.step;
+    if (dst.hasBase && src.hasBase && dst.baseReg == src.baseReg &&
+        dst.offset == src.offset) {
+        r.hasBase = true;
+        r.baseReg = dst.baseReg;
+        r.offset = dst.offset;
+    }
+    if (dst.hasBounds && src.hasBounds) {
+        r.hasBounds = true;
+        r.lo = std::min(dst.lo, src.lo);
+        r.hi = std::max(dst.hi, src.hi);
+        if (widen && (r.lo < dst.lo || r.hi > dst.hi))
+            r.hasBounds = false;
+    }
+    r = normalize(r);
+    if (sameVal(r, dst))
+        return false;
+    dst = r;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Abstract machine state: one StrideVal per integer register, plus the
+// exact-constant projection kept in lockstep through ConstProp::step
+// so multi-instruction constant forms (LUI+ORI...) stay exact.
+// ---------------------------------------------------------------------
+
+struct RegState
+{
+    std::array<StrideVal, 32> v{};
+    ConstState cs;
+    bool valid = false;
+};
+
+StrideVal
+regOf(const RegState &st, RegIndex r)
+{
+    if (r == 0)
+        return StrideVal::constant(0);
+    return st.v[r];
+}
+
+/** Transfer one instruction through @p st. */
+void
+transfer(const Inst &inst, RegState &st)
+{
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    const StrideVal a = regOf(st, inst.rs1);
+    const StrideVal b = regOf(st, inst.rs2);
+
+    const bool writesInt =
+        info.rdClass == RC::Int && !info.rdIsSource;
+
+    StrideVal nv = StrideVal::top();
+    if (writesInt) {
+        switch (inst.op) {
+          case Opcode::Addi:
+            nv = addConst(a, inst.imm);
+            break;
+          case Opcode::Add:
+            nv = addVals(a, b);
+            break;
+          case Opcode::Sub:
+            nv = subVals(a, b);
+            break;
+          case Opcode::Slli:
+            nv = mulConst(a, int64_t(1) << (inst.imm & 31));
+            break;
+          case Opcode::Mul:
+            if (b.isConst())
+                nv = mulConst(a, b.lo);
+            else if (a.isConst())
+                nv = mulConst(b, a.lo);
+            break;
+          case Opcode::Andi:
+            if (inst.imm >= 0)
+                nv = andImm(a, inst.imm);
+            break;
+          default:
+            break;  // loads, logic, compares... exact or Top below
+        }
+    }
+
+    // Post-increment addressing updates the base additively.
+    if (info.writesBase && inst.rs1 != 0)
+        st.v[inst.rs1] = addConst(a, inst.imm);
+
+    ConstProp::step(inst, st.cs);
+
+    if (info.writesBase && inst.rs1 != 0 && st.v[inst.rs1].isTop() &&
+        st.cs.isKnown(inst.rs1))
+        st.v[inst.rs1] =
+            StrideVal::constant(int64_t(st.cs.val[inst.rs1]));
+
+    if (writesInt && inst.rd != 0) {
+        if (st.cs.isKnown(inst.rd))
+            nv = StrideVal::constant(int64_t(st.cs.val[inst.rd]));
+        else if (nv.isConst())
+            st.cs.setKnown(inst.rd, uint32_t(uint64_t(nv.lo)));
+        st.v[inst.rd] = nv;
+    }
+    if (inst.op == Opcode::Jal)
+        st.v[isa::reg::ra] = StrideVal::top();
+}
+
+/** Abstract effective address of memory instruction @p inst. */
+StrideVal
+memAddr(const Inst &inst, const RegState &st)
+{
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    const StrideVal base = regOf(st, inst.rs1);
+    if (info.writesBase)
+        return base;    // post-increment accesses M[old base]
+    if (info.rs2Class != RC::None)
+        return addVals(base, regOf(st, inst.rs2));
+    return addConst(base, inst.imm);
+}
+
+/** Exact-constant meet of @p other into @p into. */
+bool
+meetConst(ConstState &into, const ConstState &other)
+{
+    uint32_t agreed = into.known & other.known;
+    for (int r = 1; r < 32; ++r) {
+        if (((agreed >> r) & 1) && into.val[r] != other.val[r])
+            agreed &= ~(uint32_t(1) << r);
+    }
+    agreed |= 1;
+    const bool changed = agreed != into.known;
+    into.known = agreed;
+    return changed;
+}
+
+/**
+ * Join @p src into @p dst. Registers in @p pinned (a 32-bit mask)
+ * keep dst's value — the induction variables, whose header value is
+ * the recurrence itself, not the join of its unrollings.
+ */
+bool
+joinState(RegState &dst, const RegState &src, bool widen,
+          uint32_t pinned)
+{
+    if (!src.valid)
+        return false;
+    if (!dst.valid) {
+        dst = src;
+        return true;
+    }
+    bool changed = false;
+    for (int r = 1; r < 32; ++r) {
+        if ((pinned >> r) & 1)
+            continue;
+        changed |= joinInto(dst.v[r], src.v[r], widen);
+    }
+    // The const projection never joins pinned registers back in
+    // either: IVs vary across iterations by construction.
+    ConstState masked = src.cs;
+    for (int r = 1; r < 32; ++r)
+        if ((pinned >> r) & 1)
+            masked.setUnknown(RegIndex(r));
+    changed |= meetConst(dst.cs, masked);
+    return changed;
+}
+
+// ---------------------------------------------------------------------
+// Dominators and the loop forest.
+// ---------------------------------------------------------------------
+
+/** Dense bitset with equality (verify::BitVec hides its words). */
+struct Bits
+{
+    std::vector<uint64_t> w;
+
+    explicit Bits(size_t n = 0) : w((n + 63) / 64, 0) {}
+
+    bool get(size_t i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+    void set(size_t i) { w[i >> 6] |= uint64_t(1) << (i & 63); }
+
+    void
+    setAll(size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            set(i);
+    }
+
+    void
+    andWith(const Bits &o)
+    {
+        for (size_t i = 0; i < w.size(); ++i)
+            w[i] &= o.w[i];
+    }
+
+    bool operator==(const Bits &) const = default;
+};
+
+std::vector<Bits>
+dominators(const Cfg &cfg)
+{
+    const size_t nb = cfg.blocks.size();
+    std::vector<Bits> dom(nb, Bits(nb));
+    for (size_t b = 0; b < nb; ++b) {
+        if (b == cfg.entryBlock)
+            dom[b].set(b);
+        else
+            dom[b].setAll(nb);
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < nb; ++b) {
+            if (b == cfg.entryBlock || !cfg.blocks[b].reachable)
+                continue;
+            Bits nd(nb);
+            bool have = false;
+            for (size_t p : cfg.blocks[b].preds) {
+                if (!cfg.blocks[p].reachable)
+                    continue;
+                if (!have) {
+                    nd = dom[p];
+                    have = true;
+                } else {
+                    nd.andWith(dom[p]);
+                }
+            }
+            if (!have)
+                continue;
+            nd.set(b);
+            if (!(nd == dom[b])) {
+                dom[b] = nd;
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+std::vector<Loop>
+findNaturalLoops(const Cfg &cfg, const std::vector<Bits> &dom)
+{
+    const size_t nb = cfg.blocks.size();
+
+    // Back edges u -> h where h dominates u; loops merged per header.
+    std::vector<std::vector<size_t>> latchesOf(nb);
+    for (size_t u = 0; u < nb; ++u) {
+        if (!cfg.blocks[u].reachable)
+            continue;
+        for (size_t h : cfg.blocks[u].succs) {
+            if (dom[u].get(h))
+                latchesOf[h].push_back(u);
+        }
+    }
+
+    std::vector<Loop> loops;
+    for (size_t h = 0; h < nb; ++h) {
+        if (latchesOf[h].empty())
+            continue;
+        Loop L;
+        L.header = h;
+        L.latches = latchesOf[h];
+
+        // Natural loop body: backward walk from the latches to the
+        // header.
+        std::vector<bool> inBody(nb, false);
+        inBody[h] = true;
+        std::vector<size_t> work = L.latches;
+        for (size_t u : work)
+            inBody[u] = true;
+        while (!work.empty()) {
+            const size_t u = work.back();
+            work.pop_back();
+            if (u == h)
+                continue;
+            for (size_t p : cfg.blocks[u].preds) {
+                if (!cfg.blocks[p].reachable || inBody[p])
+                    continue;
+                inBody[p] = true;
+                work.push_back(p);
+            }
+        }
+        for (size_t b = 0; b < nb; ++b)
+            if (inBody[b])
+                L.blocks.push_back(b);
+        loops.push_back(std::move(L));
+    }
+
+    // Nesting: the parent of L is the smallest other loop containing
+    // L's header; depth follows the parent chain.
+    for (size_t i = 0; i < loops.size(); ++i) {
+        size_t best = kNoLoop;
+        for (size_t j = 0; j < loops.size(); ++j) {
+            if (j == i || !loops[j].contains(loops[i].header) ||
+                loops[j].header == loops[i].header)
+                continue;
+            if (best == kNoLoop ||
+                loops[j].blocks.size() < loops[best].blocks.size())
+                best = j;
+        }
+        loops[i].parent = best;
+    }
+    for (size_t i = 0; i < loops.size(); ++i) {
+        unsigned depth = 1;
+        for (size_t p = loops[i].parent; p != kNoLoop;
+             p = loops[p].parent) {
+            ++depth;
+            if (depth > loops.size())
+                break;  // malformed nesting (irreducible graph)
+        }
+        loops[i].depth = depth;
+    }
+    return loops;
+}
+
+std::vector<size_t>
+innermostLoops(const Cfg &cfg, const std::vector<Loop> &loops)
+{
+    std::vector<size_t> inner(cfg.blocks.size(), kNoLoop);
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        for (size_t l = 0; l < loops.size(); ++l) {
+            if (!loops[l].contains(b))
+                continue;
+            if (inner[b] == kNoLoop ||
+                loops[l].depth > loops[inner[b]].depth ||
+                (loops[l].depth == loops[inner[b]].depth &&
+                 loops[l].blocks.size() <
+                     loops[inner[b]].blocks.size()))
+                inner[b] = l;
+        }
+    }
+    return inner;
+}
+
+// ---------------------------------------------------------------------
+// Induction variables.
+// ---------------------------------------------------------------------
+
+std::vector<IndVar>
+findIvs(const Cfg &cfg, const std::vector<Loop> &loops,
+        const std::vector<size_t> &innermost, size_t lid,
+        const std::vector<Bits> &dom)
+{
+    const Loop &L = loops[lid];
+    struct DefScan
+    {
+        bool any = false;
+        bool additive = true;
+        bool inInner = false;
+        int64_t step = 0;
+        std::vector<size_t> blocks;
+    };
+    std::array<DefScan, 32> scan;
+
+    for (size_t b : L.blocks) {
+        for (size_t i = cfg.blocks[b].first; i < cfg.blocks[b].end;
+             ++i) {
+            const Inst &inst = cfg.insts[i];
+            const InstEffect e = instEffect(inst);
+            const isa::OpInfo &info = isa::opInfo(inst.op);
+            for (int r = 1; r < 32; ++r) {
+                if (!((e.defs >> intSlot(RegIndex(r))) & 1))
+                    continue;
+                DefScan &d = scan[r];
+                d.any = true;
+                d.blocks.push_back(b);
+                if (innermost[b] != lid)
+                    d.inInner = true;
+                const bool loadsIntoR = info.rdClass == RC::Int &&
+                                        !info.rdIsSource &&
+                                        inst.rd == r;
+                if (inst.op == Opcode::Addi && inst.rd == r &&
+                    inst.rs1 == r) {
+                    d.step += inst.imm;
+                } else if (info.writesBase && inst.rs1 == r &&
+                           !loadsIntoR) {
+                    d.step += inst.imm;
+                } else {
+                    d.additive = false;
+                }
+            }
+        }
+    }
+
+    std::vector<IndVar> ivs;
+    for (int r = 1; r < 32; ++r) {
+        const DefScan &d = scan[r];
+        if (!d.any || !d.additive || d.inInner || d.step == 0)
+            continue;
+        bool exact = true;
+        for (size_t db : d.blocks)
+            for (size_t latch : L.latches)
+                exact &= dom[latch].get(db);
+        ivs.push_back(IndVar{RegIndex(r), d.step, exact});
+    }
+    return ivs;
+}
+
+// ---------------------------------------------------------------------
+// Trip counts.
+// ---------------------------------------------------------------------
+
+enum class Rel : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+Rel
+mirror(Rel r)
+{
+    switch (r) {
+      case Rel::Lt: return Rel::Gt;
+      case Rel::Le: return Rel::Ge;
+      case Rel::Gt: return Rel::Lt;
+      case Rel::Ge: return Rel::Le;
+      default: return r;
+    }
+}
+
+Rel
+negate(Rel r)
+{
+    switch (r) {
+      case Rel::Eq: return Rel::Ne;
+      case Rel::Ne: return Rel::Eq;
+      case Rel::Lt: return Rel::Ge;
+      case Rel::Ge: return Rel::Lt;
+      case Rel::Le: return Rel::Gt;
+      case Rel::Gt: return Rel::Le;
+    }
+    return r;
+}
+
+/**
+ * Smallest k >= 0 with (v0 + k*s) REL (v0 + d0), i.e. k*s REL d0.
+ * Returns false when no such k exists or the form is unsupported.
+ */
+bool
+firstExit(Rel rel, int64_t d0, int64_t s, int64_t &k)
+{
+    switch (rel) {
+      case Rel::Ge:     // k*s >= d0
+        if (s > 0) {
+            k = d0 <= 0 ? 0 : (d0 + s - 1) / s;
+            return true;
+        }
+        if (d0 <= 0) {
+            k = 0;
+            return true;
+        }
+        return false;
+      case Rel::Gt:
+        return firstExit(Rel::Ge, d0 + 1, s, k);
+      case Rel::Le:     // k*s <= d0
+        if (s < 0) {
+            k = d0 >= 0 ? 0 : (-d0 + (-s) - 1) / (-s);
+            return true;
+        }
+        if (d0 >= 0) {
+            k = 0;
+            return true;
+        }
+        return false;
+      case Rel::Lt:
+        return firstExit(Rel::Le, d0 - 1, s, k);
+      case Rel::Eq:
+        if (s != 0 && d0 % s == 0 && d0 / s >= 0) {
+            k = d0 / s;
+            return true;
+        }
+        return false;
+      case Rel::Ne:
+        if (d0 != 0) {
+            k = 0;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+bool
+branchRel(Opcode op, Rel &rel)
+{
+    switch (op) {
+      case Opcode::Beq: rel = Rel::Eq; return true;
+      case Opcode::Bne: rel = Rel::Ne; return true;
+      case Opcode::Blt: case Opcode::Bltu: rel = Rel::Lt; return true;
+      case Opcode::Bge: case Opcode::Bgeu: rel = Rel::Ge; return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The driver.
+// ---------------------------------------------------------------------
+
+StrideAnalysis
+analyzeStrides(const Cfg &cfg, const ConstProp &consts)
+{
+    StrideAnalysis sa;
+    if (cfg.blocks.empty())
+        return sa;
+
+    const std::vector<Bits> dom = dominators(cfg);
+    sa.loops = findNaturalLoops(cfg, dom);
+    sa.innermost = innermostLoops(cfg, sa.loops);
+    sa.ivs.resize(sa.loops.size());
+
+    // Per-loop retained block states, parallel to Loop::blocks.
+    std::vector<std::vector<RegState>> loopIn(sa.loops.size());
+    std::vector<bool> analyzed(sa.loops.size(), false);
+
+    auto blockSlot = [&](size_t lid, size_t b) -> size_t {
+        const std::vector<size_t> &blocks = sa.loops[lid].blocks;
+        const auto it =
+            std::lower_bound(blocks.begin(), blocks.end(), b);
+        hbat_assert(it != blocks.end() && *it == b,
+                    "block not in loop");
+        return size_t(it - blocks.begin());
+    };
+
+    // Absolute (demoted) state at the exit of block p, in whatever
+    // context p was analyzed in: the enclosing loop when that loop is
+    // done, global constant propagation otherwise.
+    auto contextExit = [&](size_t p) -> RegState {
+        RegState st;
+        const size_t pl = sa.innermost[p];
+        if (pl != kNoLoop && analyzed[pl] &&
+            loopIn[pl][blockSlot(pl, p)].valid) {
+            st = loopIn[pl][blockSlot(pl, p)];
+            for (size_t i = cfg.blocks[p].first;
+                 i < cfg.blocks[p].end; ++i)
+                transfer(cfg.insts[i], st);
+            // Demote loop-relative values to absolute spans: over all
+            // iterations the base covers bounds + trips * step.
+            const uint64_t trips = sa.loops[pl].trips;
+            for (int r = 1; r < 32; ++r) {
+                StrideVal v = st.v[r];
+                v.hasBase = false;
+                if (v.kind != StrideVal::Kind::Lin || !v.hasBounds) {
+                    st.v[r] = StrideVal::top();
+                    continue;
+                }
+                if (v.step != 0) {
+                    if (trips == 0) {
+                        st.v[r] = StrideVal::top();
+                        continue;
+                    }
+                    const int64_t extent =
+                        int64_t(trips - 1) * v.step;
+                    v.lo += std::min<int64_t>(0, extent);
+                    v.hi += std::max<int64_t>(0, extent);
+                    v.step = 0;
+                }
+                st.v[r] = normalize(v);
+            }
+            return st;
+        }
+        if (!consts.visited[p])
+            return st;  // invalid
+        st.valid = true;
+        st.cs = consts.in[p];
+        for (int r = 1; r < 32; ++r)
+            st.v[r] = st.cs.isKnown(RegIndex(r))
+                          ? StrideVal::constant(
+                                int64_t(st.cs.val[r]))
+                          : StrideVal::top();
+        for (size_t i = cfg.blocks[p].first; i < cfg.blocks[p].end;
+             ++i)
+            transfer(cfg.insts[i], st);
+        return st;
+    };
+
+    // Process loops outermost-first so children can demote from
+    // parents, then siblings in text order for determinism.
+    std::vector<size_t> order(sa.loops.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (sa.loops[a].depth != sa.loops[b].depth)
+            return sa.loops[a].depth < sa.loops[b].depth;
+        return sa.loops[a].header < sa.loops[b].header;
+    });
+
+    std::vector<MemRef> refs;
+
+    for (size_t lid : order) {
+        Loop &L = sa.loops[lid];
+        sa.ivs[lid] = findIvs(cfg, sa.loops, sa.innermost, lid, dom);
+
+        uint32_t ivMask = 0;
+        for (const IndVar &iv : sa.ivs[lid])
+            ivMask |= uint32_t(1) << iv.reg;
+
+        // Registers defined anywhere in the loop lose their constant
+        // projection at the header (they vary across iterations until
+        // the fixpoint proves otherwise -- it never re-adds them).
+        RegSet loopDefs = 0;
+        for (size_t b : L.blocks)
+            for (size_t i = cfg.blocks[b].first;
+                 i < cfg.blocks[b].end; ++i)
+                loopDefs |= instEffect(cfg.insts[i]).defs;
+
+        // Loop-entry state: join the demoted exits of every pred of
+        // the header from outside the loop.
+        RegState entryAbs;
+        std::vector<size_t> outsidePreds;
+        for (size_t p : cfg.blocks[L.header].preds) {
+            if (L.contains(p) || !cfg.blocks[p].reachable)
+                continue;
+            outsidePreds.push_back(p);
+            const RegState ex = contextExit(p);
+            if (!ex.valid)
+                continue;
+            if (!entryAbs.valid) {
+                entryAbs = ex;
+            } else {
+                for (int r = 1; r < 32; ++r)
+                    joinInto(entryAbs.v[r], ex.v[r], false);
+                meetConst(entryAbs.cs, ex.cs);
+            }
+        }
+        if (!entryAbs.valid) {
+            // Header with no analyzable outside pred (e.g. the entry
+            // block itself is a loop header): fall back to the global
+            // const state, which is meet-polluted but sound.
+            if (!consts.visited[L.header])
+                continue;
+            entryAbs.valid = true;
+            entryAbs.cs = consts.in[L.header];
+            for (int r = 1; r < 32; ++r)
+                entryAbs.v[r] =
+                    entryAbs.cs.isKnown(RegIndex(r))
+                        ? StrideVal::constant(
+                              int64_t(entryAbs.cs.val[r]))
+                        : StrideVal::top();
+        }
+
+        // Preheader relations "b = a + C" for relational trip counts
+        // (loop bounds computed from the induction base, e.g.
+        // rowend = px + (n-2)*8). Single-preheader loops only.
+        std::array<int8_t, 32> relSrc;
+        std::array<int64_t, 32> relOff{};
+        relSrc.fill(-1);
+        if (outsidePreds.size() == 1) {
+            const size_t p = outsidePreds[0];
+            for (size_t i = cfg.blocks[p].first;
+                 i < cfg.blocks[p].end; ++i) {
+                const Inst &inst = cfg.insts[i];
+                const InstEffect e = instEffect(inst);
+                for (int r = 1; r < 32; ++r) {
+                    if (!((e.defs >> intSlot(RegIndex(r))) & 1))
+                        continue;
+                    relSrc[r] = -1;
+                    // Any redefinition of a source invalidates the
+                    // relations anchored to it.
+                    for (int q = 1; q < 32; ++q)
+                        if (relSrc[q] == r)
+                            relSrc[q] = -1;
+                    if (inst.op == Opcode::Addi && inst.rd == r &&
+                        inst.rs1 != 0 && inst.rs1 != r) {
+                        relSrc[r] = int8_t(inst.rs1);
+                        relOff[r] = inst.imm;
+                    }
+                }
+            }
+        }
+
+        // Header entry value: every register re-anchors to its own
+        // loop-entry symbol, keeps whatever absolute bounds survived
+        // demotion, and induction variables carry their step.
+        RegState entry;
+        entry.valid = true;
+        entry.cs = entryAbs.cs;
+        for (int r = 1; r < 32; ++r) {
+            StrideVal e = StrideVal::entry(RegIndex(r));
+            const StrideVal &abs = entryAbs.v[r];
+            if (abs.kind == StrideVal::Kind::Lin && abs.hasBounds) {
+                e.hasBounds = true;
+                e.lo = abs.lo;
+                e.hi = abs.hi;
+            }
+            for (const IndVar &iv : sa.ivs[lid])
+                if (iv.reg == r)
+                    e.step = iv.step;
+            entry.v[r] = e;
+            if ((loopDefs >> intSlot(RegIndex(r))) & 1)
+                entry.cs.setUnknown(RegIndex(r));
+        }
+
+        // Fixpoint over the loop body, widening past round 2.
+        std::vector<RegState> &in = loopIn[lid];
+        in.assign(L.blocks.size(), RegState{});
+        in[blockSlot(lid, L.header)] = entry;
+
+        for (unsigned round = 0; round < 100; ++round) {
+            const bool widen = round >= 2;
+            bool changed = false;
+            for (size_t b : L.blocks) {
+                RegState next;
+                if (b == L.header)
+                    next = entry;
+                for (size_t p : cfg.blocks[b].preds) {
+                    if (!L.contains(p))
+                        continue;
+                    // Back edges into non-header blocks would make
+                    // this not a natural loop; joining them is still
+                    // sound.
+                    RegState ps = in[blockSlot(lid, p)];
+                    if (!ps.valid)
+                        continue;
+                    for (size_t i = cfg.blocks[p].first;
+                         i < cfg.blocks[p].end; ++i)
+                        transfer(cfg.insts[i], ps);
+                    joinState(next, ps, widen,
+                              b == L.header ? ivMask : 0);
+                }
+                if (!next.valid)
+                    continue;
+                RegState &slot = in[blockSlot(lid, b)];
+                changed |= joinState(slot, next, widen, 0);
+            }
+            if (!changed)
+                break;
+        }
+
+        // Static trip count from the exit test, preferring the header
+        // (while-style) over the latches (do-while-style).
+        std::vector<size_t> testBlocks{L.header};
+        for (size_t latch : L.latches)
+            if (latch != L.header)
+                testBlocks.push_back(latch);
+        for (size_t tb : testBlocks) {
+            const BasicBlock &bb = cfg.blocks[tb];
+            if (bb.end == bb.first)
+                continue;
+            const size_t bi = bb.end - 1;
+            const Inst &br = cfg.insts[bi];
+            Rel rel;
+            if (!isa::isBranch(br.op) || !branchRel(br.op, rel))
+                continue;
+            const size_t takenIdx =
+                size_t(int64_t(bi) + 1 + int64_t(br.imm));
+            if (takenIdx >= cfg.size() || bi + 1 >= cfg.size())
+                continue;
+            const size_t takenBlk = cfg.blockOf[takenIdx];
+            const size_t fallBlk = cfg.blockOf[bi + 1];
+            const bool takenExits = !L.contains(takenBlk);
+            const bool fallExits = !L.contains(fallBlk);
+            if (takenExits == fallExits)
+                continue;   // both stay or both leave: not the test
+
+            RegState st = in[blockSlot(lid, tb)];
+            if (!st.valid)
+                continue;
+            for (size_t i = bb.first; i < bi; ++i)
+                transfer(cfg.insts[i], st);
+            StrideVal x = regOf(st, br.rs1);
+            StrideVal y = regOf(st, br.rs2);
+            if (x.step == 0 && y.step != 0) {
+                std::swap(x, y);
+                rel = mirror(rel);
+            }
+            if (x.step == 0 || y.step != 0)
+                continue;   // need exactly one moving side
+            if (!takenExits)
+                rel = negate(rel);
+
+            // Distance from the moving value to the bound on the
+            // first evaluation.
+            int64_t d0 = 0;
+            bool haveD0 = false;
+            if (y.isConst() && x.hasBounds && x.lo == x.hi) {
+                d0 = y.lo - x.lo;
+                haveD0 = true;
+            } else if (x.hasBase && y.hasBase) {
+                if (y.baseReg == x.baseReg) {
+                    d0 = y.offset - x.offset;
+                    haveD0 = true;
+                } else if (relSrc[y.baseReg] == int8_t(x.baseReg)) {
+                    d0 = relOff[y.baseReg] + y.offset - x.offset;
+                    haveD0 = true;
+                }
+            }
+            if (!haveD0)
+                continue;
+
+            int64_t k = 0;
+            if (!firstExit(rel, d0, x.step, k))
+                continue;
+            // A latch test sees the body's updates before it fires,
+            // so the body ran k+1 times; a pure header test guards
+            // the body and ran it k times.
+            const bool atLatch =
+                std::find(L.latches.begin(), L.latches.end(), tb) !=
+                L.latches.end();
+            const int64_t trips = k + (atLatch ? 1 : 0);
+            if (trips > 0) {
+                L.trips = uint64_t(trips);
+                break;
+            }
+        }
+
+        // Memory references whose innermost loop is this one.
+        uint64_t iters = 1;
+        bool itersExact = true;
+        for (size_t a = lid; a != kNoLoop; a = sa.loops[a].parent) {
+            if (sa.loops[a].trips == 0)
+                itersExact = false;
+            else
+                iters *= sa.loops[a].trips;
+        }
+        for (size_t b : L.blocks) {
+            if (sa.innermost[b] != lid)
+                continue;
+            RegState st = in[blockSlot(lid, b)];
+            for (size_t i = cfg.blocks[b].first;
+                 i < cfg.blocks[b].end; ++i) {
+                const Inst &inst = cfg.insts[i];
+                if (isa::isMem(inst.op)) {
+                    MemRef ref;
+                    ref.inst = i;
+                    ref.loop = lid;
+                    ref.addr = st.valid ? memAddr(inst, st)
+                                        : StrideVal::top();
+                    ref.bytes = isa::opInfo(inst.op).memSize;
+                    ref.isStore = isa::isStore(inst.op);
+                    ref.iters = iters;
+                    ref.itersExact = itersExact;
+                    refs.push_back(ref);
+                }
+                if (st.valid)
+                    transfer(inst, st);
+            }
+        }
+
+        analyzed[lid] = true;
+    }
+
+    // Straight-line references outside every loop, classified from
+    // global constant propagation alone.
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (sa.innermost[b] != kNoLoop || !cfg.blocks[b].reachable)
+            continue;
+        RegState st;
+        if (consts.visited[b]) {
+            st.valid = true;
+            st.cs = consts.in[b];
+            for (int r = 1; r < 32; ++r)
+                st.v[r] = st.cs.isKnown(RegIndex(r))
+                              ? StrideVal::constant(
+                                    int64_t(st.cs.val[r]))
+                              : StrideVal::top();
+        }
+        for (size_t i = cfg.blocks[b].first; i < cfg.blocks[b].end;
+             ++i) {
+            const Inst &inst = cfg.insts[i];
+            if (isa::isMem(inst.op)) {
+                MemRef ref;
+                ref.inst = i;
+                ref.addr = st.valid ? memAddr(inst, st)
+                                    : StrideVal::top();
+                ref.bytes = isa::opInfo(inst.op).memSize;
+                ref.isStore = isa::isStore(inst.op);
+                refs.push_back(ref);
+            }
+            if (st.valid)
+                transfer(inst, st);
+        }
+    }
+
+    std::sort(refs.begin(), refs.end(),
+              [](const MemRef &a, const MemRef &b) {
+                  return a.inst < b.inst;
+              });
+    sa.refs = std::move(refs);
+    return sa;
+}
+
+} // namespace hbat::verify

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Loop and stride analysis over the verifier CFG.
+ *
+ * The footprint analyzer (footprint.hh) needs to know, for every
+ * static load/store, *how its effective address evolves*: fixed,
+ * marching by a constant stride per loop iteration, bouncing inside a
+ * bounded region (hash probes), or unknown. This file derives that
+ * from the program alone:
+ *
+ *  - natural loops from dominators and back edges on the PR 3 CFG,
+ *    nested into a forest (parent/depth, innermost loop per block);
+ *  - basic induction variables per loop: registers whose in-loop
+ *    definitions are all additive updates (addi r,r,imm or the ISA's
+ *    post-increment addressing writes);
+ *  - static trip counts where the exit test compares an induction
+ *    variable against a loop-invariant bound with known distance;
+ *  - an abstract interpretation of every loop body over the stride
+ *    lattice (StrideVal below), seeded from constant propagation at
+ *    the loop preheader and from the enclosing loop's own summary, so
+ *    an inner loop still sees the page span an outer loop sweeps.
+ *
+ * The result is one MemRef per static memory instruction with a
+ * classified abstract address. DESIGN.md §12 documents the domain.
+ */
+
+#ifndef HBAT_VERIFY_STRIDE_HH
+#define HBAT_VERIFY_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/dataflow.hh"
+
+namespace hbat::verify
+{
+
+/** Sentinel loop id: "not inside any loop". */
+inline constexpr size_t kNoLoop = ~size_t(0);
+
+/**
+ * One abstract register value in the context of a single loop: the
+ * value on iteration k is  B + k*step, where the iteration-entry base
+ * B may be known absolutely (B in [lo, hi] when hasBounds; lo == hi
+ * is an exact constant) and/or symbolically (B = the value register
+ * baseReg held at loop entry, plus offset, when hasBase). Bottom is
+ * "not yet computed", Top is "anything".
+ */
+struct StrideVal
+{
+    enum class Kind : uint8_t
+    {
+        Bottom,
+        Lin,
+        Top
+    };
+
+    Kind kind = Kind::Bottom;
+    int64_t step = 0;       ///< per-iteration delta (innermost loop)
+    bool hasBounds = false; ///< lo/hi bound the iteration-entry base
+    int64_t lo = 0;
+    int64_t hi = 0;
+    bool hasBase = false;   ///< base is entry value of baseReg + offset
+    RegIndex baseReg = 0;
+    int64_t offset = 0;
+
+    static StrideVal
+    top()
+    {
+        StrideVal v;
+        v.kind = Kind::Top;
+        return v;
+    }
+
+    static StrideVal
+    constant(int64_t c)
+    {
+        StrideVal v;
+        v.kind = Kind::Lin;
+        v.hasBounds = true;
+        v.lo = v.hi = c;
+        return v;
+    }
+
+    static StrideVal
+    range(int64_t lo, int64_t hi)
+    {
+        StrideVal v;
+        v.kind = Kind::Lin;
+        v.hasBounds = true;
+        v.lo = lo;
+        v.hi = hi;
+        return v;
+    }
+
+    /** The (unknown) value register @p r held at loop entry. */
+    static StrideVal
+    entry(RegIndex r)
+    {
+        StrideVal v;
+        v.kind = Kind::Lin;
+        v.hasBase = true;
+        v.baseReg = r;
+        return v;
+    }
+
+    bool
+    isConst() const
+    {
+        return kind == Kind::Lin && hasBounds && lo == hi && step == 0;
+    }
+
+    bool isTop() const { return kind == Kind::Top; }
+};
+
+/** One natural loop (all back edges sharing a header, merged). */
+struct Loop
+{
+    size_t header = 0;              ///< header block id
+    std::vector<size_t> blocks;     ///< body block ids, sorted, incl. header
+    std::vector<size_t> latches;    ///< blocks with a back edge to header
+    size_t parent = kNoLoop;        ///< immediately enclosing loop
+    unsigned depth = 1;             ///< 1 = outermost
+    uint64_t trips = 0;             ///< static trip count; 0 = unknown
+
+    bool contains(size_t block) const;  // binary search over blocks
+};
+
+/** One basic induction variable of a loop. */
+struct IndVar
+{
+    RegIndex reg = 0;
+    int64_t step = 0;       ///< net additive update per iteration
+    /** Every update executes exactly once per iteration. */
+    bool stepExact = false;
+};
+
+/** One static memory instruction with its abstract address. */
+struct MemRef
+{
+    size_t inst = 0;        ///< instruction index in the CFG
+    size_t loop = kNoLoop;  ///< innermost enclosing loop
+    StrideVal addr;         ///< abstract effective byte address
+    unsigned bytes = 0;     ///< access size
+    bool isStore = false;
+    /**
+     * Static execution estimate: the product of the known trip counts
+     * of every enclosing loop (factor 1 per unknown count, so this is
+     * a lower bound when itersExact is false).
+     */
+    uint64_t iters = 1;
+    bool itersExact = true;
+};
+
+/** The complete loop/stride summary of one program. */
+struct StrideAnalysis
+{
+    std::vector<Loop> loops;            ///< indexed by loop id
+    std::vector<size_t> innermost;      ///< block -> loop id or kNoLoop
+    std::vector<std::vector<IndVar>> ivs;   ///< per loop, by register
+    std::vector<MemRef> refs;           ///< every memory inst, text order
+
+    /** The loop ids from @p loop outward to its outermost ancestor. */
+    std::vector<size_t> ancestry(size_t loop) const;
+};
+
+/**
+ * Run the loop and stride analysis over @p cfg. @p consts is the
+ * global constant propagation from the same CFG (Analysis::consts);
+ * it seeds loop preheader states and classifies straight-line
+ * references.
+ */
+StrideAnalysis analyzeStrides(const Cfg &cfg, const ConstProp &consts);
+
+} // namespace hbat::verify
+
+#endif // HBAT_VERIFY_STRIDE_HH

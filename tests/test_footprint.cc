@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the loop/stride analysis and the translation-footprint
+ * analyzer (src/verify/stride.*, src/verify/footprint.*).
+ *
+ * Negative programs are hand-assembled so each footprint diagnostic
+ * provably fires; workload-level tests pin the analyzer's verdicts on
+ * the real programs the paper sweeps (compress's hash probes exceed
+ * every Table 2 reach, tomcatv's nested stencil is fully static).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/design.hh"
+#include "verify/footprint.hh"
+#include "verify/verifier.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+using isa::Inst;
+using isa::Opcode;
+using verify::Diag;
+using verify::RefPattern;
+using verify::Severity;
+
+constexpr RegIndex zero = isa::reg::zero;
+
+/** A loadable program from hand-assembled instructions. */
+kasm::Program
+progOf(const std::vector<Inst> &insts)
+{
+    kasm::Program p;
+    p.name = "test";
+    for (const Inst &i : insts)
+        p.text.push_back(isa::encode(i));
+    return p;
+}
+
+/** Analyze @p prog end to end at 4 KB pages. */
+verify::ProgramFootprint
+footprintOf(const kasm::Program &prog)
+{
+    verify::Report scratch;
+    const verify::Analysis a = verify::analyzeProgram(prog, scratch);
+    return verify::analyzeFootprint(prog, a, 4096);
+}
+
+/**
+ * for (i = 0; i < 256; ++i) *p++ = i;   (word stores, base r3)
+ * One loop, exact trip count, two induction variables, one strided
+ * store covering exactly one page.
+ */
+kasm::Program
+countedStoreLoop()
+{
+    return progOf({
+        Inst{Opcode::Addi, 2, zero, 0, 0},      // i = 0
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},     // p = 0x10000000
+        Inst{Opcode::Addi, 4, zero, 0, 256},    // n = 256
+        Inst{Opcode::Sw, 2, 3, 0, 0},           // loop: *p = i
+        Inst{Opcode::Addi, 3, 3, 0, 4},         // p += 4
+        Inst{Opcode::Addi, 2, 2, 0, 1},         // ++i
+        Inst{Opcode::Blt, 0, 2, 4, -4},         // i < n -> loop
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    });
+}
+
+TEST(Stride, CountedLoopIsFullyStatic)
+{
+    const verify::ProgramFootprint fp =
+        footprintOf(countedStoreLoop());
+
+    ASSERT_EQ(fp.strides.loops.size(), 1u);
+    EXPECT_EQ(fp.strides.loops[0].trips, 256u);
+    EXPECT_EQ(fp.strides.loops[0].depth, 1u);
+
+    // Both i and p are induction variables of the loop.
+    ASSERT_EQ(fp.strides.ivs.size(), 1u);
+    int64_t stepOf[32] = {};
+    for (const verify::IndVar &iv : fp.strides.ivs[0])
+        stepOf[iv.reg] = iv.step;
+    EXPECT_EQ(stepOf[2], 1);
+    EXPECT_EQ(stepOf[3], 4);
+
+    ASSERT_EQ(fp.refs.size(), 1u);
+    const verify::RefFootprint &r = fp.refs[0];
+    EXPECT_TRUE(r.isStore);
+    EXPECT_EQ(r.pattern, RefPattern::Strided);
+    EXPECT_EQ(r.stride, 4);
+    EXPECT_TRUE(r.spanKnown);
+    EXPECT_EQ(r.spanPages, 1u);         // 256 * 4 bytes = one page
+    EXPECT_EQ(r.estAccesses, 256u);
+    EXPECT_TRUE(r.estExact);
+    EXPECT_DOUBLE_EQ(r.pageRun, 1024.0);    // 4096 / 4
+
+    EXPECT_TRUE(fp.estPagesExact);
+
+    // Nothing to complain about: bounded trips, strided access.
+    verify::Report report;
+    verify::lintProgramFootprint(fp, report);
+    EXPECT_TRUE(report.diags.empty());
+}
+
+TEST(Footprint, PageStrideLoopExceedsReach)
+{
+    // 200 iterations x 4096-byte stride = 200 pages, over the 128
+    // pages any Table 2 base TLB can map.
+    const verify::ProgramFootprint fp = footprintOf(progOf({
+        Inst{Opcode::Addi, 2, zero, 0, 0},
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},
+        Inst{Opcode::Addi, 4, zero, 0, 200},
+        Inst{Opcode::Sw, 2, 3, 0, 0},           // loop: *p = i
+        Inst{Opcode::Addi, 3, 3, 0, 4096},      // p += page
+        Inst{Opcode::Addi, 2, 2, 0, 1},
+        Inst{Opcode::Blt, 0, 2, 4, -4},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    ASSERT_EQ(fp.refs.size(), 1u);
+    EXPECT_EQ(fp.refs[0].spanPages, 200u);
+    EXPECT_GE(fp.estPages, 201u);       // + text + stack
+
+    verify::Report report;
+    verify::lintDesignFootprint(
+        fp, tlb::designParams(tlb::Design::T4), "T4", report);
+    EXPECT_EQ(report.countOf(Diag::FootprintExceedsReach), 1u);
+    // Info only: the observation must never fail a warning gate.
+    EXPECT_TRUE(report.clean(Severity::Warning));
+}
+
+TEST(Footprint, SmallLoopFitsReach)
+{
+    verify::Report report;
+    verify::lintDesignFootprint(
+        footprintOf(countedStoreLoop()),
+        tlb::designParams(tlb::Design::T4), "T4", report);
+    EXPECT_EQ(report.countOf(Diag::FootprintExceedsReach), 0u);
+}
+
+TEST(Footprint, UnboundedInductionFires)
+{
+    // The trip bound is loaded from memory: statically unknowable.
+    const verify::ProgramFootprint fp = footprintOf(progOf({
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},
+        Inst{Opcode::Lw, 4, 3, 0, 0},           // n = *base
+        Inst{Opcode::Addi, 2, zero, 0, 0},
+        Inst{Opcode::Sw, 2, 3, 0, 0},           // loop: *p = i
+        Inst{Opcode::Addi, 3, 3, 0, 4},
+        Inst{Opcode::Addi, 2, 2, 0, 1},
+        Inst{Opcode::Blt, 0, 2, 4, -4},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    ASSERT_EQ(fp.strides.loops.size(), 1u);
+    EXPECT_EQ(fp.strides.loops[0].trips, 0u);   // unknown
+    EXPECT_FALSE(fp.estPagesExact);
+
+    verify::Report report;
+    verify::lintProgramFootprint(fp, report);
+    EXPECT_EQ(report.countOf(Diag::UnboundedInduction), 1u);
+    EXPECT_TRUE(report.clean(Severity::Warning));
+}
+
+TEST(Footprint, IrregularStrideFires)
+{
+    // Pointer chase: the address register is itself loaded each
+    // iteration, so no stride exists.
+    const verify::ProgramFootprint fp = footprintOf(progOf({
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},
+        Inst{Opcode::Addi, 2, zero, 0, 0},
+        Inst{Opcode::Addi, 4, zero, 0, 10},
+        Inst{Opcode::Lw, 3, 3, 0, 0},           // loop: p = *p
+        Inst{Opcode::Addi, 2, 2, 0, 1},
+        Inst{Opcode::Blt, 0, 2, 4, -3},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    ASSERT_EQ(fp.refs.size(), 1u);
+    EXPECT_EQ(fp.refs[0].pattern, RefPattern::Irregular);
+
+    verify::Report report;
+    verify::lintProgramFootprint(fp, report);
+    EXPECT_EQ(report.countOf(Diag::IrregularStride), 1u);
+}
+
+TEST(Footprint, HashProbeIsIrregularBounded)
+{
+    // h = x & 0xff; probe = *(table + (h << 2)) — compress's table
+    // idiom. No stride, but the region is provably one page.
+    const verify::ProgramFootprint fp = footprintOf(progOf({
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},     // table
+        Inst{Opcode::Lw, 5, 3, 0, 0},           // x (unknown)
+        Inst{Opcode::Addi, 2, zero, 0, 0},
+        Inst{Opcode::Addi, 4, zero, 0, 100},
+        Inst{Opcode::Andi, 6, 5, 0, 0xff},      // loop: h = x & 0xff
+        Inst{Opcode::Slli, 6, 6, 0, 2},
+        Inst{Opcode::Add, 7, 3, 6, 0},
+        Inst{Opcode::Lw, 5, 7, 0, 0},           // x = table[h]
+        Inst{Opcode::Addi, 2, 2, 0, 1},
+        Inst{Opcode::Blt, 0, 2, 4, -6},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    // Two refs: the straight-line seed load and the loop probe.
+    ASSERT_EQ(fp.refs.size(), 2u);
+    EXPECT_EQ(fp.refs[0].pattern, RefPattern::Fixed);
+    EXPECT_EQ(fp.refs[1].pattern, RefPattern::IrregularBounded);
+    EXPECT_TRUE(fp.refs[1].spanKnown);
+    EXPECT_EQ(fp.refs[1].spanPages, 1u);    // 0x3ff + 4 bytes
+
+    verify::Report report;
+    verify::lintProgramFootprint(fp, report);
+    EXPECT_EQ(report.countOf(Diag::IrregularStride), 1u);
+}
+
+/**
+ * Two lockstep streams with a banks*pageBytes stride: every iteration
+ * both land on bank 0 of a 4-way bit-selected TLB, on different pages.
+ */
+kasm::Program
+bankPinnedStreams()
+{
+    return progOf({
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},     // stream A
+        Inst{Opcode::Lui, 5, 0, 0, 0x2000},     // stream B
+        Inst{Opcode::Addi, 2, zero, 0, 0},
+        Inst{Opcode::Addi, 4, zero, 0, 64},
+        Inst{Opcode::Lw, 6, 3, 0, 0},           // loop: A[i]
+        Inst{Opcode::Lw, 7, 5, 0, 0},           //       B[i]
+        Inst{Opcode::Addi, 3, 3, 0, 16384},     // 4 banks x 4 KB
+        Inst{Opcode::Addi, 5, 5, 0, 16384},
+        Inst{Opcode::Addi, 2, 2, 0, 1},
+        Inst{Opcode::Blt, 0, 2, 4, -6},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    });
+}
+
+TEST(Footprint, BankConflictHotspotFires)
+{
+    const verify::ProgramFootprint fp =
+        footprintOf(bankPinnedStreams());
+
+    const verify::DesignFootprint df =
+        verify::foldDesign(fp, tlb::designParams(tlb::Design::I4));
+    ASSERT_EQ(df.conflicts.size(), 1u);
+    EXPECT_EQ(df.conflicts[0].pcs.size(), 2u);
+    EXPECT_GE(df.conflicts[0].rate, 1.0);
+
+    verify::Report report;
+    verify::lintDesignFootprint(
+        fp, tlb::designParams(tlb::Design::I4), "I4", report);
+    EXPECT_EQ(report.countOf(Diag::BankConflictHotspot), 1u);
+    EXPECT_TRUE(report.clean(Severity::Warning));
+
+    // A multi-ported design has no banks to conflict on.
+    verify::Report t4;
+    verify::lintDesignFootprint(
+        fp, tlb::designParams(tlb::Design::T4), "T4", t4);
+    EXPECT_EQ(t4.countOf(Diag::BankConflictHotspot), 0u);
+}
+
+TEST(Footprint, PiggybackedBanksAbsorbSamePageStreams)
+{
+    // Two refs to the *same* page every iteration: I4 serializes
+    // them, I4/PB's per-bank piggybacking absorbs the second.
+    const verify::ProgramFootprint fp = footprintOf(progOf({
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},
+        Inst{Opcode::Addi, 2, zero, 0, 0},
+        Inst{Opcode::Addi, 4, zero, 0, 64},
+        Inst{Opcode::Lw, 6, 3, 0, 0},           // loop: A[i]
+        Inst{Opcode::Lw, 7, 3, 0, 4},           //       A[i+1]
+        Inst{Opcode::Addi, 3, 3, 0, 16384},
+        Inst{Opcode::Addi, 2, 2, 0, 1},
+        Inst{Opcode::Blt, 0, 2, 4, -5},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+
+    const verify::DesignFootprint i4 =
+        verify::foldDesign(fp, tlb::designParams(tlb::Design::I4));
+    EXPECT_EQ(i4.conflicts.size(), 1u);
+
+    const verify::DesignFootprint i4pb =
+        verify::foldDesign(fp, tlb::designParams(tlb::Design::I4PB));
+    EXPECT_TRUE(i4pb.conflicts.empty());
+}
+
+TEST(Footprint, ReportSortOrdersByPcThenCode)
+{
+    verify::Report r;
+    r.add(Diag::IrregularStride, Severity::Info, 0x40, "b");
+    r.add(Diag::FootprintExceedsReach, Severity::Info, 0, "c");
+    r.add(Diag::BankConflictHotspot, Severity::Info, 0x40, "a");
+    r.add(Diag::UninitRead, Severity::Warning, 0x10, "d");
+    r.sort();
+    ASSERT_EQ(r.diags.size(), 4u);
+    EXPECT_EQ(r.diags[0].code, Diag::FootprintExceedsReach);
+    EXPECT_EQ(r.diags[1].code, Diag::UninitRead);
+    EXPECT_EQ(r.diags[1].pc, 0x10u);
+    // Same pc: BankConflictHotspot enum precedes IrregularStride.
+    EXPECT_EQ(r.diags[2].code, Diag::BankConflictHotspot);
+    EXPECT_EQ(r.diags[3].code, Diag::IrregularStride);
+}
+
+// ---------------------------------------------------------------------
+// Workload-level verdicts: the analyzer on the paper's programs.
+
+TEST(FootprintWorkloads, CompressExceedsEveryReach)
+{
+    const kasm::Program prog =
+        workloads::build("compress", kasm::RegBudget{32, 32}, 1.0);
+    const verify::ProgramFootprint fp = footprintOf(prog);
+
+    // The 69K-slot hash table dominates: far over 128 pages.
+    EXPECT_GT(fp.estPages, 128u);
+
+    size_t strided = 0, bounded = 0;
+    for (const verify::RefFootprint &r : fp.refs) {
+        strided += r.pattern == RefPattern::Strided ? 1 : 0;
+        bounded += r.pattern == RefPattern::IrregularBounded ? 1 : 0;
+    }
+    EXPECT_GE(strided, 2u);     // input byte stream + output words
+    EXPECT_GE(bounded, 1u);     // hash-table probes
+
+    verify::Report report;
+    verify::lintDesignFootprint(
+        fp, tlb::designParams(tlb::Design::T4), "T4", report);
+    EXPECT_EQ(report.countOf(Diag::FootprintExceedsReach), 1u);
+}
+
+TEST(FootprintWorkloads, TomcatvIsFullyStatic)
+{
+    const kasm::Program prog =
+        workloads::build("tomcatv", kasm::RegBudget{32, 32}, 1.0);
+    const verify::ProgramFootprint fp = footprintOf(prog);
+
+    // it / j / i loop nest, every trip count resolved, so the
+    // working-set estimate is exact.
+    ASSERT_EQ(fp.strides.loops.size(), 3u);
+    for (const verify::Loop &loop : fp.strides.loops)
+        EXPECT_GT(loop.trips, 0u);
+    EXPECT_TRUE(fp.estPagesExact);
+    EXPECT_GT(fp.estPages, 128u);   // two 127x128 double arrays
+
+    // The stencil body reads/writes row-major doubles: stride 16
+    // (the generator interleaves two arrays).
+    size_t strided16 = 0;
+    for (const verify::RefFootprint &r : fp.refs)
+        strided16 +=
+            r.pattern == RefPattern::Strided && r.stride == 16 ? 1 : 0;
+    EXPECT_GE(strided16, 20u);
+}
+
+TEST(FootprintWorkloads, AllWorkloadsAnalyze)
+{
+    for (const workloads::Workload &w : workloads::all()) {
+        const kasm::Program prog =
+            workloads::build(w.name, kasm::RegBudget{32, 32}, 0.05);
+        const verify::ProgramFootprint fp = footprintOf(prog);
+        EXPECT_FALSE(fp.refs.empty()) << w.name;
+        EXPECT_GT(fp.estPages, 0u) << w.name;
+
+        // Folding against every Table 2 design must be total, and
+        // every finding informational.
+        verify::Report report;
+        verify::lintProgramFootprint(fp, report);
+        for (tlb::Design d : tlb::allDesigns())
+            verify::lintDesignFootprint(fp, tlb::designParams(d),
+                                        tlb::designName(d), report);
+        EXPECT_TRUE(report.clean(Severity::Warning)) << w.name;
+    }
+}
+
+} // namespace

@@ -239,6 +239,70 @@ TEST(Verify, AlignedAccessClean)
 }
 
 // ---------------------------------------------------------------------
+// Constant-propagation corners, observed through MisalignedAccess
+// (the only diagnostic that needs a fully-resolved address).
+
+TEST(VerifyConstProp, LuiOriComposition)
+{
+    // lui+ori is how the assembler materializes full 32-bit pointers;
+    // the composed odd address must reach the alignment check.
+    const verify::Report r = verify::verifyProgram(progOf({
+        Inst{Opcode::Lui, 2, 0, 0, 0x1000},
+        Inst{Opcode::Ori, 2, 2, 0, 0x0002},     // 0x10000002
+        Inst{Opcode::Lw, 3, 2, 0, 0},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(r.countOf(Diag::MisalignedAccess), 1u);
+}
+
+TEST(VerifyConstProp, SpRelativeAddressing)
+{
+    // sp is seeded with the loader's stack top, so a misaligned
+    // sp-relative frame slot is statically visible after the
+    // prologue's adjustment.
+    const verify::Report r = verify::verifyProgram(progOf({
+        Inst{Opcode::Addi, 2, zero, 0, 5},
+        Inst{Opcode::Addi, sp, sp, 0, -16},
+        Inst{Opcode::Sw, 2, sp, 0, 2},          // stackTop - 14
+        Inst{Opcode::Addi, sp, sp, 0, 16},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(r.countOf(Diag::MisalignedAccess), 1u);
+}
+
+TEST(VerifyConstProp, AlignedSpSlotIsClean)
+{
+    const verify::Report r = verify::verifyProgram(progOf({
+        Inst{Opcode::Addi, 2, zero, 0, 5},
+        Inst{Opcode::Addi, sp, sp, 0, -16},
+        Inst{Opcode::Sw, 2, sp, 0, 4},
+        Inst{Opcode::Addi, sp, sp, 0, 16},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(r.countOf(Diag::MisalignedAccess), 0u);
+}
+
+TEST(VerifyConstProp, RedefinitionInsideLoopKillsConstant)
+{
+    // r3 is a misaligned constant before the loop but is redefined on
+    // the back edge, so the in-loop use must NOT inherit the stale
+    // preheader constant: at the loop-head join the value is unknown
+    // and no alignment verdict is possible.
+    const verify::Report r = verify::verifyProgram(progOf({
+        Inst{Opcode::Lui, 3, 0, 0, 0x1000},
+        Inst{Opcode::Addi, 3, 3, 0, 2},         // 0x10000002 (odd slot)
+        Inst{Opcode::Addi, 5, zero, 0, 0},
+        Inst{Opcode::Addi, 6, zero, 0, 4},
+        Inst{Opcode::Addi, 3, 3, 0, 2},         // loop: re-align...
+        Inst{Opcode::Lw, 4, 3, 0, 0},           // ...then use
+        Inst{Opcode::Addi, 5, 5, 0, 1},
+        Inst{Opcode::Blt, 0, 5, 6, -4},
+        Inst{Opcode::Halt, 0, 0, 0, 0},
+    }));
+    EXPECT_EQ(r.countOf(Diag::MisalignedAccess), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Emitter finalize-time diagnostics (structured, non-fatal path).
 
 TEST(VerifyEmitter, UnboundLabelDiagnostic)
