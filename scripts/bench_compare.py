@@ -77,7 +77,10 @@ def design_deltas(fresh, base):
     (many quiescent cycles to skip) shows up as uneven ratios even
     when the total is within tolerance. Returns a list of
     (design, base_s, fresh_s, ratio) sorted by design order of the
-    fresh report; designs present in only one report are skipped.
+    fresh report, plus the names present in only one report (a design
+    added or removed since the baseline was committed) so they are
+    called out instead of silently dropped. A zero baseline sum yields
+    ratio None (nothing meaningful to divide by).
     """
     def by_design(report):
         out = {}
@@ -92,12 +95,15 @@ def design_deltas(fresh, base):
         return out, order
 
     ft, order = by_design(fresh)
-    bt, _ = by_design(base)
+    bt, border = by_design(base)
     rows = []
     for d in order:
-        if d in bt and bt[d] > 0:
-            rows.append((d, bt[d], ft[d], ft[d] / bt[d]))
-    return rows
+        if d in bt:
+            r = ft[d] / bt[d] if bt[d] > 0 else None
+            rows.append((d, bt[d], ft[d], r))
+    only_fresh = [d for d in order if d not in bt]
+    only_base = [d for d in border if d not in ft]
+    return rows, only_fresh, only_base
 
 
 def phase_deltas(fresh, base):
@@ -142,14 +148,67 @@ def micro_ratio(fresh, base):
     if skipped:
         print(f"bench_compare: note: {len(skipped)} benchmark(s) "
               "present in only one report were skipped")
-    logs = [math.log(ft[n] / bt[n]) for n in common if bt[n] > 0]
-    return math.exp(sum(logs) / len(logs)), len(common)
+    # A zero time on either side has no meaningful ratio (a stub run,
+    # or a clock too coarse for the benchmark); geomean the rest. When
+    # nothing survives, there is no metric at all -- let the caller
+    # pass rather than divide by zero.
+    logs = [math.log(ft[n] / bt[n]) for n in common
+            if bt[n] > 0 and ft[n] > 0]
+    if len(logs) < len(common):
+        print(f"bench_compare: note: {len(common) - len(logs)} "
+              "benchmark(s) with zero time were skipped")
+    if not logs:
+        return None, 0
+    return math.exp(sum(logs) / len(logs)), len(logs)
+
+
+def self_test():
+    """Exercise the degenerate-report guards with synthetic inputs.
+
+    These are the shapes that have crashed (or silently lied) in the
+    past: an all-zero baseline dividing the micro geomean by zero, a
+    zero fresh design total dividing the per-design speedup by zero,
+    and designs present in only one report vanishing without a trace.
+    ci.sh runs this before trusting the gate.
+    """
+    def micro(times):
+        return {"benchmarks": [
+            {"name": n, "run_type": "iteration", "real_time": t}
+            for n, t in times.items()]}
+
+    def sweep(cells):
+        return {"cells": [
+            {"design": d, "wall_seconds": s} for d, s in cells]}
+
+    # All-zero baseline times: no usable ratios, not a crash.
+    r, n = micro_ratio(micro({"a": 1.0, "b": 2.0}),
+                       micro({"a": 0.0, "b": 0.0}))
+    assert r is None and n == 0, (r, n)
+
+    # Mixed zero/non-zero: geomean over the usable pair only.
+    r, n = micro_ratio(micro({"a": 2.0, "b": 1.0}),
+                       micro({"a": 1.0, "b": 0.0}))
+    assert n == 1 and abs(r - 2.0) < 1e-9, (r, n)
+
+    # Zero fresh design total: ratio None, not a divide-by-zero.
+    rows, of, ob = design_deltas(sweep([("T4", 0.0)]),
+                                 sweep([("T4", 0.0)]))
+    assert rows == [("T4", 0.0, 0.0, None)], rows
+
+    # One-sided designs are reported, not dropped.
+    rows, of, ob = design_deltas(sweep([("T4", 1.0), ("PCAX", 1.0)]),
+                                 sweep([("T4", 2.0), ("M8", 1.0)]))
+    assert rows == [("T4", 2.0, 1.0, 0.5)], rows
+    assert of == ["PCAX"] and ob == ["M8"], (of, ob)
+
+    print("bench_compare: self-test OK")
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("fresh", help="freshly generated report")
-    ap.add_argument("baseline", help="committed baseline report")
+    ap.add_argument("fresh", nargs="?", help="freshly generated report")
+    ap.add_argument("baseline", nargs="?",
+                    help="committed baseline report")
     ap.add_argument("--tolerance", type=float,
                     default=float(os.environ.get(
                         "HBAT_BENCH_TOLERANCE", "0.10")),
@@ -157,7 +216,14 @@ def main():
                          "(default 0.10, or $HBAT_BENCH_TOLERANCE)")
     ap.add_argument("--label", default=None,
                     help="report name used in the summary line")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the degenerate-input guards and exit")
     args = ap.parse_args()
+    if args.self_test:
+        self_test()
+        return
+    if args.fresh is None or args.baseline is None:
+        ap.error("fresh and baseline reports are required")
     label = args.label or os.path.basename(args.fresh)
 
     fresh = load(args.fresh)
@@ -189,9 +255,17 @@ def main():
         ratio = fresh_sweep / base_sweep
         detail = (f"{fresh_sweep:.2f}s vs baseline {base_sweep:.2f}s "
                   f"(sum of per-cell CPU seconds)")
-        for d, b, f, r in design_deltas(fresh, base):
+        rows, only_fresh, only_base = design_deltas(fresh, base)
+        for d, b, f, r in rows:
+            speed = f"{1.0 / r:5.2f}x" if r else "  n/a"
             print(f"bench_compare:   {d:>4}: {b:6.2f}s -> {f:6.2f}s "
-                  f"({1.0 / r:5.2f}x)")
+                  f"({speed})")
+        if only_fresh:
+            print("bench_compare:   note: no baseline for "
+                  f"{', '.join(only_fresh)} (new since baseline)")
+        if only_base:
+            print("bench_compare:   note: baseline-only designs "
+                  f"{', '.join(only_base)} were skipped")
         for p, b, f in phase_deltas(fresh, base):
             print(f"bench_compare:   phase {p:>10}: {b:6.2f}s -> "
                   f"{f:6.2f}s")

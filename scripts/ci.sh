@@ -17,7 +17,10 @@
 #     wall_seconds) so runs can be archived and diffed across commits;
 #  6. skip-invariance gate: rerun the fig5 sweep with --no-skip and
 #     require every simulated number to match (sweep_diff.py ignores
-#     only meta, wall_seconds, and the skip counters);
+#     only meta, wall_seconds, and the skip counters); then the
+#     modern-engines determinism gate: the shipped modern_engines
+#     campaign must produce identical numbers at --jobs 1 vs --jobs 8
+#     and with idle skipping off;
 #  7. observability gate: run one fig5 cell with --pipeview and
 #     --interval-stats, validate the trace grammar and the interval
 #     time-series against the report (check_pipeview.py), and require
@@ -54,6 +57,7 @@ echo "== config frontend: sweep-spec lint + factory equivalence =="
 ./build/bench/hbat_lint --sweep configs/table2.conf
 ./build/bench/hbat_lint --sweep configs/campaign_example.conf
 ./build/bench/hbat_lint --sweep configs/tlbsize_issue.conf
+./build/bench/hbat_lint --sweep configs/modern_engines.conf
 if ./build/bench/hbat_lint --sweep configs/broken_example.conf; then
     echo "broken_example.conf unexpectedly passed lint" >&2
     exit 1
@@ -146,6 +150,25 @@ python3 scripts/sweep_diff.py BENCH_fig5.json \
     "$SKIPDIR/fig5_noskip.json"
 rm -rf "$SKIPDIR"
 
+echo "== modern engines: jobs + skip determinism =="
+# PCAX and Victima ride the fig5 skip-invariance gate above (the
+# sweep covers the full 15-design catalogue); this stage additionally
+# pins the shipped modern_engines campaign: identical simulated
+# numbers at --jobs 1 vs --jobs 8, and with idle skipping disabled.
+MODDIR=$(mktemp -d)
+./build/bench/hbat_sweep --sweep configs/modern_engines.conf \
+    --scale 0.02 --program compress --jobs 1 \
+    --json "$MODDIR/j1.json" > /dev/null
+./build/bench/hbat_sweep --sweep configs/modern_engines.conf \
+    --scale 0.02 --program compress --jobs 8 \
+    --json "$MODDIR/j8.json" > /dev/null
+python3 scripts/sweep_diff.py "$MODDIR/j1.json" "$MODDIR/j8.json"
+./build/bench/hbat_sweep --sweep configs/modern_engines.conf \
+    --scale 0.02 --program compress --jobs "$JOBS" --no-skip \
+    --json "$MODDIR/noskip.json" > /dev/null
+python3 scripts/sweep_diff.py "$MODDIR/j1.json" "$MODDIR/noskip.json"
+rm -rf "$MODDIR"
+
 echo "== observability: pipeview trace + interval time-series =="
 # One fig5 cell with the full observability surface on: the O3PipeView
 # trace must parse and be self-consistent, the interval time-series
@@ -167,8 +190,10 @@ python3 scripts/sweep_diff.py "$OBSDIR/prof.json" \
 rm -rf "$OBSDIR"
 
 echo "== bench compare vs committed baselines =="
-# Snapshot the HEAD baselines first: the regeneration above already
+# Prove the gate's degenerate-input guards before trusting it, then
+# snapshot the HEAD baselines: the regeneration above already
 # overwrote the working-tree copies.
+python3 scripts/bench_compare.py --self-test
 BASEDIR=$(mktemp -d)
 trap 'rm -rf "$BASEDIR"' EXIT
 git show HEAD:BENCH_micro.json > "$BASEDIR/BENCH_micro.json" \

@@ -98,6 +98,22 @@ CacheModel::contains(PAddr pa) const
     return false;
 }
 
+bool
+CacheModel::invalidateBlock(PAddr pa)
+{
+    const uint64_t block = blockAddr(pa);
+    Line *const base = &lines[setIndex(block) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == block) {
+            line = Line{};
+            pendingFills.erase(block);
+            return true;
+        }
+    }
+    return false;
+}
+
 Cycle
 CacheModel::nextFillCycle(Cycle now)
 {

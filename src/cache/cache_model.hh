@@ -75,6 +75,14 @@ class CacheModel
     bool contains(PAddr pa) const;
 
     /**
+     * Drop the block holding @p pa, if resident, without a writeback
+     * (the block's contents are dead — TLB consistency removing a
+     * spilled translation, or a victim promoted back to its TLB).
+     * Returns true when a block was actually removed.
+     */
+    bool invalidateBlock(PAddr pa);
+
+    /**
      * Next-event query: the earliest in-flight fill completing after
      * @p now, or kCycleNever when no fill is outstanding. Fills are
      * scheduled at a fixed latency from a nondecreasing clock, so

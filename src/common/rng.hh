@@ -18,6 +18,24 @@
 namespace hbat
 {
 
+/**
+ * Derive the seed for stream @p stream from a master @p seed
+ * (splitmix64 finalizer over golden-ratio increments). Two structures
+ * inside one engine must never seed their generators with nearby
+ * values: xorshift64* is F2-linear, so additively-perturbed seeds
+ * (the old `seed + 0x9e37` idiom) yield correlated replacement
+ * streams. The splitmix64 mixer decorrelates every (seed, stream)
+ * pair — each output bit depends on every input bit.
+ */
+constexpr uint64_t
+deriveSeed(uint64_t seed, uint64_t stream)
+{
+    uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 /** Seedable xorshift64* pseudo-random number generator. */
 class Rng
 {

@@ -261,6 +261,7 @@ Pipeline::attemptXlate(Entry &e)
     req.isLoad = e.dyn.isLoad;
     req.baseReg = e.dyn.baseReg;
     req.offsetHigh = e.dyn.offsetHigh;
+    req.pc = e.dyn.pc;
 
     ++memReqsThisCycle;
     obs::PcXlateCounts *prof =

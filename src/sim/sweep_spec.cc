@@ -232,9 +232,15 @@ expandSweepSpec(const Config &cfg, const SimConfig &defaults,
     for (const std::string &name : designs) {
         const Section *ds = cfg.section(name);
         if (ds == nullptr) {
-            specError(report, cfg, Diag::ConfigKey,
-                      hbat::detail::concat("designs names unknown "
-                                           "section '", name, "'"));
+            // Anchor the diagnostic to the `designs` binding itself,
+            // like every parse/eval error, so the campaign author can
+            // jump straight to the typo'd name.
+            const config::Expr *e = cfg.bindingExpr(sw, "designs");
+            report.add(Diag::ConfigKey, Severity::Error, 0,
+                       hbat::detail::concat(
+                           cfg.origin(), ":", e == nullptr ? 0 : e->line,
+                           ": [sweep]: designs names unknown section '",
+                           name, "'"));
             return false;
         }
         std::vector<tlb::DesignVariant> variants;

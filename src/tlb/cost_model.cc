@@ -124,6 +124,32 @@ designCost(Design d)
         return c;
       }
 
+      case Design::PCAX: {
+        // 32-entry PC-indexed cache (PC tag + VPN + PPN, ~96 bits per
+        // entry) probed in parallel with a single-ported base TLB.
+        const CostEstimate cache = arrayCost(32, 4, 96);
+        const CostEstimate base = arrayCost(kBase, 1);
+        CostEstimate c;
+        c.areaRbe = cache.areaRbe + base.areaRbe;
+        // The port-side critical path is the small PC cache; a
+        // misprediction falls through to the base array.
+        c.accessLatency = cache.accessLatency + kHitGateLatency;
+        c.missPathLatency = base.accessLatency + kHitGateLatency;
+        return c;
+      }
+
+      case Design::Victima: {
+        // The spill store reuses the existing D-cache arrays, so the
+        // only additions over a 4-ported TLB are the per-port match
+        // logic and the promote path control.
+        CostEstimate c = arrayCost(kBase, 4);
+        c.areaRbe += kComparatorArea * 4;
+        c.accessLatency += kHitGateLatency;
+        // A base miss probes the D-cache before declaring a walk.
+        c.missPathLatency = c.accessLatency + kCrossbarLatency + 2.0;
+        return c;
+      }
+
       default:
         hbat_panic("bad design");
     }

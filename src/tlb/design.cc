@@ -8,7 +8,9 @@
 #include "tlb/interleaved.hh"
 #include "tlb/multilevel.hh"
 #include "tlb/multiported.hh"
+#include "tlb/pcax.hh"
 #include "tlb/pretranslation.hh"
+#include "tlb/victima.hh"
 
 namespace hbat::tlb
 {
@@ -104,7 +106,8 @@ std::vector<Design>
 allDesigns()
 {
     using enum Design;
-    return {T4, T2, T1, I8, I4, X4, M16, M8, M4, P8, PB2, PB1, I4PB};
+    return {T4, T2, T1, I8, I4, X4, M16, M8, M4, P8, PB2, PB1, I4PB,
+            PCAX, Victima};
 }
 
 std::string
@@ -124,6 +127,8 @@ designName(Design d)
       case Design::PB2: return "PB2";
       case Design::PB1: return "PB1";
       case Design::I4PB: return "I4/PB";
+      case Design::PCAX: return "PCAX";
+      case Design::Victima: return "Victima";
       default: hbat_panic("bad design");
     }
 }
@@ -198,6 +203,16 @@ builtinDesignParams(Design d)
         p.upperEntries = 8;
         p.upperPorts = kUpperPorts;
         break;
+      case Design::PCAX:
+        p.kind = Kind::PcIndexed;
+        p.basePorts = 1;
+        p.upperEntries = 32;
+        p.upperPorts = kUpperPorts;
+        break;
+      case Design::Victima:
+        p.kind = Kind::Victima;
+        p.basePorts = 4;
+        break;
       default:
         hbat_panic("bad design");
     }
@@ -234,6 +249,16 @@ paramsSummary(const DesignParams &p)
                            p.upperEntries, " baseEntries=",
                            p.baseEntries, " basePorts=", p.basePorts);
         break;
+      case Kind::PcIndexed:
+        s = detail::concat("pcax pcEntries=", p.upperEntries,
+                           " pcPorts=", p.upperPorts, " baseEntries=",
+                           p.baseEntries, " basePorts=", p.basePorts);
+        break;
+      case Kind::Victima:
+        s = detail::concat("victima entries=", p.baseEntries,
+                           " ports=", p.basePorts,
+                           " spillBlocks=", kVictimaSpillBlocks);
+        break;
     }
     return s;
 }
@@ -258,6 +283,13 @@ makeEngine(const DesignParams &p, vm::PageTable &page_table,
       case DesignParams::Kind::Pretranslation:
         return std::make_unique<PretranslationTlb>(
             page_table, p.upperEntries, p.baseEntries, seed);
+      case DesignParams::Kind::PcIndexed:
+        return std::make_unique<PcaxTlb>(
+            page_table, p.upperEntries, p.upperPorts, p.baseEntries,
+            seed);
+      case DesignParams::Kind::Victima:
+        return std::make_unique<VictimaTlb>(
+            page_table, p.baseEntries, p.basePorts, seed);
     }
     hbat_panic("bad design kind");
 }

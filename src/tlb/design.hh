@@ -2,12 +2,15 @@
  * @file
  * The catalogue of analyzed address-translation designs (Table 2).
  *
- * Each enumerator matches one mnemonic row of the paper's Table 2.
- * The parameters behind the mnemonics are data, not code: they load
+ * Each enumerator matches one mnemonic row of the paper's Table 2,
+ * plus two modern design points evaluated on the same harness: PCAX
+ * (PC-indexed translation, after Murthy & Sohi) and Victima
+ * (cache-resident TLB victims, after Kanellopoulos et al.). The
+ * parameters behind the mnemonics are data, not code: they load
  * from the shipped configs/table2.conf (embedded into the build;
  * override with $HBAT_TABLE2_CONF) through the src/config frontend,
  * and makeEngine() constructs a TranslationEngine from any
- * DesignParams — the 13 enum rows are just the named points. The
+ * DesignParams — the enum rows are just the named points. The
  * original hard-coded factory survives as builtinDesignParams(), the
  * reference the equivalence tests pin the config file against.
  */
@@ -25,7 +28,7 @@
 namespace hbat::tlb
 {
 
-/** Table 2 design mnemonics. */
+/** Table 2 design mnemonics, plus the modern PCAX/Victima rows. */
 enum class Design : uint8_t
 {
     T4,     ///< 4-ported TLB, 128 entries
@@ -41,10 +44,15 @@ enum class Design : uint8_t
     PB2,    ///< 2-ported TLB with 2 piggyback ports
     PB1,    ///< 1-ported TLB with 3 piggyback ports
     I4PB,   ///< 4-way bit-select interleaved with piggybacked banks
+    PCAX,   ///< PC-indexed translation cache over 1-ported base TLB
+    Victima, ///< base-TLB victims spilled into the 32KB D-cache
     NumDesigns
 };
 
-/** All Table 2 designs, in the paper's presentation order. */
+/**
+ * All catalogue designs: Table 2 in the paper's presentation order,
+ * then the modern rows.
+ */
 std::vector<Design> allDesigns();
 
 /** The paper's mnemonic ("T4", "I4/PB", ...). */
@@ -68,7 +76,9 @@ struct DesignParams
         MultiPorted,    ///< T4/T2/T1/PB2/PB1
         Interleaved,    ///< I8/I4/X4/I4PB
         MultiLevel,     ///< M16/M8/M4
-        Pretranslation  ///< P8
+        Pretranslation, ///< P8
+        PcIndexed,      ///< PCAX
+        Victima         ///< Victima
     };
 
     Kind kind = Kind::MultiPorted;
@@ -108,14 +118,25 @@ std::string paramsSummary(const DesignParams &p);
 /// @{
 
 /**
+ * Spill capacity of the Victima design in blocks (= translations):
+ * one victim per 32-byte block of Table 1's 32 KB D-cache. Must match
+ * the cache::CacheConfig defaults the VictimaTlb engine instantiates.
+ */
+inline constexpr unsigned kVictimaSpillBlocks = 32 * 1024 / 32;
+
+/**
  * TLB reach of @p p in pages: how many distinct pages the design can
  * map simultaneously. All Table 2 designs keep their full capacity in
  * the base TLB (the multi-level L1s and the pretranslation cache are
- * strict subsets of it), so reach is the base entry count.
+ * strict subsets of it), so reach is the base entry count. Victima's
+ * spill store is exclusive of the base TLB, so every D-cache block
+ * extends the reach by one translation.
  */
 inline unsigned
 reachPages(const DesignParams &p)
 {
+    if (p.kind == DesignParams::Kind::Victima)
+        return p.baseEntries + kVictimaSpillBlocks;
     return p.baseEntries;
 }
 

@@ -148,7 +148,8 @@ designFromConfig(const Config &cfg, const Section &sec,
     if (ok && !present) {
         keyError(report, cfg, sec,
                  "design section needs a 'kind' key (multiported | "
-                 "interleaved | multilevel | pretranslation)");
+                 "interleaved | multilevel | pretranslation | pcax | "
+                 "victima)");
         return false;
     }
 
@@ -161,6 +162,10 @@ designFromConfig(const Config &cfg, const Section &sec,
         p.kind = DesignParams::Kind::MultiLevel;
     } else if (kind == "pretranslation") {
         p.kind = DesignParams::Kind::Pretranslation;
+    } else if (kind == "pcax") {
+        p.kind = DesignParams::Kind::PcIndexed;
+    } else if (kind == "victima") {
+        p.kind = DesignParams::Kind::Victima;
     } else if (ok) {
         keyError(report, cfg, sec,
                  hbat::detail::concat("unknown design kind '", kind,

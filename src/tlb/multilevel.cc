@@ -1,5 +1,7 @@
 #include "tlb/multilevel.hh"
 
+#include "common/rng.hh"
+
 namespace hbat::tlb
 {
 
@@ -7,8 +9,8 @@ MultiLevelTlb::MultiLevelTlb(vm::PageTable &page_table,
                              unsigned l1_entries, unsigned l1_ports,
                              unsigned l2_entries, uint64_t seed)
     : TranslationEngine(page_table), l1Ports(l1_ports),
-      l1(l1_entries, Replacement::Lru, seed),
-      l2(l2_entries, Replacement::Random, seed + 0x9e37)
+      l1(l1_entries, Replacement::Lru, deriveSeed(seed, 0)),
+      l2(l2_entries, Replacement::Random, deriveSeed(seed, 1))
 {}
 
 void

@@ -1,0 +1,165 @@
+#include "tlb/pcax.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace hbat::tlb
+{
+
+PcaxTlb::PcaxTlb(vm::PageTable &page_table, unsigned pc_entries,
+                 unsigned pc_ports, unsigned base_entries,
+                 uint64_t seed)
+    : TranslationEngine(page_table), cache(pc_entries),
+      pcPorts(pc_ports),
+      base(base_entries, Replacement::Random, deriveSeed(seed, 0))
+{}
+
+void
+PcaxTlb::beginCycle(Cycle now)
+{
+    (void)now;
+    pcUsed = 0;
+}
+
+PcaxTlb::PcEntry *
+PcaxTlb::find(VAddr pc)
+{
+    for (PcEntry &e : cache)
+        if (e.valid && e.pc == pc)
+            return &e;
+    return nullptr;
+}
+
+void
+PcaxTlb::insertEntry(VAddr pc, Vpn vpn, Cycle now)
+{
+    if (PcEntry *e = find(pc)) {
+        e->vpn = vpn;
+        e->lastUse = now;
+        return;
+    }
+    PcEntry *victim = &cache[0];
+    for (PcEntry &e : cache) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = PcEntry{pc, vpn, true, now};
+}
+
+Cycle
+PcaxTlb::grantBase(Cycle earliest)
+{
+    const Cycle grant = std::max(earliest, baseNextFree);
+    baseNextFree = grant + 1;
+    return grant;
+}
+
+Outcome
+PcaxTlb::request(const XlateRequest &req, Cycle now)
+{
+    ++stats_.requests;
+
+    if (pcUsed >= pcPorts) {
+        ++stats_.noPort;
+        ++stats_.queueCycles;
+        return Outcome::noPort();
+    }
+    ++pcUsed;
+
+    if (PcEntry *e = find(req.pc); e && e->vpn == req.vpn) {
+        // The instruction re-touches the page it translated last
+        // time: the prediction is verified against the resolved VPN,
+        // so the base TLB is never consulted and no latency shows.
+        e->lastUse = now;
+        ++stats_.translations;
+        ++stats_.shielded;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        if (rr.statusChanged) {
+            // Status changes write through to the base TLB.
+            grantBase(now);
+            ++stats_.statusWrites;
+        }
+        return Outcome::hit(now, rr.ppn, true);
+    }
+
+    // No prediction (or it named another page): the base-TLB probe
+    // launched in parallel with the PC-cache lookup decides, possibly
+    // queued behind earlier base-TLB work.
+    const Cycle grant = grantBase(now);
+    stats_.queueCycles += grant - now;
+    ++stats_.baseAccesses;
+
+    if (base.lookup(req.vpn, grant)) {
+        ++stats_.baseHits;
+        ++stats_.translations;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        insertEntry(req.pc, req.vpn, now);
+        return Outcome::hit(grant, rr.ppn, false);
+    }
+
+    ++stats_.misses;
+    return Outcome::miss(grant);
+}
+
+void
+PcaxTlb::fill(Vpn vpn, Cycle now)
+{
+    // The PC cache needs no coherence action on base replacement: its
+    // entries are verified against the resolved VPN on every use, so
+    // one outliving its base copy still yields a correct translation.
+    base.insert(vpn, now);
+}
+
+void
+PcaxTlb::invalidate(Vpn vpn, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations;
+    base.invalidate(vpn);
+    // No inclusion holds between PC entries and the base TLB, so a
+    // consistency operation must probe every valid entry by VPN.
+    for (PcEntry &e : cache) {
+        if (e.valid) {
+            ++stats_.upperProbes;
+            if (e.vpn == vpn)
+                e.valid = false;
+        }
+    }
+}
+
+unsigned
+PcaxTlb::cachedEntries() const
+{
+    unsigned n = 0;
+    for (const PcEntry &e : cache)
+        n += e.valid;
+    return n;
+}
+
+void
+PcaxTlb::registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    TranslationEngine::registerStats(reg, prefix);
+    reg.formula(prefix + ".pc_entries", "PC-cache capacity",
+                [this] { return double(cache.size()); });
+    reg.formula(prefix + ".pc_occupancy",
+                "valid PC-cache entries at end of run",
+                [this] { return double(cachedEntries()); });
+    reg.formula(prefix + ".pc_predict_rate",
+                "requests whose PC predicted the right page, per "
+                "request",
+                [this] {
+                    return stats_.requests == 0
+                               ? 0.0
+                               : double(stats_.shielded) /
+                                     double(stats_.requests);
+                });
+}
+
+} // namespace hbat::tlb

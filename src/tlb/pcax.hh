@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PC-indexed address translation (design PCAX).
+ *
+ * A small LRU translation cache tagged by the *program counter* of the
+ * memory instruction, after Murthy & Sohi's PC-indexed data address
+ * translation: most static loads and stores keep re-touching the page
+ * they touched last time, so the PC predicts the translation before
+ * the effective address even resolves. The PC cache is probed in
+ * parallel with the base TLB; a matching entry (same VPN as the
+ * resolved address) shields the access completely — no base-TLB port,
+ * no visible latency. A mismatch or absent entry falls through to the
+ * base probe that was launched in parallel, which may queue behind
+ * earlier base-TLB work but costs no extra detection cycle (unlike
+ * pretranslation's serial miss path).
+ *
+ * Unlike the register-value-tagged pretranslation cache, PC entries
+ * survive register writes (the tag is the static instruction, not a
+ * register value), so no noteRegWrite() feed is needed, and the cache
+ * is searchable by VPN — consistency invalidations probe every valid
+ * entry instead of flushing.
+ */
+
+#ifndef HBAT_TLB_PCAX_HH
+#define HBAT_TLB_PCAX_HH
+
+#include <vector>
+
+#include "tlb/tlb_array.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** PCAX: PC-indexed translation cache over a 1-ported base TLB. */
+class PcaxTlb : public TranslationEngine
+{
+  public:
+    /**
+     * @param pc_entries PC-cache capacity (32 in the catalogue)
+     * @param pc_ports simultaneous PC-cache probes per cycle
+     * @param base_entries base TLB capacity (128 in the catalogue)
+     */
+    PcaxTlb(vm::PageTable &page_table, unsigned pc_entries,
+            unsigned pc_ports, unsigned base_entries, uint64_t seed);
+
+    void beginCycle(Cycle now) override;
+    Outcome request(const XlateRequest &req, Cycle now) override;
+    void fill(Vpn vpn, Cycle now) override;
+    void invalidate(Vpn vpn, Cycle now) override;
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
+
+    /** PC-cache occupancy (for tests). */
+    unsigned cachedEntries() const;
+
+  private:
+    struct PcEntry
+    {
+        VAddr pc = 0;
+        Vpn vpn = 0;
+        bool valid = false;
+        Cycle lastUse = 0;
+    };
+
+    PcEntry *find(VAddr pc);
+    void insertEntry(VAddr pc, Vpn vpn, Cycle now);
+    Cycle grantBase(Cycle earliest);
+
+    std::vector<PcEntry> cache;
+    const unsigned pcPorts;
+    TlbArray base;
+    unsigned pcUsed = 0;
+    Cycle baseNextFree = 0;
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_PCAX_HH

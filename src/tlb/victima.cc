@@ -1,0 +1,132 @@
+#include "tlb/victima.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace hbat::tlb
+{
+
+VictimaTlb::VictimaTlb(vm::PageTable &page_table, unsigned base_entries,
+                       unsigned base_ports, uint64_t seed)
+    : TranslationEngine(page_table), basePorts(base_ports),
+      base(base_entries, Replacement::Random, deriveSeed(seed, 0)),
+      spill(cache::CacheConfig{})   // Table 1's 32 KB D-cache geometry
+{}
+
+void
+VictimaTlb::beginCycle(Cycle now)
+{
+    (void)now;
+    portsUsed = 0;
+}
+
+PAddr
+VictimaTlb::entryAddr(Vpn vpn) const
+{
+    // One block per victim: distinct VPNs land on distinct blocks and
+    // spread across the cache's sets like a linear array would.
+    return PAddr(vpn) * spill.config().blockBytes;
+}
+
+void
+VictimaTlb::install(Vpn vpn, Cycle now)
+{
+    // The promoted/walked entry supersedes any cache-resident copy
+    // (the spill store is exclusive of the base TLB).
+    spill.invalidateBlock(entryAddr(vpn));
+    if (auto evicted = base.insert(vpn, now)) {
+        ++spills_;
+        spill.access(entryAddr(*evicted), true, now);
+    }
+}
+
+Outcome
+VictimaTlb::request(const XlateRequest &req, Cycle now)
+{
+    ++stats_.requests;
+
+    if (portsUsed >= basePorts) {
+        ++stats_.noPort;
+        ++stats_.queueCycles;
+        return Outcome::noPort();
+    }
+    ++portsUsed;
+    ++stats_.baseAccesses;
+
+    if (base.lookup(req.vpn, now)) {
+        ++stats_.baseHits;
+        ++stats_.translations;
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        return Outcome::hit(now, rr.ppn, false);
+    }
+
+    // Base miss: probe the spilled-entry block the next cycle. A hit
+    // reloads the base TLB and the access restarts once the entry is
+    // back (a just-spilled block may still be filling — the probe
+    // merges with the in-flight fill and waits it out).
+    if (spill.contains(entryAddr(req.vpn))) {
+        ++spillHits_;
+        ++stats_.translations;
+        const cache::CacheAccess acc =
+            spill.access(entryAddr(req.vpn), false, now + 1);
+        install(req.vpn, now);
+        const vm::RefResult rr = referencePage(req.vpn, req.write);
+        return Outcome::hit(std::max(acc.ready, now + 1) + 1, rr.ppn,
+                            false);
+    }
+
+    ++stats_.misses;
+    return Outcome::miss(now);
+}
+
+void
+VictimaTlb::fill(Vpn vpn, Cycle now)
+{
+    install(vpn, now);
+}
+
+void
+VictimaTlb::invalidate(Vpn vpn, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations;
+    base.invalidate(vpn);
+    // The spill store is exclusive of the base TLB, so consistency
+    // must probe the cache whether or not the base held the entry —
+    // the price Victima pays for its reach (cf. the multi-level
+    // designs' inclusion shortcut).
+    ++stats_.upperProbes;
+    spill.invalidateBlock(entryAddr(vpn));
+}
+
+bool
+VictimaTlb::cacheResident(Vpn vpn) const
+{
+    return spill.contains(entryAddr(vpn));
+}
+
+void
+VictimaTlb::registerStats(obs::StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    TranslationEngine::registerStats(reg, prefix);
+    cache::registerStats(reg, prefix + ".spill_cache", spill.stats());
+    reg.scalar(prefix + ".spills", "victims written into the D-cache",
+               spills_);
+    reg.scalar(prefix + ".spill_hits",
+               "base-TLB misses served from spilled entries",
+               spillHits_);
+    reg.formula(prefix + ".spill_save_rate",
+                "fraction of would-be walks served from the cache",
+                [this] {
+                    const uint64_t wouldWalk =
+                        spillHits_ + stats_.misses;
+                    return wouldWalk == 0
+                               ? 0.0
+                               : double(spillHits_) /
+                                     double(wouldWalk);
+                });
+}
+
+} // namespace hbat::tlb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cache-resident TLB victims (design Victima).
+ *
+ * After Kanellopoulos et al.'s Victima: entries evicted from the TLB
+ * are not discarded but spilled into the data cache, turning the 32 KB
+ * D-cache of Table 1 into a large, software-transparent second-level
+ * translation store. Each victim occupies one cache block at a
+ * synthetic physical address derived from its VPN, living under the
+ * cache's ordinary LRU replacement alongside data blocks.
+ *
+ * Timing: the base TLB is multi-ported and answers hits with no
+ * visible latency. On a base miss the spilled-entry block is probed in
+ * the following cycle; a hit there promotes the entry back into the
+ * base TLB (evicting the block — the spill store is exclusive of the
+ * base TLB) and completes two cycles after the request, far cheaper
+ * than the 30-cycle walk. A probe miss starts the ordinary walk.
+ *
+ * Consistency: because the spill store is exclusive, invalidations
+ * must always probe the cache — the inclusion shortcut of the
+ * multi-level designs is unavailable (accounted as upperProbes).
+ * The engine is purely reactive: the spill cache's in-flight fills are
+ * only consulted from request()/fill() calls, so the base-class
+ * nextEventCycle() (never) stays correct.
+ */
+
+#ifndef HBAT_TLB_VICTIMA_HH
+#define HBAT_TLB_VICTIMA_HH
+
+#include "cache/cache_model.hh"
+#include "tlb/tlb_array.hh"
+#include "tlb/xlate.hh"
+
+namespace hbat::tlb
+{
+
+/** Victima: base-TLB victims spilled into a 32 KB D-cache model. */
+class VictimaTlb : public TranslationEngine
+{
+  public:
+    /**
+     * @param base_entries base TLB capacity (128 in the catalogue)
+     * @param base_ports simultaneous base probes per cycle
+     */
+    VictimaTlb(vm::PageTable &page_table, unsigned base_entries,
+               unsigned base_ports, uint64_t seed);
+
+    void beginCycle(Cycle now) override;
+    Outcome request(const XlateRequest &req, Cycle now) override;
+    void fill(Vpn vpn, Cycle now) override;
+    void invalidate(Vpn vpn, Cycle now) override;
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const override;
+
+    /** Whether @p vpn's victim block is cache-resident (for tests). */
+    bool cacheResident(Vpn vpn) const;
+
+  private:
+    /** Synthetic block address of @p vpn's spilled entry. */
+    PAddr entryAddr(Vpn vpn) const;
+
+    /** Install @p vpn in the base TLB, spilling any victim. */
+    void install(Vpn vpn, Cycle now);
+
+    const unsigned basePorts;
+    TlbArray base;
+    cache::CacheModel spill;
+    unsigned portsUsed = 0;
+    uint64_t spills_ = 0;       ///< victims written into the cache
+    uint64_t spillHits_ = 0;    ///< base misses served from the cache
+};
+
+} // namespace hbat::tlb
+
+#endif // HBAT_TLB_VICTIMA_HH

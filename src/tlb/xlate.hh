@@ -48,6 +48,9 @@ struct XlateRequest
 
     /** Upper 4 bits of a load's 16-bit displacement; 0 otherwise. */
     uint8_t offsetHigh = 0;
+
+    /** PC of the memory instruction (PC-indexed translation tag). */
+    VAddr pc = 0;
 };
 
 /** The engine's answer for one request. */

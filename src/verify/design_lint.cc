@@ -96,7 +96,21 @@ lintDesignParams(const tlb::DesignParams &p, const std::string &name,
         }
     }
 
-    if (p.kind == Kind::MultiLevel || p.kind == Kind::Pretranslation) {
+    if (p.kind == Kind::Victima) {
+        if (p.basePorts > memPorts) {
+            ports(detail::concat(
+                p.basePorts, " port(s) exceed the machine's ",
+                memPorts, " load/store units"));
+        }
+        if (p.upperEntries != 0 || p.upperPorts != 0) {
+            structural("victima has no upper TLB level; victims spill "
+                       "into the D-cache (upperEntries/upperPorts must "
+                       "stay unset)");
+        }
+    }
+
+    if (p.kind == Kind::MultiLevel || p.kind == Kind::Pretranslation ||
+        p.kind == Kind::PcIndexed) {
         if (!isPow2(p.upperEntries)) {
             structural(detail::concat("upper-level capacity ",
                                       p.upperEntries,

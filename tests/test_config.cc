@@ -381,7 +381,7 @@ TEST(Table2Equivalence, EveryDesignMatchesBuiltinFactory)
     }
 }
 
-TEST(Table2Equivalence, ShippedConfExpandsToThirteenCleanColumns)
+TEST(Table2Equivalence, ShippedConfExpandsToCatalogueCleanColumns)
 {
     Config cfg;
     Report report;
@@ -539,6 +539,27 @@ TEST(SweepSpec, SchemaErrors)
     sweepBad("[t]\nkind = multiported\nbaseEntries = 128\n"
              "[sweep]\ndesigns = t\npageBytes = $(nope)\n",
              Diag::ConfigExpr);                  // axis eval failure
+}
+
+TEST(SweepSpec, UnknownDesignSectionIsLineAnchored)
+{
+    // Naming a section that does not exist must fail at expansion
+    // time with a ConfigKey diagnostic anchored to the `designs`
+    // binding's line — not a late fatal during cell construction.
+    const Config cfg = parseOk("[t]\nkind = multiported\n"
+                               "baseEntries = 128\n"
+                               "[sweep]\n"
+                               "programs = compress\n"
+                               "designs = [t, ghost]\n");  // line 6
+    sim::SweepSpec spec;
+    Report report;
+    EXPECT_FALSE(sim::expandSweepSpec(cfg, sim::SimConfig{}, spec,
+                                      report));
+    ASSERT_GT(report.countOf(Diag::ConfigKey), 0u);
+    const std::string msg = report.diags[0].str();
+    EXPECT_NE(msg.find("test:6:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown section 'ghost'"), std::string::npos)
+        << msg;
 }
 
 TEST(SweepSpec, LintGateCatchesBadCells)

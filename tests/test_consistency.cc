@@ -9,7 +9,9 @@
 
 #include "tlb/design.hh"
 #include "tlb/multilevel.hh"
+#include "tlb/pcax.hh"
 #include "tlb/pretranslation.hh"
+#include "tlb/victima.hh"
 #include "vm/page_table.hh"
 
 namespace
@@ -19,12 +21,13 @@ using namespace hbat;
 using tlb::Outcome;
 
 tlb::XlateRequest
-req(Vpn vpn, RegIndex base_reg = 5)
+req(Vpn vpn, RegIndex base_reg = 5, VAddr pc = 0)
 {
     tlb::XlateRequest r;
     r.vpn = vpn;
     r.isLoad = true;
     r.baseReg = base_reg;
+    r.pc = pc;
     return r;
 }
 
@@ -99,6 +102,34 @@ TEST_P(InvalidateSweep, OtherEntriesSurvive)
     }
 }
 
+TEST_P(InvalidateSweep, UnknownPageInvalidatesAreHarmless)
+{
+    // Shootdowns for pages the design never translated must neither
+    // disturb resident entries nor be miscounted, on every catalogue
+    // design (including the modern PCAX/Victima rows).
+    vm::PageTable pt;
+    auto eng = tlb::makeEngine(GetParam(), pt, 5);
+    Cycle clock = 0;
+    warm(*eng, 50, clock);
+
+    for (Vpn v = 1000; v < 1040; ++v)
+        eng->invalidate(v, clock);
+    EXPECT_EQ(eng->stats().invalidations, 40u);
+
+    clock += 4;
+    for (;;) {
+        eng->beginCycle(clock);
+        const Outcome out = eng->request(req(50), clock);
+        if (out.kind == Outcome::Kind::NoPort) {
+            ++clock;
+            continue;
+        }
+        EXPECT_EQ(out.kind, Outcome::Kind::Hit)
+            << tlb::designName(GetParam());
+        break;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllDesigns, InvalidateSweep,
     ::testing::ValuesIn(tlb::allDesigns()),
@@ -160,6 +191,119 @@ TEST(Consistency, PretranslationKeepsUnrelatedAttachment)
     // Only page-9 attachments die; the page-20 one survives.
     EXPECT_LT(eng.cachedEntries(), before);
     EXPECT_GE(eng.cachedEntries(), 1u);
+}
+
+TEST(Consistency, PcaxDropsOnlyAffectedPcEntries)
+{
+    // The PC cache is searchable by VPN, so a shootdown surgically
+    // removes the attachments naming the changed page — every valid
+    // entry is probed (no inclusion holds against the base TLB).
+    vm::PageTable pt;
+    tlb::PcaxTlb eng(pt, 32, 4, 128, 7);
+    Cycle clock = 0;
+    const std::pair<Vpn, VAddr> refs[] = {
+        {9, 0x100}, {9, 0x104}, {20, 0x108}};
+    for (const auto &[vpn, pc] : refs) {
+        for (;;) {
+            eng.beginCycle(clock);
+            const Outcome out = eng.request(req(vpn, 5, pc), clock);
+            if (out.kind == Outcome::Kind::Hit)
+                break;
+            if (out.kind == Outcome::Kind::Miss)
+                eng.fill(vpn, clock);
+            ++clock;
+        }
+        ++clock;
+    }
+    ASSERT_EQ(eng.cachedEntries(), 3u);
+
+    eng.invalidate(9, clock);
+    EXPECT_EQ(eng.cachedEntries(), 1u)
+        << "both page-9 attachments die; the page-20 one survives";
+    EXPECT_EQ(eng.stats().upperProbes, 3u)
+        << "every valid PC entry is probed";
+
+    // The surviving attachment still shields its page.
+    eng.beginCycle(clock);
+    const Outcome out = eng.request(req(20, 5, 0x108), clock);
+    EXPECT_EQ(out.kind, Outcome::Kind::Hit);
+    EXPECT_TRUE(out.shielded);
+}
+
+TEST(Consistency, VictimaEvictsCacheResidentEntryOnInvalidate)
+{
+    // Overflow the 128-entry base TLB so victims spill into the
+    // D-cache, then shoot one spilled entry down: the cache-resident
+    // copy must die with it, and the next access must walk.
+    vm::PageTable pt;
+    tlb::VictimaTlb eng(pt, 128, 4, 11);
+    Cycle clock = 0;
+    for (Vpn v = 0; v < 200; ++v)
+        warm(eng, v, clock);
+
+    Vpn spilled = 200;      // sentinel: no vpn below 200 matches
+    for (Vpn v = 0; v < 200; ++v) {
+        if (eng.cacheResident(v)) {
+            spilled = v;
+            break;
+        }
+    }
+    ASSERT_LT(spilled, 200u) << "warming 200 pages must spill victims";
+
+    eng.invalidate(spilled, clock);
+    EXPECT_FALSE(eng.cacheResident(spilled));
+
+    clock += 4;
+    for (;;) {
+        eng.beginCycle(clock);
+        const Outcome out = eng.request(req(spilled), clock);
+        if (out.kind == Outcome::Kind::NoPort) {
+            ++clock;
+            continue;
+        }
+        EXPECT_EQ(out.kind, Outcome::Kind::Miss)
+            << "the spilled copy must not survive the shootdown";
+        break;
+    }
+}
+
+TEST(Consistency, VictimaPromotesSpilledEntryExclusively)
+{
+    // A base miss that finds its entry in the D-cache promotes it
+    // back into the base TLB and evicts the cache block: the spill
+    // store stays exclusive of the base TLB.
+    vm::PageTable pt;
+    tlb::VictimaTlb eng(pt, 128, 4, 11);
+    Cycle clock = 0;
+    for (Vpn v = 0; v < 200; ++v)
+        warm(eng, v, clock);
+
+    Vpn spilled = 200;
+    for (Vpn v = 0; v < 200; ++v) {
+        if (eng.cacheResident(v)) {
+            spilled = v;
+            break;
+        }
+    }
+    ASSERT_LT(spilled, 200u);
+
+    clock += 8;     // past any in-flight spill fill
+    eng.beginCycle(clock);
+    const uint64_t missesBefore = eng.stats().misses;
+    const Outcome out = eng.request(req(spilled), clock);
+    ASSERT_EQ(out.kind, Outcome::Kind::Hit)
+        << "a spilled entry is served from the cache, not walked";
+    EXPECT_EQ(out.ready, clock + 2)
+        << "cache probe the next cycle, reinstall the cycle after";
+    EXPECT_EQ(eng.stats().misses, missesBefore);
+    EXPECT_FALSE(eng.cacheResident(spilled))
+        << "promotion back to the base TLB evicts the cache block";
+
+    // Now resident in the base TLB: the next access is a plain hit.
+    eng.beginCycle(++clock);
+    const Outcome again = eng.request(req(spilled), clock);
+    ASSERT_EQ(again.kind, Outcome::Kind::Hit);
+    EXPECT_EQ(again.ready, clock);
 }
 
 } // namespace

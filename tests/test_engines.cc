@@ -654,7 +654,8 @@ TEST(DesignFactory, NamesRoundTrip)
         EXPECT_EQ(tlb::parseDesign(tlb::designName(d)), d);
         EXPECT_FALSE(tlb::designDescription(d).empty());
     }
-    EXPECT_EQ(tlb::allDesigns().size(), 13u) << "Table 2 has 13 rows";
+    EXPECT_EQ(tlb::allDesigns().size(), 15u)
+        << "Table 2 has 13 rows, plus the modern PCAX/Victima points";
 }
 
 TEST(EngineStats, AccountingInvariants)
