@@ -5,20 +5,22 @@
  * replacement (they model L1 TLBs) and the 32/64/128-entry
  * configurations use random replacement (they model base TLBs). All
  * six TLBs observe each program's full data-reference stream in one
- * functional pass; the summary row is the run-time weighted average,
- * weighted by each program's cycles under the T4 design.
+ * functional pass — sim::FuncExecutor with one TLB filter per
+ * configuration, the same engine the sampled simulator fast-forwards
+ * on (DESIGN.md §14); the summary row is the run-time weighted
+ * average, weighted by each program's cycles under the T4 design.
  */
 
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "bench/harness.hh"
 #include "common/job_pool.hh"
 #include "common/stats.hh"
-#include "cpu/func_core.hh"
 #include "cpu/static_code.hh"
+#include "sim/fastfwd.hh"
 #include "tlb/tlb_array.hh"
-#include "vm/address_space.hh"
 #include "vm/program_image.hh"
 #include "workloads/workloads.hh"
 
@@ -46,34 +48,17 @@ missRates(const kasm::Program &prog, const vm::PageParams &pages,
           std::shared_ptr<const cpu::StaticCode> code,
           std::shared_ptr<const vm::ProgramImage> image)
 {
-    std::vector<tlb::TlbArray> tlbs;
+    sim::FuncExecutor fx(prog, pages, true, std::move(code),
+                         std::move(image));
     for (const TlbSpec &spec : kSpecs)
-        tlbs.emplace_back(spec.entries, spec.repl, seed);
-
-    vm::AddressSpace space{pages, true, std::move(image)};
-    cpu::FuncCore core(space, prog, std::move(code));
-
-    std::vector<uint64_t> misses(kSpecs.size(), 0);
-    uint64_t refs = 0;
-    Cycle tick = 0;
-    while (!core.halted()) {
-        const cpu::DynInst dyn = core.step();
-        if (!dyn.isMem())
-            continue;
-        ++refs;
-        ++tick;
-        const Vpn vpn = pages.vpn(dyn.effAddr);
-        for (size_t t = 0; t < tlbs.size(); ++t) {
-            if (!tlbs[t].lookup(vpn, tick)) {
-                ++misses[t];
-                tlbs[t].insert(vpn, tick);
-            }
-        }
-    }
+        fx.addTlbFilter(spec.entries, spec.repl, seed);
+    fx.advance(std::numeric_limits<uint64_t>::max());
 
     std::vector<double> rates;
-    for (uint64_t m : misses)
-        rates.push_back(ratio(m, refs));
+    for (size_t t = 0; t < kSpecs.size(); ++t) {
+        const sim::FuncTlbStats &fs = fx.filterStats(t);
+        rates.push_back(ratio(fs.misses, fs.refs));
+    }
     return rates;
 }
 

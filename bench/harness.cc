@@ -20,6 +20,7 @@
 #include "obs/pipeview.hh"
 #include "obs/self_profile.hh"
 #include "obs/trace.hh"
+#include "sim/sampling.hh"
 #include "verify/design_lint.hh"
 #include "verify/footprint.hh"
 #include "workloads/workloads.hh"
@@ -78,6 +79,9 @@ toSimConfig(const ExperimentConfig &config)
     sc.intervalCycles = config.intervalStats;
     sc.pcProfile = config.pcProfileK != 0;
     sc.selfProfile = config.selfProfile;
+    sc.samplePeriodInsts = config.samplePeriod;
+    sc.sampleWarmupInsts = config.sampleWarmup;
+    sc.sampleMeasureInsts = config.sampleMeasure;
     return sc;
 }
 
@@ -125,6 +129,10 @@ constexpr FlagSpec kFlags[] = {
     {"--pc-profile", "k", "record the k hottest PCs per cell"},
     {"--pipeview", "file", "write O3PipeView lifecycle traces here"},
     {"--self-profile", nullptr, "accumulate host-time phase timers"},
+    {"--sample", "n",
+     "sampled simulation: one detailed interval per n instructions"},
+    {"--warmup", "n", "detailed warmup per sampled interval"},
+    {"--measure", "n", "measured instructions per sampled interval"},
     {"--sweep", "file", "run this design-space spec (DESIGN.md §11)",
      true},
     {"--list-designs", nullptr,
@@ -274,6 +282,18 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
             cfg.pipeviewPath = value;
         } else if (arg == "--self-profile") {
             cfg.selfProfile = true;
+        } else if (arg == "--sample") {
+            cfg.samplePeriod = std::strtoull(value, nullptr, 10);
+            if (cfg.samplePeriod == 0)
+                hbat_fatal("--sample wants a positive instruction "
+                           "count");
+        } else if (arg == "--warmup") {
+            cfg.sampleWarmup = std::strtoull(value, nullptr, 10);
+        } else if (arg == "--measure") {
+            cfg.sampleMeasure = std::strtoull(value, nullptr, 10);
+            if (cfg.sampleMeasure == 0)
+                hbat_fatal("--measure wants a positive instruction "
+                           "count");
         } else if (arg == "--sweep") {
             cfg.sweepPath = value;
         } else if (arg == "--list-designs") {
@@ -285,6 +305,14 @@ parseArgs(int argc, char **argv, ExperimentConfig defaults)
         }
     }
     hbat_assert(cfg.scale > 0.0, "scale must be positive");
+    if (cfg.samplePeriod != 0 &&
+        (cfg.intervalStats != 0 || cfg.pcProfileK != 0 ||
+         !cfg.pipeviewPath.empty())) {
+        argError(argv[0], cfg.supportsSweep,
+                 "--sample reconstructs whole-run estimates; the "
+                 "per-cycle observability flags (--interval-stats, "
+                 "--pc-profile, --pipeview) require exact simulation");
+    }
     if (cfg.jobs == 0)
         cfg.jobs = JobPool::defaultWorkers();
     return cfg;
@@ -490,6 +518,62 @@ runColumnSweep(const ExperimentConfig &config,
         }
     }
 
+    // Checkpoint trains for sampled columns (DESIGN.md §14): a train
+    // depends only on (workload image, sampling period) — never on
+    // the translation design — so the functional fast-forward pass is
+    // paid once per program and shared by every design column that
+    // samples with the same period.
+    struct CkVariant
+    {
+        size_t iv;          ///< image variant index
+        uint64_t period;    ///< samplePeriodInsts
+        const sim::SimConfig *cfg;  ///< a representative column's cfg
+    };
+    std::vector<CkVariant> ckVariants;
+    std::vector<size_t> colCk(nCols, SIZE_MAX);
+    for (size_t c = 0; c < nCols; ++c) {
+        const uint64_t period = columns[c].sim.samplePeriodInsts;
+        if (period == 0)
+            continue;
+        size_t k = 0;
+        for (; k < ckVariants.size(); ++k) {
+            if (ckVariants[k].iv == colImage[c] &&
+                ckVariants[k].period == period)
+                break;
+        }
+        if (k == ckVariants.size())
+            ckVariants.push_back(
+                CkVariant{colImage[c], period, &columns[c].sim});
+        colCk[c] = k;
+    }
+    std::vector<
+        std::vector<std::shared_ptr<const sim::CheckpointSet>>>
+        ckSets(ckVariants.size(),
+               std::vector<std::shared_ptr<const sim::CheckpointSet>>(
+                   nProgs));
+    if (!ckVariants.empty()) {
+        parallelFor(ckVariants.size() * nProgs, jobs, [&](size_t idx) {
+            const size_t k = idx / nProgs;
+            const size_t p = idx % nProgs;
+            const size_t iv = ckVariants[k].iv;
+            const size_t b = imageVariants[iv].build;
+            ckSets[k][p] = sim::buildCheckpoints(
+                images[b][p], *ckVariants[k].cfg, codes[b][p],
+                pages[iv][p]);
+        });
+        size_t points = 0;
+        for (const auto &perProg : ckSets) {
+            for (const auto &set : perProg) {
+                sweep.samplingPrepSeconds += set->cpuSeconds;
+                points += set->points.size();
+            }
+        }
+        progressLine(detail::concat(
+            "checkpoints: ", points, " across ",
+            ckVariants.size() * nProgs, " functional pass(es), ",
+            fixed(sweep.samplingPrepSeconds, 2), "s CPU"));
+    }
+
     // Every (program, column) cell is one independent job writing its
     // own pre-sized slot, which keeps cell order — and therefore every
     // table and report — identical at any job count.
@@ -520,19 +604,45 @@ runColumnSweep(const ExperimentConfig &config,
             sc.pipeview = pview.get();
         }
 
-        cell.result =
-            sim::simulate(images[b][p], sc, codes[b][p], pages[iv][p]);
+        if (colCk[c] != SIZE_MAX) {
+            // Intervals of one cell only fan out when the sweep has
+            // nothing else to keep the workers busy.
+            sc.sampleJobs = (nProgs * nCols == 1) ? jobs : 1;
+            cell.result =
+                sim::simulateSampled(images[b][p], sc, codes[b][p],
+                                     pages[iv][p], ckSets[colCk[c]][p]);
+        } else {
+            cell.result = sim::simulate(images[b][p], sc, codes[b][p],
+                                        pages[iv][p]);
+        }
         cell.wallSeconds = threadCpuSeconds() - cellStart;
+        if (sc.sampleJobs > 1) {
+            // The intervals ran on pool threads; this thread's CPU
+            // clock never saw them.
+            cell.wallSeconds +=
+                cell.result.sampling.intervalCpuSeconds;
+        }
 
-        const cpu::PipeStats &ps = cell.result.pipe;
-        const double skipPct =
-            ps.cycles ? 100.0 * double(ps.skippedCycles) /
-                            double(ps.cycles)
-                      : 0.0;
-        progressLine(detail::concat(
-            "  [", cell.program, " / ", cell.design, "]  ",
-            fixed(cell.wallSeconds, 2), "s  skip ", fixed(skipPct, 0),
-            "%"));
+        if (cell.result.sampling.enabled) {
+            const sim::SamplingInfo &si = cell.result.sampling;
+            const double relCi =
+                si.ipc > 0 ? 100.0 * si.ipcCi95 / si.ipc : 0.0;
+            progressLine(detail::concat(
+                "  [", cell.program, " / ", cell.design, "]  ",
+                fixed(cell.wallSeconds, 2), "s  sampled n=",
+                si.intervals, "  ipc ", fixed(si.ipc, 3), " ±",
+                fixed(relCi, 1), "%"));
+        } else {
+            const cpu::PipeStats &ps = cell.result.pipe;
+            const double skipPct =
+                ps.cycles ? 100.0 * double(ps.skippedCycles) /
+                                double(ps.cycles)
+                          : 0.0;
+            progressLine(detail::concat(
+                "  [", cell.program, " / ", cell.design, "]  ",
+                fixed(cell.wallSeconds, 2), "s  skip ",
+                fixed(skipPct, 0), "%"));
+        }
     });
     sweep.wallSeconds = secondsSince(sweepStart);
     return sweep;
@@ -705,6 +815,40 @@ hexAddr(VAddr a)
  * The per-cell observability sections (present only when their
  * feature was requested, so default reports keep their exact shape).
  */
+/**
+ * The per-cell "sampling" block: how the cell's estimates were
+ * formed. Everything except cpu_seconds is deterministic for a given
+ * (program, config) — the determinism gates compare it strictly.
+ */
+void
+writeCellSampling(json::Writer &w, const sim::SamplingInfo &si)
+{
+    if (!si.enabled)
+        return;
+    w.key("sampling").beginObject();
+    w.key("period").value(si.periodInsts);
+    w.key("warmup").value(si.warmupInsts);
+    w.key("measure").value(si.measureInsts);
+    w.key("intervals").value(si.intervals);
+    w.key("total_insts").value(si.totalInsts);
+    w.key("measured_insts").value(si.measuredInsts);
+    w.key("measured_cycles").value(si.measuredCycles);
+    w.key("ipc").value(si.ipc);
+    w.key("ipc_ci95").value(si.ipcCi95);
+    // Host-side cost of the detailed intervals (the shared functional
+    // pass is summary-level "sampling_prep_seconds").
+    w.key("cpu_seconds").value(si.intervalCpuSeconds);
+    w.key("stats").beginObject();
+    for (const sim::SamplingEstimate &e : si.scalars) {
+        w.key(e.name).beginObject();
+        w.key("total").value(e.total);
+        w.key("ci95").value(e.ci95);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
 void
 writeCellObservability(json::Writer &w, const ExperimentConfig &config,
                        const Cell &cell)
@@ -866,6 +1010,7 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
             for (const obs::StatValue &sv : cell.result.stats)
                 writeStat(w, sv);
             w.endObject();
+            writeCellSampling(w, cell.result.sampling);
             writeCellObservability(w, sweep.config, cell);
             w.endObject();
         }
@@ -887,6 +1032,9 @@ writeSweepJson(const std::string &title, const Sweep &sweep)
     }
     w.endObject();
     w.key("wall_seconds").value(sweep.wallSeconds);
+    if (sweep.samplingPrepSeconds != 0.0)
+        w.key("sampling_prep_seconds")
+            .value(sweep.samplingPrepSeconds);
     w.endObject();
 
     w.endObject();

@@ -95,6 +95,23 @@ struct ExperimentConfig
     bool selfProfile = false;
     /// @}
 
+    /// @name Sampled simulation (--sample; DESIGN.md §14)
+    /// @{
+    /**
+     * Sampling period in instructions (--sample N): fast-forward
+     * functionally and run the detailed pipeline for one warmup +
+     * measurement window per N instructions. 0 = exact simulation
+     * (the default, and the only mode the paper's figures use).
+     */
+    uint64_t samplePeriod = 0;
+
+    /** Detailed warmup instructions per interval (--warmup N). */
+    uint64_t sampleWarmup = 2000;
+
+    /** Measured instructions per interval (--measure N). */
+    uint64_t sampleMeasure = 4000;
+    /// @}
+
     /**
      * Design-space spec file (--sweep FILE, DESIGN.md §11): replaces
      * the binary's built-in design list with the spec's expanded
@@ -175,6 +192,16 @@ struct Sweep
      */
     double wallSeconds = 0.0;
 
+    /**
+     * Thread-CPU seconds spent building checkpoint trains for
+     * sampled columns (the functional passes). Paid once per
+     * (workload image, period) and shared by every design column, so
+     * it is reported separately from the per-cell times
+     * ("sampling_prep_seconds" in the JSON summary). 0 when no
+     * column samples.
+     */
+    double samplingPrepSeconds = 0.0;
+
     const Cell &cell(size_t prog, size_t design) const;
 };
 
@@ -183,7 +210,8 @@ struct Sweep
  *  --scale f, --program name, --seed n, --json file, --jobs n,
  *  --trace cats (comma-separated category list, see obs/trace.hh),
  *  --interval-stats n, --pc-profile k, --pipeview file,
- *  --self-profile, --sweep file (when defaults.supportsSweep),
+ *  --self-profile, --sample n, --warmup n, --measure n,
+ *  --sweep file (when defaults.supportsSweep),
  *  --list-designs (print the Table 2 catalogue and exit 0), and
  *  --version (print the build stamp and exit 0).
  * The returned config always has a concrete jobs count (>= 1).

@@ -10,6 +10,11 @@ more than --tolerance slower than the baseline.
 Metrics:
   sweep reports: sum of cells[].wall_seconds. Cells are timed with
     CLOCK_THREAD_CPUTIME_ID, so the sum is stable across --jobs.
+    Sampled cells (the ones carrying a "sampling" block, DESIGN.md
+    §14) measure a different amount of work than exact cells, so they
+    are excluded from the gate and their CPU seconds — plus the
+    sweep's shared checkpointing cost, summary.sampling_prep_seconds —
+    are reported separately.
   google-benchmark reports: geometric mean of per-benchmark real_time
     ratios (fresh/baseline), matched by name; unmatched names are
     ignored with a note.
@@ -62,11 +67,24 @@ def meta_of(report):
 
 
 def sweep_metric(report):
-    """Total thread-CPU seconds across all sweep cells."""
+    """Thread-CPU seconds of the *exact* sweep cells (the gated
+    metric), or None for a non-sweep report."""
     cells = report.get("cells")
     if cells is None:
         return None
-    return sum(c.get("wall_seconds", 0.0) for c in cells)
+    return sum(c.get("wall_seconds", 0.0) for c in cells
+               if "sampling" not in c)
+
+
+def sampled_cost(report):
+    """(cpu_seconds, cell_count) of the sampled cells, with the
+    sweep-shared checkpointing cost folded in. Informational only."""
+    cells = [c for c in report.get("cells", []) if "sampling" in c]
+    cost = sum(c.get("wall_seconds", 0.0) for c in cells)
+    if cells:
+        cost += report.get("summary", {}).get(
+            "sampling_prep_seconds", 0.0)
+    return cost, len(cells)
 
 
 def design_deltas(fresh, base):
@@ -87,7 +105,7 @@ def design_deltas(fresh, base):
         order = []
         for c in report.get("cells", []):
             d = c.get("design")
-            if d is None:
+            if d is None or "sampling" in c:
                 continue
             if d not in out:
                 order.append(d)
@@ -201,6 +219,27 @@ def self_test():
     assert rows == [("T4", 2.0, 1.0, 0.5)], rows
     assert of == ["PCAX"] and ob == ["M8"], (of, ob)
 
+    # Sampled cells are excluded from the gated metric and the
+    # per-design rows, and their cost (plus the shared checkpointing
+    # seconds) is accounted separately.
+    mixed = {
+        "cells": [
+            {"design": "T4", "wall_seconds": 2.0},
+            {"design": "T4", "wall_seconds": 0.3,
+             "sampling": {"intervals": 4}},
+        ],
+        "summary": {"sampling_prep_seconds": 0.1},
+    }
+    assert sweep_metric(mixed) == 2.0, sweep_metric(mixed)
+    cost, n = sampled_cost(mixed)
+    assert n == 1 and abs(cost - 0.4) < 1e-9, (cost, n)
+    rows, of, ob = design_deltas(mixed, mixed)
+    assert rows == [("T4", 2.0, 2.0, 1.0)], rows
+
+    # An all-exact report charges no sampling cost.
+    cost, n = sampled_cost(sweep([("T4", 1.0)]))
+    assert (cost, n) == (0.0, 0), (cost, n)
+
     print("bench_compare: self-test OK")
 
 
@@ -247,10 +286,20 @@ def main():
 
     fresh_sweep = sweep_metric(fresh)
     if fresh_sweep is not None:
+        for name, rep in (("fresh", fresh), ("baseline", base)):
+            cost, n = sampled_cost(rep)
+            if n:
+                print(f"bench_compare:   note: {name} has {n} sampled "
+                      f"cell(s) costing {cost:.2f}s CPU incl. "
+                      "checkpointing (excluded from the gate)")
         base_sweep = sweep_metric(base)
         if base_sweep is None or base_sweep <= 0:
             print(f"bench_compare: {label}: baseline has no usable "
-                  "cell timings -- PASS")
+                  "exact cell timings -- PASS")
+            return
+        if fresh_sweep <= 0:
+            print(f"bench_compare: {label}: fresh report has no "
+                  "exact cells -- PASS (nothing gated)")
             return
         ratio = fresh_sweep / base_sweep
         detail = (f"{fresh_sweep:.2f}s vs baseline {base_sweep:.2f}s "

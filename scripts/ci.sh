@@ -21,11 +21,16 @@
 #     modern-engines determinism gate: the shipped modern_engines
 #     campaign must produce identical numbers at --jobs 1 vs --jobs 8
 #     and with idle skipping off;
-#  7. observability gate: run one fig5 cell with --pipeview and
+#  7. sampled-simulation gate (DESIGN.md §14): a scale-1.0 fig5
+#     compress sweep in sampled mode must track the exact sweep within
+#     2% relative IPC and 2 percentage points of TLB miss rate on
+#     every design while costing at least 5x less CPU, and the
+#     estimates must be bit-identical across --jobs;
+#  8. observability gate: run one fig5 cell with --pipeview and
 #     --interval-stats, validate the trace grammar and the interval
 #     time-series against the report (check_pipeview.py), and require
 #     the time-series to survive a --no-skip rerun unchanged;
-#  8. bench-compare gate: diff the fresh reports against the committed
+#  9. bench-compare gate: diff the fresh reports against the committed
 #     baselines (git show HEAD:BENCH_*.json) and fail when the fresh
 #     run is more than $HBAT_BENCH_TOLERANCE slower (default 10%).
 #     After an intentional perf change, commit the regenerated
@@ -168,6 +173,30 @@ python3 scripts/sweep_diff.py "$MODDIR/j1.json" "$MODDIR/j8.json"
     --json "$MODDIR/noskip.json" > /dev/null
 python3 scripts/sweep_diff.py "$MODDIR/j1.json" "$MODDIR/noskip.json"
 rm -rf "$MODDIR"
+
+echo "== sampled simulation: accuracy + speedup gate =="
+# The interval sampler's contract (DESIGN.md §14): at evaluation scale
+# the sampled estimate of every design column must stay within 2%
+# relative IPC error and 2 percentage points of absolute TLB miss-rate
+# error of the exact run, for at least 5x less per-cell CPU (the
+# shared checkpointing cost counts against the sampled side). The
+# knobs here are the tuned defaults documented in EXPERIMENTS.md.
+SAMPDIR=$(mktemp -d)
+./build/bench/fig5_baseline --scale 1.0 --program compress \
+    --jobs "$JOBS" --json "$SAMPDIR/exact.json" > /dev/null
+./build/bench/fig5_baseline --scale 1.0 --program compress \
+    --jobs "$JOBS" --sample 400000 --warmup 20000 --measure 10000 \
+    --json "$SAMPDIR/sampled.json" > /dev/null
+python3 scripts/sweep_diff.py "$SAMPDIR/exact.json" \
+    "$SAMPDIR/sampled.json" --tolerance 0.02 --min-speedup 5
+# Sampled estimates (totals, CIs, interval counts) are covered by the
+# same determinism guarantee as exact runs: identical at any --jobs.
+./build/bench/fig5_baseline --scale 1.0 --program compress \
+    --jobs 1 --sample 400000 --warmup 20000 --measure 10000 \
+    --json "$SAMPDIR/sampled_j1.json" > /dev/null
+python3 scripts/sweep_diff.py "$SAMPDIR/sampled.json" \
+    "$SAMPDIR/sampled_j1.json"
+rm -rf "$SAMPDIR"
 
 echo "== observability: pipeview trace + interval time-series =="
 # One fig5 cell with the full observability surface on: the O3PipeView

@@ -14,10 +14,24 @@ simulated number. Only host-side fields may differ:
 
 Everything else — every cell's ipc, cycles, committed count, every
 entry of its stats dict, and (when present) its interval_stats
-time-series and pc_profile — must be exactly equal, or the script
-exits non-zero listing the first mismatches.
+time-series, pc_profile, and sampling block — must be exactly equal,
+or the script exits non-zero listing the first mismatches. For a
+sampled report the per-cell sampling.cpu_seconds and the summary's
+sampling_prep_seconds are host-side timings and are ignored, like
+wall_seconds.
+
+With --tolerance R the comparison switches to the sampled-accuracy
+gate (CI's sampling stage): A is the exact reference, B the sampled
+estimate. Each cell's committed instruction count must still match
+exactly (it comes from the functional pass, not the estimator), but
+ipc may differ by a relative R and the xlate miss rate
+(xlate.misses / xlate.requests) by an absolute R; nothing else is
+compared. --min-speedup X additionally requires A's per-cell CPU
+seconds to sum to at least X times B's (plus B's checkpointing cost,
+summary.sampling_prep_seconds).
 
 Usage: sweep_diff.py A.json B.json [--max-report N]
+                     [--tolerance R] [--min-speedup X]
 """
 
 import argparse
@@ -60,7 +74,73 @@ def diff_cells(a, b, errors):
         diff_intervals(x, y, where, errors)
         if x.get("pc_profile") != y.get("pc_profile"):
             errors.append(f"{where}: pc_profile differs")
+        diff_sampling(x, y, where, errors)
         # self_profile (host seconds) is intentionally not compared.
+
+
+def diff_sampling(x, y, where, errors):
+    """The sampling block (estimates, CIs, interval counts) must be
+    bit-identical — it is part of the determinism guarantee — except
+    its host-side cpu_seconds timing."""
+    ma, mb = x.get("sampling"), y.get("sampling")
+    if (ma is None) != (mb is None):
+        errors.append(f"{where}: sampling present in only one")
+        return
+    if ma is None:
+        return
+    da, db = dict(ma), dict(mb)
+    da.pop("cpu_seconds", None)
+    db.pop("cpu_seconds", None)
+    for k in sorted(set(da) | set(db)):
+        if da.get(k) != db.get(k):
+            errors.append(f"{where}: sampling[{k}]: "
+                          f"{da.get(k)!r} != {db.get(k)!r}")
+
+
+def miss_rate(cell):
+    stats = cell.get("stats", {})
+    return stats.get("xlate.misses", 0) / max(
+        stats.get("xlate.requests", 0), 1)
+
+
+def diff_cells_tolerant(a, b, tol, errors):
+    """The sampled-accuracy gate: B's estimates must track A's exact
+    numbers within the tolerance (see module docstring)."""
+    ca, cb = a.get("cells", []), b.get("cells", [])
+    if len(ca) != len(cb):
+        errors.append(f"cell count differs: {len(ca)} vs {len(cb)}")
+        return
+    for i, (x, y) in enumerate(zip(ca, cb)):
+        where = f"cell {i} ({x.get('program')}, {x.get('design')})"
+        for key in ("program", "design", "committed"):
+            if x.get(key) != y.get(key):
+                errors.append(f"{where}: {key}: "
+                              f"{x.get(key)!r} != {y.get(key)!r}")
+        ipc_a, ipc_b = x.get("ipc", 0), y.get("ipc", 0)
+        if abs(ipc_b - ipc_a) > tol * abs(ipc_a):
+            errors.append(
+                f"{where}: ipc {ipc_b:.4f} vs exact {ipc_a:.4f} "
+                f"({abs(ipc_b - ipc_a) / abs(ipc_a):.2%} > {tol:.2%})")
+        mr_a, mr_b = miss_rate(x), miss_rate(y)
+        if abs(mr_b - mr_a) > tol:
+            errors.append(
+                f"{where}: miss rate {mr_b:.4f} vs exact {mr_a:.4f} "
+                f"(|diff| {abs(mr_b - mr_a):.4f} > {tol})")
+
+
+def check_speedup(a, b, min_speedup, errors):
+    cost_a = sum(c.get("wall_seconds", 0) for c in a.get("cells", []))
+    cost_b = sum(c.get("wall_seconds", 0) for c in b.get("cells", []))
+    cost_b += b.get("summary", {}).get("sampling_prep_seconds", 0)
+    if cost_b <= 0:
+        errors.append("sampled report has no CPU-seconds accounting")
+        return 0.0
+    speedup = cost_a / cost_b
+    if speedup < min_speedup:
+        errors.append(
+            f"speedup {speedup:.2f}x < required {min_speedup}x "
+            f"(exact {cost_a:.2f}s vs sampled {cost_b:.2f}s CPU)")
+    return speedup
 
 
 def diff_intervals(x, y, where, errors):
@@ -108,21 +188,40 @@ def main():
     ap.add_argument("b")
     ap.add_argument("--max-report", type=int, default=20,
                     help="max mismatches to print (default 20)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="sampled-accuracy mode: relative ipc / "
+                         "absolute miss-rate tolerance")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="require A's cell CPU seconds to be at least "
+                         "this multiple of B's (needs --tolerance)")
     args = ap.parse_args()
+    if args.min_speedup is not None and args.tolerance is None:
+        ap.error("--min-speedup requires --tolerance")
 
     a, b = load(args.a), load(args.b)
     errors = []
-    sa = dict(a.get("summary", {}))
-    sb = dict(b.get("summary", {}))
-    sa.pop("wall_seconds", None)
-    sb.pop("wall_seconds", None)
-    if sa != sb:
-        errors.append(f"summary differs: {sa!r} != {sb!r}")
-    for key in ("designs", "programs"):
-        if a.get(key) != b.get(key):
-            errors.append(f"{key} differ: "
-                          f"{a.get(key)!r} != {b.get(key)!r}")
-    diff_cells(a, b, errors)
+    speedup = None
+    if args.tolerance is not None:
+        for key in ("designs", "programs"):
+            if a.get(key) != b.get(key):
+                errors.append(f"{key} differ: "
+                              f"{a.get(key)!r} != {b.get(key)!r}")
+        diff_cells_tolerant(a, b, args.tolerance, errors)
+        if args.min_speedup is not None:
+            speedup = check_speedup(a, b, args.min_speedup, errors)
+    else:
+        sa = dict(a.get("summary", {}))
+        sb = dict(b.get("summary", {}))
+        for host_side in ("wall_seconds", "sampling_prep_seconds"):
+            sa.pop(host_side, None)
+            sb.pop(host_side, None)
+        if sa != sb:
+            errors.append(f"summary differs: {sa!r} != {sb!r}")
+        for key in ("designs", "programs"):
+            if a.get(key) != b.get(key):
+                errors.append(f"{key} differ: "
+                              f"{a.get(key)!r} != {b.get(key)!r}")
+        diff_cells(a, b, errors)
 
     if errors:
         print(f"sweep_diff: {args.a} vs {args.b}: "
@@ -134,8 +233,14 @@ def main():
                   f"{len(errors) - args.max_report} more")
         sys.exit(1)
     ncells = len(a.get("cells", []))
-    print(f"sweep_diff: OK -- {ncells} cells identical "
-          "(ignoring meta, wall_seconds, and skip accounting)")
+    if args.tolerance is not None:
+        extra = (f", speedup {speedup:.2f}x"
+                 if speedup is not None else "")
+        print(f"sweep_diff: OK -- {ncells} cells within "
+              f"{args.tolerance:.2%} of exact{extra}")
+    else:
+        print(f"sweep_diff: OK -- {ncells} cells identical "
+              "(ignoring meta, wall_seconds, and skip accounting)")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,32 @@ FuncCore::FuncCore(vm::AddressSpace &mem, const kasm::Program &prog,
 }
 
 void
+FuncCore::saveState(CoreState &out) const
+{
+    for (unsigned r = 0; r < kNumIntRegs; ++r)
+        out.regs[r] = regs[r];
+    for (unsigned r = 0; r < kNumFpRegs; ++r)
+        out.fregs[r] = fregs[r];
+    out.pc = pc_;
+    out.halted = isHalted;
+    out.nextSeq = nextSeq;
+    out.stats = stats_;
+}
+
+void
+FuncCore::restoreState(const CoreState &s)
+{
+    for (unsigned r = 0; r < kNumIntRegs; ++r)
+        regs[r] = s.regs[r];
+    for (unsigned r = 0; r < kNumFpRegs; ++r)
+        fregs[r] = s.fregs[r];
+    pc_ = s.pc;
+    isHalted = s.halted;
+    nextSeq = s.nextSeq;
+    stats_ = s.stats;
+}
+
+void
 FuncCore::setInt(RegIndex r, RegVal v)
 {
     if (r != isa::reg::zero)

@@ -40,6 +40,22 @@ struct FuncStats
 void registerStats(obs::StatRegistry &reg, const std::string &prefix,
                    const FuncStats &s);
 
+/**
+ * The functional core's complete architectural state — everything a
+ * FuncCore needs to resume execution exactly where another one left
+ * off (sim::Checkpoint). The memory state lives separately in
+ * vm::SpaceState.
+ */
+struct CoreState
+{
+    RegVal regs[kNumIntRegs] = {};
+    FpRegVal fregs[kNumFpRegs] = {};
+    VAddr pc = 0;
+    bool halted = false;
+    InstSeq nextSeq = 0;
+    FuncStats stats;
+};
+
 /** Executes the HBAT ISA over an AddressSpace. */
 class FuncCore
 {
@@ -80,6 +96,18 @@ class FuncCore
     VAddr pc() const { return pc_; }
 
     const FuncStats &stats() const { return stats_; }
+
+    /** Copy the architectural state (registers, PC, halt flag,
+     *  sequence counter, counts) into @p out. */
+    void saveState(CoreState &out) const;
+
+    /**
+     * Overwrite the architectural state with @p s. The core must be
+     * running the same program (same StaticCode contents) as the one
+     * @p s was saved from; stepping then reproduces that core's
+     * instruction stream exactly, sequence numbers included.
+     */
+    void restoreState(const CoreState &s);
 
   private:
     void setInt(RegIndex r, RegVal v);

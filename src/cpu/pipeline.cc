@@ -919,6 +919,7 @@ Pipeline::run(uint64_t max_insts)
 
     Cycle lastCommitCycle = 0;
     uint64_t lastCommitted = 0;
+    bool warmupPending = bool(cfg.onWarmupDone);
 
     // Phase timer: a no-op branch per stage unless --self-profile.
     const bool prof = cfg.selfProfile;
@@ -959,6 +960,15 @@ Pipeline::run(uint64_t max_insts)
         hbat_assert(now - lastCommitCycle < 200000,
                     "pipeline deadlock at cycle ", now, " (committed ",
                     stats_.committed, ")");
+
+        // Warmup boundary (sampled simulation): commit counts only
+        // move in commitStage, so testing after the stages catches the
+        // crossing on the exact cycle it happens.
+        if (warmupPending && stats_.committed >= cfg.warmupInsts) {
+            warmupPending = false;
+            stats_.cycles = now + 1;    // as in maybeIntervalSample()
+            cfg.onWarmupDone(now + 1);
+        }
 
         // This cycle's deltas are complete: sample before any skip.
         maybeIntervalSample();

@@ -83,6 +83,19 @@ struct PipeConfig
     uint64_t statInterval = 0;
     std::function<void(Cycle)> onInterval;
 
+    /**
+     * Measurement-boundary hook for sampled simulation (DESIGN.md
+     * §14): invoke onWarmupDone exactly once, at the end of the first
+     * cycle whose committed-instruction count has reached warmupInsts
+     * (with warmupInsts = 0, after the first cycle). As with
+     * onInterval, stats a registry snapshot would read are refreshed
+     * first, and the boundary is exact under idle-cycle skipping —
+     * committed counts are frozen across a skipped span, so a span
+     * never crosses the boundary. Unset = off.
+     */
+    uint64_t warmupInsts = 0;
+    std::function<void(Cycle)> onWarmupDone;
+
     /** Record the per-PC translation profile (PipeStats::pcProfile). */
     bool pcProfile = false;
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A functional-execution checkpoint: everything needed to resume a
+ * program mid-run without replaying its prefix (DESIGN.md §14).
+ *
+ * A checkpoint captures the architectural machine — core registers
+ * and counts, the address space's private pages and page table — plus
+ * the warm-up aids the sampled simulator uses to shorten detailed
+ * warmup: the functional TLB filter states and the recently-touched
+ * VPN set. It deliberately does NOT capture any timing state: the
+ * detailed pipeline, caches, and translation engine are rebuilt fresh
+ * per measurement interval and warmed for SimConfig::sampleWarmupInsts
+ * instructions before measurement starts.
+ *
+ * Page payloads are shared_ptr-held so consecutive checkpoints of one
+ * run share the copies of pages that did not change in between (see
+ * FuncExecutor::save) — a run's checkpoint train costs memory
+ * proportional to the pages written per period, not to the footprint
+ * times the checkpoint count.
+ */
+
+#ifndef HBAT_SIM_CHECKPOINT_HH
+#define HBAT_SIM_CHECKPOINT_HH
+
+#include <optional>
+#include <vector>
+
+#include "cpu/func_core.hh"
+#include "tlb/tlb_array.hh"
+#include "vm/address_space.hh"
+
+namespace hbat::sim
+{
+
+/** Reference/miss counts of one functional TLB filter. */
+struct FuncTlbStats
+{
+    uint64_t refs = 0;
+    uint64_t misses = 0;
+};
+
+/** One resumable point in a program's execution. */
+struct Checkpoint
+{
+    /** Architected instructions executed before this point. */
+    uint64_t instCount = 0;
+
+    cpu::CoreState core;    ///< registers, PC, counts, halt flag
+    vm::SpaceState mem;     ///< private pages + page table
+
+    /** A functional TLB filter's state (fig6-style miss counting). */
+    struct Filter
+    {
+        tlb::TlbArray tlb;
+        FuncTlbStats stats;
+    };
+    std::vector<Filter> filters;
+
+    /**
+     * The warm-set tracker: an LRU array over data VPNs maintained by
+     * the functional pass (FuncExecutor::kWarmEntries entries). Its
+     * residents approximate the TLB-resident set of a detailed run
+     * reaching this point; replaying them into a fresh translation
+     * engine (oldest first, via warmVpns()) shortens the detailed
+     * warmup a measurement interval needs.
+     */
+    std::optional<tlb::TlbArray> warm;
+
+    /** The warm set's resident VPNs, oldest use first — replay order
+     *  for TranslationEngine::fill(). Empty without a tracker. */
+    std::vector<Vpn> warmVpns() const;
+};
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_CHECKPOINT_HH

@@ -1,0 +1,123 @@
+#include "sim/fastfwd.hh"
+
+namespace hbat::sim
+{
+
+std::vector<Vpn>
+Checkpoint::warmVpns() const
+{
+    if (!warm)
+        return {};
+    return warm->residentsByAge();
+}
+
+FuncExecutor::FuncExecutor(const kasm::Program &prog,
+                           vm::PageParams pages, bool page_mru,
+                           std::shared_ptr<const cpu::StaticCode> code,
+                           std::shared_ptr<const vm::ProgramImage> image)
+    : space_(pages, page_mru, std::move(image)),
+      core_(space_, prog, std::move(code))
+{
+    // FuncCore's constructor reads no memory, so loading after it is
+    // safe — and mirrors simulateWithEngine()'s construction order.
+    if (!space_.hasImage())
+        space_.load(prog);
+}
+
+size_t
+FuncExecutor::addTlbFilter(unsigned entries, tlb::Replacement repl,
+                           uint64_t seed)
+{
+    filters_.push_back(
+        Checkpoint::Filter{tlb::TlbArray(entries, repl, seed), {}});
+    return filters_.size() - 1;
+}
+
+void
+FuncExecutor::enableWarmTracking()
+{
+    if (!warm_)
+        warm_.emplace(kWarmEntries, tlb::Replacement::Lru);
+}
+
+uint64_t
+FuncExecutor::advance(uint64_t max_insts)
+{
+    const vm::PageParams &pages = space_.params();
+    const bool feed = warm_ || ptTrack_ || !filters_.empty();
+    uint64_t done = 0;
+    while (done < max_insts && !core_.halted()) {
+        core_.stepInto(dyn_);
+        ++done;
+        if (!feed || !dyn_.isMem())
+            continue;
+
+        const Vpn vpn = pages.vpn(dyn_.effAddr);
+        // The reference tick: the running data-reference count. The
+        // step above already counted this access, so the tick matches
+        // a pre-increment on the spot — the fig6 convention.
+        const cpu::FuncStats &fs = core_.stats();
+        const Cycle tick = Cycle(fs.loads + fs.stores);
+
+        if (ptTrack_)
+            space_.pageTable().reference(vpn, dyn_.isStore);
+        if (warm_)
+            warm_->insert(vpn, tick);
+        for (Checkpoint::Filter &f : filters_) {
+            ++f.stats.refs;
+            if (!f.tlb.lookup(vpn, tick)) {
+                ++f.stats.misses;
+                f.tlb.insert(vpn, tick);
+            }
+        }
+    }
+    return done;
+}
+
+namespace
+{
+
+/**
+ * Share page payloads with the run's previous checkpoint: a page
+ * whose bytes did not change since simply reuses the earlier copy
+ * (both state vectors are vpn-sorted, so one merge pass suffices).
+ */
+void
+sharePages(vm::SpaceState &cur, const vm::SpaceState &prev)
+{
+    size_t j = 0;
+    for (vm::SpaceState::Page &p : cur.pages) {
+        while (j < prev.pages.size() && prev.pages[j].vpn < p.vpn)
+            ++j;
+        if (j == prev.pages.size())
+            break;
+        const vm::SpaceState::Page &q = prev.pages[j];
+        if (q.vpn == p.vpn && *q.data == *p.data)
+            p.data = q.data;
+    }
+}
+
+} // namespace
+
+void
+FuncExecutor::save(Checkpoint &out, const Checkpoint *prev) const
+{
+    out.instCount = core_.stats().instructions;
+    core_.saveState(out.core);
+    space_.saveState(out.mem);
+    if (prev)
+        sharePages(out.mem, prev->mem);
+    out.filters = filters_;
+    out.warm = warm_;
+}
+
+void
+FuncExecutor::restore(const Checkpoint &ck)
+{
+    core_.restoreState(ck.core);
+    space_.restoreState(ck.mem);
+    filters_ = ck.filters;
+    warm_ = ck.warm;
+}
+
+} // namespace hbat::sim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Functional fast-forward: architectural execution at instruction
+ * granularity with no pipeline, no caches, and no timing (DESIGN.md
+ * §14).
+ *
+ * One FuncExecutor is THE functional path of the simulator — the
+ * sampled simulator's fast-forward engine and the fig6 miss-rate
+ * study's measurement loop are the same code. It owns a private
+ * AddressSpace + FuncCore and advances them instruction by
+ * instruction, optionally feeding every data reference to:
+ *
+ *  - functional TLB filters (addTlbFilter): idealized single-cycle
+ *    TLBs counting references and misses, exactly the fig6
+ *    methodology — structure miss rates, independent of any pipeline;
+ *  - the warm-set tracker (enableWarmTracking): one LRU array whose
+ *    residents seed a detailed interval's translation engine;
+ *  - the page table (trackPageTable): architectural
+ *    referenced/dirty-bit updates and first-touch frame allocation,
+ *    so a checkpoint's page table matches what a detailed run
+ *    reaching the same point would have built.
+ *
+ * save()/restore() move the complete state to/from sim::Checkpoint;
+ * restore-then-advance reproduces the original run bit for bit.
+ */
+
+#ifndef HBAT_SIM_FASTFWD_HH
+#define HBAT_SIM_FASTFWD_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/func_core.hh"
+#include "sim/checkpoint.hh"
+#include "tlb/tlb_array.hh"
+#include "vm/address_space.hh"
+#include "vm/program_image.hh"
+
+namespace hbat::sim
+{
+
+/** Functionally executes one program, at instruction granularity. */
+class FuncExecutor
+{
+  public:
+    /** Warm-set tracker capacity: comfortably larger than any Table 2
+     *  TLB, so replay can fill even the biggest design. */
+    static constexpr unsigned kWarmEntries = 512;
+
+    /**
+     * @param prog the linked program
+     * @param pages page geometry (must match @p image when given)
+     * @param page_mru AddressSpace MRU pointer cache (host-side)
+     * @param code optional shared pre-decoded text (see simulate())
+     * @param image optional shared page image (see simulate())
+     */
+    explicit FuncExecutor(
+        const kasm::Program &prog,
+        vm::PageParams pages = vm::PageParams{}, bool page_mru = true,
+        std::shared_ptr<const cpu::StaticCode> code = nullptr,
+        std::shared_ptr<const vm::ProgramImage> image = nullptr);
+
+    /**
+     * Add a functional TLB filter fed by every subsequent data
+     * reference; returns its index for filterStats(). The reference
+     * tick given to the array is the running data-reference count, so
+     * miss counts depend only on the reference stream — the fig6
+     * methodology, byte for byte.
+     */
+    size_t addTlbFilter(unsigned entries, tlb::Replacement repl,
+                        uint64_t seed);
+
+    /** A filter's reference/miss counts so far. */
+    const FuncTlbStats &
+    filterStats(size_t i) const
+    {
+        return filters_[i].stats;
+    }
+
+    /** Start maintaining the warm-set tracker (LRU over data VPNs;
+     *  deliberately randomness-free, so checkpoints are
+     *  design-independent). */
+    void enableWarmTracking();
+
+    /** Start updating the page table on every data reference
+     *  (first-touch frame allocation + referenced/dirty bits). */
+    void trackPageTable(bool on) { ptTrack_ = on; }
+
+    /**
+     * Execute up to @p max_insts instructions (fewer if the program
+     * halts); returns the number executed.
+     */
+    uint64_t advance(uint64_t max_insts);
+
+    bool halted() const { return core_.halted(); }
+
+    /** Architected instructions executed so far. */
+    uint64_t instCount() const { return core_.stats().instructions; }
+
+    cpu::FuncCore &core() { return core_; }
+    const cpu::FuncCore &core() const { return core_; }
+    vm::AddressSpace &space() { return space_; }
+    const vm::AddressSpace &space() const { return space_; }
+
+    /**
+     * Capture the complete state into @p out. With @p prev (the same
+     * run's previous checkpoint), page copies that did not change
+     * since are shared with it instead of duplicated.
+     */
+    void save(Checkpoint &out, const Checkpoint *prev = nullptr) const;
+
+    /**
+     * Overwrite the complete state with @p ck. The executor must have
+     * been constructed for the same program, geometry, and shared
+     * image as the one that saved @p ck; advancing then reproduces
+     * the original run exactly.
+     */
+    void restore(const Checkpoint &ck);
+
+  private:
+    vm::AddressSpace space_;
+    cpu::FuncCore core_;
+    std::vector<Checkpoint::Filter> filters_;
+    std::optional<tlb::TlbArray> warm_;
+    bool ptTrack_ = false;
+    cpu::DynInst dyn_;
+};
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_FASTFWD_HH

@@ -1,0 +1,484 @@
+#include "sim/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+
+#include "common/job_pool.hh"
+#include "obs/trace.hh"
+#include "sim/fastfwd.hh"
+
+namespace hbat::sim
+{
+
+namespace
+{
+
+/** Thread CPU seconds — the sampling cost metric (per-thread, so
+ *  parallel intervals report their own cost, not wall time). */
+double
+threadCpu()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+/**
+ * Two-sided 95% Student-t critical value for @p df degrees of
+ * freedom; the normal 1.96 beyond the table. Sampled runs usually
+ * have dozens to thousands of intervals, but tiny programs can leave
+ * a handful — the t correction keeps their intervals honest.
+ */
+double
+tCrit95(uint64_t df)
+{
+    static const double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0)
+        return 0.0;
+    if (df <= sizeof(kTable) / sizeof(kTable[0]))
+        return kTable[df - 1];
+    return 1.96;
+}
+
+/**
+ * Classical ratio estimator R = sum(num) / sum(den) over paired
+ * interval observations, with its 95% confidence half-width:
+ * s^2 = sum((num_i - R den_i)^2) / (n-1), se = sqrt(s^2/n) / mean(den).
+ */
+double
+ratioEstimate(const std::vector<double> &num,
+              const std::vector<double> &den, double &ci95)
+{
+    const size_t n = num.size();
+    double sn = 0, sd = 0;
+    for (size_t i = 0; i < n; ++i) {
+        sn += num[i];
+        sd += den[i];
+    }
+    ci95 = 0.0;
+    if (sd <= 0)
+        return 0.0;
+    const double r = sn / sd;
+    if (n >= 2) {
+        double s2 = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const double e = num[i] - r * den[i];
+            s2 += e * e;
+        }
+        s2 /= double(n - 1);
+        const double dbar = sd / double(n);
+        ci95 = tCrit95(n - 1) * (std::sqrt(s2 / double(n)) / dbar);
+    }
+    return r;
+}
+
+/** Locate a stat by name in a (name-sorted) snapshot. */
+const obs::StatValue *
+findStat(const obs::StatSnapshot &snap, const std::string &name)
+{
+    for (const obs::StatValue &sv : snap)
+        if (sv.name == name)
+            return &sv;
+    return nullptr;
+}
+
+/** The simulateWithEngine() machine-parameter copy, shared by the
+ *  interval runner and the checkpoint-continuation runner. */
+cpu::PipeConfig
+pipeConfigFrom(const SimConfig &cfg)
+{
+    cpu::PipeConfig pc;
+    pc.inOrder = cfg.inOrder;
+    pc.width = cfg.issueWidth;
+    pc.robSize = cfg.robSize;
+    pc.lsqSize = cfg.lsqSize;
+    pc.fetchQueueSize = cfg.fetchQueueSize;
+    pc.cachePorts = cfg.cachePorts;
+    pc.mispredictPenalty = cfg.mispredictPenalty;
+    pc.tlbMissLatency = cfg.tlbMissLatency;
+    pc.fus = cfg.fus;
+    pc.icache = cfg.icache;
+    pc.dcache = cfg.dcache;
+    pc.idleSkip = cfg.idleSkip;
+    return pc;
+}
+
+/** One detailed interval's raw yield: registry snapshots at the
+ *  warmup boundary and at the end of the measurement window. */
+struct IntervalOut
+{
+    obs::StatSnapshot warm;
+    obs::StatSnapshot end;
+    double cpuSeconds = 0;
+};
+
+/**
+ * Run one detailed measurement interval seeded by @p ck: restore the
+ * architectural state, replay the warm VPN set into a fresh engine,
+ * and run the full pipeline for warmup + measure instructions.
+ */
+IntervalOut
+runInterval(const kasm::Program &prog, const SimConfig &cfg,
+            const EngineFactory &make_engine, const Checkpoint &ck,
+            const std::shared_ptr<const cpu::StaticCode> &code,
+            const std::shared_ptr<const vm::ProgramImage> &image)
+{
+    IntervalOut out;
+    const double t0 = threadCpu();
+
+    // Intervals may run on pool threads: route this run's trace
+    // events like any other run would.
+    obs::ScopedTraceSink trace_sink(
+        cfg.traceSink ? *cfg.traceSink : obs::defaultTraceSink());
+
+    vm::AddressSpace space{vm::PageParams(cfg.pageBytes), cfg.pageMru,
+                           image};
+    if (!space.hasImage())
+        space.load(prog);
+    cpu::FuncCore core(space, prog, code);
+    space.restoreState(ck.mem);
+    core.restoreState(ck.core);
+
+    auto engine = make_engine(space.pageTable());
+    for (Vpn vpn : ck.warmVpns())
+        engine->fill(vpn, 0);
+
+    obs::StatRegistry reg;
+    cpu::PipeConfig pipe_cfg = pipeConfigFrom(cfg);
+    pipe_cfg.warmupInsts = cfg.sampleWarmupInsts;
+    pipe_cfg.onWarmupDone = [&out, &reg](Cycle) {
+        out.warm = reg.snapshot();
+    };
+
+    cpu::Pipeline pipe(pipe_cfg, core, *engine, space.params());
+    pipe.registerStats(reg, "pipe");
+    engine->registerStats(reg, "xlate");
+    cpu::registerStats(reg, "func", core.stats());
+    reg.formula("vm.touched_pages", "distinct pages touched",
+                [&space] { return double(space.touchedPages()); });
+
+    // Never commit past the run-wide cap: the checkpoint's prefix
+    // already accounts for ck.instCount of it.
+    uint64_t budget = cfg.sampleWarmupInsts + cfg.sampleMeasureInsts;
+    if (cfg.maxInsts != ~uint64_t(0)) {
+        hbat_assert(cfg.maxInsts >= ck.instCount,
+                    "checkpoint beyond maxInsts");
+        budget = std::min(budget, cfg.maxInsts - ck.instCount);
+    }
+    pipe.run(budget);
+    out.end = reg.snapshot();
+    out.cpuSeconds = threadCpu() - t0;
+    return out;
+}
+
+} // namespace
+
+std::shared_ptr<const CheckpointSet>
+buildCheckpoints(const kasm::Program &prog, const SimConfig &cfg,
+                 std::shared_ptr<const cpu::StaticCode> code,
+                 std::shared_ptr<const vm::ProgramImage> image)
+{
+    hbat_assert(cfg.samplePeriodInsts > 0,
+                "checkpoint spacing must be positive");
+    auto set = std::make_shared<CheckpointSet>();
+    set->periodInsts = cfg.samplePeriodInsts;
+
+    const double t0 = threadCpu();
+    FuncExecutor fx(prog, vm::PageParams(cfg.pageBytes), cfg.pageMru,
+                    std::move(code), std::move(image));
+    fx.enableWarmTracking();
+    fx.trackPageTable(true);
+
+    const uint64_t cap = cfg.maxInsts;
+    while (!fx.halted() && fx.instCount() < cap) {
+        Checkpoint ck;
+        fx.save(ck, set->points.empty() ? nullptr
+                                        : &set->points.back());
+        set->points.push_back(std::move(ck));
+        const uint64_t target = std::min(
+            cap, uint64_t(set->points.size()) * set->periodInsts);
+        fx.advance(target - fx.instCount());
+        if (target == cap)
+            break;
+    }
+
+    set->totalInsts = fx.instCount();
+    set->func = fx.core().stats();
+    set->touchedPages = fx.space().touchedPages();
+    set->cpuSeconds = threadCpu() - t0;
+    return set;
+}
+
+SimResult
+simulateSampledWithEngine(const kasm::Program &prog,
+                          const SimConfig &cfg,
+                          const EngineFactory &make_engine,
+                          const std::string &design_label,
+                          std::shared_ptr<const cpu::StaticCode> code,
+                          std::shared_ptr<const vm::ProgramImage> image,
+                          std::shared_ptr<const CheckpointSet> ckpts)
+{
+    hbat_assert(cfg.samplePeriodInsts > 0,
+                "sampled run without a sampling period");
+    // Sampled estimates are whole-run reconstructions; the per-cycle
+    // observability modes have no meaningful sampled counterpart.
+    hbat_assert(cfg.intervalCycles == 0 && !cfg.pipeview &&
+                    !cfg.pcProfile,
+                "interval stats, pipeview, and the PC profile require "
+                "exact (unsampled) simulation");
+
+    detail::SimRunGauge gauge;
+
+    double ownPassCpu = 0;
+    if (!ckpts) {
+        const double t0 = threadCpu();
+        ckpts = buildCheckpoints(prog, cfg, code, image);
+        ownPassCpu = threadCpu() - t0;
+    }
+    const CheckpointSet &set = *ckpts;
+    hbat_assert(set.periodInsts == cfg.samplePeriodInsts,
+                "checkpoint set built for a different period");
+
+    // Detailed intervals: independent, deterministic, and written to
+    // pre-sized slots — identical estimates at any job count.
+    std::vector<IntervalOut> outs(set.points.size());
+    parallelFor(set.points.size(), std::max(1u, cfg.sampleJobs),
+                [&](size_t i) {
+                    outs[i] = runInterval(prog, cfg, make_engine,
+                                          set.points[i], code, image);
+                });
+
+    SimResult res;
+    res.program = prog.name;
+    res.design = design_label;
+    res.func = set.func;
+    res.touchedPages = set.touchedPages;
+
+    SamplingInfo &info = res.sampling;
+    info.periodInsts = cfg.samplePeriodInsts;
+    info.warmupInsts = cfg.sampleWarmupInsts;
+    info.measureInsts = cfg.sampleMeasureInsts;
+    info.totalInsts = set.totalInsts;
+    info.intervalCpuSeconds = ownPassCpu;
+    for (const IntervalOut &o : outs)
+        info.intervalCpuSeconds += o.cpuSeconds;
+
+    // Usable intervals completed their warmup and measured at least
+    // one instruction; a truncated tail interval contributes nothing.
+    std::vector<const IntervalOut *> used;
+    std::vector<double> insts, cycles;
+    for (const IntervalOut &o : outs) {
+        if (o.warm.empty())
+            continue;
+        const obs::StatValue *wc = findStat(o.warm, "pipe.committed");
+        const obs::StatValue *ec = findStat(o.end, "pipe.committed");
+        const obs::StatValue *wy = findStat(o.warm, "pipe.cycles");
+        const obs::StatValue *ey = findStat(o.end, "pipe.cycles");
+        hbat_assert(wc && ec && wy && ey, "pipe stats missing");
+        const double m = ec->value - wc->value;
+        const double c = ey->value - wy->value;
+        if (m <= 0 || c <= 0)
+            continue;
+        used.push_back(&o);
+        insts.push_back(m);
+        cycles.push_back(c);
+    }
+
+    if (used.empty()) {
+        // The program is too short for even one full interval (it
+        // halted inside every warmup window). Fall back to the exact
+        // detailed run — still correct, just unsampled.
+        SimConfig exact = cfg;
+        exact.samplePeriodInsts = 0;
+        return simulateWithEngine(prog, exact, make_engine,
+                                  design_label, std::move(code),
+                                  std::move(image));
+    }
+
+    info.enabled = true;
+    info.intervals = used.size();
+    for (size_t i = 0; i < used.size(); ++i) {
+        info.measuredInsts += uint64_t(std::llround(insts[i]));
+        info.measuredCycles += uint64_t(std::llround(cycles[i]));
+    }
+    info.ipc = ratioEstimate(insts, cycles, info.ipcCi95);
+
+    const double totalD = double(set.totalInsts);
+
+    // Reconstruct the stat snapshot: every counter extrapolates by
+    // the ratio estimator against measured instructions. Formulas are
+    // omitted (not reconstructible from deltas); the architectural
+    // counters are replaced by the functional pass's exact totals
+    // below.
+    const obs::StatSnapshot &tmpl = used.front()->end;
+    std::vector<double> deltas(used.size());
+    auto estimate = [&](double &ci95) {
+        double r = ratioEstimate(deltas, insts, ci95);
+        ci95 *= totalD;
+        return r * totalD;
+    };
+
+    obs::StatSnapshot synth;
+    for (size_t j = 0; j < tmpl.size(); ++j) {
+        if (tmpl[j].kind == obs::StatKind::Formula)
+            continue;
+        obs::StatValue sv = tmpl[j];
+        for (const IntervalOut *o : used)
+            hbat_assert(o->warm[j].name == sv.name &&
+                            o->end[j].name == sv.name,
+                        "interval snapshots out of line");
+        switch (sv.kind) {
+          case obs::StatKind::Scalar: {
+            for (size_t i = 0; i < used.size(); ++i)
+                deltas[i] = used[i]->end[j].value -
+                            used[i]->warm[j].value;
+            double ci = 0;
+            sv.value = estimate(ci);
+            info.scalars.push_back(
+                SamplingEstimate{sv.name, sv.value, ci});
+            break;
+          }
+          case obs::StatKind::Vector: {
+            for (size_t e = 0; e < sv.values.size(); ++e) {
+                for (size_t i = 0; i < used.size(); ++i)
+                    deltas[i] = used[i]->end[j].values[e] -
+                                used[i]->warm[j].values[e];
+                double ci = 0;
+                sv.values[e] = estimate(ci);
+            }
+            break;
+          }
+          case obs::StatKind::Histogram: {
+            for (size_t e = 0; e < sv.values.size(); ++e) {
+                for (size_t i = 0; i < used.size(); ++i)
+                    deltas[i] = used[i]->end[j].values[e] -
+                                used[i]->warm[j].values[e];
+                double ci = 0;
+                sv.values[e] = estimate(ci);
+            }
+            for (size_t i = 0; i < used.size(); ++i)
+                deltas[i] = double(used[i]->end[j].samples) -
+                            double(used[i]->warm[j].samples);
+            double ci = 0;
+            sv.samples =
+                uint64_t(std::llround(std::max(0.0, estimate(ci))));
+            for (size_t i = 0; i < used.size(); ++i)
+                deltas[i] = double(used[i]->end[j].sum) -
+                            double(used[i]->warm[j].sum);
+            sv.sum =
+                uint64_t(std::llround(std::max(0.0, estimate(ci))));
+            sv.mean = sv.samples == 0
+                          ? 0.0
+                          : double(sv.sum) / double(sv.samples);
+            break;
+          }
+          case obs::StatKind::Formula:
+            break;
+        }
+        synth.push_back(std::move(sv));
+    }
+
+    // The architectural counters are known exactly — the functional
+    // pass ran the whole program. Report them exactly, estimator CI
+    // zero.
+    const std::pair<const char *, uint64_t> exactStats[] = {
+        {"func.instructions", set.func.instructions},
+        {"func.loads", set.func.loads},
+        {"func.stores", set.func.stores},
+        {"func.branches", set.func.branches},
+        {"func.taken_branches", set.func.takenBranches},
+        {"func.fp_ops", set.func.fpOps},
+    };
+    for (obs::StatValue &sv : synth) {
+        for (const auto &[name, v] : exactStats) {
+            if (sv.name == name) {
+                sv.value = double(v);
+                for (SamplingEstimate &e : info.scalars) {
+                    if (e.name == name) {
+                        e.total = double(v);
+                        e.ci95 = 0.0;
+                    }
+                }
+            }
+        }
+    }
+    res.stats = std::move(synth);
+
+    // Headline timing numbers: exact instruction count, estimated
+    // cycle count (consistent with the snapshot's pipe.cycles).
+    res.pipe.committed = set.totalInsts;
+    res.pipe.committedLoads = set.func.loads;
+    res.pipe.committedStores = set.func.stores;
+    double cycCi = 0;
+    res.pipe.cycles = Cycle(std::llround(
+        std::max(1.0, ratioEstimate(cycles, insts, cycCi) * totalD)));
+    return res;
+}
+
+SimResult
+simulateSampled(const kasm::Program &prog, const SimConfig &cfg,
+                std::shared_ptr<const cpu::StaticCode> code,
+                std::shared_ptr<const vm::ProgramImage> image,
+                std::shared_ptr<const CheckpointSet> ckpts)
+{
+    std::string label;
+    const EngineFactory factory = defaultEngineFactory(cfg, label);
+    return simulateSampledWithEngine(prog, cfg, factory, label,
+                                     std::move(code), std::move(image),
+                                     std::move(ckpts));
+}
+
+SimResult
+simulateFromCheckpoint(const kasm::Program &prog, const SimConfig &cfg,
+                       const Checkpoint &ck,
+                       std::shared_ptr<const cpu::StaticCode> code,
+                       std::shared_ptr<const vm::ProgramImage> image)
+{
+    detail::SimRunGauge gauge;
+    obs::ScopedTraceSink trace_sink(
+        cfg.traceSink ? *cfg.traceSink : obs::defaultTraceSink());
+
+    vm::AddressSpace space{vm::PageParams(cfg.pageBytes), cfg.pageMru,
+                           std::move(image)};
+    if (!space.hasImage())
+        space.load(prog);
+    cpu::FuncCore core(space, prog, std::move(code));
+    space.restoreState(ck.mem);
+    core.restoreState(ck.core);
+
+    std::string label;
+    const EngineFactory factory = defaultEngineFactory(cfg, label);
+    auto engine = factory(space.pageTable());
+
+    SimResult res;
+    obs::StatRegistry reg;
+    cpu::Pipeline pipe(pipeConfigFrom(cfg), core, *engine,
+                       space.params());
+    pipe.registerStats(reg, "pipe");
+    engine->registerStats(reg, "xlate");
+    cpu::registerStats(reg, "func", core.stats());
+    reg.formula("vm.touched_pages", "distinct pages touched",
+                [&space] { return double(space.touchedPages()); });
+
+    uint64_t budget = ~uint64_t(0);
+    if (cfg.maxInsts != ~uint64_t(0)) {
+        hbat_assert(cfg.maxInsts >= ck.instCount,
+                    "checkpoint beyond maxInsts");
+        budget = cfg.maxInsts - ck.instCount;
+    }
+
+    res.program = prog.name;
+    res.design = label;
+    res.pipe = pipe.run(budget);
+    res.func = core.stats();
+    res.touchedPages = space.touchedPages();
+    res.stats = reg.snapshot();
+    return res;
+}
+
+} // namespace hbat::sim

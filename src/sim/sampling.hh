@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Sampled simulation: checkpointed functional fast-forward plus
+ * interval-sampled detailed measurement (DESIGN.md §14).
+ *
+ * The whole program executes once functionally (FuncExecutor),
+ * dropping a Checkpoint every SimConfig::samplePeriodInsts
+ * instructions. Each checkpoint seeds one detailed interval: restore
+ * the architectural state, replay the checkpoint's warm VPN set into
+ * a fresh translation engine, run the full pipeline for
+ * sampleWarmupInsts (discarded) + sampleMeasureInsts (measured)
+ * instructions. Per-stat whole-run totals are then reconstructed with
+ * the ratio estimator
+ *
+ *     total = N * (sum of interval deltas) / (sum of measured insts)
+ *
+ * where N is the exact whole-run instruction count from the
+ * functional pass, and each total carries a 95% confidence half-width
+ * from the classical ratio-estimator variance over intervals
+ * (Student-t for small interval counts). IPC is estimated the same
+ * way with cycles as the denominator.
+ *
+ * Intervals are independent, so they parallelize perfectly
+ * (SimConfig::sampleJobs); estimates are bit-identical at any job
+ * count. Checkpoints depend only on (program, page geometry, period)
+ * — never on the translation design — so a sweep builds one
+ * CheckpointSet per program and shares it across every design column.
+ */
+
+#ifndef HBAT_SIM_SAMPLING_HH
+#define HBAT_SIM_SAMPLING_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/simulator.hh"
+
+namespace hbat::sim
+{
+
+/** One program's checkpoint train for a given sampling period. */
+struct CheckpointSet
+{
+    uint64_t periodInsts = 0;   ///< checkpoint spacing (instructions)
+    std::vector<Checkpoint> points;
+
+    uint64_t totalInsts = 0;    ///< exact whole-run instruction count
+    cpu::FuncStats func;        ///< exact architectural counts
+    uint64_t touchedPages = 0;  ///< exact data footprint
+
+    /** Host thread-CPU seconds the functional pass cost (host-side,
+     *  excluded from determinism comparisons). */
+    double cpuSeconds = 0;
+};
+
+/**
+ * Run the functional pass for @p prog and capture a checkpoint every
+ * cfg.samplePeriodInsts instructions (the first at instruction 0).
+ * Uses cfg's page geometry, MRU setting, and maxInsts cap; the
+ * translation design is irrelevant here, so one set serves every
+ * design. @p code / @p image as in simulate().
+ */
+std::shared_ptr<const CheckpointSet> buildCheckpoints(
+    const kasm::Program &prog, const SimConfig &cfg,
+    std::shared_ptr<const cpu::StaticCode> code = nullptr,
+    std::shared_ptr<const vm::ProgramImage> image = nullptr);
+
+/**
+ * Sampled counterpart of simulateWithEngine(): estimate the full
+ * run's results from detailed measurement intervals seeded by @p
+ * ckpts (built on the spot when null — sweeps pass a shared set so
+ * the functional pass runs once per program, not once per cell).
+ * Requires cfg.samplePeriodInsts != 0; the estimates land in
+ * SimResult::sampling alongside a synthesized stat snapshot
+ * (formula stats are omitted — they are not reconstructible from
+ * interval deltas — and func.* / vm footprint values are the exact
+ * functional-pass totals, not estimates).
+ */
+SimResult simulateSampledWithEngine(
+    const kasm::Program &prog, const SimConfig &cfg,
+    const EngineFactory &make_engine, const std::string &design_label,
+    std::shared_ptr<const cpu::StaticCode> code = nullptr,
+    std::shared_ptr<const vm::ProgramImage> image = nullptr,
+    std::shared_ptr<const CheckpointSet> ckpts = nullptr);
+
+/**
+ * As simulate(), but sampled: dispatches the translation design the
+ * same way (customDesign overrides the enum row) and forwards to
+ * simulateSampledWithEngine().
+ */
+SimResult simulateSampled(
+    const kasm::Program &prog, const SimConfig &cfg,
+    std::shared_ptr<const cpu::StaticCode> code = nullptr,
+    std::shared_ptr<const vm::ProgramImage> image = nullptr,
+    std::shared_ptr<const CheckpointSet> ckpts = nullptr);
+
+/**
+ * Resume a full detailed run from @p ck and run it to completion —
+ * the checkpoint-determinism probe: restoring a checkpoint and
+ * running detailed must reproduce, stat for stat, a run that
+ * fast-forwarded to the same point without a save/restore round trip.
+ * No warm replay and no warmup hook: this is an exact continuation,
+ * not a sampled interval. cfg.maxInsts caps *total* committed
+ * instructions including the checkpoint's prefix.
+ */
+SimResult simulateFromCheckpoint(
+    const kasm::Program &prog, const SimConfig &cfg,
+    const Checkpoint &ck,
+    std::shared_ptr<const cpu::StaticCode> code = nullptr,
+    std::shared_ptr<const vm::ProgramImage> image = nullptr);
+
+} // namespace hbat::sim
+
+#endif // HBAT_SIM_SAMPLING_HH

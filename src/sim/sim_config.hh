@@ -82,6 +82,37 @@ struct SimConfig
      */
     bool pageMru = true;
 
+    /// @name Interval sampling (DESIGN.md §14)
+    /// @{
+    /**
+     * Sampled simulation: fast-forward functionally and run the
+     * detailed pipeline only for one measurement interval per this
+     * many architected instructions (0 = exact detailed simulation of
+     * the whole program, the default and the only mode the paper's
+     * figures use). Results become estimates with confidence
+     * intervals (SimResult::sampling).
+     */
+    uint64_t samplePeriodInsts = 0;
+
+    /**
+     * Detailed instructions run at the head of each sampled interval
+     * to warm the pipeline, caches, and TLB before measurement
+     * starts; excluded from the estimates.
+     */
+    uint64_t sampleWarmupInsts = 2000;
+
+    /** Detailed instructions measured per sampled interval. */
+    uint64_t sampleMeasureInsts = 4000;
+
+    /**
+     * Worker threads for a sampled run's detailed intervals (they are
+     * independent and embarrassingly parallel). The harness raises
+     * this only for single-cell sweeps — cells are already parallel.
+     * Estimates are identical at any value.
+     */
+    unsigned sampleJobs = 1;
+    /// @}
+
     /**
      * Enable the pipeline's event-driven idle-cycle skipping (another
      * pure host-side optimization, DESIGN.md §9). Off only for A/B

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "obs/trace.hh"
+#include "sim/sampling.hh"
 #include "tlb/design.hh"
 #include "vm/address_space.hh"
 
@@ -34,6 +35,17 @@ activeSimulations()
     return activeRuns_.load(std::memory_order_relaxed);
 }
 
+detail::SimRunGauge::SimRunGauge()
+{
+    activeRuns_.fetch_add(1, std::memory_order_relaxed);
+}
+
+detail::SimRunGauge::~SimRunGauge()
+{
+    const int was = activeRuns_.fetch_sub(1, std::memory_order_relaxed);
+    hbat_assert(was >= 1, "simulation run counter underflow");
+}
+
 SimResult
 simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    const EngineFactory &make_engine,
@@ -41,6 +53,15 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    std::shared_ptr<const cpu::StaticCode> code,
                    std::shared_ptr<const vm::ProgramImage> image)
 {
+    // Sampled mode replaces the single detailed run with a functional
+    // fast-forward plus per-interval detailed runs (sim/sampling.hh);
+    // the sampled driver never calls back into this function.
+    if (cfg.samplePeriodInsts != 0) {
+        return simulateSampledWithEngine(prog, cfg, make_engine,
+                                         design_label, std::move(code),
+                                         std::move(image));
+    }
+
     RunScope scope;
 
     // Per-run trace destination: the run's events (emitted on this
@@ -113,27 +134,33 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
     return res;
 }
 
+EngineFactory
+defaultEngineFactory(const SimConfig &cfg, std::string &label)
+{
+    // A config-driven design (sweep cell) overrides the enum row. The
+    // factory captures cfg by reference: callers keep the config alive
+    // for the duration of the run, as simulate() itself does.
+    if (cfg.customDesign) {
+        label = cfg.designLabel.empty() ? "custom" : cfg.designLabel;
+        return [&cfg](vm::PageTable &pt) {
+            return tlb::makeEngine(*cfg.customDesign, pt, cfg.seed);
+        };
+    }
+    label = tlb::designName(cfg.design);
+    return [&cfg](vm::PageTable &pt) {
+        return tlb::makeEngine(cfg.design, pt, cfg.seed);
+    };
+}
+
 SimResult
 simulate(const kasm::Program &prog, const SimConfig &cfg,
          std::shared_ptr<const cpu::StaticCode> code,
          std::shared_ptr<const vm::ProgramImage> image)
 {
-    // A config-driven design (sweep cell) overrides the enum row.
-    if (cfg.customDesign) {
-        return simulateWithEngine(
-            prog, cfg,
-            [&](vm::PageTable &pt) {
-                return tlb::makeEngine(*cfg.customDesign, pt, cfg.seed);
-            },
-            cfg.designLabel.empty() ? "custom" : cfg.designLabel,
-            std::move(code), std::move(image));
-    }
-    return simulateWithEngine(
-        prog, cfg,
-        [&](vm::PageTable &pt) {
-            return tlb::makeEngine(cfg.design, pt, cfg.seed);
-        },
-        tlb::designName(cfg.design), std::move(code), std::move(image));
+    std::string label;
+    const EngineFactory factory = defaultEngineFactory(cfg, label);
+    return simulateWithEngine(prog, cfg, factory, label,
+                              std::move(code), std::move(image));
 }
 
 } // namespace hbat::sim

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cpu/pipeline.hh"
 #include "kasm/program.hh"
@@ -39,6 +40,38 @@
 
 namespace hbat::sim
 {
+
+/** One statistic's sampled-run estimate (see DESIGN.md §14). */
+struct SamplingEstimate
+{
+    std::string name;   ///< registered stat name (e.g. "xlate.misses")
+    double total = 0;   ///< extrapolated whole-run total
+    double ci95 = 0;    ///< 95% confidence half-width on the total
+};
+
+/**
+ * How a sampled run's estimates were formed. Everything here except
+ * intervalCpuSeconds is deterministic for a given (program, config) —
+ * independent of sampleJobs and host scheduling.
+ */
+struct SamplingInfo
+{
+    bool enabled = false;
+    uint64_t periodInsts = 0;   ///< instructions per sampling period
+    uint64_t warmupInsts = 0;   ///< detailed warmup per interval
+    uint64_t measureInsts = 0;  ///< detailed measurement per interval
+    uint64_t intervals = 0;     ///< usable measurement intervals
+    uint64_t totalInsts = 0;    ///< exact whole-run instruction count
+    uint64_t measuredInsts = 0; ///< instructions inside measurements
+    uint64_t measuredCycles = 0;///< cycles inside measurements
+    double ipc = 0;             ///< ratio-estimated IPC
+    double ipcCi95 = 0;         ///< 95% confidence half-width on IPC
+    /** Host thread-CPU seconds spent in the detailed intervals (the
+     *  functional pass is timed by its CheckpointSet). */
+    double intervalCpuSeconds = 0;
+    /** Per-scalar-stat extrapolated totals with confidence widths. */
+    std::vector<SamplingEstimate> scalars;
+};
 
 /** Results of a timed run. */
 struct SimResult
@@ -62,6 +95,14 @@ struct SimResult
      * sample). Empty unless sampling was configured.
      */
     obs::IntervalSeries intervals;
+
+    /**
+     * Sampling metadata: how the estimates were formed, with per-stat
+     * confidence intervals. enabled only when the run was sampled
+     * (SimConfig::samplePeriodInsts != 0); exact runs leave it
+     * default-constructed.
+     */
+    SamplingInfo sampling;
 
     double ipc() const { return pipe.ipc(); }
     Cycle cycles() const { return pipe.cycles; }
@@ -109,6 +150,28 @@ simulateWithEngine(const kasm::Program &prog, const SimConfig &cfg,
                    const std::string &design_label,
                    std::shared_ptr<const cpu::StaticCode> code = nullptr,
                    std::shared_ptr<const vm::ProgramImage> image = nullptr);
+
+/**
+ * The engine factory simulate() would use for @p cfg — the custom
+ * design when one is set, the enum row otherwise — plus the display
+ * label it would report in @p label. Lets the sampled-simulation
+ * driver (sim/sampling.hh) dispatch designs exactly like simulate().
+ */
+EngineFactory defaultEngineFactory(const SimConfig &cfg,
+                                   std::string &label);
+
+namespace detail
+{
+/** RAII enter/exit of the gauge behind activeSimulations(), for
+ *  simulation drivers living outside simulator.cc. */
+struct SimRunGauge
+{
+    SimRunGauge();
+    ~SimRunGauge();
+    SimRunGauge(const SimRunGauge &) = delete;
+    SimRunGauge &operator=(const SimRunGauge &) = delete;
+};
+} // namespace detail
 
 } // namespace hbat::sim
 

@@ -29,7 +29,8 @@ const char *const kMachineKeys[] = {
     "memPorts",         "fpAdd",            "fpMultDiv",
     "icacheBytes",      "icacheAssoc",      "icacheBlockBytes",
     "icacheMissLatency", "dcacheBytes",     "dcacheAssoc",
-    "dcacheBlockBytes", "dcacheMissLatency",
+    "dcacheBlockBytes", "dcacheMissLatency", "samplePeriod",
+    "sampleWarmup",     "sampleMeasure",
 };
 
 bool
@@ -128,6 +129,19 @@ applyMachineKey(const Config &cfg, const std::string &key,
         return toUnsigned(sc.dcache.blockBytes);
     if (key == "dcacheMissLatency")
         return toUnsigned(sc.dcache.missLatency);
+
+    // Sampled-simulation knobs (DESIGN.md §14). Instruction counts
+    // can legitimately exceed 32 bits, so these bypass toUnsigned's
+    // range clamp.
+    auto toCount = [&](uint64_t &field) {
+        if (v.kind != Value::Kind::Int || v.i < 0)
+            return bad("a non-negative integer");
+        field = uint64_t(v.i);
+        return true;
+    };
+    if (key == "samplePeriod") return toCount(sc.samplePeriodInsts);
+    if (key == "sampleWarmup") return toCount(sc.sampleWarmupInsts);
+    if (key == "sampleMeasure") return toCount(sc.sampleMeasureInsts);
     hbat_panic("unhandled machine key ", key);
 }
 

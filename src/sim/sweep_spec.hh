@@ -25,7 +25,9 @@
  * cachePorts, mispredictPenalty, tlbMissLatency, the FU mix (intAlu,
  * intMultDiv, memPorts, fpAdd, fpMultDiv), and the cache geometry
  * (icacheBytes, icacheAssoc, icacheBlockBytes, icacheMissLatency, and
- * the dcache* four). Anything else is a ConfigKey error.
+ * the dcache* four), plus the sampled-simulation knobs samplePeriod,
+ * sampleWarmup, and sampleMeasure (DESIGN.md §14). Anything else is a
+ * ConfigKey error.
  */
 
 #ifndef HBAT_SIM_SWEEP_SPEC_HH

@@ -1,5 +1,7 @@
 #include "tlb/tlb_array.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hbat::tlb
@@ -87,6 +89,21 @@ TlbArray::flush()
     for (Entry &e : entries)
         e.valid = false;
     index.clear();
+}
+
+std::vector<Vpn>
+TlbArray::residentsByAge() const
+{
+    std::vector<std::pair<Cycle, Vpn>> byUse;
+    for (const Entry &e : entries)
+        if (e.valid)
+            byUse.emplace_back(e.lastUse, e.vpn);
+    std::sort(byUse.begin(), byUse.end());
+    std::vector<Vpn> out;
+    out.reserve(byUse.size());
+    for (const auto &[use, vpn] : byUse)
+        out.push_back(vpn);
+    return out;
 }
 
 } // namespace hbat::tlb

@@ -53,6 +53,14 @@ class TlbArray
     /** Drop every entry. */
     void flush();
 
+    /**
+     * Resident VPNs ordered oldest use first (ties broken by VPN).
+     * Replaying the list through insert()/fill() in this order leaves
+     * a same-capacity LRU array in exactly this state — the warm-state
+     * transfer the checkpointed sampling driver relies on.
+     */
+    std::vector<Vpn> residentsByAge() const;
+
     unsigned capacity() const { return unsigned(entries.size()); }
     unsigned occupancy() const { return unsigned(index.size()); }
 

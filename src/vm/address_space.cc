@@ -1,5 +1,6 @@
 #include "vm/address_space.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace hbat::vm
@@ -69,6 +70,44 @@ AddressSpace::writePtrSlow(Vpn vpn)
     if (mruEnabled)
         mru[vpn & (kMruEntries - 1)] = MruEntry{vpn, ptr, true};
     return ptr;
+}
+
+void
+AddressSpace::saveState(SpaceState &out) const
+{
+    const size_t bytes = pt.params().bytes();
+    out.pages.clear();
+    out.pages.reserve(pages.size());
+    for (const auto &[vpn, storage] : pages) {
+        auto copy = std::make_shared<std::vector<uint8_t>>(
+            storage.get(), storage.get() + bytes);
+        out.pages.push_back(SpaceState::Page{vpn, std::move(copy)});
+    }
+    std::sort(out.pages.begin(), out.pages.end(),
+              [](const SpaceState::Page &a, const SpaceState::Page &b) {
+                  return a.vpn < b.vpn;
+              });
+    out.cowPages = cowPages_;
+    pt.saveState(out.pt);
+}
+
+void
+AddressSpace::restoreState(const SpaceState &s)
+{
+    const size_t bytes = pt.params().bytes();
+    pages.clear();
+    for (const SpaceState::Page &p : s.pages) {
+        hbat_assert(p.data && p.data->size() == bytes,
+                    "restored page has wrong geometry");
+        auto storage = std::make_unique<uint8_t[]>(bytes);
+        std::memcpy(storage.get(), p.data->data(), bytes);
+        pages.emplace(p.vpn, std::move(storage));
+    }
+    cowPages_ = s.cowPages;
+    pt.restoreState(s.pt);
+    // Cached resolutions point into freed storage now; drop them all.
+    for (MruEntry &e : mru)
+        e = MruEntry{};
 }
 
 void

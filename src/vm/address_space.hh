@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "kasm/program.hh"
 #include "vm/page_table.hh"
@@ -22,6 +23,27 @@
 
 namespace hbat::vm
 {
+
+/**
+ * A deep snapshot of an AddressSpace's mutable state: the privately
+ * materialized pages (sorted by VPN), the copy-on-write counter, and
+ * the page table. Shared image pages are *not* captured — they are
+ * immutable, so a restored space re-reads them from the same
+ * ProgramImage. Page payloads are held by shared_ptr so consecutive
+ * checkpoints of a run can share the copies of pages that did not
+ * change in between (see sim::Checkpoint).
+ */
+struct SpaceState
+{
+    struct Page
+    {
+        Vpn vpn = 0;
+        std::shared_ptr<const std::vector<uint8_t>> data;
+    };
+    std::vector<Page> pages;    ///< sorted by vpn
+    uint64_t cowPages = 0;
+    PageTableState pt;
+};
 
 /** A loaded process image. */
 class AddressSpace
@@ -84,6 +106,23 @@ class AddressSpace
         return pages.size() +
                (image_ ? image_->pageCount() - cowPages_ : 0);
     }
+
+    /**
+     * Deep-copy the space's mutable state into @p out (fresh page
+     * copies — the sharing between consecutive checkpoints happens in
+     * sim::Checkpoint). The MRU pointer cache is host-side and not
+     * part of the state.
+     */
+    void saveState(SpaceState &out) const;
+
+    /**
+     * Replace the space's mutable state with @p s. The space must
+     * have been constructed with the same page geometry and the same
+     * shared image as the one @p s was saved from; all reads, writes,
+     * and translations then proceed exactly as they would have in the
+     * original run.
+     */
+    void restoreState(const SpaceState &s);
 
   private:
     /**

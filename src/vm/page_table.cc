@@ -46,6 +46,44 @@ PageTable::find(Vpn vpn) const
     return pte.valid ? &pte : nullptr;
 }
 
+void
+PageTable::saveState(PageTableState &out) const
+{
+    out.ptes.clear();
+    for (size_t l1 = 0; l1 < dir.size(); ++l1) {
+        if (!dir[l1])
+            continue;
+        const std::vector<Pte> &ptes = dir[l1]->ptes;
+        for (size_t l2 = 0; l2 < ptes.size(); ++l2) {
+            if (ptes[l2].valid)
+                out.ptes.emplace_back(Vpn((l1 << l2Bits) | l2),
+                                      ptes[l2]);
+        }
+    }
+    out.nextPpn = nextPpn;
+    out.mapped = mapped;
+}
+
+void
+PageTable::restoreState(const PageTableState &s)
+{
+    for (auto &leaf : dir)
+        leaf.reset();
+    for (const auto &[vpn, pte] : s.ptes) {
+        hbat_assert(vpn < (Vpn(1) << params_.vpnBits()),
+                    "restored vpn out of range: ", vpn);
+        const size_t l1 = size_t(vpn >> l2Bits);
+        const size_t l2 = size_t(vpn & mask(l2Bits));
+        if (!dir[l1]) {
+            dir[l1] = std::make_unique<Leaf>();
+            dir[l1]->ptes.resize(size_t(1) << l2Bits);
+        }
+        dir[l1]->ptes[l2] = pte;
+    }
+    nextPpn = s.nextPpn;
+    mapped = s.mapped;
+}
+
 RefResult
 PageTable::reference(Vpn vpn, bool write)
 {

@@ -35,6 +35,19 @@ struct RefResult
     bool statusChanged = false;
 };
 
+/**
+ * The page table's complete architectural state, decoupled from the
+ * radix storage: every valid (vpn, pte) pair sorted by VPN, plus the
+ * frame allocator. The sorted flat form makes state comparisons and
+ * checkpoints (sim::Checkpoint) representation-independent.
+ */
+struct PageTableState
+{
+    std::vector<std::pair<Vpn, Pte>> ptes;
+    Ppn nextPpn = 1;
+    uint64_t mapped = 0;
+};
+
 /** Two-level radix page table. */
 class PageTable
 {
@@ -61,6 +74,17 @@ class PageTable
 
     /** Number of mapped pages. */
     uint64_t mappedPages() const { return mapped; }
+
+    /** Snapshot every valid PTE plus the frame allocator. */
+    void saveState(PageTableState &out) const;
+
+    /**
+     * Replace the table's contents with @p s (same page geometry).
+     * Restored PPNs and status bits are exactly as saved, so a
+     * restored run allocates and references frames identically to the
+     * run the state was captured from.
+     */
+    void restoreState(const PageTableState &s);
 
   private:
     /// First-level directory fan-out (upper VPN bits).

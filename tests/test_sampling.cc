@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Tests for the sampled simulator (DESIGN.md §14): the functional
+ * fast-forward engine, checkpoint save/restore determinism, and the
+ * interval-sampled estimator.
+ *
+ * The load-bearing guarantees:
+ *  - FuncExecutor's TLB filters reproduce the fig6 inline loop byte
+ *    for byte (one functional path in the codebase);
+ *  - restore-then-run equals straight-through, functionally and in
+ *    the detailed pipeline, for every engine family;
+ *  - sampled estimates are bit-identical at any interval job count
+ *    and with idle-skip on or off;
+ *  - the exact architectural totals (committed instructions, data
+ *    footprint) come from the functional pass, not the estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cpu/func_core.hh"
+#include "cpu/static_code.hh"
+#include "sim/fastfwd.hh"
+#include "sim/sampling.hh"
+#include "sim/simulator.hh"
+#include "tlb/tlb_array.hh"
+#include "vm/address_space.hh"
+#include "vm/program_image.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hbat;
+
+const kasm::RegBudget kBudget{32, 32};
+
+kasm::Program
+smallProgram(const std::string &name)
+{
+    return workloads::build(name, kBudget, 0.02);
+}
+
+/** Exact (bitwise) equality of two stat snapshots. */
+void
+expectSnapshotsEqual(const obs::StatSnapshot &a,
+                     const obs::StatSnapshot &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].name);
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].value, b[i].value);
+        EXPECT_EQ(a[i].values, b[i].values);
+        EXPECT_EQ(a[i].labels, b[i].labels);
+        EXPECT_EQ(a[i].samples, b[i].samples);
+        EXPECT_EQ(a[i].mean, b[i].mean);
+    }
+}
+
+/** Byte-level equality of two checkpoints (ignoring warm/filters). */
+void
+expectArchStateEqual(const sim::Checkpoint &a, const sim::Checkpoint &b)
+{
+    EXPECT_EQ(a.instCount, b.instCount);
+
+    // Core: registers, PC, counts.
+    for (size_t r = 0; r < kNumIntRegs; ++r)
+        EXPECT_EQ(a.core.regs[r], b.core.regs[r]) << "intreg " << r;
+    for (size_t r = 0; r < kNumFpRegs; ++r)
+        EXPECT_EQ(a.core.fregs[r], b.core.fregs[r]) << "fpreg " << r;
+    EXPECT_EQ(a.core.pc, b.core.pc);
+    EXPECT_EQ(a.core.halted, b.core.halted);
+    EXPECT_EQ(a.core.nextSeq, b.core.nextSeq);
+    EXPECT_EQ(a.core.stats.instructions, b.core.stats.instructions);
+    EXPECT_EQ(a.core.stats.loads, b.core.stats.loads);
+    EXPECT_EQ(a.core.stats.stores, b.core.stats.stores);
+    EXPECT_EQ(a.core.stats.branches, b.core.stats.branches);
+    EXPECT_EQ(a.core.stats.takenBranches, b.core.stats.takenBranches);
+    EXPECT_EQ(a.core.stats.fpOps, b.core.stats.fpOps);
+
+    // Memory: the private page set, byte for byte.
+    ASSERT_EQ(a.mem.pages.size(), b.mem.pages.size());
+    for (size_t p = 0; p < a.mem.pages.size(); ++p) {
+        SCOPED_TRACE("page " + std::to_string(p));
+        EXPECT_EQ(a.mem.pages[p].vpn, b.mem.pages[p].vpn);
+        ASSERT_TRUE(a.mem.pages[p].data && b.mem.pages[p].data);
+        EXPECT_EQ(*a.mem.pages[p].data, *b.mem.pages[p].data);
+    }
+    EXPECT_EQ(a.mem.cowPages, b.mem.cowPages);
+
+    // Page table: every PTE.
+    ASSERT_EQ(a.mem.pt.ptes.size(), b.mem.pt.ptes.size());
+    for (size_t i = 0; i < a.mem.pt.ptes.size(); ++i) {
+        SCOPED_TRACE("pte " + std::to_string(i));
+        EXPECT_EQ(a.mem.pt.ptes[i].first, b.mem.pt.ptes[i].first);
+        const vm::Pte &x = a.mem.pt.ptes[i].second;
+        const vm::Pte &y = b.mem.pt.ptes[i].second;
+        EXPECT_EQ(x.ppn, y.ppn);
+        EXPECT_EQ(x.perms, y.perms);
+        EXPECT_EQ(x.valid, y.valid);
+        EXPECT_EQ(x.referenced, y.referenced);
+        EXPECT_EQ(x.dirty, y.dirty);
+    }
+    EXPECT_EQ(a.mem.pt.nextPpn, b.mem.pt.nextPpn);
+    EXPECT_EQ(a.mem.pt.mapped, b.mem.pt.mapped);
+}
+
+/**
+ * The fig6 dedup guarantee: FuncExecutor's TLB filters produce the
+ * same reference and miss counts as the original inline functional
+ * loop (pre-increment tick, one lookup/insert per data reference).
+ */
+TEST(FastForward, TlbFiltersMatchInlineFig6Loop)
+{
+    const kasm::Program prog = smallProgram("espresso");
+    const vm::PageParams pages;
+    const uint64_t seed = 12345;
+    const struct
+    {
+        unsigned entries;
+        tlb::Replacement repl;
+    } specs[] = {
+        {4, tlb::Replacement::Lru},
+        {16, tlb::Replacement::Lru},
+        {32, tlb::Replacement::Random},
+    };
+
+    // Reference: the original fig6 measurement loop, verbatim.
+    std::vector<tlb::TlbArray> tlbs;
+    for (const auto &s : specs)
+        tlbs.emplace_back(s.entries, s.repl, seed);
+    std::vector<uint64_t> misses(tlbs.size(), 0);
+    uint64_t refs = 0;
+    {
+        const auto image =
+            std::make_shared<const vm::ProgramImage>(prog, pages);
+        vm::AddressSpace space{pages, true, image};
+        cpu::FuncCore core(space, prog);
+        Cycle tick = 0;
+        while (!core.halted()) {
+            const cpu::DynInst dyn = core.step();
+            if (!dyn.isMem())
+                continue;
+            ++refs;
+            ++tick;
+            const Vpn vpn = pages.vpn(dyn.effAddr);
+            for (size_t t = 0; t < tlbs.size(); ++t) {
+                if (!tlbs[t].lookup(vpn, tick)) {
+                    ++misses[t];
+                    tlbs[t].insert(vpn, tick);
+                }
+            }
+        }
+    }
+    ASSERT_GT(refs, 0u);
+
+    sim::FuncExecutor fx(prog, pages);
+    for (const auto &s : specs)
+        fx.addTlbFilter(s.entries, s.repl, seed);
+    fx.advance(std::numeric_limits<uint64_t>::max());
+    EXPECT_TRUE(fx.halted());
+
+    for (size_t t = 0; t < tlbs.size(); ++t) {
+        SCOPED_TRACE("filter " + std::to_string(t));
+        EXPECT_EQ(fx.filterStats(t).refs, refs);
+        EXPECT_EQ(fx.filterStats(t).misses, misses[t]);
+    }
+}
+
+/**
+ * Functional restore-then-run equals straight-through: an executor
+ * restored from a mid-run checkpoint and advanced to completion ends
+ * in exactly the state of one that never detoured, including filter
+ * counts and the warm set.
+ */
+TEST(FastForward, RestoreThenRunEqualsStraightThrough)
+{
+    const kasm::Program prog = smallProgram("compress");
+
+    sim::FuncExecutor straight(prog);
+    straight.addTlbFilter(8, tlb::Replacement::Lru, 7);
+    straight.enableWarmTracking();
+    straight.trackPageTable(true);
+
+    straight.advance(5000);
+    sim::Checkpoint mid;
+    straight.save(mid);
+    EXPECT_EQ(mid.instCount, 5000u);
+
+    straight.advance(std::numeric_limits<uint64_t>::max());
+    ASSERT_TRUE(straight.halted());
+    sim::Checkpoint endA;
+    straight.save(endA);
+
+    sim::FuncExecutor resumed(prog);
+    resumed.addTlbFilter(8, tlb::Replacement::Lru, 7);
+    resumed.enableWarmTracking();
+    resumed.trackPageTable(true);
+    resumed.restore(mid);
+    EXPECT_EQ(resumed.instCount(), 5000u);
+    resumed.advance(std::numeric_limits<uint64_t>::max());
+    ASSERT_TRUE(resumed.halted());
+    sim::Checkpoint endB;
+    resumed.save(endB);
+
+    expectArchStateEqual(endA, endB);
+    ASSERT_EQ(endA.filters.size(), endB.filters.size());
+    for (size_t f = 0; f < endA.filters.size(); ++f) {
+        EXPECT_EQ(endA.filters[f].stats.refs,
+                  endB.filters[f].stats.refs);
+        EXPECT_EQ(endA.filters[f].stats.misses,
+                  endB.filters[f].stats.misses);
+    }
+    EXPECT_EQ(endA.warmVpns(), endB.warmVpns());
+}
+
+/**
+ * Page sharing between consecutive checkpoints is an aliasing
+ * optimization only: a checkpoint saved with a prev must restore to
+ * the same state as one saved without.
+ */
+TEST(FastForward, PageSharingDoesNotChangeContents)
+{
+    const kasm::Program prog = smallProgram("espresso");
+
+    sim::FuncExecutor fx(prog);
+    fx.advance(2000);
+    sim::Checkpoint first;
+    fx.save(first);
+
+    fx.advance(2000);
+    sim::Checkpoint shared, plain;
+    fx.save(shared, &first);
+    fx.save(plain);
+
+    expectArchStateEqual(shared, plain);
+
+    // And some pages really are shared with the previous checkpoint
+    // (the text and any data untouched in the last period).
+    size_t aliased = 0;
+    for (const auto &p : shared.mem.pages)
+        for (const auto &q : first.mem.pages)
+            if (p.data == q.data)
+                ++aliased;
+    EXPECT_GT(aliased, 0u);
+}
+
+/**
+ * Checkpoint trains are design-independent and schedule-independent:
+ * the checkpoint at instruction k is byte-identical whether it was
+ * the 2nd point of a period-k/2 train or the 1st of a period-k train.
+ */
+TEST(Checkpoints, TrainScheduleIndependent)
+{
+    const kasm::Program prog = smallProgram("compress");
+    sim::SimConfig sc;
+    sc.samplePeriodInsts = 4000;
+    const auto fine = sim::buildCheckpoints(prog, sc);
+    sc.samplePeriodInsts = 8000;
+    const auto coarse = sim::buildCheckpoints(prog, sc);
+
+    ASSERT_GE(fine->points.size(), 3u);
+    ASSERT_GE(coarse->points.size(), 2u);
+    ASSERT_EQ(fine->points[2].instCount, coarse->points[1].instCount);
+    expectArchStateEqual(fine->points[2], coarse->points[1]);
+    EXPECT_EQ(fine->points[2].warmVpns(),
+              coarse->points[1].warmVpns());
+
+    // The exact totals do not depend on the period either.
+    EXPECT_EQ(fine->totalInsts, coarse->totalInsts);
+    EXPECT_EQ(fine->touchedPages, coarse->touchedPages);
+    EXPECT_EQ(fine->func.loads, coarse->func.loads);
+    EXPECT_EQ(fine->func.stores, coarse->func.stores);
+}
+
+/**
+ * Detailed restore-then-run equals straight-through: resuming the
+ * full pipeline from the instruction-0 checkpoint must reproduce a
+ * plain simulate() run stat for stat — across every engine family
+ * (split L1/L2, multilevel, PC-indexed, cache-stored translations).
+ */
+TEST(Checkpoints, DetailedRunFromStartCheckpointIsExact)
+{
+    const tlb::Design designs[] = {tlb::Design::T4, tlb::Design::M8,
+                                   tlb::Design::PCAX,
+                                   tlb::Design::Victima};
+    for (const char *name : {"compress", "xlisp"}) {
+        const kasm::Program prog = smallProgram(name);
+        sim::SimConfig base;
+        base.samplePeriodInsts = 6000;
+        const auto ckpts = sim::buildCheckpoints(prog, base);
+        ASSERT_GE(ckpts->points.size(), 2u);
+        ASSERT_EQ(ckpts->points[0].instCount, 0u);
+
+        for (tlb::Design d : designs) {
+            SCOPED_TRACE(std::string(name) + "/" +
+                         std::string(tlb::designName(d)));
+            sim::SimConfig sc;
+            sc.design = d;
+            const sim::SimResult plain = sim::simulate(prog, sc);
+            const sim::SimResult resumed = sim::simulateFromCheckpoint(
+                prog, sc, ckpts->points[0]);
+            EXPECT_EQ(resumed.cycles(), plain.cycles());
+            EXPECT_EQ(resumed.pipe.committed, plain.pipe.committed);
+            EXPECT_EQ(resumed.touchedPages, plain.touchedPages);
+            expectSnapshotsEqual(resumed.stats, plain.stats);
+        }
+    }
+}
+
+/**
+ * Resuming from a mid-run checkpoint is deterministic: two restores
+ * of the same checkpoint produce bit-identical detailed runs, and
+ * restores of the *same instruction point* from differently-spaced
+ * trains agree too (the checkpoint carries the complete state).
+ */
+TEST(Checkpoints, DetailedResumeDeterministic)
+{
+    const kasm::Program prog = smallProgram("xlisp");
+    sim::SimConfig base;
+    base.samplePeriodInsts = 4000;
+    const auto fine = sim::buildCheckpoints(prog, base);
+    base.samplePeriodInsts = 8000;
+    const auto coarse = sim::buildCheckpoints(prog, base);
+    ASSERT_GE(fine->points.size(), 3u);
+    ASSERT_GE(coarse->points.size(), 2u);
+
+    sim::SimConfig sc;
+    sc.design = tlb::Design::PCAX;
+    const sim::SimResult a = sim::simulateFromCheckpoint(
+        prog, sc, fine->points[2]);
+    const sim::SimResult b = sim::simulateFromCheckpoint(
+        prog, sc, fine->points[2]);
+    const sim::SimResult c = sim::simulateFromCheckpoint(
+        prog, sc, coarse->points[1]);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    expectSnapshotsEqual(a.stats, b.stats);
+    EXPECT_EQ(a.cycles(), c.cycles());
+    expectSnapshotsEqual(a.stats, c.stats);
+}
+
+sim::SimConfig
+sampledConfig(tlb::Design d)
+{
+    sim::SimConfig sc;
+    sc.design = d;
+    sc.samplePeriodInsts = 8000;
+    sc.sampleWarmupInsts = 1000;
+    sc.sampleMeasureInsts = 2000;
+    return sc;
+}
+
+/**
+ * Sampled estimates are bit-identical at any interval job count and
+ * with idle-skip on or off, for every engine family.
+ */
+TEST(Sampled, DeterministicAcrossJobsAndSkip)
+{
+    const tlb::Design designs[] = {tlb::Design::T4, tlb::Design::M8,
+                                   tlb::Design::PCAX,
+                                   tlb::Design::Victima};
+    const kasm::Program prog = smallProgram("compress");
+    for (tlb::Design d : designs) {
+        SCOPED_TRACE(tlb::designName(d));
+        sim::SimConfig sc = sampledConfig(d);
+        sc.sampleJobs = 1;
+        const sim::SimResult serial = sim::simulateSampled(prog, sc);
+        ASSERT_TRUE(serial.sampling.enabled);
+        ASSERT_GE(serial.sampling.intervals, 2u);
+
+        sc.sampleJobs = 8;
+        const sim::SimResult wide = sim::simulateSampled(prog, sc);
+        sc.sampleJobs = 1;
+        sc.idleSkip = false;
+        const sim::SimResult noskip = sim::simulateSampled(prog, sc);
+
+        for (const sim::SimResult *r : {&wide, &noskip}) {
+            EXPECT_EQ(r->sampling.intervals, serial.sampling.intervals);
+            EXPECT_EQ(r->sampling.measuredInsts,
+                      serial.sampling.measuredInsts);
+            EXPECT_EQ(r->sampling.measuredCycles,
+                      serial.sampling.measuredCycles);
+            EXPECT_EQ(r->sampling.ipc, serial.sampling.ipc);    // exact
+            EXPECT_EQ(r->sampling.ipcCi95, serial.sampling.ipcCi95);
+            EXPECT_EQ(r->cycles(), serial.cycles());
+            expectSnapshotsEqual(r->stats, serial.stats);
+        }
+    }
+}
+
+/**
+ * The architectural totals of a sampled run are exact, not
+ * estimates: committed instructions, the functional counts, and the
+ * data footprint all match the exact run's.
+ */
+TEST(Sampled, ArchitecturalTotalsAreExact)
+{
+    const kasm::Program prog = smallProgram("compress");
+    sim::SimConfig sc = sampledConfig(tlb::Design::T4);
+    const sim::SimResult sampled = sim::simulateSampled(prog, sc);
+    ASSERT_TRUE(sampled.sampling.enabled);
+
+    sim::SimConfig ex;
+    ex.design = tlb::Design::T4;
+    const sim::SimResult exact = sim::simulate(prog, ex);
+
+    EXPECT_EQ(sampled.pipe.committed, exact.pipe.committed);
+    EXPECT_EQ(sampled.touchedPages, exact.touchedPages);
+    EXPECT_EQ(sampled.func.instructions, exact.func.instructions);
+    EXPECT_EQ(sampled.func.loads, exact.func.loads);
+    EXPECT_EQ(sampled.func.stores, exact.func.stores);
+
+    // Loose accuracy smoke: with these few intervals the estimate is
+    // noisy, but it must still land in the right neighbourhood.
+    EXPECT_GT(sampled.ipc(), 0.5 * exact.ipc());
+    EXPECT_LT(sampled.ipc(), 1.5 * exact.ipc());
+    EXPECT_GT(sampled.sampling.ipcCi95, 0.0);
+}
+
+/**
+ * simulate() dispatches to the sampled path purely on the config
+ * knob, and a period longer than the program falls back to an exact
+ * run (sampling disabled, results identical to plain simulate()).
+ */
+TEST(Sampled, DispatchAndFallback)
+{
+    const kasm::Program prog = smallProgram("espresso");
+    sim::SimConfig sc;
+    sc.design = tlb::Design::T4;
+    const sim::SimResult exact = sim::simulate(prog, sc);
+    EXPECT_FALSE(exact.sampling.enabled);
+
+    // simulate() with the knob set == simulateSampled().
+    sc.samplePeriodInsts = 8000;
+    sc.sampleWarmupInsts = 1000;
+    sc.sampleMeasureInsts = 2000;
+    const sim::SimResult viaSimulate = sim::simulate(prog, sc);
+    const sim::SimResult viaSampled = sim::simulateSampled(prog, sc);
+    EXPECT_EQ(viaSimulate.sampling.enabled, viaSampled.sampling.enabled);
+    EXPECT_EQ(viaSimulate.cycles(), viaSampled.cycles());
+    expectSnapshotsEqual(viaSimulate.stats, viaSampled.stats);
+
+    // Period past the end: no usable interval, exact fallback.
+    sc.samplePeriodInsts = ~uint64_t(0);
+    sc.sampleWarmupInsts = ~uint64_t(0) / 2;
+    const sim::SimResult fallback = sim::simulate(prog, sc);
+    EXPECT_FALSE(fallback.sampling.enabled);
+    EXPECT_EQ(fallback.cycles(), exact.cycles());
+    expectSnapshotsEqual(fallback.stats, exact.stats);
+}
+
+/**
+ * A shared checkpoint set must give the same sampled result as a
+ * privately-built one — the sweep harness relies on this to build one
+ * train per (program, period) and share it across design columns.
+ */
+TEST(Sampled, SharedCheckpointSetMatchesPrivateBuild)
+{
+    const kasm::Program prog = smallProgram("compress");
+    const sim::SimConfig sc = sampledConfig(tlb::Design::M8);
+    const auto ckpts = sim::buildCheckpoints(prog, sc);
+
+    const sim::SimResult priv = sim::simulateSampled(prog, sc);
+    const sim::SimResult shared =
+        sim::simulateSampled(prog, sc, nullptr, nullptr, ckpts);
+    EXPECT_EQ(shared.cycles(), priv.cycles());
+    EXPECT_EQ(shared.sampling.intervals, priv.sampling.intervals);
+    EXPECT_EQ(shared.sampling.ipc, priv.sampling.ipc);    // exact
+    expectSnapshotsEqual(shared.stats, priv.stats);
+}
+
+} // namespace
